@@ -1,0 +1,157 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+//
+//   1. Ordering-decision caching at shards (paper §4.2: "shard servers can
+//      cache these decisions"): resolver with vs without a cache.
+//   2. Refinable timestamps vs oracle-only ordering (paper §3.5's first
+//      extreme: "use the timeline oracle for maintaining the global
+//      timeline for all requests"): per-pair ordering cost when clocks
+//      resolve most pairs vs when every pair goes to the oracle.
+//   3. Vector clock width: timestamp comparison cost as the gatekeeper
+//      bank grows.
+//   4. Multi-version read cost: property lookup vs version-chain length
+//      (the price of historical queries, mitigated by GC §4.5).
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "graph/property.h"
+#include "oracle/timeline_oracle.h"
+#include "order/resolver.h"
+
+namespace weaver {
+namespace {
+
+std::vector<RefinableTimestamp> ConcurrentEvents(std::size_t n) {
+  std::vector<RefinableTimestamp> events;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<std::uint64_t> c(n, 0);
+    c[i] = 1;
+    events.emplace_back(VectorClock(0, std::move(c)),
+                        static_cast<GatekeeperId>(i), 1);
+  }
+  return events;
+}
+
+// --- Ablation 1: decision cache on/off --------------------------------------
+
+void BM_ResolveConcurrentWithCache(benchmark::State& state) {
+  auto events = ConcurrentEvents(32);
+  TimelineOracle oracle;
+  OrderResolver resolver(&oracle);
+  Rng rng(1);
+  for (auto _ : state) {
+    const auto& a = events[rng.Uniform(events.size())];
+    const auto& b = events[rng.Uniform(events.size())];
+    if (a.event_id() == b.event_id()) continue;
+    benchmark::DoNotOptimize(
+        resolver.Resolve(a, b, OrderPreference::kPreferFirst));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ResolveConcurrentWithCache);
+
+void BM_ResolveConcurrentNoCache(benchmark::State& state) {
+  auto events = ConcurrentEvents(32);
+  TimelineOracle oracle;
+  Rng rng(1);
+  for (auto _ : state) {
+    const auto& a = events[rng.Uniform(events.size())];
+    const auto& b = events[rng.Uniform(events.size())];
+    if (a.event_id() == b.event_id()) continue;
+    // Every request goes to the oracle (no shard-side cache).
+    benchmark::DoNotOptimize(
+        oracle.OrderPair(a, b, OrderPreference::kPreferFirst));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ResolveConcurrentNoCache);
+
+// --- Ablation 2: refinable timestamps vs oracle-only ordering ----------------
+
+void BM_OrderingRefinable(benchmark::State& state) {
+  // 95% of pairs clock-comparable (the announce-kept-up regime): the
+  // proactive stage absorbs them; only the rest touch the oracle.
+  TimelineOracle oracle;
+  OrderResolver resolver(&oracle);
+  std::vector<VectorClock> clocks(2, VectorClock(2));
+  std::vector<RefinableTimestamp> comparable;
+  Rng rng(2);
+  for (int i = 0; i < 512; ++i) {
+    const std::size_t gk = rng.Uniform(2);
+    clocks[gk].Merge(clocks[1 - gk]);  // announce before every tick
+    const std::uint64_t seq = clocks[gk].Tick(gk);
+    comparable.emplace_back(clocks[gk], static_cast<GatekeeperId>(gk), seq);
+  }
+  auto concurrent = ConcurrentEvents(16);
+  for (auto _ : state) {
+    const bool hot = rng.Chance(0.05);
+    const auto& pool = hot ? concurrent : comparable;
+    const auto& a = pool[rng.Uniform(pool.size())];
+    const auto& b = pool[rng.Uniform(pool.size())];
+    if (a.event_id() == b.event_id()) continue;
+    benchmark::DoNotOptimize(
+        resolver.Resolve(a, b, OrderPreference::kPreferFirst));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_OrderingRefinable);
+
+void BM_OrderingOracleOnly(benchmark::State& state) {
+  // The §3.5 extreme: every pair ordered by the (serialized) oracle DAG,
+  // no vector-clock fast path. Modeled by forcing all-concurrent events.
+  TimelineOracle oracle;
+  auto events = ConcurrentEvents(64);
+  Rng rng(3);
+  for (auto _ : state) {
+    const auto& a = events[rng.Uniform(events.size())];
+    const auto& b = events[rng.Uniform(events.size())];
+    if (a.event_id() == b.event_id()) continue;
+    benchmark::DoNotOptimize(
+        oracle.OrderPair(a, b, OrderPreference::kPreferFirst));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_OrderingOracleOnly);
+
+// --- Ablation 3: vector clock width -------------------------------------------
+
+void BM_VClockCompare(benchmark::State& state) {
+  const std::size_t width = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  std::vector<std::uint64_t> ca(width), cb(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    ca[i] = rng.Uniform(1000);
+    cb[i] = rng.Uniform(1000);
+  }
+  VectorClock a(0, ca), b(0, cb);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Compare(b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_VClockCompare)->Arg(2)->Arg(6)->Arg(16)->Arg(64);
+
+// --- Ablation 4: multi-version chain length ------------------------------------
+
+void BM_PropertyReadVsChainLength(benchmark::State& state) {
+  const int versions = static_cast<int>(state.range(0));
+  PropertySet props;
+  auto ts = [](std::uint64_t seq) {
+    return RefinableTimestamp(VectorClock(0, {seq}), 0, seq);
+  };
+  for (int i = 1; i <= versions; ++i) {
+    props.Assign("v", std::to_string(i), ts(static_cast<std::uint64_t>(i)));
+  }
+  OrderFn order = [](const RefinableTimestamp& a,
+                     const RefinableTimestamp& b) { return a.Compare(b); };
+  const auto read_ts = ts(static_cast<std::uint64_t>(versions) + 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(props.ValueAt("v", read_ts, order));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PropertyReadVsChainLength)->Arg(1)->Arg(8)->Arg(64)->Arg(512);
+
+}  // namespace
+}  // namespace weaver
+
+BENCHMARK_MAIN();

@@ -1,0 +1,169 @@
+// Figure 9 (and Table 1): transaction throughput on the social-network
+// workload, Weaver vs the Titan-like 2PL baseline.
+//
+//   * Fig 9a -- TAO mix (99.8% reads): paper measures Weaver ~10.9x Titan.
+//   * Fig 9b -- 75% reads: paper measures Weaver ~1.5x Titan.
+//
+// Paper explanation (§6.2): Titan pessimistically locks every object a
+// transaction touches -- reads included -- and holds the locks through the
+// two-phase commit against its storage backend, so its throughput is
+// roughly flat (~2k tx/s) regardless of read fraction. Weaver's refinable
+// timestamps let reads (node programs) run on snapshots without blocking,
+// so its throughput is far higher on read-heavy mixes and degrades as the
+// write fraction grows. The shape to reproduce: Weaver >> Titan at 99.8%
+// reads; the ratio compressing substantially at 75% reads; Titan roughly
+// flat across both mixes.
+#include <cstdio>
+
+#include "baselines/titan_like.h"
+#include "harness.h"
+#include "programs/standard_programs.h"
+#include "workload/tao_workload.h"
+
+using namespace weaver;
+using namespace weaver::bench;
+
+namespace {
+
+struct MixResult {
+  double weaver_tps = 0;
+  double titan_tps = 0;
+};
+
+MixResult RunMix(const workload::GeneratedGraph& graph, double read_fraction,
+                 std::size_t clients, std::uint64_t duration_ms) {
+  MixResult out;
+
+  // ---- Weaver ------------------------------------------------------------
+  {
+    WeaverOptions options;
+    options.num_gatekeepers = 2;
+    options.num_shards = 2;
+    options.start = false;
+    // Durable bulk load: this workload WRITES to loaded vertices, and
+    // transactional writes read the vertex blobs from the backing store.
+    // Model the HyperDex Warp network round trip writes pay in the
+    // paper's deployment (EXPERIMENTS.md documents the calibration).
+    options.kv_commit_delay_micros = 5000;
+    auto db = Weaver::Open(options);
+    LoadGraph(db.get(), graph);
+    db->Start();
+
+    std::vector<workload::TaoWorkload> mixes;
+    for (std::size_t c = 0; c < clients; ++c) {
+      mixes.emplace_back(graph.num_nodes, read_fraction, 0.8, 1000 + c);
+    }
+    const std::uint64_t ops = RunClients(
+        clients, duration_ms,
+        [&](std::size_t c) {
+          auto& mix = mixes[c];
+          const auto op = mix.NextOp();
+          const NodeId n = mix.PickNode();
+          switch (op) {
+            case workload::TaoOp::kGetEdges:
+              return db->RunProgram(programs::kGetEdges, n).ok();
+            case workload::TaoOp::kCountEdges:
+              return db->RunProgram(programs::kCountEdges, n).ok();
+            case workload::TaoOp::kGetNode:
+              return db->RunProgram(programs::kGetNode, n).ok();
+            case workload::TaoOp::kCreateEdge:
+              return db
+                  ->RunTransaction([&](Transaction& tx) {
+                    tx.CreateEdge(n, mix.PickUniformNode());
+                    return Status::Ok();
+                  })
+                  .ok();
+            case workload::TaoOp::kDeleteEdge:
+              return db
+                  ->RunTransaction([&](Transaction& tx) {
+                    auto snap = tx.GetNode(n);
+                    if (!snap.ok()) return snap.status();
+                    if (snap->edges.empty()) return Status::Ok();
+                    return tx.DeleteEdge(n, snap->edges[0].id);
+                  })
+                  .ok();
+          }
+          return false;
+        });
+    out.weaver_tps = ops / (duration_ms / 1e3);
+  }
+
+  // ---- Titan-like --------------------------------------------------------
+  {
+    baselines::TitanLikeDb titan;  // default simulated 2PC phase delay
+    for (NodeId v = 1; v <= graph.num_nodes; ++v) titan.LoadNode(v);
+    for (const auto& [src, dst] : graph.edges) titan.LoadEdge(src, dst);
+
+    std::vector<workload::TaoWorkload> mixes;
+    for (std::size_t c = 0; c < clients; ++c) {
+      mixes.emplace_back(graph.num_nodes, read_fraction, 0.8, 2000 + c);
+    }
+    const std::uint64_t ops = RunClients(
+        clients, duration_ms,
+        [&](std::size_t c) {
+          auto& mix = mixes[c];
+          const auto op = mix.NextOp();
+          const NodeId n = mix.PickNode();
+          std::uint64_t scratch_count = 0;
+          std::vector<NodeId> scratch_targets;
+          switch (op) {
+            case workload::TaoOp::kGetEdges:
+              return titan.GetEdges(n, &scratch_targets).ok();
+            case workload::TaoOp::kCountEdges:
+              return titan.CountEdges(n, &scratch_count).ok();
+            case workload::TaoOp::kGetNode:
+              return titan.GetNode(n, &scratch_count).ok();
+            case workload::TaoOp::kCreateEdge:
+              return titan.CreateEdge(n, mix.PickUniformNode()).ok();
+            case workload::TaoOp::kDeleteEdge: {
+              if (!titan.GetEdges(n, &scratch_targets).ok() ||
+                  scratch_targets.empty()) {
+                return true;  // nothing to delete
+              }
+              return titan.DeleteEdge(n, scratch_targets[0]).ok();
+            }
+          }
+          return false;
+        });
+    out.titan_tps = ops / (duration_ms / 1e3);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("bench_fig9_social_throughput",
+              "Fig 9a/9b + Table 1 (social network throughput)");
+
+  const auto graph = workload::MakePowerLawGraph(
+      FullScale() ? 100000 : 20000, 10, 42);
+  const std::size_t clients = FullScale() ? 50 : 16;
+  const std::uint64_t duration_ms = FullScale() ? 8000 : 2500;
+  std::printf("graph: %llu vertices, %zu edges; %zu concurrent clients\n\n",
+              static_cast<unsigned long long>(graph.num_nodes),
+              graph.edges.size(), clients);
+
+  std::printf("%22s | %12s | %12s | %7s\n", "workload", "weaver_tx/s",
+              "titan_tx/s", "ratio");
+  const struct {
+    const char* name;
+    double read_fraction;
+  } kMixes[] = {
+      {"Fig9a TAO 99.8% reads", 0.998},
+      {"Fig9b 75% reads", 0.75},
+  };
+  for (const auto& mix : kMixes) {
+    const MixResult r =
+        RunMix(graph, mix.read_fraction, clients, duration_ms);
+    std::printf("%22s | %12s | %12s | %6.1fx\n", mix.name,
+                FormatRate(r.weaver_tps).c_str(),
+                FormatRate(r.titan_tps).c_str(),
+                r.weaver_tps / (r.titan_tps > 0 ? r.titan_tps : 1));
+  }
+  std::printf(
+      "\nexpected shape: Weaver >> Titan on the read-heavy TAO mix "
+      "(paper: 10.9x);\nratio compresses at 75%% reads (paper: 1.5x); "
+      "Titan roughly flat across mixes.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+#include "harness.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "common/clock.h"
+
+namespace weaver {
+namespace bench {
+
+bool FullScale() {
+  const char* scale = std::getenv("WEAVER_BENCH_SCALE");
+  return scale != nullptr && std::string(scale) == "full";
+}
+
+void PrintHeader(const std::string& name, const std::string& figure) {
+  std::printf("==============================================================\n");
+  std::printf("%s  --  reproduces %s  (scale: %s)\n", name.c_str(),
+              figure.c_str(), FullScale() ? "full" : "quick");
+  std::printf("==============================================================\n");
+}
+
+void LoadGraph(Weaver* db, const workload::GeneratedGraph& graph) {
+  for (NodeId v = 1; v <= graph.num_nodes; ++v) {
+    db->BulkCreateNode(v);
+  }
+  for (const auto& [src, dst] : graph.edges) {
+    db->BulkCreateEdge(src, dst, {{"rel", "follows"}});
+  }
+  db->FinishBulkLoad();
+}
+
+void LoadBlockchain(Weaver* db, const workload::Blockchain& chain) {
+  for (const auto& block : chain.blocks) {
+    db->BulkCreateNode(block.id,
+                       {{"height", std::to_string(block.height)},
+                        {"ntx", std::to_string(block.txs.size())}});
+    for (const auto& tx : block.txs) {
+      db->BulkCreateNode(tx.id, {{"size", std::to_string(tx.size_bytes)},
+                                 {"fee", std::to_string(tx.fee)}});
+      db->BulkCreateEdge(block.id, tx.id, {{"type", "in_block"}});
+      for (const auto& [target, value] : tx.outputs) {
+        db->BulkCreateEdge(tx.id, target,
+                           {{"type", "spend"},
+                            {"value", std::to_string(value)}});
+      }
+    }
+  }
+  db->FinishBulkLoad();
+}
+
+std::uint64_t RunClients(std::size_t num_clients, std::uint64_t duration_ms,
+                         const std::function<bool(std::size_t)>& op,
+                         Histogram* latencies) {
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<bool> stop{false};
+  std::vector<Histogram> per_thread(num_clients);
+  std::vector<std::thread> clients;
+  clients.reserve(num_clients);
+  for (std::size_t c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::uint64_t t0 = NowNanos();
+        const bool counted = op(c);
+        const std::uint64_t dt = NowNanos() - t0;
+        if (counted) {
+          completed.fetch_add(1, std::memory_order_relaxed);
+          per_thread[c].Record(dt);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  stop.store(true);
+  for (auto& c : clients) c.join();
+  if (latencies != nullptr) {
+    for (const auto& h : per_thread) latencies->Merge(h);
+  }
+  return completed.load();
+}
+
+std::string FormatRate(double ops_per_sec) {
+  char buf[64];
+  if (ops_per_sec >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fM", ops_per_sec / 1e6);
+  } else if (ops_per_sec >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fk", ops_per_sec / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", ops_per_sec);
+  }
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace weaver

@@ -1,0 +1,49 @@
+// Shared helpers for the paper-figure benchmark binaries.
+//
+// Every bench_fig*.cc regenerates one table or figure from the paper's
+// evaluation (§6). Binaries print self-describing rows to stdout; see
+// EXPERIMENTS.md for the mapping to the paper's plots and the expected
+// shapes. Set WEAVER_BENCH_SCALE=quick|full (default quick) to control
+// experiment sizes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "core/weaver.h"
+#include "workload/blockchain.h"
+#include "workload/social_graph.h"
+
+namespace weaver {
+namespace bench {
+
+/// True when WEAVER_BENCH_SCALE=full (longer, bigger runs).
+bool FullScale();
+
+/// Prints the standard bench header (binary name + figure id + scale).
+void PrintHeader(const std::string& name, const std::string& figure);
+
+/// Loads a generated graph into a (not yet started) deployment via bulk
+/// load; edges get "rel"="follows".
+void LoadGraph(Weaver* db, const workload::GeneratedGraph& graph);
+
+/// Loads a synthetic blockchain into a (not yet started) deployment using
+/// the CoinGraph schema (block --in_block--> tx --spend--> tx).
+void LoadBlockchain(Weaver* db, const workload::Blockchain& chain);
+
+/// Runs `op` from `num_clients` threads for `duration_ms`, returning total
+/// completed operations and filling `latencies` (merged across threads)
+/// when non-null. `op` receives the client index and returns true when
+/// the operation counts toward throughput.
+std::uint64_t RunClients(std::size_t num_clients, std::uint64_t duration_ms,
+                         const std::function<bool(std::size_t)>& op,
+                         Histogram* latencies = nullptr);
+
+/// Formats ops/sec with thousands separators for table rows.
+std::string FormatRate(double ops_per_sec);
+
+}  // namespace bench
+}  // namespace weaver

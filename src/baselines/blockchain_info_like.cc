@@ -1,0 +1,81 @@
+#include "baselines/blockchain_info_like.h"
+
+#include <thread>
+
+namespace weaver {
+namespace baselines {
+
+void BlockchainInfoLikeDb::ChargeProbe() const {
+  if (options_.disk_seek_micros == 0) return;
+  if (rng_.NextDouble() >= options_.buffer_pool_hit_ratio) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.disk_seek_micros));
+  }
+}
+
+BlockchainInfoLikeDb::BlockchainInfoLikeDb(
+    const workload::Blockchain& chain, Options options)
+    : options_(options), rng_(options.seed) {
+  std::uint64_t next_addr = 1;
+  for (const auto& block : chain.blocks) {
+    BlockRow row;
+    row.height = block.height;
+    for (const auto& tx : block.txs) {
+      row.tx_ids.push_back(tx.id);
+      txs_[tx.id] = TxRow{tx.id, tx.size_bytes, tx.fee};
+      for (const auto& [target, value] : tx.outputs) {
+        const std::uint64_t addr_id = next_addr++;
+        addresses_[addr_id] =
+            AddressRow{"1addr" + std::to_string(addr_id)};
+        outputs_.emplace(tx.id, OutputRow{value, target, addr_id});
+      }
+    }
+    blocks_[block.height] = std::move(row);
+  }
+}
+
+std::string BlockchainInfoLikeDb::QueryBlockJson(
+    std::uint32_t height) const {
+  // SELECT ... FROM blocks WHERE height = ?        (B-tree probe)
+  ChargeProbe();
+  auto bit = blocks_.find(height);
+  if (bit == blocks_.end()) return "{}";
+  std::string json = "{\"height\":" + std::to_string(height) + ",\"tx\":[";
+  bool first_tx = true;
+  for (std::uint64_t tx_id : bit->second.tx_ids) {
+    //   JOIN txs ON txs.id = ?                      (B-tree probe per tx)
+    ChargeProbe();
+    auto tit = txs_.find(tx_id);
+    if (tit == txs_.end()) continue;
+    if (!first_tx) json += ",";
+    first_tx = false;
+    json += "{\"tx\":" + std::to_string(tx_id) +
+            ",\"size\":" + std::to_string(tit->second.size_bytes) +
+            ",\"fee\":" + std::to_string(tit->second.fee) + ",\"out\":[";
+    //   JOIN outputs ON outputs.tx_id = ?           (range scan per tx)
+    ChargeProbe();
+    auto [lo, hi] = outputs_.equal_range(tx_id);
+    bool first_out = true;
+    for (auto oit = lo; oit != hi; ++oit) {
+      if (!first_out) json += ",";
+      first_out = false;
+      //   JOIN txs prev ON prev.id = out.target     (B-tree probe per out)
+      ChargeProbe();
+      auto prev = txs_.find(oit->second.target_tx);
+      //   JOIN addresses ON addr.id = out.addr_id   (B-tree probe per out)
+      ChargeProbe();
+      auto addr = addresses_.find(oit->second.addr_id);
+      json += "{\"value\":" + std::to_string(oit->second.value) +
+              ",\"spends\":" +
+              std::to_string(prev == txs_.end() ? 0 : prev->second.id) +
+              ",\"addr\":\"" +
+              (addr == addresses_.end() ? "?" : addr->second.addr) + "\"}";
+    }
+    json += "]}";
+  }
+  json += "]}";
+  return json;
+}
+
+}  // namespace baselines
+}  // namespace weaver

@@ -1,0 +1,177 @@
+#include "baselines/graphlab_like.h"
+
+#include <algorithm>
+#include <barrier>
+#include <deque>
+#include <thread>
+
+#include "common/queue.h"
+
+namespace weaver {
+namespace baselines {
+
+GraphLabLikeEngine::GraphLabLikeEngine(
+    std::uint64_t num_nodes,
+    const std::vector<std::pair<NodeId, NodeId>>& edges, Options options)
+    : num_nodes_(num_nodes), options_(options) {
+  offsets_.assign(num_nodes_ + 2, 0);
+  for (const auto& [src, dst] : edges) {
+    (void)dst;
+    if (src <= num_nodes_) offsets_[src + 1]++;
+  }
+  for (std::size_t i = 1; i < offsets_.size(); ++i) {
+    offsets_[i] += offsets_[i - 1];
+  }
+  adj_.resize(edges.size());
+  std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const auto& [src, dst] : edges) {
+    if (src <= num_nodes_) adj_[cursor[src]++] = dst;
+  }
+  vertex_locks_.reserve(num_nodes_ + 1);
+  for (std::uint64_t i = 0; i <= num_nodes_; ++i) {
+    vertex_locks_.push_back(std::make_unique<std::mutex>());
+  }
+}
+
+bool GraphLabLikeEngine::ReachableSync(NodeId source, NodeId target) {
+  // Per-run engine initialization: the job is distributed to every
+  // machine and per-vertex program state is materialized.
+  if (options_.engine_start_micros > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.engine_start_micros));
+  }
+  std::vector<std::uint8_t> visited(num_nodes_ + 1, 0);
+  std::vector<NodeId> frontier{source};
+  visited[source] = 1;
+  std::atomic<bool> found{source == target};
+  std::atomic<std::uint64_t> remote_msgs{0};
+
+  // The traversal runs to frontier exhaustion, as Weaver's BFS node
+  // program does (no global early termination), so all three systems in
+  // the Fig 11 comparison do identical graph work.
+  const std::size_t workers = std::max<std::size_t>(1, options_.num_workers);
+  while (!frontier.empty()) {
+    // One bulk-synchronous superstep: workers split the frontier, then
+    // meet at a barrier before the next superstep begins.
+    std::vector<std::vector<NodeId>> next_parts(workers);
+    std::barrier superstep_barrier(static_cast<std::ptrdiff_t>(workers));
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    std::mutex visited_mu;
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&, w] {
+        std::vector<NodeId>& mine = next_parts[w];
+        for (std::size_t i = w; i < frontier.size(); i += workers) {
+          const NodeId v = frontier[i];
+          for (std::uint32_t e = offsets_[v]; e < offsets_[v + 1]; ++e) {
+            const NodeId nxt = adj_[e];
+            // Cross-partition scatter: frontier message over the network.
+            if (v % workers != nxt % workers) {
+              remote_msgs.fetch_add(1, std::memory_order_relaxed);
+            }
+            if (nxt == target) found.store(true, std::memory_order_relaxed);
+            bool claim = false;
+            {
+              std::lock_guard<std::mutex> lk(visited_mu);
+              if (!visited[nxt]) {
+                visited[nxt] = 1;
+                claim = true;
+              }
+            }
+            if (claim) mine.push_back(nxt);
+          }
+        }
+        superstep_barrier.arrive_and_wait();
+      });
+    }
+    for (auto& t : pool) t.join();
+    // Cluster-wide barriers: the synchronous engine synchronizes after
+    // each of the gather, apply, and scatter phases of the superstep.
+    if (options_.barrier_micros > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(3 * options_.barrier_micros));
+    }
+    std::vector<NodeId> next;
+    for (auto& part : next_parts) {
+      next.insert(next.end(), part.begin(), part.end());
+    }
+    frontier = std::move(next);
+  }
+  if (options_.remote_edge_micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        remote_msgs.load() * options_.remote_edge_micros));
+  }
+  return found.load();
+}
+
+bool GraphLabLikeEngine::ReachableAsync(NodeId source, NodeId target) {
+  // Async engine with edge consistency: a worker applying the vertex
+  // program at v holds v's lock and each touched neighbor's lock. Locks
+  // spanning machine partitions cost a network round trip, accumulated as
+  // virtual time and applied at the end of the run.
+  if (options_.engine_start_micros > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.engine_start_micros));
+  }
+  std::atomic<std::uint64_t> remote_locks{0};
+  std::vector<std::uint8_t> visited(num_nodes_ + 1, 0);
+  visited[source] = 1;
+  if (source == target) return true;
+
+  BlockingQueue<NodeId> queue;
+  std::atomic<std::uint64_t> inflight{1};
+  std::atomic<bool> found{false};
+  queue.Push(source);
+
+  const std::size_t workers = std::max<std::size_t>(1, options_.num_workers);
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  std::mutex visited_mu;
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      while (auto v = queue.Pop()) {
+        for (std::uint32_t e = offsets_[*v]; e < offsets_[*v + 1]; ++e) {
+          const NodeId nxt = adj_[e];
+          if (nxt == *v) continue;
+          // Edge consistency: hold both endpoint locks for the scatter,
+          // acquired in vertex-id order (deadlock-free, as in GraphLab's
+          // locking engine).
+          const NodeId lo = std::min(*v, nxt);
+          const NodeId hi = std::max(*v, nxt);
+          std::unique_lock<std::mutex> lo_lk(*vertex_locks_[lo]);
+          std::unique_lock<std::mutex> hi_lk(*vertex_locks_[hi]);
+          // Cross-partition edge: the neighbor's lock lives on another
+          // machine (vertices hash-partitioned over workers).
+          if (*v % options_.num_workers != nxt % options_.num_workers) {
+            remote_locks.fetch_add(1, std::memory_order_relaxed);
+          }
+          if (nxt == target) found.store(true, std::memory_order_relaxed);
+          bool claim = false;
+          {
+            std::lock_guard<std::mutex> lk(visited_mu);
+            if (!visited[nxt]) {
+              visited[nxt] = 1;
+              claim = true;
+            }
+          }
+          if (claim) {
+            inflight.fetch_add(1, std::memory_order_relaxed);
+            queue.Push(nxt);
+          }
+        }
+        if (inflight.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          queue.Close();
+        }
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  if (options_.remote_edge_micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        remote_locks.load() * options_.remote_edge_micros));
+  }
+  return found.load();
+}
+
+}  // namespace baselines
+}  // namespace weaver

@@ -1,0 +1,86 @@
+// GraphLabLikeEngine: the GraphLab v2.2 comparison baseline (paper §6.3).
+//
+// GraphLab is an offline graph-processing engine: a query is a full engine
+// run. Two execution modes are reproduced, matching the paper's setup:
+//
+//   * Synchronous: bulk-synchronous supersteps with a global barrier among
+//     worker threads after every superstep, plus per-run engine
+//     initialization that touches every vertex (GraphLab materializes
+//     vertex programs/data before a run). Barriers and whole-graph init
+//     are exactly what the paper blames for its latency ("Synchronous
+//     GraphLab uses barriers... limit concurrency").
+//   * Asynchronous: a shared scheduler queue where workers acquire a
+//     vertex's lock plus its neighbors' locks before applying an update
+//     (GraphLab's edge-consistency model: "prevents neighboring vertices
+//     from executing simultaneously").
+//
+// The query under test is the paper's: reachability between random vertex
+// pairs via BFS (Fig 11).
+//
+// Substitution note: the paper runs GraphLab across a 14-machine cluster;
+// in-process threads alone would hide the engine's distributed costs, so
+// the baseline charges them explicitly (all configurable, all disclosed):
+//   * engine_start_micros -- launching a query is an engine run: the job
+//     is broadcast to every machine before superstep 0;
+//   * barrier_micros per phase -- the synchronous engine runs
+//     gather/apply/scatter with a cluster-wide barrier after each phase
+//     (PowerGraph-style: 3 barriers per superstep);
+//   * remote_edge_micros -- cross-partition edges (vertices are
+//     hash-partitioned across `num_workers` machines) cost network
+//     communication: the async engine acquires edge-consistency locks
+//     remotely, the sync engine exchanges frontier messages during the
+//     shuffle. Charged per cross-partition scatter, applied as virtual
+//     time at the end of the run.
+// Set all three to 0 for a pure in-process engine (unit tests do).
+// EXPERIMENTS.md records the calibration used by the Fig 11 bench.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace weaver {
+namespace baselines {
+
+class GraphLabLikeEngine {
+ public:
+  struct Options {
+    std::size_t num_workers = 4;
+    std::uint64_t engine_start_micros = 2000;
+    std::uint64_t barrier_micros = 3000;   // per gather/apply/scatter phase
+    std::uint64_t remote_edge_micros = 3;  // per cross-partition scatter
+  };
+
+  /// Builds the immutable CSR graph. `num_nodes` vertices, ids in
+  /// [1, num_nodes]; edges are (src, dst) pairs.
+  GraphLabLikeEngine(std::uint64_t num_nodes,
+                     const std::vector<std::pair<NodeId, NodeId>>& edges)
+      : GraphLabLikeEngine(num_nodes, edges, Options{}) {}
+  GraphLabLikeEngine(std::uint64_t num_nodes,
+                     const std::vector<std::pair<NodeId, NodeId>>& edges,
+                     Options options);
+
+  /// Synchronous engine: returns true iff `target` is reachable from
+  /// `source`. Pays per-run init + a barrier per superstep.
+  bool ReachableSync(NodeId source, NodeId target);
+
+  /// Asynchronous engine: same query under edge-consistency locking.
+  bool ReachableAsync(NodeId source, NodeId target);
+
+  std::uint64_t num_nodes() const { return num_nodes_; }
+  std::uint64_t num_edges() const { return adj_.size(); }
+
+ private:
+  std::uint64_t num_nodes_;
+  std::vector<std::uint32_t> offsets_;  // CSR: offsets_[v] .. offsets_[v+1]
+  std::vector<NodeId> adj_;
+  Options options_;
+  std::vector<std::unique_ptr<std::mutex>> vertex_locks_;
+};
+
+}  // namespace baselines
+}  // namespace weaver

@@ -1,0 +1,114 @@
+#include "baselines/titan_like.h"
+
+#include <algorithm>
+#include <functional>
+#include <thread>
+
+namespace weaver {
+namespace baselines {
+
+TitanLikeDb::TitanLikeDb(Options options) : options_(options) {
+  lock_table_.reserve(options_.lock_table_size);
+  for (std::size_t i = 0; i < options_.lock_table_size; ++i) {
+    lock_table_.push_back(std::make_unique<std::mutex>());
+  }
+}
+
+void TitanLikeDb::LoadNode(NodeId id) {
+  std::lock_guard<std::mutex> lk(graph_mu_);
+  nodes_.try_emplace(id);
+}
+
+void TitanLikeDb::LoadEdge(NodeId from, NodeId to) {
+  std::lock_guard<std::mutex> lk(graph_mu_);
+  nodes_[from].out.push_back(to);
+  nodes_.try_emplace(to);
+}
+
+std::mutex& TitanLikeDb::LockFor(NodeId id) {
+  return *lock_table_[MixHash64(id) % lock_table_.size()];
+}
+
+void TitanLikeDb::PayCommitPhases() const {
+  if (options_.phase_delay_micros == 0) return;
+  // Two phases: prepare + commit, each a storage-backend round trip.
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(2 * options_.phase_delay_micros));
+}
+
+Status TitanLikeDb::RunLocked(std::vector<NodeId> objects,
+                              const std::function<Status()>& body) {
+  // Pessimistic 2PL: sort lock indices, acquire all, hold through commit.
+  std::vector<std::size_t> idx;
+  idx.reserve(objects.size());
+  for (NodeId id : objects) {
+    idx.push_back(MixHash64(id) % lock_table_.size());
+  }
+  std::sort(idx.begin(), idx.end());
+  idx.erase(std::unique(idx.begin(), idx.end()), idx.end());
+  std::vector<std::unique_lock<std::mutex>> held;
+  held.reserve(idx.size());
+  for (std::size_t i : idx) {
+    held.emplace_back(*lock_table_[i]);
+  }
+  stats_.locks_acquired.fetch_add(idx.size(), std::memory_order_relaxed);
+  const Status st = body();
+  PayCommitPhases();  // locks held through the commit round trips
+  stats_.txs.fetch_add(1, std::memory_order_relaxed);
+  return st;
+}
+
+Status TitanLikeDb::GetNode(NodeId id, std::uint64_t* degree_out) {
+  return RunLocked({id}, [&]() -> Status {
+    std::lock_guard<std::mutex> lk(graph_mu_);
+    auto it = nodes_.find(id);
+    if (it == nodes_.end()) return Status::NotFound();
+    *degree_out = it->second.out.size();
+    return Status::Ok();
+  });
+}
+
+Status TitanLikeDb::GetEdges(NodeId id, std::vector<NodeId>* targets_out) {
+  return RunLocked({id}, [&]() -> Status {
+    std::lock_guard<std::mutex> lk(graph_mu_);
+    auto it = nodes_.find(id);
+    if (it == nodes_.end()) return Status::NotFound();
+    *targets_out = it->second.out;
+    return Status::Ok();
+  });
+}
+
+Status TitanLikeDb::CountEdges(NodeId id, std::uint64_t* count_out) {
+  return GetNode(id, count_out);
+}
+
+Status TitanLikeDb::CreateEdge(NodeId from, NodeId to) {
+  return RunLocked({from, to}, [&]() -> Status {
+    std::lock_guard<std::mutex> lk(graph_mu_);
+    auto it = nodes_.find(from);
+    if (it == nodes_.end()) return Status::NotFound();
+    it->second.out.push_back(to);
+    return Status::Ok();
+  });
+}
+
+Status TitanLikeDb::DeleteEdge(NodeId from, NodeId to) {
+  return RunLocked({from, to}, [&]() -> Status {
+    std::lock_guard<std::mutex> lk(graph_mu_);
+    auto it = nodes_.find(from);
+    if (it == nodes_.end()) return Status::NotFound();
+    auto& out = it->second.out;
+    auto pos = std::find(out.begin(), out.end(), to);
+    if (pos == out.end()) return Status::NotFound();
+    out.erase(pos);
+    return Status::Ok();
+  });
+}
+
+std::size_t TitanLikeDb::NodeCount() const {
+  std::lock_guard<std::mutex> lk(graph_mu_);
+  return nodes_.size();
+}
+
+}  // namespace baselines
+}  // namespace weaver

@@ -1,0 +1,33 @@
+// Monotonic wall-clock helpers for latency measurement and timers.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace weaver {
+
+inline std::uint64_t NowNanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+inline std::uint64_t NowMicros() { return NowNanos() / 1000; }
+
+/// Scoped stopwatch: records elapsed nanoseconds into *out on destruction.
+class ScopedTimerNs {
+ public:
+  explicit ScopedTimerNs(std::uint64_t* out)
+      : out_(out), start_(NowNanos()) {}
+  ~ScopedTimerNs() { *out_ = NowNanos() - start_; }
+
+  ScopedTimerNs(const ScopedTimerNs&) = delete;
+  ScopedTimerNs& operator=(const ScopedTimerNs&) = delete;
+
+ private:
+  std::uint64_t* out_;
+  std::uint64_t start_;
+};
+
+}  // namespace weaver

@@ -1,0 +1,102 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace weaver {
+
+Histogram::Histogram() : buckets_(kBucketCount, 0) {}
+
+// Bucket layout (kSubBucketBits = S): values below 2^S map exactly to
+// their own bucket. Larger values fall in power-of-two groups g >= 1
+// covering [2^(S+g-1), 2^(S+g)), each split into 2^S sub-buckets of width
+// 2^(g-1). Relative bucket error is therefore < 2^-S (~3%).
+int Histogram::BucketIndex(std::uint64_t value) {
+  constexpr std::uint64_t kSub = 1ULL << kSubBucketBits;
+  if (value < kSub) return static_cast<int>(value);
+  const int msb = 63 - std::countl_zero(value);
+  const int group = msb - kSubBucketBits + 1;
+  const std::uint64_t sub = (value >> (msb - kSubBucketBits)) - kSub;
+  const int idx =
+      (group << kSubBucketBits) + static_cast<int>(sub);
+  return std::min(idx, kBucketCount - 1);
+}
+
+std::uint64_t Histogram::BucketUpperBound(int index) {
+  constexpr std::uint64_t kSub = 1ULL << kSubBucketBits;
+  if (index < static_cast<int>(kSub)) return static_cast<std::uint64_t>(index);
+  const int group = index >> kSubBucketBits;
+  const std::uint64_t sub = static_cast<std::uint64_t>(index) & (kSub - 1);
+  const int base_shift = kSubBucketBits + group - 1;
+  if (base_shift >= 63) return ~0ULL;
+  const std::uint64_t base = 1ULL << base_shift;
+  const std::uint64_t step = 1ULL << (group - 1);
+  return base + step * (sub + 1) - 1;
+}
+
+void Histogram::Record(std::uint64_t value_ns) {
+  buckets_[static_cast<std::size_t>(BucketIndex(value_ns))]++;
+  count_++;
+  sum_ += value_ns;
+  min_ = std::min(min_, value_ns);
+  max_ = std::max(max_, value_ns);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ULL;
+  max_ = 0;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::uint64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  const double rank = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    seen += buckets_[static_cast<std::size_t>(i)];
+    if (static_cast<double>(seen) >= rank) return BucketUpperBound(i);
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.3fms p50=%.3fms p90=%.3fms p99=%.3fms "
+                "max=%.3fms",
+                static_cast<unsigned long long>(count_), Mean() / 1e6,
+                Percentile(50) / 1e6, Percentile(90) / 1e6,
+                Percentile(99) / 1e6, static_cast<double>(max_) / 1e6);
+  return buf;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+Histogram::NonZeroBuckets() const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  for (int i = 0; i < kBucketCount; ++i) {
+    if (buckets_[static_cast<std::size_t>(i)] != 0) {
+      out.emplace_back(BucketUpperBound(i), buckets_[static_cast<std::size_t>(i)]);
+    }
+  }
+  return out;
+}
+
+}  // namespace weaver

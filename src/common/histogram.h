@@ -1,0 +1,50 @@
+// Log-bucketed latency histogram (HdrHistogram-style, fixed footprint).
+// Records values in nanoseconds; reports approximate percentiles with
+// sub-3% relative error. Thread-compatible: callers synchronize externally
+// or use one histogram per thread and Merge().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace weaver {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(std::uint64_t value_ns);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t min() const { return count_ ? min_ : 0; }
+  std::uint64_t max() const { return max_; }
+  double Mean() const;
+  /// p in [0, 100]; returns an upper bound of the bucket containing the
+  /// p-th percentile observation.
+  std::uint64_t Percentile(double p) const;
+
+  /// One-line summary: count / mean / p50 / p90 / p99 / max, in milliseconds.
+  std::string Summary() const;
+
+  /// All (bucket_upper_bound_ns, count) pairs with non-zero count, in order.
+  /// Used to print CDFs for the figure-10/11 benches.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> NonZeroBuckets() const;
+
+ private:
+  static constexpr int kSubBucketBits = 5;  // 32 sub-buckets per octave
+  static constexpr int kBucketCount = 64 * (1 << kSubBucketBits);
+
+  static int BucketIndex(std::uint64_t value);
+  static std::uint64_t BucketUpperBound(int index);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~0ULL;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace weaver

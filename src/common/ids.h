@@ -1,0 +1,42 @@
+// Identifier types shared across Weaver modules.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace weaver {
+
+/// Vertex handle. Application-visible; unique across the deployment.
+using NodeId = std::uint64_t;
+/// Edge handle. Unique per deployment (allocated by gatekeepers).
+using EdgeId = std::uint64_t;
+/// Gatekeeper index within the timeline coordinator bank.
+using GatekeeperId = std::uint32_t;
+/// Shard server index.
+using ShardId = std::uint32_t;
+/// Timeline-oracle event identifier (derived from a refinable timestamp).
+using EventId = std::uint64_t;
+/// Identifier of one node-program execution (query instance).
+using ProgramId = std::uint64_t;
+
+inline constexpr NodeId kInvalidNodeId = std::numeric_limits<NodeId>::max();
+inline constexpr EdgeId kInvalidEdgeId = std::numeric_limits<EdgeId>::max();
+
+/// 64-bit mix used to combine/shuffle ids (SplitMix64 finalizer).
+inline std::uint64_t MixHash64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Hash for pairs of 64-bit ids (used by ordering-decision caches).
+struct IdPairHash {
+  std::size_t operator()(const std::pair<std::uint64_t, std::uint64_t>& p)
+      const {
+    return MixHash64(p.first ^ MixHash64(p.second));
+  }
+};
+
+}  // namespace weaver

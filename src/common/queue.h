@@ -1,0 +1,78 @@
+// Blocking MPMC queue used by the simulated message bus and actor inboxes.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace weaver {
+
+/// Unbounded (optionally bounded) blocking queue. Close() wakes all waiters;
+/// Pop() returns nullopt once the queue is closed and drained.
+template <typename T>
+class BlockingQueue {
+ public:
+  explicit BlockingQueue(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  /// Returns false if the queue has been closed.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (capacity_ > 0) {
+      not_full_.wait(lk, [&] { return closed_ || items_.size() < capacity_; });
+    }
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and empty.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    not_empty_.wait(lk, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    if (capacity_ > 0) not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> TryPop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    if (capacity_ > 0) not_full_.notify_one();
+    return item;
+  }
+
+  void Close() {
+    std::unique_lock<std::mutex> lk(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::unique_lock<std::mutex> lk(mu_);
+    return closed_;
+  }
+
+  std::size_t Size() const {
+    std::unique_lock<std::mutex> lk(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace weaver

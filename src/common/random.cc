@@ -1,0 +1,64 @@
+#include "common/random.h"
+
+#include <algorithm>
+
+namespace weaver {
+
+// Rejection-inversion sampling for Zipf (W. Hörmann & G. Derflinger,
+// "Rejection-inversion to generate variates from monotone discrete
+// distributions", ACM TOMACS 1996). theta != 1 handled via the generalized
+// harmonic integral; theta == 1 degenerates to log.
+ZipfSampler::ZipfSampler(std::uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  assert(n_ >= 1);
+  assert(theta_ > 0.0);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n_) + 0.5);
+  s_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -theta_));
+}
+
+double ZipfSampler::H(double x) const {
+  if (theta_ == 1.0) return std::log(x);
+  return (std::pow(x, 1.0 - theta_) - 1.0) / (1.0 - theta_);
+}
+
+double ZipfSampler::HInverse(double x) const {
+  if (theta_ == 1.0) return std::exp(x);
+  return std::pow(1.0 + x * (1.0 - theta_), 1.0 / (1.0 - theta_));
+}
+
+std::uint64_t ZipfSampler::Sample(Rng& rng) {
+  while (true) {
+    const double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+    const double x = HInverse(u);
+    std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+    k = std::clamp<std::uint64_t>(k, 1, n_);
+    if (static_cast<double>(k) - x <= s_ ||
+        u >= H(static_cast<double>(k) + 0.5) - std::pow(k, -theta_)) {
+      return k - 1;  // zero-based rank
+    }
+  }
+}
+
+DiscreteSampler::DiscreteSampler(std::vector<double> weights) {
+  assert(!weights.empty());
+  cumulative_.reserve(weights.size());
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+    cumulative_.push_back(total);
+  }
+  assert(total > 0.0);
+  for (double& c : cumulative_) c /= total;
+  cumulative_.back() = 1.0;  // guard against FP rounding
+}
+
+std::size_t DiscreteSampler::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  if (it == cumulative_.end()) --it;
+  return static_cast<std::size_t>(it - cumulative_.begin());
+}
+
+}  // namespace weaver

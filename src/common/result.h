@@ -1,0 +1,74 @@
+// Result<T>: value-or-Status, the Weaver analogue of arrow::Result /
+// absl::StatusOr. Returned by operations that produce a value but may fail.
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace weaver {
+
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok() &&
+           "Result must not be constructed from an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when this result is an error.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+// Assigns the value of a Result expression to `lhs`, or early-returns its
+// status. `lhs` may be a declaration, e.g.
+//   WEAVER_ASSIGN_OR_RETURN(auto node, store.GetNode(id));
+#define WEAVER_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value();
+
+#define WEAVER_ASSIGN_OR_RETURN(lhs, expr) \
+  WEAVER_ASSIGN_OR_RETURN_IMPL(            \
+      WEAVER_CONCAT_(_weaver_result_, __LINE__), lhs, expr)
+
+#define WEAVER_CONCAT_INNER_(a, b) a##b
+#define WEAVER_CONCAT_(a, b) WEAVER_CONCAT_INNER_(a, b)
+
+}  // namespace weaver

@@ -1,0 +1,76 @@
+// Binary serialization helpers. Used to persist graph objects in the
+// backing store (vertices are stored as opaque serialized blobs, exactly as
+// Weaver stored them in HyperDex Warp).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace weaver {
+
+/// Append-only little-endian encoder.
+class ByteWriter {
+ public:
+  void PutU8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU32(std::uint32_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU64(std::uint64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutDouble(double v) { PutRaw(&v, sizeof(v)); }
+  void PutString(std::string_view s) {
+    PutU32(static_cast<std::uint32_t>(s.size()));
+    buf_.append(s.data(), s.size());
+  }
+
+  const std::string& str() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  void PutRaw(const void* p, std::size_t n) {
+    buf_.append(reinterpret_cast<const char*>(p), n);
+  }
+  std::string buf_;
+};
+
+/// Sequential decoder over a byte string. All getters return
+/// Status::Internal on truncated input rather than reading out of bounds.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  Status GetU8(std::uint8_t* out) { return GetRaw(out, sizeof(*out)); }
+  Status GetU32(std::uint32_t* out) { return GetRaw(out, sizeof(*out)); }
+  Status GetU64(std::uint64_t* out) { return GetRaw(out, sizeof(*out)); }
+  Status GetDouble(double* out) { return GetRaw(out, sizeof(*out)); }
+  Status GetString(std::string* out) {
+    std::uint32_t len = 0;
+    WEAVER_RETURN_IF_ERROR(GetU32(&len));
+    if (pos_ + len > data_.size()) {
+      return Status::Internal("truncated string in serialized payload");
+    }
+    out->assign(data_.data() + pos_, len);
+    pos_ += len;
+    return Status::Ok();
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  Status GetRaw(void* out, std::size_t n) {
+    if (pos_ + n > data_.size()) {
+      return Status::Internal("truncated serialized payload");
+    }
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+    return Status::Ok();
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace weaver

@@ -1,0 +1,102 @@
+// Status: lightweight error-code-plus-message return type used across the
+// Weaver codebase instead of exceptions (RocksDB/Arrow idiom).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace weaver {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kAborted,             // transaction conflict; caller should retry
+  kInvalidArgument,
+  kFailedPrecondition,  // e.g. operating on a deleted vertex
+  kUnavailable,         // server down / failed over
+  kTimedOut,
+  kCancelled,
+  kInternal,
+};
+
+/// Canonical result of a fallible Weaver operation.
+///
+/// A `Status` is cheap to copy in the common (OK) case: the message string is
+/// empty and only a one-byte code is carried. Use `Result<T>` (result.h) when
+/// a value must be returned alongside the status.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg = "") {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Aborted(std::string msg = "") {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg = "") {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unavailable(std::string msg = "") {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status TimedOut(std::string msg = "") {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status Cancelled(std::string msg = "") {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Internal(std::string msg = "") {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Human-readable name of a status code, e.g. "ABORTED".
+std::string_view StatusCodeName(StatusCode code);
+
+// Early-return helper: propagate a non-OK status to the caller.
+#define WEAVER_RETURN_IF_ERROR(expr)            \
+  do {                                          \
+    ::weaver::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+}  // namespace weaver

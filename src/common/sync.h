@@ -1,0 +1,79 @@
+// Small synchronization primitives shared across modules.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace weaver {
+
+/// Test-and-test-and-set spinlock for very short critical sections
+/// (e.g. a vector-clock increment). Satisfies BasicLockable.
+class SpinLock {
+ public:
+  void lock() {
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+      while (flag_.test(std::memory_order_relaxed)) {
+        // spin
+      }
+    }
+  }
+  void unlock() { flag_.clear(std::memory_order_release); }
+  bool try_lock() { return !flag_.test_and_set(std::memory_order_acquire); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+/// A fixed bank of mutexes indexed by key hash. Used by the backing store's
+/// OCC commit to lock keys in a canonical (index-sorted) order, avoiding
+/// deadlock between concurrent committers.
+class StripedMutex {
+ public:
+  explicit StripedMutex(std::size_t stripes = 64) : stripes_(stripes) {}
+
+  std::size_t StripeFor(std::uint64_t key_hash) const {
+    return MixHash64(key_hash) % stripes_.size();
+  }
+  std::mutex& Get(std::size_t stripe) { return stripes_[stripe].m; }
+  std::size_t stripe_count() const { return stripes_.size(); }
+
+ private:
+  struct Padded {
+    std::mutex m;
+    char pad[48];
+  };
+  std::vector<Padded> stripes_;
+};
+
+/// Simple latch usable before C++20 std::latch was widely available; also
+/// resettable (std::latch is not), which bench harnesses use between rounds.
+class ResettableLatch {
+ public:
+  explicit ResettableLatch(std::ptrdiff_t count) : count_(count) {}
+
+  void CountDown() {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (--count_ == 0) cv_.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return count_ <= 0; });
+  }
+  void Reset(std::ptrdiff_t count) {
+    std::unique_lock<std::mutex> lk(mu_);
+    count_ = count;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::ptrdiff_t count_;
+};
+
+}  // namespace weaver

@@ -1,0 +1,33 @@
+#include "common/thread_pool.h"
+
+namespace weaver {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  tasks_.Push(std::move(fn));
+}
+
+void ThreadPool::Shutdown() {
+  tasks_.Close();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (auto task = tasks_.Pop()) {
+    (*task)();
+  }
+}
+
+}  // namespace weaver

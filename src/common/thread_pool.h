@@ -1,0 +1,46 @@
+// Fixed-size thread pool used by node-program coordinators, baseline
+// engines, and bench client drivers.
+#pragma once
+
+#include <functional>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/queue.h"
+
+namespace weaver {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn` for execution on some worker thread.
+  void Submit(std::function<void()> fn);
+
+  /// Enqueues `fn` and returns a future for its result.
+  template <typename F>
+  auto Async(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    Submit([task] { (*task)(); });
+    return task->get_future();
+  }
+
+  /// Stops accepting work, drains the queue, joins all workers.
+  void Shutdown();
+
+  std::size_t size() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  BlockingQueue<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace weaver

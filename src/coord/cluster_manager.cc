@@ -1,0 +1,94 @@
+#include "coord/cluster_manager.h"
+
+#include <algorithm>
+
+namespace weaver {
+
+void ClusterManager::Register(std::string name, ServerKind kind,
+                              std::uint32_t index) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Member m;
+  m.name = name;
+  m.kind = kind;
+  m.index = index;
+  m.last_heartbeat_us = NowMicros();
+  m.alive = true;
+  members_[std::move(name)] = std::move(m);
+}
+
+void ClusterManager::Heartbeat(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = members_.find(name);
+  if (it != members_.end()) {
+    it->second.last_heartbeat_us = NowMicros();
+    it->second.alive = true;
+  }
+}
+
+std::vector<std::string> ClusterManager::DetectFailures(
+    std::uint64_t timeout_us) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::uint64_t now = NowMicros();
+  std::vector<std::string> failed;
+  for (auto& [name, m] : members_) {
+    if (m.alive && now - m.last_heartbeat_us > timeout_us) {
+      m.alive = false;
+      failed.push_back(name);
+    }
+  }
+  std::sort(failed.begin(), failed.end());
+  return failed;
+}
+
+void ClusterManager::MarkFailed(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = members_.find(name);
+  if (it != members_.end()) it->second.alive = false;
+}
+
+void ClusterManager::MarkRecovered(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = members_.find(name);
+  if (it != members_.end()) {
+    it->second.alive = true;
+    it->second.last_heartbeat_us = NowMicros();
+  }
+}
+
+bool ClusterManager::IsAlive(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = members_.find(name);
+  return it != members_.end() && it->second.alive;
+}
+
+std::vector<ClusterManager::Member> ClusterManager::Members() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<Member> out;
+  out.reserve(members_.size());
+  for (const auto& [_, m] : members_) out.push_back(m);
+  std::sort(out.begin(), out.end(),
+            [](const Member& a, const Member& b) { return a.name < b.name; });
+  return out;
+}
+
+std::uint32_t ClusterManager::AdvanceEpochBarrier(
+    const std::vector<Gatekeeper*>& gatekeepers) {
+  // Lock every gatekeeper clock in a canonical order (their bank index),
+  // so concurrent barriers cannot deadlock.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(gatekeepers.size());
+  for (Gatekeeper* gk : gatekeepers) {
+    locks.emplace_back(gk->clock_mutex());
+  }
+  std::uint32_t new_epoch;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    new_epoch = ++epoch_;
+  }
+  for (Gatekeeper* gk : gatekeepers) {
+    gk->AdvanceEpochLocked(new_epoch);
+  }
+  return new_epoch;
+}
+
+}  // namespace weaver

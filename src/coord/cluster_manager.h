@@ -1,0 +1,77 @@
+// ClusterManager: membership, failure detection, and epoch reconfiguration
+// (paper §3.2, §4.3).
+//
+// Servers register on boot and send periodic heartbeats. When a gatekeeper
+// is replaced, its vector clock restarts, so the cluster manager bumps the
+// deployment epoch and imposes a barrier: every gatekeeper moves to the
+// new epoch in unison (all clock locks are held across the bump), which
+// keeps timestamps monotonic across the failure (old-epoch timestamps
+// order before all new-epoch timestamps).
+//
+// The paper deploys the cluster manager (and the timeline oracle) as
+// Paxos-replicated state machines; in this single-process reproduction it
+// is an always-available component -- the replication substrate is out of
+// scope, but every protocol-visible behavior (membership, heartbeat
+// timeout, epoch barrier) is implemented.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "order/gatekeeper.h"
+
+namespace weaver {
+
+enum class ServerKind : std::uint8_t { kGatekeeper, kShard };
+
+class ClusterManager {
+ public:
+  struct Member {
+    std::string name;
+    ServerKind kind = ServerKind::kShard;
+    std::uint32_t index = 0;
+    std::uint64_t last_heartbeat_us = 0;
+    bool alive = true;
+  };
+
+  /// Registers a booting server and records its first heartbeat.
+  void Register(std::string name, ServerKind kind, std::uint32_t index);
+
+  /// Heartbeat from a live server.
+  void Heartbeat(const std::string& name);
+
+  /// Marks members whose last heartbeat is older than `timeout_us` as
+  /// failed; returns the names of the newly failed members.
+  std::vector<std::string> DetectFailures(std::uint64_t timeout_us);
+
+  /// Explicitly marks a member failed (fault injection) / recovered.
+  void MarkFailed(const std::string& name);
+  void MarkRecovered(const std::string& name);
+
+  bool IsAlive(const std::string& name) const;
+  std::vector<Member> Members() const;
+
+  std::uint32_t current_epoch() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return epoch_;
+  }
+
+  /// Epoch barrier (paper §4.3): acquires every gatekeeper's clock lock,
+  /// bumps the epoch everywhere, then releases. No timestamp in the new
+  /// epoch can be issued until all gatekeepers have advanced, and no
+  /// old-epoch timestamp can be issued after any new-epoch one.
+  std::uint32_t AdvanceEpochBarrier(
+      const std::vector<Gatekeeper*>& gatekeepers);
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Member> members_;
+  std::uint32_t epoch_ = 0;
+};
+
+}  // namespace weaver

@@ -1,0 +1,125 @@
+#include "core/graph_op.h"
+
+namespace weaver {
+
+Status ApplyGraphOpToNode(Node* node, const GraphOp& op,
+                          const RefinableTimestamp& ts) {
+  switch (op.type) {
+    case GraphOpType::kCreateNode:
+      return Status::Internal("kCreateNode creates the object; see callers");
+    case GraphOpType::kDeleteNode:
+      if (node->deleted.valid()) {
+        return Status::FailedPrecondition("node already deleted");
+      }
+      node->deleted = ts;
+      node->last_update = ts;
+      return Status::Ok();
+    case GraphOpType::kCreateEdge: {
+      if (node->deleted.valid()) {
+        return Status::FailedPrecondition("source node deleted");
+      }
+      auto [it, inserted] = node->out_edges.try_emplace(op.edge);
+      if (!inserted) {
+        return Status::AlreadyExists("edge " + std::to_string(op.edge));
+      }
+      Edge& e = it->second;
+      e.id = op.edge;
+      e.from = op.node;
+      e.to = op.to;
+      e.created = ts;
+      node->last_update = ts;
+      return Status::Ok();
+    }
+    case GraphOpType::kDeleteEdge: {
+      auto it = node->out_edges.find(op.edge);
+      if (it == node->out_edges.end()) {
+        return Status::NotFound("edge " + std::to_string(op.edge));
+      }
+      if (it->second.deleted.valid()) {
+        return Status::FailedPrecondition("edge already deleted");
+      }
+      it->second.deleted = ts;
+      node->last_update = ts;
+      return Status::Ok();
+    }
+    case GraphOpType::kAssignNodeProp:
+      node->props.Assign(op.key, op.value, ts);
+      node->last_update = ts;
+      return Status::Ok();
+    case GraphOpType::kRemoveNodeProp:
+      if (!node->props.Remove(op.key, ts)) {
+        return Status::NotFound("property " + op.key);
+      }
+      node->last_update = ts;
+      return Status::Ok();
+    case GraphOpType::kAssignEdgeProp: {
+      auto it = node->out_edges.find(op.edge);
+      if (it == node->out_edges.end()) {
+        return Status::NotFound("edge " + std::to_string(op.edge));
+      }
+      it->second.props.Assign(op.key, op.value, ts);
+      node->last_update = ts;
+      return Status::Ok();
+    }
+    case GraphOpType::kRemoveEdgeProp: {
+      auto it = node->out_edges.find(op.edge);
+      if (it == node->out_edges.end()) {
+        return Status::NotFound("edge " + std::to_string(op.edge));
+      }
+      if (!it->second.props.Remove(op.key, ts)) {
+        return Status::NotFound("property " + op.key);
+      }
+      node->last_update = ts;
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("unknown op type");
+}
+
+Status ApplyGraphOpToStore(GraphStore* store, const GraphOp& op,
+                           const RefinableTimestamp& ts) {
+  switch (op.type) {
+    case GraphOpType::kCreateNode:
+      return store->CreateNode(op.node, ts);
+    case GraphOpType::kDeleteNode:
+      return store->DeleteNode(op.node, ts);
+    case GraphOpType::kCreateEdge:
+      return store->CreateEdge(op.edge, op.node, op.to, ts);
+    case GraphOpType::kDeleteEdge:
+      return store->DeleteEdge(op.node, op.edge, ts);
+    case GraphOpType::kAssignNodeProp:
+      return store->AssignNodeProperty(op.node, op.key, op.value, ts);
+    case GraphOpType::kRemoveNodeProp:
+      return store->RemoveNodeProperty(op.node, op.key, ts);
+    case GraphOpType::kAssignEdgeProp:
+      return store->AssignEdgeProperty(op.node, op.edge, op.key, op.value,
+                                       ts);
+    case GraphOpType::kRemoveEdgeProp:
+      return store->RemoveEdgeProperty(op.node, op.edge, op.key, ts);
+  }
+  return Status::Internal("unknown op type");
+}
+
+const char* GraphOpTypeName(GraphOpType t) {
+  switch (t) {
+    case GraphOpType::kCreateNode:
+      return "create_node";
+    case GraphOpType::kDeleteNode:
+      return "delete_node";
+    case GraphOpType::kCreateEdge:
+      return "create_edge";
+    case GraphOpType::kDeleteEdge:
+      return "delete_edge";
+    case GraphOpType::kAssignNodeProp:
+      return "assign_node_prop";
+    case GraphOpType::kRemoveNodeProp:
+      return "remove_node_prop";
+    case GraphOpType::kAssignEdgeProp:
+      return "assign_edge_prop";
+    case GraphOpType::kRemoveEdgeProp:
+      return "remove_edge_prop";
+  }
+  return "?";
+}
+
+}  // namespace weaver

@@ -1,0 +1,88 @@
+// GraphOp: one buffered write inside a Weaver transaction (paper §2.2).
+//
+// Clients buffer writes and submit them as a batch at commit (paper §4.2);
+// the gatekeeper applies the batch to the backing store first and then
+// forwards the per-shard slices to the shard servers, which apply them to
+// the in-memory multi-version graph. ApplyGraphOp is the single shared
+// implementation of "apply one op to one vertex" used by both paths, so
+// the durable and in-memory copies cannot diverge.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "graph/graph_store.h"
+#include "order/timestamp.h"
+
+namespace weaver {
+
+enum class GraphOpType : std::uint8_t {
+  kCreateNode,
+  kDeleteNode,
+  kCreateEdge,
+  kDeleteEdge,
+  kAssignNodeProp,
+  kRemoveNodeProp,
+  kAssignEdgeProp,
+  kRemoveEdgeProp,
+};
+
+struct GraphOp {
+  GraphOpType type = GraphOpType::kCreateNode;
+  /// Primary vertex: the op is routed to (and stored with) this vertex's
+  /// shard. For edge ops this is the edge's source vertex.
+  NodeId node = kInvalidNodeId;
+  EdgeId edge = kInvalidEdgeId;
+  NodeId to = kInvalidNodeId;  // target vertex for kCreateEdge
+  std::string key;
+  std::string value;
+
+  static GraphOp CreateNode(NodeId id) {
+    return {GraphOpType::kCreateNode, id, kInvalidEdgeId, kInvalidNodeId,
+            "", ""};
+  }
+  static GraphOp DeleteNode(NodeId id) {
+    return {GraphOpType::kDeleteNode, id, kInvalidEdgeId, kInvalidNodeId,
+            "", ""};
+  }
+  static GraphOp CreateEdge(EdgeId eid, NodeId from, NodeId to) {
+    return {GraphOpType::kCreateEdge, from, eid, to, "", ""};
+  }
+  static GraphOp DeleteEdge(NodeId from, EdgeId eid) {
+    return {GraphOpType::kDeleteEdge, from, eid, kInvalidNodeId, "", ""};
+  }
+  static GraphOp AssignNodeProp(NodeId id, std::string key,
+                                std::string value) {
+    return {GraphOpType::kAssignNodeProp, id, kInvalidEdgeId, kInvalidNodeId,
+            std::move(key), std::move(value)};
+  }
+  static GraphOp RemoveNodeProp(NodeId id, std::string key) {
+    return {GraphOpType::kRemoveNodeProp, id, kInvalidEdgeId, kInvalidNodeId,
+            std::move(key), ""};
+  }
+  static GraphOp AssignEdgeProp(NodeId from, EdgeId eid, std::string key,
+                                std::string value) {
+    return {GraphOpType::kAssignEdgeProp, from, eid, kInvalidNodeId,
+            std::move(key), std::move(value)};
+  }
+  static GraphOp RemoveEdgeProp(NodeId from, EdgeId eid, std::string key) {
+    return {GraphOpType::kRemoveEdgeProp, from, eid, kInvalidNodeId,
+            std::move(key), ""};
+  }
+};
+
+/// Applies `op` to an individual vertex object at timestamp `ts`.
+/// kCreateNode is not handled here (it creates the object; see callers).
+Status ApplyGraphOpToNode(Node* node, const GraphOp& op,
+                          const RefinableTimestamp& ts);
+
+/// Applies `op` to a shard-local graph store at timestamp `ts`.
+Status ApplyGraphOpToStore(GraphStore* store, const GraphOp& op,
+                           const RefinableTimestamp& ts);
+
+const char* GraphOpTypeName(GraphOpType t);
+
+}  // namespace weaver

@@ -1,0 +1,75 @@
+// NodeLocator: vertex -> shard directory.
+//
+// The authoritative mapping lives in the backing store (paper §3.2: "the
+// backing store directs transactions on a vertex to the shard server
+// responsible for that vertex"); this is the in-memory cache all request
+// routing goes through, with a read-through fallback to the store.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "kvstore/kvstore.h"
+
+namespace weaver {
+
+class NodeLocator {
+ public:
+  NodeLocator(KvStore* kv, std::size_t num_shards)
+      : kv_(kv), loads_(num_shards, 0) {}
+
+  /// Shard of `node`, or nullopt if the vertex is unknown.
+  std::optional<ShardId> Lookup(NodeId node) const {
+    {
+      std::shared_lock lk(mu_);
+      auto it = map_.find(node);
+      if (it != map_.end()) return it->second;
+    }
+    // Read-through to the backing store (another client may have created
+    // the vertex).
+    auto blob = kv_->Get(kv_keys::VertexShardMap(node));
+    if (!blob.ok()) return std::nullopt;
+    const ShardId shard =
+        static_cast<ShardId>(std::strtoul(blob->c_str(), nullptr, 10));
+    const_cast<NodeLocator*>(this)->Record(node, shard);
+    return shard;
+  }
+
+  void Record(NodeId node, ShardId shard) {
+    std::unique_lock lk(mu_);
+    auto [it, inserted] = map_.try_emplace(node, shard);
+    if (inserted && shard < loads_.size()) loads_[shard]++;
+  }
+
+  void Forget(NodeId node) {
+    std::unique_lock lk(mu_);
+    auto it = map_.find(node);
+    if (it != map_.end()) {
+      if (it->second < loads_.size()) loads_[it->second]--;
+      map_.erase(it);
+    }
+  }
+
+  /// Vertex count per shard (partitioner input).
+  std::vector<std::size_t> ShardLoads() const {
+    std::shared_lock lk(mu_);
+    return loads_;
+  }
+
+  std::size_t Size() const {
+    std::shared_lock lk(mu_);
+    return map_.size();
+  }
+
+ private:
+  KvStore* kv_;
+  mutable std::shared_mutex mu_;
+  std::unordered_map<NodeId, ShardId> map_;
+  std::vector<std::size_t> loads_;
+};
+
+}  // namespace weaver

@@ -1,0 +1,74 @@
+// Wire message schemas exchanged over the MessageBus between gatekeepers,
+// shard servers, and node-program coordinators.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "core/graph_op.h"
+#include "core/node_program.h"
+#include "order/timestamp.h"
+#include "vclock/vclock.h"
+
+namespace weaver {
+
+enum MsgTag : std::uint32_t {
+  kMsgTx = 1,        // gatekeeper -> shard: committed transaction slice
+  kMsgNop = 2,       // gatekeeper -> shard: queue-head keep-alive (§4.2)
+  kMsgAnnounce = 3,  // gatekeeper -> gatekeeper: vector clock announce
+  kMsgWave = 4,      // coordinator -> shard: node program wave
+  kMsgEndProgram = 5,  // coordinator -> shard: program done, GC its state
+  kMsgGc = 6,        // deployment -> shard: multi-version GC watermark
+  kMsgStop = 7,      // deployment -> shard: shut down event loop
+};
+
+/// Committed transaction: ops are the slice destined for the receiving
+/// shard (possibly empty -- an empty slice still advances the queue head,
+/// doubling as a NOP for uninvolved shards).
+struct TxMessage {
+  RefinableTimestamp ts;
+  std::vector<GraphOp> ops;
+};
+
+struct NopMessage {
+  RefinableTimestamp ts;
+};
+
+struct AnnounceMessage {
+  VectorClock clock;
+  GatekeeperId from = 0;
+};
+
+/// Result of executing one program wave on one shard.
+struct WaveResult {
+  ShardId shard = 0;
+  std::vector<NextHop> next_hops;
+  std::vector<std::pair<NodeId, std::string>> returns;
+  std::uint64_t vertices_visited = 0;
+};
+
+/// One wave of a node program: execute at `starts` when the shard's delay
+/// rule (paper §4.1) admits the program's timestamp. The sink callback
+/// carries the result back to the coordinator (in-process stand-in for the
+/// response message).
+struct WaveMessage {
+  ProgramId program_id = 0;
+  RefinableTimestamp ts;
+  std::string program_name;
+  std::vector<NextHop> starts;
+  std::function<void(WaveResult)> sink;
+};
+
+struct EndProgramMessage {
+  ProgramId program_id = 0;
+};
+
+struct GcMessage {
+  RefinableTimestamp watermark;
+};
+
+}  // namespace weaver

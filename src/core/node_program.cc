@@ -1,0 +1,32 @@
+#include "core/node_program.h"
+
+#include "programs/extended_programs.h"
+#include "programs/standard_programs.h"
+
+namespace weaver {
+
+void ProgramRegistry::Register(std::unique_ptr<NodeProgram> program) {
+  const std::string key(program->name());
+  programs_[key] = std::move(program);
+}
+
+const NodeProgram* ProgramRegistry::Find(std::string_view name) const {
+  auto it = programs_.find(std::string(name));
+  return it == programs_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> ProgramRegistry::Names() const {
+  std::vector<std::string> out;
+  out.reserve(programs_.size());
+  for (const auto& [name, _] : programs_) out.push_back(name);
+  return out;
+}
+
+std::shared_ptr<ProgramRegistry> ProgramRegistry::WithStandardPrograms() {
+  auto registry = std::make_shared<ProgramRegistry>();
+  programs::RegisterStandardPrograms(registry.get());
+  programs::RegisterExtendedPrograms(registry.get());
+  return registry;
+}
+
+}  // namespace weaver

@@ -1,0 +1,83 @@
+#include "core/program_cache.h"
+
+namespace weaver {
+
+std::optional<ProgramResult> ProgramCache::Lookup(std::string_view program,
+                                                  NodeId start,
+                                                  const std::string& params) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = entries_.find(Key{std::string(program), start, params});
+  if (it == entries_.end()) {
+    stats_.misses++;
+    return std::nullopt;
+  }
+  stats_.hits++;
+  return it->second.result;
+}
+
+void ProgramCache::Insert(std::string_view program, NodeId start,
+                          const std::string& params,
+                          const ProgramResult& result) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (entries_.size() >= max_entries_) {
+    // Simple safety valve: memoization is an optimization, so dumping the
+    // cache wholesale is always correct.
+    entries_.clear();
+    by_node_.clear();
+    stats_.entries_dropped += max_entries_;
+  }
+  Key key{std::string(program), start, params};
+  Entry entry;
+  entry.result = result;
+  entry.dependencies.insert(start);
+  for (const auto& [node, _] : result.returns) {
+    entry.dependencies.insert(node);
+  }
+  auto [it, inserted] = entries_.insert_or_assign(std::move(key),
+                                                  std::move(entry));
+  const Key* stable_key = &it->first;  // node-based container: stable
+  for (NodeId dep : it->second.dependencies) {
+    by_node_[dep].insert(stable_key);
+  }
+  (void)inserted;
+}
+
+void ProgramCache::InvalidateNode(NodeId node) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto nit = by_node_.find(node);
+  if (nit == by_node_.end()) return;
+  // Copy: erasing entries mutates the reverse index.
+  std::vector<const Key*> stale(nit->second.begin(), nit->second.end());
+  for (const Key* key : stale) {
+    auto eit = entries_.find(*key);
+    if (eit == entries_.end()) continue;
+    for (NodeId dep : eit->second.dependencies) {
+      auto dit = by_node_.find(dep);
+      if (dit != by_node_.end()) {
+        dit->second.erase(&eit->first);
+        if (dit->second.empty()) by_node_.erase(dit);
+      }
+    }
+    entries_.erase(eit);
+    stats_.entries_dropped++;
+  }
+  stats_.invalidations++;
+}
+
+void ProgramCache::Clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  entries_.clear();
+  by_node_.clear();
+}
+
+std::size_t ProgramCache::Size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return entries_.size();
+}
+
+ProgramCache::Stats ProgramCache::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace weaver

@@ -1,0 +1,91 @@
+// ProgramCache: node-program result memoization (paper §4.6).
+//
+// "Weaver enables applications to memoize the results of node programs at
+// vertices and to reuse the memoized results in subsequent executions. In
+// order to maintain consistency guarantees, Weaver enables applications
+// to invalidate the cached results by discovering the changes in the
+// graph structure since the result was cached."
+//
+// An entry caches one program execution's client-visible result keyed by
+// (program, start vertex, params), together with the set of vertices the
+// execution read -- its dependency set. Any committed write touching a
+// dependency invalidates every entry that depends on it, which is exactly
+// the paper's path-cache example: deleting any vertex on a cached path
+// discards the cached path.
+//
+// The paper's evaluation disables caching (§4.6), and so does this
+// library by default (WeaverOptions::enable_program_cache); tests and the
+// cache ablation exercise it.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/ids.h"
+#include "core/node_program.h"
+
+namespace weaver {
+
+class ProgramCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t invalidations = 0;
+    std::uint64_t entries_dropped = 0;
+  };
+
+  explicit ProgramCache(std::size_t max_entries = 4096)
+      : max_entries_(max_entries) {}
+
+  /// Cached result for (program, start, params), or nullopt.
+  std::optional<ProgramResult> Lookup(std::string_view program, NodeId start,
+                                      const std::string& params);
+
+  /// Memoizes `result`; its dependency set is every vertex that produced
+  /// a return value (the vertices the program visited and read).
+  void Insert(std::string_view program, NodeId start,
+              const std::string& params, const ProgramResult& result);
+
+  /// Invalidates every entry whose dependency set contains `node`
+  /// (invoked for each vertex a committed transaction wrote).
+  void InvalidateNode(NodeId node);
+
+  void Clear();
+  std::size_t Size() const;
+  Stats stats() const;
+
+ private:
+  struct Key {
+    std::string program;
+    NodeId start;
+    std::string params;
+    bool operator==(const Key& other) const {
+      return start == other.start && program == other.program &&
+             params == other.params;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return std::hash<std::string>{}(k.program) ^ MixHash64(k.start) ^
+             (std::hash<std::string>{}(k.params) << 1);
+    }
+  };
+  struct Entry {
+    ProgramResult result;
+    std::unordered_set<NodeId> dependencies;
+  };
+
+  std::size_t max_entries_;
+  mutable std::mutex mu_;
+  std::unordered_map<Key, Entry, KeyHash> entries_;
+  // Reverse index: vertex -> keys depending on it.
+  std::unordered_map<NodeId, std::unordered_set<const Key*>> by_node_;
+  Stats stats_;
+};
+
+}  // namespace weaver

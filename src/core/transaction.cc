@@ -1,0 +1,102 @@
+#include "core/transaction.h"
+
+#include "core/weaver.h"
+#include "graph/graph_store.h"
+
+namespace weaver {
+
+Transaction::Transaction(Weaver* db, KvTransaction kvtx)
+    : db_(db), kvtx_(std::move(kvtx)) {}
+
+NodeId Transaction::CreateNode() {
+  const NodeId id = db_->AllocateNodeId();
+  ops_.push_back(GraphOp::CreateNode(id));
+  created_placements_[id] = db_->PlaceNewNode(id);
+  return id;
+}
+
+Status Transaction::CreateNodeWithId(NodeId id) {
+  if (id == kInvalidNodeId) return Status::InvalidArgument("invalid id");
+  db_->ReserveNodeId(id);
+  ops_.push_back(GraphOp::CreateNode(id));
+  created_placements_[id] = db_->PlaceNewNode(id);
+  return Status::Ok();
+}
+
+Status Transaction::DeleteNode(NodeId id) {
+  ops_.push_back(GraphOp::DeleteNode(id));
+  return Status::Ok();
+}
+
+EdgeId Transaction::CreateEdge(NodeId from, NodeId to) {
+  const EdgeId eid = db_->AllocateEdgeId();
+  ops_.push_back(GraphOp::CreateEdge(eid, from, to));
+  return eid;
+}
+
+Status Transaction::DeleteEdge(NodeId from, EdgeId edge) {
+  ops_.push_back(GraphOp::DeleteEdge(from, edge));
+  return Status::Ok();
+}
+
+Status Transaction::AssignNodeProperty(NodeId id, std::string key,
+                                       std::string value) {
+  ops_.push_back(
+      GraphOp::AssignNodeProp(id, std::move(key), std::move(value)));
+  return Status::Ok();
+}
+
+Status Transaction::RemoveNodeProperty(NodeId id, std::string key) {
+  ops_.push_back(GraphOp::RemoveNodeProp(id, std::move(key)));
+  return Status::Ok();
+}
+
+Status Transaction::AssignEdgeProperty(NodeId from, EdgeId edge,
+                                       std::string key, std::string value) {
+  ops_.push_back(GraphOp::AssignEdgeProp(from, edge, std::move(key),
+                                         std::move(value)));
+  return Status::Ok();
+}
+
+Status Transaction::RemoveEdgeProperty(NodeId from, EdgeId edge,
+                                       std::string key) {
+  ops_.push_back(GraphOp::RemoveEdgeProp(from, edge, std::move(key)));
+  return Status::Ok();
+}
+
+Result<NodeSnapshot> Transaction::GetNode(NodeId id) {
+  auto blob = kvtx_.Get(kv_keys::VertexData(id));
+  if (!blob.ok()) return blob.status();
+  auto node = GraphStore::DeserializeNode(*blob);
+  if (!node.ok()) return node.status();
+
+  NodeSnapshot snap;
+  snap.id = id;
+  snap.exists = !node->deleted.valid();
+  if (!snap.exists) return snap;
+  for (const auto& v : node->props.versions()) {
+    if (!v.deleted.valid()) snap.properties.emplace_back(v.key, v.value);
+  }
+  for (const auto& [eid, e] : node->out_edges) {
+    if (e.deleted.valid()) continue;
+    EdgeSnapshot es;
+    es.id = eid;
+    es.to = e.to;
+    for (const auto& v : e.props.versions()) {
+      if (!v.deleted.valid()) es.properties.emplace_back(v.key, v.value);
+    }
+    snap.edges.push_back(std::move(es));
+  }
+  return snap;
+}
+
+Result<bool> Transaction::NodeExists(NodeId id) {
+  auto blob = kvtx_.Get(kv_keys::VertexData(id));
+  if (blob.status().IsNotFound()) return false;
+  if (!blob.ok()) return blob.status();
+  auto node = GraphStore::DeserializeNode(*blob);
+  if (!node.ok()) return node.status();
+  return !node->deleted.valid();
+}
+
+}  // namespace weaver

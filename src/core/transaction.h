@@ -1,0 +1,103 @@
+// Transaction: the client-side weaver_tx block (paper §2.2, Fig 2).
+//
+// Writes (create/delete vertex/edge, assign/remove properties) are
+// buffered and submitted as a batch to a gatekeeper at commit (paper
+// §4.2). Reads go to the backing store through the transaction's OCC
+// context, so any concurrent modification of data this transaction read
+// aborts it at commit. Buffered writes are not visible to the
+// transaction's own reads -- this matches the paper's client model, where
+// writes are collated and validated at commit time.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "core/graph_op.h"
+#include "kvstore/kvstore.h"
+#include "order/timestamp.h"
+
+namespace weaver {
+
+class Weaver;
+
+/// Point-in-time view of one edge read inside a transaction.
+struct EdgeSnapshot {
+  EdgeId id = kInvalidEdgeId;
+  NodeId to = kInvalidNodeId;
+  std::vector<std::pair<std::string, std::string>> properties;
+};
+
+/// Point-in-time view of one vertex read inside a transaction: the latest
+/// committed state (live property versions and live edges only).
+struct NodeSnapshot {
+  NodeId id = kInvalidNodeId;
+  bool exists = false;
+  std::vector<std::pair<std::string, std::string>> properties;
+  std::vector<EdgeSnapshot> edges;
+
+  std::optional<std::string> GetProperty(std::string_view key) const {
+    for (const auto& [k, v] : properties) {
+      if (k == key) return v;
+    }
+    return std::nullopt;
+  }
+};
+
+class Transaction {
+ public:
+  Transaction(Transaction&&) = default;
+  Transaction& operator=(Transaction&&) = delete;
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  // --- Writes (buffered; applied atomically at commit) -------------------
+
+  /// Creates a vertex with a freshly allocated handle.
+  NodeId CreateNode();
+  /// Creates a vertex with a caller-chosen handle (must be unused).
+  Status CreateNodeWithId(NodeId id);
+  Status DeleteNode(NodeId id);
+  /// Creates a directed edge and returns its handle.
+  EdgeId CreateEdge(NodeId from, NodeId to);
+  Status DeleteEdge(NodeId from, EdgeId edge);
+  Status AssignNodeProperty(NodeId id, std::string key, std::string value);
+  Status RemoveNodeProperty(NodeId id, std::string key);
+  Status AssignEdgeProperty(NodeId from, EdgeId edge, std::string key,
+                            std::string value);
+  Status RemoveEdgeProperty(NodeId from, EdgeId edge, std::string key);
+
+  // --- Reads (transactional: recorded in the OCC read set) ---------------
+
+  /// Reads a vertex's latest committed state. NotFound if it never
+  /// existed; a snapshot with exists == false if it was deleted.
+  Result<NodeSnapshot> GetNode(NodeId id);
+  /// True iff the vertex exists (committed, not deleted).
+  Result<bool> NodeExists(NodeId id);
+
+  // --- Introspection ------------------------------------------------------
+
+  const std::vector<GraphOp>& ops() const { return ops_; }
+  std::size_t NumOps() const { return ops_.size(); }
+  bool committed() const { return committed_; }
+  /// The refinable timestamp assigned at commit (valid only afterwards).
+  const RefinableTimestamp& timestamp() const { return ts_; }
+
+ private:
+  friend class Weaver;
+  Transaction(Weaver* db, KvTransaction kvtx);
+
+  Weaver* db_;
+  KvTransaction kvtx_;
+  std::vector<GraphOp> ops_;
+  /// Shards tentatively chosen for vertices created by this transaction.
+  std::unordered_map<NodeId, ShardId> created_placements_;
+  RefinableTimestamp ts_;
+  bool committed_ = false;
+};
+
+}  // namespace weaver

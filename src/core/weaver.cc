@@ -1,0 +1,513 @@
+#include "core/weaver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <condition_variable>
+
+#include "common/clock.h"
+#include "common/serde.h"
+
+namespace weaver {
+
+std::unique_ptr<Weaver> Weaver::Open(const WeaverOptions& options) {
+  WeaverOptions o = options;
+  o.num_gatekeepers = std::max<std::size_t>(1, o.num_gatekeepers);
+  o.num_shards = std::max<std::size_t>(1, o.num_shards);
+  auto db = std::unique_ptr<Weaver>(new Weaver(o));
+  if (o.start) db->Start();
+  return db;
+}
+
+Weaver::Weaver(const WeaverOptions& options) : options_(options) {
+  bus_ = std::make_unique<MessageBus>();
+  kv_ = std::make_unique<KvStore>(options_.kv_stripes);
+  programs_ = ProgramRegistry::WithStandardPrograms();
+  locator_ = std::make_unique<NodeLocator>(kv_.get(), options_.num_shards);
+  if (options_.use_ldg_partitioner) {
+    partitioner_ = std::make_unique<LdgPartitioner>(
+        options_.num_shards, options_.expected_vertices);
+  } else {
+    partitioner_ = std::make_unique<HashPartitioner>(options_.num_shards);
+  }
+
+  // Boot shards first so gatekeepers can learn their endpoints.
+  for (std::size_t s = 0; s < options_.num_shards; ++s) {
+    Shard::Options so;
+    so.id = static_cast<ShardId>(s);
+    so.num_gatekeepers = options_.num_gatekeepers;
+    so.bus = bus_.get();
+    so.oracle = &oracle_;
+    so.programs = programs_;
+    shards_.push_back(std::make_unique<Shard>(so));
+    cluster_.Register("shard" + std::to_string(s), ServerKind::kShard,
+                      static_cast<std::uint32_t>(s));
+  }
+
+  std::vector<EndpointId> shard_eps;
+  shard_eps.reserve(shards_.size());
+  for (const auto& s : shards_) shard_eps.push_back(s->endpoint());
+
+  for (std::size_t g = 0; g < options_.num_gatekeepers; ++g) {
+    Gatekeeper::Options go;
+    go.id = static_cast<GatekeeperId>(g);
+    go.num_gatekeepers = options_.num_gatekeepers;
+    go.bus = bus_.get();
+    go.kv = kv_.get();
+    go.shard_endpoints = shard_eps;
+    go.tau_micros = options_.tau_micros;
+    go.nop_period_micros = options_.nop_period_micros;
+    gatekeepers_.push_back(std::make_unique<Gatekeeper>(std::move(go)));
+    cluster_.Register("gk" + std::to_string(g), ServerKind::kGatekeeper,
+                      static_cast<std::uint32_t>(g));
+  }
+  // Wire up the peer lists now that all endpoints exist.
+  // (Options were moved; rebuild peer endpoint lists via a second pass.)
+  // Gatekeeper reads peers only in PumpAnnounce, so mutate before Start().
+  for (std::size_t g = 0; g < gatekeepers_.size(); ++g) {
+    std::vector<EndpointId> peers;
+    for (std::size_t h = 0; h < gatekeepers_.size(); ++h) {
+      if (h != g) peers.push_back(gatekeepers_[h]->endpoint());
+    }
+    gatekeepers_[g]->SetPeerEndpoints(std::move(peers));
+  }
+
+  coordinator_endpoint_ = bus_->RegisterHandler(
+      "coordinator", [](const BusMessage&) { /* replies use sinks */ });
+
+  bulk_dirty_.resize(options_.num_shards);
+}
+
+Weaver::~Weaver() { Shutdown(); }
+
+void Weaver::Start() {
+  bool expected = false;
+  if (!started_.compare_exchange_strong(expected, true)) return;
+  for (auto& s : shards_) s->Start();
+  for (auto& g : gatekeepers_) g->StartTimers();
+  if (options_.gc_period_micros > 0 && !gc_thread_.joinable()) {
+    stop_gc_ = false;
+    gc_thread_ = std::thread([this] {
+      // Oracle events are the growth that hurts (ordering requests slow
+      // down with DAG size), so they are collected every tick; the
+      // O(graph) shard sweep runs every 64th tick.
+      std::uint64_t tick = 0;
+      std::unique_lock<std::mutex> lk(gc_mu_);
+      while (!stop_gc_) {
+        gc_cv_.wait_for(lk,
+                        std::chrono::microseconds(options_.gc_period_micros));
+        if (stop_gc_) return;
+        lk.unlock();
+        RunGarbageCollection(/*include_shards=*/(++tick % 64) == 0);
+        lk.lock();
+      }
+    });
+  }
+}
+
+void Weaver::Shutdown() {
+  if (!started_.exchange(false)) {
+    // Even if never started, shard destructors join cleanly.
+  }
+  {
+    std::lock_guard<std::mutex> lk(gc_mu_);
+    stop_gc_ = true;
+    gc_cv_.notify_all();
+  }
+  if (gc_thread_.joinable()) gc_thread_.join();
+  for (auto& g : gatekeepers_) {
+    if (g) g->StopTimers();
+  }
+  for (auto& s : shards_) {
+    if (s) s->Stop();
+  }
+}
+
+ShardId Weaver::PlaceNewNode(NodeId id) {
+  std::lock_guard<std::mutex> lk(partition_mu_);
+  return partitioner_->Place(id, {}, locator_->ShardLoads());
+}
+
+Transaction Weaver::BeginTx() { return Transaction(this, kv_->Begin()); }
+
+Status Weaver::Commit(Transaction* tx) { return CommitInternal(tx); }
+
+Status Weaver::CommitInternal(Transaction* tx) {
+  if (tx->committed_) {
+    return Status::Internal("transaction already committed");
+  }
+  // Resolve the placement of every vertex touched by the batch: created
+  // vertices use the partitioner's tentative choice; existing vertices use
+  // the locator (backed by the store's vertex->shard map).
+  std::unordered_map<NodeId, ShardId> placements = tx->created_placements_;
+  for (const GraphOp& op : tx->ops_) {
+    if (placements.count(op.node)) continue;
+    auto shard = locator_->Lookup(op.node);
+    if (!shard.has_value()) {
+      return Status::NotFound("unknown vertex " + std::to_string(op.node));
+    }
+    placements[op.node] = *shard;
+  }
+
+  // Simulated backing-store network round trip (client-side: does not
+  // hold gatekeeper slots or locks, so commits still pipeline).
+  if (options_.kv_commit_delay_micros > 0 && !tx->ops_.empty()) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.kv_commit_delay_micros));
+  }
+  Gatekeeper& gk =
+      *gatekeepers_[next_gk_.fetch_add(1, std::memory_order_relaxed) %
+                    gatekeepers_.size()];
+  const Status st =
+      gk.CommitTransaction(&tx->kvtx_, tx->ops_, placements, &tx->ts_);
+  if (!st.ok()) return st;
+  tx->committed_ = true;
+  // Publish placements of created vertices to the locator.
+  for (const auto& [id, shard] : tx->created_placements_) {
+    locator_->Record(id, shard);
+  }
+  // Memoized program results depending on the written vertices are now
+  // stale (paper §4.6's invalidation rule).
+  if (options_.enable_program_cache) {
+    for (const GraphOp& op : tx->ops_) {
+      program_cache_.InvalidateNode(op.node);
+    }
+  }
+  return Status::Ok();
+}
+
+Status Weaver::RunTransaction(
+    const std::function<Status(Transaction&)>& body, int max_attempts) {
+  Status last = Status::Internal("no attempts made");
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    Transaction tx = BeginTx();
+    Status st = body(tx);
+    if (!st.ok()) return st;  // application error: do not retry
+    st = Commit(&tx);
+    if (st.ok()) return st;
+    if (!st.IsAborted()) return st;  // non-retryable
+    last = st;
+  }
+  return last;
+}
+
+namespace {
+
+/// Collects the results of one wave round across shards.
+struct WaveCollector {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t outstanding = 0;
+  std::vector<NextHop> hops;
+  std::vector<std::pair<NodeId, std::string>> returns;
+  std::uint64_t visited = 0;
+};
+
+}  // namespace
+
+Result<ProgramResult> Weaver::ExecuteProgram(std::string_view name,
+                                             std::vector<NextHop> starts,
+                                             const RefinableTimestamp& ts,
+                                             Gatekeeper* gk) {
+  const ProgramId pid = ts.event_id();
+
+  ProgramResult result;
+  result.timestamp = ts;
+  std::vector<bool> touched(shards_.size(), false);
+
+  // Coordinator CPU time (grouping, sends, result merging -- not the
+  // waits) is gatekeeper work in the paper's topology; see AddBusyNs.
+  std::uint64_t coordinator_work_ns = 0;
+  std::uint64_t segment_start = NowNanos();
+
+  std::vector<NextHop> frontier = std::move(starts);
+  Status failure = Status::Ok();
+  while (!frontier.empty()) {
+    if (++result.waves > options_.max_program_waves) {
+      failure = Status::TimedOut("node program exceeded max waves");
+      break;
+    }
+    // Group the frontier by owning shard; hops to unknown vertices execute
+    // on shard of record if any, else are dropped (the program sees a
+    // non-existent NodeView on misrouted hops anyway).
+    std::vector<std::vector<NextHop>> by_shard(shards_.size());
+    for (NextHop& hop : frontier) {
+      auto shard = locator_->Lookup(hop.node);
+      if (!shard.has_value() || *shard >= shards_.size()) continue;
+      if (!shards_[*shard]) {
+        return Status::Unavailable("shard " + std::to_string(*shard) +
+                                   " is down; re-run the program");
+      }
+      by_shard[*shard].push_back(std::move(hop));
+    }
+    auto collector = std::make_shared<WaveCollector>();
+    std::size_t groups = 0;
+    for (const auto& group : by_shard) {
+      if (!group.empty()) ++groups;
+    }
+    if (groups == 0) break;
+    collector->outstanding = groups;
+
+    for (std::size_t s = 0; s < by_shard.size(); ++s) {
+      if (by_shard[s].empty()) continue;
+      touched[s] = true;
+      auto wave = std::make_shared<WaveMessage>();
+      wave->program_id = pid;
+      wave->ts = ts;
+      wave->program_name = std::string(name);
+      wave->starts = std::move(by_shard[s]);
+      wave->sink = [collector](WaveResult r) {
+        std::lock_guard<std::mutex> lk(collector->mu);
+        for (auto& hop : r.next_hops) {
+          collector->hops.push_back(std::move(hop));
+        }
+        for (auto& ret : r.returns) {
+          collector->returns.push_back(std::move(ret));
+        }
+        collector->visited += r.vertices_visited;
+        collector->outstanding--;
+        collector->cv.notify_one();
+      };
+      bus_->Send(coordinator_endpoint_, shards_[s]->endpoint(), kMsgWave,
+                 std::move(wave));
+    }
+    coordinator_work_ns += NowNanos() - segment_start;
+    {
+      std::unique_lock<std::mutex> lk(collector->mu);
+      collector->cv.wait(lk, [&] { return collector->outstanding == 0; });
+      segment_start = NowNanos();
+      frontier = std::move(collector->hops);
+      for (auto& ret : collector->returns) {
+        result.returns.push_back(std::move(ret));
+      }
+      result.vertices_visited += collector->visited;
+    }
+  }
+  coordinator_work_ns += NowNanos() - segment_start;
+  if (gk != nullptr) gk->AddBusyNs(coordinator_work_ns);
+
+  // Program finished (or failed): GC its per-vertex state (paper §4.5).
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (!touched[s] || !shards_[s]) continue;
+    auto end = std::make_shared<EndProgramMessage>();
+    end->program_id = pid;
+    bus_->Send(coordinator_endpoint_, shards_[s]->endpoint(), kMsgEndProgram,
+               std::move(end));
+  }
+  if (!failure.ok()) return failure;
+  return result;
+}
+
+Result<ProgramResult> Weaver::RunProgram(std::string_view name,
+                                         std::vector<NextHop> starts) {
+  if (!started_.load()) {
+    return Status::FailedPrecondition("deployment not started");
+  }
+  if (programs_->Find(name) == nullptr) {
+    return Status::NotFound("no node program named " + std::string(name));
+  }
+  Gatekeeper& gk =
+      *gatekeepers_[next_gk_.fetch_add(1, std::memory_order_relaxed) %
+                    gatekeepers_.size()];
+  const RefinableTimestamp ts = gk.BeginProgram();
+  auto result = ExecuteProgram(name, std::move(starts), ts, &gk);
+  gk.EndProgram(ts);
+  return result;
+}
+
+Result<ProgramResult> Weaver::RunProgramAt(std::string_view name,
+                                           std::vector<NextHop> starts,
+                                           const RefinableTimestamp& ts) {
+  if (!started_.load()) {
+    return Status::FailedPrecondition("deployment not started");
+  }
+  if (!ts.valid()) {
+    return Status::InvalidArgument("invalid historical timestamp");
+  }
+  if (programs_->Find(name) == nullptr) {
+    return Status::NotFound("no node program named " + std::string(name));
+  }
+  return ExecuteProgram(name, std::move(starts), ts, nullptr);
+}
+
+Result<ProgramResult> Weaver::RunProgram(std::string_view name, NodeId start,
+                                         std::string params) {
+  if (options_.enable_program_cache) {
+    if (auto cached = program_cache_.Lookup(name, start, params)) {
+      return *cached;
+    }
+  }
+  std::vector<NextHop> starts;
+  starts.push_back(NextHop{start, params});
+  auto result = RunProgram(name, std::move(starts));
+  if (options_.enable_program_cache && result.ok()) {
+    program_cache_.Insert(name, start, params, *result);
+  }
+  return result;
+}
+
+Status Weaver::BulkCreateNode(
+    NodeId id, std::vector<std::pair<std::string, std::string>> properties) {
+  if (started_.load()) {
+    return Status::FailedPrecondition("bulk load requires a stopped deployment");
+  }
+  std::lock_guard<std::mutex> lk(bulk_mu_);
+  if (!bulk_ts_.valid()) {
+    bulk_ts_ = gatekeepers_[0]->BeginProgram();  // any fresh timestamp
+    gatekeepers_[0]->EndProgram(bulk_ts_);
+  }
+  // Keep the allocator ahead of explicitly chosen ids so later
+  // transactional CreateNode() calls cannot collide with loaded vertices.
+  std::uint64_t expected = next_node_id_.load(std::memory_order_relaxed);
+  while (expected <= id && !next_node_id_.compare_exchange_weak(
+                               expected, id + 1, std::memory_order_relaxed)) {
+  }
+  const ShardId shard = PlaceNewNode(id);
+  GraphStore& g = shards_[shard]->graph();
+  WEAVER_RETURN_IF_ERROR(g.CreateNode(id, bulk_ts_));
+  for (auto& [k, v] : properties) {
+    WEAVER_RETURN_IF_ERROR(g.AssignNodeProperty(id, k, v, bulk_ts_));
+  }
+  locator_->Record(id, shard);
+  if (options_.bulk_load_durable) bulk_dirty_[shard].push_back(id);
+  return Status::Ok();
+}
+
+Result<EdgeId> Weaver::BulkCreateEdge(
+    NodeId from, NodeId to,
+    std::vector<std::pair<std::string, std::string>> properties) {
+  if (started_.load()) {
+    return Status::FailedPrecondition("bulk load requires a stopped deployment");
+  }
+  auto shard = locator_->Lookup(from);
+  if (!shard.has_value()) {
+    return Status::NotFound("bulk edge source " + std::to_string(from));
+  }
+  std::lock_guard<std::mutex> lk(bulk_mu_);
+  const EdgeId eid = AllocateEdgeId();
+  GraphStore& g = shards_[*shard]->graph();
+  WEAVER_RETURN_IF_ERROR(g.CreateEdge(eid, from, to, bulk_ts_));
+  for (auto& [k, v] : properties) {
+    WEAVER_RETURN_IF_ERROR(g.AssignEdgeProperty(from, eid, k, v, bulk_ts_));
+  }
+  return eid;
+}
+
+Status Weaver::FinishBulkLoad() {
+  if (started_.load()) {
+    return Status::FailedPrecondition("bulk load requires a stopped deployment");
+  }
+  if (!options_.bulk_load_durable) return Status::Ok();
+  std::lock_guard<std::mutex> lk(bulk_mu_);
+  ByteWriter ts_writer;
+  bulk_ts_.Serialize(&ts_writer);
+  const std::string ts_blob = ts_writer.Take();
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    GraphStore& g = shards_[s]->graph();
+    for (NodeId id : bulk_dirty_[s]) {
+      const Node* node = g.FindNode(id);
+      if (node == nullptr) continue;
+      kv_->Put(kv_keys::VertexData(id), GraphStore::SerializeNode(*node));
+      kv_->Put(kv_keys::VertexShardMap(id), std::to_string(s));
+      kv_->Put(kv_keys::VertexLastUpdate(id), ts_blob);
+    }
+    bulk_dirty_[s].clear();
+  }
+  return Status::Ok();
+}
+
+void Weaver::RunGarbageCollection(bool include_shards) {
+  // Watermark: pointwise minimum over every gatekeeper's oldest in-flight
+  // operation (paper §4.5).
+  RefinableTimestamp watermark = gatekeepers_[0]->OldestActive();
+  std::vector<std::uint64_t> mins(watermark.clock.counters());
+  std::uint32_t epoch = watermark.clock.epoch();
+  for (std::size_t g = 1; g < gatekeepers_.size(); ++g) {
+    const RefinableTimestamp other = gatekeepers_[g]->OldestActive();
+    epoch = std::min(epoch, other.clock.epoch());
+    for (std::size_t i = 0; i < mins.size() && i < other.clock.width();
+         ++i) {
+      mins[i] = std::min(mins[i], other.clock.Component(i));
+    }
+  }
+  watermark.clock = VectorClock(epoch, std::move(mins));
+  if (include_shards) {
+    for (auto& s : shards_) {
+      if (!s) continue;
+      auto gc = std::make_shared<GcMessage>();
+      gc->watermark = watermark;
+      bus_->Send(coordinator_endpoint_, s->endpoint(), kMsgGc,
+                 std::move(gc));
+    }
+  }
+  oracle_.CollectBefore(watermark.clock);
+}
+
+Status Weaver::KillShard(ShardId id) {
+  if (id >= shards_.size()) return Status::InvalidArgument("no such shard");
+  if (!shards_[id]) return Status::FailedPrecondition("shard already dead");
+  bus_->Detach(shards_[id]->endpoint());
+  shards_[id]->Stop();
+  // Remember the endpoint for recovery before dropping the server.
+  dead_shard_endpoints_[id] = shards_[id]->endpoint();
+  shards_[id].reset();
+  cluster_.MarkFailed("shard" + std::to_string(id));
+  return Status::Ok();
+}
+
+Status Weaver::RecoverShard(ShardId id) {
+  if (id >= shards_.size()) return Status::InvalidArgument("no such shard");
+  if (shards_[id]) return Status::FailedPrecondition("shard is alive");
+  Shard::Options so;
+  so.id = id;
+  so.num_gatekeepers = options_.num_gatekeepers;
+  so.bus = bus_.get();
+  so.oracle = &oracle_;
+  so.programs = programs_;
+  so.reuse_endpoint = dead_shard_endpoints_[id];
+  auto shard = std::make_unique<Shard>(so);  // reattaches: messages buffer
+
+  // Restore the partition from the backing store (paper §4.3).
+  for (const auto& [key, value] :
+       kv_->ScanPrefix(kv_keys::kVertexShardMapPrefix)) {
+    const NodeId node_id = std::strtoull(
+        key.substr(kv_keys::kVertexShardMapPrefix.size()).c_str(), nullptr,
+        10);
+    const ShardId owner =
+        static_cast<ShardId>(std::strtoul(value.c_str(), nullptr, 10));
+    if (owner != id) continue;
+    auto blob = kv_->Get(kv_keys::VertexData(node_id));
+    if (!blob.ok()) continue;
+    auto node = GraphStore::DeserializeNode(*blob);
+    if (!node.ok()) continue;
+    shard->graph().InstallNode(std::move(node).value());
+  }
+  if (started_.load()) shard->Start();
+  shards_[id] = std::move(shard);
+  cluster_.MarkRecovered("shard" + std::to_string(id));
+  return Status::Ok();
+}
+
+Status Weaver::ReplaceGatekeeper(GatekeeperId id) {
+  if (id >= gatekeepers_.size()) {
+    return Status::InvalidArgument("no such gatekeeper");
+  }
+  // The backup restarts the failed gatekeeper's vector clock; the cluster
+  // manager imposes an epoch barrier so all clocks advance in unison
+  // (paper §4.3).
+  std::vector<Gatekeeper*> gks;
+  gks.reserve(gatekeepers_.size());
+  for (auto& g : gatekeepers_) gks.push_back(g.get());
+  cluster_.AdvanceEpochBarrier(gks);
+  cluster_.MarkRecovered("gk" + std::to_string(id));
+  return Status::Ok();
+}
+
+void Weaver::PumpAll() {
+  for (auto& g : gatekeepers_) g->PumpAnnounce();
+  for (auto& g : gatekeepers_) g->PumpNop();
+  for (auto& s : shards_) {
+    if (s) s->ProcessUntilIdle();
+  }
+}
+
+}  // namespace weaver

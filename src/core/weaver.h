@@ -1,0 +1,248 @@
+// Weaver: the public face of the database (paper §1-§4).
+//
+// A Weaver instance is a full deployment: a bank of gatekeepers with
+// vector clocks (the timeline coordinator), a timeline oracle, a set of
+// shard servers holding the in-memory multi-version graph, a transactional
+// backing store, a cluster manager, and the simulated interconnect.
+//
+// Clients use three entry points:
+//   * BeginTx()/Commit() -- strictly serializable read-write transactions
+//     (paper §2.2);
+//   * RunProgram() -- node programs: transactional, scatter-gather graph
+//     analyses executed on a consistent snapshot (paper §2.3);
+//   * BulkLoad() -- offline dataset loading before the deployment starts.
+//
+// Fault injection (KillShard/RecoverShard/ReplaceGatekeeper) exercises the
+// paper's §4.3 recovery paths.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "coord/cluster_manager.h"
+#include "core/locator.h"
+#include "core/messages.h"
+#include "core/node_program.h"
+#include "core/program_cache.h"
+#include "core/transaction.h"
+#include "kvstore/kvstore.h"
+#include "net/bus.h"
+#include "oracle/timeline_oracle.h"
+#include "order/gatekeeper.h"
+#include "partition/partitioner.h"
+#include "shard/shard.h"
+
+namespace weaver {
+
+struct WeaverOptions {
+  std::size_t num_gatekeepers = 2;
+  std::size_t num_shards = 2;
+  /// Vector clock synchronization period tau, microseconds (paper §3.5).
+  std::uint64_t tau_micros = 500;
+  /// NOP transaction period, microseconds (paper §4.2).
+  std::uint64_t nop_period_micros = 200;
+  std::size_t kv_stripes = 64;
+  /// Start event loops and timers at Open(). When false the caller bulk
+  /// loads first and then calls Start() (or drives shards manually in
+  /// deterministic tests).
+  bool start = true;
+  /// Use the LDG streaming partitioner instead of hash placement.
+  bool use_ldg_partitioner = false;
+  std::size_t expected_vertices = 1 << 20;
+  /// Abort runaway node programs after this many waves.
+  std::size_t max_program_waves = 4096;
+  /// Multi-version / oracle GC period (paper §4.5). The deployment runs
+  /// RunGarbageCollection() on this cadence; 0 disables the timer (tests
+  /// and benches may trigger GC manually). Without periodic GC the
+  /// timeline oracle's dependency graph grows without bound and ordering
+  /// requests slow down quadratically.
+  std::uint64_t gc_period_micros = 50'000;
+  /// Write bulk-loaded data through to the backing store (durable; needed
+  /// by recovery). Disable only for throughput benches that never recover.
+  bool bulk_load_durable = true;
+  /// Memoize node-program results and invalidate them on writes to their
+  /// dependency vertices (paper §4.6). The paper's evaluation disables
+  /// caching, and so does this default.
+  bool enable_program_cache = false;
+  /// Simulated backing-store commit round trip added to every read-write
+  /// transaction (paper deployments talk to HyperDex Warp over the
+  /// network; the in-process KvStore alone would make writes unrealistically
+  /// cheap relative to reads). 0 (default) disables; the Fig 9/10 benches
+  /// set it -- see EXPERIMENTS.md for calibration.
+  std::uint64_t kv_commit_delay_micros = 0;
+};
+
+class Weaver {
+ public:
+  /// Builds a deployment. Never fails for valid options; invalid options
+  /// are clamped to the nearest valid value.
+  static std::unique_ptr<Weaver> Open(const WeaverOptions& options);
+  ~Weaver();
+  Weaver(const Weaver&) = delete;
+  Weaver& operator=(const Weaver&) = delete;
+
+  /// Starts shard event loops and gatekeeper timers (idempotent).
+  void Start();
+  /// Stops all threads (idempotent; also run by the destructor).
+  void Shutdown();
+  bool started() const { return started_.load(); }
+
+  // --- Transactions -------------------------------------------------------
+
+  Transaction BeginTx();
+  /// Commits the transaction through a gatekeeper. kAborted means a
+  /// concurrency conflict: retry the whole transaction.
+  Status Commit(Transaction* tx);
+  /// Convenience retry loop: runs `body` against fresh transactions until
+  /// commit succeeds, the body fails with a non-retryable status, or
+  /// `max_attempts` is exhausted.
+  Status RunTransaction(const std::function<Status(Transaction&)>& body,
+                        int max_attempts = 16);
+
+  // --- Node programs --------------------------------------------------------
+
+  /// Runs the registered node program `name` starting from `starts`.
+  Result<ProgramResult> RunProgram(std::string_view name,
+                                   std::vector<NextHop> starts);
+  /// Single-start convenience overload (the cacheable shape, §4.6).
+  Result<ProgramResult> RunProgram(std::string_view name, NodeId start,
+                                   std::string params = "");
+
+  /// Historical query (paper §4.5): runs `name` on the consistent snapshot
+  /// at `ts`, a timestamp obtained from an earlier transaction or program.
+  /// The caller must ensure the versions at `ts` have not been garbage
+  /// collected (run with gc_period_micros = 0, or query above the
+  /// watermark); reads below the watermark return whatever GC left.
+  Result<ProgramResult> RunProgramAt(std::string_view name,
+                                     std::vector<NextHop> starts,
+                                     const RefinableTimestamp& ts);
+
+  // --- Bulk load (before Start()) ------------------------------------------
+
+  /// Creates a vertex directly in the shards/backing store.
+  Status BulkCreateNode(NodeId id,
+                        std::vector<std::pair<std::string, std::string>>
+                            properties = {});
+  /// Creates an edge directly; both endpoints must be bulk-created first.
+  Result<EdgeId> BulkCreateEdge(NodeId from, NodeId to,
+                                std::vector<std::pair<std::string,
+                                                      std::string>>
+                                    properties = {});
+  /// Flushes bulk-loaded vertices to the backing store (no-op when
+  /// bulk_load_durable is false).
+  Status FinishBulkLoad();
+
+  // --- Maintenance ----------------------------------------------------------
+
+  /// One multi-version GC round (paper §4.5): computes the watermark from
+  /// the oldest in-flight program and propagates it to shards + oracle.
+  /// `include_shards` additionally collapses shard-side version chains and
+  /// trims decision caches -- an O(graph) sweep, so the periodic timer
+  /// does it on a much slower cadence than the cheap oracle collection.
+  void RunGarbageCollection(bool include_shards = true);
+
+  // --- Fault injection (paper §4.3) ------------------------------------------
+
+  /// Crashes a shard server: drops its in-memory state and in-flight
+  /// messages.
+  Status KillShard(ShardId id);
+  /// Boots a replacement shard that restores its partition from the
+  /// backing store, then rejoins the deployment.
+  Status RecoverShard(ShardId id);
+  /// Replaces a gatekeeper: restarts its vector clock in a new epoch
+  /// behind a cluster-wide barrier.
+  Status ReplaceGatekeeper(GatekeeperId id);
+
+  // --- Identifiers -----------------------------------------------------------
+
+  NodeId AllocateNodeId() {
+    return next_node_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Keeps the allocator ahead of an explicitly chosen id.
+  void ReserveNodeId(NodeId id) {
+    std::uint64_t expected = next_node_id_.load(std::memory_order_relaxed);
+    while (expected <= id &&
+           !next_node_id_.compare_exchange_weak(expected, id + 1,
+                                                std::memory_order_relaxed)) {
+    }
+  }
+  EdgeId AllocateEdgeId() {
+    return next_edge_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // --- Introspection ----------------------------------------------------------
+
+  const WeaverOptions& options() const { return options_; }
+  KvStore& kv() { return *kv_; }
+  TimelineOracle& oracle() { return oracle_; }
+  MessageBus& bus() { return *bus_; }
+  NodeLocator& locator() { return *locator_; }
+  ClusterManager& cluster() { return cluster_; }
+  Gatekeeper& gatekeeper(GatekeeperId id) { return *gatekeepers_[id]; }
+  Shard& shard(ShardId id) { return *shards_[id]; }
+  std::size_t num_gatekeepers() const { return gatekeepers_.size(); }
+  std::size_t num_shards() const { return shards_.size(); }
+  ProgramRegistry& programs() { return *programs_; }
+  ProgramCache& program_cache() { return program_cache_; }
+
+  /// Deterministic helpers for tests with start = false.
+  void PumpAll();  // one announce + NOP round, then drain every shard
+
+ private:
+  friend class Transaction;
+  explicit Weaver(const WeaverOptions& options);
+
+  ShardId PlaceNewNode(NodeId id);
+  Status CommitInternal(Transaction* tx);
+  /// Wave loop shared by RunProgram and RunProgramAt. `gk` (may be null)
+  /// receives the coordinator work attribution.
+  Result<ProgramResult> ExecuteProgram(std::string_view name,
+                                       std::vector<NextHop> starts,
+                                       const RefinableTimestamp& ts,
+                                       Gatekeeper* gk);
+
+  WeaverOptions options_;
+  std::unique_ptr<MessageBus> bus_;
+  std::unique_ptr<KvStore> kv_;
+  TimelineOracle oracle_;
+  std::shared_ptr<ProgramRegistry> programs_;
+  std::unique_ptr<NodeLocator> locator_;
+  std::unique_ptr<Partitioner> partitioner_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<Gatekeeper>> gatekeepers_;
+  ClusterManager cluster_;
+  EndpointId coordinator_endpoint_ = 0;
+
+  ProgramCache program_cache_;
+  std::atomic<bool> started_{false};
+  std::atomic<std::uint64_t> next_node_id_{1};
+  std::atomic<std::uint64_t> next_edge_id_{1};
+  std::atomic<std::uint64_t> next_gk_{0};
+
+  std::mutex partition_mu_;  // serializes placement decisions
+
+  // Periodic GC timer (paper §4.5).
+  std::thread gc_thread_;
+  std::mutex gc_mu_;
+  std::condition_variable gc_cv_;
+  bool stop_gc_ = false;
+
+  // Bulk-load bookkeeping: shard -> vertices needing a durable flush.
+  std::mutex bulk_mu_;
+  RefinableTimestamp bulk_ts_;
+  std::vector<std::vector<NodeId>> bulk_dirty_;
+
+  // Endpoints of killed shards, kept for recovery reattachment.
+  std::unordered_map<ShardId, EndpointId> dead_shard_endpoints_;
+};
+
+}  // namespace weaver

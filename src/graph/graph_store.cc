@@ -1,0 +1,278 @@
+#include "graph/graph_store.h"
+
+#include <algorithm>
+
+namespace weaver {
+
+std::size_t Node::OutDegreeAt(const RefinableTimestamp& read_ts,
+                              const OrderFn& order) const {
+  std::size_t n = 0;
+  for (const auto& [eid, e] : out_edges) {
+    if (e.VisibleAt(read_ts, order)) ++n;
+  }
+  return n;
+}
+
+Status GraphStore::CreateNode(NodeId id, const RefinableTimestamp& ts) {
+  auto [it, inserted] = nodes_.try_emplace(id);
+  if (!inserted) {
+    // Re-creating a deleted vertex id is not permitted: handles are unique
+    // for all time in the multi-version graph.
+    return Status::AlreadyExists("node " + std::to_string(id));
+  }
+  it->second = std::make_unique<Node>();
+  it->second->id = id;
+  it->second->created = ts;
+  it->second->last_update = ts;
+  stats_.nodes_created++;
+  return Status::Ok();
+}
+
+Status GraphStore::DeleteNode(NodeId id, const RefinableTimestamp& ts) {
+  Node* n = FindNodeMutable(id);
+  if (n == nullptr) return Status::NotFound("node " + std::to_string(id));
+  if (n->deleted.valid()) {
+    return Status::FailedPrecondition("node already deleted");
+  }
+  n->deleted = ts;
+  n->last_update = ts;
+  stats_.nodes_deleted++;
+  return Status::Ok();
+}
+
+Status GraphStore::CreateEdge(EdgeId eid, NodeId from, NodeId to,
+                              const RefinableTimestamp& ts) {
+  Node* n = FindNodeMutable(from);
+  if (n == nullptr) return Status::NotFound("node " + std::to_string(from));
+  if (n->deleted.valid()) {
+    return Status::FailedPrecondition("source node deleted");
+  }
+  auto [it, inserted] = n->out_edges.try_emplace(eid);
+  if (!inserted) return Status::AlreadyExists("edge " + std::to_string(eid));
+  Edge& e = it->second;
+  e.id = eid;
+  e.from = from;
+  e.to = to;
+  e.created = ts;
+  n->last_update = ts;
+  stats_.edges_created++;
+  return Status::Ok();
+}
+
+Status GraphStore::DeleteEdge(NodeId from, EdgeId eid,
+                              const RefinableTimestamp& ts) {
+  Node* n = FindNodeMutable(from);
+  if (n == nullptr) return Status::NotFound("node " + std::to_string(from));
+  auto it = n->out_edges.find(eid);
+  if (it == n->out_edges.end()) {
+    return Status::NotFound("edge " + std::to_string(eid));
+  }
+  if (it->second.deleted.valid()) {
+    return Status::FailedPrecondition("edge already deleted");
+  }
+  it->second.deleted = ts;
+  n->last_update = ts;
+  stats_.edges_deleted++;
+  return Status::Ok();
+}
+
+Status GraphStore::AssignNodeProperty(NodeId id, std::string_view key,
+                                      std::string_view value,
+                                      const RefinableTimestamp& ts) {
+  Node* n = FindNodeMutable(id);
+  if (n == nullptr) return Status::NotFound("node " + std::to_string(id));
+  n->props.Assign(key, value, ts);
+  n->last_update = ts;
+  stats_.props_assigned++;
+  return Status::Ok();
+}
+
+Status GraphStore::RemoveNodeProperty(NodeId id, std::string_view key,
+                                      const RefinableTimestamp& ts) {
+  Node* n = FindNodeMutable(id);
+  if (n == nullptr) return Status::NotFound("node " + std::to_string(id));
+  if (!n->props.Remove(key, ts)) {
+    return Status::NotFound("property " + std::string(key));
+  }
+  n->last_update = ts;
+  return Status::Ok();
+}
+
+Status GraphStore::AssignEdgeProperty(NodeId from, EdgeId eid,
+                                      std::string_view key,
+                                      std::string_view value,
+                                      const RefinableTimestamp& ts) {
+  Node* n = FindNodeMutable(from);
+  if (n == nullptr) return Status::NotFound("node " + std::to_string(from));
+  auto it = n->out_edges.find(eid);
+  if (it == n->out_edges.end()) {
+    return Status::NotFound("edge " + std::to_string(eid));
+  }
+  it->second.props.Assign(key, value, ts);
+  n->last_update = ts;
+  stats_.props_assigned++;
+  return Status::Ok();
+}
+
+Status GraphStore::RemoveEdgeProperty(NodeId from, EdgeId eid,
+                                      std::string_view key,
+                                      const RefinableTimestamp& ts) {
+  Node* n = FindNodeMutable(from);
+  if (n == nullptr) return Status::NotFound("node " + std::to_string(from));
+  auto it = n->out_edges.find(eid);
+  if (it == n->out_edges.end()) {
+    return Status::NotFound("edge " + std::to_string(eid));
+  }
+  if (!it->second.props.Remove(key, ts)) {
+    return Status::NotFound("property " + std::string(key));
+  }
+  n->last_update = ts;
+  return Status::Ok();
+}
+
+const Node* GraphStore::FindNode(NodeId id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+Node* GraphStore::FindNodeMutable(NodeId id) {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+std::vector<NodeId> GraphStore::AllNodeIds() const {
+  std::vector<NodeId> out;
+  out.reserve(nodes_.size());
+  for (const auto& [id, _] : nodes_) out.push_back(id);
+  return out;
+}
+
+std::size_t GraphStore::CollectBefore(const RefinableTimestamp& watermark,
+                                      const OrderFn& order) {
+  std::size_t collected = 0;
+  std::vector<NodeId> dead_nodes;
+  for (auto& [id, node] : nodes_) {
+    if (node->deleted.valid() &&
+        order(node->deleted, watermark) == ClockOrder::kBefore) {
+      dead_nodes.push_back(id);
+      continue;
+    }
+    collected += node->props.CollectBefore(watermark, order);
+    std::vector<EdgeId> dead_edges;
+    for (auto& [eid, e] : node->out_edges) {
+      if (e.deleted.valid() &&
+          order(e.deleted, watermark) == ClockOrder::kBefore) {
+        dead_edges.push_back(eid);
+      } else {
+        collected += e.props.CollectBefore(watermark, order);
+      }
+    }
+    for (EdgeId eid : dead_edges) {
+      node->out_edges.erase(eid);
+      ++collected;
+    }
+  }
+  for (NodeId id : dead_nodes) {
+    nodes_.erase(id);
+    ++collected;
+  }
+  stats_.versions_collected += collected;
+  return collected;
+}
+
+namespace {
+
+void SerializeTs(ByteWriter* w, const RefinableTimestamp& ts) {
+  w->PutU8(ts.valid() ? 1 : 0);
+  if (ts.valid()) ts.Serialize(w);
+}
+
+Status DeserializeTs(ByteReader* r, RefinableTimestamp* ts) {
+  std::uint8_t present = 0;
+  WEAVER_RETURN_IF_ERROR(r->GetU8(&present));
+  if (present) {
+    WEAVER_RETURN_IF_ERROR(RefinableTimestamp::Deserialize(r, ts));
+  } else {
+    *ts = RefinableTimestamp{};
+  }
+  return Status::Ok();
+}
+
+void SerializeProps(ByteWriter* w, const PropertySet& props) {
+  w->PutU32(static_cast<std::uint32_t>(props.versions().size()));
+  for (const auto& v : props.versions()) {
+    w->PutString(v.key);
+    w->PutString(v.value);
+    SerializeTs(w, v.created);
+    SerializeTs(w, v.deleted);
+  }
+}
+
+Status DeserializeProps(ByteReader* r, PropertySet* props) {
+  std::uint32_t n = 0;
+  WEAVER_RETURN_IF_ERROR(r->GetU32(&n));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    PropertyVersion v;
+    WEAVER_RETURN_IF_ERROR(r->GetString(&v.key));
+    WEAVER_RETURN_IF_ERROR(r->GetString(&v.value));
+    WEAVER_RETURN_IF_ERROR(DeserializeTs(r, &v.created));
+    WEAVER_RETURN_IF_ERROR(DeserializeTs(r, &v.deleted));
+    props->AppendVersionRaw(std::move(v));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string GraphStore::SerializeNode(const Node& node) {
+  ByteWriter w;
+  w.PutU64(node.id);
+  SerializeTs(&w, node.created);
+  SerializeTs(&w, node.deleted);
+  SerializeTs(&w, node.last_update);
+  SerializeProps(&w, node.props);
+  w.PutU32(static_cast<std::uint32_t>(node.out_edges.size()));
+  for (const auto& [eid, e] : node.out_edges) {
+    w.PutU64(e.id);
+    w.PutU64(e.from);
+    w.PutU64(e.to);
+    SerializeTs(&w, e.created);
+    SerializeTs(&w, e.deleted);
+    SerializeProps(&w, e.props);
+  }
+  return w.Take();
+}
+
+Result<Node> GraphStore::DeserializeNode(std::string_view blob) {
+  ByteReader r(blob);
+  Node node;
+  WEAVER_RETURN_IF_ERROR(r.GetU64(&node.id));
+  WEAVER_RETURN_IF_ERROR(DeserializeTs(&r, &node.created));
+  WEAVER_RETURN_IF_ERROR(DeserializeTs(&r, &node.deleted));
+  WEAVER_RETURN_IF_ERROR(DeserializeTs(&r, &node.last_update));
+  WEAVER_RETURN_IF_ERROR(DeserializeProps(&r, &node.props));
+  std::uint32_t edge_count = 0;
+  WEAVER_RETURN_IF_ERROR(r.GetU32(&edge_count));
+  for (std::uint32_t i = 0; i < edge_count; ++i) {
+    Edge e;
+    WEAVER_RETURN_IF_ERROR(r.GetU64(&e.id));
+    WEAVER_RETURN_IF_ERROR(r.GetU64(&e.from));
+    WEAVER_RETURN_IF_ERROR(r.GetU64(&e.to));
+    WEAVER_RETURN_IF_ERROR(DeserializeTs(&r, &e.created));
+    WEAVER_RETURN_IF_ERROR(DeserializeTs(&r, &e.deleted));
+    WEAVER_RETURN_IF_ERROR(DeserializeProps(&r, &e.props));
+    const EdgeId eid = e.id;
+    node.out_edges.emplace(eid, std::move(e));
+  }
+  return node;
+}
+
+void GraphStore::InstallNode(Node node) {
+  const NodeId id = node.id;
+  auto ptr = std::make_unique<Node>(std::move(node));
+  nodes_[id] = std::move(ptr);
+}
+
+void GraphStore::EvictNode(NodeId id) { nodes_.erase(id); }
+
+}  // namespace weaver

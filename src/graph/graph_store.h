@@ -1,0 +1,144 @@
+// GraphStore: the in-memory, multi-version property graph held by one
+// shard server (paper §3.2, §4.2).
+//
+// Each shard stores a set of vertices, all out-edges rooted at those
+// vertices, and associated attributes. Every structural write (vertex or
+// edge creation/deletion, property assignment) is stamped with the
+// refinable timestamp of its transaction; deletion marks objects rather
+// than erasing them, forming the multi-version graph that lets node
+// programs read consistent snapshots without blocking writers.
+//
+// Threading: a GraphStore is owned by its shard's event loop and is
+// externally synchronized -- all mutation and program execution happen on
+// that single thread (the actor model the shard server implements).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/serde.h"
+#include "graph/property.h"
+#include "order/timestamp.h"
+
+namespace weaver {
+
+/// A directed edge rooted at its source vertex.
+struct Edge {
+  EdgeId id = kInvalidEdgeId;
+  NodeId from = kInvalidNodeId;
+  NodeId to = kInvalidNodeId;
+  PropertySet props;
+  RefinableTimestamp created;
+  RefinableTimestamp deleted;  // invalid() == live
+
+  bool VisibleAt(const RefinableTimestamp& read_ts,
+                 const OrderFn& order) const {
+    if (!WriteVisibleAt(created, read_ts, order)) return false;
+    if (deleted.valid() && WriteVisibleAt(deleted, read_ts, order)) {
+      return false;
+    }
+    return true;
+  }
+};
+
+/// A vertex with its out-edges and attributes.
+struct Node {
+  NodeId id = kInvalidNodeId;
+  PropertySet props;
+  std::unordered_map<EdgeId, Edge> out_edges;
+  RefinableTimestamp created;
+  RefinableTimestamp deleted;  // invalid() == live
+  /// Timestamp of the last committed write touching this vertex; mirrors
+  /// the backing store's last-update record (paper §4.2).
+  RefinableTimestamp last_update;
+
+  bool VisibleAt(const RefinableTimestamp& read_ts,
+                 const OrderFn& order) const {
+    if (!WriteVisibleAt(created, read_ts, order)) return false;
+    if (deleted.valid() && WriteVisibleAt(deleted, read_ts, order)) {
+      return false;
+    }
+    return true;
+  }
+
+  /// Number of out-edges visible at `read_ts`.
+  std::size_t OutDegreeAt(const RefinableTimestamp& read_ts,
+                          const OrderFn& order) const;
+};
+
+class GraphStore {
+ public:
+  struct Stats {
+    std::uint64_t nodes_created = 0;
+    std::uint64_t nodes_deleted = 0;
+    std::uint64_t edges_created = 0;
+    std::uint64_t edges_deleted = 0;
+    std::uint64_t props_assigned = 0;
+    std::uint64_t versions_collected = 0;
+  };
+
+  GraphStore() = default;
+  GraphStore(const GraphStore&) = delete;
+  GraphStore& operator=(const GraphStore&) = delete;
+
+  // --- Structural writes (applied by the shard in timestamp order) ------
+
+  Status CreateNode(NodeId id, const RefinableTimestamp& ts);
+  Status DeleteNode(NodeId id, const RefinableTimestamp& ts);
+  Status CreateEdge(EdgeId eid, NodeId from, NodeId to,
+                    const RefinableTimestamp& ts);
+  Status DeleteEdge(NodeId from, EdgeId eid, const RefinableTimestamp& ts);
+  Status AssignNodeProperty(NodeId id, std::string_view key,
+                            std::string_view value,
+                            const RefinableTimestamp& ts);
+  Status RemoveNodeProperty(NodeId id, std::string_view key,
+                            const RefinableTimestamp& ts);
+  Status AssignEdgeProperty(NodeId from, EdgeId eid, std::string_view key,
+                            std::string_view value,
+                            const RefinableTimestamp& ts);
+  Status RemoveEdgeProperty(NodeId from, EdgeId eid, std::string_view key,
+                            const RefinableTimestamp& ts);
+
+  // --- Reads -------------------------------------------------------------
+
+  /// Raw access for node-program execution. Returns nullptr if the vertex
+  /// has never existed on this shard (visibility still must be checked).
+  const Node* FindNode(NodeId id) const;
+  Node* FindNodeMutable(NodeId id);
+
+  bool ContainsNode(NodeId id) const { return nodes_.count(id) != 0; }
+  std::size_t NodeCount() const { return nodes_.size(); }
+  std::vector<NodeId> AllNodeIds() const;
+
+  // --- Maintenance --------------------------------------------------------
+
+  /// Multi-version GC (paper §4.5): erases objects deleted strictly before
+  /// `watermark` (the oldest in-flight operation) and collapses superseded
+  /// property versions. Returns number of objects/versions collected.
+  std::size_t CollectBefore(const RefinableTimestamp& watermark,
+                            const OrderFn& order);
+
+  /// Serialization of one vertex (with all its versions) into a backing-
+  /// store blob, and the inverse, used for durability and shard recovery.
+  static std::string SerializeNode(const Node& node);
+  static Result<Node> DeserializeNode(std::string_view blob);
+
+  /// Installs a recovered vertex, replacing any existing one.
+  void InstallNode(Node node);
+  /// Removes a vertex outright (repartitioning / migration).
+  void EvictNode(NodeId id);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::unordered_map<NodeId, std::unique_ptr<Node>> nodes_;
+  Stats stats_;
+};
+
+}  // namespace weaver

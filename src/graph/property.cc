@@ -1,0 +1,75 @@
+#include "graph/property.h"
+
+#include <algorithm>
+
+namespace weaver {
+
+void PropertySet::Assign(std::string_view key, std::string_view value,
+                         const RefinableTimestamp& ts) {
+  // Supersede the live version of this key, if any. Scanning backwards
+  // finds the most recent (live) version first.
+  for (auto it = versions_.rbegin(); it != versions_.rend(); ++it) {
+    if (it->key == key && !it->deleted.valid()) {
+      it->deleted = ts;
+      break;
+    }
+  }
+  versions_.push_back(PropertyVersion{std::string(key), std::string(value),
+                                      ts, RefinableTimestamp{}});
+}
+
+bool PropertySet::Remove(std::string_view key, const RefinableTimestamp& ts) {
+  for (auto it = versions_.rbegin(); it != versions_.rend(); ++it) {
+    if (it->key == key && !it->deleted.valid()) {
+      it->deleted = ts;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<std::string> PropertySet::ValueAt(
+    std::string_view key, const RefinableTimestamp& read_ts,
+    const OrderFn& order) const {
+  // Newest-last order: the last visible version is the one in effect.
+  for (auto it = versions_.rbegin(); it != versions_.rend(); ++it) {
+    if (it->key == key && it->VisibleAt(read_ts, order)) return it->value;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::pair<std::string, std::string>> PropertySet::SnapshotAt(
+    const RefinableTimestamp& read_ts, const OrderFn& order) const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& v : versions_) {
+    if (v.VisibleAt(read_ts, order)) out.emplace_back(v.key, v.value);
+  }
+  return out;
+}
+
+bool PropertySet::Check(std::string_view key, std::string_view value,
+                        const RefinableTimestamp& read_ts,
+                        const OrderFn& order) const {
+  for (auto it = versions_.rbegin(); it != versions_.rend(); ++it) {
+    if (it->key == key && it->VisibleAt(read_ts, order)) {
+      return it->value == value;
+    }
+  }
+  return false;
+}
+
+std::size_t PropertySet::CollectBefore(const RefinableTimestamp& watermark,
+                                       const OrderFn& order) {
+  const std::size_t before = versions_.size();
+  versions_.erase(
+      std::remove_if(versions_.begin(), versions_.end(),
+                     [&](const PropertyVersion& v) {
+                       return v.deleted.valid() &&
+                              order(v.deleted, watermark) ==
+                                  ClockOrder::kBefore;
+                     }),
+      versions_.end());
+  return before - versions_.size();
+}
+
+}  // namespace weaver

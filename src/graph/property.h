@@ -1,0 +1,98 @@
+// Multi-version named properties on vertices and edges (paper §2.1).
+//
+// A property version carries the refinable timestamps of the write that
+// created it and (once overwritten or removed) the write that deleted it.
+// Reads at timestamp T see the version created before T and not yet
+// deleted at T -- this is what lets long-running node programs read a
+// consistent snapshot while writes proceed (paper §3.1, advantage 3).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "order/timestamp.h"
+#include "vclock/vclock.h"
+
+namespace weaver {
+
+/// Definitive order resolver: returns kBefore/kAfter/kEqual for any pair of
+/// timestamps, consulting the shard's decision cache and the timeline
+/// oracle for concurrent pairs. Visibility checks never see kConcurrent
+/// from this function: the shard's execution rules guarantee every write
+/// version relevant to a read has already been ordered against it.
+using OrderFn = std::function<ClockOrder(const RefinableTimestamp&,
+                                         const RefinableTimestamp&)>;
+
+/// True iff `write_ts` is visible to a read executing at `read_ts`.
+inline bool WriteVisibleAt(const RefinableTimestamp& write_ts,
+                           const RefinableTimestamp& read_ts,
+                           const OrderFn& order) {
+  const ClockOrder o = order(write_ts, read_ts);
+  return o == ClockOrder::kBefore || o == ClockOrder::kEqual;
+}
+
+/// One version of one named property.
+struct PropertyVersion {
+  std::string key;
+  std::string value;
+  RefinableTimestamp created;
+  RefinableTimestamp deleted;  // invalid() == still live
+
+  bool VisibleAt(const RefinableTimestamp& read_ts,
+                 const OrderFn& order) const {
+    if (!WriteVisibleAt(created, read_ts, order)) return false;
+    if (deleted.valid() && WriteVisibleAt(deleted, read_ts, order)) {
+      return false;
+    }
+    return true;
+  }
+};
+
+/// Version chain for all properties of one graph object, newest last.
+class PropertySet {
+ public:
+  /// Assigns `key` = `value` at time `ts`: the currently-live version of
+  /// `key` (if any) is marked deleted at `ts` and a new version appended.
+  void Assign(std::string_view key, std::string_view value,
+              const RefinableTimestamp& ts);
+
+  /// Removes `key` at time `ts` (marks the live version deleted).
+  /// Returns false if no live version existed.
+  bool Remove(std::string_view key, const RefinableTimestamp& ts);
+
+  /// Value of `key` as of `read_ts`, or nullopt.
+  std::optional<std::string> ValueAt(std::string_view key,
+                                     const RefinableTimestamp& read_ts,
+                                     const OrderFn& order) const;
+
+  /// All key/value pairs visible at `read_ts`.
+  std::vector<std::pair<std::string, std::string>> SnapshotAt(
+      const RefinableTimestamp& read_ts, const OrderFn& order) const;
+
+  /// True if any visible version of `key` equals `value` (edge.check() in
+  /// the paper's Fig 3 BFS program).
+  bool Check(std::string_view key, std::string_view value,
+             const RefinableTimestamp& read_ts, const OrderFn& order) const;
+
+  /// Drops versions deleted strictly before `watermark` (paper §4.5).
+  /// Returns the number of versions collected.
+  std::size_t CollectBefore(const RefinableTimestamp& watermark,
+                            const OrderFn& order);
+
+  /// Appends a version verbatim, bypassing supersession logic. Only for
+  /// deserialization of an already-consistent version chain.
+  void AppendVersionRaw(PropertyVersion v) {
+    versions_.push_back(std::move(v));
+  }
+
+  const std::vector<PropertyVersion>& versions() const { return versions_; }
+  std::size_t VersionCount() const { return versions_.size(); }
+
+ private:
+  std::vector<PropertyVersion> versions_;
+};
+
+}  // namespace weaver

@@ -1,0 +1,174 @@
+#include "kvstore/kvstore.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/ids.h"
+
+namespace weaver {
+
+KvStore::KvStore(std::size_t stripes)
+    : stripes_(stripes == 0 ? 1 : stripes) {}
+
+std::size_t KvStore::StripeFor(std::string_view key) const {
+  return std::hash<std::string_view>{}(key) % stripes_.size();
+}
+
+std::uint64_t KvStore::VersionOfLocked(const Stripe& s,
+                                       std::string_view key) const {
+  auto it = s.map.find(std::string(key));
+  return it == s.map.end() ? 0 : it->second.version;
+}
+
+KvTransaction KvStore::Begin() { return KvTransaction(this); }
+
+Result<std::string> KvStore::Get(std::string_view key) const {
+  const Stripe& s = stripes_[StripeFor(key)];
+  std::lock_guard<std::mutex> lk(s.mu);
+  auto it = s.map.find(std::string(key));
+  if (it == s.map.end() || it->second.tombstone) {
+    return Status::NotFound(std::string(key));
+  }
+  return it->second.value;
+}
+
+void KvStore::Put(std::string_view key, std::string value) {
+  Stripe& s = stripes_[StripeFor(key)];
+  std::lock_guard<std::mutex> lk(s.mu);
+  Versioned& v = s.map[std::string(key)];
+  v.value = std::move(value);
+  v.version++;
+  v.tombstone = false;
+  stats_.writes.fetch_add(1, std::memory_order_relaxed);
+}
+
+void KvStore::Delete(std::string_view key) {
+  Stripe& s = stripes_[StripeFor(key)];
+  std::lock_guard<std::mutex> lk(s.mu);
+  auto it = s.map.find(std::string(key));
+  if (it != s.map.end()) {
+    it->second.value.clear();
+    it->second.version++;
+    it->second.tombstone = true;
+  }
+}
+
+bool KvStore::Contains(std::string_view key) const {
+  const Stripe& s = stripes_[StripeFor(key)];
+  std::lock_guard<std::mutex> lk(s.mu);
+  auto it = s.map.find(std::string(key));
+  return it != s.map.end() && !it->second.tombstone;
+}
+
+std::size_t KvStore::ApproximateSize() const {
+  std::size_t total = 0;
+  for (const auto& s : stripes_) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    total += s.map.size();
+  }
+  return total;
+}
+
+std::vector<std::pair<std::string, std::string>> KvStore::ScanPrefix(
+    std::string_view prefix) const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& s : stripes_) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    for (const auto& [k, v] : s.map) {
+      if (v.tombstone) continue;
+      if (k.size() >= prefix.size() &&
+          std::string_view(k).substr(0, prefix.size()) == prefix) {
+        out.emplace_back(k, v.value);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<std::string> KvTransaction::Get(std::string_view key) {
+  store_->stats_.reads.fetch_add(1, std::memory_order_relaxed);
+  const std::string k(key);
+  // Read-your-writes: buffered writes win over committed state.
+  if (auto wit = writes_.find(k); wit != writes_.end()) {
+    if (!wit->second.value.has_value()) return Status::NotFound(k);
+    return *wit->second.value;
+  }
+  KvStore::Stripe& s = store_->stripes_[store_->StripeFor(key)];
+  std::lock_guard<std::mutex> lk(s.mu);
+  auto it = s.map.find(k);
+  const std::uint64_t version = it == s.map.end() ? 0 : it->second.version;
+  // First read of a key pins its version; a repeated read that observes a
+  // different version would be a conflict at commit anyway, so keep the
+  // first-recorded version (earliest dependency).
+  reads_.try_emplace(k, version);
+  if (it == s.map.end() || it->second.tombstone) return Status::NotFound(k);
+  return it->second.value;
+}
+
+void KvTransaction::Put(std::string_view key, std::string value) {
+  writes_[std::string(key)] = PendingWrite{std::move(value)};
+}
+
+void KvTransaction::Delete(std::string_view key) {
+  writes_[std::string(key)] = PendingWrite{std::nullopt};
+}
+
+Status KvTransaction::Commit() {
+  if (finished_) {
+    return Status::Internal("KvTransaction reused after Commit");
+  }
+  finished_ = true;
+
+  // Gather the distinct stripes touched by the read and write sets, and
+  // lock them in index order: canonical ordering makes concurrent commits
+  // deadlock-free (same trick Warp's chain ordering achieves).
+  std::vector<std::size_t> stripe_idx;
+  stripe_idx.reserve(reads_.size() + writes_.size());
+  for (const auto& [k, _] : reads_) stripe_idx.push_back(store_->StripeFor(k));
+  for (const auto& [k, _] : writes_) stripe_idx.push_back(store_->StripeFor(k));
+  std::sort(stripe_idx.begin(), stripe_idx.end());
+  stripe_idx.erase(std::unique(stripe_idx.begin(), stripe_idx.end()),
+                   stripe_idx.end());
+
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(stripe_idx.size());
+  for (std::size_t idx : stripe_idx) {
+    locks.emplace_back(store_->stripes_[idx].mu);
+  }
+
+  // Validate: every version read must still be current.
+  for (const auto& [key, version] : reads_) {
+    const KvStore::Stripe& s = store_->stripes_[store_->StripeFor(key)];
+    if (store_->VersionOfLocked(s, key) != version) {
+      store_->stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+      return Status::Aborted("read-set conflict on key " + key);
+    }
+  }
+
+  // Apply buffered writes.
+  for (auto& [key, w] : writes_) {
+    KvStore::Stripe& s = store_->stripes_[store_->StripeFor(key)];
+    if (w.value.has_value()) {
+      KvStore::Versioned& v = s.map[key];
+      v.value = std::move(*w.value);
+      v.version++;
+      v.tombstone = false;
+      store_->stats_.writes.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // Deletion must still advance the key's version history so a later
+      // re-insert cannot revalidate a stale reader (ABA): keep a tombstone
+      // with a bumped version.
+      auto it = s.map.find(key);
+      if (it != s.map.end() && !it->second.tombstone) {
+        it->second.value.clear();
+        it->second.version++;
+        it->second.tombstone = true;
+      }
+    }
+  }
+  store_->stats_.commits.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+}  // namespace weaver

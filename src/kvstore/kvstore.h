@@ -1,0 +1,147 @@
+// KvStore: the backing store (paper §3.2), standing in for HyperDex Warp.
+//
+// Weaver relies on the backing store for exactly two things:
+//   1. Durable, fault-tolerant storage of graph data (vertices are opaque
+//      serialized blobs) plus the vertex -> shard mapping, used to recover
+//      failed shard servers (paper §4.3).
+//   2. ACID multi-key transactions that abort when data read during the
+//      transaction was modified concurrently -- the "acyclic transactions"
+//      optimistic protocol of Warp (paper §4.2). Gatekeepers run every
+//      read-write transaction here first; only committed transactions are
+//      forwarded to the shards.
+//
+// This implementation provides those guarantees with per-key version
+// numbers and OCC: reads record (key, version); commit locks the affected
+// stripes in canonical order, validates every recorded version, and applies
+// buffered writes atomically. It is linearizable at commit points and
+// serializable overall (validated by tests/kvstore_test.cc).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace weaver {
+
+class KvTransaction;
+
+class KvStore {
+ public:
+  struct Stats {
+    std::atomic<std::uint64_t> commits{0};
+    std::atomic<std::uint64_t> aborts{0};
+    std::atomic<std::uint64_t> reads{0};
+    std::atomic<std::uint64_t> writes{0};
+  };
+
+  explicit KvStore(std::size_t stripes = 64);
+  KvStore(const KvStore&) = delete;
+  KvStore& operator=(const KvStore&) = delete;
+
+  /// Starts an optimistic transaction. The returned object is bound to this
+  /// store and must not outlive it.
+  KvTransaction Begin();
+
+  /// Non-transactional read of the latest committed value.
+  Result<std::string> Get(std::string_view key) const;
+  /// Non-transactional blind write (used for bulk loads and recovery).
+  void Put(std::string_view key, std::string value);
+  /// Non-transactional delete.
+  void Delete(std::string_view key);
+
+  bool Contains(std::string_view key) const;
+  std::size_t ApproximateSize() const;
+
+  /// Snapshot of all keys with a given prefix (table scan; recovery path).
+  std::vector<std::pair<std::string, std::string>> ScanPrefix(
+      std::string_view prefix) const;
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  friend class KvTransaction;
+
+  struct Versioned {
+    std::string value;
+    std::uint64_t version = 0;  // 0 is reserved for "never existed"
+    // Deletions leave a tombstone with a bumped version so that a
+    // delete + re-insert cannot revalidate a stale reader (ABA).
+    bool tombstone = false;
+  };
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Versioned> map;
+  };
+
+  std::size_t StripeFor(std::string_view key) const;
+  /// Version of `key` as currently committed (0 if absent). Caller must
+  /// hold the stripe lock or tolerate racing (transactional reads re-check
+  /// under lock at commit).
+  std::uint64_t VersionOfLocked(const Stripe& s, std::string_view key) const;
+
+  std::vector<Stripe> stripes_;
+  Stats stats_;
+};
+
+/// Buffered-write optimistic transaction. Reads go to the committed state
+/// and record versions; writes are visible to this transaction's own reads
+/// (read-your-writes) but published only by Commit().
+class KvTransaction {
+ public:
+  /// Transactional read. Missing keys return NotFound but are still
+  /// recorded in the read set (so a concurrent insert aborts us).
+  Result<std::string> Get(std::string_view key);
+
+  void Put(std::string_view key, std::string value);
+  void Delete(std::string_view key);
+
+  /// OCC commit: validates the read set and applies buffered writes
+  /// atomically. Returns Aborted on conflict (caller retries). A committed
+  /// or aborted transaction must not be reused.
+  Status Commit();
+
+  std::size_t read_set_size() const { return reads_.size(); }
+  std::size_t write_set_size() const { return writes_.size(); }
+
+ private:
+  friend class KvStore;
+  explicit KvTransaction(KvStore* store) : store_(store) {}
+
+  struct PendingWrite {
+    std::optional<std::string> value;  // nullopt == delete
+  };
+
+  KvStore* store_;
+  std::unordered_map<std::string, std::uint64_t> reads_;  // key -> version
+  std::unordered_map<std::string, PendingWrite> writes_;
+  bool finished_ = false;
+};
+
+/// Key-space helpers: the backing store holds several logical tables keyed
+/// by a one-byte prefix (vertex blobs, vertex->shard map, last-update
+/// timestamps).
+namespace kv_keys {
+
+inline std::string VertexData(std::uint64_t node_id) {
+  return "v:" + std::to_string(node_id);
+}
+inline std::string VertexShardMap(std::uint64_t node_id) {
+  return "m:" + std::to_string(node_id);
+}
+inline std::string VertexLastUpdate(std::uint64_t node_id) {
+  return "u:" + std::to_string(node_id);
+}
+inline constexpr std::string_view kVertexDataPrefix = "v:";
+inline constexpr std::string_view kVertexShardMapPrefix = "m:";
+
+}  // namespace kv_keys
+
+}  // namespace weaver

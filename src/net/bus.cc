@@ -1,0 +1,156 @@
+#include "net/bus.h"
+
+#include <cassert>
+
+#include "common/clock.h"
+
+namespace weaver {
+
+MessageBus::MessageBus() {
+  delay_thread_ = std::thread([this] { DelayLoop(); });
+}
+
+MessageBus::~MessageBus() {
+  {
+    std::lock_guard<std::mutex> lk(delay_mu_);
+    stopping_ = true;
+    delay_cv_.notify_all();
+  }
+  if (delay_thread_.joinable()) delay_thread_.join();
+}
+
+EndpointId MessageBus::RegisterInbox(
+    std::string name, std::shared_ptr<BlockingQueue<BusMessage>> inbox) {
+  std::lock_guard<std::mutex> lk(endpoints_mu_);
+  auto ep = std::make_unique<Endpoint>();
+  ep->name = std::move(name);
+  ep->inbox = std::move(inbox);
+  endpoints_.push_back(std::move(ep));
+  return static_cast<EndpointId>(endpoints_.size() - 1);
+}
+
+EndpointId MessageBus::RegisterHandler(
+    std::string name, std::function<void(const BusMessage&)> handler) {
+  std::lock_guard<std::mutex> lk(endpoints_mu_);
+  auto ep = std::make_unique<Endpoint>();
+  ep->name = std::move(name);
+  ep->handler = std::move(handler);
+  endpoints_.push_back(std::move(ep));
+  return static_cast<EndpointId>(endpoints_.size() - 1);
+}
+
+void MessageBus::Detach(EndpointId id) {
+  std::lock_guard<std::mutex> lk(endpoints_mu_);
+  assert(id < endpoints_.size());
+  endpoints_[id]->attached = false;
+  endpoints_[id]->inbox.reset();
+}
+
+void MessageBus::ReattachInbox(
+    EndpointId id, std::shared_ptr<BlockingQueue<BusMessage>> inbox) {
+  std::lock_guard<std::mutex> lk(endpoints_mu_);
+  assert(id < endpoints_.size());
+  endpoints_[id]->inbox = std::move(inbox);
+  endpoints_[id]->attached = true;
+}
+
+void MessageBus::SetDelayFn(
+    std::function<std::uint64_t(EndpointId, EndpointId)> delay_fn) {
+  delay_fn_ = std::move(delay_fn);
+}
+
+Status MessageBus::Send(EndpointId src, EndpointId dst,
+                        std::uint32_t payload_tag,
+                        std::shared_ptr<void> payload) {
+  BusMessage msg;
+  msg.src = src;
+  msg.dst = dst;
+  msg.payload = std::move(payload);
+  msg.payload_tag = payload_tag;
+
+  Channel* ch = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(channels_mu_);
+    auto& slot = channels_[{src, dst}];
+    if (!slot) slot = std::make_unique<Channel>();
+    ch = slot.get();
+  }
+
+  std::uint64_t delay_us =
+      delay_fn_ ? delay_fn_(src, dst) : 0;
+
+  // Sequence assignment must be atomic with handing the message to the
+  // delivery path, otherwise two concurrent senders could invert order on
+  // the channel.
+  std::lock_guard<std::mutex> ch_lk(ch->mu);
+  msg.channel_seq = ch->next_seq++;
+  stats_.messages_sent.fetch_add(1, std::memory_order_relaxed);
+
+  if (delay_us == 0) {
+    Deliver(msg);
+    return Status::Ok();
+  }
+
+  // Delayed path: clamp the deadline so it never precedes an earlier
+  // message on the same channel (FIFO under heterogeneous delays).
+  const std::uint64_t deadline =
+      std::max(NowMicros() + delay_us, ch->last_delivery_deadline_us);
+  ch->last_delivery_deadline_us = deadline;
+  {
+    std::lock_guard<std::mutex> lk(delay_mu_);
+    delay_queue_.push(Delayed{deadline, delay_order_++, msg});
+    delay_cv_.notify_one();
+  }
+  return Status::Ok();
+}
+
+void MessageBus::Deliver(const BusMessage& msg) {
+  std::shared_ptr<BlockingQueue<BusMessage>> inbox;
+  std::function<void(const BusMessage&)> handler;
+  {
+    std::lock_guard<std::mutex> lk(endpoints_mu_);
+    if (msg.dst >= endpoints_.size()) return;
+    Endpoint& ep = *endpoints_[msg.dst];
+    if (!ep.attached) return;  // crashed server: message dropped
+    inbox = ep.inbox;
+    handler = ep.handler;
+  }
+  stats_.messages_delivered.fetch_add(1, std::memory_order_relaxed);
+  if (inbox) {
+    inbox->Push(msg);
+  } else if (handler) {
+    handler(msg);
+  }
+}
+
+void MessageBus::DelayLoop() {
+  std::unique_lock<std::mutex> lk(delay_mu_);
+  while (true) {
+    if (stopping_) return;
+    if (delay_queue_.empty()) {
+      delay_cv_.wait(lk, [&] { return stopping_ || !delay_queue_.empty(); });
+      continue;
+    }
+    const std::uint64_t now = NowMicros();
+    const Delayed& top = delay_queue_.top();
+    if (top.deliver_at_us > now) {
+      delay_cv_.wait_for(
+          lk, std::chrono::microseconds(top.deliver_at_us - now));
+      continue;
+    }
+    Delayed d = top;
+    delay_queue_.pop();
+    lk.unlock();
+    Deliver(d.msg);
+    lk.lock();
+  }
+}
+
+const std::string& MessageBus::NameOf(EndpointId id) const {
+  std::lock_guard<std::mutex> lk(endpoints_mu_);
+  static const std::string kUnknown = "?";
+  if (id >= endpoints_.size()) return kUnknown;
+  return endpoints_[id]->name;
+}
+
+}  // namespace weaver

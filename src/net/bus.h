@@ -1,0 +1,137 @@
+// MessageBus: the simulated cluster interconnect.
+//
+// Weaver's deployment runs gatekeepers and shard servers as separate
+// processes connected by TCP; this reproduction runs them as actors inside
+// one process connected by this bus. The bus preserves the property the
+// protocol depends on (paper §4.2): every (source, destination) pair is a
+// reliable FIFO channel with per-channel sequence numbers, so transactions
+// from one gatekeeper cannot be lost or reordered in transit. Receivers
+// check the sequence numbers and fail loudly on a violation.
+//
+// Endpoints either own an inbox (BlockingQueue drained by their event
+// loop -- shard servers) or register an inline handler invoked on the
+// sender's thread (gatekeeper announce processing, which is a single
+// cheap clock merge).
+//
+// For tests, an optional delivery-delay hook routes messages through a
+// timer thread; per-channel FIFO order is still preserved (delays are
+// clamped monotonically per channel), modelling a slow but ordered link.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/queue.h"
+#include "common/status.h"
+
+namespace weaver {
+
+/// Opaque endpoint address on the bus.
+using EndpointId = std::uint32_t;
+
+struct BusMessage {
+  EndpointId src = 0;
+  EndpointId dst = 0;
+  std::uint64_t channel_seq = 0;  // 1-based, per (src,dst) channel
+  std::shared_ptr<void> payload;  // type-erased; receivers know the schema
+  std::uint32_t payload_tag = 0;  // discriminator chosen by the sender
+};
+
+class MessageBus {
+ public:
+  struct Stats {
+    std::atomic<std::uint64_t> messages_sent{0};
+    std::atomic<std::uint64_t> messages_delivered{0};
+  };
+
+  MessageBus();
+  ~MessageBus();
+  MessageBus(const MessageBus&) = delete;
+  MessageBus& operator=(const MessageBus&) = delete;
+
+  /// Registers an endpoint whose messages accumulate in an inbox that the
+  /// owner drains (actor style). Returns the endpoint id.
+  EndpointId RegisterInbox(std::string name,
+                           std::shared_ptr<BlockingQueue<BusMessage>> inbox);
+
+  /// Registers an endpoint with an inline delivery handler (invoked on the
+  /// sender's thread, or the delay thread when delays are active).
+  EndpointId RegisterHandler(std::string name,
+                             std::function<void(const BusMessage&)> handler);
+
+  /// Detaches an endpoint: subsequent sends to it are dropped (simulates a
+  /// crashed server). Channel sequence state is preserved so a re-register
+  /// with ReattachInbox continues the FIFO stream.
+  void Detach(EndpointId id);
+  void ReattachInbox(EndpointId id,
+                     std::shared_ptr<BlockingQueue<BusMessage>> inbox);
+
+  /// Sends a message. Assigns the per-channel sequence number atomically
+  /// with enqueueing, so concurrent senders on one channel stay FIFO.
+  /// Returns Unavailable if the destination is detached.
+  Status Send(EndpointId src, EndpointId dst, std::uint32_t payload_tag,
+              std::shared_ptr<void> payload);
+
+  /// Installs a delivery delay (microseconds) computed per message; nullptr
+  /// disables delays. Not for use concurrently with traffic.
+  void SetDelayFn(
+      std::function<std::uint64_t(EndpointId, EndpointId)> delay_fn);
+
+  const std::string& NameOf(EndpointId id) const;
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Endpoint {
+    std::string name;
+    std::shared_ptr<BlockingQueue<BusMessage>> inbox;  // or...
+    std::function<void(const BusMessage&)> handler;    // ...inline handler
+    bool attached = true;
+  };
+  struct Channel {
+    std::mutex mu;
+    std::uint64_t next_seq = 1;
+    std::uint64_t last_delivery_deadline_us = 0;  // for FIFO under delays
+  };
+  struct Delayed {
+    std::uint64_t deliver_at_us;
+    std::uint64_t order;  // tie-break, preserves global send order
+    BusMessage msg;
+    bool operator>(const Delayed& other) const {
+      return std::tie(deliver_at_us, order) >
+             std::tie(other.deliver_at_us, other.order);
+    }
+  };
+
+  void Deliver(const BusMessage& msg);
+  void DelayLoop();
+
+  mutable std::mutex endpoints_mu_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+
+  std::mutex channels_mu_;
+  std::map<std::pair<EndpointId, EndpointId>, std::unique_ptr<Channel>>
+      channels_;
+
+  std::function<std::uint64_t(EndpointId, EndpointId)> delay_fn_;
+  std::mutex delay_mu_;
+  std::condition_variable delay_cv_;
+  std::priority_queue<Delayed, std::vector<Delayed>, std::greater<>>
+      delay_queue_;
+  std::uint64_t delay_order_ = 0;
+  std::thread delay_thread_;
+  bool stopping_ = false;
+
+  Stats stats_;
+};
+
+}  // namespace weaver

@@ -1,0 +1,362 @@
+#include "order/gatekeeper.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/clock.h"
+#include "core/messages.h"
+#include "graph/graph_store.h"
+
+namespace weaver {
+
+namespace {
+
+std::string SerializeTimestamp(const RefinableTimestamp& ts) {
+  ByteWriter w;
+  ts.Serialize(&w);
+  return w.Take();
+}
+
+Status ParseTimestamp(std::string_view blob, RefinableTimestamp* ts) {
+  ByteReader r(blob);
+  return RefinableTimestamp::Deserialize(&r, ts);
+}
+
+}  // namespace
+
+Gatekeeper::Gatekeeper(Options options)
+    : options_(std::move(options)),
+      clock_(options_.num_gatekeepers) {
+  assert(options_.bus != nullptr);
+  assert(options_.kv != nullptr);
+  assert(options_.id < options_.num_gatekeepers);
+  endpoint_ = options_.bus->RegisterHandler(
+      "gk" + std::to_string(options_.id), [this](const BusMessage& msg) {
+        if (msg.payload_tag == kMsgAnnounce) {
+          auto ann = std::static_pointer_cast<AnnounceMessage>(msg.payload);
+          OnAnnounce(ann->clock);
+        }
+      });
+}
+
+Gatekeeper::~Gatekeeper() { StopTimers(); }
+
+void Gatekeeper::StartTimers() {
+  std::lock_guard<std::mutex> lk(timer_mu_);
+  if (timers_running_) return;
+  timers_running_ = true;
+  stop_timers_ = false;
+  if (options_.tau_micros > 0) {
+    announce_thread_ = std::thread([this] { AnnounceLoop(); });
+  }
+  if (options_.nop_period_micros > 0) {
+    nop_thread_ = std::thread([this] { NopLoop(); });
+  }
+}
+
+void Gatekeeper::StopTimers() {
+  {
+    std::lock_guard<std::mutex> lk(timer_mu_);
+    if (!timers_running_) return;
+    stop_timers_ = true;
+    timer_cv_.notify_all();
+  }
+  if (announce_thread_.joinable()) announce_thread_.join();
+  if (nop_thread_.joinable()) nop_thread_.join();
+  {
+    std::lock_guard<std::mutex> lk(timer_mu_);
+    timers_running_ = false;
+  }
+}
+
+void Gatekeeper::AnnounceLoop() {
+  std::unique_lock<std::mutex> lk(timer_mu_);
+  while (!stop_timers_) {
+    timer_cv_.wait_for(lk, std::chrono::microseconds(options_.tau_micros));
+    if (stop_timers_) return;
+    lk.unlock();
+    PumpAnnounce();
+    lk.lock();
+  }
+}
+
+void Gatekeeper::NopLoop() {
+  std::unique_lock<std::mutex> lk(timer_mu_);
+  while (!stop_timers_) {
+    timer_cv_.wait_for(
+        lk, std::chrono::microseconds(options_.nop_period_micros));
+    if (stop_timers_) return;
+    lk.unlock();
+    PumpNop();
+    lk.lock();
+  }
+}
+
+RefinableTimestamp Gatekeeper::IssueTimestamp(bool want_slot,
+                                              std::uint64_t* slot) {
+  std::lock_guard<std::mutex> clk(clock_mu_);
+  const std::uint64_t seq = clock_.Tick(options_.id);
+  RefinableTimestamp ts(clock_, options_.id, seq);
+  if (want_slot) {
+    std::lock_guard<std::mutex> olk(out_mu_);
+    *slot = next_slot_to_alloc_++;
+  }
+  return ts;
+}
+
+void Gatekeeper::ReleaseSlot(std::uint64_t slot,
+                             std::function<void()> send_fn) {
+  std::unique_lock<std::mutex> lk(out_mu_);
+  pending_releases_[slot] = std::move(send_fn);
+  // Drain the contiguous prefix in slot order. Sends run under out_mu_, so
+  // messages enter the per-shard channels in timestamp order -- the FIFO
+  // property the shard queues rely on (paper §4.2).
+  while (!pending_releases_.empty() &&
+         pending_releases_.begin()->first == next_slot_to_release_) {
+    auto fn = std::move(pending_releases_.begin()->second);
+    pending_releases_.erase(pending_releases_.begin());
+    ++next_slot_to_release_;
+    if (fn) fn();
+  }
+}
+
+void Gatekeeper::SendNop(const RefinableTimestamp& ts) {
+  for (EndpointId shard_ep : options_.shard_endpoints) {
+    auto payload = std::make_shared<NopMessage>();
+    payload->ts = ts;
+    options_.bus->Send(endpoint_, shard_ep, kMsgNop, std::move(payload));
+  }
+  stats_.nops_sent.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Gatekeeper::PumpNop() {
+  std::uint64_t slot = 0;
+  const RefinableTimestamp ts = IssueTimestamp(true, &slot);
+  ReleaseSlot(slot, [this, ts] { SendNop(ts); });
+}
+
+void Gatekeeper::PumpAnnounce() {
+  VectorClock snapshot = SnapshotClock();
+  for (EndpointId peer : options_.peer_endpoints) {
+    auto payload = std::make_shared<AnnounceMessage>();
+    payload->clock = snapshot;
+    payload->from = options_.id;
+    options_.bus->Send(endpoint_, peer, kMsgAnnounce, std::move(payload));
+    stats_.announces_sent.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Gatekeeper::OnAnnounce(const VectorClock& peer_clock) {
+  std::lock_guard<std::mutex> lk(clock_mu_);
+  clock_.Merge(peer_clock);
+  stats_.announces_received.fetch_add(1, std::memory_order_relaxed);
+}
+
+VectorClock Gatekeeper::SnapshotClock() {
+  std::lock_guard<std::mutex> lk(clock_mu_);
+  return clock_;
+}
+
+void Gatekeeper::AdvanceEpochLocked(std::uint32_t epoch) {
+  clock_.AdvanceEpoch(epoch);
+}
+
+Status Gatekeeper::CommitTransaction(
+    KvTransaction* kvtx, const std::vector<GraphOp>& ops,
+    const std::unordered_map<NodeId, ShardId>& placements,
+    RefinableTimestamp* committed_ts) {
+  const std::uint64_t busy_start = NowNanos();
+  struct BusyGuard {
+    Stats* stats;
+    std::uint64_t start;
+    ~BusyGuard() {
+      stats->busy_ns.fetch_add(NowNanos() - start,
+                               std::memory_order_relaxed);
+    }
+  } busy_guard{&stats_, busy_start};
+  // A last-update conflict (paper §4.2) merges the conflicting clock and
+  // retries with a fresh, strictly later timestamp. The paper pushes this
+  // retry to the client; doing one bounded round here first saves the
+  // round trip without changing semantics.
+  constexpr int kMaxTimestampRetries = 4;
+  Status last_status = Status::Aborted("timestamp retries exhausted");
+  for (int attempt = 0; attempt < kMaxTimestampRetries; ++attempt) {
+    std::uint64_t slot = 0;
+    const RefinableTimestamp ts = IssueTimestamp(true, &slot);
+    *committed_ts = ts;
+
+    // Any early return must still release the outbound slot (with no
+    // sends), or the sequencer would stall every later transaction.
+    auto release_empty = [&] { ReleaseSlot(slot, nullptr); };
+
+    // Apply the write batch to the backing store through the OCC
+    // transaction. Vertices are opaque blobs; each touched vertex is
+    // deserialized once, mutated in memory, and written back.
+    std::unordered_map<NodeId, Node> touched;
+    auto load_node = [&](NodeId id) -> Result<Node*> {
+      auto it = touched.find(id);
+      if (it != touched.end()) return &it->second;
+      auto blob = kvtx->Get(kv_keys::VertexData(id));
+      if (!blob.ok()) return blob.status();
+      auto node = GraphStore::DeserializeNode(*blob);
+      if (!node.ok()) return node.status();
+      auto [nit, _] = touched.emplace(id, std::move(node).value());
+      return &nit->second;
+    };
+
+    // Per-vertex last-update check (paper §4.2): the new timestamp must be
+    // strictly after the timestamp of the vertex's last committed write.
+    std::unordered_set<NodeId> checked;
+    auto check_last_update = [&](NodeId id) -> Status {
+      if (!checked.insert(id).second) return Status::Ok();
+      auto last_blob = kvtx->Get(kv_keys::VertexLastUpdate(id));
+      if (!last_blob.ok()) return Status::Ok();  // new vertex
+      RefinableTimestamp last;
+      WEAVER_RETURN_IF_ERROR(ParseTimestamp(*last_blob, &last));
+      if (last.Compare(ts) != ClockOrder::kBefore) {
+        {
+          std::lock_guard<std::mutex> lk(clock_mu_);
+          clock_.Merge(last.clock);
+        }
+        stats_.txs_aborted_last_update.fetch_add(1,
+                                                 std::memory_order_relaxed);
+        return Status::Aborted("last-update timestamp not before tx ts");
+      }
+      return Status::Ok();
+    };
+
+    bool retry_timestamp = false;
+    std::unordered_set<NodeId> created;
+    Status op_status = Status::Ok();
+    for (const GraphOp& op : ops) {
+      if (op.type == GraphOpType::kCreateNode) {
+        auto existing = kvtx->Get(kv_keys::VertexData(op.node));
+        if (existing.ok()) {
+          op_status =
+              Status::AlreadyExists("node " + std::to_string(op.node));
+          break;
+        }
+        Node fresh;
+        fresh.id = op.node;
+        fresh.created = ts;
+        fresh.last_update = ts;
+        touched.emplace(op.node, std::move(fresh));
+        created.insert(op.node);
+        continue;
+      }
+      Status st = check_last_update(op.node);
+      if (st.IsAborted()) {
+        retry_timestamp = true;
+        op_status = st;
+        break;
+      }
+      if (!st.ok()) {
+        op_status = st;
+        break;
+      }
+      auto node = load_node(op.node);
+      if (!node.ok()) {
+        op_status = node.status();
+        break;
+      }
+      st = ApplyGraphOpToNode(*node, op, ts);
+      if (!st.ok()) {
+        op_status = st;
+        break;
+      }
+    }
+    if (!op_status.ok()) {
+      release_empty();
+      if (retry_timestamp) {
+        last_status = op_status;
+        continue;  // merged the conflicting clock; a fresh ts will win
+      }
+      return op_status;
+    }
+
+    // Write back blobs, last-update stamps, and shard placements.
+    const std::string ts_blob = SerializeTimestamp(ts);
+    for (auto& [id, node] : touched) {
+      kvtx->Put(kv_keys::VertexData(id), GraphStore::SerializeNode(node));
+      kvtx->Put(kv_keys::VertexLastUpdate(id), ts_blob);
+      if (created.count(id)) {
+        auto pit = placements.find(id);
+        const ShardId shard = pit == placements.end() ? 0 : pit->second;
+        kvtx->Put(kv_keys::VertexShardMap(id), std::to_string(shard));
+      }
+    }
+
+    const Status commit_st = kvtx->Commit();
+    if (!commit_st.ok()) {
+      stats_.txs_aborted_kv.fetch_add(1, std::memory_order_relaxed);
+      release_empty();
+      return commit_st;
+    }
+
+    // Committed on the backing store: forward per-shard slices. Every
+    // shard receives a message for this timestamp (an empty slice advances
+    // the queue head, like a NOP), released in timestamp order.
+    const std::size_t num_shards = options_.shard_endpoints.size();
+    auto slices = std::make_shared<std::vector<std::vector<GraphOp>>>();
+    slices->resize(num_shards);
+    for (const GraphOp& op : ops) {
+      auto pit = placements.find(op.node);
+      const ShardId shard = pit == placements.end() ? 0 : pit->second;
+      if (shard < num_shards) (*slices)[shard].push_back(op);
+    }
+    ReleaseSlot(slot, [this, ts, slices] {
+      for (std::size_t s = 0; s < options_.shard_endpoints.size(); ++s) {
+        auto payload = std::make_shared<TxMessage>();
+        payload->ts = ts;
+        payload->ops = std::move((*slices)[s]);
+        options_.bus->Send(endpoint_, options_.shard_endpoints[s], kMsgTx,
+                           std::move(payload));
+      }
+    });
+    stats_.txs_committed.fetch_add(1, std::memory_order_relaxed);
+    return Status::Ok();
+  }
+  return last_status;
+}
+
+RefinableTimestamp Gatekeeper::BeginProgram() {
+  const std::uint64_t busy_start = NowNanos();
+  std::uint64_t unused = 0;
+  const RefinableTimestamp ts = IssueTimestamp(false, &unused);
+  {
+    std::lock_guard<std::mutex> lk(programs_mu_);
+    active_programs_.emplace(ts.event_id(), ts);
+  }
+  stats_.programs_issued.fetch_add(1, std::memory_order_relaxed);
+  stats_.busy_ns.fetch_add(NowNanos() - busy_start,
+                           std::memory_order_relaxed);
+  return ts;
+}
+
+void Gatekeeper::EndProgram(const RefinableTimestamp& ts) {
+  std::lock_guard<std::mutex> lk(programs_mu_);
+  active_programs_.erase(ts.event_id());
+}
+
+RefinableTimestamp Gatekeeper::OldestActive() {
+  VectorClock snapshot = SnapshotClock();
+  std::lock_guard<std::mutex> lk(programs_mu_);
+  if (active_programs_.empty()) {
+    return RefinableTimestamp(snapshot, options_.id,
+                              snapshot.Component(options_.id));
+  }
+  // Pointwise minimum over active program clocks: nothing a live program
+  // can still read precedes this synthetic watermark.
+  std::vector<std::uint64_t> mins = snapshot.counters();
+  std::uint32_t epoch = snapshot.epoch();
+  for (const auto& [_, pts] : active_programs_) {
+    epoch = std::min(epoch, pts.clock.epoch());
+    for (std::size_t i = 0; i < mins.size() && i < pts.clock.width(); ++i) {
+      mins[i] = std::min(mins[i], pts.clock.Component(i));
+    }
+  }
+  VectorClock wm(epoch, std::move(mins));
+  return RefinableTimestamp(wm, options_.id, wm.Component(options_.id));
+}
+
+}  // namespace weaver

@@ -1,0 +1,177 @@
+// Gatekeeper: one server of the timeline coordinator bank (paper §3.3,
+// §4.2).
+//
+// Responsibilities:
+//   * Assign a refinable timestamp to every transaction and node program
+//     by ticking its vector clock -- no cross-server coordination.
+//   * Announce its clock to peer gatekeepers every tau microseconds, which
+//     establishes the happens-before partial order that makes the majority
+//     of timestamps directly comparable (Fig 5).
+//   * Execute read-write transactions against the backing store, using the
+//     per-vertex last-update timestamp to guarantee that timestamp order
+//     matches backing-store commit order on conflicting vertices; if the
+//     check fails, abort so the client retries with a fresh (higher)
+//     timestamp (paper §4.2).
+//   * Forward committed transactions to the shard servers over FIFO
+//     channels, in timestamp order (an outbound sequencer releases sends
+//     in local-sequence order even though commits finish out of order).
+//   * Emit periodic NOP transactions so shard queue heads always advance
+//     during light load (paper §4.2).
+//   * Track in-flight node programs so the deployment can compute the GC
+//     watermark (oldest ongoing program, paper §4.5).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "core/graph_op.h"
+#include "kvstore/kvstore.h"
+#include "net/bus.h"
+#include "order/timestamp.h"
+#include "vclock/vclock.h"
+
+namespace weaver {
+
+class Gatekeeper {
+ public:
+  struct Options {
+    GatekeeperId id = 0;
+    std::size_t num_gatekeepers = 1;
+    MessageBus* bus = nullptr;
+    KvStore* kv = nullptr;
+    std::vector<EndpointId> shard_endpoints;
+    std::vector<EndpointId> peer_endpoints;  // other gatekeepers
+    /// Clock synchronization period tau (paper §3.5). 0 disables the timer
+    /// (tests pump manually with PumpAnnounce).
+    std::uint64_t tau_micros = 1000;
+    /// NOP emission period (paper default 10us; relaxed here). 0 disables.
+    std::uint64_t nop_period_micros = 200;
+  };
+
+  struct Stats {
+    std::atomic<std::uint64_t> txs_committed{0};
+    std::atomic<std::uint64_t> txs_aborted_kv{0};
+    std::atomic<std::uint64_t> txs_aborted_last_update{0};
+    std::atomic<std::uint64_t> announces_sent{0};
+    std::atomic<std::uint64_t> announces_received{0};
+    std::atomic<std::uint64_t> nops_sent{0};
+    std::atomic<std::uint64_t> programs_issued{0};
+    /// Nanoseconds this gatekeeper spent doing per-operation work
+    /// (timestamping, backing-store commits, announce/NOP emission). Used
+    /// by the Fig 12/13 scaling benches' service-time model.
+    std::atomic<std::uint64_t> busy_ns{0};
+  };
+
+  explicit Gatekeeper(Options options);
+  ~Gatekeeper();
+  Gatekeeper(const Gatekeeper&) = delete;
+  Gatekeeper& operator=(const Gatekeeper&) = delete;
+
+  GatekeeperId id() const { return options_.id; }
+  EndpointId endpoint() const { return endpoint_; }
+
+  /// Installs the peer gatekeeper endpoints (deployment wiring happens
+  /// after all gatekeepers are constructed). Call before StartTimers().
+  void SetPeerEndpoints(std::vector<EndpointId> peers) {
+    options_.peer_endpoints = std::move(peers);
+  }
+
+  /// Starts the announce/NOP timer threads (no-op for zero periods).
+  void StartTimers();
+  /// Stops timers; safe to call repeatedly.
+  void StopTimers();
+
+  /// Commits a client transaction: assigns a timestamp, applies `ops` to
+  /// the backing store through `kvtx` (validating per-vertex last-update
+  /// timestamps), commits, and forwards per-shard slices over the bus.
+  /// `placements` maps every vertex touched by `ops` to its shard.
+  /// On kAborted the client should retry the whole transaction.
+  Status CommitTransaction(
+      KvTransaction* kvtx, const std::vector<GraphOp>& ops,
+      const std::unordered_map<NodeId, ShardId>& placements,
+      RefinableTimestamp* committed_ts);
+
+  /// Issues a timestamp for a node program and registers it as in-flight.
+  RefinableTimestamp BeginProgram();
+  /// Marks a program complete (removes it from the in-flight set).
+  void EndProgram(const RefinableTimestamp& ts);
+  /// Oldest in-flight program timestamp, or the current clock snapshot if
+  /// none (GC watermark input, paper §4.5).
+  RefinableTimestamp OldestActive();
+
+  /// Manually sends one announce round (deterministic tests, benches).
+  void PumpAnnounce();
+  /// Manually emits one NOP to all shards.
+  void PumpNop();
+
+  /// Bus delivery entry point for peer announces.
+  void OnAnnounce(const VectorClock& peer_clock);
+
+  /// Epoch barrier support (paper §4.3): the cluster manager holds all
+  /// gatekeepers' clock locks and advances them in unison.
+  std::mutex& clock_mutex() { return clock_mu_; }
+  /// Requires clock_mutex() held by the caller.
+  void AdvanceEpochLocked(std::uint32_t epoch);
+
+  VectorClock SnapshotClock();
+  const Stats& stats() const { return stats_; }
+
+  /// Charges coordinator-side work to this gatekeeper's busy time. In the
+  /// paper the gatekeeper forwards node programs to shards and routes the
+  /// responses; this deployment runs that coordination on the client
+  /// thread (core/weaver.cc RunProgram) and attributes the CPU cost here
+  /// so the Fig 12/13 service-time model sees it on the right server.
+  void AddBusyNs(std::uint64_t ns) {
+    stats_.busy_ns.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+ private:
+  /// Ticks the clock and returns the new timestamp plus a dense outbound
+  /// slot id (transactions/NOPs only; programs pass want_slot = false).
+  RefinableTimestamp IssueTimestamp(bool want_slot, std::uint64_t* slot);
+
+  /// Hands a released slot's sends to the bus in slot order.
+  void ReleaseSlot(std::uint64_t slot, std::function<void()> send_fn);
+
+  void AnnounceLoop();
+  void NopLoop();
+  void SendNop(const RefinableTimestamp& ts);
+
+  Options options_;
+  EndpointId endpoint_ = 0;
+
+  std::mutex clock_mu_;
+  VectorClock clock_;
+
+  // Outbound sequencer: slots release to the bus in allocation order.
+  std::mutex out_mu_;
+  std::uint64_t next_slot_to_alloc_ = 0;
+  std::uint64_t next_slot_to_release_ = 0;
+  std::map<std::uint64_t, std::function<void()>> pending_releases_;
+
+  // In-flight node programs, keyed by event id.
+  std::mutex programs_mu_;
+  std::unordered_map<EventId, RefinableTimestamp> active_programs_;
+
+  std::thread announce_thread_;
+  std::thread nop_thread_;
+  std::mutex timer_mu_;
+  std::condition_variable timer_cv_;
+  bool timers_running_ = false;
+  bool stop_timers_ = false;
+
+  Stats stats_;
+};
+
+}  // namespace weaver

@@ -1,0 +1,84 @@
+#include "order/resolver.h"
+
+#include <unordered_set>
+
+namespace weaver {
+
+ClockOrder OrderResolver::Resolve(const RefinableTimestamp& a,
+                                  const RefinableTimestamp& b,
+                                  OrderPreference prefer) {
+  const ClockOrder by_clock = a.Compare(b);
+  if (by_clock != ClockOrder::kConcurrent) {
+    stats_.vclock_fast_path++;
+    return by_clock;
+  }
+  const Key key{a.event_id(), b.event_id()};
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      stats_.cache_hits++;
+      return it->second;
+    }
+  }
+  const ClockOrder decided = oracle_->OrderPair(a, b, prefer);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stats_.oracle_requests++;
+    cache_[key] = decided;
+    cache_[{key.second, key.first}] = FlipOrder(decided);
+    cached_clocks_.try_emplace(a.event_id(), a.clock);
+    cached_clocks_.try_emplace(b.event_id(), b.clock);
+  }
+  return decided;
+}
+
+ClockOrder OrderResolver::Peek(const RefinableTimestamp& a,
+                               const RefinableTimestamp& b) {
+  const ClockOrder by_clock = a.Compare(b);
+  if (by_clock != ClockOrder::kConcurrent) return by_clock;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = cache_.find(Key{a.event_id(), b.event_id()});
+    if (it != cache_.end()) return it->second;
+  }
+  return oracle_->QueryOrder(a, b);
+}
+
+void OrderResolver::TrimBefore(const VectorClock& watermark) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto is_dead = [&](EventId id) {
+    auto it = cached_clocks_.find(id);
+    return it != cached_clocks_.end() &&
+           it->second.Compare(watermark) == ClockOrder::kBefore;
+  };
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (is_dead(it->first.first) && is_dead(it->first.second)) {
+      it = cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Drop clock snapshots that no surviving cache entry references (a dead
+  // event may still appear in a pair with a live one; keep its clock so a
+  // later trim can collect the pair).
+  std::unordered_set<EventId> referenced;
+  for (const auto& [key, _] : cache_) {
+    referenced.insert(key.first);
+    referenced.insert(key.second);
+  }
+  for (auto it = cached_clocks_.begin(); it != cached_clocks_.end();) {
+    if (!referenced.count(it->first)) {
+      it = cached_clocks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::size_t OrderResolver::CacheSize() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return cache_.size();
+}
+
+}  // namespace weaver

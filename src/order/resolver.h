@@ -1,0 +1,60 @@
+// OrderResolver: a shard server's view of the global timeline.
+//
+// Resolves any pair of refinable timestamps to a definitive order using,
+// in order of cost: (1) the vector clocks (the common, proactive case),
+// (2) a local cache of previous oracle decisions -- ordering decisions are
+// irrevocable and monotonic, so caching is always sound (paper §4.2), and
+// (3) an ordering request to the timeline oracle, which establishes an
+// order per the supplied arrival preference if none exists.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "common/ids.h"
+#include "oracle/timeline_oracle.h"
+#include "order/timestamp.h"
+
+namespace weaver {
+
+class OrderResolver {
+ public:
+  struct Stats {
+    std::uint64_t vclock_fast_path = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t oracle_requests = 0;
+  };
+
+  explicit OrderResolver(TimelineOracle* oracle) : oracle_(oracle) {}
+
+  /// Definitive order of a vs b (never kConcurrent). If the pair is
+  /// concurrent and not yet ordered, the oracle establishes an order with
+  /// `a` first when prefer == kPreferFirst.
+  ClockOrder Resolve(const RefinableTimestamp& a, const RefinableTimestamp& b,
+                     OrderPreference prefer);
+
+  /// Read-only variant: kConcurrent when no order is known. Used by
+  /// speculative checks that must not establish commitments.
+  ClockOrder Peek(const RefinableTimestamp& a, const RefinableTimestamp& b);
+
+  /// Drops cached decisions whose events both precede `watermark` (invoked
+  /// alongside multi-version GC).
+  void TrimBefore(const VectorClock& watermark);
+
+  const Stats& stats() const { return stats_; }
+  std::size_t CacheSize() const;
+
+ private:
+  using Key = std::pair<EventId, EventId>;
+
+  TimelineOracle* oracle_;
+  mutable std::mutex mu_;
+  std::unordered_map<Key, ClockOrder, IdPairHash> cache_;
+  // Clock snapshots for TrimBefore: event id -> clock of cached decisions.
+  std::unordered_map<EventId, VectorClock> cached_clocks_;
+  Stats stats_;
+};
+
+}  // namespace weaver

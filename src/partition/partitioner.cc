@@ -1,0 +1,33 @@
+#include "partition/partitioner.h"
+
+#include <algorithm>
+
+namespace weaver {
+
+ShardId LdgPartitioner::Place(NodeId node,
+                              const std::vector<ShardId>& placed_neighbors,
+                              const std::vector<std::size_t>& shard_loads) {
+  std::vector<std::size_t> neighbor_count(num_shards_, 0);
+  for (ShardId s : placed_neighbors) {
+    if (s < num_shards_) neighbor_count[s]++;
+  }
+  double best_score = -1.0;
+  ShardId best = static_cast<ShardId>(MixHash64(node) % num_shards_);
+  for (std::size_t s = 0; s < num_shards_; ++s) {
+    const std::size_t load = s < shard_loads.size() ? shard_loads[s] : 0;
+    const double penalty =
+        1.0 - static_cast<double>(load) / static_cast<double>(capacity_);
+    const double score =
+        static_cast<double>(neighbor_count[s]) * std::max(penalty, 0.0);
+    if (score > best_score ||
+        (score == best_score && load < (best < shard_loads.size()
+                                            ? shard_loads[best]
+                                            : 0))) {
+      best_score = score;
+      best = static_cast<ShardId>(s);
+    }
+  }
+  return best;
+}
+
+}  // namespace weaver

@@ -1,0 +1,66 @@
+// Graph partitioning policies (paper §4.6).
+//
+// Weaver assigns each vertex to a shard when the vertex is created and
+// records the placement in the backing store. The default policy is hash
+// placement; LdgPartitioner implements the streaming heuristic of Stanton
+// & Kliot [KDD 2012] ("linear deterministic greedy"): place a vertex on
+// the shard holding most of its already-placed neighbors, weighted by a
+// capacity penalty. The paper disables dynamic repartitioning in its
+// evaluation (§4.6), and so do the benches here; LDG is exercised by bulk
+// loads, tests, and an ablation bench.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace weaver {
+
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  /// Chooses a shard for a new vertex. `placed_neighbors` holds the shard
+  /// ids of the vertex's already-placed neighbors (empty when unknown);
+  /// `shard_loads` holds the current vertex count per shard.
+  virtual ShardId Place(NodeId node,
+                        const std::vector<ShardId>& placed_neighbors,
+                        const std::vector<std::size_t>& shard_loads) = 0;
+};
+
+/// Stateless hash placement: uniform, ignores locality.
+class HashPartitioner final : public Partitioner {
+ public:
+  explicit HashPartitioner(std::size_t num_shards)
+      : num_shards_(num_shards) {}
+
+  ShardId Place(NodeId node, const std::vector<ShardId>&,
+                const std::vector<std::size_t>&) override {
+    return static_cast<ShardId>(MixHash64(node) % num_shards_);
+  }
+
+ private:
+  std::size_t num_shards_;
+};
+
+/// Linear deterministic greedy streaming partitioner: score(shard) =
+/// |neighbors on shard| * (1 - load/capacity); ties break to least load.
+class LdgPartitioner final : public Partitioner {
+ public:
+  /// `expected_vertices` sizes the per-shard capacity used by the penalty
+  /// term; it need not be exact.
+  LdgPartitioner(std::size_t num_shards, std::size_t expected_vertices)
+      : num_shards_(num_shards),
+        capacity_(expected_vertices / (num_shards == 0 ? 1 : num_shards) +
+                  1) {}
+
+  ShardId Place(NodeId node, const std::vector<ShardId>& placed_neighbors,
+                const std::vector<std::size_t>& shard_loads) override;
+
+ private:
+  std::size_t num_shards_;
+  std::size_t capacity_;
+};
+
+}  // namespace weaver

@@ -1,0 +1,142 @@
+#include "programs/extended_programs.h"
+
+#include "common/serde.h"
+
+namespace weaver {
+namespace programs {
+
+std::string LabelPropParams::Encode() const {
+  ByteWriter w;
+  w.PutU64(label);
+  return w.Take();
+}
+
+LabelPropParams LabelPropParams::Decode(const std::string& blob) {
+  LabelPropParams p;
+  if (blob.empty()) return p;
+  ByteReader r(blob);
+  (void)r.GetU64(&p.label);
+  return p;
+}
+
+std::string KHopParams::Encode() const {
+  ByteWriter w;
+  w.PutU32(remaining);
+  return w.Take();
+}
+
+KHopParams KHopParams::Decode(const std::string& blob) {
+  KHopParams p;
+  if (blob.empty()) return p;
+  ByteReader r(blob);
+  (void)r.GetU32(&p.remaining);
+  return p;
+}
+
+std::string FlowSumParams::Encode() const {
+  ByteWriter w;
+  w.PutU64(inbound);
+  return w.Take();
+}
+
+FlowSumParams FlowSumParams::Decode(const std::string& blob) {
+  FlowSumParams p;
+  if (blob.empty()) return p;
+  ByteReader r(blob);
+  (void)r.GetU64(&p.inbound);
+  return p;
+}
+
+namespace {
+
+/// Minimum-label propagation. Stateful in the paper's sense: the adopted
+/// label persists at the vertex between visits of the same program run.
+class LabelPropProgram final : public NodeProgram {
+ public:
+  std::string_view name() const override { return kLabelProp; }
+  void Run(const NodeView& node, const std::string& params, std::any* state,
+           ProgramOutput* out) const override {
+    if (!node.Exists()) return;
+    LabelPropParams p = LabelPropParams::Decode(params);
+    const std::uint64_t candidate = std::min<std::uint64_t>(p.label,
+                                                            node.id());
+    if (state->has_value() &&
+        std::any_cast<std::uint64_t>(*state) <= candidate) {
+      return;  // already carries an equal or smaller label: fixpoint here
+    }
+    *state = candidate;
+    // Report the adopted label; the caller keeps the last one per vertex.
+    ByteWriter w;
+    w.PutU64(candidate);
+    out->return_value = w.Take();
+    LabelPropParams next;
+    next.label = candidate;
+    const std::string blob = next.Encode();
+    for (const EdgeView& e : node.Edges()) {
+      out->next_hops.push_back(NextHop{e.to(), blob});
+    }
+  }
+};
+
+class KHopProgram final : public NodeProgram {
+ public:
+  std::string_view name() const override { return kKHop; }
+  void Run(const NodeView& node, const std::string& params, std::any* state,
+           ProgramOutput* out) const override {
+    if (!node.Exists()) return;
+    const KHopParams p = KHopParams::Decode(params);
+    // Visit each vertex at its highest remaining budget only.
+    if (state->has_value() &&
+        std::any_cast<std::uint32_t>(*state) >= p.remaining) {
+      return;
+    }
+    const bool first_visit = !state->has_value();
+    *state = p.remaining;
+    if (first_visit) {
+      ByteWriter w;
+      w.PutU64(node.id());
+      out->return_value = w.Take();
+    }
+    if (p.remaining == 0) return;
+    KHopParams next;
+    next.remaining = p.remaining - 1;
+    const std::string blob = next.Encode();
+    for (const EdgeView& e : node.Edges()) {
+      out->next_hops.push_back(NextHop{e.to(), blob});
+    }
+  }
+};
+
+/// Taint-flow accumulation over "value"-weighted spend edges (§5.2).
+class FlowSumProgram final : public NodeProgram {
+ public:
+  std::string_view name() const override { return kFlowSum; }
+  void Run(const NodeView& node, const std::string& params, std::any* state,
+           ProgramOutput* out) const override {
+    if (!node.Exists()) return;
+    const FlowSumParams p = FlowSumParams::Decode(params);
+    if (state->has_value()) return;  // visit once: conservative exposure
+    *state = true;
+    ByteWriter w;
+    w.PutU64(p.inbound);
+    out->return_value = w.Take();
+    for (const EdgeView& e : node.Edges()) {
+      const auto value = e.GetProperty("value");
+      if (!value.has_value()) continue;
+      FlowSumParams next;
+      next.inbound = std::strtoull(value->c_str(), nullptr, 10);
+      out->next_hops.push_back(NextHop{e.to(), next.Encode()});
+    }
+  }
+};
+
+}  // namespace
+
+void RegisterExtendedPrograms(ProgramRegistry* registry) {
+  registry->Register(std::make_unique<LabelPropProgram>());
+  registry->Register(std::make_unique<KHopProgram>());
+  registry->Register(std::make_unique<FlowSumProgram>());
+}
+
+}  // namespace programs
+}  // namespace weaver

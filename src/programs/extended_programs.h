@@ -1,0 +1,60 @@
+// Extended node-program library: the analysis classes the paper names as
+// node-program use cases beyond the standard set (§2.3: "label
+// propagation, connected components, and graph search"; §5.2's flow
+// analyses).
+//
+//   * label_prop  -- connected-component labeling by minimum-label
+//                    propagation: every vertex adopts the smallest label
+//                    seen and re-propagates; at fixpoint each vertex
+//                    returns its component label (over out-edges).
+//   * k_hop       -- collect the vertex ids within k hops of the start
+//                    (neighborhood queries; RoboBrain's subgraph reads).
+//   * flow_sum    -- aggregate a numeric edge property ("value") along all
+//                    paths from the start vertex, with per-vertex visit
+//                    pruning: CoinGraph's flow analysis (§5.2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "core/node_program.h"
+
+namespace weaver {
+namespace programs {
+
+inline constexpr std::string_view kLabelProp = "label_prop";
+inline constexpr std::string_view kKHop = "k_hop";
+inline constexpr std::string_view kFlowSum = "flow_sum";
+
+/// label_prop: params carry the candidate label (initially the start
+/// vertex id). State per vertex: the smallest label adopted so far.
+struct LabelPropParams {
+  std::uint64_t label = ~0ULL;
+  std::string Encode() const;
+  static LabelPropParams Decode(const std::string& blob);
+};
+
+/// k_hop: params carry remaining hop budget.
+struct KHopParams {
+  std::uint32_t remaining = 1;
+  std::string Encode() const;
+  static KHopParams Decode(const std::string& blob);
+};
+
+/// flow_sum: params carry the flow accumulated along the carrying path.
+/// Each visited vertex returns the inbound flow it received (the caller
+/// sums per-vertex maxima to bound taint exposure).
+struct FlowSumParams {
+  std::uint64_t inbound = 0;
+  std::string Encode() const;
+  static FlowSumParams Decode(const std::string& blob);
+};
+
+/// Registers the extended programs into `registry`. Weaver's default
+/// registry includes them (see ProgramRegistry::WithStandardPrograms).
+void RegisterExtendedPrograms(ProgramRegistry* registry);
+
+}  // namespace programs
+}  // namespace weaver

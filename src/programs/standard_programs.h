@@ -1,0 +1,142 @@
+// The standard node-program library shipped with this Weaver reproduction.
+//
+// Programs and their paper sources:
+//   * get_node        -- vertex lookup: properties + degree (TAO workload,
+//                        Table 1; Fig 12 scalability microbenchmark).
+//   * get_edges       -- out-edge list, optionally filtered by a property
+//                        (TAO workload, Table 1).
+//   * count_edges     -- out-degree (TAO workload, Table 1).
+//   * bfs / reachable -- breadth-first traversal along edges carrying a
+//                        given property (Fig 3; Fig 11 traversal bench).
+//   * clustering      -- local clustering coefficient: one-hop fan-out and
+//                        return (Fig 13 scalability microbenchmark).
+//   * shortest_path   -- BFS shortest path with per-vertex distance state
+//                        (paper §2.3's stateful-program example).
+//   * block_render    -- CoinGraph block query: traverse block -> txs and
+//                        collect each transaction vertex (Figs 7 and 8).
+//   * path_discovery  -- source-to-target path search that memoizes the
+//                        discovered path at each vertex (paper §4.6's
+//                        caching example).
+//
+// Program parameters and return values are serialized byte strings; the
+// param codecs live alongside each program below.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "core/node_program.h"
+
+namespace weaver {
+namespace programs {
+
+// ---- Program names -------------------------------------------------------
+
+inline constexpr std::string_view kGetNode = "get_node";
+inline constexpr std::string_view kGetEdges = "get_edges";
+inline constexpr std::string_view kCountEdges = "count_edges";
+inline constexpr std::string_view kBfs = "bfs";
+inline constexpr std::string_view kClustering = "clustering";
+inline constexpr std::string_view kShortestPath = "shortest_path";
+inline constexpr std::string_view kBlockRender = "block_render";
+inline constexpr std::string_view kPathDiscovery = "path_discovery";
+
+// ---- Parameter / result codecs -------------------------------------------
+
+/// bfs: traverse edges carrying `edge_prop_key` = `edge_prop_value` (empty
+/// key = all edges), stop after `max_depth` hops (0 = unbounded), looking
+/// for `target` (kInvalidNodeId = pure exploration). Every visited vertex
+/// returns its id; reaching the target returns "found".
+struct BfsParams {
+  std::string edge_prop_key;
+  std::string edge_prop_value;
+  NodeId target = kInvalidNodeId;
+  std::uint32_t depth = 0;       // internal: current depth
+  std::uint32_t max_depth = 0;   // 0 = unbounded
+  std::string Encode() const;
+  static BfsParams Decode(const std::string& blob);
+};
+
+/// get_edges: filter by property (empty key = all edges).
+struct GetEdgesParams {
+  std::string edge_prop_key;
+  std::string edge_prop_value;
+  std::string Encode() const;
+  static GetEdgesParams Decode(const std::string& blob);
+};
+
+/// get_edges result: edge ids + targets.
+struct GetEdgesResult {
+  std::vector<std::pair<EdgeId, NodeId>> edges;
+  std::string Encode() const;
+  static GetEdgesResult Decode(const std::string& blob);
+};
+
+/// get_node result: live properties + out-degree.
+struct GetNodeResult {
+  bool exists = false;
+  std::uint64_t out_degree = 0;
+  std::vector<std::pair<std::string, std::string>> properties;
+  std::string Encode() const;
+  static GetNodeResult Decode(const std::string& blob);
+};
+
+/// clustering: phase-structured one-hop program. The coordinator vertex
+/// gathers its neighborhood, then probes each neighbor for edges back into
+/// the neighborhood. Result (at the start vertex): local clustering
+/// coefficient numerator/denominator.
+struct ClusteringParams {
+  enum Phase : std::uint8_t { kGather = 0, kProbe = 1, kReport = 2 };
+  std::uint8_t phase = kGather;
+  NodeId origin = kInvalidNodeId;
+  std::vector<NodeId> neighborhood;  // kProbe: the origin's neighbor set
+  std::uint64_t hits = 0;            // kReport: edges found into the set
+  std::string Encode() const;
+  static ClusteringParams Decode(const std::string& blob);
+};
+
+struct ClusteringResult {
+  std::uint64_t closed_pairs = 0;  // edges among neighbors
+  std::uint64_t degree = 0;
+  double Coefficient() const {
+    const double d = static_cast<double>(degree);
+    return d < 2 ? 0.0 : static_cast<double>(closed_pairs) / (d * (d - 1));
+  }
+  std::string Encode() const;
+  static ClusteringResult Decode(const std::string& blob);
+};
+
+/// shortest_path: unweighted BFS distance from source to target.
+struct ShortestPathParams {
+  NodeId target = kInvalidNodeId;
+  std::uint32_t distance = 0;  // distance of the carrying hop
+  std::string Encode() const;
+  static ShortestPathParams Decode(const std::string& blob);
+};
+
+/// block_render (CoinGraph): start at a block vertex, read every Bitcoin
+/// transaction vertex in the block (edges labeled "in_block"), and return
+/// a rendered row per transaction (id + properties + spend edges), the
+/// same data Blockchain.info's raw-block API returns.
+struct BlockRenderParams {
+  std::uint8_t phase = 0;  // 0 = at block vertex, 1 = at tx vertices
+  std::string Encode() const;
+  static BlockRenderParams Decode(const std::string& blob);
+};
+
+/// path_discovery: DFS-flavored path search with memoization (paper §4.6).
+struct PathDiscoveryParams {
+  NodeId target = kInvalidNodeId;
+  std::vector<NodeId> path_so_far;
+  std::uint32_t max_depth = 16;
+  std::string Encode() const;
+  static PathDiscoveryParams Decode(const std::string& blob);
+};
+
+/// Registers every standard program into `registry`.
+void RegisterStandardPrograms(ProgramRegistry* registry);
+
+}  // namespace programs
+}  // namespace weaver

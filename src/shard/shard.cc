@@ -1,0 +1,268 @@
+#include "shard/shard.h"
+
+#include <cassert>
+
+#include "common/clock.h"
+
+namespace weaver {
+
+Shard::Shard(Options options)
+    : options_(std::move(options)),
+      resolver_(options_.oracle),
+      gk_queues_(options_.num_gatekeepers),
+      last_channel_seq_(options_.num_gatekeepers + 64, 0) {
+  assert(options_.bus != nullptr);
+  assert(options_.oracle != nullptr);
+  inbox_ = std::make_shared<BlockingQueue<BusMessage>>();
+  if (options_.reuse_endpoint != kNoEndpoint) {
+    endpoint_ = options_.reuse_endpoint;
+    options_.bus->ReattachInbox(endpoint_, inbox_);
+  } else {
+    endpoint_ = options_.bus->RegisterInbox(
+        "shard" + std::to_string(options_.id), inbox_);
+  }
+}
+
+Shard::~Shard() { Stop(); }
+
+void Shard::Start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  loop_thread_ = std::thread([this] { Loop(); });
+}
+
+void Shard::Stop() {
+  if (!running_.exchange(false)) {
+    inbox_->Close();
+    if (loop_thread_.joinable()) loop_thread_.join();
+    return;
+  }
+  inbox_->Close();
+  if (loop_thread_.joinable()) loop_thread_.join();
+}
+
+void Shard::Loop() {
+  while (auto msg = inbox_->Pop()) {
+    const std::uint64_t t0 = NowNanos();
+    Route(*msg);
+    // Drain whatever else is queued before doing ordering work: batches
+    // amortize the head comparisons.
+    while (auto more = inbox_->TryPop()) Route(*more);
+    ProcessReady();
+    stats_.busy_ns.fetch_add(NowNanos() - t0, std::memory_order_relaxed);
+  }
+}
+
+void Shard::ProcessUntilIdle() {
+  const std::uint64_t t0 = NowNanos();
+  while (auto msg = inbox_->TryPop()) Route(*msg);
+  ProcessReady();
+  stats_.busy_ns.fetch_add(NowNanos() - t0, std::memory_order_relaxed);
+}
+
+void Shard::Route(const BusMessage& msg) {
+  switch (msg.payload_tag) {
+    case kMsgTx: {
+      auto tx = std::static_pointer_cast<TxMessage>(msg.payload);
+      const GatekeeperId gk = tx->ts.gatekeeper;
+      if (gk >= gk_queues_.size()) return;
+      // FIFO channel check (paper §4.2): sequence numbers from one
+      // gatekeeper must arrive in order.
+      if (gk < last_channel_seq_.size()) {
+        if (msg.channel_seq <= last_channel_seq_[gk] &&
+            last_channel_seq_[gk] != 0) {
+          stats_.seq_violations.fetch_add(1, std::memory_order_relaxed);
+        }
+        last_channel_seq_[gk] = msg.channel_seq;
+      }
+      QueueEntry e;
+      e.ts = tx->ts;
+      e.ops = std::move(tx->ops);
+      e.is_nop = e.ops.empty();
+      e.arrival = arrival_counter_++;
+      gk_queues_[gk].push_back(std::move(e));
+      break;
+    }
+    case kMsgNop: {
+      auto nop = std::static_pointer_cast<NopMessage>(msg.payload);
+      const GatekeeperId gk = nop->ts.gatekeeper;
+      if (gk >= gk_queues_.size()) return;
+      QueueEntry e;
+      e.ts = nop->ts;
+      e.is_nop = true;
+      e.arrival = arrival_counter_++;
+      gk_queues_[gk].push_back(std::move(e));
+      break;
+    }
+    case kMsgWave: {
+      auto wave = std::static_pointer_cast<WaveMessage>(msg.payload);
+      PendingWave p;
+      p.wave = std::move(*wave);
+      p.arrival = arrival_counter_++;
+      pending_waves_.push_back(std::move(p));
+      break;
+    }
+    case kMsgEndProgram: {
+      auto end = std::static_pointer_cast<EndProgramMessage>(msg.payload);
+      program_state_.erase(end->program_id);
+      break;
+    }
+    case kMsgGc: {
+      auto gc = std::static_pointer_cast<GcMessage>(msg.payload);
+      RunGc(gc->watermark);
+      break;
+    }
+    case kMsgStop:
+      inbox_->Close();
+      break;
+    default:
+      break;
+  }
+}
+
+bool Shard::AllQueuesNonEmpty() const {
+  for (const auto& q : gk_queues_) {
+    if (q.empty()) return false;
+  }
+  return true;
+}
+
+std::size_t Shard::PickMinHead() {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < gk_queues_.size(); ++i) {
+    const QueueEntry& cand = gk_queues_[i].front();
+    const QueueEntry& cur = gk_queues_[best].front();
+    // Arrival order is the oracle preference when heads are concurrent
+    // (paper §4.1: "the oracle will prefer arrival order"). The decision
+    // is cached locally and authoritative globally.
+    ClockOrder o;
+    if (cand.arrival < cur.arrival) {
+      o = FlipOrder(resolver_.Resolve(cand.ts, cur.ts,
+                                      OrderPreference::kPreferFirst));
+    } else {
+      o = resolver_.Resolve(cur.ts, cand.ts, OrderPreference::kPreferFirst);
+    }
+    // o is now the order of cur relative to cand.
+    if (o == ClockOrder::kAfter) best = i;
+  }
+  return best;
+}
+
+void Shard::ApplyEntry(const QueueEntry& entry) {
+  if (entry.is_nop) {
+    stats_.nops_processed.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const std::uint64_t t0 = NowNanos();
+  for (const GraphOp& op : entry.ops) {
+    const Status st = ApplyGraphOpToStore(&graph_, op, entry.ts);
+    if (!st.ok()) {
+      // Post-recovery duplicate application is possible and benign (the
+      // backing store already validated the transaction); count it.
+      stats_.op_apply_errors.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  stats_.txs_applied.fetch_add(1, std::memory_order_relaxed);
+  stats_.op_work_ns.fetch_add(NowNanos() - t0, std::memory_order_relaxed);
+}
+
+bool Shard::WaveEligible(const RefinableTimestamp& prog_ts) {
+  // Delay rule (paper §4.1): every queue head must be ordered strictly
+  // after the program; concurrent heads are resolved transaction-first, so
+  // an unresolved head forces the program to wait for that transaction.
+  for (auto& q : gk_queues_) {
+    const QueueEntry& head = q.front();
+    const ClockOrder o = resolver_.Resolve(head.ts, prog_ts,
+                                           OrderPreference::kPreferFirst);
+    if (o != ClockOrder::kAfter) return false;  // head <= prog: wait
+  }
+  return true;
+}
+
+void Shard::ProcessReady() {
+  while (AllQueuesNonEmpty()) {
+    // First give eligible node programs a chance: their timestamps precede
+    // every queue head, so they read a snapshot no queued transaction can
+    // still change.
+    for (std::size_t i = 0; i < pending_waves_.size();) {
+      if (WaveEligible(pending_waves_[i].wave.ts)) {
+        WaveMessage wave = std::move(pending_waves_[i].wave);
+        pending_waves_.erase(pending_waves_.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+        ExecuteWave(wave);
+      } else {
+        stats_.wave_delays.fetch_add(1, std::memory_order_relaxed);
+        ++i;
+      }
+    }
+    const std::size_t q = PickMinHead();
+    ApplyEntry(gk_queues_[q].front());
+    gk_queues_[q].pop_front();
+  }
+}
+
+OrderFn Shard::VisibilityOrderFn() {
+  return [this](const RefinableTimestamp& write_ts,
+                const RefinableTimestamp& read_ts) {
+    // Writes win ties: a transaction concurrent with a node program is
+    // ordered before it unless the oracle already knows otherwise
+    // (paper §4.1 -- programs never miss committed writes).
+    return resolver_.Resolve(write_ts, read_ts,
+                             OrderPreference::kPreferFirst);
+  };
+}
+
+void Shard::ExecuteWave(const WaveMessage& wave) {
+  const std::uint64_t t0 = NowNanos();
+  const NodeProgram* program =
+      options_.programs ? options_.programs->Find(wave.program_name)
+                        : nullptr;
+  WaveResult result;
+  result.shard = options_.id;
+  if (program == nullptr) {
+    if (wave.sink) wave.sink(std::move(result));
+    return;
+  }
+  const OrderFn order = VisibilityOrderFn();
+  auto& states = program_state_[wave.program_id];
+  for (const NextHop& start : wave.starts) {
+    const Node* node = graph_.FindNode(start.node);
+    NodeView view(node, wave.ts, order);
+    std::any& state = states[start.node];
+    ProgramOutput out;
+    program->Run(view, start.params, &state, &out);
+    for (NextHop& hop : out.next_hops) {
+      result.next_hops.push_back(std::move(hop));
+    }
+    if (out.return_value.has_value()) {
+      result.returns.emplace_back(start.node, std::move(*out.return_value));
+    }
+    result.vertices_visited++;
+  }
+  stats_.waves_executed.fetch_add(1, std::memory_order_relaxed);
+  stats_.vertices_executed.fetch_add(result.vertices_visited,
+                                     std::memory_order_relaxed);
+  stats_.op_work_ns.fetch_add(NowNanos() - t0, std::memory_order_relaxed);
+  if (wave.sink) wave.sink(std::move(result));
+}
+
+void Shard::RunGc(const RefinableTimestamp& watermark) {
+  // GC visibility is conservative: only vector-clock-certain "before" is
+  // collected; concurrent pairs are kept. No oracle commitments are made.
+  OrderFn conservative = [](const RefinableTimestamp& a,
+                            const RefinableTimestamp& b) {
+    const ClockOrder o = a.Compare(b);
+    return o == ClockOrder::kConcurrent ? ClockOrder::kAfter : o;
+  };
+  graph_.CollectBefore(watermark, conservative);
+  resolver_.TrimBefore(watermark.clock);
+  stats_.gc_rounds.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t Shard::QueuedTransactions() const {
+  std::size_t total = 0;
+  for (const auto& q : gk_queues_) total += q.size();
+  return total;
+}
+
+}  // namespace weaver

@@ -1,0 +1,149 @@
+// Shard server: stores one partition of the multi-version graph in memory
+// and executes transactions and node programs in refinable-timestamp order
+// (paper §3.2, §4.1, §4.2).
+//
+// Execution model (Fig 6): the shard keeps one FIFO queue of incoming
+// transactions per gatekeeper. Per-gatekeeper streams arrive in timestamp
+// order over FIFO bus channels, so each queue is sorted; the event loop
+// repeatedly executes the globally-least queue head. When heads are
+// concurrent, the shard consults the timeline oracle (through its caching
+// OrderResolver) to discover or establish an order -- the reactive stage of
+// refinable timestamps. NOP transactions guarantee every queue always has
+// a head, bounding the wait.
+//
+// Node programs (paper §4.1): a program wave with timestamp Tprog is
+// delayed until every queue head is strictly after Tprog -- i.e. all
+// preceding and concurrent transactions have executed -- then runs against
+// the multi-version graph, filtering out writes ordered after Tprog.
+// Per-program scratch state lives here until the coordinator sends
+// EndProgram (paper §4.5).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/queue.h"
+#include "core/messages.h"
+#include "core/node_program.h"
+#include "graph/graph_store.h"
+#include "net/bus.h"
+#include "order/resolver.h"
+
+namespace weaver {
+
+class Shard {
+ public:
+  struct Options {
+    ShardId id = 0;
+    std::size_t num_gatekeepers = 1;
+    MessageBus* bus = nullptr;
+    TimelineOracle* oracle = nullptr;
+    std::shared_ptr<const ProgramRegistry> programs;
+    /// Reuse an existing endpoint (shard recovery keeps its address).
+    EndpointId reuse_endpoint = kNoEndpoint;
+  };
+  static constexpr EndpointId kNoEndpoint = ~0u;
+
+  struct Stats {
+    std::atomic<std::uint64_t> txs_applied{0};
+    std::atomic<std::uint64_t> nops_processed{0};
+    std::atomic<std::uint64_t> op_apply_errors{0};
+    std::atomic<std::uint64_t> waves_executed{0};
+    std::atomic<std::uint64_t> wave_delays{0};  // eligibility re-checks
+    std::atomic<std::uint64_t> vertices_executed{0};
+    std::atomic<std::uint64_t> gc_rounds{0};
+    std::atomic<std::uint64_t> seq_violations{0};
+    /// Nanoseconds spent routing and executing work (excludes idle waits).
+    std::atomic<std::uint64_t> busy_ns{0};
+    /// Nanoseconds spent on per-operation work only: applying transaction
+    /// ops and executing program waves (excludes NOP/background routing).
+    /// This is the per-op service demand the Fig 12/13 scaling benches'
+    /// model uses.
+    std::atomic<std::uint64_t> op_work_ns{0};
+  };
+
+  explicit Shard(Options options);
+  ~Shard();
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  ShardId id() const { return options_.id; }
+  EndpointId endpoint() const { return endpoint_; }
+
+  /// Starts the event-loop thread.
+  void Start();
+  /// Stops and joins the event loop (idempotent).
+  void Stop();
+
+  /// Deterministic alternative to Start(): processes queued messages on
+  /// the caller's thread until no further progress is possible.
+  void ProcessUntilIdle();
+
+  /// Direct access for loading and inspection. The caller must guarantee
+  /// the event loop is not running concurrently (tests, bulk load,
+  /// recovery).
+  GraphStore& graph() { return graph_; }
+  OrderResolver& resolver() { return resolver_; }
+
+  const Stats& stats() const { return stats_; }
+
+  /// Number of transactions currently queued (diagnostics).
+  std::size_t QueuedTransactions() const;
+
+ private:
+  struct QueueEntry {
+    RefinableTimestamp ts;
+    std::vector<GraphOp> ops;  // empty for NOPs / uninvolved slices
+    bool is_nop = false;
+    std::uint64_t arrival = 0;
+  };
+  struct PendingWave {
+    WaveMessage wave;
+    std::uint64_t arrival = 0;
+  };
+
+  void Loop();
+  void Route(const BusMessage& msg);
+  /// Runs eligible transactions and waves; returns when blocked on input.
+  void ProcessReady();
+  bool AllQueuesNonEmpty() const;
+  /// Index of the queue whose head is ordered first.
+  std::size_t PickMinHead();
+  void ApplyEntry(const QueueEntry& entry);
+  bool WaveEligible(const RefinableTimestamp& prog_ts);
+  void ExecuteWave(const WaveMessage& wave);
+  void RunGc(const RefinableTimestamp& watermark);
+
+  /// Order function used for multi-version visibility during program
+  /// execution: write-wins preference (transactions order before programs
+  /// when no order exists, paper §4.1).
+  OrderFn VisibilityOrderFn();
+
+  Options options_;
+  EndpointId endpoint_ = 0;
+  std::shared_ptr<BlockingQueue<BusMessage>> inbox_;
+
+  GraphStore graph_;
+  OrderResolver resolver_;
+  std::vector<std::deque<QueueEntry>> gk_queues_;
+  std::vector<std::uint64_t> last_channel_seq_;  // FIFO assertions per gk
+  std::vector<PendingWave> pending_waves_;
+  std::uint64_t arrival_counter_ = 0;
+
+  // Per-program, per-vertex node program state (paper §2.3, §4.5).
+  std::unordered_map<ProgramId, std::unordered_map<NodeId, std::any>>
+      program_state_;
+
+  std::thread loop_thread_;
+  std::atomic<bool> running_{false};
+
+  Stats stats_;
+};
+
+}  // namespace weaver

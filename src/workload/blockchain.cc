@@ -1,0 +1,60 @@
+#include "workload/blockchain.h"
+
+#include <algorithm>
+
+namespace weaver {
+namespace workload {
+
+Blockchain MakeBlockchain(const BlockchainOptions& options) {
+  Blockchain chain;
+  chain.blocks.reserve(options.num_blocks);
+  Rng rng(options.seed);
+  NodeId next_id = options.first_id;
+
+  // Flat list of recent transaction ids for spend targets.
+  std::vector<NodeId> recent_txs;
+
+  for (std::uint32_t h = 0; h < options.num_blocks; ++h) {
+    ChainBlock block;
+    block.id = next_id++;
+    block.height = h;
+    // Linear growth of block size with height (paper Fig 7/8 x-axis).
+    const double frac = options.num_blocks <= 1
+                            ? 1.0
+                            : static_cast<double>(h) /
+                                  static_cast<double>(options.num_blocks - 1);
+    const std::uint32_t ntx = options.min_txs +
+        static_cast<std::uint32_t>(
+            frac * static_cast<double>(options.max_txs - options.min_txs));
+    block.txs.reserve(ntx);
+    for (std::uint32_t t = 0; t < ntx; ++t) {
+      ChainTx tx;
+      tx.id = next_id++;
+      tx.size_bytes = 180 + static_cast<std::uint32_t>(rng.Uniform(800));
+      tx.fee = 1 + static_cast<std::uint32_t>(rng.Uniform(5000));
+      if (!recent_txs.empty()) {
+        const std::uint32_t nout =
+            1 + static_cast<std::uint32_t>(
+                    rng.Uniform(options.max_outputs_per_tx));
+        for (std::uint32_t o = 0; o < nout; ++o) {
+          // Spend a recent transaction (recency bias like real UTXOs).
+          const std::size_t window =
+              std::min<std::size_t>(recent_txs.size(), 50000);
+          const NodeId target =
+              recent_txs[recent_txs.size() - 1 - rng.Uniform(window)];
+          tx.outputs.emplace_back(target, 1 + rng.Uniform(10'000'000));
+          chain.total_edges++;
+        }
+      }
+      chain.total_txs++;
+      chain.total_edges++;  // block -> tx edge
+      block.txs.push_back(std::move(tx));
+    }
+    for (const ChainTx& tx : block.txs) recent_txs.push_back(tx.id);
+    chain.blocks.push_back(std::move(block));
+  }
+  return chain;
+}
+
+}  // namespace workload
+}  // namespace weaver

@@ -1,0 +1,71 @@
+// Synthetic Bitcoin blockchain generator (the CoinGraph dataset, paper
+// §5.2 / §6.1).
+//
+// The real CoinGraph stores 80M vertices / 1.2B edges of blockchain data;
+// this generator reproduces the *structure* the Fig 7/8 experiments
+// depend on at laptop scale: a chain of blocks where the number of
+// transactions per block grows with the block height (the paper's x-axis),
+// each transaction spending outputs of transactions from earlier blocks.
+//
+// Graph schema (mirrors CoinGraph):
+//   block vertex  --["type"="in_block"]-->  tx vertex       (per tx)
+//   tx vertex     --["type"="spend","value"=v]--> tx vertex (per output)
+//   block vertex properties: "height", "ntx"
+//   tx vertex properties:    "size", "fee"
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/random.h"
+
+namespace weaver {
+namespace workload {
+
+struct ChainTx {
+  NodeId id = kInvalidNodeId;
+  std::uint32_t size_bytes = 0;
+  std::uint32_t fee = 0;
+  /// Outputs: (target tx vertex, value). Spends land on transactions in
+  /// earlier blocks, like real UTXO references.
+  std::vector<std::pair<NodeId, std::uint64_t>> outputs;
+};
+
+struct ChainBlock {
+  NodeId id = kInvalidNodeId;
+  std::uint32_t height = 0;
+  std::vector<ChainTx> txs;
+};
+
+struct Blockchain {
+  std::vector<ChainBlock> blocks;
+  std::uint64_t total_txs = 0;
+  std::uint64_t total_edges = 0;
+
+  /// Number of transactions in the block at `height`.
+  std::uint32_t TxCount(std::uint32_t height) const {
+    return static_cast<std::uint32_t>(blocks[height].txs.size());
+  }
+};
+
+struct BlockchainOptions {
+  std::uint32_t num_blocks = 1000;
+  /// Transactions per block grow linearly from min_txs at height 0 to
+  /// max_txs at the highest block (the paper's blocks grow from a handful
+  /// of transactions at 1k to ~1800 at 350k).
+  std::uint32_t min_txs = 1;
+  std::uint32_t max_txs = 200;
+  std::uint32_t max_outputs_per_tx = 3;
+  std::uint64_t seed = 7;
+  /// First vertex id to allocate (blocks and txs share the id space).
+  NodeId first_id = 1;
+};
+
+/// Generates the chain (ids only; loading into a store is the caller's
+/// job -- see LoadBlockchain* helpers in the benches/examples).
+Blockchain MakeBlockchain(const BlockchainOptions& options);
+
+}  // namespace workload
+}  // namespace weaver

@@ -1,0 +1,57 @@
+#include "workload/social_graph.h"
+
+namespace weaver {
+namespace workload {
+
+GeneratedGraph MakePowerLawGraph(std::uint64_t num_nodes,
+                                 std::uint32_t out_degree,
+                                 std::uint64_t seed) {
+  GeneratedGraph g;
+  g.num_nodes = num_nodes;
+  if (num_nodes < 2) return g;
+  Rng rng(seed);
+  g.edges.reserve(num_nodes * out_degree);
+  // Repeated-endpoint preferential attachment: sampling a uniform position
+  // in the accumulated endpoint list picks vertices proportionally to
+  // their current degree; with probability beta pick uniformly (keeps the
+  // tail from swallowing everything).
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(num_nodes * out_degree * 2);
+  constexpr double kBeta = 0.25;
+  endpoints.push_back(1);
+  for (NodeId v = 2; v <= num_nodes; ++v) {
+    for (std::uint32_t d = 0; d < out_degree; ++d) {
+      NodeId target;
+      if (rng.Chance(kBeta) || endpoints.empty()) {
+        target = 1 + rng.Uniform(v - 1);
+      } else {
+        target = endpoints[rng.Uniform(endpoints.size())];
+      }
+      if (target == v) target = 1 + (v - 1 + 1) % (v - 1);
+      g.edges.emplace_back(v, target);
+      endpoints.push_back(target);
+      endpoints.push_back(v);
+    }
+  }
+  return g;
+}
+
+GeneratedGraph MakeUniformGraph(std::uint64_t num_nodes,
+                                std::uint64_t num_edges,
+                                std::uint64_t seed) {
+  GeneratedGraph g;
+  g.num_nodes = num_nodes;
+  if (num_nodes < 2) return g;
+  Rng rng(seed);
+  g.edges.reserve(num_edges);
+  for (std::uint64_t i = 0; i < num_edges; ++i) {
+    const NodeId src = 1 + rng.Uniform(num_nodes);
+    NodeId dst = 1 + rng.Uniform(num_nodes);
+    if (dst == src) dst = 1 + (dst % num_nodes);
+    g.edges.emplace_back(src, dst);
+  }
+  return g;
+}
+
+}  // namespace workload
+}  // namespace weaver

@@ -1,0 +1,43 @@
+// Synthetic graph generators standing in for the paper's datasets.
+//
+// The paper evaluates on LiveJournal (4.8M vertices / 68.9M edges,
+// Fig 9-10), a small Twitter graph (1.76M edges, Fig 11/13), and the 2009
+// Twitter snapshot (41.7M vertices / 1.47B edges, Fig 12). Those datasets
+// are not redistributable here, so the benches use synthetic graphs that
+// preserve the property the experiments depend on -- heavy-tailed degree
+// distribution (social graphs) or uniform randomness (the small Twitter
+// reachability graph) -- scaled to laptop size.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/random.h"
+
+namespace weaver {
+namespace workload {
+
+struct GeneratedGraph {
+  std::uint64_t num_nodes = 0;
+  /// Directed edges (src, dst), src/dst in [1, num_nodes] (node id 0 is
+  /// reserved).
+  std::vector<std::pair<NodeId, NodeId>> edges;
+};
+
+/// Power-law digraph via preferential attachment with repeated-endpoint
+/// sampling: each new vertex draws `out_degree` targets biased toward
+/// high-degree vertices. Models the LiveJournal social graph.
+GeneratedGraph MakePowerLawGraph(std::uint64_t num_nodes,
+                                 std::uint32_t out_degree,
+                                 std::uint64_t seed);
+
+/// Uniform random digraph: `num_edges` edges with endpoints chosen
+/// uniformly at random (the paper's "small Twitter graph" reachability
+/// substrate, edges between vertices chosen uniformly at random).
+GeneratedGraph MakeUniformGraph(std::uint64_t num_nodes,
+                                std::uint64_t num_edges, std::uint64_t seed);
+
+}  // namespace workload
+}  // namespace weaver

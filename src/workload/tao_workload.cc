@@ -1,0 +1,58 @@
+#include "workload/tao_workload.h"
+
+namespace weaver {
+namespace workload {
+
+const char* TaoOpName(TaoOp op) {
+  switch (op) {
+    case TaoOp::kGetEdges:
+      return "get_edges";
+    case TaoOp::kCountEdges:
+      return "count_edges";
+    case TaoOp::kGetNode:
+      return "get_node";
+    case TaoOp::kCreateEdge:
+      return "create_edge";
+    case TaoOp::kDeleteEdge:
+      return "delete_edge";
+  }
+  return "?";
+}
+
+bool IsRead(TaoOp op) {
+  return op == TaoOp::kGetEdges || op == TaoOp::kCountEdges ||
+         op == TaoOp::kGetNode;
+}
+
+TaoWorkload::TaoWorkload(std::uint64_t num_nodes, double read_fraction,
+                         double zipf_theta, std::uint64_t seed)
+    : rng_(seed),
+      zipf_(num_nodes, zipf_theta),
+      read_mix_({59.4, 11.7, 28.9}),  // Table 1 read proportions
+      write_mix_({80.0, 20.0}),       // Table 1 write proportions
+      num_nodes_(num_nodes),
+      read_fraction_(read_fraction) {}
+
+TaoOp TaoWorkload::NextOp() {
+  if (rng_.NextDouble() < read_fraction_) {
+    switch (read_mix_.Sample(rng_)) {
+      case 0:
+        return TaoOp::kGetEdges;
+      case 1:
+        return TaoOp::kCountEdges;
+      default:
+        return TaoOp::kGetNode;
+    }
+  }
+  return write_mix_.Sample(rng_) == 0 ? TaoOp::kCreateEdge
+                                      : TaoOp::kDeleteEdge;
+}
+
+NodeId TaoWorkload::PickNode() { return 1 + zipf_.Sample(rng_); }
+
+NodeId TaoWorkload::PickUniformNode() {
+  return 1 + rng_.Uniform(num_nodes_);
+}
+
+}  // namespace workload
+}  // namespace weaver

@@ -1,0 +1,54 @@
+// The social-network operation mix of Table 1 (Facebook TAO trace):
+//
+//   Reads  99.8%:  get_edges 59.4%  |  count_edges 11.7%  |  get_node 28.9%
+//   Writes  0.2%:  create_edge 80.0%  |  delete_edge 20.0%
+//
+// The Fig 9b/10 variants reuse the same within-class proportions at a
+// different read fraction (e.g. 75% reads).
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.h"
+#include "common/random.h"
+
+namespace weaver {
+namespace workload {
+
+enum class TaoOp : std::uint8_t {
+  kGetEdges,
+  kCountEdges,
+  kGetNode,
+  kCreateEdge,
+  kDeleteEdge,
+};
+
+const char* TaoOpName(TaoOp op);
+bool IsRead(TaoOp op);
+
+class TaoWorkload {
+ public:
+  /// `read_fraction` defaults to Table 1's 0.998. Vertex picks are
+  /// Zipf-distributed over [1, num_nodes] (social traffic is skewed).
+  TaoWorkload(std::uint64_t num_nodes, double read_fraction = 0.998,
+              double zipf_theta = 0.8, std::uint64_t seed = 42);
+
+  TaoOp NextOp();
+  /// Vertex for the next operation (skewed pick).
+  NodeId PickNode();
+  /// Uniform vertex pick (edge targets).
+  NodeId PickUniformNode();
+
+  double read_fraction() const { return read_fraction_; }
+
+ private:
+  Rng rng_;
+  ZipfSampler zipf_;
+  DiscreteSampler read_mix_;   // get_edges / count_edges / get_node
+  DiscreteSampler write_mix_;  // create_edge / delete_edge
+  std::uint64_t num_nodes_;
+  double read_fraction_;
+};
+
+}  // namespace workload
+}  // namespace weaver

@@ -1,0 +1,172 @@
+// Correctness tests for the comparison baselines: the Titan-like 2PL
+// store, the GraphLab-like engines, and the Blockchain.info-like row
+// store. Baselines must compute the same answers as Weaver; the benches
+// only compare performance.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "baselines/blockchain_info_like.h"
+#include "baselines/graphlab_like.h"
+#include "baselines/titan_like.h"
+#include "workload/social_graph.h"
+
+namespace weaver {
+namespace baselines {
+namespace {
+
+TEST(TitanLikeTest, BasicCrud) {
+  TitanLikeDb::Options o;
+  o.phase_delay_micros = 0;
+  TitanLikeDb db(o);
+  db.LoadNode(1);
+  db.LoadNode(2);
+  ASSERT_TRUE(db.CreateEdge(1, 2).ok());
+  std::uint64_t degree = 0;
+  ASSERT_TRUE(db.GetNode(1, &degree).ok());
+  EXPECT_EQ(degree, 1u);
+  std::vector<NodeId> targets;
+  ASSERT_TRUE(db.GetEdges(1, &targets).ok());
+  ASSERT_EQ(targets.size(), 1u);
+  EXPECT_EQ(targets[0], 2u);
+  ASSERT_TRUE(db.DeleteEdge(1, 2).ok());
+  ASSERT_TRUE(db.CountEdges(1, &degree).ok());
+  EXPECT_EQ(degree, 0u);
+}
+
+TEST(TitanLikeTest, MissingObjectsNotFound) {
+  TitanLikeDb::Options o;
+  o.phase_delay_micros = 0;
+  TitanLikeDb db(o);
+  std::uint64_t degree;
+  EXPECT_TRUE(db.GetNode(9, &degree).IsNotFound());
+  EXPECT_TRUE(db.CreateEdge(9, 10).IsNotFound());
+  db.LoadNode(9);
+  EXPECT_TRUE(db.DeleteEdge(9, 10).IsNotFound());
+}
+
+TEST(TitanLikeTest, ConcurrentWritersNoLostUpdates) {
+  TitanLikeDb::Options o;
+  o.phase_delay_micros = 0;
+  TitanLikeDb db(o);
+  db.LoadNode(1);
+  constexpr int kThreads = 4, kOps = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOps; ++i) {
+        ASSERT_TRUE(db.CreateEdge(1, 100 + t * kOps + i).ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::uint64_t degree = 0;
+  ASSERT_TRUE(db.CountEdges(1, &degree).ok());
+  EXPECT_EQ(degree, static_cast<std::uint64_t>(kThreads) * kOps);
+  EXPECT_EQ(db.stats().txs.load(),
+            static_cast<std::uint64_t>(kThreads) * kOps + 1);
+}
+
+TEST(TitanLikeTest, CommitDelayIsPaid) {
+  TitanLikeDb::Options o;
+  o.phase_delay_micros = 2000;  // 2ms per phase, 2 phases
+  TitanLikeDb db(o);
+  db.LoadNode(1);
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t degree;
+  ASSERT_TRUE(db.GetNode(1, &degree).ok());
+  const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_GE(elapsed.count(), 4000);
+}
+
+GraphLabLikeEngine::Options FastEngineOptions() {
+  GraphLabLikeEngine::Options o;
+  o.engine_start_micros = 0;
+  o.barrier_micros = 0;
+  o.remote_edge_micros = 0;
+  return o;
+}
+
+TEST(GraphLabLikeTest, SyncAndAsyncAgreeWithGroundTruth) {
+  // Known graph: 1 -> 2 -> 3, 4 isolated.
+  std::vector<std::pair<NodeId, NodeId>> edges = {{1, 2}, {2, 3}};
+  GraphLabLikeEngine engine(4, edges, FastEngineOptions());
+  EXPECT_TRUE(engine.ReachableSync(1, 3));
+  EXPECT_TRUE(engine.ReachableAsync(1, 3));
+  EXPECT_FALSE(engine.ReachableSync(3, 1));   // directed
+  EXPECT_FALSE(engine.ReachableAsync(3, 1));
+  EXPECT_FALSE(engine.ReachableSync(1, 4));
+  EXPECT_FALSE(engine.ReachableAsync(1, 4));
+  EXPECT_TRUE(engine.ReachableSync(2, 2));    // self
+  EXPECT_TRUE(engine.ReachableAsync(2, 2));
+}
+
+TEST(GraphLabLikeTest, EnginesAgreeOnRandomGraphs) {
+  const auto g = workload::MakeUniformGraph(200, 600, 11);
+  GraphLabLikeEngine engine(g.num_nodes, g.edges, FastEngineOptions());
+  Rng rng(13);
+  for (int i = 0; i < 30; ++i) {
+    const NodeId s = 1 + rng.Uniform(g.num_nodes);
+    const NodeId t = 1 + rng.Uniform(g.num_nodes);
+    EXPECT_EQ(engine.ReachableSync(s, t), engine.ReachableAsync(s, t))
+        << "engines disagree on " << s << " -> " << t;
+  }
+}
+
+TEST(GraphLabLikeTest, CsrConstruction) {
+  std::vector<std::pair<NodeId, NodeId>> edges = {{1, 2}, {1, 3}, {2, 3}};
+  GraphLabLikeEngine engine(3, edges, FastEngineOptions());
+  EXPECT_EQ(engine.num_nodes(), 3u);
+  EXPECT_EQ(engine.num_edges(), 3u);
+}
+
+TEST(BlockchainInfoLikeTest, RendersAllTransactions) {
+  workload::BlockchainOptions opts;
+  opts.num_blocks = 20;
+  opts.min_txs = 2;
+  opts.max_txs = 10;
+  const auto chain = workload::MakeBlockchain(opts);
+  BlockchainInfoLikeDb::Options db_opts;
+  db_opts.disk_seek_micros = 0;
+  BlockchainInfoLikeDb db(chain, db_opts);
+  EXPECT_EQ(db.TxRows(), chain.total_txs);
+  for (std::uint32_t h : {0u, 10u, 19u}) {
+    const std::string json = db.QueryBlockJson(h);
+    // Every transaction id of the block appears in the render.
+    for (const auto& tx : chain.blocks[h].txs) {
+      EXPECT_NE(json.find("\"tx\":" + std::to_string(tx.id)),
+                std::string::npos);
+    }
+  }
+}
+
+TEST(BlockchainInfoLikeTest, MissingBlockRendersEmpty) {
+  workload::BlockchainOptions opts;
+  opts.num_blocks = 3;
+  const auto chain = workload::MakeBlockchain(opts);
+  BlockchainInfoLikeDb::Options db_opts;
+  db_opts.disk_seek_micros = 0;
+  BlockchainInfoLikeDb db(chain, db_opts);
+  EXPECT_EQ(db.QueryBlockJson(999), "{}");
+}
+
+TEST(BlockchainInfoLikeTest, OutputsJoined) {
+  workload::BlockchainOptions opts;
+  opts.num_blocks = 10;
+  opts.min_txs = 3;
+  opts.max_txs = 8;
+  const auto chain = workload::MakeBlockchain(opts);
+  BlockchainInfoLikeDb::Options db_opts;
+  db_opts.disk_seek_micros = 0;
+  BlockchainInfoLikeDb db(chain, db_opts);
+  // A later block's render includes output values (spend joins ran).
+  const std::string json = db.QueryBlockJson(9);
+  EXPECT_NE(json.find("\"value\":"), std::string::npos);
+  EXPECT_NE(json.find("\"addr\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace weaver

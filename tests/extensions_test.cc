@@ -1,0 +1,332 @@
+// Tests for the extension features: extended node programs (label
+// propagation, k-hop, flow analysis), node-program result memoization
+// (paper §4.6), and historical queries (paper §4.5).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <thread>
+
+#include "core/program_cache.h"
+#include "core/weaver.h"
+#include "programs/extended_programs.h"
+#include "programs/standard_programs.h"
+
+namespace weaver {
+namespace {
+
+WeaverOptions FastOptions(std::size_t gks = 2, std::size_t shards = 2) {
+  WeaverOptions o;
+  o.num_gatekeepers = gks;
+  o.num_shards = shards;
+  o.tau_micros = 200;
+  o.nop_period_micros = 100;
+  return o;
+}
+
+// ---- Extended programs -----------------------------------------------------
+
+TEST(ExtendedProgramsTest, LabelPropFindsComponentLabel) {
+  auto db = Weaver::Open(FastOptions(2, 3));
+  // Ring a-b-c-a plus isolated d.
+  NodeId a, b, c, d;
+  {
+    auto tx = db->BeginTx();
+    a = tx.CreateNode();
+    b = tx.CreateNode();
+    c = tx.CreateNode();
+    d = tx.CreateNode();
+    tx.CreateEdge(a, b);
+    tx.CreateEdge(b, c);
+    tx.CreateEdge(c, a);
+    ASSERT_TRUE(db->Commit(&tx).ok());
+  }
+  programs::LabelPropParams params;
+  params.label = b;  // start from b: the fixpoint label is min(a,b,c) = a
+  auto result = db->RunProgram(programs::kLabelProp, b, params.Encode());
+  ASSERT_TRUE(result.ok());
+  std::map<NodeId, std::uint64_t> final_label;
+  for (const auto& [node, blob] : result->returns) {
+    ByteReader r(blob);
+    std::uint64_t label = 0;
+    ASSERT_TRUE(r.GetU64(&label).ok());
+    final_label[node] = label;  // last write per vertex wins
+  }
+  EXPECT_EQ(final_label.size(), 3u);  // d untouched
+  for (const auto& [node, label] : final_label) {
+    EXPECT_EQ(label, a) << "vertex " << node;
+  }
+  EXPECT_EQ(final_label.count(d), 0u);
+}
+
+TEST(ExtendedProgramsTest, KHopRespectsBudget) {
+  auto db = Weaver::Open(FastOptions());
+  // Chain n0 -> n1 -> n2 -> n3.
+  std::vector<NodeId> chain;
+  {
+    auto tx = db->BeginTx();
+    for (int i = 0; i < 4; ++i) chain.push_back(tx.CreateNode());
+    for (int i = 0; i < 3; ++i) tx.CreateEdge(chain[i], chain[i + 1]);
+    ASSERT_TRUE(db->Commit(&tx).ok());
+  }
+  programs::KHopParams params;
+  params.remaining = 2;
+  auto result = db->RunProgram(programs::kKHop, chain[0], params.Encode());
+  ASSERT_TRUE(result.ok());
+  std::set<NodeId> reached;
+  for (const auto& [node, _] : result->returns) reached.insert(node);
+  EXPECT_EQ(reached, (std::set<NodeId>{chain[0], chain[1], chain[2]}));
+}
+
+TEST(ExtendedProgramsTest, KHopZeroIsJustTheStart) {
+  auto db = Weaver::Open(FastOptions());
+  NodeId a, b;
+  {
+    auto tx = db->BeginTx();
+    a = tx.CreateNode();
+    b = tx.CreateNode();
+    tx.CreateEdge(a, b);
+    ASSERT_TRUE(db->Commit(&tx).ok());
+  }
+  programs::KHopParams params;
+  params.remaining = 0;
+  auto result = db->RunProgram(programs::kKHop, a, params.Encode());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->returns.size(), 1u);
+  EXPECT_EQ(result->returns[0].first, a);
+}
+
+TEST(ExtendedProgramsTest, FlowSumFollowsValueEdges) {
+  auto db = Weaver::Open(FastOptions());
+  NodeId src, mid, sink_v;
+  {
+    auto tx = db->BeginTx();
+    src = tx.CreateNode();
+    mid = tx.CreateNode();
+    sink_v = tx.CreateNode();
+    const EdgeId e1 = tx.CreateEdge(src, mid);
+    tx.AssignEdgeProperty(src, e1, "value", "100");
+    const EdgeId e2 = tx.CreateEdge(mid, sink_v);
+    tx.AssignEdgeProperty(mid, e2, "value", "40");
+    // Unvalued edge is not a flow edge.
+    tx.CreateEdge(src, sink_v);
+    ASSERT_TRUE(db->Commit(&tx).ok());
+  }
+  programs::FlowSumParams params;
+  auto result = db->RunProgram(programs::kFlowSum, src, params.Encode());
+  ASSERT_TRUE(result.ok());
+  std::map<NodeId, std::uint64_t> inbound;
+  for (const auto& [node, blob] : result->returns) {
+    ByteReader r(blob);
+    std::uint64_t v = 0;
+    ASSERT_TRUE(r.GetU64(&v).ok());
+    inbound[node] = v;
+  }
+  EXPECT_EQ(inbound[src], 0u);
+  EXPECT_EQ(inbound[mid], 100u);
+  EXPECT_EQ(inbound[sink_v], 40u);
+}
+
+TEST(ExtendedProgramsTest, RegisteredInDefaultRegistry) {
+  auto registry = ProgramRegistry::WithStandardPrograms();
+  EXPECT_NE(registry->Find(programs::kLabelProp), nullptr);
+  EXPECT_NE(registry->Find(programs::kKHop), nullptr);
+  EXPECT_NE(registry->Find(programs::kFlowSum), nullptr);
+  EXPECT_NE(registry->Find(programs::kBfs), nullptr);
+  EXPECT_GE(registry->Names().size(), 11u);
+}
+
+// ---- ProgramCache (paper §4.6) -----------------------------------------------
+
+TEST(ProgramCacheTest, HitAfterInsert) {
+  ProgramCache cache;
+  ProgramResult result;
+  result.returns.emplace_back(7, "blob");
+  result.vertices_visited = 1;
+  cache.Insert("bfs", 7, "p", result);
+  auto hit = cache.Lookup("bfs", 7, "p");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->returns.size(), 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(ProgramCacheTest, MissOnDifferentKey) {
+  ProgramCache cache;
+  ProgramResult result;
+  cache.Insert("bfs", 7, "p", result);
+  EXPECT_FALSE(cache.Lookup("bfs", 8, "p").has_value());
+  EXPECT_FALSE(cache.Lookup("bfs", 7, "q").has_value());
+  EXPECT_FALSE(cache.Lookup("get_node", 7, "p").has_value());
+}
+
+TEST(ProgramCacheTest, InvalidateByDependency) {
+  // The paper's example: a cached path (V1..Vn) is discarded when any
+  // vertex on the path changes.
+  ProgramCache cache;
+  ProgramResult path_result;
+  path_result.returns.emplace_back(1, "r1");
+  path_result.returns.emplace_back(2, "r2");
+  path_result.returns.emplace_back(3, "r3");
+  cache.Insert("path_discovery", 1, "", path_result);
+  ASSERT_TRUE(cache.Lookup("path_discovery", 1, "").has_value());
+  cache.InvalidateNode(2);  // middle of the path
+  EXPECT_FALSE(cache.Lookup("path_discovery", 1, "").has_value());
+  EXPECT_EQ(cache.Size(), 0u);
+}
+
+TEST(ProgramCacheTest, UnrelatedWriteKeepsEntry) {
+  ProgramCache cache;
+  ProgramResult result;
+  result.returns.emplace_back(1, "r");
+  cache.Insert("get_node", 1, "", result);
+  cache.InvalidateNode(999);
+  EXPECT_TRUE(cache.Lookup("get_node", 1, "").has_value());
+}
+
+TEST(ProgramCacheTest, CapacityValveClears) {
+  ProgramCache cache(4);
+  ProgramResult result;
+  for (NodeId n = 1; n <= 5; ++n) {
+    cache.Insert("p", n, "", result);
+  }
+  EXPECT_LE(cache.Size(), 4u);
+}
+
+TEST(ProgramCacheTest, EndToEndCachingAndInvalidation) {
+  WeaverOptions o = FastOptions();
+  o.enable_program_cache = true;
+  auto db = Weaver::Open(o);
+  NodeId n;
+  {
+    auto tx = db->BeginTx();
+    n = tx.CreateNode();
+    ASSERT_TRUE(tx.AssignNodeProperty(n, "v", "1").ok());
+    ASSERT_TRUE(db->Commit(&tx).ok());
+  }
+  // First read: miss + insert. Second: hit, identical result.
+  auto r1 = db->RunProgram(programs::kGetNode, n);
+  ASSERT_TRUE(r1.ok());
+  auto r2 = db->RunProgram(programs::kGetNode, n);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_GE(db->program_cache().stats().hits, 1u);
+  EXPECT_EQ(r1->returns[0].second, r2->returns[0].second);
+  // A write to n invalidates; the next read sees the new value.
+  {
+    auto tx = db->BeginTx();
+    ASSERT_TRUE(tx.AssignNodeProperty(n, "v", "2").ok());
+    ASSERT_TRUE(db->Commit(&tx).ok());
+  }
+  auto r3 = db->RunProgram(programs::kGetNode, n);
+  ASSERT_TRUE(r3.ok());
+  const auto decoded = programs::GetNodeResult::Decode(r3->returns[0].second);
+  ASSERT_EQ(decoded.properties.size(), 1u);
+  EXPECT_EQ(decoded.properties[0].second, "2");
+}
+
+// ---- Historical queries (paper §4.5) -------------------------------------------
+
+TEST(HistoricalTest, ReadsAtOldTimestampSeeOldState) {
+  WeaverOptions o = FastOptions();
+  o.gc_period_micros = 0;  // keep every version
+  auto db = Weaver::Open(o);
+  NodeId n;
+  {
+    auto tx = db->BeginTx();
+    n = tx.CreateNode();
+    ASSERT_TRUE(tx.AssignNodeProperty(n, "state", "old").ok());
+    ASSERT_TRUE(db->Commit(&tx).ok());
+  }
+  // Capture "now" between the two writes.
+  auto probe = db->RunProgram(programs::kGetNode, n);
+  ASSERT_TRUE(probe.ok());
+  const RefinableTimestamp then = probe->timestamp;
+  {
+    auto tx = db->BeginTx();
+    ASSERT_TRUE(tx.AssignNodeProperty(n, "state", "new").ok());
+    ASSERT_TRUE(db->Commit(&tx).ok());
+  }
+  // Present-time read sees "new"...
+  auto now_read = db->RunProgram(programs::kGetNode, n);
+  ASSERT_TRUE(now_read.ok());
+  EXPECT_EQ(programs::GetNodeResult::Decode(now_read->returns[0].second)
+                .properties[0]
+                .second,
+            "new");
+  // ...the historical read at `then` sees "old".
+  std::vector<NextHop> starts{NextHop{n, ""}};
+  auto old_read = db->RunProgramAt(programs::kGetNode, starts, then);
+  ASSERT_TRUE(old_read.ok());
+  ASSERT_EQ(old_read->returns.size(), 1u);
+  EXPECT_EQ(programs::GetNodeResult::Decode(old_read->returns[0].second)
+                .properties[0]
+                .second,
+            "old");
+}
+
+TEST(HistoricalTest, DeletedEdgeVisibleInThePast) {
+  WeaverOptions o = FastOptions();
+  o.gc_period_micros = 0;
+  auto db = Weaver::Open(o);
+  NodeId a, b;
+  EdgeId e;
+  {
+    auto tx = db->BeginTx();
+    a = tx.CreateNode();
+    b = tx.CreateNode();
+    e = tx.CreateEdge(a, b);
+    ASSERT_TRUE(db->Commit(&tx).ok());
+  }
+  auto probe = db->RunProgram(programs::kCountEdges, a);
+  ASSERT_TRUE(probe.ok());
+  const RefinableTimestamp then = probe->timestamp;
+  {
+    auto tx = db->BeginTx();
+    ASSERT_TRUE(tx.DeleteEdge(a, e).ok());
+    ASSERT_TRUE(db->Commit(&tx).ok());
+  }
+  std::vector<NextHop> starts{NextHop{a, ""}};
+  auto old_read = db->RunProgramAt(programs::kCountEdges, starts, then);
+  ASSERT_TRUE(old_read.ok());
+  ByteReader r(old_read->returns[0].second);
+  std::uint64_t count = 0;
+  ASSERT_TRUE(r.GetU64(&count).ok());
+  EXPECT_EQ(count, 1u);  // the edge existed at `then`
+}
+
+TEST(HistoricalTest, InvalidTimestampRejected) {
+  auto db = Weaver::Open(FastOptions());
+  std::vector<NextHop> starts{NextHop{1, ""}};
+  EXPECT_TRUE(db->RunProgramAt(programs::kGetNode, starts,
+                               RefinableTimestamp{})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(HistoricalTest, BeforeCreationSeesNothing) {
+  WeaverOptions o = FastOptions();
+  o.gc_period_micros = 0;
+  auto db = Weaver::Open(o);
+  // Timestamp before the vertex exists.
+  auto probe = db->RunProgram(programs::kGetNode, 12345);
+  ASSERT_TRUE(probe.ok());
+  const RefinableTimestamp before = probe->timestamp;
+  // Let announces propagate so the creation's timestamp strictly
+  // dominates `before` (a creation concurrent with the historical
+  // timestamp would be ordered before it -- writes win ties, §4.1).
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  NodeId n;
+  {
+    auto tx = db->BeginTx();
+    n = tx.CreateNode();
+    ASSERT_TRUE(db->Commit(&tx).ok());
+  }
+  std::vector<NextHop> starts{NextHop{n, ""}};
+  auto old_read = db->RunProgramAt(programs::kGetNode, starts, before);
+  ASSERT_TRUE(old_read.ok());
+  ASSERT_EQ(old_read->returns.size(), 1u);
+  EXPECT_FALSE(
+      programs::GetNodeResult::Decode(old_read->returns[0].second).exists);
+}
+
+}  // namespace
+}  // namespace weaver

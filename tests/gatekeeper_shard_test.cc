@@ -1,0 +1,225 @@
+// Component tests of gatekeepers and shard servers, using deterministic
+// deployments (start = false) driven by manual pumping.
+#include <gtest/gtest.h>
+
+#include "core/weaver.h"
+#include "order/gatekeeper.h"
+#include "shard/shard.h"
+
+namespace weaver {
+namespace {
+
+WeaverOptions ManualOptions(std::size_t gks = 2, std::size_t shards = 2) {
+  WeaverOptions o;
+  o.num_gatekeepers = gks;
+  o.num_shards = shards;
+  o.start = false;  // no timers, no event loop threads
+  o.tau_micros = 0;
+  o.nop_period_micros = 0;
+  return o;
+}
+
+TEST(GatekeeperTest, TimestampsAreMonotonicPerGatekeeper) {
+  auto db = Weaver::Open(ManualOptions());
+  Gatekeeper& gk = db->gatekeeper(0);
+  RefinableTimestamp prev = gk.BeginProgram();
+  for (int i = 0; i < 20; ++i) {
+    const RefinableTimestamp cur = gk.BeginProgram();
+    EXPECT_EQ(prev.Compare(cur), ClockOrder::kBefore);
+    prev = cur;
+  }
+}
+
+TEST(GatekeeperTest, AnnounceMergesPeerClocks) {
+  auto db = Weaver::Open(ManualOptions(3, 1));
+  Gatekeeper& gk0 = db->gatekeeper(0);
+  Gatekeeper& gk1 = db->gatekeeper(1);
+  // gk0 advances alone; gk1 knows nothing of it.
+  for (int i = 0; i < 5; ++i) gk0.BeginProgram();
+  EXPECT_EQ(gk1.SnapshotClock().Component(0), 0u);
+  gk0.PumpAnnounce();
+  EXPECT_EQ(gk1.SnapshotClock().Component(0), 5u);
+  EXPECT_EQ(db->gatekeeper(2).SnapshotClock().Component(0), 5u);
+  EXPECT_GE(gk0.stats().announces_sent.load(), 2u);
+  EXPECT_GE(gk1.stats().announces_received.load(), 1u);
+}
+
+TEST(GatekeeperTest, TimestampsComparableAfterAnnounce) {
+  auto db = Weaver::Open(ManualOptions(2, 1));
+  const RefinableTimestamp t1 = db->gatekeeper(0).BeginProgram();
+  // Without announce: concurrent.
+  const RefinableTimestamp t2 = db->gatekeeper(1).BeginProgram();
+  EXPECT_EQ(t1.Compare(t2), ClockOrder::kConcurrent);
+  // After announce: gk1's next timestamp dominates t1.
+  db->gatekeeper(0).PumpAnnounce();
+  const RefinableTimestamp t3 = db->gatekeeper(1).BeginProgram();
+  EXPECT_EQ(t1.Compare(t3), ClockOrder::kBefore);
+}
+
+TEST(GatekeeperTest, NopsAdvanceShardQueues) {
+  auto db = Weaver::Open(ManualOptions(2, 2));
+  db->gatekeeper(0).PumpNop();
+  db->gatekeeper(1).PumpNop();
+  db->shard(0).ProcessUntilIdle();
+  // The shard executes the smaller head, then stops: once one queue goes
+  // empty it cannot rule out a smaller timestamp still in flight from
+  // that gatekeeper (this is exactly why NOPs must keep flowing, §4.2).
+  EXPECT_EQ(db->shard(0).stats().nops_processed.load(), 1u);
+  EXPECT_EQ(db->shard(0).QueuedTransactions(), 1u);
+  // Another NOP round unblocks the remainder.
+  db->gatekeeper(0).PumpNop();
+  db->gatekeeper(1).PumpNop();
+  db->shard(0).ProcessUntilIdle();
+  EXPECT_EQ(db->shard(0).stats().nops_processed.load(), 3u);
+}
+
+TEST(GatekeeperTest, OldestActiveTracksPrograms) {
+  auto db = Weaver::Open(ManualOptions(2, 1));
+  Gatekeeper& gk = db->gatekeeper(0);
+  const RefinableTimestamp p1 = gk.BeginProgram();
+  for (int i = 0; i < 5; ++i) gk.BeginProgram();  // later programs
+  const RefinableTimestamp oldest = gk.OldestActive();
+  EXPECT_LE(oldest.clock.Component(0), p1.clock.Component(0));
+  gk.EndProgram(p1);
+  // With p1 gone the watermark may advance (it tracks live programs).
+  const RefinableTimestamp next = gk.OldestActive();
+  EXPECT_GE(next.clock.Component(0), oldest.clock.Component(0));
+}
+
+TEST(ShardTest, TransactionsApplyInTimestampOrderAcrossGatekeepers) {
+  auto db = Weaver::Open(ManualOptions(2, 1));
+  // Two writes to the same vertex via different gatekeepers; the second
+  // is issued after an announce, so its timestamp strictly dominates.
+  auto tx1 = db->BeginTx();
+  const NodeId n = tx1.CreateNode();
+  ASSERT_TRUE(tx1.AssignNodeProperty(n, "v", "first").ok());
+  ASSERT_TRUE(db->Commit(&tx1).ok());
+  auto tx2 = db->BeginTx();
+  ASSERT_TRUE(tx2.AssignNodeProperty(n, "v", "second").ok());
+  ASSERT_TRUE(db->Commit(&tx2).ok());
+
+  db->PumpAll();
+  Shard& shard = db->shard(0);
+  EXPECT_GE(shard.stats().txs_applied.load(), 2u);
+  const Node* node = shard.graph().FindNode(n);
+  ASSERT_NE(node, nullptr);
+  OrderFn plain = [](const RefinableTimestamp& a,
+                     const RefinableTimestamp& b) { return a.Compare(b); };
+  const RefinableTimestamp read_ts = db->gatekeeper(0).BeginProgram();
+  EXPECT_EQ(node->props.ValueAt("v", read_ts, plain), "second");
+}
+
+TEST(ShardTest, EmptySlicesActAsNops) {
+  auto db = Weaver::Open(ManualOptions(2, 2));
+  // A transaction whose ops all land on shard 0 still advances shard 1's
+  // queue head via the empty slice.
+  auto tx = db->BeginTx();
+  (void)tx.CreateNode();
+  ASSERT_TRUE(db->Commit(&tx).ok());
+  db->gatekeeper(0).PumpNop();
+  db->gatekeeper(1).PumpNop();
+  db->shard(1).ProcessUntilIdle();
+  EXPECT_GE(db->shard(1).stats().nops_processed.load(), 1u);
+}
+
+TEST(ShardTest, NoSequenceViolationsUnderManualPumping) {
+  auto db = Weaver::Open(ManualOptions(2, 2));
+  for (int i = 0; i < 10; ++i) {
+    auto tx = db->BeginTx();
+    (void)tx.CreateNode();
+    ASSERT_TRUE(db->Commit(&tx).ok());
+    if (i % 3 == 0) db->PumpAll();
+  }
+  db->PumpAll();
+  EXPECT_EQ(db->shard(0).stats().seq_violations.load(), 0u);
+  EXPECT_EQ(db->shard(1).stats().seq_violations.load(), 0u);
+}
+
+TEST(ShardTest, ConcurrentHeadsResolvedViaOracle) {
+  // Two gatekeepers commit without announcing: their timestamps are
+  // concurrent and the shard must consult the oracle to order the heads.
+  auto db = Weaver::Open(ManualOptions(2, 1));
+  auto seed = db->BeginTx();
+  const NodeId a = seed.CreateNode();
+  const NodeId b = seed.CreateNode();
+  ASSERT_TRUE(db->Commit(&seed).ok());
+  db->PumpAll();
+  const auto oracle_before = db->oracle().stats().order_requests.load();
+
+  // Round-robin sends tx1 to gk1 and tx2 to gk0 (seed used gk0).
+  auto tx1 = db->BeginTx();
+  ASSERT_TRUE(tx1.AssignNodeProperty(a, "k", "1").ok());
+  ASSERT_TRUE(db->Commit(&tx1).ok());
+  auto tx2 = db->BeginTx();
+  ASSERT_TRUE(tx2.AssignNodeProperty(b, "k", "2").ok());
+  ASSERT_TRUE(db->Commit(&tx2).ok());
+  ASSERT_EQ(tx1.timestamp().Compare(tx2.timestamp()),
+            ClockOrder::kConcurrent);
+
+  db->gatekeeper(0).PumpNop();
+  db->gatekeeper(1).PumpNop();
+  db->shard(0).ProcessUntilIdle();
+  EXPECT_GT(db->oracle().stats().order_requests.load(), oracle_before);
+  EXPECT_GE(db->shard(0).stats().txs_applied.load(), 3u);
+}
+
+TEST(ShardTest, ResolverCachesOracleDecisions) {
+  TimelineOracle oracle;
+  OrderResolver resolver(&oracle);
+  const RefinableTimestamp a(VectorClock(0, {1, 0}), 0, 1);
+  const RefinableTimestamp b(VectorClock(0, {0, 1}), 1, 1);
+  const ClockOrder o1 = resolver.Resolve(a, b, OrderPreference::kPreferFirst);
+  const auto requests = resolver.stats().oracle_requests;
+  const ClockOrder o2 = resolver.Resolve(a, b, OrderPreference::kPreferFirst);
+  const ClockOrder o3 = resolver.Resolve(b, a, OrderPreference::kPreferFirst);
+  EXPECT_EQ(o1, o2);
+  EXPECT_EQ(o3, FlipOrder(o1));
+  EXPECT_EQ(resolver.stats().oracle_requests, requests);  // cache hits
+  EXPECT_GE(resolver.stats().cache_hits, 2u);
+}
+
+TEST(ShardTest, ResolverVclockFastPathSkipsOracle) {
+  TimelineOracle oracle;
+  OrderResolver resolver(&oracle);
+  const RefinableTimestamp a(VectorClock(0, {1, 0}), 0, 1);
+  const RefinableTimestamp b(VectorClock(0, {2, 0}), 0, 2);
+  EXPECT_EQ(resolver.Resolve(a, b, OrderPreference::kPreferFirst),
+            ClockOrder::kBefore);
+  EXPECT_EQ(resolver.stats().oracle_requests, 0u);
+  EXPECT_EQ(oracle.stats().order_requests.load(), 0u);
+}
+
+TEST(ShardTest, ResolverTrimBeforeDropsDeadPairs) {
+  TimelineOracle oracle;
+  OrderResolver resolver(&oracle);
+  const RefinableTimestamp a(VectorClock(0, {1, 0}), 0, 1);
+  const RefinableTimestamp b(VectorClock(0, {0, 1}), 1, 1);
+  resolver.Resolve(a, b, OrderPreference::kPreferFirst);
+  EXPECT_EQ(resolver.CacheSize(), 2u);
+  resolver.TrimBefore(VectorClock(0, {5, 5}));
+  EXPECT_EQ(resolver.CacheSize(), 0u);
+}
+
+TEST(ShardTest, GcMessageCollapsesVersions) {
+  auto db = Weaver::Open(ManualOptions(1, 1));
+  auto tx = db->BeginTx();
+  const NodeId n = tx.CreateNode();
+  ASSERT_TRUE(db->Commit(&tx).ok());
+  for (int i = 0; i < 5; ++i) {
+    auto t = db->BeginTx();
+    ASSERT_TRUE(t.AssignNodeProperty(n, "k", std::to_string(i)).ok());
+    ASSERT_TRUE(db->Commit(&t).ok());
+  }
+  db->PumpAll();
+  Shard& shard = db->shard(0);
+  const Node* node = shard.graph().FindNode(n);
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->props.VersionCount(), 5u);
+  db->RunGarbageCollection();
+  db->shard(0).ProcessUntilIdle();
+  EXPECT_EQ(node->props.VersionCount(), 1u);
+  EXPECT_GE(shard.stats().gc_rounds.load(), 1u);
+}
+
+}  // namespace
+}  // namespace weaver

@@ -1,0 +1,279 @@
+// Tests for the multi-version property graph: PropertySet version chains,
+// visibility at timestamps, GraphStore CRUD, serialization, GC.
+#include "graph/graph_store.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/property.h"
+
+namespace weaver {
+namespace {
+
+// All timestamps in this file come from a single logical gatekeeper, so
+// plain vector-clock comparison is total; the order function is the
+// trivial one.
+RefinableTimestamp Ts(std::uint64_t seq) {
+  VectorClock c(0, std::vector<std::uint64_t>{seq});
+  return RefinableTimestamp(c, 0, seq);
+}
+
+OrderFn PlainOrder() {
+  return [](const RefinableTimestamp& a, const RefinableTimestamp& b) {
+    return a.Compare(b);
+  };
+}
+
+// ---- PropertySet ----------------------------------------------------------
+
+TEST(PropertySetTest, AssignThenReadBack) {
+  PropertySet props;
+  props.Assign("color", "red", Ts(1));
+  EXPECT_EQ(props.ValueAt("color", Ts(2), PlainOrder()), "red");
+}
+
+TEST(PropertySetTest, InvisibleBeforeCreation) {
+  PropertySet props;
+  props.Assign("color", "red", Ts(5));
+  EXPECT_EQ(props.ValueAt("color", Ts(4), PlainOrder()), std::nullopt);
+}
+
+TEST(PropertySetTest, VisibleAtExactCreationTimestamp) {
+  PropertySet props;
+  props.Assign("color", "red", Ts(5));
+  EXPECT_EQ(props.ValueAt("color", Ts(5), PlainOrder()), "red");
+}
+
+TEST(PropertySetTest, ReassignmentSupersedes) {
+  PropertySet props;
+  props.Assign("color", "red", Ts(1));
+  props.Assign("color", "blue", Ts(3));
+  const auto order = PlainOrder();
+  EXPECT_EQ(props.ValueAt("color", Ts(2), order), "red");
+  EXPECT_EQ(props.ValueAt("color", Ts(4), order), "blue");
+  EXPECT_EQ(props.VersionCount(), 2u);
+}
+
+TEST(PropertySetTest, RemoveHidesFromLaterReads) {
+  PropertySet props;
+  props.Assign("color", "red", Ts(1));
+  EXPECT_TRUE(props.Remove("color", Ts(3)));
+  const auto order = PlainOrder();
+  EXPECT_EQ(props.ValueAt("color", Ts(2), order), "red");  // time travel
+  EXPECT_EQ(props.ValueAt("color", Ts(4), order), std::nullopt);
+}
+
+TEST(PropertySetTest, RemoveMissingReturnsFalse) {
+  PropertySet props;
+  EXPECT_FALSE(props.Remove("nope", Ts(1)));
+}
+
+TEST(PropertySetTest, DistinctKeysIndependent) {
+  PropertySet props;
+  props.Assign("weight", "3.0", Ts(1));
+  props.Assign("color", "red", Ts(1));
+  props.Remove("weight", Ts(2));
+  const auto order = PlainOrder();
+  EXPECT_EQ(props.ValueAt("color", Ts(3), order), "red");
+  EXPECT_EQ(props.ValueAt("weight", Ts(3), order), std::nullopt);
+}
+
+TEST(PropertySetTest, CheckMatchesKeyAndValue) {
+  PropertySet props;
+  props.Assign("color", "red", Ts(1));
+  const auto order = PlainOrder();
+  EXPECT_TRUE(props.Check("color", "red", Ts(2), order));
+  EXPECT_FALSE(props.Check("color", "blue", Ts(2), order));
+  EXPECT_FALSE(props.Check("shape", "red", Ts(2), order));
+}
+
+TEST(PropertySetTest, SnapshotAtReturnsAllLive) {
+  PropertySet props;
+  props.Assign("a", "1", Ts(1));
+  props.Assign("b", "2", Ts(2));
+  props.Remove("a", Ts(3));
+  const auto snap = props.SnapshotAt(Ts(4), PlainOrder());
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].first, "b");
+}
+
+TEST(PropertySetTest, GcDropsDeadVersions) {
+  PropertySet props;
+  props.Assign("a", "1", Ts(1));
+  props.Assign("a", "2", Ts(2));  // version 1 deleted at Ts(2)
+  props.Assign("a", "3", Ts(3));  // version 2 deleted at Ts(3)
+  EXPECT_EQ(props.VersionCount(), 3u);
+  EXPECT_EQ(props.CollectBefore(Ts(10), PlainOrder()), 2u);
+  EXPECT_EQ(props.VersionCount(), 1u);
+  EXPECT_EQ(props.ValueAt("a", Ts(10), PlainOrder()), "3");
+}
+
+TEST(PropertySetTest, GcKeepsVersionsVisibleToWatermark) {
+  PropertySet props;
+  props.Assign("a", "1", Ts(1));
+  props.Assign("a", "2", Ts(5));
+  // Watermark at 3: version 1 (deleted at 5) is still visible to a reader
+  // at 3 and must survive.
+  EXPECT_EQ(props.CollectBefore(Ts(3), PlainOrder()), 0u);
+  EXPECT_EQ(props.ValueAt("a", Ts(3), PlainOrder()), "1");
+}
+
+// ---- GraphStore ------------------------------------------------------------
+
+TEST(GraphStoreTest, CreateAndFindNode) {
+  GraphStore g;
+  ASSERT_TRUE(g.CreateNode(1, Ts(1)).ok());
+  const Node* n = g.FindNode(1);
+  ASSERT_NE(n, nullptr);
+  EXPECT_EQ(n->id, 1u);
+  EXPECT_TRUE(n->VisibleAt(Ts(2), PlainOrder()));
+  EXPECT_FALSE(n->VisibleAt(Ts(0), PlainOrder()));
+}
+
+TEST(GraphStoreTest, DuplicateCreateRejected) {
+  GraphStore g;
+  ASSERT_TRUE(g.CreateNode(1, Ts(1)).ok());
+  EXPECT_TRUE(g.CreateNode(1, Ts(2)).IsAlreadyExists());
+}
+
+TEST(GraphStoreTest, DeleteNodeIsMarkNotErase) {
+  GraphStore g;
+  ASSERT_TRUE(g.CreateNode(1, Ts(1)).ok());
+  ASSERT_TRUE(g.DeleteNode(1, Ts(5)).ok());
+  const Node* n = g.FindNode(1);
+  ASSERT_NE(n, nullptr);  // still present: multi-version
+  EXPECT_TRUE(n->VisibleAt(Ts(3), PlainOrder()));   // historical read
+  EXPECT_FALSE(n->VisibleAt(Ts(6), PlainOrder()));  // current read
+}
+
+TEST(GraphStoreTest, DoubleDeleteRejected) {
+  GraphStore g;
+  ASSERT_TRUE(g.CreateNode(1, Ts(1)).ok());
+  ASSERT_TRUE(g.DeleteNode(1, Ts(2)).ok());
+  EXPECT_TRUE(g.DeleteNode(1, Ts(3)).IsFailedPrecondition());
+}
+
+TEST(GraphStoreTest, EdgesVisibleAtTimestamps) {
+  GraphStore g;
+  ASSERT_TRUE(g.CreateNode(1, Ts(1)).ok());
+  ASSERT_TRUE(g.CreateNode(2, Ts(1)).ok());
+  ASSERT_TRUE(g.CreateEdge(100, 1, 2, Ts(3)).ok());
+  ASSERT_TRUE(g.DeleteEdge(1, 100, Ts(7)).ok());
+  const Node* n = g.FindNode(1);
+  const auto order = PlainOrder();
+  EXPECT_EQ(n->OutDegreeAt(Ts(2), order), 0u);
+  EXPECT_EQ(n->OutDegreeAt(Ts(5), order), 1u);
+  EXPECT_EQ(n->OutDegreeAt(Ts(8), order), 0u);
+}
+
+TEST(GraphStoreTest, EdgeOnDeletedNodeRejected) {
+  GraphStore g;
+  ASSERT_TRUE(g.CreateNode(1, Ts(1)).ok());
+  ASSERT_TRUE(g.DeleteNode(1, Ts(2)).ok());
+  EXPECT_TRUE(g.CreateEdge(100, 1, 2, Ts(3)).IsFailedPrecondition());
+}
+
+TEST(GraphStoreTest, EdgeOnMissingNodeNotFound) {
+  GraphStore g;
+  EXPECT_TRUE(g.CreateEdge(100, 9, 2, Ts(1)).IsNotFound());
+  EXPECT_TRUE(g.DeleteEdge(9, 100, Ts(1)).IsNotFound());
+}
+
+TEST(GraphStoreTest, NodeAndEdgePropertiesAreVersioned) {
+  GraphStore g;
+  ASSERT_TRUE(g.CreateNode(1, Ts(1)).ok());
+  ASSERT_TRUE(g.CreateEdge(100, 1, 2, Ts(1)).ok());
+  ASSERT_TRUE(g.AssignNodeProperty(1, "name", "alice", Ts(2)).ok());
+  ASSERT_TRUE(g.AssignEdgeProperty(1, 100, "weight", "3.0", Ts(2)).ok());
+  ASSERT_TRUE(g.AssignEdgeProperty(1, 100, "weight", "4.0", Ts(4)).ok());
+  const Node* n = g.FindNode(1);
+  const auto order = PlainOrder();
+  EXPECT_EQ(n->props.ValueAt("name", Ts(3), order), "alice");
+  const Edge& e = n->out_edges.at(100);
+  EXPECT_EQ(e.props.ValueAt("weight", Ts(3), order), "3.0");
+  EXPECT_EQ(e.props.ValueAt("weight", Ts(5), order), "4.0");
+}
+
+TEST(GraphStoreTest, RemoveMissingPropertyNotFound) {
+  GraphStore g;
+  ASSERT_TRUE(g.CreateNode(1, Ts(1)).ok());
+  EXPECT_TRUE(g.RemoveNodeProperty(1, "nope", Ts(2)).IsNotFound());
+}
+
+TEST(GraphStoreTest, LastUpdateTracksWrites) {
+  GraphStore g;
+  ASSERT_TRUE(g.CreateNode(1, Ts(1)).ok());
+  ASSERT_TRUE(g.AssignNodeProperty(1, "k", "v", Ts(9)).ok());
+  EXPECT_EQ(g.FindNode(1)->last_update.local_seq, 9u);
+}
+
+TEST(GraphStoreTest, SerializeDeserializeRoundTrip) {
+  GraphStore g;
+  ASSERT_TRUE(g.CreateNode(1, Ts(1)).ok());
+  ASSERT_TRUE(g.AssignNodeProperty(1, "name", "alice", Ts(2)).ok());
+  ASSERT_TRUE(g.CreateEdge(100, 1, 2, Ts(3)).ok());
+  ASSERT_TRUE(g.AssignEdgeProperty(1, 100, "w", "1", Ts(3)).ok());
+  ASSERT_TRUE(g.DeleteEdge(1, 100, Ts(5)).ok());
+
+  const std::string blob = GraphStore::SerializeNode(*g.FindNode(1));
+  auto restored = GraphStore::DeserializeNode(blob);
+  ASSERT_TRUE(restored.ok());
+  const auto order = PlainOrder();
+  EXPECT_EQ(restored->id, 1u);
+  EXPECT_EQ(restored->props.ValueAt("name", Ts(3), order), "alice");
+  ASSERT_EQ(restored->out_edges.size(), 1u);
+  // The deleted edge survives with its full version history.
+  EXPECT_TRUE(restored->out_edges.at(100).VisibleAt(Ts(4), order));
+  EXPECT_FALSE(restored->out_edges.at(100).VisibleAt(Ts(6), order));
+  EXPECT_EQ(restored->last_update.local_seq, 5u);
+}
+
+TEST(GraphStoreTest, DeserializeGarbageFails) {
+  EXPECT_FALSE(GraphStore::DeserializeNode("nonsense").ok());
+}
+
+TEST(GraphStoreTest, GcErasesDeletedObjects) {
+  GraphStore g;
+  ASSERT_TRUE(g.CreateNode(1, Ts(1)).ok());
+  ASSERT_TRUE(g.CreateNode(2, Ts(1)).ok());
+  ASSERT_TRUE(g.CreateEdge(100, 1, 2, Ts(2)).ok());
+  ASSERT_TRUE(g.DeleteEdge(1, 100, Ts(3)).ok());
+  ASSERT_TRUE(g.DeleteNode(2, Ts(3)).ok());
+  EXPECT_GT(g.CollectBefore(Ts(10), PlainOrder()), 0u);
+  EXPECT_EQ(g.FindNode(2), nullptr);                  // erased
+  EXPECT_TRUE(g.FindNode(1)->out_edges.empty());      // edge erased
+  EXPECT_NE(g.FindNode(1), nullptr);                  // live node kept
+}
+
+TEST(GraphStoreTest, GcKeepsObjectsVisibleAtWatermark) {
+  GraphStore g;
+  ASSERT_TRUE(g.CreateNode(1, Ts(1)).ok());
+  ASSERT_TRUE(g.DeleteNode(1, Ts(8)).ok());
+  EXPECT_EQ(g.CollectBefore(Ts(5), PlainOrder()), 0u);
+  ASSERT_NE(g.FindNode(1), nullptr);
+  EXPECT_TRUE(g.FindNode(1)->VisibleAt(Ts(5), PlainOrder()));
+}
+
+TEST(GraphStoreTest, InstallAndEvict) {
+  GraphStore g;
+  Node n;
+  n.id = 42;
+  n.created = Ts(1);
+  g.InstallNode(std::move(n));
+  EXPECT_TRUE(g.ContainsNode(42));
+  g.EvictNode(42);
+  EXPECT_FALSE(g.ContainsNode(42));
+}
+
+TEST(GraphStoreTest, AllNodeIdsEnumerates) {
+  GraphStore g;
+  ASSERT_TRUE(g.CreateNode(1, Ts(1)).ok());
+  ASSERT_TRUE(g.CreateNode(2, Ts(1)).ok());
+  auto ids = g.AllNodeIds();
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<NodeId>{1, 2}));
+}
+
+}  // namespace
+}  // namespace weaver

@@ -1,0 +1,270 @@
+// Tests for the transactional backing store (HyperDex Warp substitute):
+// OCC semantics, tombstone versioning, and randomized serializability.
+#include "kvstore/kvstore.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/random.h"
+
+namespace weaver {
+namespace {
+
+TEST(KvStoreTest, GetMissingIsNotFound) {
+  KvStore kv;
+  EXPECT_TRUE(kv.Get("nope").status().IsNotFound());
+}
+
+TEST(KvStoreTest, PutGetRoundTrip) {
+  KvStore kv;
+  kv.Put("k", "v");
+  auto r = kv.Get("k");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "v");
+}
+
+TEST(KvStoreTest, OverwriteReplaces) {
+  KvStore kv;
+  kv.Put("k", "v1");
+  kv.Put("k", "v2");
+  EXPECT_EQ(*kv.Get("k"), "v2");
+}
+
+TEST(KvStoreTest, DeleteHidesValue) {
+  KvStore kv;
+  kv.Put("k", "v");
+  kv.Delete("k");
+  EXPECT_TRUE(kv.Get("k").status().IsNotFound());
+  EXPECT_FALSE(kv.Contains("k"));
+}
+
+TEST(KvStoreTest, ScanPrefixSortedAndFiltered) {
+  KvStore kv(4);
+  kv.Put("v:3", "c");
+  kv.Put("v:1", "a");
+  kv.Put("m:1", "x");
+  kv.Put("v:2", "b");
+  const auto rows = kv.ScanPrefix("v:");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].first, "v:1");
+  EXPECT_EQ(rows[2].first, "v:3");
+}
+
+TEST(KvStoreTest, ScanSkipsTombstones) {
+  KvStore kv;
+  kv.Put("v:1", "a");
+  kv.Put("v:2", "b");
+  kv.Delete("v:1");
+  EXPECT_EQ(kv.ScanPrefix("v:").size(), 1u);
+}
+
+TEST(KvTransactionTest, CommitPublishesWrites) {
+  KvStore kv;
+  auto tx = kv.Begin();
+  tx.Put("a", "1");
+  tx.Put("b", "2");
+  ASSERT_TRUE(tx.Commit().ok());
+  EXPECT_EQ(*kv.Get("a"), "1");
+  EXPECT_EQ(*kv.Get("b"), "2");
+}
+
+TEST(KvTransactionTest, UncommittedWritesInvisible) {
+  KvStore kv;
+  auto tx = kv.Begin();
+  tx.Put("a", "1");
+  EXPECT_TRUE(kv.Get("a").status().IsNotFound());
+}
+
+TEST(KvTransactionTest, ReadYourOwnWrites) {
+  KvStore kv;
+  kv.Put("a", "old");
+  auto tx = kv.Begin();
+  tx.Put("a", "new");
+  EXPECT_EQ(*tx.Get("a"), "new");
+  tx.Delete("a");
+  EXPECT_TRUE(tx.Get("a").status().IsNotFound());
+}
+
+TEST(KvTransactionTest, ConflictingWriteAbortsReader) {
+  KvStore kv;
+  kv.Put("a", "0");
+  auto tx = kv.Begin();
+  ASSERT_TRUE(tx.Get("a").ok());  // records version
+  kv.Put("a", "1");               // concurrent writer
+  tx.Put("b", "x");
+  EXPECT_TRUE(tx.Commit().IsAborted());
+  EXPECT_TRUE(kv.Get("b").status().IsNotFound());  // nothing applied
+}
+
+TEST(KvTransactionTest, ConcurrentInsertAbortsNotFoundReader) {
+  KvStore kv;
+  auto tx = kv.Begin();
+  EXPECT_TRUE(tx.Get("a").status().IsNotFound());  // version 0 recorded
+  kv.Put("a", "1");
+  EXPECT_TRUE(tx.Commit().IsAborted());
+}
+
+TEST(KvTransactionTest, DeleteThenReinsertAbortsStaleReader) {
+  // The ABA hazard: reader pins version, key is deleted and re-inserted.
+  KvStore kv;
+  kv.Put("a", "v1");
+  auto tx = kv.Begin();
+  ASSERT_TRUE(tx.Get("a").ok());
+  kv.Delete("a");
+  kv.Put("a", "v1-again");
+  tx.Put("out", "x");
+  EXPECT_TRUE(tx.Commit().IsAborted());
+}
+
+TEST(KvTransactionTest, DisjointTransactionsBothCommit) {
+  KvStore kv;
+  auto t1 = kv.Begin();
+  auto t2 = kv.Begin();
+  t1.Put("a", "1");
+  t2.Put("b", "2");
+  EXPECT_TRUE(t1.Commit().ok());
+  EXPECT_TRUE(t2.Commit().ok());
+}
+
+TEST(KvTransactionTest, BlindWritesLastWriterWins) {
+  KvStore kv;
+  auto t1 = kv.Begin();
+  auto t2 = kv.Begin();
+  t1.Put("a", "1");
+  t2.Put("a", "2");
+  EXPECT_TRUE(t1.Commit().ok());
+  EXPECT_TRUE(t2.Commit().ok());  // no read set: blind write allowed
+  EXPECT_EQ(*kv.Get("a"), "2");
+}
+
+TEST(KvTransactionTest, ReadModifyWriteConflictOneAborts) {
+  KvStore kv;
+  kv.Put("counter", "0");
+  auto t1 = kv.Begin();
+  auto t2 = kv.Begin();
+  ASSERT_TRUE(t1.Get("counter").ok());
+  ASSERT_TRUE(t2.Get("counter").ok());
+  t1.Put("counter", "1");
+  t2.Put("counter", "1");
+  const bool c1 = t1.Commit().ok();
+  const bool c2 = t2.Commit().ok();
+  EXPECT_TRUE(c1);
+  EXPECT_FALSE(c2);  // validated against the version t1 bumped
+}
+
+TEST(KvTransactionTest, TransactionalDelete) {
+  KvStore kv;
+  kv.Put("a", "x");
+  auto tx = kv.Begin();
+  tx.Delete("a");
+  ASSERT_TRUE(tx.Commit().ok());
+  EXPECT_FALSE(kv.Contains("a"));
+}
+
+TEST(KvTransactionTest, ReuseAfterCommitFails) {
+  KvStore kv;
+  auto tx = kv.Begin();
+  tx.Put("a", "1");
+  ASSERT_TRUE(tx.Commit().ok());
+  EXPECT_TRUE(tx.Commit().IsInternal());
+}
+
+TEST(KvTransactionTest, StatsCountCommitsAndAborts) {
+  KvStore kv;
+  kv.Put("a", "0");
+  auto t1 = kv.Begin();
+  ASSERT_TRUE(t1.Get("a").ok());
+  kv.Put("a", "1");
+  t1.Put("a", "2");
+  EXPECT_TRUE(t1.Commit().IsAborted());
+  auto t2 = kv.Begin();
+  t2.Put("b", "1");
+  EXPECT_TRUE(t2.Commit().ok());
+  EXPECT_GE(kv.stats().aborts.load(), 1u);
+  EXPECT_GE(kv.stats().commits.load(), 1u);
+}
+
+// Serializability stress: N threads increment a set of counters via
+// read-modify-write transactions with retry; the final sum must equal the
+// number of successful increments (no lost updates).
+class KvStressTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KvStressTest, NoLostUpdates) {
+  const int num_threads = GetParam();
+  KvStore kv(8);
+  constexpr int kKeys = 4;
+  for (int k = 0; k < kKeys; ++k) {
+    kv.Put("c" + std::to_string(k), "0");
+  }
+  std::atomic<std::uint64_t> successes{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(t + 99);
+      for (int i = 0; i < 300; ++i) {
+        const std::string key = "c" + std::to_string(rng.Uniform(kKeys));
+        while (true) {
+          auto tx = kv.Begin();
+          auto cur = tx.Get(key);
+          if (!cur.ok()) break;
+          tx.Put(key, std::to_string(std::stoi(*cur) + 1));
+          if (tx.Commit().ok()) {
+            successes.fetch_add(1);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::uint64_t total = 0;
+  for (int k = 0; k < kKeys; ++k) {
+    total += std::stoull(*kv.Get("c" + std::to_string(k)));
+  }
+  EXPECT_EQ(total, successes.load());
+  EXPECT_EQ(total,
+            static_cast<std::uint64_t>(num_threads) * 300u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, KvStressTest, ::testing::Values(2, 4, 8));
+
+// Multi-key atomicity: transfers between accounts preserve the total.
+TEST(KvStressTest, MultiKeyTransfersPreserveTotal) {
+  KvStore kv(8);
+  constexpr int kAccounts = 6;
+  for (int a = 0; a < kAccounts; ++a) {
+    kv.Put("acct" + std::to_string(a), "100");
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(t + 7);
+      for (int i = 0; i < 200; ++i) {
+        const int from = static_cast<int>(rng.Uniform(kAccounts));
+        int to = static_cast<int>(rng.Uniform(kAccounts));
+        if (to == from) to = (to + 1) % kAccounts;
+        auto tx = kv.Begin();
+        auto f = tx.Get("acct" + std::to_string(from));
+        auto g = tx.Get("acct" + std::to_string(to));
+        if (!f.ok() || !g.ok()) continue;
+        const int amount = 1 + static_cast<int>(rng.Uniform(10));
+        tx.Put("acct" + std::to_string(from),
+               std::to_string(std::stoi(*f) - amount));
+        tx.Put("acct" + std::to_string(to),
+               std::to_string(std::stoi(*g) + amount));
+        (void)tx.Commit();  // aborts are fine; atomicity is the invariant
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  int total = 0;
+  for (int a = 0; a < kAccounts; ++a) {
+    total += std::stoi(*kv.Get("acct" + std::to_string(a)));
+  }
+  EXPECT_EQ(total, kAccounts * 100);
+}
+
+}  // namespace
+}  // namespace weaver

@@ -1,0 +1,146 @@
+// Tests for the deterministic RNG, Zipf sampler, and discrete sampler.
+#include "common/random.h"
+
+#include "common/ids.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace weaver {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformBoundOneIsZero) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Uniform(1), 0u);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.UniformRange(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIsRoughlyUniform) {
+  Rng rng(13);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[rng.Uniform(10)]++;
+  for (int c : counts) {
+    EXPECT_GT(c, n / 10 - n / 50);
+    EXPECT_LT(c, n / 10 + n / 50);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(ZipfTest, InRange) {
+  Rng rng(3);
+  ZipfSampler zipf(1000, 0.99);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.Sample(rng), 1000u);
+  }
+}
+
+TEST(ZipfTest, SkewsTowardSmallRanks) {
+  Rng rng(4);
+  ZipfSampler zipf(10000, 0.99);
+  std::uint64_t in_top_100 = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.Sample(rng) < 100) ++in_top_100;
+  }
+  // Top 1% of keys should get far more than 1% of picks.
+  EXPECT_GT(in_top_100, static_cast<std::uint64_t>(n) / 10);
+}
+
+TEST(ZipfTest, ThetaOneIsSupported) {
+  Rng rng(5);
+  ZipfSampler zipf(100, 1.0);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(zipf.Sample(rng), 100u);
+  }
+}
+
+TEST(ZipfTest, SingleElementAlwaysZero) {
+  Rng rng(6);
+  ZipfSampler zipf(1, 0.9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(rng), 0u);
+}
+
+TEST(DiscreteSamplerTest, MatchesWeights) {
+  // Table 1 read mix.
+  Rng rng(7);
+  DiscreteSampler mix({59.4, 11.7, 28.9});
+  std::vector<int> counts(3, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) counts[mix.Sample(rng)]++;
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.594, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.117, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.289, 0.01);
+}
+
+TEST(DiscreteSamplerTest, ZeroWeightNeverPicked) {
+  Rng rng(8);
+  DiscreteSampler mix({1.0, 0.0, 1.0});
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_NE(mix.Sample(rng), 1u);
+  }
+}
+
+TEST(MixHashTest, DistinctInputsDistinctOutputs) {
+  std::map<std::uint64_t, std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    const auto h = MixHash64(i);
+    EXPECT_EQ(seen.count(h), 0u);
+    seen[h] = i;
+  }
+}
+
+}  // namespace
+}  // namespace weaver

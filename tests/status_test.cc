@@ -1,0 +1,113 @@
+// Tests for Status and Result<T> (src/common).
+#include "common/result.h"
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace weaver {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryMethodsSetCode) {
+  EXPECT_TRUE(Status::NotFound().IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists().IsAlreadyExists());
+  EXPECT_TRUE(Status::Aborted().IsAborted());
+  EXPECT_TRUE(Status::InvalidArgument().IsInvalidArgument());
+  EXPECT_TRUE(Status::FailedPrecondition().IsFailedPrecondition());
+  EXPECT_TRUE(Status::Unavailable().IsUnavailable());
+  EXPECT_TRUE(Status::TimedOut().IsTimedOut());
+  EXPECT_TRUE(Status::Cancelled().IsCancelled());
+  EXPECT_TRUE(Status::Internal().IsInternal());
+}
+
+TEST(StatusTest, NonOkIsNotOk) {
+  EXPECT_FALSE(Status::NotFound().ok());
+  EXPECT_FALSE(Status::Aborted().ok());
+}
+
+TEST(StatusTest, MessagePreserved) {
+  Status st = Status::Aborted("conflict on key v:42");
+  EXPECT_EQ(st.message(), "conflict on key v:42");
+  EXPECT_EQ(st.ToString(), "ABORTED: conflict on key v:42");
+}
+
+TEST(StatusTest, EqualityComparesCodeOnly) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound() == Status::Aborted());
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeName(StatusCode::kAborted), "ABORTED");
+  EXPECT_EQ(StatusCodeName(StatusCode::kTimedOut), "TIMED_OUT");
+}
+
+Status Fails() { return Status::NotFound("inner"); }
+Status PropagatesViaMacro() {
+  WEAVER_RETURN_IF_ERROR(Fails());
+  return Status::Internal("unreachable");
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  EXPECT_TRUE(PropagatesViaMacro().IsNotFound());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.status().message(), "nope");
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  Result<int> good = 7;
+  Result<int> bad = Status::Internal();
+  EXPECT_EQ(good.ValueOr(-1), 7);
+  EXPECT_EQ(bad.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+Status UseAssignOrReturn(int x, int* out) {
+  WEAVER_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  *out = v * 2;
+  return Status::Ok();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(21, &out).ok());
+  EXPECT_EQ(out, 42);
+  EXPECT_TRUE(UseAssignOrReturn(-1, &out).IsInvalidArgument());
+  EXPECT_EQ(out, 42);  // untouched on failure
+}
+
+}  // namespace
+}  // namespace weaver

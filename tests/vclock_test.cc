@@ -1,0 +1,208 @@
+// Tests for vector clocks: the partial order that powers the proactive
+// stage of refinable timestamps (paper §3.3).
+#include "vclock/vclock.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace weaver {
+namespace {
+
+VectorClock Make(std::initializer_list<std::uint64_t> counters,
+                 std::uint32_t epoch = 0) {
+  return VectorClock(epoch, std::vector<std::uint64_t>(counters));
+}
+
+TEST(VectorClockTest, ZeroClocksAreEqual) {
+  VectorClock a(3), b(3);
+  EXPECT_EQ(a.Compare(b), ClockOrder::kEqual);
+  EXPECT_EQ(a, b);
+}
+
+TEST(VectorClockTest, TickAdvancesOwnComponent) {
+  VectorClock c(3);
+  EXPECT_EQ(c.Tick(1), 1u);
+  EXPECT_EQ(c.Tick(1), 2u);
+  EXPECT_EQ(c.Component(1), 2u);
+  EXPECT_EQ(c.Component(0), 0u);
+}
+
+TEST(VectorClockTest, PaperFig5Orderings) {
+  // T1<1,1,0> < T2<3,4,2>; T3<0,1,3> < T4<3,1,5>; T2 ~ T4 (concurrent).
+  const auto t1 = Make({1, 1, 0});
+  const auto t2 = Make({3, 4, 2});
+  const auto t3 = Make({0, 1, 3});
+  const auto t4 = Make({3, 1, 5});
+  EXPECT_EQ(t1.Compare(t2), ClockOrder::kBefore);
+  EXPECT_EQ(t2.Compare(t1), ClockOrder::kAfter);
+  EXPECT_EQ(t3.Compare(t4), ClockOrder::kBefore);
+  EXPECT_EQ(t2.Compare(t4), ClockOrder::kConcurrent);
+  EXPECT_EQ(t4.Compare(t2), ClockOrder::kConcurrent);
+}
+
+TEST(VectorClockTest, HappensBeforeHelpers) {
+  const auto a = Make({1, 0});
+  const auto b = Make({1, 1});
+  EXPECT_TRUE(a.HappensBefore(b));
+  EXPECT_FALSE(b.HappensBefore(a));
+  EXPECT_FALSE(a.ConcurrentWith(b));
+  EXPECT_TRUE(Make({1, 0}).ConcurrentWith(Make({0, 1})));
+}
+
+TEST(VectorClockTest, MergeTakesPointwiseMax) {
+  auto a = Make({3, 1, 0});
+  const auto b = Make({1, 4, 2});
+  a.Merge(b);
+  EXPECT_EQ(a, Make({3, 4, 2}));
+}
+
+TEST(VectorClockTest, MergeIsIdempotent) {
+  auto a = Make({3, 1});
+  a.Merge(a);
+  EXPECT_EQ(a, Make({3, 1}));
+}
+
+TEST(VectorClockTest, MergedClockDominatesBoth) {
+  auto a = Make({5, 0, 2});
+  const auto b = Make({1, 7, 2});
+  auto merged = a;
+  merged.Merge(b);
+  EXPECT_NE(merged.Compare(a), ClockOrder::kBefore);
+  EXPECT_NE(merged.Compare(b), ClockOrder::kBefore);
+}
+
+TEST(VectorClockTest, EpochDominatesCounters) {
+  const auto old_epoch = Make({100, 100}, 0);
+  const auto new_epoch = Make({0, 0}, 1);
+  EXPECT_EQ(old_epoch.Compare(new_epoch), ClockOrder::kBefore);
+  EXPECT_EQ(new_epoch.Compare(old_epoch), ClockOrder::kAfter);
+}
+
+TEST(VectorClockTest, AdvanceEpochZerosCounters) {
+  auto c = Make({4, 5});
+  c.AdvanceEpoch(2);
+  EXPECT_EQ(c.epoch(), 2u);
+  EXPECT_EQ(c.Component(0), 0u);
+  EXPECT_EQ(c.Component(1), 0u);
+}
+
+TEST(VectorClockTest, MergeIgnoresStaleEpoch) {
+  auto c = Make({1, 1}, 2);
+  c.Merge(Make({9, 9}, 1));  // pre-failover stragglers are ignored
+  EXPECT_EQ(c.Component(0), 1u);
+}
+
+TEST(VectorClockTest, MergeAdoptsNewerEpoch) {
+  auto c = Make({5, 5}, 0);
+  c.Merge(Make({2, 0}, 1));
+  EXPECT_EQ(c.epoch(), 1u);
+  EXPECT_EQ(c.Component(0), 2u);  // old counters dropped with the epoch
+  EXPECT_EQ(c.Component(1), 0u);
+}
+
+TEST(VectorClockTest, MagnitudeSumsComponents) {
+  EXPECT_EQ(Make({1, 2, 3}).Magnitude(), 6u);
+  EXPECT_EQ(VectorClock(4).Magnitude(), 0u);
+}
+
+TEST(VectorClockTest, ToStringFormat) {
+  EXPECT_EQ(Make({1, 2}).ToString(), "e0<1,2>");
+  EXPECT_EQ(Make({7}, 3).ToString(), "e3<7>");
+}
+
+TEST(VectorClockTest, SerializeRoundTrip) {
+  const auto c = Make({9, 0, 12345678901234ULL}, 7);
+  ByteWriter w;
+  c.Serialize(&w);
+  ByteReader r(w.str());
+  VectorClock back;
+  ASSERT_TRUE(VectorClock::Deserialize(&r, &back).ok());
+  EXPECT_EQ(back, c);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(VectorClockTest, DeserializeTruncatedFails) {
+  const auto c = Make({1, 2, 3});
+  ByteWriter w;
+  c.Serialize(&w);
+  std::string bytes = w.Take();
+  bytes.resize(bytes.size() - 3);
+  ByteReader r(bytes);
+  VectorClock back;
+  EXPECT_FALSE(VectorClock::Deserialize(&r, &back).ok());
+}
+
+TEST(VectorClockTest, FlipOrder) {
+  EXPECT_EQ(FlipOrder(ClockOrder::kBefore), ClockOrder::kAfter);
+  EXPECT_EQ(FlipOrder(ClockOrder::kAfter), ClockOrder::kBefore);
+  EXPECT_EQ(FlipOrder(ClockOrder::kConcurrent), ClockOrder::kConcurrent);
+  EXPECT_EQ(FlipOrder(ClockOrder::kEqual), ClockOrder::kEqual);
+}
+
+// ---- Property tests: Compare is a strict partial order -------------------
+
+class VClockPropertyTest : public ::testing::TestWithParam<int> {};
+
+VectorClock RandomClock(Rng& rng, std::size_t width, std::uint64_t bound) {
+  std::vector<std::uint64_t> counters(width);
+  for (auto& c : counters) c = rng.Uniform(bound);
+  return VectorClock(0, std::move(counters));
+}
+
+TEST_P(VClockPropertyTest, CompareIsAntisymmetric) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    const auto a = RandomClock(rng, 4, 5);
+    const auto b = RandomClock(rng, 4, 5);
+    EXPECT_EQ(a.Compare(b), FlipOrder(b.Compare(a)));
+  }
+}
+
+TEST_P(VClockPropertyTest, CompareIsTransitive) {
+  Rng rng(GetParam() + 100);
+  for (int i = 0; i < 500; ++i) {
+    const auto a = RandomClock(rng, 3, 4);
+    const auto b = RandomClock(rng, 3, 4);
+    const auto c = RandomClock(rng, 3, 4);
+    if (a.Compare(b) == ClockOrder::kBefore &&
+        b.Compare(c) == ClockOrder::kBefore) {
+      EXPECT_EQ(a.Compare(c), ClockOrder::kBefore)
+          << a.ToString() << " " << b.ToString() << " " << c.ToString();
+    }
+  }
+}
+
+TEST_P(VClockPropertyTest, MergeIsLeastUpperBound) {
+  Rng rng(GetParam() + 200);
+  for (int i = 0; i < 500; ++i) {
+    const auto a = RandomClock(rng, 4, 6);
+    const auto b = RandomClock(rng, 4, 6);
+    auto m = a;
+    m.Merge(b);
+    // Upper bound:
+    EXPECT_NE(m.Compare(a), ClockOrder::kBefore);
+    EXPECT_NE(m.Compare(b), ClockOrder::kBefore);
+    // Least: every component equals a's or b's.
+    for (std::size_t k = 0; k < m.width(); ++k) {
+      EXPECT_EQ(m.Component(k),
+                std::max(a.Component(k), b.Component(k)));
+    }
+  }
+}
+
+TEST_P(VClockPropertyTest, TickMakesStrictlyLater) {
+  Rng rng(GetParam() + 300);
+  for (int i = 0; i < 200; ++i) {
+    auto a = RandomClock(rng, 3, 10);
+    const auto before = a;
+    a.Tick(rng.Uniform(3));
+    EXPECT_EQ(before.Compare(a), ClockOrder::kBefore);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VClockPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace weaver

@@ -1,0 +1,164 @@
+// Tests for the workload generators: Table 1 proportions, graph shape
+// properties, blockchain structure.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_set>
+
+#include "workload/blockchain.h"
+#include "workload/social_graph.h"
+#include "workload/tao_workload.h"
+
+namespace weaver {
+namespace workload {
+namespace {
+
+TEST(TaoWorkloadTest, Table1Proportions) {
+  TaoWorkload wl(10000, /*read_fraction=*/0.998, 0.8, 1);
+  std::map<TaoOp, int> counts;
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) counts[wl.NextOp()]++;
+  const double total = n;
+  // Reads 99.8% split 59.4 / 11.7 / 28.9.
+  EXPECT_NEAR(counts[TaoOp::kGetEdges] / total, 0.594 * 0.998, 0.01);
+  EXPECT_NEAR(counts[TaoOp::kCountEdges] / total, 0.117 * 0.998, 0.01);
+  EXPECT_NEAR(counts[TaoOp::kGetNode] / total, 0.289 * 0.998, 0.01);
+  // Writes 0.2% split 80 / 20.
+  const double writes =
+      (counts[TaoOp::kCreateEdge] + counts[TaoOp::kDeleteEdge]) / total;
+  EXPECT_NEAR(writes, 0.002, 0.001);
+  if (counts[TaoOp::kCreateEdge] + counts[TaoOp::kDeleteEdge] > 100) {
+    const double create_share =
+        static_cast<double>(counts[TaoOp::kCreateEdge]) /
+        (counts[TaoOp::kCreateEdge] + counts[TaoOp::kDeleteEdge]);
+    EXPECT_NEAR(create_share, 0.8, 0.1);
+  }
+}
+
+TEST(TaoWorkloadTest, CustomReadFraction) {
+  TaoWorkload wl(1000, /*read_fraction=*/0.75, 0.8, 2);
+  int reads = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (IsRead(wl.NextOp())) ++reads;
+  }
+  EXPECT_NEAR(reads / static_cast<double>(n), 0.75, 0.01);
+}
+
+TEST(TaoWorkloadTest, PicksInRange) {
+  TaoWorkload wl(500, 0.998, 0.8, 3);
+  for (int i = 0; i < 10000; ++i) {
+    const NodeId n = wl.PickNode();
+    EXPECT_GE(n, 1u);
+    EXPECT_LE(n, 500u);
+    const NodeId u = wl.PickUniformNode();
+    EXPECT_GE(u, 1u);
+    EXPECT_LE(u, 500u);
+  }
+}
+
+TEST(TaoWorkloadTest, OpNamesAndClassification) {
+  EXPECT_STREQ(TaoOpName(TaoOp::kGetEdges), "get_edges");
+  EXPECT_STREQ(TaoOpName(TaoOp::kCreateEdge), "create_edge");
+  EXPECT_TRUE(IsRead(TaoOp::kGetNode));
+  EXPECT_FALSE(IsRead(TaoOp::kDeleteEdge));
+}
+
+TEST(SocialGraphTest, PowerLawShape) {
+  const auto g = MakePowerLawGraph(5000, 8, 42);
+  EXPECT_EQ(g.num_nodes, 5000u);
+  // (num_nodes - 1) * out_degree edges.
+  EXPECT_EQ(g.edges.size(), 4999u * 8u);
+  // Degree skew: the most popular vertex should collect far more than the
+  // mean in-degree.
+  std::map<NodeId, std::uint64_t> indeg;
+  for (const auto& [src, dst] : g.edges) {
+    EXPECT_GE(src, 1u);
+    EXPECT_LE(src, 5000u);
+    EXPECT_GE(dst, 1u);
+    EXPECT_LE(dst, 5000u);
+    EXPECT_NE(src, dst);  // no self loops
+    indeg[dst]++;
+  }
+  std::uint64_t max_indeg = 0;
+  for (const auto& [_, d] : indeg) max_indeg = std::max(max_indeg, d);
+  const double mean = static_cast<double>(g.edges.size()) / 5000.0;
+  EXPECT_GT(max_indeg, static_cast<std::uint64_t>(20 * mean));
+}
+
+TEST(SocialGraphTest, Deterministic) {
+  const auto a = MakePowerLawGraph(500, 4, 7);
+  const auto b = MakePowerLawGraph(500, 4, 7);
+  EXPECT_EQ(a.edges, b.edges);
+}
+
+TEST(SocialGraphTest, UniformGraphShape) {
+  const auto g = MakeUniformGraph(1000, 20000, 5);
+  EXPECT_EQ(g.edges.size(), 20000u);
+  for (const auto& [src, dst] : g.edges) {
+    EXPECT_NE(src, dst);
+    EXPECT_LE(src, 1000u);
+    EXPECT_LE(dst, 1000u);
+  }
+}
+
+TEST(BlockchainTest, BlockSizesGrowWithHeight) {
+  BlockchainOptions opts;
+  opts.num_blocks = 100;
+  opts.min_txs = 1;
+  opts.max_txs = 50;
+  const auto chain = MakeBlockchain(opts);
+  ASSERT_EQ(chain.blocks.size(), 100u);
+  EXPECT_EQ(chain.TxCount(0), 1u);
+  EXPECT_EQ(chain.TxCount(99), 50u);
+  EXPECT_LE(chain.TxCount(10), chain.TxCount(90));
+}
+
+TEST(BlockchainTest, SpendsReferenceEarlierTransactions) {
+  BlockchainOptions opts;
+  opts.num_blocks = 50;
+  opts.max_txs = 20;
+  const auto chain = MakeBlockchain(opts);
+  std::unordered_set<NodeId> seen_txs;
+  for (const auto& block : chain.blocks) {
+    for (const auto& tx : block.txs) {
+      for (const auto& [target, value] : tx.outputs) {
+        EXPECT_TRUE(seen_txs.count(target))
+            << "spend target must be an earlier transaction";
+        EXPECT_GT(value, 0u);
+      }
+    }
+    for (const auto& tx : block.txs) seen_txs.insert(tx.id);
+  }
+}
+
+TEST(BlockchainTest, IdsAreUnique) {
+  BlockchainOptions opts;
+  opts.num_blocks = 30;
+  opts.max_txs = 10;
+  const auto chain = MakeBlockchain(opts);
+  std::unordered_set<NodeId> ids;
+  for (const auto& block : chain.blocks) {
+    EXPECT_TRUE(ids.insert(block.id).second);
+    for (const auto& tx : block.txs) {
+      EXPECT_TRUE(ids.insert(tx.id).second);
+    }
+  }
+  EXPECT_EQ(chain.total_txs + chain.blocks.size(), ids.size());
+}
+
+TEST(BlockchainTest, EdgeCountsConsistent) {
+  BlockchainOptions opts;
+  opts.num_blocks = 40;
+  const auto chain = MakeBlockchain(opts);
+  std::uint64_t edges = 0;
+  for (const auto& block : chain.blocks) {
+    edges += block.txs.size();  // block -> tx edges
+    for (const auto& tx : block.txs) edges += tx.outputs.size();
+  }
+  EXPECT_EQ(edges, chain.total_edges);
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace weaver
