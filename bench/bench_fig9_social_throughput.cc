@@ -45,6 +45,7 @@ MixResult RunMix(const workload::GeneratedGraph& graph, double read_fraction,
     // Model the HyperDex Warp network round trip writes pay in the
     // paper's deployment (EXPERIMENTS.md documents the calibration).
     options.kv_commit_delay_micros = 5000;
+    ApplyDurability(&options);
     auto db = Weaver::Open(options);
     LoadGraph(db.get(), graph);
     db->Start();
@@ -132,7 +133,8 @@ MixResult RunMix(const workload::GeneratedGraph& graph, double read_fraction,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  SetDurability(ParseDurability(argc, argv));
   PrintHeader("bench_fig9_social_throughput",
               "Fig 9a/9b + Table 1 (social network throughput)");
 
@@ -140,9 +142,11 @@ int main() {
       FullScale() ? 100000 : 20000, 10, 42);
   const std::size_t clients = FullScale() ? 50 : 16;
   const std::uint64_t duration_ms = FullScale() ? 8000 : 2500;
-  std::printf("graph: %llu vertices, %zu edges; %zu concurrent clients\n\n",
-              static_cast<unsigned long long>(graph.num_nodes),
-              graph.edges.size(), clients);
+  std::printf(
+      "graph: %llu vertices, %zu edges; %zu concurrent clients; "
+      "durability=%s\n\n",
+      static_cast<unsigned long long>(graph.num_nodes), graph.edges.size(),
+      clients, DurabilityName(CurrentDurability()));
 
   std::printf("%22s | %12s | %12s | %7s\n", "workload", "weaver_tx/s",
               "titan_tx/s", "ratio");
@@ -165,5 +169,6 @@ int main() {
       "\nexpected shape: Weaver >> Titan on the read-heavy TAO mix "
       "(paper: 10.9x);\nratio compresses at 75%% reads (paper: 1.5x); "
       "Titan roughly flat across mixes.\n");
+  RemoveBenchDataDirs();
   return 0;
 }

@@ -7,9 +7,18 @@
 // pre-populated dependency DAG, (b) multi-threaded read scaling through
 // the simulated chain, and (c) order-establishment (write) throughput at
 // the head. Uses google-benchmark.
+// Also home to the backing-store group-commit benchmark: persistence
+// overhead (off vs buffered WAL vs group-commit fsync) tracked across PRs
+// via the shared --durability knob machinery (bench/harness.h).
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+#include <thread>
+#include <vector>
+
 #include "common/random.h"
+#include "harness.h"
+#include "kvstore/kvstore.h"
 #include "oracle/chain.h"
 #include "oracle/timeline_oracle.h"
 
@@ -114,6 +123,87 @@ void BM_OracleOrderEstablishment(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_OracleOrderEstablishment);
+
+// --- Backing-store group commit ---------------------------------------------
+//
+// Each iteration runs `threads` client threads, each committing
+// `kCommitsPerThread` small read-modify-write transactions against one
+// KvStore configured per the durability arg. With --durability-style
+// fsync, concurrent committers share fdatasync rounds; the reported
+// wal_group_size counter (appends per sync) shows how well group commit
+// amortizes the sync cost as client parallelism grows.
+void BM_BackingStoreGroupCommit(benchmark::State& state) {
+  using bench::Durability;
+  const auto mode = static_cast<Durability>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  constexpr int kCommitsPerThread = 64;
+
+  std::string dir;
+  std::unique_ptr<KvStore> kv;
+  if (mode == Durability::kOff) {
+    kv = std::make_unique<KvStore>(64);
+  } else {
+    std::string templ =
+        (std::filesystem::temp_directory_path() / "weaver_gc_XXXXXX")
+            .string();
+    const char* made = ::mkdtemp(templ.data());
+    if (made == nullptr) {
+      state.SkipWithError("mkdtemp failed");
+      return;
+    }
+    dir = made;
+    StorageOptions opts;
+    opts.data_dir = dir;
+    opts.fsync = mode == Durability::kFsync ? FsyncPolicy::kAlways
+                                            : FsyncPolicy::kNever;
+    auto opened = KvStore::Open(64, opts);
+    if (!opened.ok()) {
+      state.SkipWithError(opened.status().ToString().c_str());
+      return;
+    }
+    kv = std::move(opened).value();
+  }
+
+  for (auto _ : state) {
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        for (int i = 0; i < kCommitsPerThread; ++i) {
+          auto tx = kv->Begin();
+          tx.Put("w" + std::to_string(t) + ":" + std::to_string(i & 7),
+                 std::to_string(i));
+          benchmark::DoNotOptimize(tx.Commit());
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  state.SetItemsProcessed(state.iterations() * threads * kCommitsPerThread);
+  state.SetLabel(std::string("durability=") +
+                 bench::DurabilityName(mode));
+  if (kv->durable()) {
+    const auto& wal = kv->storage_engine()->wal_stats();
+    const auto syncs = wal.syncs.load();
+    state.counters["wal_appends"] =
+        static_cast<double>(wal.appends.load());
+    state.counters["wal_syncs"] = static_cast<double>(syncs);
+    state.counters["wal_group_size"] =
+        syncs > 0 ? static_cast<double>(wal.appends.load()) /
+                        static_cast<double>(syncs)
+                  : 0.0;
+  }
+  kv.reset();
+  if (!dir.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  }
+}
+BENCHMARK(BM_BackingStoreGroupCommit)
+    ->ArgNames({"durability", "clients"})
+    ->ArgsProduct({{0, 1, 2}, {1, 4, 16}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 }  // namespace weaver

@@ -1,9 +1,13 @@
 #include "harness.h"
 
+#include <stdlib.h>
+
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <mutex>
+#include <string_view>
 #include <thread>
 
 #include "common/clock.h"
@@ -80,6 +84,75 @@ std::uint64_t RunClients(std::size_t num_clients, std::uint64_t duration_ms,
     for (const auto& h : per_thread) latencies->Merge(h);
   }
   return completed.load();
+}
+
+namespace {
+
+Durability g_durability = Durability::kOff;
+std::mutex g_data_dirs_mu;
+std::vector<std::string> g_data_dirs;
+
+Durability DurabilityFromName(const std::string& name) {
+  if (name == "buffered") return Durability::kBuffered;
+  if (name == "fsync") return Durability::kFsync;
+  return Durability::kOff;
+}
+
+}  // namespace
+
+const char* DurabilityName(Durability d) {
+  switch (d) {
+    case Durability::kOff:
+      return "off";
+    case Durability::kBuffered:
+      return "buffered";
+    case Durability::kFsync:
+      return "fsync";
+  }
+  return "off";
+}
+
+Durability ParseDurability(int argc, char** argv) {
+  constexpr std::string_view kFlag = "--durability=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.substr(0, kFlag.size()) == kFlag) {
+      return DurabilityFromName(std::string(arg.substr(kFlag.size())));
+    }
+  }
+  const char* env = std::getenv("WEAVER_BENCH_DURABILITY");
+  return env != nullptr ? DurabilityFromName(env) : Durability::kOff;
+}
+
+void SetDurability(Durability d) { g_durability = d; }
+
+Durability CurrentDurability() { return g_durability; }
+
+std::string ApplyDurability(WeaverOptions* options) {
+  if (g_durability == Durability::kOff) return "";
+  std::string templ =
+      (std::filesystem::temp_directory_path() / "weaver_bench_XXXXXX")
+          .string();
+  char* dir = ::mkdtemp(templ.data());
+  if (dir == nullptr) return "";
+  options->storage.data_dir = dir;
+  options->storage.fsync = g_durability == Durability::kFsync
+                               ? FsyncPolicy::kAlways
+                               : FsyncPolicy::kNever;
+  {
+    std::lock_guard<std::mutex> lk(g_data_dirs_mu);
+    g_data_dirs.push_back(dir);
+  }
+  return dir;
+}
+
+void RemoveBenchDataDirs() {
+  std::lock_guard<std::mutex> lk(g_data_dirs_mu);
+  for (const std::string& dir : g_data_dirs) {
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  }
+  g_data_dirs.clear();
 }
 
 std::string FormatRate(double ops_per_sec) {

@@ -45,5 +45,34 @@ std::uint64_t RunClients(std::size_t num_clients, std::uint64_t duration_ms,
 /// Formats ops/sec with thousands separators for table rows.
 std::string FormatRate(double ops_per_sec);
 
+// --- Durability knob --------------------------------------------------------
+//
+// Benches accept --durability={off,buffered,fsync} (or the
+// WEAVER_BENCH_DURABILITY env var) so persistence overhead is tracked
+// across PRs:
+//   off      -- in-memory backing store (historical behavior; default)
+//   buffered -- WAL enabled, records reach the OS page cache per commit
+//   fsync    -- WAL enabled, group-commit fdatasync covers every commit
+
+enum class Durability { kOff, kBuffered, kFsync };
+
+const char* DurabilityName(Durability d);
+
+/// Parses argv/env as described above; unknown values fall back to kOff.
+Durability ParseDurability(int argc, char** argv);
+
+/// Sets the process-wide mode applied by ApplyDurability (benches call
+/// this once from main with ParseDurability's result).
+void SetDurability(Durability d);
+Durability CurrentDurability();
+
+/// Points options->storage at a fresh temp data dir per the current mode
+/// (no-op for kOff). Returns the data dir ("" when off). Dirs live under
+/// the system temp root and are cleaned up by RemoveBenchDataDirs().
+std::string ApplyDurability(WeaverOptions* options);
+
+/// Removes every data dir this process created via ApplyDurability.
+void RemoveBenchDataDirs();
+
 }  // namespace bench
 }  // namespace weaver

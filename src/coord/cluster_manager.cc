@@ -71,7 +71,18 @@ std::vector<ClusterManager::Member> ClusterManager::Members() const {
   return out;
 }
 
-std::uint32_t ClusterManager::AdvanceEpochBarrier(
+void ClusterManager::RestoreEpoch(std::uint32_t epoch) {
+  std::lock_guard<std::mutex> lk(mu_);
+  epoch_ = std::max(epoch_, epoch);
+}
+
+void ClusterManager::SetEpochPersist(
+    std::function<Status(std::uint32_t)> persist) {
+  std::lock_guard<std::mutex> lk(mu_);
+  persist_epoch_ = std::move(persist);
+}
+
+Result<std::uint32_t> ClusterManager::AdvanceEpochBarrier(
     const std::vector<Gatekeeper*>& gatekeepers) {
   // Lock every gatekeeper clock in a canonical order (their bank index),
   // so concurrent barriers cannot deadlock.
@@ -81,9 +92,24 @@ std::uint32_t ClusterManager::AdvanceEpochBarrier(
     locks.emplace_back(gk->clock_mutex());
   }
   std::uint32_t new_epoch;
+  std::function<Status(std::uint32_t)> persist;
   {
     std::lock_guard<std::mutex> lk(mu_);
-    new_epoch = ++epoch_;
+    new_epoch = epoch_ + 1;
+    persist = persist_epoch_;
+  }
+  // Persist before any gatekeeper can issue a new-epoch timestamp: were
+  // the bump volatile, a crash after this barrier could reboot into an
+  // epoch that already stamped data, breaking timestamp monotonicity. A
+  // failed persist therefore aborts the whole barrier (the gatekeeper
+  // clock locks are still held, so nothing observed the candidate epoch).
+  if (persist) {
+    const Status persisted = persist(new_epoch);
+    if (!persisted.ok()) return persisted;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    epoch_ = new_epoch;
   }
   for (Gatekeeper* gk : gatekeepers) {
     gk->AdvanceEpochLocked(new_epoch);

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -23,6 +24,7 @@
 
 #include "common/clock.h"
 #include "common/ids.h"
+#include "common/result.h"
 #include "order/gatekeeper.h"
 
 namespace weaver {
@@ -61,17 +63,32 @@ class ClusterManager {
     return epoch_;
   }
 
+  /// Adopts an epoch restored from durable storage at boot (before any
+  /// gatekeeper exists). A rebooted deployment restarts one epoch past the
+  /// one it crashed in, so every new timestamp orders after every
+  /// persisted pre-crash timestamp -- the same monotonicity argument as
+  /// gatekeeper replacement, applied to whole-deployment failure.
+  void RestoreEpoch(std::uint32_t epoch);
+
+  /// Installs the durable-storage hook invoked (outside mu_) with every
+  /// new epoch so epoch bumps survive restarts. A failing hook aborts the
+  /// epoch barrier: stamping data in an epoch that was never made durable
+  /// would break timestamp monotonicity across the next restart.
+  void SetEpochPersist(std::function<Status(std::uint32_t)> persist);
+
   /// Epoch barrier (paper §4.3): acquires every gatekeeper's clock lock,
   /// bumps the epoch everywhere, then releases. No timestamp in the new
   /// epoch can be issued until all gatekeepers have advanced, and no
-  /// old-epoch timestamp can be issued after any new-epoch one.
-  std::uint32_t AdvanceEpochBarrier(
+  /// old-epoch timestamp can be issued after any new-epoch one. Fails
+  /// (leaving the epoch unchanged) only when the persist hook fails.
+  Result<std::uint32_t> AdvanceEpochBarrier(
       const std::vector<Gatekeeper*>& gatekeepers);
 
  private:
   mutable std::mutex mu_;
   std::unordered_map<std::string, Member> members_;
   std::uint32_t epoch_ = 0;
+  std::function<Status(std::uint32_t)> persist_epoch_;
 };
 
 }  // namespace weaver

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <condition_variable>
+#include <cstdio>
 
 #include "common/clock.h"
 #include "common/serde.h"
@@ -14,13 +15,48 @@ std::unique_ptr<Weaver> Weaver::Open(const WeaverOptions& options) {
   o.num_gatekeepers = std::max<std::size_t>(1, o.num_gatekeepers);
   o.num_shards = std::max<std::size_t>(1, o.num_shards);
   auto db = std::unique_ptr<Weaver>(new Weaver(o));
+  if (!db->storage_status_.ok()) {
+    std::fprintf(stderr, "weaver: cannot open durable storage at %s: %s\n",
+                 o.storage.data_dir.c_str(),
+                 db->storage_status_.ToString().c_str());
+    return nullptr;
+  }
   if (o.start) db->Start();
   return db;
 }
 
 Weaver::Weaver(const WeaverOptions& options) : options_(options) {
   bus_ = std::make_unique<MessageBus>();
-  kv_ = std::make_unique<KvStore>(options_.kv_stripes);
+  if (options_.storage.enabled()) {
+    auto kv = KvStore::Open(options_.kv_stripes, options_.storage);
+    if (kv.ok()) {
+      kv_ = std::move(kv).value();
+    } else {
+      storage_status_ = kv.status();
+      kv_ = std::make_unique<KvStore>(options_.kv_stripes);
+    }
+  } else {
+    kv_ = std::make_unique<KvStore>(options_.kv_stripes);
+  }
+  // Restore the persisted cluster epoch before any gatekeeper exists; a
+  // deployment that recovered committed data additionally bumps it, so
+  // every timestamp the rebooted gatekeepers issue orders after every
+  // timestamp stamped onto the recovered writes (vector clocks restart at
+  // zero, but a newer epoch wins every comparison).
+  const bool recovered_data =
+      kv_->durable() && (kv_->recovery_stats().checkpoint_rows +
+                         kv_->recovery_stats().wal_ops) > 0;
+  if (kv_->durable()) {
+    storage::StorageEngine* engine = kv_->storage_engine();
+    std::uint32_t epoch = engine->recovered_epoch();
+    if (recovered_data) ++epoch;
+    if (epoch > 0) {
+      cluster_.RestoreEpoch(epoch);
+      (void)engine->PersistEpoch(epoch);
+    }
+    cluster_.SetEpochPersist(
+        [engine](std::uint32_t e) { return engine->PersistEpoch(e); });
+  }
   programs_ = ProgramRegistry::WithStandardPrograms();
   locator_ = std::make_unique<NodeLocator>(kv_.get(), options_.num_shards);
   if (options_.use_ldg_partitioner) {
@@ -56,6 +92,7 @@ Weaver::Weaver(const WeaverOptions& options) : options_(options) {
     go.shard_endpoints = shard_eps;
     go.tau_micros = options_.tau_micros;
     go.nop_period_micros = options_.nop_period_micros;
+    go.initial_epoch = cluster_.current_epoch();
     gatekeepers_.push_back(std::make_unique<Gatekeeper>(std::move(go)));
     cluster_.Register("gk" + std::to_string(g), ServerKind::kGatekeeper,
                       static_cast<std::uint32_t>(g));
@@ -75,6 +112,41 @@ Weaver::Weaver(const WeaverOptions& options) : options_(options) {
       "coordinator", [](const BusMessage&) { /* replies use sinks */ });
 
   bulk_dirty_.resize(options_.num_shards);
+
+  if (recovered_data) RestoreFromBackingStore();
+}
+
+void Weaver::RestoreFromBackingStore() {
+  NodeId max_node = 0;
+  EdgeId max_edge = 0;
+  for (const auto& [key, value] :
+       kv_->ScanPrefix(kv_keys::kVertexShardMapPrefix)) {
+    const NodeId node_id = std::strtoull(
+        key.substr(kv_keys::kVertexShardMapPrefix.size()).c_str(), nullptr,
+        10);
+    const ShardId owner =
+        static_cast<ShardId>(std::strtoul(value.c_str(), nullptr, 10));
+    if (owner >= shards_.size()) continue;  // shrunk redeployment
+    auto blob = kv_->Get(kv_keys::VertexData(node_id));
+    if (!blob.ok()) continue;
+    auto node = GraphStore::DeserializeNode(*blob);
+    if (!node.ok()) continue;
+    max_node = std::max(max_node, node_id);
+    for (const auto& [eid, _] : node->out_edges) {
+      max_edge = std::max(max_edge, eid);
+    }
+    shards_[owner]->graph().InstallNode(std::move(node).value());
+    locator_->Record(node_id, owner);
+    ++recovered_vertices_;
+  }
+  // Id allocators resume past everything recovered, so new CreateNode /
+  // CreateEdge calls cannot collide with pre-crash ids.
+  if (max_node > 0) ReserveNodeId(max_node);
+  std::uint64_t expected = next_edge_id_.load(std::memory_order_relaxed);
+  while (expected <= max_edge &&
+         !next_edge_id_.compare_exchange_weak(expected, max_edge + 1,
+                                              std::memory_order_relaxed)) {
+  }
 }
 
 Weaver::~Weaver() { Shutdown(); }
@@ -406,9 +478,12 @@ Status Weaver::FinishBulkLoad() {
     for (NodeId id : bulk_dirty_[s]) {
       const Node* node = g.FindNode(id);
       if (node == nullptr) continue;
-      kv_->Put(kv_keys::VertexData(id), GraphStore::SerializeNode(*node));
-      kv_->Put(kv_keys::VertexShardMap(id), std::to_string(s));
-      kv_->Put(kv_keys::VertexLastUpdate(id), ts_blob);
+      WEAVER_RETURN_IF_ERROR(
+          kv_->Put(kv_keys::VertexData(id), GraphStore::SerializeNode(*node)));
+      WEAVER_RETURN_IF_ERROR(
+          kv_->Put(kv_keys::VertexShardMap(id), std::to_string(s)));
+      WEAVER_RETURN_IF_ERROR(
+          kv_->Put(kv_keys::VertexLastUpdate(id), ts_blob));
     }
     bulk_dirty_[s].clear();
   }
@@ -497,7 +572,8 @@ Status Weaver::ReplaceGatekeeper(GatekeeperId id) {
   std::vector<Gatekeeper*> gks;
   gks.reserve(gatekeepers_.size());
   for (auto& g : gatekeepers_) gks.push_back(g.get());
-  cluster_.AdvanceEpochBarrier(gks);
+  auto new_epoch = cluster_.AdvanceEpochBarrier(gks);
+  if (!new_epoch.ok()) return new_epoch.status();
   cluster_.MarkRecovered("gk" + std::to_string(id));
   return Status::Ok();
 }

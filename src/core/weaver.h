@@ -40,6 +40,7 @@
 #include "order/gatekeeper.h"
 #include "partition/partitioner.h"
 #include "shard/shard.h"
+#include "storage/storage_options.h"
 
 namespace weaver {
 
@@ -79,12 +80,21 @@ struct WeaverOptions {
   /// cheap relative to reads). 0 (default) disables; the Fig 9/10 benches
   /// set it -- see EXPERIMENTS.md for calibration.
   std::uint64_t kv_commit_delay_micros = 0;
+  /// Durable storage for the backing store (WAL + checkpoints under
+  /// storage.data_dir; see docs/storage.md). With a data_dir set, Open()
+  /// recovers every committed vertex/edge from disk -- shards rebuild
+  /// their partitions, the id allocators resume past recovered ids, and
+  /// gatekeeper clocks boot one epoch after the persisted one so new
+  /// timestamps order after all recovered writes. Default: disabled
+  /// (pure in-memory deployment, exactly the pre-storage behavior).
+  StorageOptions storage;
 };
 
 class Weaver {
  public:
-  /// Builds a deployment. Never fails for valid options; invalid options
-  /// are clamped to the nearest valid value.
+  /// Builds a deployment. Invalid options are clamped to the nearest valid
+  /// value. Returns nullptr only when options.storage names a data dir
+  /// that cannot be opened or recovered (never for in-memory deployments).
   static std::unique_ptr<Weaver> Open(const WeaverOptions& options);
   ~Weaver();
   Weaver(const Weaver&) = delete;
@@ -183,6 +193,9 @@ class Weaver {
 
   const WeaverOptions& options() const { return options_; }
   KvStore& kv() { return *kv_; }
+  /// Vertices restored from durable storage at Open() (0 for fresh or
+  /// in-memory deployments).
+  std::uint64_t recovered_vertices() const { return recovered_vertices_; }
   TimelineOracle& oracle() { return oracle_; }
   MessageBus& bus() { return *bus_; }
   NodeLocator& locator() { return *locator_; }
@@ -203,6 +216,11 @@ class Weaver {
 
   ShardId PlaceNewNode(NodeId id);
   Status CommitInternal(Transaction* tx);
+  /// Boot-time recovery (paper §4.3 generalized to full-deployment
+  /// restart): installs every vertex blob the KvStore recovered into its
+  /// owning shard, repopulates the locator, and advances the id
+  /// allocators past every recovered id.
+  void RestoreFromBackingStore();
   /// Wave loop shared by RunProgram and RunProgramAt. `gk` (may be null)
   /// receives the coordinator work attribution.
   Result<ProgramResult> ExecuteProgram(std::string_view name,
@@ -223,6 +241,8 @@ class Weaver {
   EndpointId coordinator_endpoint_ = 0;
 
   ProgramCache program_cache_;
+  Status storage_status_;  // non-OK when the durable store failed to open
+  std::uint64_t recovered_vertices_ = 0;
   std::atomic<bool> started_{false};
   std::atomic<std::uint64_t> next_node_id_{1};
   std::atomic<std::uint64_t> next_edge_id_{1};

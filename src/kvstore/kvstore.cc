@@ -7,8 +7,44 @@
 
 namespace weaver {
 
+using storage::StorageEngine;
+using storage::WalOp;
+
 KvStore::KvStore(std::size_t stripes)
     : stripes_(stripes == 0 ? 1 : stripes) {}
+
+KvStore::~KvStore() = default;
+
+Result<std::unique_ptr<KvStore>> KvStore::Open(
+    std::size_t stripes, const StorageOptions& storage) {
+  auto store = std::make_unique<KvStore>(stripes);
+  if (!storage.enabled()) return store;
+
+  auto engine = StorageEngine::Open(storage);
+  if (!engine.ok()) return engine.status();
+  store->engine_ = std::move(engine).value();
+
+  // Rebuild committed state: checkpoint rows first, then the WAL tail in
+  // commit order. Single-threaded -- no stripe locks needed yet.
+  WEAVER_RETURN_IF_ERROR(store->engine_->Recover(
+      [&store](std::string&& key, std::string&& value) {
+        Stripe& s = store->stripes_[store->StripeFor(key)];
+        Versioned& v = s.map[std::move(key)];
+        v.value = std::move(value);
+        v.version = 1;
+        v.tombstone = false;
+      },
+      [&store](const WalOp& op) {
+        Stripe& s = store->stripes_[store->StripeFor(op.key)];
+        if (op.kind == WalOp::Kind::kPut) {
+          store->ApplyPutLocked(s, op.key, op.value);
+        } else {
+          store->ApplyDeleteLocked(s, op.key);
+        }
+      },
+      &store->recovery_stats_));
+  return store;
+}
 
 std::size_t KvStore::StripeFor(std::string_view key) const {
   return std::hash<std::string_view>{}(key) % stripes_.size();
@@ -18,6 +54,23 @@ std::uint64_t KvStore::VersionOfLocked(const Stripe& s,
                                        std::string_view key) const {
   auto it = s.map.find(std::string(key));
   return it == s.map.end() ? 0 : it->second.version;
+}
+
+void KvStore::ApplyPutLocked(Stripe& s, std::string_view key,
+                             std::string value) {
+  Versioned& v = s.map[std::string(key)];
+  v.value = std::move(value);
+  v.version++;
+  v.tombstone = false;
+}
+
+void KvStore::ApplyDeleteLocked(Stripe& s, std::string_view key) {
+  auto it = s.map.find(std::string(key));
+  if (it != s.map.end() && !it->second.tombstone) {
+    it->second.value.clear();
+    it->second.version++;
+    it->second.tombstone = true;
+  }
 }
 
 KvTransaction KvStore::Begin() { return KvTransaction(this); }
@@ -32,25 +85,35 @@ Result<std::string> KvStore::Get(std::string_view key) const {
   return it->second.value;
 }
 
-void KvStore::Put(std::string_view key, std::string value) {
+Status KvStore::Put(std::string_view key, std::string value) {
   Stripe& s = stripes_[StripeFor(key)];
-  std::lock_guard<std::mutex> lk(s.mu);
-  Versioned& v = s.map[std::string(key)];
-  v.value = std::move(value);
-  v.version++;
-  v.tombstone = false;
-  stats_.writes.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(s.mu);
+    if (engine_ != nullptr) {
+      // Write-ahead: the record is on the log (durable per policy) before
+      // the value becomes visible.
+      WEAVER_RETURN_IF_ERROR(engine_->AppendBatch(
+          {{WalOp::Kind::kPut, std::string(key), value}}));
+    }
+    ApplyPutLocked(s, key, std::move(value));
+    stats_.writes.fetch_add(1, std::memory_order_relaxed);
+  }
+  MaybeCheckpoint();
+  return Status::Ok();
 }
 
-void KvStore::Delete(std::string_view key) {
+Status KvStore::Delete(std::string_view key) {
   Stripe& s = stripes_[StripeFor(key)];
-  std::lock_guard<std::mutex> lk(s.mu);
-  auto it = s.map.find(std::string(key));
-  if (it != s.map.end()) {
-    it->second.value.clear();
-    it->second.version++;
-    it->second.tombstone = true;
+  {
+    std::lock_guard<std::mutex> lk(s.mu);
+    if (engine_ != nullptr) {
+      WEAVER_RETURN_IF_ERROR(engine_->AppendBatch(
+          {{WalOp::Kind::kDelete, std::string(key), std::string()}}));
+    }
+    ApplyDeleteLocked(s, key);
   }
+  MaybeCheckpoint();
+  return Status::Ok();
 }
 
 bool KvStore::Contains(std::string_view key) const {
@@ -86,7 +149,84 @@ std::vector<std::pair<std::string, std::string>> KvStore::ScanPrefix(
   return out;
 }
 
+Status KvStore::Checkpoint() {
+  if (engine_ == nullptr) {
+    return Status::FailedPrecondition("in-memory store has no checkpoint");
+  }
+  std::lock_guard<std::mutex> ck(checkpoint_mu_);
+  return CheckpointInternal();
+}
+
+Status KvStore::CheckpointInternal() {
+  // Consistent cut: hold every stripe lock across the WAL rotation and the
+  // state scan. No commit can interleave its log append and map publish
+  // with this pair, so (snapshot + segments >= wal_start) always covers
+  // exactly the committed history. Replaying a record the snapshot already
+  // includes is harmless: records carry full values, so reapplication is
+  // idempotent.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(stripes_.size());
+  for (auto& s : stripes_) locks.emplace_back(s.mu);
+  const std::uint64_t wal_start = engine_->PrepareCheckpoint();
+  std::size_t total = 0;
+  for (const auto& s : stripes_) total += s.map.size();
+  std::vector<std::pair<std::string, std::string>> rows;
+  rows.reserve(total);
+  for (const auto& s : stripes_) {
+    for (const auto& [k, v] : s.map) {
+      if (!v.tombstone) rows.emplace_back(k, v.value);
+    }
+  }
+  locks.clear();  // writers may proceed while the snapshot file is written
+  return engine_->CommitCheckpoint(std::move(rows), wal_start);
+}
+
+void KvStore::MaybeCheckpoint() {
+  if (engine_ == nullptr || !engine_->CheckpointDue()) return;
+  std::unique_lock<std::mutex> ck(checkpoint_mu_, std::try_to_lock);
+  if (!ck.owns_lock()) return;           // someone else is on it
+  if (!engine_->CheckpointDue()) return;  // they already finished
+  (void)CheckpointInternal();  // best effort; next write retries
+}
+
+// --- KvTransaction ---------------------------------------------------------
+
+KvTransaction::KvTransaction(KvTransaction&& other) noexcept
+    : store_(other.store_),
+      reads_(std::move(other.reads_)),
+      writes_(std::move(other.writes_)),
+      finished_(other.finished_) {
+  other.store_ = nullptr;
+  other.finished_ = true;
+}
+
+KvTransaction& KvTransaction::operator=(KvTransaction&& other) noexcept {
+  if (this != &other) {
+    Abort();
+    store_ = other.store_;
+    reads_ = std::move(other.reads_);
+    writes_ = std::move(other.writes_);
+    finished_ = other.finished_;
+    other.store_ = nullptr;
+    other.finished_ = true;
+  }
+  return *this;
+}
+
+KvTransaction::~KvTransaction() { Abort(); }
+
+void KvTransaction::Abort() {
+  if (store_ == nullptr || finished_) return;
+  finished_ = true;
+  reads_.clear();
+  writes_.clear();
+  store_->stats_.rollbacks.fetch_add(1, std::memory_order_relaxed);
+}
+
 Result<std::string> KvTransaction::Get(std::string_view key) {
+  if (store_ == nullptr) {
+    return Status::FailedPrecondition("KvTransaction was moved from");
+  }
   store_->stats_.reads.fetch_add(1, std::memory_order_relaxed);
   const std::string k(key);
   // Read-your-writes: buffered writes win over committed state.
@@ -107,16 +247,18 @@ Result<std::string> KvTransaction::Get(std::string_view key) {
 }
 
 void KvTransaction::Put(std::string_view key, std::string value) {
+  if (store_ == nullptr) return;  // moved-from shell: inert
   writes_[std::string(key)] = PendingWrite{std::move(value)};
 }
 
 void KvTransaction::Delete(std::string_view key) {
+  if (store_ == nullptr) return;  // moved-from shell: inert
   writes_[std::string(key)] = PendingWrite{std::nullopt};
 }
 
 Status KvTransaction::Commit() {
-  if (finished_) {
-    return Status::Internal("KvTransaction reused after Commit");
+  if (store_ == nullptr || finished_) {
+    return Status::FailedPrecondition("KvTransaction already finished");
   }
   finished_ = true;
 
@@ -146,28 +288,42 @@ Status KvTransaction::Commit() {
     }
   }
 
+  // Validated: log the whole batch as one atomic WAL record before any of
+  // it becomes visible. A crash after this append replays the entire
+  // batch; a crash before it replays none of it -- never a prefix.
+  if (store_->engine_ != nullptr && !writes_.empty()) {
+    std::vector<WalOp> batch;
+    batch.reserve(writes_.size());
+    for (const auto& [key, w] : writes_) {
+      if (w.value.has_value()) {
+        batch.push_back({WalOp::Kind::kPut, key, *w.value});
+      } else {
+        batch.push_back({WalOp::Kind::kDelete, key, std::string()});
+      }
+    }
+    const Status logged = store_->engine_->AppendBatch(batch);
+    if (!logged.ok()) {
+      store_->stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+      return logged;
+    }
+  }
+
   // Apply buffered writes.
   for (auto& [key, w] : writes_) {
     KvStore::Stripe& s = store_->stripes_[store_->StripeFor(key)];
     if (w.value.has_value()) {
-      KvStore::Versioned& v = s.map[key];
-      v.value = std::move(*w.value);
-      v.version++;
-      v.tombstone = false;
+      store_->ApplyPutLocked(s, key, std::move(*w.value));
       store_->stats_.writes.fetch_add(1, std::memory_order_relaxed);
     } else {
       // Deletion must still advance the key's version history so a later
       // re-insert cannot revalidate a stale reader (ABA): keep a tombstone
       // with a bumped version.
-      auto it = s.map.find(key);
-      if (it != s.map.end() && !it->second.tombstone) {
-        it->second.value.clear();
-        it->second.version++;
-        it->second.tombstone = true;
-      }
+      store_->ApplyDeleteLocked(s, key);
     }
   }
   store_->stats_.commits.fetch_add(1, std::memory_order_relaxed);
+  locks.clear();
+  store_->MaybeCheckpoint();
   return Status::Ok();
 }
 

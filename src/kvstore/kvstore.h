@@ -15,10 +15,18 @@
 // stripes in canonical order, validates every recorded version, and applies
 // buffered writes atomically. It is linearizable at commit points and
 // serializable overall (validated by tests/kvstore_test.cc).
+//
+// Durability: opened with a StorageOptions carrying a data_dir, the store
+// layers on a write-ahead log + checkpoint engine (src/storage/): every
+// committed write batch is logged before it is published, checkpoints are
+// taken as the log grows, and Open() rebuilds the committed state from the
+// newest checkpoint plus the WAL tail. The default construction remains a
+// pure in-memory store.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -28,6 +36,8 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "storage/storage_engine.h"
+#include "storage/storage_options.h"
 
 namespace weaver {
 
@@ -40,11 +50,22 @@ class KvStore {
     std::atomic<std::uint64_t> aborts{0};
     std::atomic<std::uint64_t> reads{0};
     std::atomic<std::uint64_t> writes{0};
+    /// Transactions abandoned without Commit() (RAII rollback).
+    std::atomic<std::uint64_t> rollbacks{0};
   };
 
   explicit KvStore(std::size_t stripes = 64);
+  ~KvStore();
   KvStore(const KvStore&) = delete;
   KvStore& operator=(const KvStore&) = delete;
+
+  /// Opens a durable store rooted at `storage.data_dir`: recovers the
+  /// committed state from the newest checkpoint + WAL tail (tolerating a
+  /// torn final record), then logs every subsequent write ahead of
+  /// publishing it. Fails only on real storage errors (unreadable dir,
+  /// corrupt checkpoint or manifest) -- never on an empty or missing dir.
+  static Result<std::unique_ptr<KvStore>> Open(
+      std::size_t stripes, const StorageOptions& storage);
 
   /// Starts an optimistic transaction. The returned object is bound to this
   /// store and must not outlive it.
@@ -53,9 +74,10 @@ class KvStore {
   /// Non-transactional read of the latest committed value.
   Result<std::string> Get(std::string_view key) const;
   /// Non-transactional blind write (used for bulk loads and recovery).
-  void Put(std::string_view key, std::string value);
+  /// Non-OK only on a durable-log failure (in-memory stores never fail).
+  Status Put(std::string_view key, std::string value);
   /// Non-transactional delete.
-  void Delete(std::string_view key);
+  Status Delete(std::string_view key);
 
   bool Contains(std::string_view key) const;
   std::size_t ApproximateSize() const;
@@ -63,6 +85,22 @@ class KvStore {
   /// Snapshot of all keys with a given prefix (table scan; recovery path).
   std::vector<std::pair<std::string, std::string>> ScanPrefix(
       std::string_view prefix) const;
+
+  /// Takes a checkpoint now: snapshots the committed state under every
+  /// stripe lock, writes it beside the WAL, and truncates log segments the
+  /// snapshot covers. FailedPrecondition on an in-memory store.
+  Status Checkpoint();
+
+  bool durable() const { return engine_ != nullptr; }
+  /// Engine access (WAL stats, epoch persistence); null when in-memory.
+  storage::StorageEngine* storage_engine() { return engine_.get(); }
+  const storage::StorageEngine* storage_engine() const {
+    return engine_.get();
+  }
+  /// What recovery replayed at Open() (zeroes for fresh/in-memory stores).
+  const storage::StorageEngine::RecoveryStats& recovery_stats() const {
+    return recovery_stats_;
+  }
 
   const Stats& stats() const { return stats_; }
 
@@ -87,15 +125,38 @@ class KvStore {
   /// under lock at commit).
   std::uint64_t VersionOfLocked(const Stripe& s, std::string_view key) const;
 
+  /// Mutators shared by the write paths and WAL replay; caller holds the
+  /// stripe lock (or is the single-threaded recovery).
+  void ApplyPutLocked(Stripe& s, std::string_view key, std::string value);
+  void ApplyDeleteLocked(Stripe& s, std::string_view key);
+
+  /// Checkpoints when the engine says enough WAL has accumulated. Called
+  /// off the hot path, after stripe locks are released.
+  void MaybeCheckpoint();
+  Status CheckpointInternal();
+
   std::vector<Stripe> stripes_;
+  std::unique_ptr<storage::StorageEngine> engine_;
+  storage::StorageEngine::RecoveryStats recovery_stats_;
+  std::mutex checkpoint_mu_;  // serializes checkpoints
   Stats stats_;
 };
 
 /// Buffered-write optimistic transaction. Reads go to the committed state
 /// and record versions; writes are visible to this transaction's own reads
 /// (read-your-writes) but published only by Commit().
+///
+/// RAII: a transaction that goes out of scope without a successful
+/// Commit() rolls back -- its buffered write set is discarded and counted
+/// in Stats::rollbacks. Movable, not copyable.
 class KvTransaction {
  public:
+  KvTransaction(KvTransaction&& other) noexcept;
+  KvTransaction& operator=(KvTransaction&& other) noexcept;
+  KvTransaction(const KvTransaction&) = delete;
+  KvTransaction& operator=(const KvTransaction&) = delete;
+  ~KvTransaction();
+
   /// Transactional read. Missing keys return NotFound but are still
   /// recorded in the read set (so a concurrent insert aborts us).
   Result<std::string> Get(std::string_view key);
@@ -104,9 +165,17 @@ class KvTransaction {
   void Delete(std::string_view key);
 
   /// OCC commit: validates the read set and applies buffered writes
-  /// atomically. Returns Aborted on conflict (caller retries). A committed
-  /// or aborted transaction must not be reused.
+  /// atomically (logging the batch ahead of publication when the store is
+  /// durable). Returns Aborted on conflict (caller retries) and
+  /// FailedPrecondition on a transaction that already finished.
   Status Commit();
+
+  /// Explicitly discards the buffered write set. Idempotent; also run by
+  /// the destructor for transactions that never finished.
+  void Abort();
+
+  /// True once the transaction committed or aborted (or was moved from).
+  bool finished() const { return finished_; }
 
   std::size_t read_set_size() const { return reads_.size(); }
   std::size_t write_set_size() const { return writes_.size(); }

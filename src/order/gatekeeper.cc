@@ -27,6 +27,9 @@ Status ParseTimestamp(std::string_view blob, RefinableTimestamp* ts) {
 Gatekeeper::Gatekeeper(Options options)
     : options_(std::move(options)),
       clock_(options_.num_gatekeepers) {
+  if (options_.initial_epoch > 0) {
+    clock_.AdvanceEpoch(options_.initial_epoch);
+  }
   assert(options_.bus != nullptr);
   assert(options_.kv != nullptr);
   assert(options_.id < options_.num_gatekeepers);

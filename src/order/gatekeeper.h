@@ -57,6 +57,12 @@ class Gatekeeper {
     std::uint64_t tau_micros = 1000;
     /// NOP emission period (paper default 10us; relaxed here). 0 disables.
     std::uint64_t nop_period_micros = 200;
+    /// Epoch this gatekeeper's clock starts in. A rebooted deployment that
+    /// recovered durable state boots its gatekeepers one epoch past the
+    /// persisted one (cluster manager), so every fresh timestamp orders
+    /// after every timestamp stamped onto recovered data (paper §4.3's
+    /// monotonicity argument, applied across process restarts).
+    std::uint32_t initial_epoch = 0;
   };
 
   struct Stats {

@@ -1,0 +1,177 @@
+#include "storage/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/serde.h"
+#include "storage/crc32.h"
+#include "storage/io_util.h"
+
+namespace weaver {
+namespace storage {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::uint32_t kCheckpointMagic = 0x50435657;  // "WVCP"
+constexpr std::uint32_t kManifestMagic = 0x464D5657;    // "WVMF"
+constexpr const char* kManifestName = "MANIFEST";
+
+/// Writes `content`, fsyncs, and renames onto `final_name` -- the standard
+/// atomic-replace dance. The rename is the commit point.
+Status AtomicWrite(const std::string& dir, const std::string& final_name,
+                   const std::string& content) {
+  const std::string tmp_path = dir + "/" + final_name + ".tmp";
+  const std::string final_path = dir + "/" + final_name;
+  const int fd = ::open(tmp_path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) {
+    return Status::Internal("cannot create " + tmp_path + ": " +
+                            std::strerror(errno));
+  }
+  const Status written = WriteFully(fd, content.data(), content.size());
+  if (!written.ok()) {
+    ::close(fd);
+    return written;
+  }
+  ::fsync(fd);
+  ::close(fd);
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    return Status::Internal("rename to " + final_path + " failed: " +
+                            std::strerror(errno));
+  }
+  SyncDir(dir);  // persist the rename itself
+  return Status::Ok();
+}
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot read " + path);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+}  // namespace
+
+std::string CheckpointFileName(std::uint64_t id) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "checkpoint-%020" PRIu64 ".snap", id);
+  return buf;
+}
+
+Status WriteManifest(const std::string& dir, const Manifest& manifest) {
+  ByteWriter w;
+  w.PutU32(kManifestMagic);
+  w.PutU64(manifest.checkpoint_id);
+  w.PutU64(manifest.wal_start);
+  w.PutU32(manifest.epoch);
+  std::string body = w.Take();
+  ByteWriter crc;
+  crc.PutU32(Crc32(body));
+  body += crc.Take();
+  return AtomicWrite(dir, kManifestName, body);
+}
+
+Result<Manifest> ReadManifest(const std::string& dir) {
+  auto data = ReadWholeFile(dir + "/" + kManifestName);
+  if (!data.ok()) return data.status();
+  if (data->size() < sizeof(std::uint32_t)) {
+    return Status::Internal("MANIFEST truncated");
+  }
+  const std::string_view body(data->data(),
+                              data->size() - sizeof(std::uint32_t));
+  ByteReader tail(
+      std::string_view(data->data() + body.size(), sizeof(std::uint32_t)));
+  std::uint32_t crc = 0;
+  WEAVER_RETURN_IF_ERROR(tail.GetU32(&crc));
+  if (Crc32(body) != crc) return Status::Internal("MANIFEST checksum mismatch");
+
+  ByteReader r(body);
+  std::uint32_t magic = 0;
+  Manifest manifest;
+  WEAVER_RETURN_IF_ERROR(r.GetU32(&magic));
+  if (magic != kManifestMagic) return Status::Internal("MANIFEST bad magic");
+  WEAVER_RETURN_IF_ERROR(r.GetU64(&manifest.checkpoint_id));
+  WEAVER_RETURN_IF_ERROR(r.GetU64(&manifest.wal_start));
+  WEAVER_RETURN_IF_ERROR(r.GetU32(&manifest.epoch));
+  return manifest;
+}
+
+Status WriteCheckpointFile(
+    const std::string& dir, std::uint64_t id,
+    std::vector<std::pair<std::string, std::string>>* rows) {
+  std::sort(rows->begin(), rows->end());
+  ByteWriter w;
+  w.PutU32(kCheckpointMagic);
+  w.PutU64(rows->size());
+  for (const auto& [key, value] : *rows) {
+    w.PutString(key);
+    w.PutString(value);
+  }
+  std::string body = w.Take();
+  ByteWriter crc;
+  crc.PutU32(Crc32(body));
+  body += crc.Take();
+  return AtomicWrite(dir, CheckpointFileName(id), body);
+}
+
+Status ReadCheckpointFile(
+    const std::string& dir, std::uint64_t id,
+    const std::function<void(std::string&&, std::string&&)>& install) {
+  const std::string name = CheckpointFileName(id);
+  auto data = ReadWholeFile(dir + "/" + name);
+  if (!data.ok()) return data.status();
+  if (data->size() < sizeof(std::uint32_t)) {
+    return Status::Internal(name + " truncated");
+  }
+  const std::string_view body(data->data(),
+                              data->size() - sizeof(std::uint32_t));
+  ByteReader tail(
+      std::string_view(data->data() + body.size(), sizeof(std::uint32_t)));
+  std::uint32_t crc = 0;
+  WEAVER_RETURN_IF_ERROR(tail.GetU32(&crc));
+  if (Crc32(body) != crc) {
+    return Status::Internal(name + " checksum mismatch");
+  }
+
+  ByteReader r(body);
+  std::uint32_t magic = 0;
+  WEAVER_RETURN_IF_ERROR(r.GetU32(&magic));
+  if (magic != kCheckpointMagic) return Status::Internal(name + " bad magic");
+  std::uint64_t count = 0;
+  WEAVER_RETURN_IF_ERROR(r.GetU64(&count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::string key;
+    std::string value;
+    WEAVER_RETURN_IF_ERROR(r.GetString(&key));
+    WEAVER_RETURN_IF_ERROR(r.GetString(&value));
+    install(std::move(key), std::move(value));
+  }
+  return Status::Ok();
+}
+
+void DeleteCheckpointsExcept(const std::string& dir, std::uint64_t keep_id) {
+  const std::string keep = CheckpointFileName(keep_id);
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    std::uint64_t id = 0;
+    if (std::sscanf(name.c_str(), "checkpoint-%20" SCNu64 ".snap", &id) ==
+            1 &&
+        name != keep) {
+      std::error_code rm_ec;
+      fs::remove(entry.path(), rm_ec);
+    }
+  }
+}
+
+}  // namespace storage
+}  // namespace weaver

@@ -1,0 +1,68 @@
+// Checkpoint files and the manifest that binds them to the WAL.
+//
+// A checkpoint is a full, sorted dump of the store's committed state at a
+// consistent cut:
+//
+//   checkpoint-<20-digit id>.snap :=
+//     [u32 magic "WVCP"] [u64 row_count]
+//     row_count x ( [u32 klen][key bytes] [u32 vlen][value bytes] )
+//     [u32 crc32(everything above)]
+//
+// The MANIFEST file records which checkpoint is current and the first WAL
+// segment whose records are NOT covered by it:
+//
+//   MANIFEST := [u32 magic "WVMF"] [u64 checkpoint_id] [u64 wal_start]
+//               [u32 epoch] [u32 crc32(everything above)]
+//
+// (checkpoint_id 0 means "no checkpoint yet: replay the WAL from
+// wal_start". epoch is the cluster epoch persisted for gatekeeper clock
+// monotonicity across restarts.) Both files are written to a temp name,
+// fsynced, and renamed into place, so a crash mid-checkpoint leaves the
+// previous manifest -- and therefore the previous checkpoint + longer WAL
+// replay -- fully intact.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace weaver {
+namespace storage {
+
+struct Manifest {
+  std::uint64_t checkpoint_id = 0;  // 0 = no checkpoint
+  std::uint64_t wal_start = 1;      // first WAL segment to replay
+  std::uint32_t epoch = 0;          // persisted cluster epoch
+};
+
+std::string CheckpointFileName(std::uint64_t id);
+
+/// Atomically (tmp + fsync + rename) replaces the MANIFEST.
+Status WriteManifest(const std::string& dir, const Manifest& manifest);
+/// Reads the MANIFEST; NotFound when absent, Internal when corrupt.
+Result<Manifest> ReadManifest(const std::string& dir);
+
+/// Writes checkpoint `id` containing `rows` (sorted by key on disk;
+/// `rows` is sorted in place). Atomic via tmp + fsync + rename.
+Status WriteCheckpointFile(
+    const std::string& dir, std::uint64_t id,
+    std::vector<std::pair<std::string, std::string>>* rows);
+
+/// Streams every row of checkpoint `id` into `install`. A truncated or
+/// checksum-mismatched file is an error: unlike a WAL tail, a checkpoint
+/// is renamed into place only after a full fsync, so damage means real
+/// corruption, not a tolerable torn write.
+Status ReadCheckpointFile(
+    const std::string& dir, std::uint64_t id,
+    const std::function<void(std::string&&, std::string&&)>& install);
+
+/// Removes checkpoint files other than `keep_id` (obsolete snapshots).
+void DeleteCheckpointsExcept(const std::string& dir, std::uint64_t keep_id);
+
+}  // namespace storage
+}  // namespace weaver

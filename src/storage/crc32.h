@@ -1,0 +1,16 @@
+// CRC32 (IEEE 802.3, polynomial 0xEDB88320), used to frame WAL records and
+// seal checkpoint files so recovery can detect torn or corrupted data.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace weaver {
+namespace storage {
+
+/// CRC of `data` continuing from `seed` (pass the previous return value to
+/// checksum data in chunks; default seed starts a fresh checksum).
+std::uint32_t Crc32(std::string_view data, std::uint32_t seed = 0);
+
+}  // namespace storage
+}  // namespace weaver

@@ -1,0 +1,35 @@
+#include "storage/io_util.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace weaver {
+namespace storage {
+
+Status WriteFully(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("write failed: ") +
+                              std::strerror(errno));
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return Status::Ok();
+}
+
+void SyncDir(const std::string& dir) {
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+}  // namespace storage
+}  // namespace weaver

@@ -1,0 +1,20 @@
+// Low-level POSIX file helpers shared by the WAL and checkpoint writers.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+
+namespace weaver {
+namespace storage {
+
+/// write(2) loop tolerating short writes and EINTR.
+Status WriteFully(int fd, const char* data, std::size_t n);
+
+/// fsync of the directory itself, so freshly created/renamed entries
+/// survive a machine crash. Best effort (some filesystems refuse).
+void SyncDir(const std::string& dir);
+
+}  // namespace storage
+}  // namespace weaver

@@ -1,0 +1,201 @@
+#include "storage/storage_engine.h"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "common/serde.h"
+
+namespace weaver {
+namespace storage {
+
+namespace fs = std::filesystem;
+
+std::string EncodeBatch(const std::vector<WalOp>& ops) {
+  ByteWriter w;
+  w.PutU32(static_cast<std::uint32_t>(ops.size()));
+  for (const WalOp& op : ops) {
+    w.PutU8(static_cast<std::uint8_t>(op.kind));
+    w.PutString(op.key);
+    if (op.kind == WalOp::Kind::kPut) w.PutString(op.value);
+  }
+  return w.Take();
+}
+
+Status DecodeBatch(std::string_view payload, std::vector<WalOp>* out) {
+  ByteReader r(payload);
+  std::uint32_t count = 0;
+  WEAVER_RETURN_IF_ERROR(r.GetU32(&count));
+  out->clear();
+  out->reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    WalOp op;
+    std::uint8_t kind = 0;
+    WEAVER_RETURN_IF_ERROR(r.GetU8(&kind));
+    if (kind != static_cast<std::uint8_t>(WalOp::Kind::kPut) &&
+        kind != static_cast<std::uint8_t>(WalOp::Kind::kDelete)) {
+      return Status::Internal("bad WAL op kind");
+    }
+    op.kind = static_cast<WalOp::Kind>(kind);
+    WEAVER_RETURN_IF_ERROR(r.GetString(&op.key));
+    if (op.kind == WalOp::Kind::kPut) {
+      WEAVER_RETURN_IF_ERROR(r.GetString(&op.value));
+    }
+    out->push_back(std::move(op));
+  }
+  if (!r.AtEnd()) return Status::Internal("trailing bytes in WAL batch");
+  return Status::Ok();
+}
+
+StorageEngine::StorageEngine(StorageOptions options)
+    : options_(std::move(options)) {}
+
+StorageEngine::~StorageEngine() {
+  if (lock_fd_ >= 0) {
+    ::flock(lock_fd_, LOCK_UN);
+    ::close(lock_fd_);
+  }
+}
+
+Result<std::unique_ptr<StorageEngine>> StorageEngine::Open(
+    const StorageOptions& options) {
+  if (!options.enabled()) {
+    return Status::InvalidArgument("StorageEngine requires a data_dir");
+  }
+  std::error_code ec;
+  fs::create_directories(options.data_dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create data dir " + options.data_dir +
+                            ": " + ec.message());
+  }
+  auto engine = std::unique_ptr<StorageEngine>(new StorageEngine(options));
+
+  // One live engine per data dir: two concurrent writers would interleave
+  // WAL segments and truncate each other's log at checkpoint time.
+  const std::string lock_path = options.data_dir + "/LOCK";
+  engine->lock_fd_ = ::open(lock_path.c_str(), O_CREAT | O_RDWR, 0644);
+  if (engine->lock_fd_ < 0) {
+    return Status::Internal("cannot open " + lock_path + ": " +
+                            std::strerror(errno));
+  }
+  if (::flock(engine->lock_fd_, LOCK_EX | LOCK_NB) != 0) {
+    return Status::FailedPrecondition(
+        "data dir " + options.data_dir +
+        " is locked by another live storage engine");
+  }
+
+  auto manifest = ReadManifest(options.data_dir);
+  if (manifest.ok()) {
+    engine->manifest_ = *manifest;
+  } else if (!manifest.status().IsNotFound()) {
+    return manifest.status();  // corrupt manifest: refuse to guess
+  }
+
+  auto wal = Wal::Open(options.data_dir, options, engine->manifest_.wal_start);
+  if (!wal.ok()) return wal.status();
+  engine->wal_ = std::move(wal).value();
+  engine->wal_bytes_since_checkpoint_.store(
+      Wal::SegmentBytes(options.data_dir, engine->manifest_.wal_start),
+      std::memory_order_relaxed);
+  return engine;
+}
+
+Status StorageEngine::Recover(
+    const std::function<void(std::string&&, std::string&&)>& install,
+    const std::function<void(const WalOp&)>& apply, RecoveryStats* stats) {
+  RecoveryStats local;
+  if (manifest_.checkpoint_id != 0) {
+    WEAVER_RETURN_IF_ERROR(ReadCheckpointFile(
+        options_.data_dir, manifest_.checkpoint_id,
+        [&](std::string&& key, std::string&& value) {
+          ++local.checkpoint_rows;
+          install(std::move(key), std::move(value));
+        }));
+  }
+  std::vector<WalOp> batch;
+  auto replay = Wal::Replay(
+      options_.data_dir, manifest_.wal_start, [&](std::string_view payload) {
+        WEAVER_RETURN_IF_ERROR(DecodeBatch(payload, &batch));
+        for (const WalOp& op : batch) {
+          ++local.wal_ops;
+          apply(op);
+        }
+        return Status::Ok();
+      });
+  if (!replay.ok()) return replay.status();
+  local.wal_records = replay->records;
+  local.torn_tails = replay->torn_tails;
+  if (stats != nullptr) *stats = local;
+  return Status::Ok();
+}
+
+Status StorageEngine::AppendBatch(const std::vector<WalOp>& ops) {
+  if (ops.empty()) return Status::Ok();
+  const std::string payload = EncodeBatch(ops);
+  WEAVER_RETURN_IF_ERROR(wal_->Append(payload));
+  wal_bytes_since_checkpoint_.fetch_add(payload.size() + 8,
+                                        std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+bool StorageEngine::CheckpointDue() const {
+  return options_.checkpoint_interval_bytes > 0 &&
+         wal_bytes_since_checkpoint_.load(std::memory_order_relaxed) >=
+             options_.checkpoint_interval_bytes;
+}
+
+std::uint64_t StorageEngine::PrepareCheckpoint() { return wal_->Rotate(); }
+
+Status StorageEngine::CommitCheckpoint(
+    std::vector<std::pair<std::string, std::string>> rows,
+    std::uint64_t wal_start) {
+  std::lock_guard<std::mutex> lk(manifest_mu_);
+  const std::uint64_t id = manifest_.checkpoint_id + 1;
+  WEAVER_RETURN_IF_ERROR(
+      WriteCheckpointFile(options_.data_dir, id, &rows));
+  Manifest next = manifest_;
+  next.checkpoint_id = id;
+  next.wal_start = wal_start;
+  WEAVER_RETURN_IF_ERROR(WriteManifest(options_.data_dir, next));
+  manifest_ = next;  // the manifest rename was the commit point
+  checkpoints_taken_.fetch_add(1, std::memory_order_relaxed);
+  wal_bytes_since_checkpoint_.store(
+      Wal::SegmentBytes(options_.data_dir, wal_start),
+      std::memory_order_relaxed);
+  // Best-effort GC; stale files are harmless and re-collected next time.
+  (void)wal_->DeleteSegmentsBefore(wal_start);
+  DeleteCheckpointsExcept(options_.data_dir, id);
+  return Status::Ok();
+}
+
+Status StorageEngine::PersistEpoch(std::uint32_t epoch) {
+  std::lock_guard<std::mutex> lk(manifest_mu_);
+  if (manifest_.epoch == epoch) return Status::Ok();
+  Manifest next = manifest_;
+  next.epoch = epoch;
+  WEAVER_RETURN_IF_ERROR(WriteManifest(options_.data_dir, next));
+  manifest_ = next;
+  return Status::Ok();
+}
+
+const char* FsyncPolicyNameImpl(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kNever:
+      return "never";
+    case FsyncPolicy::kAlways:
+      return "always";
+  }
+  return "unknown";
+}
+
+}  // namespace storage
+
+const char* FsyncPolicyName(FsyncPolicy policy) {
+  return storage::FsyncPolicyNameImpl(policy);
+}
+
+}  // namespace weaver

@@ -1,0 +1,115 @@
+// StorageEngine: the durable half of the backing store. Owns the WAL and
+// checkpoint machinery and speaks in key-value operations; the KvStore
+// layers its in-memory stripe map on top (kvstore/kvstore.cc) and calls:
+//
+//   * AppendBatch() before publishing any committed write batch -- the
+//     write-ahead rule; durable per StorageOptions::fsync on return;
+//   * Recover() once at open, to rebuild state from the newest checkpoint
+//     plus the WAL tail (tolerating torn tail frames);
+//   * PrepareCheckpoint()/CommitCheckpoint() around a consistent snapshot
+//     of the committed state, after which obsolete WAL segments and old
+//     snapshots are removed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/checkpoint.h"
+#include "storage/storage_options.h"
+#include "storage/wal.h"
+
+namespace weaver {
+namespace storage {
+
+/// One logged key-value operation.
+struct WalOp {
+  enum class Kind : std::uint8_t { kPut = 1, kDelete = 2 };
+  Kind kind = Kind::kPut;
+  std::string key;
+  std::string value;  // empty for deletes
+};
+
+/// Encodes a batch into one WAL record payload / decodes it back.
+std::string EncodeBatch(const std::vector<WalOp>& ops);
+Status DecodeBatch(std::string_view payload, std::vector<WalOp>* out);
+
+class StorageEngine {
+ public:
+  struct RecoveryStats {
+    std::uint64_t checkpoint_rows = 0;
+    std::uint64_t wal_records = 0;
+    std::uint64_t wal_ops = 0;
+    std::uint64_t torn_tails = 0;
+  };
+
+  /// Opens (creating the directory if needed) the engine rooted at
+  /// `options.data_dir`. Requires options.enabled(). The directory is
+  /// flock()ed for the engine's lifetime: a second concurrent open fails
+  /// with FailedPrecondition rather than letting two writers interleave
+  /// segments and truncate each other's WAL at checkpoint time.
+  static Result<std::unique_ptr<StorageEngine>> Open(
+      const StorageOptions& options);
+  ~StorageEngine();
+
+  /// Replays the newest checkpoint (rows go to `install`) and then every
+  /// WAL record past it (ops go to `apply`, in commit order). Call once,
+  /// before the first AppendBatch.
+  Status Recover(
+      const std::function<void(std::string&&, std::string&&)>& install,
+      const std::function<void(const WalOp&)>& apply, RecoveryStats* stats);
+
+  /// Logs one committed batch as a single atomic WAL record.
+  Status AppendBatch(const std::vector<WalOp>& ops);
+
+  /// True once enough WAL has accumulated that the owner should take a
+  /// checkpoint (per StorageOptions::checkpoint_interval_bytes).
+  bool CheckpointDue() const;
+
+  /// Phase 1 of a checkpoint: rotates the WAL and returns the replay lower
+  /// bound to record in the manifest. The caller must hold whatever locks
+  /// make its snapshot consistent across this call (KvStore holds every
+  /// stripe lock), so that no write can land in a pre-rotation segment yet
+  /// be missing from the snapshot.
+  std::uint64_t PrepareCheckpoint();
+
+  /// Phase 2: writes the snapshot file, commits it via the manifest, and
+  /// garbage-collects WAL segments before `wal_start` plus old snapshots.
+  Status CommitCheckpoint(
+      std::vector<std::pair<std::string, std::string>> rows,
+      std::uint64_t wal_start);
+
+  /// Persists `epoch` in the manifest (cluster epoch survives restarts so
+  /// gatekeeper clocks stay monotonic). Cheap: rewrites the tiny manifest.
+  Status PersistEpoch(std::uint32_t epoch);
+  std::uint32_t recovered_epoch() const { return manifest_.epoch; }
+
+  std::uint64_t wal_bytes_since_checkpoint() const {
+    return wal_bytes_since_checkpoint_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t checkpoints_taken() const {
+    return checkpoints_taken_.load(std::memory_order_relaxed);
+  }
+  const Wal::Stats& wal_stats() const { return wal_->stats(); }
+  const StorageOptions& options() const { return options_; }
+
+ private:
+  explicit StorageEngine(StorageOptions options);
+
+  StorageOptions options_;
+  int lock_fd_ = -1;  // flock()ed <data_dir>/LOCK
+  std::unique_ptr<Wal> wal_;
+  Manifest manifest_;
+  mutable std::mutex manifest_mu_;
+  std::atomic<std::uint64_t> wal_bytes_since_checkpoint_{0};
+  std::atomic<std::uint64_t> checkpoints_taken_{0};
+};
+
+}  // namespace storage
+}  // namespace weaver

@@ -1,0 +1,46 @@
+// Configuration for the durable storage engine (WAL + checkpoints) that
+// backs the KvStore. The paper's deployment delegates durability to
+// HyperDex Warp (§3.2); this subsystem supplies the same guarantee
+// in-process so a restarted deployment recovers every committed write.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace weaver {
+
+/// When appended log records are forced to stable storage.
+enum class FsyncPolicy : std::uint8_t {
+  /// Never fsync on the write path: records reach the OS page cache at
+  /// append time and stable storage whenever the kernel flushes. A process
+  /// crash loses nothing; a machine crash may lose the buffered tail.
+  kNever = 0,
+  /// Group commit: every committed batch is covered by an fdatasync before
+  /// the commit returns. Concurrent committers share one sync (the first
+  /// writer syncs the whole appended prefix; the rest wait for the
+  /// watermark to pass their record).
+  kAlways = 1,
+};
+
+struct StorageOptions {
+  /// Root directory for WAL segments, checkpoints, and the manifest.
+  /// Empty (default) disables durability entirely: the KvStore is a pure
+  /// in-memory store, exactly as before this subsystem existed.
+  std::string data_dir;
+
+  FsyncPolicy fsync = FsyncPolicy::kNever;
+
+  /// Active WAL segment is rotated once it grows past this size.
+  std::uint64_t segment_size_bytes = 4ull << 20;
+
+  /// A checkpoint is triggered automatically once this many WAL bytes have
+  /// accumulated since the previous checkpoint. 0 disables automatic
+  /// checkpoints (callers checkpoint manually).
+  std::uint64_t checkpoint_interval_bytes = 16ull << 20;
+
+  bool enabled() const { return !data_dir.empty(); }
+};
+
+const char* FsyncPolicyName(FsyncPolicy policy);
+
+}  // namespace weaver

@@ -1,0 +1,250 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/serde.h"
+#include "storage/crc32.h"
+#include "storage/io_util.h"
+
+namespace weaver {
+namespace storage {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::size_t kFrameHeaderBytes = 8;  // u32 crc + u32 len
+constexpr std::uint32_t kMaxPayloadBytes = 1u << 30;
+
+}  // namespace
+
+std::string Wal::SegmentFileName(std::uint64_t id) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "wal-%020" PRIu64 ".log", id);
+  return buf;
+}
+
+std::vector<std::pair<std::uint64_t, std::string>> Wal::ListSegments(
+    const std::string& dir) {
+  std::vector<std::pair<std::uint64_t, std::string>> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    std::uint64_t id = 0;
+    if (std::sscanf(name.c_str(), "wal-%20" SCNu64 ".log", &id) == 1) {
+      out.emplace_back(id, name);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Wal::Wal(std::string dir, const StorageOptions& options)
+    : dir_(std::move(dir)), options_(options) {}
+
+Wal::~Wal() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (fd_ >= 0) {
+    if (options_.fsync == FsyncPolicy::kAlways) ::fdatasync(fd_);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<std::unique_ptr<Wal>> Wal::Open(std::string dir,
+                                       const StorageOptions& options,
+                                       std::uint64_t first_segment) {
+  auto wal = std::unique_ptr<Wal>(new Wal(std::move(dir), options));
+  std::uint64_t next = std::max<std::uint64_t>(first_segment, 1);
+  for (const auto& [id, _] : ListSegments(wal->dir_)) {
+    next = std::max(next, id + 1);
+  }
+  std::lock_guard<std::mutex> lk(wal->mu_);
+  WEAVER_RETURN_IF_ERROR(wal->OpenSegmentLocked(next));
+  return wal;
+}
+
+Status Wal::OpenSegmentLocked(std::uint64_t id) {
+  if (fd_ >= 0) {
+    if (options_.fsync == FsyncPolicy::kAlways) ::fdatasync(fd_);
+    ::close(fd_);
+    fd_ = -1;
+  }
+  const std::string path = dir_ + "/" + SegmentFileName(id);
+  const int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::Internal("cannot open WAL segment " + path + ": " +
+                            std::strerror(errno));
+  }
+  if (options_.fsync == FsyncPolicy::kAlways) SyncDir(dir_);
+  fd_ = fd;
+  active_segment_ = id;
+  active_segment_bytes_ = 0;
+  return Status::Ok();
+}
+
+std::uint64_t Wal::RotateLocked(std::unique_lock<std::mutex>& lk) {
+  // Wait out any in-flight group-commit sync: the leader holds the old fd.
+  sync_cv_.wait(lk, [this] { return !sync_in_progress_; });
+  if (options_.fsync == FsyncPolicy::kAlways && fd_ >= 0) {
+    // Everything appended so far lives in segments being retired; cover it
+    // before the fd goes away so later leaders need only sync the new fd.
+    ::fdatasync(fd_);
+    durable_offset_ = appended_offset_;
+    sync_cv_.notify_all();
+  }
+  const Status st = OpenSegmentLocked(active_segment_ + 1);
+  (void)st;  // open failures surface on the next Append
+  stats_.rotations.fetch_add(1, std::memory_order_relaxed);
+  return active_segment_;
+}
+
+std::uint64_t Wal::Rotate() {
+  std::unique_lock<std::mutex> lk(mu_);
+  return RotateLocked(lk);
+}
+
+Status Wal::Append(std::string_view payload) {
+  if (payload.size() > kMaxPayloadBytes) {
+    return Status::InvalidArgument("WAL payload too large");
+  }
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  {
+    ByteWriter header;
+    header.PutU32(Crc32(payload));
+    header.PutU32(static_cast<std::uint32_t>(payload.size()));
+    frame = header.Take();
+  }
+  frame.append(payload.data(), payload.size());
+
+  std::unique_lock<std::mutex> lk(mu_);
+  if (fd_ < 0) return Status::Internal("WAL has no active segment");
+  if (needs_rotate_ || (active_segment_bytes_ >= options_.segment_size_bytes &&
+                        active_segment_bytes_ > 0)) {
+    RotateLocked(lk);
+    needs_rotate_ = false;
+  }
+  const Status written = WriteFully(fd_, frame.data(), frame.size());
+  if (!written.ok()) {
+    // A partial frame may now sit at the segment tail. Later appends must
+    // not land after it -- replay stops a segment at its first bad frame,
+    // so records behind the tear would be silently dropped. Cut the
+    // segment back to its last good frame; if even that fails, poison the
+    // segment so the next append starts a fresh one.
+    if (::ftruncate(fd_, static_cast<off_t>(active_segment_bytes_)) != 0) {
+      needs_rotate_ = true;
+    }
+    return written;
+  }
+  active_segment_bytes_ += frame.size();
+  appended_offset_ += frame.size();
+  const std::uint64_t my_offset = appended_offset_;
+  stats_.appends.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_appended.fetch_add(frame.size(), std::memory_order_relaxed);
+
+  if (options_.fsync != FsyncPolicy::kAlways) return Status::Ok();
+
+  // Group commit: the first writer to arrive while no sync is running
+  // becomes the leader and syncs the entire appended prefix; everyone else
+  // waits for the durable watermark to pass their frame.
+  while (durable_offset_ < my_offset) {
+    if (!sync_in_progress_) {
+      sync_in_progress_ = true;
+      const std::uint64_t target = appended_offset_;
+      const int fd = fd_;
+      lk.unlock();
+      ::fdatasync(fd);
+      lk.lock();
+      durable_offset_ = std::max(durable_offset_, target);
+      sync_in_progress_ = false;
+      stats_.syncs.fetch_add(1, std::memory_order_relaxed);
+      sync_cv_.notify_all();
+    } else {
+      sync_cv_.wait(lk);
+    }
+  }
+  return Status::Ok();
+}
+
+Status Wal::DeleteSegmentsBefore(std::uint64_t segment_id) {
+  for (const auto& [id, name] : ListSegments(dir_)) {
+    if (id >= segment_id) continue;
+    std::error_code ec;
+    fs::remove(fs::path(dir_) / name, ec);
+    if (ec) {
+      return Status::Internal("cannot remove WAL segment " + name + ": " +
+                              ec.message());
+    }
+  }
+  return Status::Ok();
+}
+
+std::uint64_t Wal::SegmentBytes(const std::string& dir,
+                                std::uint64_t from_segment) {
+  std::uint64_t total = 0;
+  for (const auto& [id, name] : ListSegments(dir)) {
+    if (id < from_segment) continue;
+    std::error_code ec;
+    const auto size = fs::file_size(fs::path(dir) / name, ec);
+    if (!ec) total += size;
+  }
+  return total;
+}
+
+Result<Wal::ReplayResult> Wal::Replay(
+    const std::string& dir, std::uint64_t from_segment,
+    const std::function<Status(std::string_view)>& apply) {
+  ReplayResult result;
+  for (const auto& [id, name] : ListSegments(dir)) {
+    if (id < from_segment) continue;
+    const std::string path = (fs::path(dir) / name).string();
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::Internal("cannot read WAL segment " + path);
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    ++result.segments;
+
+    std::size_t pos = 0;
+    while (pos < data.size()) {
+      if (data.size() - pos < kFrameHeaderBytes) {
+        ++result.torn_tails;  // truncated header: torn tail
+        break;
+      }
+      std::uint32_t crc = 0;
+      std::uint32_t len = 0;
+      std::memcpy(&crc, data.data() + pos, sizeof(crc));
+      std::memcpy(&len, data.data() + pos + sizeof(crc), sizeof(len));
+      if (len > kMaxPayloadBytes ||
+          data.size() - pos - kFrameHeaderBytes < len) {
+        ++result.torn_tails;  // payload runs past EOF: torn tail
+        break;
+      }
+      const std::string_view payload(data.data() + pos + kFrameHeaderBytes,
+                                     len);
+      if (Crc32(payload) != crc) {
+        // Corrupt or half-written frame. Everything after it in this
+        // segment is untrustworthy; later segments were written by later
+        // runs and carry independently-framed records, so keep going.
+        ++result.torn_tails;
+        break;
+      }
+      WEAVER_RETURN_IF_ERROR(apply(payload));
+      ++result.records;
+      pos += kFrameHeaderBytes + len;
+    }
+  }
+  return result;
+}
+
+}  // namespace storage
+}  // namespace weaver

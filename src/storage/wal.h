@@ -1,0 +1,131 @@
+// Segmented write-ahead log with CRC32-framed records and group commit.
+//
+// On-disk layout (see docs/storage.md): the log is a sequence of segment
+// files named wal-<20-digit id>.log. Each segment is a stream of frames:
+//
+//   [u32 crc32(payload)] [u32 payload_len] [payload bytes]
+//
+// all little-endian. A frame whose header is truncated, whose payload runs
+// past the end of the file, or whose CRC does not match terminates replay
+// of that segment (the classic torn-tail rule: an incompletely written
+// record was never acknowledged, so dropping it is correct). Replay then
+// continues with the next segment -- every process run appends to a fresh
+// segment, so at most the tail frame of each run's segment can be torn.
+//
+// Durability: with FsyncPolicy::kAlways, Append() returns only after an
+// fdatasync covers the appended frame. Concurrent appenders share syncs
+// (group commit): the first waiter becomes the sync leader and flushes the
+// entire appended prefix; the rest simply wait for the durable watermark
+// to pass their frame. With kNever, Append() returns once the frame is in
+// the OS page cache.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/storage_options.h"
+
+namespace weaver {
+namespace storage {
+
+class Wal {
+ public:
+  struct Stats {
+    std::atomic<std::uint64_t> appends{0};
+    std::atomic<std::uint64_t> syncs{0};
+    std::atomic<std::uint64_t> bytes_appended{0};
+    std::atomic<std::uint64_t> rotations{0};
+  };
+
+  struct ReplayResult {
+    std::uint64_t records = 0;
+    std::uint64_t segments = 0;
+    /// Segments whose replay stopped at a torn or corrupt tail frame.
+    std::uint64_t torn_tails = 0;
+  };
+
+  /// Opens the log rooted at `dir`, starting a fresh active segment with an
+  /// id greater than every existing segment (and at least `first_segment`).
+  /// Never appends to a pre-existing file: a crashed run may have left its
+  /// last frame torn, and writing past the tear would corrupt the log.
+  static Result<std::unique_ptr<Wal>> Open(std::string dir,
+                                           const StorageOptions& options,
+                                           std::uint64_t first_segment = 1);
+  ~Wal();
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Appends one framed record; durable per the fsync policy on return.
+  /// Rotates to a new segment first when the active one is over-size.
+  Status Append(std::string_view payload);
+
+  /// Forces rotation to a fresh segment and returns its id. Records
+  /// appended from now on land in segments >= the returned id, which makes
+  /// the id a replay lower bound for a checkpoint taken "now" (the caller
+  /// must exclude concurrent appenders across the snapshot + Rotate pair).
+  std::uint64_t Rotate();
+
+  /// Removes segment files with id < `segment_id` (obsoleted by a
+  /// checkpoint whose manifest records `segment_id` as the replay start).
+  Status DeleteSegmentsBefore(std::uint64_t segment_id);
+
+  std::uint64_t active_segment() const { return active_segment_; }
+  const Stats& stats() const { return stats_; }
+
+  /// Replays every frame of every segment with id >= `from_segment`, in
+  /// segment order, invoking `apply` on each payload. Stops a segment at
+  /// its first invalid frame (torn tail) and moves on; a failing `apply`
+  /// aborts the whole replay with its status.
+  static Result<ReplayResult> Replay(
+      const std::string& dir, std::uint64_t from_segment,
+      const std::function<Status(std::string_view)>& apply);
+
+  /// Total size in bytes of segment files with id >= `from_segment`.
+  static std::uint64_t SegmentBytes(const std::string& dir,
+                                    std::uint64_t from_segment);
+
+  static std::string SegmentFileName(std::uint64_t id);
+  /// Sorted (id, filename) pairs of the segments present in `dir`.
+  static std::vector<std::pair<std::uint64_t, std::string>> ListSegments(
+      const std::string& dir);
+
+ private:
+  Wal(std::string dir, const StorageOptions& options);
+
+  /// Opens segment file `id` for appending; requires mu_ held.
+  Status OpenSegmentLocked(std::uint64_t id);
+  std::uint64_t RotateLocked(std::unique_lock<std::mutex>& lk);
+
+  const std::string dir_;
+  const StorageOptions options_;
+
+  std::mutex mu_;
+  std::condition_variable sync_cv_;
+  int fd_ = -1;
+  std::uint64_t active_segment_ = 0;
+  std::uint64_t active_segment_bytes_ = 0;
+  /// Logical offset of the end of the last appended frame (monotonic
+  /// across rotations) and the prefix known durable. Group commit works in
+  /// terms of these watermarks.
+  std::uint64_t appended_offset_ = 0;
+  std::uint64_t durable_offset_ = 0;
+  bool sync_in_progress_ = false;
+  /// Set when a failed append may have left a partial frame that could
+  /// not be truncated away: the next append must rotate first so no
+  /// acknowledged record lands behind a torn frame.
+  bool needs_rotate_ = false;
+
+  Stats stats_;
+};
+
+}  // namespace storage
+}  // namespace weaver

@@ -168,7 +168,49 @@ TEST(KvTransactionTest, ReuseAfterCommitFails) {
   auto tx = kv.Begin();
   tx.Put("a", "1");
   ASSERT_TRUE(tx.Commit().ok());
-  EXPECT_TRUE(tx.Commit().IsInternal());
+  EXPECT_TRUE(tx.Commit().IsFailedPrecondition());
+  EXPECT_TRUE(tx.finished());
+}
+
+TEST(KvTransactionTest, DroppedTransactionRollsBack) {
+  KvStore kv;
+  {
+    auto tx = kv.Begin();
+    tx.Put("a", "1");
+    // No Commit(): RAII rollback discards the buffered write set.
+  }
+  EXPECT_TRUE(kv.Get("a").status().IsNotFound());
+  EXPECT_EQ(kv.stats().rollbacks.load(), 1u);
+  EXPECT_EQ(kv.stats().commits.load(), 0u);
+}
+
+TEST(KvTransactionTest, ExplicitAbortIsIdempotent) {
+  KvStore kv;
+  auto tx = kv.Begin();
+  tx.Put("a", "1");
+  tx.Abort();
+  tx.Abort();
+  EXPECT_TRUE(tx.finished());
+  EXPECT_TRUE(tx.Commit().IsFailedPrecondition());
+  EXPECT_TRUE(kv.Get("a").status().IsNotFound());
+  EXPECT_EQ(kv.stats().rollbacks.load(), 1u);
+}
+
+TEST(KvTransactionTest, MovedFromTransactionIsInert) {
+  KvStore kv;
+  auto tx = kv.Begin();
+  tx.Put("a", "1");
+  KvTransaction moved = std::move(tx);
+  EXPECT_TRUE(tx.finished());  // NOLINT(bugprone-use-after-move)
+  // Operations on the moved-from shell are inert, never a null deref.
+  EXPECT_TRUE(tx.Get("a").status().IsFailedPrecondition());
+  tx.Put("b", "2");
+  tx.Delete("a");
+  ASSERT_TRUE(moved.Commit().ok());
+  EXPECT_TRUE(kv.Get("b").status().IsNotFound());
+  EXPECT_EQ(*kv.Get("a"), "1");
+  // The moved-from shell neither commits nor counts as a rollback.
+  EXPECT_EQ(kv.stats().rollbacks.load(), 0u);
 }
 
 TEST(KvTransactionTest, StatsCountCommitsAndAborts) {

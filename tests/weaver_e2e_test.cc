@@ -13,12 +13,29 @@
 namespace weaver {
 namespace {
 
+// Sanitizer builds run the deployment an order of magnitude slower, and
+// the aggressive timer periods below then produce announce/NOP messages
+// faster than the instrumented shard loops can drain them (the bus has no
+// backpressure; see ROADMAP). Relax the timers under sanitizers so the
+// concurrency tests exercise the same interleavings at a survivable rate.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+constexpr std::uint64_t kTimerScale = 20;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+constexpr std::uint64_t kTimerScale = 20;
+#else
+constexpr std::uint64_t kTimerScale = 1;
+#endif
+#else
+constexpr std::uint64_t kTimerScale = 1;
+#endif
+
 WeaverOptions FastOptions(std::size_t gks = 2, std::size_t shards = 2) {
   WeaverOptions o;
   o.num_gatekeepers = gks;
   o.num_shards = shards;
-  o.tau_micros = 200;
-  o.nop_period_micros = 100;
+  o.tau_micros = 200 * kTimerScale;
+  o.nop_period_micros = 100 * kTimerScale;
   return o;
 }
 
