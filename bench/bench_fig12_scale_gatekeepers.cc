@@ -54,16 +54,22 @@ int main() {
     auto db = Weaver::Open(options);
     LoadGraph(db.get(), graph);
     db->Start();
+    WeaverClient client(db.get());
 
-    workload::TaoWorkload mix(graph.num_nodes, 1.0, 0.8, 77);
+    // One session per client thread; sessions pin round-robin across the
+    // gatekeeper bank, so queries spread exactly like the paper's client
+    // fleet.
+    std::vector<std::unique_ptr<Session>> sessions;
     std::vector<workload::TaoWorkload> mixes;
     const std::size_t clients = 4;
     for (std::size_t c = 0; c < clients; ++c) {
+      sessions.push_back(client.OpenSession());
       mixes.emplace_back(graph.num_nodes, 1.0, 0.8, 77 + c);
     }
     const std::uint64_t ops = RunClients(
         clients, duration_ms, [&](std::size_t c) {
-          return db->RunProgram(programs::kGetNode, mixes[c].PickNode())
+          return sessions[c]
+              ->RunProgram(programs::kGetNode, mixes[c].PickNode())
               .ok();
         });
 

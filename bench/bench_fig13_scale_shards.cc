@@ -48,16 +48,21 @@ int main() {
     auto db = Weaver::Open(options);
     LoadGraph(db.get(), graph);
     db->Start();
+    WeaverClient client(db.get());
 
+    // One session per client thread, pinned round-robin across the fixed
+    // gatekeeper bank (the sessions are the paper's client fleet).
+    std::vector<std::unique_ptr<Session>> sessions;
     std::vector<workload::TaoWorkload> mixes;
     const std::size_t clients = 4;
     for (std::size_t c = 0; c < clients; ++c) {
+      sessions.push_back(client.OpenSession());
       mixes.emplace_back(graph.num_nodes, 1.0, 0.8, 55 + c);
     }
     const std::uint64_t ops = RunClients(
         clients, duration_ms, [&](std::size_t c) {
           programs::ClusteringParams params;  // kGather phase
-          return db
+          return sessions[c]
               ->RunProgram(programs::kClustering, mixes[c].PickNode(),
                            params.Encode())
               .ok();

@@ -5,10 +5,12 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
 #include <filesystem>
 #include <mutex>
 #include <string_view>
 #include <thread>
+#include <utility>
 
 #include "common/clock.h"
 
@@ -153,6 +155,84 @@ void RemoveBenchDataDirs() {
     std::filesystem::remove_all(dir, ec);
   }
   g_data_dirs.clear();
+}
+
+namespace {
+
+std::size_t ParseSizeFlag(int argc, char** argv, std::string_view flag,
+                          std::size_t fallback) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.substr(0, flag.size()) == flag) {
+      return static_cast<std::size_t>(
+          std::strtoull(arg.data() + flag.size(), nullptr, 10));
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
+OpenLoopOptions ParseOpenLoop(int argc, char** argv) {
+  OpenLoopOptions o;
+  o.sessions = ParseSizeFlag(argc, argv, "--sessions=", o.sessions);
+  o.inflight = ParseSizeFlag(argc, argv, "--inflight=", o.inflight);
+  if (o.sessions == 0) o.sessions = 1;
+  if (o.inflight == 0) o.inflight = 1;
+  return o;
+}
+
+std::size_t ParseClients(int argc, char** argv, std::size_t fallback) {
+  return ParseSizeFlag(argc, argv, "--clients=", fallback);
+}
+
+std::uint64_t RunOpenLoopSessions(
+    WeaverClient* client, std::size_t num_sessions, std::size_t inflight,
+    std::uint64_t duration_ms,
+    const std::function<OpenLoopWait(std::size_t, Session&)>& submit,
+    Histogram* latencies) {
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<bool> stop{false};
+  std::vector<Histogram> per_session(num_sessions);
+  std::vector<std::thread> drivers;
+  drivers.reserve(num_sessions);
+  for (std::size_t s = 0; s < num_sessions; ++s) {
+    drivers.emplace_back([&, s] {
+      auto session = client->OpenSession();
+      std::deque<std::pair<std::uint64_t, OpenLoopWait>> window;
+      while (!stop.load(std::memory_order_relaxed)) {
+        while (window.size() < inflight &&
+               !stop.load(std::memory_order_relaxed)) {
+          // Sequence the clock read before submit(): as function
+          // arguments the two calls would be unsequenced, and submit may
+          // do synchronous work (reads) that belongs in the latency.
+          const std::uint64_t t0 = NowNanos();
+          window.emplace_back(t0, submit(s, *session));
+        }
+        if (window.empty()) break;
+        auto [t0, wait] = std::move(window.front());
+        window.pop_front();
+        if (wait()) {
+          completed.fetch_add(1, std::memory_order_relaxed);
+          per_session[s].Record(NowNanos() - t0);
+        }
+      }
+      // Drain: everything submitted inside the window still completes.
+      for (auto& [t0, wait] : window) {
+        if (wait()) {
+          completed.fetch_add(1, std::memory_order_relaxed);
+          per_session[s].Record(NowNanos() - t0);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  stop.store(true);
+  for (auto& d : drivers) d.join();
+  if (latencies != nullptr) {
+    for (const auto& h : per_session) latencies->Merge(h);
+  }
+  return completed.load();
 }
 
 std::string FormatRate(double ops_per_sec) {

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "client/weaver_client.h"
 #include "common/histogram.h"
 #include "core/weaver.h"
 #include "workload/blockchain.h"
@@ -44,6 +45,39 @@ std::uint64_t RunClients(std::size_t num_clients, std::uint64_t duration_ms,
 
 /// Formats ops/sec with thousands separators for table rows.
 std::string FormatRate(double ops_per_sec);
+
+// --- Open-loop session mode -------------------------------------------------
+//
+// Benches drive pipelined load through WeaverClient sessions in addition
+// to the classic one-blocked-thread-per-client mode: each of N driver
+// threads owns one session and keeps K async requests in flight.
+// --sessions=N --inflight=K override the 8x8 default.
+
+struct OpenLoopOptions {
+  std::size_t sessions = 8;
+  std::size_t inflight = 8;
+};
+
+/// Parses --sessions= / --inflight= (defaults 8x8 when absent).
+OpenLoopOptions ParseOpenLoop(int argc, char** argv);
+
+/// Parses --clients=N (closed-loop client thread count); `fallback`
+/// when absent.
+std::size_t ParseClients(int argc, char** argv, std::size_t fallback);
+
+/// Completion handle for one submitted async operation: blocks until the
+/// operation finishes, returns true when it counts toward throughput.
+using OpenLoopWait = std::function<bool()>;
+
+/// Runs `submit` from `num_sessions` driver threads for `duration_ms`,
+/// each keeping `inflight` requests outstanding on its own session.
+/// `submit` must return without blocking (CommitAsync/RunProgramAsync).
+/// Returns completed operations; latencies are submit-to-completion.
+std::uint64_t RunOpenLoopSessions(
+    WeaverClient* client, std::size_t num_sessions, std::size_t inflight,
+    std::uint64_t duration_ms,
+    const std::function<OpenLoopWait(std::size_t, Session&)>& submit,
+    Histogram* latencies = nullptr);
 
 // --- Durability knob --------------------------------------------------------
 //

@@ -1,9 +1,13 @@
-// Quickstart: open a Weaver deployment, run a transaction (paper Fig 2
-// style), and execute a node program (paper Fig 3 style).
+// Quickstart: open a Weaver deployment, talk to it through a client
+// session (the canonical API, docs/client_api.md), run a transaction
+// (paper Fig 2 style), execute a node program (paper Fig 3 style), and
+// pipeline async commits.
 //
 //   $ ./example_quickstart
 #include <cstdio>
+#include <vector>
 
+#include "client/weaver_client.h"
 #include "core/weaver.h"
 #include "programs/standard_programs.h"
 
@@ -18,18 +22,23 @@ int main() {
   options.num_shards = 2;
   auto db = Weaver::Open(options);
 
+  // Clients speak to gatekeepers through sessions; each session pins to
+  // one gatekeeper and may pipeline many in-flight requests.
+  WeaverClient client(db.get());
+  auto session = client.OpenSession();
+
   // --- 1. A strictly serializable transaction --------------------------
   // Create two users and a 'follows' edge between them, atomically.
   NodeId alice = 0, bob = 0;
   {
-    Transaction tx = db->BeginTx();
+    Transaction tx = session->BeginTx();
     alice = tx.CreateNode();
     bob = tx.CreateNode();
     tx.AssignNodeProperty(alice, "name", "alice");
     tx.AssignNodeProperty(bob, "name", "bob");
     const EdgeId follows = tx.CreateEdge(alice, bob);
     tx.AssignEdgeProperty(alice, follows, "rel", "follows");
-    const Status st = db->Commit(&tx);
+    const Status st = session->Commit(&tx);
     if (!st.ok()) {
       std::fprintf(stderr, "commit failed: %s\n", st.ToString().c_str());
       return 1;
@@ -40,7 +49,7 @@ int main() {
 
   // --- 2. A transactional read -----------------------------------------
   {
-    Transaction tx = db->BeginTx();
+    Transaction tx = session->BeginTx();
     auto snap = tx.GetNode(alice);
     std::printf("alice: exists=%d properties=%zu edges=%zu\n",
                 snap->exists, snap->properties.size(), snap->edges.size());
@@ -52,7 +61,7 @@ int main() {
   params.edge_prop_key = "rel";
   params.edge_prop_value = "follows";
   params.target = bob;
-  auto result = db->RunProgram(programs::kBfs, alice, params.Encode());
+  auto result = session->RunProgram(programs::kBfs, alice, params.Encode());
   if (!result.ok()) {
     std::fprintf(stderr, "program failed: %s\n",
                  result.status().ToString().c_str());
@@ -69,7 +78,7 @@ int main() {
               static_cast<unsigned long long>(result->waves));
 
   // --- 4. Retryable read-modify-write ----------------------------------
-  const Status st = db->RunTransaction([&](Transaction& tx) -> Status {
+  const Status st = session->RunTransaction([&](Transaction& tx) -> Status {
     auto snap = tx.GetNode(bob);
     if (!snap.ok()) return snap.status();
     const int followers =
@@ -80,5 +89,23 @@ int main() {
                                  std::to_string(followers + 1));
   });
   std::printf("follower increment: %s\n", st.ToString().c_str());
+
+  // --- 5. Pipelined async commits --------------------------------------
+  // Submit a burst of follows without waiting for each round trip; the
+  // session guarantees they commit in submission order.
+  std::vector<Pending<CommitResult>> in_flight;
+  for (int i = 0; i < 4; ++i) {
+    Transaction tx = session->BeginTx();
+    const NodeId fan = tx.CreateNode();
+    tx.AssignNodeProperty(fan, "name", "fan" + std::to_string(i));
+    const EdgeId e = tx.CreateEdge(fan, bob);
+    tx.AssignEdgeProperty(fan, e, "rel", "follows");
+    in_flight.push_back(session->CommitAsync(std::move(tx)));
+  }
+  int committed = 0;
+  for (auto& pending : in_flight) {
+    if (pending.Wait().ok()) ++committed;
+  }
+  std::printf("pipelined burst: %d/4 commits landed\n", committed);
   return 0;
 }

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "client/weaver_client.h"
 #include "core/weaver.h"
 #include "programs/standard_programs.h"
 
@@ -40,11 +41,13 @@ std::vector<NodeId> DecodePath(const std::string& blob) {
 
 int main() {
   auto db = Weaver::Open(WeaverOptions{});
+  WeaverClient client(db.get());
+  auto session = client.OpenSession();
 
   // ---- Seed concepts ------------------------------------------------------
   std::map<std::string, NodeId> concepts;
   {
-    Transaction tx = db->BeginTx();
+    Transaction tx = session->BeginTx();
     for (const char* name :
          {"cup", "mug", "coffee", "kitchen", "table", "robot_arm"}) {
       const NodeId c = tx.CreateNode();
@@ -60,7 +63,7 @@ int main() {
     relate("kitchen", "table", "contains");
     relate("robot_arm", "cup", "can_grasp");
     relate("mug", "coffee", "holds");
-    if (!db->Commit(&tx).ok()) return 1;
+    if (!session->Commit(&tx).ok()) return 1;
   }
 
   // ---- Subgraph query: path from cup to kitchen ---------------------------
@@ -69,7 +72,7 @@ int main() {
     params.target = to;
     params.max_depth = 8;
     auto result =
-        db->RunProgram(programs::kPathDiscovery, from, params.Encode());
+        session->RunProgram(programs::kPathDiscovery, from, params.Encode());
     if (!result.ok()) return {};
     std::vector<NodeId> best;
     for (const auto& [_, blob] : result->returns) {
@@ -97,7 +100,7 @@ int main() {
   // onto cup and delete mug, in one transaction. ML readers either see
   // both concepts or the merged one -- never a dangling half-merge.
   {
-    Transaction tx = db->BeginTx();
+    Transaction tx = session->BeginTx();
     auto mug = tx.GetNode(concepts["mug"]);
     if (!mug.ok()) return 1;
     for (const auto& e : mug->edges) {
@@ -108,7 +111,7 @@ int main() {
       tx.DeleteEdge(concepts["mug"], e.id);
     }
     tx.DeleteNode(concepts["mug"]);
-    const Status st = db->Commit(&tx);
+    const Status st = session->Commit(&tx);
     std::printf("concept merge (mug -> cup): %s\n", st.ToString().c_str());
   }
 
@@ -130,7 +133,7 @@ int main() {
   // ---- Degree census via node programs ------------------------------------
   for (const auto& [name, id] : concepts) {
     if (name == "mug") continue;  // merged away
-    auto r = db->RunProgram(programs::kCountEdges, id);
+    auto r = session->RunProgram(programs::kCountEdges, id);
     if (!r.ok() || r->returns.empty()) continue;
     ByteReader reader(r->returns[0].second);
     std::uint64_t degree = 0;

@@ -2,13 +2,14 @@
 // Weaver. Demonstrates the access-control pattern the paper's Fig 2
 // motivates -- posting a photo and configuring who can see it in ONE
 // atomic transaction -- plus the Table 1 operation mix running against a
-// generated power-law social graph.
+// generated power-law social graph through a client session.
 //
 //   $ ./example_social_network
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "client/weaver_client.h"
 #include "common/clock.h"
 #include "core/weaver.h"
 #include "programs/standard_programs.h"
@@ -22,11 +23,12 @@ namespace {
 /// Can `viewer` see `photo`? True iff an access edge photo -> viewer with
 /// VISIBLE=1 exists -- evaluated by a get_edges node program, i.e. on a
 /// consistent snapshot (no TOCTOU against concurrent ACL changes).
-bool CanSee(Weaver& db, NodeId photo, NodeId viewer) {
+bool CanSee(Session& session, NodeId photo, NodeId viewer) {
   programs::GetEdgesParams params;
   params.edge_prop_key = "VISIBLE";
   params.edge_prop_value = "1";
-  auto result = db.RunProgram(programs::kGetEdges, photo, params.Encode());
+  auto result =
+      session.RunProgram(programs::kGetEdges, photo, params.Encode());
   if (!result.ok() || result->returns.empty()) return false;
   const auto decoded =
       programs::GetEdgesResult::Decode(result->returns[0].second);
@@ -43,20 +45,22 @@ int main() {
   options.num_gatekeepers = 2;
   options.num_shards = 2;
   auto db = Weaver::Open(options);
+  WeaverClient client(db.get());
+  auto session = client.OpenSession();
 
   // ---- Users ------------------------------------------------------------
-  Transaction setup = db->BeginTx();
+  Transaction setup = session->BeginTx();
   const NodeId user = setup.CreateNode();
   const NodeId friend_a = setup.CreateNode();
   const NodeId friend_b = setup.CreateNode();
   const NodeId stranger = setup.CreateNode();
   setup.AssignNodeProperty(user, "name", "poster");
-  if (!db->Commit(&setup).ok()) return 1;
+  if (!session->Commit(&setup).ok()) return 1;
 
   // ---- The Fig 2 transaction: post a photo + ACL atomically -------------
   NodeId photo = kInvalidNodeId;
   {
-    Transaction tx = db->BeginTx();
+    Transaction tx = session->BeginTx();
     photo = tx.CreateNode();
     tx.AssignNodeProperty(photo, "type", "photo");
     const EdgeId own_edge = tx.CreateEdge(user, photo);
@@ -65,31 +69,32 @@ int main() {
       const EdgeId access_edge = tx.CreateEdge(photo, nbr);
       tx.AssignEdgeProperty(photo, access_edge, "VISIBLE", "1");
     }
-    const Status st = db->Commit(&tx);
+    const Status st = session->Commit(&tx);
     std::printf("photo post + ACL commit: %s\n", st.ToString().c_str());
     if (!st.ok()) return 1;
   }
   std::printf("friend_a can see photo: %s\n",
-              CanSee(*db, photo, friend_a) ? "yes" : "no");
+              CanSee(*session, photo, friend_a) ? "yes" : "no");
   std::printf("stranger can see photo: %s\n",
-              CanSee(*db, photo, stranger) ? "yes" : "no");
+              CanSee(*session, photo, stranger) ? "yes" : "no");
 
   // ---- Revoke access atomically while readers race ----------------------
   {
-    Transaction tx = db->BeginTx();
+    Transaction tx = session->BeginTx();
     auto snap = tx.GetNode(photo);
     for (const auto& e : snap->edges) {
       if (e.to == friend_b) tx.DeleteEdge(photo, e.id);
     }
-    const Status st = db->Commit(&tx);
+    const Status st = session->Commit(&tx);
     std::printf("ACL revoke commit: %s\n", st.ToString().c_str());
   }
   std::printf("friend_b can see photo after revoke: %s\n",
-              CanSee(*db, photo, friend_b) ? "yes" : "no");
+              CanSee(*session, photo, friend_b) ? "yes" : "no");
 
   // ---- Table 1 workload against a power-law graph -----------------------
   // Release the first deployment's threads before opening the second one
   // (a single machine hosting two full clusters starves both).
+  session.reset();
   db->Shutdown();
   std::printf("\nrunning the TAO operation mix (Table 1) ...\n");
   const auto graph = workload::MakePowerLawGraph(2000, 8, 99);
@@ -105,6 +110,8 @@ int main() {
   }
   social->FinishBulkLoad();
   social->Start();
+  WeaverClient social_client(social.get());
+  auto feed = social_client.OpenSession();
 
   workload::TaoWorkload mix(graph.num_nodes);
   std::size_t reads = 0, writes = 0, aborted = 0;
@@ -114,19 +121,19 @@ int main() {
     const NodeId n = mix.PickNode();
     switch (op) {
       case workload::TaoOp::kGetEdges:
-        (void)social->RunProgram(programs::kGetEdges, n);
+        (void)feed->RunProgram(programs::kGetEdges, n);
         ++reads;
         break;
       case workload::TaoOp::kCountEdges:
-        (void)social->RunProgram(programs::kCountEdges, n);
+        (void)feed->RunProgram(programs::kCountEdges, n);
         ++reads;
         break;
       case workload::TaoOp::kGetNode:
-        (void)social->RunProgram(programs::kGetNode, n);
+        (void)feed->RunProgram(programs::kGetNode, n);
         ++reads;
         break;
       case workload::TaoOp::kCreateEdge: {
-        const Status st = social->RunTransaction([&](Transaction& tx) {
+        const Status st = feed->RunTransaction([&](Transaction& tx) {
           tx.CreateEdge(n, mix.PickUniformNode());
           return Status::Ok();
         });
@@ -135,7 +142,7 @@ int main() {
         break;
       }
       case workload::TaoOp::kDeleteEdge: {
-        const Status st = social->RunTransaction([&](Transaction& tx) {
+        const Status st = feed->RunTransaction([&](Transaction& tx) {
           auto snap = tx.GetNode(n);
           if (!snap.ok()) return snap.status();
           if (snap->edges.empty()) return Status::Ok();

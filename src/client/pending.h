@@ -1,0 +1,95 @@
+// Pending<T>: future-like handle for one in-flight session request.
+//
+// A session submits work to a gatekeeper as a bus message and hands the
+// caller a Pending<T>; the gatekeeper's ingress worker fulfills it when
+// the request executes (or when the deployment shuts down, with a non-OK
+// result -- Wait() never hangs across Shutdown()). Handles are cheap to
+// copy; all copies share one result slot. Unlike std::future, Wait() may
+// be called repeatedly and from several threads.
+#pragma once
+
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace weaver {
+
+template <typename T>
+class Pending {
+ public:
+  /// An empty handle (no request attached); valid() is false. Assign a
+  /// handle returned by a submission before waiting.
+  Pending() = default;
+
+  /// A fresh unfulfilled handle. The producer side keeps a copy and calls
+  /// Fulfill(); consumers Wait().
+  static Pending<T> Make() {
+    Pending<T> p;
+    p.state_ = std::make_shared<State>();
+    return p;
+  }
+
+  bool valid() const { return state_ != nullptr; }
+
+  bool ready() const {
+    if (!state_) return false;
+    std::lock_guard<std::mutex> lk(state_->mu);
+    return state_->value.has_value();
+  }
+
+  /// Producer side: installs the result and wakes every waiter. The first
+  /// fulfillment wins; later calls are ignored (a request completing
+  /// normally may race the shutdown drain failing it).
+  void Fulfill(T value) {
+    if (!state_) return;
+    {
+      std::lock_guard<std::mutex> lk(state_->mu);
+      if (state_->value.has_value()) return;
+      state_->value.emplace(std::move(value));
+    }
+    state_->cv.notify_all();
+  }
+
+  /// Blocks until the request completes and returns its result. Repeated
+  /// calls return the same result. Waiting on an empty (default-
+  /// constructed) handle is a programming error.
+  const T& Wait() {
+    assert(state_ != nullptr && "Wait() on an empty Pending handle");
+    std::unique_lock<std::mutex> lk(state_->mu);
+    state_->cv.wait(lk, [&] { return state_->value.has_value(); });
+    return *state_->value;
+  }
+
+  /// Wait() with a deadline; false when the request is still in flight.
+  template <typename Rep, typename Period>
+  bool WaitFor(std::chrono::duration<Rep, Period> timeout) {
+    assert(state_ != nullptr && "WaitFor() on an empty Pending handle");
+    std::unique_lock<std::mutex> lk(state_->mu);
+    return state_->cv.wait_for(lk, timeout,
+                               [&] { return state_->value.has_value(); });
+  }
+
+  /// Wait() and move the result out (single consumer; the slot keeps the
+  /// moved-from value, so only call once).
+  T Take() {
+    assert(state_ != nullptr && "Take() on an empty Pending handle");
+    std::unique_lock<std::mutex> lk(state_->mu);
+    state_->cv.wait(lk, [&] { return state_->value.has_value(); });
+    return std::move(*state_->value);
+  }
+
+ private:
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::optional<T> value;
+  };
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace weaver

@@ -1,0 +1,156 @@
+#include "client/session.h"
+
+#include <utility>
+
+#include "client/weaver_client.h"
+#include "core/messages.h"
+
+namespace weaver {
+
+Session::Session(Weaver* db, GatekeeperId gk, std::uint64_t name_hint)
+    : db_(db), gk_(gk) {
+  // The session's endpoint gives its requests a real source address (and
+  // a FIFO channel to the gatekeeper); replies ride the in-process sink
+  // callbacks, so the inbound handler has nothing to do yet. A real
+  // transport would deliver responses here.
+  endpoint_ = db_->bus().RegisterHandler(
+      "session" + std::to_string(name_hint), [](const BusMessage&) {});
+  gk_client_ep_ = db_->gatekeeper(gk_).client_endpoint();
+  // Endpoint ids are unique per deployment, which makes them convenient
+  // globally-unique lane keys (Weaver's internal blocking wrappers use a
+  // disjoint high-bit id space).
+  id_ = endpoint_;
+}
+
+Session::~Session() {
+  // Detach the endpoint so the bus drops any future sends to it. (The
+  // endpoint slot itself and the per-channel sequence state stay behind
+  // -- the bus has no id reuse -- but they are a few bytes per session,
+  // not a queue.)
+  db_->bus().Detach(endpoint_);
+}
+
+Transaction Session::BeginTx() { return db_->BeginTx(); }
+
+Pending<CommitResult> Session::SubmitCommit(Transaction tx, bool delay_paid) {
+  auto pending = Pending<CommitResult>::Make();
+  if (!tx.valid()) {
+    pending.Fulfill(CommitResult{
+        Status::FailedPrecondition("invalid or moved-from transaction"), {}});
+    return pending;
+  }
+  if (tx.committed()) {
+    pending.Fulfill(
+        CommitResult{Status::Internal("transaction already committed"), {}});
+    return pending;
+  }
+  if (!db_->started()) {
+    // No ingress workers exist to serve the lane: fail fast instead of
+    // parking the request forever. (Blocking Session::Commit falls back
+    // to the deployment's inline path before reaching here.)
+    pending.Fulfill(CommitResult{
+        Status::FailedPrecondition(
+            "deployment not started; Start() it before submitting async "
+            "work, or use the blocking Commit()"),
+        {}});
+    return pending;
+  }
+  auto msg = std::make_shared<ClientCommitMessage>();
+  msg->session_id = id_;
+  msg->delay_paid = delay_paid;
+  msg->tx = std::move(tx);
+  msg->sink = [pending](CommitResult r) mutable {
+    pending.Fulfill(std::move(r));
+  };
+  Status sent;
+  {
+    // The mutex defines the session's submission order when several
+    // threads share it: sends enter the bus channel (and so the ingress
+    // lane) in this critical section's order.
+    std::lock_guard<std::mutex> lk(submit_mu_);
+    sent = db_->bus().Send(endpoint_, gk_client_ep_, kMsgClientCommit,
+                           std::move(msg));
+  }
+  if (!sent.ok()) pending.Fulfill(CommitResult{std::move(sent), {}});
+  return pending;
+}
+
+Pending<CommitResult> Session::CommitAsync(Transaction tx) {
+  return SubmitCommit(std::move(tx), /*delay_paid=*/false);
+}
+
+Pending<Result<ProgramResult>> Session::RunProgramAsync(
+    std::string_view name, std::vector<NextHop> starts) {
+  auto pending = Pending<Result<ProgramResult>>::Make();
+  if (!db_->started()) {
+    pending.Fulfill(Result<ProgramResult>(
+        Status::FailedPrecondition("deployment not started")));
+    return pending;
+  }
+  auto msg = std::make_shared<ClientProgramMessage>();
+  msg->session_id = id_;
+  msg->program_name = std::string(name);
+  msg->starts = std::move(starts);
+  msg->sink = [pending](Result<ProgramResult> r) mutable {
+    pending.Fulfill(std::move(r));
+  };
+  // No lock: programs carry no submission-order promise, so concurrent
+  // submitters need not serialize.
+  const Status sent = db_->bus().Send(endpoint_, gk_client_ep_,
+                                      kMsgClientProgram, std::move(msg));
+  if (!sent.ok()) pending.Fulfill(Result<ProgramResult>(std::move(sent)));
+  return pending;
+}
+
+Pending<Result<ProgramResult>> Session::RunProgramAsync(std::string_view name,
+                                                        NodeId start,
+                                                        std::string params) {
+  std::vector<NextHop> starts;
+  starts.push_back(NextHop{start, std::move(params)});
+  return RunProgramAsync(name, std::move(starts));
+}
+
+Status Session::Commit(Transaction* tx) {
+  if (tx == nullptr || !tx->valid()) {
+    return Status::FailedPrecondition("invalid or moved-from transaction");
+  }
+  if (tx->committed()) {
+    // Guard BEFORE moving: re-committing must not wipe the recorded
+    // outcome of the earlier successful commit.
+    return Status::Internal("transaction already committed");
+  }
+  if (!db_->started()) {
+    // Deterministic deployments (start = false, PumpAll-driven tests,
+    // bulk-load flows) have no ingress workers; the deployment's
+    // blocking wrapper executes inline there.
+    return db_->Commit(tx);
+  }
+  // A blocking client cannot overlap its backing-store round trip with
+  // anything, so it pays the simulated delay on its own thread (exactly
+  // what the pre-session API did) and the ingress skips it.
+  db_->PayCommitDelay(tx->NumOps());
+  Pending<CommitResult> pending =
+      SubmitCommit(std::move(*tx), /*delay_paid=*/true);
+  const CommitResult& r = pending.Wait();
+  Weaver::AnnotateCommitOutcome(tx, r);
+  return r.status;
+}
+
+Status Session::RunTransaction(
+    const std::function<Status(Transaction&)>& body, int max_attempts) {
+  return RetryTransaction([this] { return BeginTx(); },
+                          [this](Transaction* tx) { return Commit(tx); },
+                          body, max_attempts);
+}
+
+Result<ProgramResult> Session::RunProgram(std::string_view name,
+                                          std::vector<NextHop> starts) {
+  return db_->RunProgramOn(gk_, name, std::move(starts));
+}
+
+Result<ProgramResult> Session::RunProgram(std::string_view name, NodeId start,
+                                          std::string params) {
+  return db_->RunProgramOn(gk_, name, start, std::move(params));
+}
+
+}  // namespace weaver

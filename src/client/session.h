@@ -1,0 +1,117 @@
+// Session: the canonical client handle onto a Weaver deployment.
+//
+// A session speaks to ONE gatekeeper (chosen round-robin at open) through
+// ClientRequest messages on the MessageBus -- the seam a future real
+// transport plugs into -- and may pipeline many requests: CommitAsync()
+// and RunProgramAsync() return Pending<T> handles immediately, and the
+// gatekeeper's client ingress executes a session's requests strictly in
+// submission order while different sessions proceed in parallel.
+//
+// Ordering guarantees:
+//   * per-session commits: execute (and take their timestamps) in the
+//     order they were submitted on the session;
+//   * programs: read consistent snapshots and carry no submission-order
+//     promise -- pipelined programs run concurrently on the gatekeeper's
+//     worker pool. A program that must observe an earlier CommitAsync()
+//     should Wait() on it first;
+//   * cross-session: no submission-order guarantee -- concurrent sessions
+//     are ordered by the refinable timestamps their requests receive,
+//     exactly like concurrent clients in the paper.
+//
+// Blocking convenience methods (Commit, RunTransaction, RunProgram) are
+// thin wrappers over the async surface; a session used only through them
+// behaves like the old blocking API.
+//
+// Thread safety: submissions may race (a mutex serializes them and
+// defines the submission order), and Pending handles may be waited on
+// from any thread.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "client/pending.h"
+#include "common/ids.h"
+#include "common/result.h"
+#include "core/node_program.h"
+#include "core/transaction.h"
+#include "core/weaver.h"
+#include "net/bus.h"
+
+namespace weaver {
+
+class WeaverClient;
+
+class Session {
+ public:
+  ~Session();  // detaches the session's bus endpoint
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Session id (also its lane key on the gatekeeper's client ingress).
+  std::uint64_t id() const { return id_; }
+  /// The gatekeeper this session is pinned to.
+  GatekeeperId gatekeeper() const { return gk_; }
+
+  // --- Async (pipelined) surface -------------------------------------------
+
+  /// Starts a buffered-write transaction (same object the blocking API
+  /// hands out; reads run on the caller's thread as before).
+  Transaction BeginTx();
+
+  /// Submits the transaction for commit and returns immediately. The
+  /// transaction is moved into the request; the commit timestamp comes
+  /// back in the CommitResult. Commits submitted on one session are
+  /// executed -- and timestamped -- in submission order.
+  Pending<CommitResult> CommitAsync(Transaction tx);
+
+  /// Submits a node program and returns immediately. Pipelined programs
+  /// may execute concurrently and out of submission order (see the
+  /// ordering guarantees above).
+  Pending<Result<ProgramResult>> RunProgramAsync(std::string_view name,
+                                                 std::vector<NextHop> starts);
+  Pending<Result<ProgramResult>> RunProgramAsync(std::string_view name,
+                                                 NodeId start,
+                                                 std::string params = "");
+
+  // --- Blocking conveniences (wrappers over the async surface) -------------
+
+  /// CommitAsync(...).Wait(): blocks until the commit executes, then
+  /// annotates *tx with the outcome (timestamp() and committed() keep
+  /// working on the shell the move left behind). On a deployment that is
+  /// not started (deterministic/bulk-load mode) this executes inline,
+  /// like Weaver::Commit; the async methods instead fail fast there.
+  Status Commit(Transaction* tx);
+
+  /// Retry loop over BeginTx + body + Commit, like Weaver::RunTransaction.
+  Status RunTransaction(const std::function<Status(Transaction&)>& body,
+                        int max_attempts = 16);
+
+  /// Runs a node program on this session's gatekeeper and waits.
+  Result<ProgramResult> RunProgram(std::string_view name,
+                                   std::vector<NextHop> starts);
+  Result<ProgramResult> RunProgram(std::string_view name, NodeId start,
+                                   std::string params = "");
+
+ private:
+  friend class WeaverClient;
+  Session(Weaver* db, GatekeeperId gk, std::uint64_t name_hint);
+
+  Pending<CommitResult> SubmitCommit(Transaction tx, bool delay_paid);
+
+  Weaver* db_;
+  GatekeeperId gk_;
+  EndpointId endpoint_ = 0;         // this session's bus address
+  EndpointId gk_client_ep_ = 0;     // the pinned gatekeeper's ingress
+  std::uint64_t id_ = 0;
+
+  /// Serializes commit submissions: the critical section's order is the
+  /// session's commit submission order (programs submit lock-free).
+  std::mutex submit_mu_;
+};
+
+}  // namespace weaver

@@ -1,0 +1,18 @@
+#include "client/weaver_client.h"
+
+namespace weaver {
+
+std::unique_ptr<Session> WeaverClient::OpenSession() {
+  const auto gk = static_cast<GatekeeperId>(
+      next_gk_.fetch_add(1, std::memory_order_relaxed) %
+      db_->num_gatekeepers());
+  return OpenSessionOn(gk);
+}
+
+std::unique_ptr<Session> WeaverClient::OpenSessionOn(GatekeeperId gk) {
+  const std::uint64_t hint =
+      next_name_.fetch_add(1, std::memory_order_relaxed);
+  return std::unique_ptr<Session>(new Session(db_, gk, hint));
+}
+
+}  // namespace weaver

@@ -1,0 +1,47 @@
+// WeaverClient: session factory for a Weaver deployment.
+//
+// The client layer decouples request submission from execution (the
+// paper's deployment model: many remote clients talk to gatekeepers over
+// the network). Each OpenSession() pins the new session to a gatekeeper
+// round-robin, so a bank of sessions spreads load across the gatekeeper
+// bank the way the paper's client fleet does.
+//
+//   WeaverClient client(db.get());
+//   auto session = client.OpenSession();
+//   auto tx = session->BeginTx();
+//   ...buffered writes...
+//   auto pending = session->CommitAsync(std::move(tx));
+//   ...submit more work, then...
+//   const CommitResult& r = pending.Wait();
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "client/session.h"
+#include "core/weaver.h"
+
+namespace weaver {
+
+class WeaverClient {
+ public:
+  /// The deployment must outlive the client and every session it opens.
+  explicit WeaverClient(Weaver* db) : db_(db) {}
+  WeaverClient(const WeaverClient&) = delete;
+  WeaverClient& operator=(const WeaverClient&) = delete;
+
+  /// Opens a session pinned to the next gatekeeper (round-robin).
+  std::unique_ptr<Session> OpenSession();
+  /// Opens a session pinned to a specific gatekeeper.
+  std::unique_ptr<Session> OpenSessionOn(GatekeeperId gk);
+
+  Weaver& db() { return *db_; }
+
+ private:
+  Weaver* db_;
+  std::atomic<std::uint64_t> next_gk_{0};
+  std::atomic<std::uint64_t> next_name_{0};
+};
+
+}  // namespace weaver

@@ -16,6 +16,8 @@ class BlockingQueue {
  public:
   explicit BlockingQueue(std::size_t capacity = 0) : capacity_(capacity) {}
 
+  enum class PushResult { kOk, kFull, kClosed };
+
   /// Returns false if the queue has been closed.
   bool Push(T item) {
     std::unique_lock<std::mutex> lk(mu_);
@@ -26,6 +28,18 @@ class BlockingQueue {
     items_.push_back(std::move(item));
     not_empty_.notify_one();
     return true;
+  }
+
+  /// Non-blocking push: kFull when a bounded queue is at capacity (the
+  /// item is NOT consumed -- the caller may retry), kClosed when the
+  /// queue no longer accepts work.
+  PushResult TryPush(T& item) {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (closed_) return PushResult::kClosed;
+    if (capacity_ > 0 && items_.size() >= capacity_) return PushResult::kFull;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return PushResult::kOk;
   }
 
   /// Blocks until an item is available or the queue is closed and empty.
@@ -60,6 +74,9 @@ class BlockingQueue {
     std::unique_lock<std::mutex> lk(mu_);
     return closed_;
   }
+
+  /// Configured capacity; 0 means unbounded.
+  std::size_t capacity() const { return capacity_; }
 
   std::size_t Size() const {
     std::unique_lock<std::mutex> lk(mu_);

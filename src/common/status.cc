@@ -24,6 +24,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "CANCELLED";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
 }

@@ -20,6 +20,7 @@ enum class StatusCode : std::uint8_t {
   kTimedOut,
   kCancelled,
   kInternal,
+  kResourceExhausted,   // backpressure: queue/lane over capacity
 };
 
 /// Canonical result of a fallible Weaver operation.
@@ -61,6 +62,9 @@ class Status {
   static Status Internal(std::string msg = "") {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg = "") {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -76,6 +80,9 @@ class Status {
   bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
   bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

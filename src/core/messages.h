@@ -9,8 +9,10 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "common/result.h"
 #include "core/graph_op.h"
 #include "core/node_program.h"
+#include "core/transaction.h"
 #include "order/timestamp.h"
 #include "vclock/vclock.h"
 
@@ -24,6 +26,8 @@ enum MsgTag : std::uint32_t {
   kMsgEndProgram = 5,  // coordinator -> shard: program done, GC its state
   kMsgGc = 6,        // deployment -> shard: multi-version GC watermark
   kMsgStop = 7,      // deployment -> shard: shut down event loop
+  kMsgClientCommit = 8,   // session -> gatekeeper: async commit request
+  kMsgClientProgram = 9,  // session -> gatekeeper: async node program
 };
 
 /// Committed transaction: ops are the slice destined for the receiving
@@ -69,6 +73,49 @@ struct EndProgramMessage {
 
 struct GcMessage {
   RefinableTimestamp watermark;
+};
+
+// --- Client ingress (sessions -> gatekeepers) -------------------------------
+//
+// Sessions submit work as messages on the bus instead of calling into
+// coordinator internals, so many requests from one client can be in flight
+// at once (pipelining) and a future real transport can carry the same
+// schema across processes. Responses ride back through the sink callback,
+// the same in-process stand-in WaveMessage uses for wave results.
+// Commit requests that share a session_id are executed in channel
+// (= submission) order by the gatekeeper's client ingress; requests from
+// different sessions -- and program requests generally -- may interleave
+// freely.
+
+/// Async commit: the transaction is moved into the request; the commit
+/// timestamp comes back in the CommitResult because the submitter can no
+/// longer ask the transaction.
+struct ClientCommitMessage {
+  /// Lane key on the gatekeeper ingress. Submission order within a
+  /// session is the bus channel order (channel_seq); there is no
+  /// separate sequence field.
+  std::uint64_t session_id = 0;
+  /// True when the submitter already accounted for the simulated
+  /// backing-store round trip (blocking wrappers sleep client-side, as the
+  /// pre-session API did). Pipelined submissions leave this false and the
+  /// ingress amortizes one round trip across each drained batch.
+  bool delay_paid = false;
+  Transaction tx;
+  std::function<void(CommitResult)> sink;
+};
+
+/// Async node program: executed by the receiving gatekeeper's ingress
+/// worker, which doubles as the wave-loop coordinator (the paper's
+/// topology: gatekeepers coordinate node programs). Programs read
+/// consistent snapshots and carry no submission-order promise -- they run
+/// on any free worker, so one session can have many in flight. A client
+/// that needs a program to observe its own commit waits for the commit
+/// first.
+struct ClientProgramMessage {
+  std::uint64_t session_id = 0;
+  std::string program_name;
+  std::vector<NextHop> starts;
+  std::function<void(Result<ProgramResult>)> sink;
 };
 
 }  // namespace weaver

@@ -1,14 +1,51 @@
 #include "core/transaction.h"
 
+#include <utility>
+
 #include "core/weaver.h"
 #include "graph/graph_store.h"
 
 namespace weaver {
 
+namespace {
+
+Status MovedFromError() {
+  return Status::FailedPrecondition(
+      "transaction is invalid (default-constructed or moved-from)");
+}
+
+}  // namespace
+
 Transaction::Transaction(Weaver* db, KvTransaction kvtx)
     : db_(db), kvtx_(std::move(kvtx)) {}
 
+Transaction::Transaction(Transaction&& other) noexcept
+    : db_(std::exchange(other.db_, nullptr)),
+      kvtx_(std::move(other.kvtx_)),
+      ops_(std::move(other.ops_)),
+      created_placements_(std::move(other.created_placements_)),
+      ts_(std::move(other.ts_)),
+      committed_(std::exchange(other.committed_, false)) {
+  other.ops_.clear();
+  other.created_placements_.clear();
+}
+
+Transaction& Transaction::operator=(Transaction&& other) noexcept {
+  if (this != &other) {
+    db_ = std::exchange(other.db_, nullptr);
+    kvtx_ = std::move(other.kvtx_);
+    ops_ = std::move(other.ops_);
+    created_placements_ = std::move(other.created_placements_);
+    ts_ = std::move(other.ts_);
+    committed_ = std::exchange(other.committed_, false);
+    other.ops_.clear();
+    other.created_placements_.clear();
+  }
+  return *this;
+}
+
 NodeId Transaction::CreateNode() {
+  if (db_ == nullptr) return kInvalidNodeId;
   const NodeId id = db_->AllocateNodeId();
   ops_.push_back(GraphOp::CreateNode(id));
   created_placements_[id] = db_->PlaceNewNode(id);
@@ -16,6 +53,7 @@ NodeId Transaction::CreateNode() {
 }
 
 Status Transaction::CreateNodeWithId(NodeId id) {
+  if (db_ == nullptr) return MovedFromError();
   if (id == kInvalidNodeId) return Status::InvalidArgument("invalid id");
   db_->ReserveNodeId(id);
   ops_.push_back(GraphOp::CreateNode(id));
@@ -24,35 +62,41 @@ Status Transaction::CreateNodeWithId(NodeId id) {
 }
 
 Status Transaction::DeleteNode(NodeId id) {
+  if (db_ == nullptr) return MovedFromError();
   ops_.push_back(GraphOp::DeleteNode(id));
   return Status::Ok();
 }
 
 EdgeId Transaction::CreateEdge(NodeId from, NodeId to) {
+  if (db_ == nullptr) return kInvalidEdgeId;
   const EdgeId eid = db_->AllocateEdgeId();
   ops_.push_back(GraphOp::CreateEdge(eid, from, to));
   return eid;
 }
 
 Status Transaction::DeleteEdge(NodeId from, EdgeId edge) {
+  if (db_ == nullptr) return MovedFromError();
   ops_.push_back(GraphOp::DeleteEdge(from, edge));
   return Status::Ok();
 }
 
 Status Transaction::AssignNodeProperty(NodeId id, std::string key,
                                        std::string value) {
+  if (db_ == nullptr) return MovedFromError();
   ops_.push_back(
       GraphOp::AssignNodeProp(id, std::move(key), std::move(value)));
   return Status::Ok();
 }
 
 Status Transaction::RemoveNodeProperty(NodeId id, std::string key) {
+  if (db_ == nullptr) return MovedFromError();
   ops_.push_back(GraphOp::RemoveNodeProp(id, std::move(key)));
   return Status::Ok();
 }
 
 Status Transaction::AssignEdgeProperty(NodeId from, EdgeId edge,
                                        std::string key, std::string value) {
+  if (db_ == nullptr) return MovedFromError();
   ops_.push_back(GraphOp::AssignEdgeProp(from, edge, std::move(key),
                                          std::move(value)));
   return Status::Ok();
@@ -60,11 +104,13 @@ Status Transaction::AssignEdgeProperty(NodeId from, EdgeId edge,
 
 Status Transaction::RemoveEdgeProperty(NodeId from, EdgeId edge,
                                        std::string key) {
+  if (db_ == nullptr) return MovedFromError();
   ops_.push_back(GraphOp::RemoveEdgeProp(from, edge, std::move(key)));
   return Status::Ok();
 }
 
 Result<NodeSnapshot> Transaction::GetNode(NodeId id) {
+  if (db_ == nullptr) return MovedFromError();
   auto blob = kvtx_.Get(kv_keys::VertexData(id));
   if (!blob.ok()) return blob.status();
   auto node = GraphStore::DeserializeNode(*blob);
@@ -91,12 +137,30 @@ Result<NodeSnapshot> Transaction::GetNode(NodeId id) {
 }
 
 Result<bool> Transaction::NodeExists(NodeId id) {
+  if (db_ == nullptr) return MovedFromError();
   auto blob = kvtx_.Get(kv_keys::VertexData(id));
   if (blob.status().IsNotFound()) return false;
   if (!blob.ok()) return blob.status();
   auto node = GraphStore::DeserializeNode(*blob);
   if (!node.ok()) return node.status();
   return !node->deleted.valid();
+}
+
+Status RetryTransaction(const std::function<Transaction()>& begin,
+                        const std::function<Status(Transaction*)>& commit,
+                        const std::function<Status(Transaction&)>& body,
+                        int max_attempts) {
+  Status last = Status::Internal("no attempts made");
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    Transaction tx = begin();
+    Status st = body(tx);
+    if (!st.ok()) return st;  // application error: do not retry
+    st = commit(&tx);
+    if (st.ok()) return st;
+    if (!st.IsAborted()) return st;  // non-retryable
+    last = st;
+  }
+  return last;
 }
 
 }  // namespace weaver

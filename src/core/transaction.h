@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -48,12 +49,31 @@ struct NodeSnapshot {
   }
 };
 
+/// Outcome of an (async) commit. Carries the commit timestamp because the
+/// submitting client moved its Transaction into the request and can no
+/// longer ask it.
+struct CommitResult {
+  Status status;
+  RefinableTimestamp timestamp;
+  bool ok() const { return status.ok(); }
+};
+
 class Transaction {
  public:
-  Transaction(Transaction&&) = default;
-  Transaction& operator=(Transaction&&) = delete;
+  /// Constructs an invalid transaction (equivalent to the moved-from
+  /// state). Lets Pending<T> payloads, request messages, and session
+  /// containers hold transactions by value; assign a real one from
+  /// BeginTx() before use.
+  Transaction() = default;
+  Transaction(Transaction&& other) noexcept;
+  Transaction& operator=(Transaction&& other) noexcept;
   Transaction(const Transaction&) = delete;
   Transaction& operator=(const Transaction&) = delete;
+
+  /// False for default-constructed or moved-from transactions. Write and
+  /// read methods on an invalid transaction fail with FailedPrecondition
+  /// (id-returning creators return invalid ids) instead of crashing.
+  bool valid() const { return db_ != nullptr; }
 
   // --- Writes (buffered; applied atomically at commit) -------------------
 
@@ -91,7 +111,7 @@ class Transaction {
   friend class Weaver;
   Transaction(Weaver* db, KvTransaction kvtx);
 
-  Weaver* db_;
+  Weaver* db_ = nullptr;
   KvTransaction kvtx_;
   std::vector<GraphOp> ops_;
   /// Shards tentatively chosen for vertices created by this transaction.
@@ -99,5 +119,14 @@ class Transaction {
   RefinableTimestamp ts_;
   bool committed_ = false;
 };
+
+/// Shared retry loop behind Weaver::RunTransaction and
+/// Session::RunTransaction: runs `body` against fresh transactions from
+/// `begin` until `commit` succeeds, the body fails with a non-retryable
+/// status, or `max_attempts` is exhausted. Only kAborted retries.
+Status RetryTransaction(const std::function<Transaction()>& begin,
+                        const std::function<Status(Transaction*)>& commit,
+                        const std::function<Status(Transaction&)>& body,
+                        int max_attempts);
 
 }  // namespace weaver

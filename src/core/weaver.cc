@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdio>
 
+#include "client/pending.h"
 #include "common/clock.h"
 #include "common/serde.h"
 
@@ -74,6 +75,8 @@ Weaver::Weaver(const WeaverOptions& options) : options_(options) {
     so.bus = bus_.get();
     so.oracle = &oracle_;
     so.programs = programs_;
+    so.inbox_capacity = options_.shard_inbox_capacity;
+    so.queue_high_water = options_.shard_queue_high_water;
     shards_.push_back(std::make_unique<Shard>(so));
     cluster_.Register("shard" + std::to_string(s), ServerKind::kShard,
                       static_cast<std::uint32_t>(s));
@@ -93,6 +96,10 @@ Weaver::Weaver(const WeaverOptions& options) : options_(options) {
     go.tau_micros = options_.tau_micros;
     go.nop_period_micros = options_.nop_period_micros;
     go.initial_epoch = cluster_.current_epoch();
+    go.client_workers = options_.client_ingress_workers;
+    go.client_batch = options_.client_ingress_batch;
+    go.client_lane_capacity = options_.client_lane_capacity;
+    go.nop_high_water = options_.nop_high_water;
     gatekeepers_.push_back(std::make_unique<Gatekeeper>(std::move(go)));
     cluster_.Register("gk" + std::to_string(g), ServerKind::kGatekeeper,
                       static_cast<std::uint32_t>(g));
@@ -110,6 +117,31 @@ Weaver::Weaver(const WeaverOptions& options) : options_(options) {
 
   coordinator_endpoint_ = bus_->RegisterHandler(
       "coordinator", [](const BusMessage&) { /* replies use sinks */ });
+
+  // Client ingress execution: the gatekeeper owns the lanes and workers,
+  // the deployment owns the state a request needs (locator/partitioner
+  // for commits, the wave loop for programs).
+  Gatekeeper::ClientExecutor client_exec;
+  client_exec.commit = [this](Gatekeeper& gk, ClientCommitMessage& req,
+                              bool pay_delay) {
+    if (pay_delay) PayCommitDelay(req.tx.NumOps());
+    const Status st = CommitOnGatekeeper(&req.tx, gk);
+    if (req.sink) req.sink(CommitResult{st, req.tx.timestamp()});
+  };
+  client_exec.program = [this](Gatekeeper& gk, ClientProgramMessage& req) {
+    // Single-start requests take the cached overload so async reads keep
+    // parity with the blocking path when the program cache is enabled.
+    auto run = [&]() -> Result<ProgramResult> {
+      if (req.starts.size() == 1) {
+        return RunProgramOn(gk.id(), req.program_name, req.starts[0].node,
+                            std::move(req.starts[0].params));
+      }
+      return RunProgramOn(gk.id(), req.program_name, std::move(req.starts));
+    };
+    Result<ProgramResult> result = run();
+    if (req.sink) req.sink(std::move(result));
+  };
+  for (auto& g : gatekeepers_) g->SetClientExecutor(client_exec);
 
   bulk_dirty_.resize(options_.num_shards);
 
@@ -155,7 +187,10 @@ void Weaver::Start() {
   bool expected = false;
   if (!started_.compare_exchange_strong(expected, true)) return;
   for (auto& s : shards_) s->Start();
-  for (auto& g : gatekeepers_) g->StartTimers();
+  for (auto& g : gatekeepers_) {
+    g->StartTimers();
+    g->StartClientIngress();
+  }
   if (options_.gc_period_micros > 0 && !gc_thread_.joinable()) {
     stop_gc_ = false;
     gc_thread_ = std::thread([this] {
@@ -177,9 +212,15 @@ void Weaver::Start() {
 }
 
 void Weaver::Shutdown() {
-  if (!started_.exchange(false)) {
-    // Even if never started, shard destructors join cleanly.
+  // Stop the client ingress first, while started_ is still true and the
+  // shards still drain: requests already on a worker finish normally
+  // (their waves, slices, and RunProgramOn's started_ check all need the
+  // deployment up) and queued ones fail with Unavailable, so no
+  // Pending<T>::Wait() hangs.
+  for (auto& g : gatekeepers_) {
+    if (g) g->StopClientIngress();
   }
+  started_.store(false);
   {
     std::lock_guard<std::mutex> lk(gc_mu_);
     stop_gc_ = true;
@@ -201,9 +242,61 @@ ShardId Weaver::PlaceNewNode(NodeId id) {
 
 Transaction Weaver::BeginTx() { return Transaction(this, kv_->Begin()); }
 
-Status Weaver::Commit(Transaction* tx) { return CommitInternal(tx); }
+void Weaver::PayCommitDelay(std::size_t num_ops) {
+  if (options_.kv_commit_delay_micros > 0 && num_ops > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.kv_commit_delay_micros));
+  }
+}
 
-Status Weaver::CommitInternal(Transaction* tx) {
+void Weaver::AnnotateCommitOutcome(Transaction* tx, const CommitResult& r) {
+  if (tx == nullptr) return;
+  tx->ts_ = r.timestamp;
+  tx->committed_ = r.status.ok();
+}
+
+Status Weaver::Commit(Transaction* tx) {
+  if (tx == nullptr || !tx->valid()) {
+    return Status::FailedPrecondition("invalid or moved-from transaction");
+  }
+  if (tx->committed_) {
+    return Status::Internal("transaction already committed");
+  }
+  Gatekeeper& gk = *gatekeepers_[NextGatekeeperId()];
+  // Simulated backing-store network round trip (client-side: does not
+  // hold gatekeeper slots or locks, so commits still pipeline).
+  PayCommitDelay(tx->ops_.size());
+  if (!started_.load()) {
+    // Deterministic deployments (start = false, PumpAll-driven tests,
+    // post-bulk-load commits) have no ingress workers: execute inline.
+    return CommitOnGatekeeper(tx, gk);
+  }
+  // Thin wrapper over the async path: route the same ClientCommit message
+  // a session would send and wait for it (docs/client_api.md). The lane id
+  // is per-call, so concurrent blocking callers never serialize behind
+  // each other -- which is also why this cannot reuse Session (sessions
+  // pin one lane). Mirror of Session::SubmitCommit + Session::Commit;
+  // keep the two in sync.
+  auto pending = Pending<CommitResult>::Make();
+  auto msg = std::make_shared<ClientCommitMessage>();
+  msg->session_id = next_internal_lane_.fetch_add(1, std::memory_order_relaxed);
+  msg->delay_paid = true;
+  msg->tx = std::move(*tx);
+  msg->sink = [pending](CommitResult r) mutable {
+    pending.Fulfill(std::move(r));
+  };
+  const Status sent = bus_->Send(coordinator_endpoint_, gk.client_endpoint(),
+                                 kMsgClientCommit, std::move(msg));
+  if (!sent.ok()) return sent;
+  const CommitResult& r = pending.Wait();
+  AnnotateCommitOutcome(tx, r);
+  return r.status;
+}
+
+Status Weaver::CommitOnGatekeeper(Transaction* tx, Gatekeeper& gk) {
+  if (tx->db_ == nullptr) {
+    return Status::FailedPrecondition("invalid or moved-from transaction");
+  }
   if (tx->committed_) {
     return Status::Internal("transaction already committed");
   }
@@ -220,15 +313,6 @@ Status Weaver::CommitInternal(Transaction* tx) {
     placements[op.node] = *shard;
   }
 
-  // Simulated backing-store network round trip (client-side: does not
-  // hold gatekeeper slots or locks, so commits still pipeline).
-  if (options_.kv_commit_delay_micros > 0 && !tx->ops_.empty()) {
-    std::this_thread::sleep_for(
-        std::chrono::microseconds(options_.kv_commit_delay_micros));
-  }
-  Gatekeeper& gk =
-      *gatekeepers_[next_gk_.fetch_add(1, std::memory_order_relaxed) %
-                    gatekeepers_.size()];
   const Status st =
       gk.CommitTransaction(&tx->kvtx_, tx->ops_, placements, &tx->ts_);
   if (!st.ok()) return st;
@@ -249,17 +333,9 @@ Status Weaver::CommitInternal(Transaction* tx) {
 
 Status Weaver::RunTransaction(
     const std::function<Status(Transaction&)>& body, int max_attempts) {
-  Status last = Status::Internal("no attempts made");
-  for (int attempt = 0; attempt < max_attempts; ++attempt) {
-    Transaction tx = BeginTx();
-    Status st = body(tx);
-    if (!st.ok()) return st;  // application error: do not retry
-    st = Commit(&tx);
-    if (st.ok()) return st;
-    if (!st.IsAborted()) return st;  // non-retryable
-    last = st;
-  }
-  return last;
+  return RetryTransaction([this] { return BeginTx(); },
+                          [this](Transaction* tx) { return Commit(tx); },
+                          body, max_attempts);
 }
 
 namespace {
@@ -369,21 +445,45 @@ Result<ProgramResult> Weaver::ExecuteProgram(std::string_view name,
   return result;
 }
 
-Result<ProgramResult> Weaver::RunProgram(std::string_view name,
-                                         std::vector<NextHop> starts) {
+Result<ProgramResult> Weaver::RunProgramOn(GatekeeperId gk_id,
+                                           std::string_view name,
+                                           std::vector<NextHop> starts) {
   if (!started_.load()) {
     return Status::FailedPrecondition("deployment not started");
+  }
+  if (gk_id >= gatekeepers_.size()) {
+    return Status::InvalidArgument("no such gatekeeper");
   }
   if (programs_->Find(name) == nullptr) {
     return Status::NotFound("no node program named " + std::string(name));
   }
-  Gatekeeper& gk =
-      *gatekeepers_[next_gk_.fetch_add(1, std::memory_order_relaxed) %
-                    gatekeepers_.size()];
+  Gatekeeper& gk = *gatekeepers_[gk_id];
   const RefinableTimestamp ts = gk.BeginProgram();
   auto result = ExecuteProgram(name, std::move(starts), ts, &gk);
   gk.EndProgram(ts);
   return result;
+}
+
+Result<ProgramResult> Weaver::RunProgramOn(GatekeeperId gk_id,
+                                           std::string_view name,
+                                           NodeId start, std::string params) {
+  if (options_.enable_program_cache) {
+    if (auto cached = program_cache_.Lookup(name, start, params)) {
+      return *cached;
+    }
+  }
+  std::vector<NextHop> starts;
+  starts.push_back(NextHop{start, params});
+  auto result = RunProgramOn(gk_id, name, std::move(starts));
+  if (options_.enable_program_cache && result.ok()) {
+    program_cache_.Insert(name, start, params, *result);
+  }
+  return result;
+}
+
+Result<ProgramResult> Weaver::RunProgram(std::string_view name,
+                                         std::vector<NextHop> starts) {
+  return RunProgramOn(NextGatekeeperId(), name, std::move(starts));
 }
 
 Result<ProgramResult> Weaver::RunProgramAt(std::string_view name,
@@ -403,18 +503,7 @@ Result<ProgramResult> Weaver::RunProgramAt(std::string_view name,
 
 Result<ProgramResult> Weaver::RunProgram(std::string_view name, NodeId start,
                                          std::string params) {
-  if (options_.enable_program_cache) {
-    if (auto cached = program_cache_.Lookup(name, start, params)) {
-      return *cached;
-    }
-  }
-  std::vector<NextHop> starts;
-  starts.push_back(NextHop{start, params});
-  auto result = RunProgram(name, std::move(starts));
-  if (options_.enable_program_cache && result.ok()) {
-    program_cache_.Insert(name, start, params, *result);
-  }
-  return result;
+  return RunProgramOn(NextGatekeeperId(), name, start, std::move(params));
 }
 
 Status Weaver::BulkCreateNode(
@@ -538,6 +627,8 @@ Status Weaver::RecoverShard(ShardId id) {
   so.bus = bus_.get();
   so.oracle = &oracle_;
   so.programs = programs_;
+  so.inbox_capacity = options_.shard_inbox_capacity;
+  so.queue_high_water = options_.shard_queue_high_water;
   so.reuse_endpoint = dead_shard_endpoints_[id];
   auto shard = std::make_unique<Shard>(so);  // reattaches: messages buffer
 

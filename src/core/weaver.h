@@ -12,6 +12,14 @@
 //     analyses executed on a consistent snapshot (paper §2.3);
 //   * BulkLoad() -- offline dataset loading before the deployment starts.
 //
+// The canonical client surface is the session layer (src/client/):
+// WeaverClient::OpenSession() yields sessions that pipeline CommitAsync /
+// RunProgramAsync requests to gatekeeper client-ingress endpoints over
+// the MessageBus (docs/client_api.md). The blocking methods below remain
+// as thin wrappers: on a started deployment Commit() routes the same
+// ClientCommit message and waits; on a stopped one (deterministic tests,
+// bulk load) it executes inline.
+//
 // Fault injection (KillShard/RecoverShard/ReplaceGatekeeper) exercises the
 // paper's §4.3 recovery paths.
 #pragma once
@@ -80,6 +88,28 @@ struct WeaverOptions {
   /// cheap relative to reads). 0 (default) disables; the Fig 9/10 benches
   /// set it -- see EXPERIMENTS.md for calibration.
   std::uint64_t kv_commit_delay_micros = 0;
+  /// Client-ingress worker pool per gatekeeper. Commits keep per-session
+  /// FIFO lanes; programs run on any free worker. Workers mostly wait on
+  /// round trips and program waves, so size for overlap, not cores.
+  std::size_t client_ingress_workers = 8;
+  /// Requests drained per session-lane visit; a drained batch of
+  /// pipelined commits shares one simulated backing-store round trip.
+  std::size_t client_ingress_batch = 8;
+  /// Per-session ingress lane bound; submissions past it fail fast with
+  /// ResourceExhausted (0 disables).
+  std::size_t client_lane_capacity = 256;
+  /// Shard inbox bound: senders block once this many messages are queued,
+  /// so producers pace to the slowest consumer instead of growing memory
+  /// (0 restores the historical unbounded inboxes).
+  std::size_t shard_inbox_capacity = 8192;
+  /// Gatekeepers withhold NOPs from a shard whose inbox is deeper than
+  /// this (adaptive NOP emission; 0 disables). Healthy shards keep
+  /// receiving theirs -- a frozen queue head stalls node programs.
+  std::size_t nop_high_water = 4096;
+  /// Shards pause batch-draining their inbox while this many transactions
+  /// are already queued, so overload surfaces as inbox depth for the NOP
+  /// high-water check (0 disables).
+  std::size_t shard_queue_high_water = 4096;
   /// Durable storage for the backing store (WAL + checkpoints under
   /// storage.data_dir; see docs/storage.md). With a data_dir set, Open()
   /// recovers every committed vertex/edge from disk -- shards rebuild
@@ -126,6 +156,14 @@ class Weaver {
   /// Single-start convenience overload (the cacheable shape, §4.6).
   Result<ProgramResult> RunProgram(std::string_view name, NodeId start,
                                    std::string params = "");
+
+  /// Runs a node program on a specific gatekeeper (the session layer pins
+  /// each session to one gatekeeper; the overloads above round-robin).
+  Result<ProgramResult> RunProgramOn(GatekeeperId gk, std::string_view name,
+                                     std::vector<NextHop> starts);
+  /// Single-start variant; consults the program cache when enabled.
+  Result<ProgramResult> RunProgramOn(GatekeeperId gk, std::string_view name,
+                                     NodeId start, std::string params = "");
 
   /// Historical query (paper §4.5): runs `name` on the consistent snapshot
   /// at `ts`, a timestamp obtained from an earlier transaction or program.
@@ -210,12 +248,31 @@ class Weaver {
   /// Deterministic helpers for tests with start = false.
   void PumpAll();  // one announce + NOP round, then drain every shard
 
+  // --- Session-layer support (src/client/) -----------------------------------
+
+  /// Sleeps for the simulated backing-store round trip when configured
+  /// (blocking commit wrappers pay it on the caller's thread; pipelined
+  /// batches pay one per ingress batch instead). No-op for empty batches.
+  void PayCommitDelay(std::size_t num_ops);
+  /// Writes an executed commit's outcome back onto the shell a moved-from
+  /// transaction left behind, so tx->timestamp()/committed() keep working
+  /// for blocking callers.
+  static void AnnotateCommitOutcome(Transaction* tx, const CommitResult& r);
+
  private:
   friend class Transaction;
   explicit Weaver(const WeaverOptions& options);
 
   ShardId PlaceNewNode(NodeId id);
-  Status CommitInternal(Transaction* tx);
+  /// Round-robin gatekeeper choice shared by Commit and RunProgram.
+  GatekeeperId NextGatekeeperId() {
+    return static_cast<GatekeeperId>(
+        next_gk_.fetch_add(1, std::memory_order_relaxed) %
+        gatekeepers_.size());
+  }
+  /// Resolves placements and runs the commit protocol on `gk` (both the
+  /// blocking wrapper and the client ingress land here).
+  Status CommitOnGatekeeper(Transaction* tx, Gatekeeper& gk);
   /// Boot-time recovery (paper §4.3 generalized to full-deployment
   /// restart): installs every vertex blob the KvStore recovered into its
   /// owning shard, repopulates the locator, and advances the id
@@ -247,6 +304,10 @@ class Weaver {
   std::atomic<std::uint64_t> next_node_id_{1};
   std::atomic<std::uint64_t> next_edge_id_{1};
   std::atomic<std::uint64_t> next_gk_{0};
+  /// Lane ids for blocking-wrapper commits routed through the client
+  /// ingress: the high bit keeps them disjoint from session ids (which
+  /// are bus endpoint ids, and so fit in 32 bits).
+  std::atomic<std::uint64_t> next_internal_lane_{1ull << 63};
 
   std::mutex partition_mu_;  // serializes placement decisions
 

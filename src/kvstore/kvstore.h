@@ -151,6 +151,11 @@ class KvStore {
 /// in Stats::rollbacks. Movable, not copyable.
 class KvTransaction {
  public:
+  /// Constructs an inert, already-finished transaction (the moved-from
+  /// state). Lets containers and wrapper types (core Transaction,
+  /// client-session requests) hold transactions by value before one is
+  /// bound to a store.
+  KvTransaction() : store_(nullptr), finished_(true) {}
   KvTransaction(KvTransaction&& other) noexcept;
   KvTransaction& operator=(KvTransaction&& other) noexcept;
   KvTransaction(const KvTransaction&) = delete;

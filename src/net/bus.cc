@@ -123,27 +123,89 @@ void MessageBus::Deliver(const BusMessage& msg) {
   }
 }
 
+bool MessageBus::TryDeliver(BusMessage& msg) {
+  std::shared_ptr<BlockingQueue<BusMessage>> inbox;
+  std::function<void(const BusMessage&)> handler;
+  {
+    std::lock_guard<std::mutex> lk(endpoints_mu_);
+    if (msg.dst >= endpoints_.size()) return true;  // dropped
+    Endpoint& ep = *endpoints_[msg.dst];
+    if (!ep.attached) return true;  // crashed server: message dropped
+    inbox = ep.inbox;
+    handler = ep.handler;
+  }
+  if (inbox) {
+    if (inbox->TryPush(msg) == BlockingQueue<BusMessage>::PushResult::kFull) {
+      return false;  // bounded inbox at capacity: caller parks + retries
+    }
+  } else if (handler) {
+    handler(msg);
+  }
+  stats_.messages_delivered.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void MessageBus::FlushStalled() {
+  // Runs on the delay thread with delay_mu_ NOT held: stalled_ is
+  // delay-thread-private, and deliveries must never run under the lock
+  // (a handler may Send back onto the delayed bus).
+  for (auto it = stalled_.begin(); it != stalled_.end();) {
+    auto& q = it->second;
+    while (!q.empty() && TryDeliver(q.front())) q.pop_front();
+    it = q.empty() ? stalled_.erase(it) : std::next(it);
+  }
+}
+
 void MessageBus::DelayLoop() {
   std::unique_lock<std::mutex> lk(delay_mu_);
   while (true) {
     if (stopping_) return;
-    if (delay_queue_.empty()) {
+    if (!stalled_.empty()) {
+      lk.unlock();
+      FlushStalled();
+      lk.lock();
+      if (stopping_) return;
+    }
+    if (delay_queue_.empty() && stalled_.empty()) {
       delay_cv_.wait(lk, [&] { return stopping_ || !delay_queue_.empty(); });
       continue;
     }
     const std::uint64_t now = NowMicros();
-    const Delayed& top = delay_queue_.top();
-    if (top.deliver_at_us > now) {
-      delay_cv_.wait_for(
-          lk, std::chrono::microseconds(top.deliver_at_us - now));
+    // While something is stalled, poll instead of sleeping until the next
+    // deadline -- the blocked destination drains on its own schedule.
+    const std::uint64_t next_deadline =
+        delay_queue_.empty() ? now + 1000 : delay_queue_.top().deliver_at_us;
+    if (next_deadline > now) {
+      const std::uint64_t cap =
+          stalled_.empty() ? next_deadline - now
+                           : std::min<std::uint64_t>(next_deadline - now, 1000);
+      delay_cv_.wait_for(lk, std::chrono::microseconds(cap));
       continue;
     }
-    Delayed d = top;
+    Delayed d = delay_queue_.top();
     delay_queue_.pop();
     lk.unlock();
-    Deliver(d.msg);
+    // Per-destination FIFO: while earlier messages to this destination
+    // are parked, later ones must queue behind them. Deliveries run
+    // without delay_mu_ so a handler may Send (even delayed) safely.
+    auto sit = stalled_.find(d.msg.dst);
+    if (sit != stalled_.end() && !sit->second.empty()) {
+      sit->second.push_back(std::move(d.msg));
+    } else if (!TryDeliver(d.msg)) {
+      stalled_[d.msg.dst].push_back(std::move(d.msg));
+    }
     lk.lock();
   }
+}
+
+std::size_t MessageBus::QueueDepth(EndpointId id) const {
+  std::shared_ptr<BlockingQueue<BusMessage>> inbox;
+  {
+    std::lock_guard<std::mutex> lk(endpoints_mu_);
+    if (id >= endpoints_.size()) return 0;
+    inbox = endpoints_[id]->inbox;
+  }
+  return inbox ? inbox->Size() : 0;
 }
 
 const std::string& MessageBus::NameOf(EndpointId id) const {

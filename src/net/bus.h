@@ -21,6 +21,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -88,6 +89,13 @@ class MessageBus {
       std::function<std::uint64_t(EndpointId, EndpointId)> delay_fn);
 
   const std::string& NameOf(EndpointId id) const;
+
+  /// Depth of an inbox endpoint's queue (0 for handler endpoints and
+  /// unknown ids). Producers use this as a backpressure signal: the
+  /// gatekeeper NOP timer skips a round when a destination shard's inbox
+  /// is above its high-water mark instead of growing it without bound.
+  std::size_t QueueDepth(EndpointId id) const;
+
   const Stats& stats() const { return stats_; }
 
  private:
@@ -113,6 +121,15 @@ class MessageBus {
   };
 
   void Deliver(const BusMessage& msg);
+  /// Delay-thread delivery: never blocks on a full bounded inbox.
+  /// Returns false when the destination is full -- the caller parks the
+  /// message in stalled_ and retries, so one slow shard cannot stall
+  /// delayed traffic to every other endpoint.
+  bool TryDeliver(BusMessage& msg);
+  /// Flushes stalled_ in FIFO order per destination. Delay thread only,
+  /// called WITHOUT delay_mu_ (deliveries may run handlers, and handlers
+  /// may Send back onto the delayed bus).
+  void FlushStalled();
   void DelayLoop();
 
   mutable std::mutex endpoints_mu_;
@@ -127,6 +144,9 @@ class MessageBus {
   std::condition_variable delay_cv_;
   std::priority_queue<Delayed, std::vector<Delayed>, std::greater<>>
       delay_queue_;
+  /// Delayed messages whose destination inbox was full, FIFO per
+  /// destination. Touched only by the delay thread -- no lock.
+  std::unordered_map<EndpointId, std::deque<BusMessage>> stalled_;
   std::uint64_t delay_order_ = 0;
   std::thread delay_thread_;
   bool stopping_ = false;

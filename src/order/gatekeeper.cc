@@ -40,9 +40,229 @@ Gatekeeper::Gatekeeper(Options options)
           OnAnnounce(ann->clock);
         }
       });
+  // The client ingress endpoint only parks requests in lanes; the handler
+  // runs on the sender's thread and must stay cheap.
+  client_endpoint_ = options_.bus->RegisterHandler(
+      "gk" + std::to_string(options_.id) + ".client",
+      [this](const BusMessage& msg) { EnqueueClientRequest(msg); });
 }
 
-Gatekeeper::~Gatekeeper() { StopTimers(); }
+Gatekeeper::~Gatekeeper() {
+  StopClientIngress();
+  StopTimers();
+}
+
+namespace {
+
+std::uint64_t SessionIdOf(const BusMessage& msg) {
+  switch (msg.payload_tag) {
+    case kMsgClientCommit:
+      return std::static_pointer_cast<ClientCommitMessage>(msg.payload)
+          ->session_id;
+    case kMsgClientProgram:
+      return std::static_pointer_cast<ClientProgramMessage>(msg.payload)
+          ->session_id;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace
+
+void Gatekeeper::FailClientRequest(const BusMessage& msg, Status status) {
+  switch (msg.payload_tag) {
+    case kMsgClientCommit: {
+      auto req = std::static_pointer_cast<ClientCommitMessage>(msg.payload);
+      if (req->sink) req->sink(CommitResult{std::move(status), {}});
+      break;
+    }
+    case kMsgClientProgram: {
+      auto req = std::static_pointer_cast<ClientProgramMessage>(msg.payload);
+      if (req->sink) req->sink(std::move(status));
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void Gatekeeper::EnqueueClientRequest(const BusMessage& msg) {
+  if (msg.payload_tag != kMsgClientCommit &&
+      msg.payload_tag != kMsgClientProgram) {
+    return;
+  }
+  const std::uint64_t sid = SessionIdOf(msg);
+  Status failure = Status::Ok();
+  {
+    std::lock_guard<std::mutex> lk(ingress_mu_);
+    if (ingress_stopped_) {
+      failure = Status::Unavailable("gatekeeper client ingress is stopped");
+    } else if (msg.payload_tag == kMsgClientProgram) {
+      // Programs carry no ordering promise: a shared queue lets any free
+      // worker serve them, so one session can have many in flight.
+      if (options_.client_lane_capacity > 0 &&
+          program_queue_.size() >= options_.client_lane_capacity * 8) {
+        stats_.client_rejected.fetch_add(1, std::memory_order_relaxed);
+        failure = Status::ResourceExhausted(
+            "program queue over capacity; wait for in-flight requests "
+            "before submitting more");
+      } else {
+        program_queue_.push_back(msg);
+        ingress_cv_.notify_one();
+      }
+    } else {
+      SessionLane& lane = lanes_[sid];
+      if (options_.client_lane_capacity > 0 &&
+          lane.q.size() >= options_.client_lane_capacity) {
+        stats_.client_rejected.fetch_add(1, std::memory_order_relaxed);
+        failure = Status::ResourceExhausted(
+            "session lane over capacity; wait for in-flight requests "
+            "before submitting more");
+      } else {
+        lane.q.push_back(msg);
+        if (!lane.busy) {
+          lane.busy = true;
+          ready_lanes_.push_back(sid);
+          ingress_cv_.notify_one();
+        }
+      }
+    }
+  }
+  if (!failure.ok()) FailClientRequest(msg, std::move(failure));
+}
+
+void Gatekeeper::StartClientIngress() {
+  std::lock_guard<std::mutex> lk(ingress_mu_);
+  if (!ingress_workers_.empty() || ingress_stopped_) return;
+  const std::size_t workers = std::max<std::size_t>(1, options_.client_workers);
+  ingress_workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    ingress_workers_.emplace_back([this] { ClientIngressLoop(); });
+  }
+}
+
+void Gatekeeper::StopClientIngress() {
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lk(ingress_mu_);
+    ingress_stopped_ = true;
+    workers.swap(ingress_workers_);
+    ingress_cv_.notify_all();
+  }
+  for (auto& w : workers) w.join();
+  // Workers are gone: every still-queued request fails now so waiters
+  // unblock (shutdown semantics of Pending<T>::Wait()).
+  std::vector<BusMessage> orphans;
+  {
+    std::lock_guard<std::mutex> lk(ingress_mu_);
+    for (auto& [sid, lane] : lanes_) {
+      for (auto& msg : lane.q) orphans.push_back(std::move(msg));
+      lane.q.clear();
+      lane.busy = false;
+    }
+    lanes_.clear();
+    ready_lanes_.clear();
+    for (auto& msg : program_queue_) orphans.push_back(std::move(msg));
+    program_queue_.clear();
+  }
+  for (const BusMessage& msg : orphans) {
+    FailClientRequest(
+        msg, Status::Unavailable("deployment shut down before execution"));
+  }
+}
+
+void Gatekeeper::ClientIngressLoop() {
+  // Alternate between the commit lanes and the shared program queue so
+  // neither starves the other under sustained load from one kind.
+  bool prefer_programs = false;
+  std::unique_lock<std::mutex> lk(ingress_mu_);
+  while (true) {
+    ingress_cv_.wait(lk, [&] {
+      return ingress_stopped_ || !ready_lanes_.empty() ||
+             !program_queue_.empty();
+    });
+    if (ingress_stopped_) return;
+
+    const bool take_program =
+        !program_queue_.empty() &&
+        (ready_lanes_.empty() || prefer_programs);
+    if (take_program) {
+      prefer_programs = false;
+      BusMessage msg = std::move(program_queue_.front());
+      program_queue_.pop_front();
+      lk.unlock();
+      bool unused = false;
+      DispatchClientRequest(msg, &unused);
+      lk.lock();
+      continue;
+    }
+    prefer_programs = true;
+
+    const std::uint64_t sid = ready_lanes_.front();
+    ready_lanes_.pop_front();
+    SessionLane& lane = lanes_[sid];
+    std::vector<BusMessage> batch;
+    const std::size_t max_batch =
+        std::max<std::size_t>(1, options_.client_batch);
+    while (!lane.q.empty() && batch.size() < max_batch) {
+      batch.push_back(std::move(lane.q.front()));
+      lane.q.pop_front();
+    }
+    lk.unlock();
+
+    stats_.client_batches.fetch_add(1, std::memory_order_relaxed);
+    // One simulated backing-store round trip covers the whole batch: the
+    // first unpaid commit sleeps, its batchmates ride along (pipelined
+    // submissions overlap their round trips; blocking submitters already
+    // paid on their own thread).
+    bool batch_delay_due = true;
+    for (const BusMessage& msg : batch) {
+      DispatchClientRequest(msg, &batch_delay_due);
+    }
+
+    lk.lock();
+    // References into lanes_ survive inserts (unordered_map guarantees
+    // pointer stability); only this worker may finish or erase the lane it
+    // marked busy.
+    if (!lane.q.empty()) {
+      ready_lanes_.push_back(sid);  // stays busy: more arrived while away
+      ingress_cv_.notify_one();
+    } else {
+      lanes_.erase(sid);  // empty lanes die so transient ids don't pile up
+    }
+  }
+}
+
+void Gatekeeper::DispatchClientRequest(const BusMessage& msg,
+                                       bool* batch_delay_due) {
+  switch (msg.payload_tag) {
+    case kMsgClientCommit: {
+      auto req = std::static_pointer_cast<ClientCommitMessage>(msg.payload);
+      stats_.client_commits.fetch_add(1, std::memory_order_relaxed);
+      const bool pay_delay = *batch_delay_due && !req->delay_paid;
+      if (pay_delay) *batch_delay_due = false;
+      if (client_executor_.commit) {
+        client_executor_.commit(*this, *req, pay_delay);
+      } else if (req->sink) {
+        req->sink(CommitResult{
+            Status::Internal("no client executor installed"), {}});
+      }
+      break;
+    }
+    case kMsgClientProgram: {
+      auto req = std::static_pointer_cast<ClientProgramMessage>(msg.payload);
+      stats_.client_programs.fetch_add(1, std::memory_order_relaxed);
+      if (client_executor_.program) {
+        client_executor_.program(*this, *req);
+      } else if (req->sink) {
+        req->sink(Status::Internal("no client executor installed"));
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
 
 void Gatekeeper::StartTimers() {
   std::lock_guard<std::mutex> lk(timer_mu_);
@@ -87,12 +307,40 @@ void Gatekeeper::NopLoop() {
   std::unique_lock<std::mutex> lk(timer_mu_);
   while (!stop_timers_) {
     timer_cv_.wait_for(
-        lk, std::chrono::microseconds(options_.nop_period_micros));
+        lk, std::chrono::microseconds(
+                options_.nop_period_micros *
+                nop_backoff_.load(std::memory_order_relaxed)));
     if (stop_timers_) return;
     lk.unlock();
     PumpNop();
+    UpdateNopBackoff();
     lk.lock();
   }
+}
+
+void Gatekeeper::UpdateNopBackoff() {
+  // Adaptive NOP emission (ROADMAP backpressure item): when a destination
+  // shard's inbox is over high water, double the emission period -- i.e.
+  // skip rounds -- until the slowest shard drains; halve it back once
+  // everyone is comfortably below. NOPs are still sent to EVERY shard at
+  // the reduced rate: a NOP carries a freshly-merged vector clock, and
+  // withholding them entirely leaves stale queue heads that are pairwise
+  // concurrent, forcing every ordering decision through the oracle -- the
+  // slowdown then outruns the drain and the deployment livelocks
+  // (docs/client_api.md#backpressure).
+  if (options_.nop_high_water == 0) return;
+  std::size_t max_depth = 0;
+  for (EndpointId shard_ep : options_.shard_endpoints) {
+    max_depth = std::max(max_depth, options_.bus->QueueDepth(shard_ep));
+  }
+  std::uint64_t backoff = nop_backoff_.load(std::memory_order_relaxed);
+  if (max_depth > options_.nop_high_water) {
+    backoff = std::min<std::uint64_t>(backoff * 2, kMaxNopBackoff);
+    stats_.nops_skipped.fetch_add(backoff - 1, std::memory_order_relaxed);
+  } else if (max_depth < options_.nop_high_water / 2 && backoff > 1) {
+    backoff /= 2;
+  }
+  nop_backoff_.store(backoff, std::memory_order_relaxed);
 }
 
 RefinableTimestamp Gatekeeper::IssueTimestamp(bool want_slot,

@@ -24,6 +24,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -36,6 +37,7 @@
 #include "common/ids.h"
 #include "common/status.h"
 #include "core/graph_op.h"
+#include "core/messages.h"
 #include "kvstore/kvstore.h"
 #include "net/bus.h"
 #include "order/timestamp.h"
@@ -63,7 +65,30 @@ class Gatekeeper {
     /// after every timestamp stamped onto recovered data (paper §4.3's
     /// monotonicity argument, applied across process restarts).
     std::uint32_t initial_epoch = 0;
+    /// Client-ingress worker pool size. Commit lanes keep per-session
+    /// FIFO (one session's commits never run on two workers at once);
+    /// program requests run on any free worker. Workers mostly wait on
+    /// backing-store round trips and program waves, so the pool is sized
+    /// for overlap, not cores.
+    std::size_t client_workers = 8;
+    /// Max requests drained from one session's lane per worker visit. A
+    /// drained batch of pipelined commits shares one simulated
+    /// backing-store round trip (the client-side analogue of group
+    /// commit).
+    std::size_t client_batch = 8;
+    /// Per-session ingress lane bound: submissions past this depth fail
+    /// fast with ResourceExhausted instead of queueing unboundedly.
+    /// 0 disables.
+    std::size_t client_lane_capacity = 256;
+    /// NOP backpressure high-water mark: while any destination shard
+    /// inbox is deeper than this, the NOP period doubles per round (rounds
+    /// are skipped) up to kMaxNopBackoff, and halves back once every
+    /// inbox is below half of it. 0 disables the check.
+    std::size_t nop_high_water = 0;
   };
+
+  /// Upper bound on the adaptive NOP period multiplier.
+  static constexpr std::uint64_t kMaxNopBackoff = 64;
 
   struct Stats {
     std::atomic<std::uint64_t> txs_committed{0};
@@ -72,7 +97,15 @@ class Gatekeeper {
     std::atomic<std::uint64_t> announces_sent{0};
     std::atomic<std::uint64_t> announces_received{0};
     std::atomic<std::uint64_t> nops_sent{0};
+    /// NOP rounds skipped by backpressure backoff (a shard inbox was
+    /// above high water, so the emission period was multiplied).
+    std::atomic<std::uint64_t> nops_skipped{0};
     std::atomic<std::uint64_t> programs_issued{0};
+    /// Client-ingress traffic (session API).
+    std::atomic<std::uint64_t> client_commits{0};
+    std::atomic<std::uint64_t> client_programs{0};
+    std::atomic<std::uint64_t> client_batches{0};
+    std::atomic<std::uint64_t> client_rejected{0};  // lane over capacity
     /// Nanoseconds this gatekeeper spent doing per-operation work
     /// (timestamping, backing-store commits, announce/NOP emission). Used
     /// by the Fig 12/13 scaling benches' service-time model.
@@ -86,6 +119,43 @@ class Gatekeeper {
 
   GatekeeperId id() const { return options_.id; }
   EndpointId endpoint() const { return endpoint_; }
+  /// Where sessions address ClientCommit/ClientProgram messages.
+  EndpointId client_endpoint() const { return client_endpoint_; }
+
+  // --- Client ingress (session API) ----------------------------------------
+  //
+  // Each gatekeeper owns an ingress for ClientRequest messages. Commits
+  // are parked in per-session FIFO lanes that a worker pool drains in
+  // batches -- one lane is never drained by two workers at once, so a
+  // session's commits execute (and take timestamps) in submission order,
+  // while different sessions proceed concurrently. Program requests are
+  // reads on consistent snapshots and carry no ordering promise, so they
+  // go to a shared queue that any free worker serves -- a session
+  // pipelining K programs gets up to K of them in flight at once.
+
+  /// How the ingress executes requests. Installed by the deployment
+  /// (Weaver), which owns the locator/partitioner state commits need and
+  /// the wave loop programs need.
+  struct ClientExecutor {
+    /// `pay_delay` is true for the first commit of a drained batch whose
+    /// submitter has not already paid the simulated backing-store round
+    /// trip; the rest of the batch rides the same round trip.
+    std::function<void(Gatekeeper&, ClientCommitMessage&, bool pay_delay)>
+        commit;
+    std::function<void(Gatekeeper&, ClientProgramMessage&)> program;
+  };
+
+  /// Installs the executor. Call before StartClientIngress().
+  void SetClientExecutor(ClientExecutor executor) {
+    client_executor_ = std::move(executor);
+  }
+  /// Starts the ingress worker pool (idempotent). Requests arriving before
+  /// this queue up in their lanes.
+  void StartClientIngress();
+  /// Stops the workers and fails every queued request with Unavailable, so
+  /// a Pending<T>::Wait() after shutdown returns instead of hanging.
+  /// Idempotent; also run by the destructor.
+  void StopClientIngress();
 
   /// Installs the peer gatekeeper endpoints (deployment wiring happens
   /// after all gatekeepers are constructed). Call before StartTimers().
@@ -143,22 +213,49 @@ class Gatekeeper {
   }
 
  private:
+  struct SessionLane {
+    std::deque<BusMessage> q;
+    /// True while the lane is in ready_lanes_ or held by a worker;
+    /// guarantees single-worker (FIFO) draining per session.
+    bool busy = false;
+  };
+
   /// Ticks the clock and returns the new timestamp plus a dense outbound
   /// slot id (transactions/NOPs only; programs pass want_slot = false).
   RefinableTimestamp IssueTimestamp(bool want_slot, std::uint64_t* slot);
+
+  void EnqueueClientRequest(const BusMessage& msg);
+  void ClientIngressLoop();
+  /// Runs one request through the executor (ingress worker thread).
+  void DispatchClientRequest(const BusMessage& msg, bool* batch_delay_due);
+  /// Completes a request with `status` without executing it.
+  static void FailClientRequest(const BusMessage& msg, Status status);
 
   /// Hands a released slot's sends to the bus in slot order.
   void ReleaseSlot(std::uint64_t slot, std::function<void()> send_fn);
 
   void AnnounceLoop();
   void NopLoop();
+  void UpdateNopBackoff();
   void SendNop(const RefinableTimestamp& ts);
 
   Options options_;
   EndpointId endpoint_ = 0;
+  EndpointId client_endpoint_ = 0;
 
   std::mutex clock_mu_;
   VectorClock clock_;
+
+  // Client ingress: per-session commit lanes + shared program queue +
+  // worker pool.
+  ClientExecutor client_executor_;
+  std::mutex ingress_mu_;
+  std::condition_variable ingress_cv_;
+  std::unordered_map<std::uint64_t, SessionLane> lanes_;
+  std::deque<std::uint64_t> ready_lanes_;
+  std::deque<BusMessage> program_queue_;
+  std::vector<std::thread> ingress_workers_;
+  bool ingress_stopped_ = false;
 
   // Outbound sequencer: slots release to the bus in allocation order.
   std::mutex out_mu_;
@@ -169,6 +266,11 @@ class Gatekeeper {
   // In-flight node programs, keyed by event id.
   std::mutex programs_mu_;
   std::unordered_map<EventId, RefinableTimestamp> active_programs_;
+
+  /// Current NOP period multiplier (1 = configured rate; grows while a
+  /// shard inbox is over high water). Read by NopLoop, written after each
+  /// round; atomic so tests/stats readers can peek.
+  std::atomic<std::uint64_t> nop_backoff_{1};
 
   std::thread announce_thread_;
   std::thread nop_thread_;

@@ -13,7 +13,7 @@ Shard::Shard(Options options)
       last_channel_seq_(options_.num_gatekeepers + 64, 0) {
   assert(options_.bus != nullptr);
   assert(options_.oracle != nullptr);
-  inbox_ = std::make_shared<BlockingQueue<BusMessage>>();
+  inbox_ = std::make_shared<BlockingQueue<BusMessage>>(options_.inbox_capacity);
   if (options_.reuse_endpoint != kNoEndpoint) {
     endpoint_ = options_.reuse_endpoint;
     options_.bus->ReattachInbox(endpoint_, inbox_);
@@ -46,8 +46,15 @@ void Shard::Loop() {
     const std::uint64_t t0 = NowNanos();
     Route(*msg);
     // Drain whatever else is queued before doing ordering work: batches
-    // amortize the head comparisons.
-    while (auto more = inbox_->TryPop()) Route(*more);
+    // amortize the head comparisons. Over high water the batch drain
+    // pauses (the one Pop per iteration still guarantees progress), so
+    // backlog shows up as inbox depth and NOP producers throttle.
+    while (options_.queue_high_water == 0 ||
+           QueuedTransactions() < options_.queue_high_water) {
+      auto more = inbox_->TryPop();
+      if (!more) break;
+      Route(*more);
+    }
     ProcessReady();
     stats_.busy_ns.fetch_add(NowNanos() - t0, std::memory_order_relaxed);
   }
@@ -132,17 +139,21 @@ std::size_t Shard::PickMinHead() {
   for (std::size_t i = 1; i < gk_queues_.size(); ++i) {
     const QueueEntry& cand = gk_queues_[i].front();
     const QueueEntry& cur = gk_queues_[best].front();
-    // Arrival order is the oracle preference when heads are concurrent
-    // (paper §4.1: "the oracle will prefer arrival order"). The decision
-    // is cached locally and authoritative globally.
-    ClockOrder o;
-    if (cand.arrival < cur.arrival) {
-      o = FlipOrder(resolver_.Resolve(cand.ts, cur.ts,
-                                      OrderPreference::kPreferFirst));
-    } else {
-      o = resolver_.Resolve(cur.ts, cand.ts, OrderPreference::kPreferFirst);
+    // Vector clocks only -- concurrent heads execute in arrival order
+    // (paper §4.1: "the oracle will prefer arrival order") WITHOUT asking
+    // the oracle to commit that order. Concurrent transactions can never
+    // write the same vertex (the gatekeeper's last-update check forces
+    // conflicting writes onto comparable timestamps), so their mutual
+    // execution order is immaterial, and committing an oracle order per
+    // concurrent head pair made a queue backlog O(n^2) oracle work: a NOP
+    // flood could then outrun the drain rate for minutes (ordering
+    // requests slow with DAG size). Program visibility still resolves
+    // write-vs-read pairs through the oracle (VisibilityOrderFn).
+    ClockOrder o = cur.ts.Compare(cand.ts);  // order of cur vs cand
+    if (o == ClockOrder::kConcurrent) {
+      o = cand.arrival < cur.arrival ? ClockOrder::kAfter
+                                     : ClockOrder::kBefore;
     }
-    // o is now the order of cur relative to cand.
     if (o == ClockOrder::kAfter) best = i;
   }
   return best;

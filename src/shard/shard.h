@@ -47,6 +47,17 @@ class Shard {
     std::shared_ptr<const ProgramRegistry> programs;
     /// Reuse an existing endpoint (shard recovery keeps its address).
     EndpointId reuse_endpoint = kNoEndpoint;
+    /// Inbox capacity; senders block once this many messages are queued
+    /// (bounded-queue backpressure). 0 keeps the historical unbounded
+    /// inbox.
+    std::size_t inbox_capacity = 0;
+    /// Stop batch-draining the inbox into the per-gatekeeper queues while
+    /// more than this many transactions are already queued, so inbox
+    /// depth reflects real backlog and upstream producers (NOP timers)
+    /// can see it and back off. The event loop still consumes at least
+    /// one message per iteration, so starved queues always refill.
+    /// 0 disables the throttle.
+    std::size_t queue_high_water = 0;
   };
   static constexpr EndpointId kNoEndpoint = ~0u;
 

@@ -1,0 +1,298 @@
+// Tests for the session-based async client API (src/client/): pipelined
+// commit ordering, shutdown semantics of Pending<T>, backpressure
+// rejection, and an N-sessions x K-in-flight stress run cross-checked
+// against a serial replay of the committed timestamps.
+#include "client/weaver_client.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/weaver.h"
+#include "programs/standard_programs.h"
+
+namespace weaver {
+namespace {
+
+WeaverOptions FastOptions(std::size_t gks = 2, std::size_t shards = 2) {
+  WeaverOptions o;
+  o.num_gatekeepers = gks;
+  o.num_shards = shards;
+  o.tau_micros = 200;
+  o.nop_period_micros = 200;
+  return o;
+}
+
+TEST(ClientSession, AsyncCommitRoundTrip) {
+  auto db = Weaver::Open(FastOptions());
+  WeaverClient client(db.get());
+  auto session = client.OpenSession();
+
+  Transaction tx = session->BeginTx();
+  const NodeId n = tx.CreateNode();
+  ASSERT_TRUE(tx.AssignNodeProperty(n, "name", "async").ok());
+  auto pending = session->CommitAsync(std::move(tx));
+  const CommitResult& r = pending.Wait();
+  ASSERT_TRUE(r.ok()) << r.status.ToString();
+  EXPECT_TRUE(r.timestamp.valid());
+
+  Transaction check = session->BeginTx();
+  auto snap = check.GetNode(n);
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap->GetProperty("name").value_or(""), "async");
+}
+
+TEST(ClientSession, AsyncProgramRoundTrip) {
+  auto db = Weaver::Open(FastOptions());
+  WeaverClient client(db.get());
+  auto session = client.OpenSession();
+
+  Transaction tx = session->BeginTx();
+  const NodeId a = tx.CreateNode();
+  const NodeId b = tx.CreateNode();
+  tx.CreateEdge(a, b);
+  ASSERT_TRUE(session->Commit(&tx).ok());
+  EXPECT_TRUE(tx.committed());
+  EXPECT_TRUE(tx.timestamp().valid());
+
+  auto pending = session->RunProgramAsync(programs::kCountEdges, a);
+  const Result<ProgramResult>& r = pending.Wait();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_FALSE(r->returns.empty());
+}
+
+TEST(ClientSession, PipelinedCommitsPreserveSubmissionOrder) {
+  auto db = Weaver::Open(FastOptions());
+  WeaverClient client(db.get());
+  auto session = client.OpenSession();
+
+  Transaction setup = session->BeginTx();
+  const NodeId n = setup.CreateNode();
+  ASSERT_TRUE(session->Commit(&setup).ok());
+
+  // Pipeline K commits against the same vertex without waiting. The
+  // per-session FIFO lane must execute (and timestamp) them in submission
+  // order; the last-update check would abort any reordering against the
+  // same vertex outright.
+  constexpr int kInFlight = 24;
+  std::vector<Pending<CommitResult>> pendings;
+  for (int i = 0; i < kInFlight; ++i) {
+    Transaction tx = session->BeginTx();
+    ASSERT_TRUE(tx.AssignNodeProperty(n, "seq", std::to_string(i)).ok());
+    pendings.push_back(session->CommitAsync(std::move(tx)));
+  }
+  std::vector<RefinableTimestamp> stamps;
+  for (int i = 0; i < kInFlight; ++i) {
+    const CommitResult& r = pendings[i].Wait();
+    ASSERT_TRUE(r.ok()) << "commit " << i << ": " << r.status.ToString();
+    stamps.push_back(r.timestamp);
+  }
+  // Timestamps are strictly increasing in submission order.
+  for (int i = 1; i < kInFlight; ++i) {
+    EXPECT_EQ(stamps[i - 1].Compare(stamps[i]), ClockOrder::kBefore)
+        << "timestamps out of submission order at " << i;
+  }
+  // The final committed state is the LAST submitted value.
+  Transaction check = session->BeginTx();
+  auto snap = check.GetNode(n);
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap->GetProperty("seq").value_or(""),
+            std::to_string(kInFlight - 1));
+}
+
+TEST(ClientSession, WaitAfterShutdownReturnsError) {
+  auto db = Weaver::Open(FastOptions());
+  WeaverClient client(db.get());
+  auto session = client.OpenSession();
+
+  Transaction setup = session->BeginTx();
+  const NodeId n = setup.CreateNode();
+  ASSERT_TRUE(session->Commit(&setup).ok());
+
+  // Queue a pile of commits and shut down immediately: every Pending must
+  // become ready (executed or failed Unavailable) -- no Wait() may hang.
+  std::vector<Pending<CommitResult>> pendings;
+  for (int i = 0; i < 64; ++i) {
+    Transaction tx = session->BeginTx();
+    ASSERT_TRUE(tx.AssignNodeProperty(n, "k", std::to_string(i)).ok());
+    pendings.push_back(session->CommitAsync(std::move(tx)));
+  }
+  db->Shutdown();
+  for (auto& p : pendings) {
+    const CommitResult& r = p.Wait();  // must not hang
+    if (!r.ok()) {
+      EXPECT_TRUE(r.status.IsUnavailable()) << r.status.ToString();
+    }
+  }
+
+  // Submissions after shutdown fail immediately with a non-OK status
+  // (FailedPrecondition from the session's fail-fast started() check, or
+  // Unavailable from the stopped ingress if the shutdown raced).
+  Transaction late = session->BeginTx();
+  (void)late.AssignNodeProperty(n, "k", "late");
+  auto p = session->CommitAsync(std::move(late));
+  ASSERT_TRUE(p.WaitFor(std::chrono::seconds(5)));
+  EXPECT_FALSE(p.Wait().ok());
+  EXPECT_TRUE(p.Wait().status.IsFailedPrecondition() ||
+              p.Wait().status.IsUnavailable())
+      << p.Wait().status.ToString();
+}
+
+TEST(ClientSession, LaneCapacityRejectsWithResourceExhausted) {
+  WeaverOptions o = FastOptions();
+  o.client_lane_capacity = 4;
+  // Slow the ingress down so the lane actually fills: a large simulated
+  // backing-store round trip per batch.
+  o.kv_commit_delay_micros = 20000;
+  o.client_ingress_batch = 1;
+  auto db = Weaver::Open(o);
+  WeaverClient client(db.get());
+  auto session = client.OpenSession();
+
+  Transaction setup = session->BeginTx();
+  const NodeId n = setup.CreateNode();
+  ASSERT_TRUE(session->Commit(&setup).ok());
+
+  std::vector<Pending<CommitResult>> pendings;
+  bool saw_rejection = false;
+  for (int i = 0; i < 64; ++i) {
+    Transaction tx = session->BeginTx();
+    (void)tx.AssignNodeProperty(n, "k", std::to_string(i));
+    pendings.push_back(session->CommitAsync(std::move(tx)));
+    if (pendings.back().ready() &&
+        pendings.back().Wait().status.IsResourceExhausted()) {
+      saw_rejection = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_rejection) << "64 instant submissions against a "
+                                "capacity-4 lane never saw backpressure";
+  for (auto& p : pendings) (void)p.Wait();
+}
+
+TEST(ClientSession, MovedFromTransactionFailsCleanly) {
+  auto db = Weaver::Open(FastOptions());
+  WeaverClient client(db.get());
+  auto session = client.OpenSession();
+
+  Transaction tx = session->BeginTx();
+  const NodeId n = tx.CreateNode();
+  Transaction moved = std::move(tx);
+  EXPECT_FALSE(tx.valid());  // NOLINT(bugprone-use-after-move): the point
+  EXPECT_TRUE(moved.valid());
+  EXPECT_EQ(tx.CreateNode(), kInvalidNodeId);
+  EXPECT_TRUE(tx.AssignNodeProperty(n, "k", "v").IsFailedPrecondition());
+  EXPECT_TRUE(session->Commit(&tx).IsFailedPrecondition());
+
+  // Move-assignment transfers the buffered writes; the target commits.
+  Transaction target;
+  EXPECT_FALSE(target.valid());
+  target = std::move(moved);
+  ASSERT_TRUE(target.valid());
+  ASSERT_TRUE(target.AssignNodeProperty(n, "k", "v").ok());
+  EXPECT_TRUE(session->Commit(&target).ok());
+}
+
+// N sessions x K in-flight commits, cross-checked against a serial replay:
+// sorting every committed (timestamp, value) pair on one shared vertex by
+// timestamp must reproduce the final committed state, and each session's
+// own vertex must reflect its last submission.
+TEST(ClientSession, StressPipelinedSessionsMatchSerialReplay) {
+  auto db = Weaver::Open(FastOptions(2, 2));
+  WeaverClient client(db.get());
+
+  constexpr std::size_t kSessions = 4;
+  constexpr std::size_t kInFlight = 8;
+  constexpr std::size_t kRounds = 6;  // kInFlight commits per round
+
+  NodeId shared = kInvalidNodeId;
+  std::vector<NodeId> own(kSessions);
+  {
+    auto setup = client.OpenSession();
+    Transaction tx = setup->BeginTx();
+    shared = tx.CreateNode();
+    for (std::size_t s = 0; s < kSessions; ++s) own[s] = tx.CreateNode();
+    ASSERT_TRUE(setup->Commit(&tx).ok());
+  }
+
+  struct Committed {
+    RefinableTimestamp ts;
+    std::string value;
+  };
+  std::vector<std::vector<Committed>> committed(kSessions);
+
+  std::vector<std::thread> drivers;
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    drivers.emplace_back([&, s] {
+      auto session = client.OpenSession();
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        std::vector<Pending<CommitResult>> window;
+        std::vector<std::string> values;
+        for (std::size_t k = 0; k < kInFlight; ++k) {
+          const std::string value =
+              std::to_string(s) + ":" + std::to_string(round * kInFlight + k);
+          Transaction tx = session->BeginTx();
+          (void)tx.AssignNodeProperty(own[s], "last", value);
+          (void)tx.AssignNodeProperty(shared, "last", value);
+          window.push_back(session->CommitAsync(std::move(tx)));
+          values.push_back(value);
+        }
+        for (std::size_t k = 0; k < kInFlight; ++k) {
+          const CommitResult& r = window[k].Wait();
+          // Aborts are legal (shared-vertex conflicts across sessions);
+          // record only what actually committed.
+          if (r.ok()) {
+            committed[s].push_back(Committed{r.timestamp, values[k]});
+          }
+        }
+      }
+    });
+  }
+  for (auto& d : drivers) d.join();
+
+  // Per-session commits carry strictly increasing timestamps.
+  std::vector<Committed> all;
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    for (std::size_t i = 1; i < committed[s].size(); ++i) {
+      EXPECT_EQ(committed[s][i - 1].ts.Compare(committed[s][i].ts),
+                ClockOrder::kBefore)
+          << "session " << s << " commit " << i;
+    }
+    for (auto& c : committed[s]) all.push_back(c);
+  }
+  ASSERT_FALSE(all.empty());
+
+  // Serial replay: every commit against the shared vertex passed the
+  // last-update check, so all its writes are totally ordered; replaying
+  // them sorted by timestamp must land on the committed final state.
+  std::sort(all.begin(), all.end(), [](const Committed& a,
+                                       const Committed& b) {
+    return a.ts.Compare(b.ts) == ClockOrder::kBefore;
+  });
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_EQ(all[i - 1].ts.Compare(all[i].ts), ClockOrder::kBefore)
+        << "shared-vertex commits not totally ordered at " << i;
+  }
+
+  auto check = client.OpenSession();
+  Transaction read = check->BeginTx();
+  auto snap = read.GetNode(shared);
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap->GetProperty("last").value_or(""), all.back().value);
+
+  // Each session's own vertex holds that session's last committed value.
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    if (committed[s].empty()) continue;
+    auto own_snap = read.GetNode(own[s]);
+    ASSERT_TRUE(own_snap.ok());
+    EXPECT_EQ(own_snap->GetProperty("last").value_or(""),
+              committed[s].back().value)
+        << "session " << s;
+  }
+}
+
+}  // namespace
+}  // namespace weaver

@@ -135,9 +135,15 @@ TEST(ShardTest, NoSequenceViolationsUnderManualPumping) {
   EXPECT_EQ(db->shard(1).stats().seq_violations.load(), 0u);
 }
 
-TEST(ShardTest, ConcurrentHeadsResolvedViaOracle) {
+TEST(ShardTest, ConcurrentHeadsExecuteWithoutOracleCommitment) {
   // Two gatekeepers commit without announcing: their timestamps are
-  // concurrent and the shard must consult the oracle to order the heads.
+  // concurrent. Concurrent transactions can never conflict (the
+  // gatekeeper's last-update check forces conflicting writes onto
+  // comparable timestamps), so the shard executes concurrent heads in
+  // arrival order WITHOUT asking the oracle to commit an order --
+  // committing one per concurrent pair made queue backlogs O(n^2) oracle
+  // work and let a NOP flood outrun the drain rate. Both transactions
+  // must still apply; the oracle stays out of it.
   auto db = Weaver::Open(ManualOptions(2, 1));
   auto seed = db->BeginTx();
   const NodeId a = seed.CreateNode();
@@ -159,8 +165,18 @@ TEST(ShardTest, ConcurrentHeadsResolvedViaOracle) {
   db->gatekeeper(0).PumpNop();
   db->gatekeeper(1).PumpNop();
   db->shard(0).ProcessUntilIdle();
-  EXPECT_GT(db->oracle().stats().order_requests.load(), oracle_before);
+  EXPECT_EQ(db->oracle().stats().order_requests.load(), oracle_before);
   EXPECT_GE(db->shard(0).stats().txs_applied.load(), 3u);
+
+  // Both writes are visible: execution order between the concurrent,
+  // non-conflicting transactions did not matter.
+  auto check = db->BeginTx();
+  auto snap_a = check.GetNode(a);
+  auto snap_b = check.GetNode(b);
+  ASSERT_TRUE(snap_a.ok());
+  ASSERT_TRUE(snap_b.ok());
+  EXPECT_EQ(snap_a->GetProperty("k").value_or(""), "1");
+  EXPECT_EQ(snap_b->GetProperty("k").value_or(""), "2");
 }
 
 TEST(ShardTest, ResolverCachesOracleDecisions) {
