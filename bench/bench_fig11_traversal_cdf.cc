@@ -46,6 +46,7 @@ int main() {
   // ---- Weaver --------------------------------------------------------------
   Histogram weaver_lat;
   std::uint64_t weaver_reachable = 0;
+  ProgramCounters counters;
   {
     WeaverOptions options;
     options.num_gatekeepers = 2;
@@ -63,6 +64,7 @@ int main() {
       auto result = db->RunProgram(programs::kBfs, src, params.Encode());
       weaver_lat.Record(NowNanos() - t0);
       if (result.ok()) {
+        counters.Add(*result);
         for (const auto& [_, ret] : result->returns) {
           if (ret == "found") {
             ++weaver_reachable;
@@ -71,6 +73,22 @@ int main() {
         }
       }
     }
+    // Decentralized-execution accounting (docs/node_programs.md): the
+    // old barrier design paid 2 blocking coordinator round trips per
+    // wave per touched shard; now the coordinator only receives the
+    // one-way accounting deltas counted here.
+    counters.Print("weaver accounting");
+    std::uint64_t pruned = 0, coalesced = 0;
+    for (std::size_t s = 0; s < db->num_shards(); ++s) {
+      pruned += db->shard(static_cast<ShardId>(s)).stats().hops_pruned.load();
+      coalesced +=
+          db->shard(static_cast<ShardId>(s)).stats().hops_coalesced.load();
+    }
+    std::printf("weaver ingress: hops_pruned=%llu hops_coalesced=%llu\n",
+                static_cast<unsigned long long>(pruned),
+                static_cast<unsigned long long>(coalesced));
+    PrintBackpressure(db.get());
+    std::printf("\n");
   }
 
   // ---- GraphLab-like (sync + async) ------------------------------------------

@@ -14,9 +14,12 @@
 // set (forcing genuine read/write overlap). We pump announces at the
 // configured tau and count (a) announce messages and (b) oracle ordering
 // requests, normalized per query, exactly the two curves of Fig 14.
+#include <atomic>
 #include <cstdio>
+#include <thread>
 
 #include "harness.h"
+#include "programs/extended_programs.h"
 #include "workload/tao_workload.h"
 
 using namespace weaver;
@@ -91,6 +94,40 @@ int main() {
     }
     std::printf("%18s | %18.3f | %20.3f\n", label, per_query_announce,
                 per_query_oracle);
+    // At the densest sweep point, also surface the backpressure signals
+    // (ROADMAP item: adaptive NOP backoff in bench output) and the
+    // decentralized node-program accounting over the written hot set --
+    // the write-vs-read ordering here is exactly what the delay rule
+    // arbitrates.
+    if (every == 1) {
+      PrintBackpressure(db.get());
+      // This sweep runs with the clock/NOP timers disabled (manual
+      // cadence), but program eligibility needs queue heads ordered
+      // after the program timestamp -- which takes both NOPs (heads
+      // advance) and announces (peer clocks merge the issuer's
+      // components, else peer NOPs stay concurrent forever). Pump both
+      // from a side thread exactly like the live timers would.
+      std::atomic<bool> stop_pump{false};
+      std::thread pump([&] {
+        while (!stop_pump.load()) {
+          for (std::size_t g = 0; g < db->num_gatekeepers(); ++g) {
+            db->gatekeeper(static_cast<GatekeeperId>(g)).PumpAnnounce();
+            db->gatekeeper(static_cast<GatekeeperId>(g)).PumpNop();
+          }
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+      });
+      ProgramCounters counters;
+      for (NodeId v = 1; v <= kHotSet; ++v) {
+        programs::KHopParams khop;
+        khop.remaining = 2;
+        auto r = db->RunProgram(programs::kKHop, v, khop.Encode());
+        if (r.ok()) counters.Add(*r);
+      }
+      stop_pump.store(true);
+      pump.join();
+      counters.Print("  khop accounting");
+    }
   }
   std::printf(
       "\nexpected shape: announces/query falls as tau grows (announce "

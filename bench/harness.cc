@@ -235,6 +235,48 @@ std::uint64_t RunOpenLoopSessions(
   return completed.load();
 }
 
+void PrintBackpressure(Weaver* db) {
+  for (std::size_t g = 0; g < db->num_gatekeepers(); ++g) {
+    const Gatekeeper& gk = db->gatekeeper(static_cast<GatekeeperId>(g));
+    std::printf("  gk%zu: nop_backoff=x%llu nops_skipped=%llu nops_sent=%llu\n",
+                g, static_cast<unsigned long long>(gk.nop_backoff()),
+                static_cast<unsigned long long>(gk.stats().nops_skipped.load()),
+                static_cast<unsigned long long>(gk.stats().nops_sent.load()));
+  }
+  for (std::size_t s = 0; s < db->num_shards(); ++s) {
+    const Shard& shard = db->shard(static_cast<ShardId>(s));
+    std::printf("  shard%zu: inbox_depth=%zu queued_txs=%zu\n", s,
+                db->bus().QueueDepth(shard.endpoint()),
+                shard.QueuedTransactions());
+  }
+}
+
+void ProgramCounters::Add(const ProgramResult& r) {
+  programs++;
+  waves += r.waves;
+  hops += r.hops;
+  forwarded_batches += r.forwarded_batches;
+  coordinator_msgs += r.coordinator_msgs;
+  vertices += r.vertices_visited;
+}
+
+void ProgramCounters::Print(const char* label) const {
+  if (programs == 0) return;
+  const double n = static_cast<double>(programs);
+  std::printf(
+      "%s: programs=%llu waves=%llu (%.1f/q) hops=%llu (%.0f/q) "
+      "vertices=%llu (%.0f/q) shard_batches=%llu (%.1f/q) "
+      "coordinator_msgs=%llu (%.1f/q)\n",
+      label, static_cast<unsigned long long>(programs),
+      static_cast<unsigned long long>(waves), waves / n,
+      static_cast<unsigned long long>(hops), hops / n,
+      static_cast<unsigned long long>(vertices), vertices / n,
+      static_cast<unsigned long long>(forwarded_batches),
+      forwarded_batches / n,
+      static_cast<unsigned long long>(coordinator_msgs),
+      coordinator_msgs / n);
+}
+
 std::string FormatRate(double ops_per_sec) {
   char buf[64];
   if (ops_per_sec >= 1e6) {

@@ -46,6 +46,27 @@ std::uint64_t RunClients(std::size_t num_clients, std::uint64_t duration_ms,
 /// Formats ops/sec with thousands separators for table rows.
 std::string FormatRate(double ops_per_sec);
 
+/// Prints the deployment's backpressure signals: per-gatekeeper adaptive
+/// NOP backoff (multiplier + skipped rounds) and per-shard inbox depth
+/// (MessageBus::QueueDepth). One line per server; ROADMAP item from the
+/// PR-3 backpressure work.
+void PrintBackpressure(Weaver* db);
+
+/// Aggregates the per-program accounting counters of the decentralized
+/// execution model (docs/node_programs.md) across `results`.
+struct ProgramCounters {
+  std::uint64_t programs = 0;
+  std::uint64_t waves = 0;             // shard drain cycles
+  std::uint64_t hops = 0;              // hops consumed
+  std::uint64_t forwarded_batches = 0; // shard-to-shard hop batches
+  std::uint64_t coordinator_msgs = 0;  // accounting deltas received
+  std::uint64_t vertices = 0;
+
+  void Add(const ProgramResult& r);
+  /// Prints one summary line (per-program averages in parentheses).
+  void Print(const char* label) const;
+};
+
 // --- Open-loop session mode -------------------------------------------------
 //
 // Benches drive pipelined load through WeaverClient sessions in addition

@@ -30,6 +30,21 @@ class BlockingQueue {
     return true;
   }
 
+  /// Push that ignores the capacity bound (still fails on a closed
+  /// queue). For traffic that must never block the producer: shard
+  /// servers forward node-program hops to peer shards from their own
+  /// event loops, and a blocking push on a full peer inbox could
+  /// deadlock two shards against each other (A full of work for B, B
+  /// full of work for A). Hop batches are few (at most one per peer per
+  /// drain cycle), so the capacity overshoot is bounded in practice.
+  bool ForcePush(T item) {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
   /// Non-blocking push: kFull when a bounded queue is at capacity (the
   /// item is NOT consumed -- the caller may retry), kClosed when the
   /// queue no longer accepts work.

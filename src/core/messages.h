@@ -13,6 +13,7 @@
 #include "core/graph_op.h"
 #include "core/node_program.h"
 #include "core/transaction.h"
+#include "net/bus.h"
 #include "order/timestamp.h"
 #include "vclock/vclock.h"
 
@@ -22,12 +23,13 @@ enum MsgTag : std::uint32_t {
   kMsgTx = 1,        // gatekeeper -> shard: committed transaction slice
   kMsgNop = 2,       // gatekeeper -> shard: queue-head keep-alive (§4.2)
   kMsgAnnounce = 3,  // gatekeeper -> gatekeeper: vector clock announce
-  kMsgWave = 4,      // coordinator -> shard: node program wave
+  kMsgWaveHops = 4,  // coordinator/shard -> shard: batched program hops
   kMsgEndProgram = 5,  // coordinator -> shard: program done, GC its state
   kMsgGc = 6,        // deployment -> shard: multi-version GC watermark
   kMsgStop = 7,      // deployment -> shard: shut down event loop
   kMsgClientCommit = 8,   // session -> gatekeeper: async commit request
   kMsgClientProgram = 9,  // session -> gatekeeper: async node program
+  kMsgWaveAccounting = 10,  // shard -> coordinator: program progress delta
 };
 
 /// Committed transaction: ops are the slice destined for the receiving
@@ -47,24 +49,63 @@ struct AnnounceMessage {
   GatekeeperId from = 0;
 };
 
-/// Result of executing one program wave on one shard.
-struct WaveResult {
-  ShardId shard = 0;
-  std::vector<NextHop> next_hops;
-  std::vector<std::pair<NodeId, std::string>> returns;
-  std::uint64_t vertices_visited = 0;
-};
+// --- Decentralized node-program execution (docs/node_programs.md) ----------
+//
+// Node programs propagate shard-to-shard, scatter/gather style (paper
+// §2.3, §4.5): a shard executes the hops it owns and forwards spawned
+// hops DIRECTLY to the owning peer shard -- the coordinator only seeds
+// the start hops and detects quiescence from per-shard accounting
+// deltas (terminate when hops consumed == hops spawned + starts, the
+// credit-counting argument: a hop in flight has been counted spawned
+// but not yet consumed). Both message schemas below are plain values --
+// no callbacks -- so a multi-process transport only needs to serialize
+// them.
 
-/// One wave of a node program: execute at `starts` when the shard's delay
-/// rule (paper §4.1) admits the program's timestamp. The sink callback
-/// carries the result back to the coordinator (in-process stand-in for the
-/// response message).
-struct WaveMessage {
+/// A batch of node-program hops addressed to one shard, sent by the
+/// coordinator (the start wave) or by a peer shard (forwarded hops; at
+/// most one batch per peer per drain cycle). The timestamp, program
+/// name, and coordinator address ride along so any shard can install
+/// its per-(shard, program) ProgramContext on first contact -- after
+/// that the receiver keys everything off program_id alone.
+struct WaveHopBatchMessage {
   ProgramId program_id = 0;
   RefinableTimestamp ts;
   std::string program_name;
-  std::vector<NextHop> starts;
-  std::function<void(WaveResult)> sink;
+  /// Where WaveAccountingMessages for this program go.
+  EndpointId coordinator = 0;
+  /// Visited-vertex pruning is sound for this execution
+  /// (NodeProgram::VisitOnce over the start params). Decided once by
+  /// the coordinator at seed time and propagated in every batch so all
+  /// shards agree.
+  bool visit_once = false;
+  std::vector<NextHop> hops;
+};
+
+/// Progress delta for one drain cycle of one program on one shard. The
+/// shard sends this BEFORE forwarding the cycle's spawned hop batches,
+/// so the coordinator registers the spawn credits before any downstream
+/// shard can report consuming them (the inline-delivery bus makes that
+/// ordering causal; a real transport would carry per-shard sequence
+/// numbers).
+struct WaveAccountingMessage {
+  ProgramId program_id = 0;
+  ShardId shard = 0;
+  /// Hops executed this cycle plus duplicates coalesced at ingress
+  /// (coalesced hops were counted spawned by their sender and will never
+  /// execute, so they are consumed on arrival).
+  std::uint64_t hops_consumed = 0;
+  /// Hops this shard created and queued locally or forwarded to peers.
+  std::uint64_t hops_spawned = 0;
+  std::uint64_t vertices_visited = 0;
+  /// Drain cycles this delta covers (always 1 today; the ProgramResult
+  /// "waves" analog).
+  std::uint64_t cycles = 0;
+  /// Shard-to-shard hop batch messages sent this cycle.
+  std::uint64_t forwarded_batches = 0;
+  std::vector<std::pair<NodeId, std::string>> returns;
+  /// Non-OK when the shard could not forward hops (e.g. a peer shard is
+  /// detached); the coordinator aborts the program with this status.
+  Status error;
 };
 
 struct EndProgramMessage {

@@ -85,7 +85,8 @@ class NodeView {
     return node_->props.SnapshotAt(*ts_, *order_);
   }
 
-  /// All out-edges visible at the program's timestamp.
+  /// All out-edges visible at the program's timestamp. Allocates the
+  /// returned vector; hot loops should prefer ForEachEdge.
   std::vector<EdgeView> Edges() const {
     std::vector<EdgeView> out;
     if (!Exists()) return out;
@@ -93,6 +94,18 @@ class NodeView {
       if (e.VisibleAt(*ts_, *order_)) out.emplace_back(&e, ts_, order_);
     }
     return out;
+  }
+
+  /// Calls `fn(const EdgeView&)` for every out-edge visible at the
+  /// program's timestamp, without materializing a vector -- the
+  /// iteration path for per-vertex hot loops (every standard program
+  /// uses it).
+  template <typename Fn>
+  void ForEachEdge(Fn&& fn) const {
+    if (!Exists()) return;
+    for (const auto& [eid, e] : node_->out_edges) {
+      if (e.VisibleAt(*ts_, *order_)) fn(EdgeView(&e, ts_, order_));
+    }
   }
   std::size_t OutDegree() const {
     return Exists() ? node_->OutDegreeAt(*ts_, *order_) : 0;
@@ -131,6 +144,24 @@ class NodeProgram {
   /// no value on first visit.
   virtual void Run(const NodeView& node, const std::string& params,
                    std::any* state, ProgramOutput* out) const = 0;
+  /// Declares that, for an execution started with `start_params`, once
+  /// this program has set state at a vertex any further hop to that
+  /// vertex is a no-op REGARDLESS of its params (the "if visited then
+  /// return" pattern of the paper's Fig 3 BFS). Shards then prune hops
+  /// to visited vertices at ingress instead of re-dispatching them --
+  /// the dominant hop volume in fan-in-heavy traversals. The
+  /// coordinator asks once per execution (per start hop) and the
+  /// answer rides in every hop batch, so it must depend only on
+  /// propagation-invariant params. Programs whose revisits depend on
+  /// per-hop params (shortest path's smaller distance, k-hop's larger
+  /// budget, label-prop's smaller label, any depth-budgeted traversal
+  /// where a later hop can be shallower) must keep the default false
+  /// -- decentralized execution is not level-synchronous, so a vertex
+  /// may be first reached via a LONGER path.
+  virtual bool VisitOnce(const std::string& start_params) const {
+    (void)start_params;
+    return false;
+  }
 };
 
 /// Name -> program lookup shared by all shards of a deployment.
@@ -150,10 +181,27 @@ class ProgramRegistry {
 
 /// Client-visible result of a node program execution.
 struct ProgramResult {
-  /// (vertex, return blob) pairs in visit order.
+  /// (vertex, return blob) pairs. Within one shard returns follow visit
+  /// order; across shards they arrive in accounting order, which is not
+  /// deterministic -- order-sensitive consumers sort by vertex. A
+  /// program whose revisits return again (shortest path, label prop)
+  /// yields a per-vertex return STREAM; consumers reduce it per vertex
+  /// (min / last-wins), exactly as those programs document.
   std::vector<std::pair<NodeId, std::string>> returns;
   std::uint64_t vertices_visited = 0;
+  /// Shard drain cycles that executed hops for this program (the
+  /// decentralized analog of the old coordinator wave count; a program
+  /// that crosses a shard boundary takes >= 2).
   std::uint64_t waves = 0;
+  /// Total hops consumed (executed + coalesced) across all shards.
+  std::uint64_t hops = 0;
+  /// Shard-to-shard hop batch messages -- traffic the coordinator never
+  /// sees (zero means the traversal stayed on its seed shards).
+  std::uint64_t forwarded_batches = 0;
+  /// Accounting messages the coordinator received: its total inbound
+  /// message count for the program (the old barrier design paid
+  /// shards-touched messages per wave plus a blocking round trip each).
+  std::uint64_t coordinator_msgs = 0;
   RefinableTimestamp timestamp;
 };
 

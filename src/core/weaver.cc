@@ -75,8 +75,10 @@ Weaver::Weaver(const WeaverOptions& options) : options_(options) {
     so.bus = bus_.get();
     so.oracle = &oracle_;
     so.programs = programs_;
+    so.locator = locator_.get();
     so.inbox_capacity = options_.shard_inbox_capacity;
     so.queue_high_water = options_.shard_queue_high_water;
+    so.max_hops_per_cycle = options_.shard_max_hops_per_cycle;
     shards_.push_back(std::make_unique<Shard>(so));
     cluster_.Register("shard" + std::to_string(s), ServerKind::kShard,
                       static_cast<std::uint32_t>(s));
@@ -85,6 +87,10 @@ Weaver::Weaver(const WeaverOptions& options) : options_(options) {
   std::vector<EndpointId> shard_eps;
   shard_eps.reserve(shards_.size());
   for (const auto& s : shards_) shard_eps.push_back(s->endpoint());
+  shard_endpoints_ = shard_eps;
+  // Peer table for shard-to-shard hop forwarding (endpoint ids are
+  // stable across shard recovery, so this wiring survives failures).
+  for (auto& s : shards_) s->SetShardEndpoints(shard_eps);
 
   for (std::size_t g = 0; g < options_.num_gatekeepers; ++g) {
     Gatekeeper::Options go;
@@ -99,6 +105,7 @@ Weaver::Weaver(const WeaverOptions& options) : options_(options) {
     go.client_workers = options_.client_ingress_workers;
     go.client_batch = options_.client_ingress_batch;
     go.client_lane_capacity = options_.client_lane_capacity;
+    go.max_inflight_programs = options_.client_max_inflight_programs;
     go.nop_high_water = options_.nop_high_water;
     gatekeepers_.push_back(std::make_unique<Gatekeeper>(std::move(go)));
     cluster_.Register("gk" + std::to_string(g), ServerKind::kGatekeeper,
@@ -115,8 +122,17 @@ Weaver::Weaver(const WeaverOptions& options) : options_(options) {
     gatekeepers_[g]->SetPeerEndpoints(std::move(peers));
   }
 
+  // Program coordinator: an inline-handler endpoint, so shard-side
+  // accounting deltas merge synchronously on the reporting shard's
+  // thread (which is also what makes spawn-before-consume registration
+  // causal; see WaveAccountingMessage).
   coordinator_endpoint_ = bus_->RegisterHandler(
-      "coordinator", [](const BusMessage&) { /* replies use sinks */ });
+      "coordinator", [this](const BusMessage& msg) {
+        if (msg.payload_tag == kMsgWaveAccounting) {
+          OnWaveAccounting(
+              std::static_pointer_cast<WaveAccountingMessage>(msg.payload));
+        }
+      });
 
   // Client ingress execution: the gatekeeper owns the lanes and workers,
   // the deployment owns the state a request needs (locator/partitioner
@@ -129,17 +145,16 @@ Weaver::Weaver(const WeaverOptions& options) : options_(options) {
     if (req.sink) req.sink(CommitResult{st, req.tx.timestamp()});
   };
   client_exec.program = [this](Gatekeeper& gk, ClientProgramMessage& req) {
-    // Single-start requests take the cached overload so async reads keep
-    // parity with the blocking path when the program cache is enabled.
-    auto run = [&]() -> Result<ProgramResult> {
-      if (req.starts.size() == 1) {
-        return RunProgramOn(gk.id(), req.program_name, req.starts[0].node,
-                            std::move(req.starts[0].params));
-      }
-      return RunProgramOn(gk.id(), req.program_name, std::move(req.starts));
-    };
-    Result<ProgramResult> result = run();
-    if (req.sink) req.sink(std::move(result));
+    // Fully asynchronous: the worker seeds the start wave and moves on;
+    // completion (a shard's final accounting delta) fulfills the sink and
+    // releases the gatekeeper's in-flight program slot.
+    Gatekeeper* gkp = &gk;
+    RunProgramAsyncOn(
+        gk.id(), req.program_name, std::move(req.starts),
+        [gkp, sink = std::move(req.sink)](Result<ProgramResult> r) mutable {
+          if (sink) sink(std::move(r));
+          gkp->OnProgramSettled();
+        });
   };
   for (auto& g : gatekeepers_) g->SetClientExecutor(client_exec);
 
@@ -233,6 +248,11 @@ void Weaver::Shutdown() {
   for (auto& s : shards_) {
     if (s) s->Stop();
   }
+  // Shard loops are joined: no accounting delta can arrive anymore, so
+  // any still-registered program can never reach quiescence. Fail them
+  // so their waiters (async sessions, blocking wrappers) unblock.
+  FailAllExecutions(
+      Status::Unavailable("deployment shut down during execution"));
 }
 
 ShardId Weaver::PlaceNewNode(NodeId id) {
@@ -338,147 +358,248 @@ Status Weaver::RunTransaction(
                           body, max_attempts);
 }
 
-namespace {
+void Weaver::ExecuteProgramAsync(
+    std::string_view name, std::vector<NextHop> starts,
+    const RefinableTimestamp& ts, Gatekeeper* gk,
+    std::function<void(Result<ProgramResult>)> done) {
+  // Execution ids are allocated per run, NOT taken from the timestamp:
+  // RunProgramAt re-executes old timestamps, whose event ids already
+  // carry shard-side tombstones from their first run.
+  const ProgramId pid =
+      next_program_id_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t seed_start = NowNanos();
 
-/// Collects the results of one wave round across shards.
-struct WaveCollector {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::size_t outstanding = 0;
-  std::vector<NextHop> hops;
-  std::vector<std::pair<NodeId, std::string>> returns;
-  std::uint64_t visited = 0;
-};
+  // Visited-vertex pruning eligibility is an execution-wide property
+  // decided here, once, over the start params (conservative AND across
+  // multi-start invocations) and carried in every hop batch.
+  const NodeProgram* program = programs_->Find(name);
+  bool visit_once = program != nullptr && !starts.empty();
+  for (const NextHop& hop : starts) {
+    if (!visit_once) break;
+    visit_once = program->VisitOnce(hop.params);
+  }
 
-}  // namespace
+  // Group the start hops by owning shard; hops to unknown vertices are
+  // dropped (the program would see a non-existent NodeView anyway).
+  std::vector<std::vector<NextHop>> by_shard(shards_.size());
+  std::uint64_t total = 0;
+  for (NextHop& hop : starts) {
+    auto shard = locator_->Lookup(hop.node);
+    if (!shard.has_value() || *shard >= shards_.size()) continue;
+    if (!shards_[*shard]) {
+      done(Status::Unavailable("shard " + std::to_string(*shard) +
+                               " is down; re-run the program"));
+      return;
+    }
+    by_shard[*shard].push_back(std::move(hop));
+    ++total;
+  }
+  if (total == 0) {
+    ProgramResult empty;
+    empty.timestamp = ts;
+    done(std::move(empty));
+    return;
+  }
+
+  // The execution must be fully registered -- seed count included --
+  // before the first batch goes out: a shard can execute and report the
+  // whole traversal before we would return from Send.
+  {
+    auto ex = std::make_unique<ProgramExecution>();
+    ex->pid = pid;
+    ex->ts = ts;
+    ex->starts = total;
+    ex->touched.assign(shards_.size(), false);
+    ex->done = std::move(done);
+    std::lock_guard<std::mutex> lk(executions_mu_);
+    executions_.emplace(pid, std::move(ex));
+  }
+
+  Status seed_failure = Status::Ok();
+  for (std::size_t s = 0; s < by_shard.size(); ++s) {
+    if (by_shard[s].empty()) continue;
+    auto batch = std::make_shared<WaveHopBatchMessage>();
+    batch->program_id = pid;
+    batch->ts = ts;
+    batch->program_name = std::string(name);
+    batch->coordinator = coordinator_endpoint_;
+    batch->visit_once = visit_once;
+    batch->hops = std::move(by_shard[s]);
+    const Status sent =
+        bus_->Send(coordinator_endpoint_, shards_[s]->endpoint(),
+                   kMsgWaveHops, std::move(batch));
+    if (!sent.ok()) seed_failure = sent;
+  }
+  // Seeding (grouping + sends) is gatekeeper work in the paper's
+  // topology; the per-cycle merge cost lives on the shard threads.
+  if (gk != nullptr) gk->AddBusyNs(NowNanos() - seed_start);
+
+  if (!seed_failure.ok()) {
+    // A shard died between the liveness check and the send: the seeded
+    // credits can never balance, so fail the execution through the same
+    // path an in-flight abort takes (idempotent against a concurrent
+    // normal completion).
+    auto err = std::make_shared<WaveAccountingMessage>();
+    err->program_id = pid;
+    err->error = Status::Unavailable("shard went down during seeding; "
+                                     "re-run the program");
+    OnWaveAccounting(err);
+  }
+}
+
+void Weaver::OnWaveAccounting(
+    const std::shared_ptr<WaveAccountingMessage>& m) {
+  std::unique_ptr<ProgramExecution> finished;
+  {
+    std::lock_guard<std::mutex> lk(executions_mu_);
+    auto it = executions_.find(m->program_id);
+    if (it == executions_.end()) return;  // late delta after an abort
+    ProgramExecution& ex = *it->second;
+    ex.accounting_msgs++;
+    ex.consumed += m->hops_consumed;
+    ex.spawned += m->hops_spawned;
+    ex.visited += m->vertices_visited;
+    ex.cycles += m->cycles;
+    ex.forwarded_batches += m->forwarded_batches;
+    if (m->shard < ex.touched.size()) ex.touched[m->shard] = true;
+    for (auto& ret : m->returns) ex.returns.push_back(std::move(ret));
+    if (!m->error.ok()) {
+      ex.failure = m->error;
+    } else if (options_.max_program_hops > 0 &&
+               ex.consumed > options_.max_program_hops) {
+      // The hop limit is the sole runaway guard: every drain cycle
+      // consumes at least one hop, so it also bounds cycles. (The old
+      // per-round max_program_waves has no decentralized analog --
+      // cycle counts scale with batching granularity, not traversal
+      // depth, so a cycle cap would spuriously abort wide traversals.)
+      ex.failure = Status::TimedOut("node program exceeded max_program_hops "
+                                    "(runaway traversal?)");
+    }
+    // Quiescent exactly when every hop ever created has been consumed;
+    // any hop still queued or in flight holds an unreturned credit.
+    if (ex.failure.ok() && ex.consumed != ex.spawned + ex.starts) return;
+    finished = std::move(it->second);
+    executions_.erase(it);
+  }
+  CompleteExecution(std::move(finished));
+}
+
+void Weaver::CompleteExecution(std::unique_ptr<ProgramExecution> ex) {
+  const ProgramId pid = ex->pid;
+  const bool aborted = !ex->failure.ok();
+  // GC the per-shard program state (paper §4.5). On normal completion
+  // only touched shards hold any; an abort may have seeded contexts on
+  // shards that never reported, so it sweeps every live shard (they
+  // also tombstone the id against late hop batches). never_block: this
+  // runs on a shard's own thread.
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (!shards_[s]) continue;
+    if (!aborted && (s >= ex->touched.size() || !ex->touched[s])) continue;
+    auto end = std::make_shared<EndProgramMessage>();
+    end->program_id = pid;
+    (void)bus_->Send(coordinator_endpoint_, shards_[s]->endpoint(),
+                     kMsgEndProgram, std::move(end), /*never_block=*/true);
+  }
+  if (!ex->done) return;
+  if (aborted) {
+    ex->done(ex->failure);
+    return;
+  }
+  ProgramResult result;
+  result.timestamp = ex->ts;
+  result.returns = std::move(ex->returns);
+  result.vertices_visited = ex->visited;
+  result.waves = ex->cycles;
+  result.hops = ex->consumed;
+  result.forwarded_batches = ex->forwarded_batches;
+  result.coordinator_msgs = ex->accounting_msgs;
+  ex->done(std::move(result));
+}
+
+void Weaver::FailAllExecutions(const Status& status) {
+  std::unordered_map<ProgramId, std::unique_ptr<ProgramExecution>> orphans;
+  {
+    std::lock_guard<std::mutex> lk(executions_mu_);
+    orphans.swap(executions_);
+  }
+  for (auto& [pid, ex] : orphans) {
+    ex->failure = status;
+    CompleteExecution(std::move(ex));
+  }
+}
 
 Result<ProgramResult> Weaver::ExecuteProgram(std::string_view name,
                                              std::vector<NextHop> starts,
                                              const RefinableTimestamp& ts,
                                              Gatekeeper* gk) {
-  const ProgramId pid = ts.event_id();
+  auto pending = Pending<Result<ProgramResult>>::Make();
+  ExecuteProgramAsync(name, std::move(starts), ts, gk,
+                      [pending](Result<ProgramResult> r) mutable {
+                        pending.Fulfill(std::move(r));
+                      });
+  return pending.Take();
+}
 
-  ProgramResult result;
-  result.timestamp = ts;
-  std::vector<bool> touched(shards_.size(), false);
-
-  // Coordinator CPU time (grouping, sends, result merging -- not the
-  // waits) is gatekeeper work in the paper's topology; see AddBusyNs.
-  std::uint64_t coordinator_work_ns = 0;
-  std::uint64_t segment_start = NowNanos();
-
-  std::vector<NextHop> frontier = std::move(starts);
-  Status failure = Status::Ok();
-  while (!frontier.empty()) {
-    if (++result.waves > options_.max_program_waves) {
-      failure = Status::TimedOut("node program exceeded max waves");
-      break;
-    }
-    // Group the frontier by owning shard; hops to unknown vertices execute
-    // on shard of record if any, else are dropped (the program sees a
-    // non-existent NodeView on misrouted hops anyway).
-    std::vector<std::vector<NextHop>> by_shard(shards_.size());
-    for (NextHop& hop : frontier) {
-      auto shard = locator_->Lookup(hop.node);
-      if (!shard.has_value() || *shard >= shards_.size()) continue;
-      if (!shards_[*shard]) {
-        return Status::Unavailable("shard " + std::to_string(*shard) +
-                                   " is down; re-run the program");
-      }
-      by_shard[*shard].push_back(std::move(hop));
-    }
-    auto collector = std::make_shared<WaveCollector>();
-    std::size_t groups = 0;
-    for (const auto& group : by_shard) {
-      if (!group.empty()) ++groups;
-    }
-    if (groups == 0) break;
-    collector->outstanding = groups;
-
-    for (std::size_t s = 0; s < by_shard.size(); ++s) {
-      if (by_shard[s].empty()) continue;
-      touched[s] = true;
-      auto wave = std::make_shared<WaveMessage>();
-      wave->program_id = pid;
-      wave->ts = ts;
-      wave->program_name = std::string(name);
-      wave->starts = std::move(by_shard[s]);
-      wave->sink = [collector](WaveResult r) {
-        std::lock_guard<std::mutex> lk(collector->mu);
-        for (auto& hop : r.next_hops) {
-          collector->hops.push_back(std::move(hop));
-        }
-        for (auto& ret : r.returns) {
-          collector->returns.push_back(std::move(ret));
-        }
-        collector->visited += r.vertices_visited;
-        collector->outstanding--;
-        collector->cv.notify_one();
-      };
-      bus_->Send(coordinator_endpoint_, shards_[s]->endpoint(), kMsgWave,
-                 std::move(wave));
-    }
-    coordinator_work_ns += NowNanos() - segment_start;
-    {
-      std::unique_lock<std::mutex> lk(collector->mu);
-      collector->cv.wait(lk, [&] { return collector->outstanding == 0; });
-      segment_start = NowNanos();
-      frontier = std::move(collector->hops);
-      for (auto& ret : collector->returns) {
-        result.returns.push_back(std::move(ret));
-      }
-      result.vertices_visited += collector->visited;
+void Weaver::RunProgramAsyncOn(
+    GatekeeperId gk_id, std::string_view name, std::vector<NextHop> starts,
+    std::function<void(Result<ProgramResult>)> done) {
+  if (!started_.load()) {
+    done(Status::FailedPrecondition("deployment not started"));
+    return;
+  }
+  if (gk_id >= gatekeepers_.size()) {
+    done(Status::InvalidArgument("no such gatekeeper"));
+    return;
+  }
+  if (programs_->Find(name) == nullptr) {
+    done(Status::NotFound("no node program named " + std::string(name)));
+    return;
+  }
+  // Single-start invocations are the cacheable shape (paper §4.6).
+  const bool cacheable =
+      options_.enable_program_cache && starts.size() == 1;
+  if (cacheable) {
+    if (auto cached =
+            program_cache_.Lookup(name, starts[0].node, starts[0].params)) {
+      done(*cached);
+      return;
     }
   }
-  coordinator_work_ns += NowNanos() - segment_start;
-  if (gk != nullptr) gk->AddBusyNs(coordinator_work_ns);
-
-  // Program finished (or failed): GC its per-vertex state (paper §4.5).
-  for (std::size_t s = 0; s < shards_.size(); ++s) {
-    if (!touched[s] || !shards_[s]) continue;
-    auto end = std::make_shared<EndProgramMessage>();
-    end->program_id = pid;
-    bus_->Send(coordinator_endpoint_, shards_[s]->endpoint(), kMsgEndProgram,
-               std::move(end));
-  }
-  if (!failure.ok()) return failure;
-  return result;
+  Gatekeeper& gk = *gatekeepers_[gk_id];
+  const RefinableTimestamp ts = gk.BeginProgram();
+  Gatekeeper* gkp = &gk;
+  const NodeId cache_node = cacheable ? starts[0].node : kInvalidNodeId;
+  const std::string cache_params = cacheable ? starts[0].params : "";
+  ExecuteProgramAsync(
+      name, std::move(starts), ts, &gk,
+      [this, gkp, ts, cacheable, cache_node,
+       cache_params = std::move(cache_params), name = std::string(name),
+       done = std::move(done)](Result<ProgramResult> r) mutable {
+        gkp->EndProgram(ts);
+        if (cacheable && r.ok()) {
+          program_cache_.Insert(name, cache_node, cache_params, *r);
+        }
+        done(std::move(r));
+      });
 }
 
 Result<ProgramResult> Weaver::RunProgramOn(GatekeeperId gk_id,
                                            std::string_view name,
                                            std::vector<NextHop> starts) {
-  if (!started_.load()) {
-    return Status::FailedPrecondition("deployment not started");
-  }
-  if (gk_id >= gatekeepers_.size()) {
-    return Status::InvalidArgument("no such gatekeeper");
-  }
-  if (programs_->Find(name) == nullptr) {
-    return Status::NotFound("no node program named " + std::string(name));
-  }
-  Gatekeeper& gk = *gatekeepers_[gk_id];
-  const RefinableTimestamp ts = gk.BeginProgram();
-  auto result = ExecuteProgram(name, std::move(starts), ts, &gk);
-  gk.EndProgram(ts);
-  return result;
+  auto pending = Pending<Result<ProgramResult>>::Make();
+  RunProgramAsyncOn(gk_id, name, std::move(starts),
+                    [pending](Result<ProgramResult> r) mutable {
+                      pending.Fulfill(std::move(r));
+                    });
+  return pending.Take();
 }
 
 Result<ProgramResult> Weaver::RunProgramOn(GatekeeperId gk_id,
                                            std::string_view name,
                                            NodeId start, std::string params) {
-  if (options_.enable_program_cache) {
-    if (auto cached = program_cache_.Lookup(name, start, params)) {
-      return *cached;
-    }
-  }
   std::vector<NextHop> starts;
-  starts.push_back(NextHop{start, params});
-  auto result = RunProgramOn(gk_id, name, std::move(starts));
-  if (options_.enable_program_cache && result.ok()) {
-    program_cache_.Insert(name, start, params, *result);
-  }
-  return result;
+  starts.push_back(NextHop{start, std::move(params)});
+  return RunProgramOn(gk_id, name, std::move(starts));
 }
 
 Result<ProgramResult> Weaver::RunProgram(std::string_view name,
@@ -627,10 +748,13 @@ Status Weaver::RecoverShard(ShardId id) {
   so.bus = bus_.get();
   so.oracle = &oracle_;
   so.programs = programs_;
+  so.locator = locator_.get();
   so.inbox_capacity = options_.shard_inbox_capacity;
   so.queue_high_water = options_.shard_queue_high_water;
+  so.max_hops_per_cycle = options_.shard_max_hops_per_cycle;
   so.reuse_endpoint = dead_shard_endpoints_[id];
   auto shard = std::make_unique<Shard>(so);  // reattaches: messages buffer
+  shard->SetShardEndpoints(shard_endpoints_);
 
   // Restore the partition from the backing store (paper §4.3).
   for (const auto& [key, value] :

@@ -67,8 +67,25 @@ struct WeaverOptions {
   /// Use the LDG streaming partitioner instead of hash placement.
   bool use_ldg_partitioner = false;
   std::size_t expected_vertices = 1 << 20;
-  /// Abort runaway node programs after this many waves.
+  /// Superseded runaway guard: the pre-PR-4 barrier loop aborted after
+  /// this many coordinator waves. Decentralized execution has no
+  /// per-round analog (drain-cycle counts scale with batching, not
+  /// traversal depth), so this knob is retained for source
+  /// compatibility but NO LONGER ENFORCED -- max_program_hops is the
+  /// guard (each cycle consumes >= 1 hop, so it bounds cycles too).
   std::size_t max_program_waves = 4096;
+  /// Abort runaway node programs after this many total hops consumed
+  /// (the runaway guard; 0 disables).
+  std::size_t max_program_hops = 1 << 26;
+  /// Max program hops one shard executes per drain cycle before control
+  /// returns to its event loop (abort responsiveness; leftover hops
+  /// carry over).
+  std::size_t shard_max_hops_per_cycle = 2048;
+  /// Max node programs a gatekeeper's client ingress keeps in flight at
+  /// once. Program execution is asynchronous (workers seed the start
+  /// wave and move on), so without this bound one session could flood
+  /// the shards with concurrent traversals. 0 disables.
+  std::size_t client_max_inflight_programs = 64;
   /// Multi-version / oracle GC period (paper §4.5). The deployment runs
   /// RunGarbageCollection() on this cadence; 0 disables the timer (tests
   /// and benches may trigger GC manually). Without periodic GC the
@@ -164,6 +181,17 @@ class Weaver {
   /// Single-start variant; consults the program cache when enabled.
   Result<ProgramResult> RunProgramOn(GatekeeperId gk, std::string_view name,
                                      NodeId start, std::string params = "");
+
+  /// Asynchronous node-program execution (docs/node_programs.md): seeds
+  /// the start wave onto the owning shards and returns immediately;
+  /// `done` fires exactly once -- possibly inline (validation failure,
+  /// program-cache hit, empty start set) or later on a shard thread when
+  /// the quiescence accounting balances. Single-start invocations
+  /// consult the program cache. The gatekeeper client ingress runs every
+  /// ClientProgram through this, so its workers never block on waves.
+  void RunProgramAsyncOn(GatekeeperId gk, std::string_view name,
+                         std::vector<NextHop> starts,
+                         std::function<void(Result<ProgramResult>)> done);
 
   /// Historical query (paper §4.5): runs `name` on the consistent snapshot
   /// at `ts`, a timestamp obtained from an earlier transaction or program.
@@ -278,12 +306,55 @@ class Weaver {
   /// owning shard, repopulates the locator, and advances the id
   /// allocators past every recovered id.
   void RestoreFromBackingStore();
-  /// Wave loop shared by RunProgram and RunProgramAt. `gk` (may be null)
-  /// receives the coordinator work attribution.
+  /// One in-flight node program as the coordinator sees it: seed count
+  /// plus the accounting deltas shards report. The program is quiescent
+  /// -- no hop executing or in flight anywhere -- exactly when
+  /// consumed == spawned + starts (credit counting: every hop is counted
+  /// spawned once, by the coordinator for seeds or by the shard that
+  /// created it, and consumed once, by the shard that executed or
+  /// coalesced it; shards report spawns causally before the spawned hops
+  /// can be consumed downstream).
+  struct ProgramExecution {
+    /// Fresh per execution (NOT the timestamp's event id: historical
+    /// queries re-run old timestamps, and two executions of one
+    /// timestamp must not share shard-side state or tombstones).
+    ProgramId pid = 0;
+    RefinableTimestamp ts;
+    std::uint64_t starts = 0;
+    std::uint64_t consumed = 0;
+    std::uint64_t spawned = 0;
+    std::uint64_t visited = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t forwarded_batches = 0;
+    std::uint64_t accounting_msgs = 0;
+    std::vector<std::pair<NodeId, std::string>> returns;
+    std::vector<bool> touched;  // shards that reported accounting
+    Status failure;             // non-OK: abort (peer down, runaway)
+    std::function<void(Result<ProgramResult>)> done;
+  };
+
+  /// Seed + quiescence side of the decentralized execution (shared by
+  /// every Run* entry point). `gk` (may be null for historical queries)
+  /// receives the coordinator work attribution. `done` fires exactly
+  /// once.
+  void ExecuteProgramAsync(std::string_view name,
+                           std::vector<NextHop> starts,
+                           const RefinableTimestamp& ts, Gatekeeper* gk,
+                           std::function<void(Result<ProgramResult>)> done);
+  /// Blocking wrapper over ExecuteProgramAsync.
   Result<ProgramResult> ExecuteProgram(std::string_view name,
                                        std::vector<NextHop> starts,
                                        const RefinableTimestamp& ts,
                                        Gatekeeper* gk);
+  /// Coordinator endpoint delivery: merges one accounting delta and
+  /// completes the execution on quiescence or failure.
+  void OnWaveAccounting(const std::shared_ptr<WaveAccountingMessage>& m);
+  /// Tears down a finished execution: EndProgram broadcast (touched
+  /// shards on success, every live shard on abort) and the done
+  /// callback. Runs outside executions_mu_.
+  void CompleteExecution(std::unique_ptr<ProgramExecution> ex);
+  /// Fails every still-registered execution (shutdown).
+  void FailAllExecutions(const Status& status);
 
   WeaverOptions options_;
   std::unique_ptr<MessageBus> bus_;
@@ -293,9 +364,16 @@ class Weaver {
   std::unique_ptr<NodeLocator> locator_;
   std::unique_ptr<Partitioner> partitioner_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<EndpointId> shard_endpoints_;  // stable across recovery
   std::vector<std::unique_ptr<Gatekeeper>> gatekeepers_;
   ClusterManager cluster_;
   EndpointId coordinator_endpoint_ = 0;
+
+  // In-flight node programs keyed by execution id (freshly allocated
+  // per run from next_program_id_ -- see ProgramExecution::pid).
+  std::mutex executions_mu_;
+  std::unordered_map<ProgramId, std::unique_ptr<ProgramExecution>>
+      executions_;
 
   ProgramCache program_cache_;
   Status storage_status_;  // non-OK when the durable store failed to open
@@ -304,6 +382,7 @@ class Weaver {
   std::atomic<std::uint64_t> next_node_id_{1};
   std::atomic<std::uint64_t> next_edge_id_{1};
   std::atomic<std::uint64_t> next_gk_{0};
+  std::atomic<std::uint64_t> next_program_id_{1};
   /// Lane ids for blocking-wrapper commits routed through the client
   /// ingress: the high bit keeps them disjoint from session ids (which
   /// are bus endpoint ids, and so fit in 32 bits).

@@ -61,7 +61,7 @@ void MessageBus::SetDelayFn(
 
 Status MessageBus::Send(EndpointId src, EndpointId dst,
                         std::uint32_t payload_tag,
-                        std::shared_ptr<void> payload) {
+                        std::shared_ptr<void> payload, bool never_block) {
   BusMessage msg;
   msg.src = src;
   msg.dst = dst;
@@ -87,7 +87,10 @@ Status MessageBus::Send(EndpointId src, EndpointId dst,
   stats_.messages_sent.fetch_add(1, std::memory_order_relaxed);
 
   if (delay_us == 0) {
-    Deliver(msg);
+    if (!Deliver(msg, never_block)) {
+      return Status::Unavailable("endpoint " + std::to_string(dst) +
+                                 " is detached");
+    }
     return Status::Ok();
   }
 
@@ -104,23 +107,30 @@ Status MessageBus::Send(EndpointId src, EndpointId dst,
   return Status::Ok();
 }
 
-void MessageBus::Deliver(const BusMessage& msg) {
+bool MessageBus::Deliver(const BusMessage& msg, bool never_block) {
   std::shared_ptr<BlockingQueue<BusMessage>> inbox;
   std::function<void(const BusMessage&)> handler;
   {
     std::lock_guard<std::mutex> lk(endpoints_mu_);
-    if (msg.dst >= endpoints_.size()) return;
+    if (msg.dst >= endpoints_.size()) return false;
     Endpoint& ep = *endpoints_[msg.dst];
-    if (!ep.attached) return;  // crashed server: message dropped
+    if (!ep.attached) return false;  // crashed server: message dropped
     inbox = ep.inbox;
     handler = ep.handler;
   }
-  stats_.messages_delivered.fetch_add(1, std::memory_order_relaxed);
   if (inbox) {
-    inbox->Push(msg);
+    // A closed inbox (stopped server) drops the message exactly like a
+    // detached endpoint, and the sender must learn it -- program seeding
+    // relies on a failed Send to abort instead of waiting forever on
+    // accounting that can never come.
+    const bool pushed =
+        never_block ? inbox->ForcePush(msg) : inbox->Push(msg);
+    if (!pushed) return false;
   } else if (handler) {
     handler(msg);
   }
+  stats_.messages_delivered.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 bool MessageBus::TryDeliver(BusMessage& msg) {

@@ -79,12 +79,25 @@ class MessageBus {
 
   /// Sends a message. Assigns the per-channel sequence number atomically
   /// with enqueueing, so concurrent senders on one channel stay FIFO.
-  /// Returns Unavailable if the destination is detached.
+  /// Returns Unavailable if the destination is detached (delayed
+  /// deliveries report Ok and drop on arrival -- the link cannot know).
+  ///
+  /// `never_block` exempts the message from the destination's inbox
+  /// capacity (BlockingQueue::ForcePush): event-loop actors that send to
+  /// each other (shard-to-shard node-program hop forwarding) use it so
+  /// two full peers cannot deadlock pushing into one another. Bulk
+  /// producers (gatekeepers, clients) keep the default blocking
+  /// backpressure.
   Status Send(EndpointId src, EndpointId dst, std::uint32_t payload_tag,
-              std::shared_ptr<void> payload);
+              std::shared_ptr<void> payload, bool never_block = false);
 
   /// Installs a delivery delay (microseconds) computed per message; nullptr
-  /// disables delays. Not for use concurrently with traffic.
+  /// disables delays. Not for use concurrently with traffic. CAVEAT: node
+  /// program quiescence accounting (docs/node_programs.md) relies on a
+  /// shard's spawn report reaching the coordinator before the spawned
+  /// hops' consume reports -- inline delivery guarantees that; delayed
+  /// delivery orders only per channel, so deployments running programs
+  /// must not install delays (the link-delay tests drive bare endpoints).
   void SetDelayFn(
       std::function<std::uint64_t(EndpointId, EndpointId)> delay_fn);
 
@@ -120,7 +133,9 @@ class MessageBus {
     }
   };
 
-  void Deliver(const BusMessage& msg);
+  /// Returns false when the destination is unknown or detached (the
+  /// message is dropped).
+  bool Deliver(const BusMessage& msg, bool never_block);
   /// Delay-thread delivery: never blocks on a full bounded inbox.
   /// Returns false when the destination is full -- the caller parks the
   /// message in stalled_ and retries, so one slow shard cannot stall

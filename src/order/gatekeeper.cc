@@ -176,20 +176,28 @@ void Gatekeeper::ClientIngressLoop() {
   // neither starves the other under sustained load from one kind.
   bool prefer_programs = false;
   std::unique_lock<std::mutex> lk(ingress_mu_);
+  // A program may only be seeded while a free in-flight slot exists
+  // (execution is async, so the worker pool itself no longer bounds
+  // concurrent traversals).
+  auto program_dispatchable = [&] {
+    return !program_queue_.empty() &&
+           (options_.max_inflight_programs == 0 ||
+            inflight_programs_ < options_.max_inflight_programs);
+  };
   while (true) {
     ingress_cv_.wait(lk, [&] {
       return ingress_stopped_ || !ready_lanes_.empty() ||
-             !program_queue_.empty();
+             program_dispatchable();
     });
     if (ingress_stopped_) return;
 
     const bool take_program =
-        !program_queue_.empty() &&
-        (ready_lanes_.empty() || prefer_programs);
+        program_dispatchable() && (ready_lanes_.empty() || prefer_programs);
     if (take_program) {
       prefer_programs = false;
       BusMessage msg = std::move(program_queue_.front());
       program_queue_.pop_front();
+      ++inflight_programs_;  // released by OnProgramSettled
       lk.unlock();
       bool unused = false;
       DispatchClientRequest(msg, &unused);
@@ -253,15 +261,28 @@ void Gatekeeper::DispatchClientRequest(const BusMessage& msg,
       auto req = std::static_pointer_cast<ClientProgramMessage>(msg.payload);
       stats_.client_programs.fetch_add(1, std::memory_order_relaxed);
       if (client_executor_.program) {
+        // Async contract: the executor's completion path must call
+        // OnProgramSettled() exactly once to release the in-flight slot.
         client_executor_.program(*this, *req);
-      } else if (req->sink) {
-        req->sink(Status::Internal("no client executor installed"));
+      } else {
+        if (req->sink) {
+          req->sink(Status::Internal("no client executor installed"));
+        }
+        OnProgramSettled();
       }
       break;
     }
     default:
       break;
   }
+}
+
+void Gatekeeper::OnProgramSettled() {
+  {
+    std::lock_guard<std::mutex> lk(ingress_mu_);
+    if (inflight_programs_ > 0) --inflight_programs_;
+  }
+  ingress_cv_.notify_one();
 }
 
 void Gatekeeper::StartTimers() {

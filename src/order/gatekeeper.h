@@ -80,6 +80,13 @@ class Gatekeeper {
     /// fast with ResourceExhausted instead of queueing unboundedly.
     /// 0 disables.
     std::size_t client_lane_capacity = 256;
+    /// Max node programs this ingress keeps in flight at once. Program
+    /// execution is asynchronous (a worker seeds the start wave and is
+    /// immediately free again), so the worker pool no longer bounds
+    /// concurrent traversals -- this does. Workers leave the program
+    /// queue alone while the limit is reached; OnProgramSettled()
+    /// releases a slot. 0 disables.
+    std::size_t max_inflight_programs = 64;
     /// NOP backpressure high-water mark: while any destination shard
     /// inbox is deeper than this, the NOP period doubles per round (rounds
     /// are skipped) up to kMaxNopBackoff, and halves back once every
@@ -157,6 +164,12 @@ class Gatekeeper {
   /// Idempotent; also run by the destructor.
   void StopClientIngress();
 
+  /// Async program completion plumbing: the deployment calls this when a
+  /// program dispatched from this ingress settles (success or failure),
+  /// releasing its in-flight slot so a waiting worker can seed the next
+  /// one.
+  void OnProgramSettled();
+
   /// Installs the peer gatekeeper endpoints (deployment wiring happens
   /// after all gatekeepers are constructed). Call before StartTimers().
   void SetPeerEndpoints(std::vector<EndpointId> peers) {
@@ -202,6 +215,13 @@ class Gatekeeper {
 
   VectorClock SnapshotClock();
   const Stats& stats() const { return stats_; }
+
+  /// Current adaptive NOP-period multiplier (1 = configured rate; >1
+  /// means backpressure is throttling NOP emission). Surfaced in bench
+  /// output.
+  std::uint64_t nop_backoff() const {
+    return nop_backoff_.load(std::memory_order_relaxed);
+  }
 
   /// Charges coordinator-side work to this gatekeeper's busy time. In the
   /// paper the gatekeeper forwards node programs to shards and routes the
@@ -255,6 +275,8 @@ class Gatekeeper {
   std::deque<std::uint64_t> ready_lanes_;
   std::deque<BusMessage> program_queue_;
   std::vector<std::thread> ingress_workers_;
+  /// Programs seeded but not yet settled (guarded by ingress_mu_).
+  std::size_t inflight_programs_ = 0;
   bool ingress_stopped_ = false;
 
   // Outbound sequencer: slots release to the bus in allocation order.

@@ -72,9 +72,9 @@ class LabelPropProgram final : public NodeProgram {
     LabelPropParams next;
     next.label = candidate;
     const std::string blob = next.Encode();
-    for (const EdgeView& e : node.Edges()) {
+    node.ForEachEdge([&](const EdgeView& e) {
       out->next_hops.push_back(NextHop{e.to(), blob});
-    }
+    });
   }
 };
 
@@ -101,9 +101,9 @@ class KHopProgram final : public NodeProgram {
     KHopParams next;
     next.remaining = p.remaining - 1;
     const std::string blob = next.Encode();
-    for (const EdgeView& e : node.Edges()) {
+    node.ForEachEdge([&](const EdgeView& e) {
       out->next_hops.push_back(NextHop{e.to(), blob});
-    }
+    });
   }
 };
 
@@ -111,6 +111,9 @@ class KHopProgram final : public NodeProgram {
 class FlowSumProgram final : public NodeProgram {
  public:
   std::string_view name() const override { return kFlowSum; }
+  // Visit-once by state for ANY params: revisits never run regardless
+  // of the inbound value (first arrival wins, as it always has).
+  bool VisitOnce(const std::string&) const override { return true; }
   void Run(const NodeView& node, const std::string& params, std::any* state,
            ProgramOutput* out) const override {
     if (!node.Exists()) return;
@@ -120,13 +123,13 @@ class FlowSumProgram final : public NodeProgram {
     ByteWriter w;
     w.PutU64(p.inbound);
     out->return_value = w.Take();
-    for (const EdgeView& e : node.Edges()) {
+    node.ForEachEdge([&](const EdgeView& e) {
       const auto value = e.GetProperty("value");
-      if (!value.has_value()) continue;
+      if (!value.has_value()) return;
       FlowSumParams next;
       next.inbound = std::strtoull(value->c_str(), nullptr, 10);
       out->next_hops.push_back(NextHop{e.to(), next.Encode()});
-    }
+    });
   }
 };
 

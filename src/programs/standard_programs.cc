@@ -224,13 +224,13 @@ class GetEdgesProgram final : public NodeProgram {
            ProgramOutput* out) const override {
     const GetEdgesParams p = GetEdgesParams::Decode(params);
     GetEdgesResult result;
-    for (const EdgeView& e : node.Edges()) {
+    node.ForEachEdge([&](const EdgeView& e) {
       if (!p.edge_prop_key.empty() &&
           !e.Check(p.edge_prop_key, p.edge_prop_value)) {
-        continue;
+        return;
       }
       result.edges.emplace_back(e.id(), e.to());
-    }
+    });
     out->return_value = result.Encode();
   }
 };
@@ -251,6 +251,12 @@ class CountEdgesProgram final : public NodeProgram {
 class BfsProgram final : public NodeProgram {
  public:
   std::string_view name() const override { return kBfs; }
+  // Depth-unbounded BFS never acts on a revisit; a depth LIMIT makes
+  // revisits params-dependent (a later hop may be shallower and allowed
+  // to keep expanding), so pruning would under-explore.
+  bool VisitOnce(const std::string& start_params) const override {
+    return BfsParams::Decode(start_params).max_depth == 0;
+  }
   void Run(const NodeView& node, const std::string& params, std::any* state,
            ProgramOutput* out) const override {
     if (!node.Exists()) return;
@@ -268,13 +274,13 @@ class BfsProgram final : public NodeProgram {
     BfsParams next = p;
     next.depth = p.depth + 1;
     const std::string next_blob = next.Encode();
-    for (const EdgeView& e : node.Edges()) {
+    node.ForEachEdge([&](const EdgeView& e) {
       if (!p.edge_prop_key.empty() &&
           !e.Check(p.edge_prop_key, p.edge_prop_value)) {
-        continue;
+        return;
       }
       out->next_hops.push_back(NextHop{e.to(), next_blob});
-    }
+    });
   }
 };
 
@@ -287,7 +293,8 @@ class ClusteringProgram final : public NodeProgram {
     ClusteringParams p = ClusteringParams::Decode(params);
     if (p.phase == ClusteringParams::kGather) {
       std::vector<NodeId> neighbors;
-      for (const EdgeView& e : node.Edges()) neighbors.push_back(e.to());
+      node.ForEachEdge(
+          [&](const EdgeView& e) { neighbors.push_back(e.to()); });
       std::sort(neighbors.begin(), neighbors.end());
       neighbors.erase(std::unique(neighbors.begin(), neighbors.end()),
                       neighbors.end());
@@ -307,11 +314,11 @@ class ClusteringProgram final : public NodeProgram {
     std::unordered_set<NodeId> in_set(p.neighborhood.begin(),
                                       p.neighborhood.end());
     ClusteringResult probe_result;
-    for (const EdgeView& e : node.Edges()) {
+    node.ForEachEdge([&](const EdgeView& e) {
       if (e.to() != node.id() && in_set.count(e.to())) {
         probe_result.closed_pairs++;
       }
-    }
+    });
     out->return_value = probe_result.Encode();
   }
 };
@@ -337,9 +344,9 @@ class ShortestPathProgram final : public NodeProgram {
     ShortestPathParams next = p;
     next.distance = p.distance + 1;
     const std::string blob = next.Encode();
-    for (const EdgeView& e : node.Edges()) {
+    node.ForEachEdge([&](const EdgeView& e) {
       out->next_hops.push_back(NextHop{e.to(), blob});
-    }
+    });
   }
 };
 
@@ -364,11 +371,11 @@ class BlockRenderProgram final : public NodeProgram {
       BlockRenderParams next;
       next.phase = 1;
       const std::string blob = next.Encode();
-      for (const EdgeView& e : node.Edges()) {
+      node.ForEachEdge([&](const EdgeView& e) {
         if (e.Check("type", "in_block")) {
           out->next_hops.push_back(NextHop{e.to(), blob});
         }
-      }
+      });
       return;
     }
     // Transaction vertex: render the row the explorer shows.
@@ -378,15 +385,15 @@ class BlockRenderProgram final : public NodeProgram {
     }
     row += ",\"out\":[";
     bool first = true;
-    for (const EdgeView& e : node.Edges()) {
-      if (!e.Check("type", "spend")) continue;
+    node.ForEachEdge([&](const EdgeView& e) {
+      if (!e.Check("type", "spend")) return;
       if (!first) row += ",";
       first = false;
       row += std::to_string(e.to());
       if (auto val = e.GetProperty("value"); val.has_value()) {
         row += ":" + *val;
       }
-    }
+    });
     row += "]}";
     out->return_value = std::move(row);
   }
@@ -399,6 +406,9 @@ class BlockRenderProgram final : public NodeProgram {
 class PathDiscoveryProgram final : public NodeProgram {
  public:
   std::string_view name() const override { return kPathDiscovery; }
+  // Always depth-budgeted (path_so_far vs max_depth): a vertex first
+  // reached via a longer path must still re-expand on a shorter one,
+  // so ingress pruning stays off.
   void Run(const NodeView& node, const std::string& params, std::any* state,
            ProgramOutput* out) const override {
     if (!node.Exists()) return;
@@ -415,9 +425,9 @@ class PathDiscoveryProgram final : public NodeProgram {
     }
     if (p.path_so_far.size() > p.max_depth) return;
     const std::string blob = p.Encode();
-    for (const EdgeView& e : node.Edges()) {
+    node.ForEachEdge([&](const EdgeView& e) {
       out->next_hops.push_back(NextHop{e.to(), blob});
-    }
+    });
   }
 };
 

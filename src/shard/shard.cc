@@ -1,10 +1,17 @@
 #include "shard/shard.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/clock.h"
 
 namespace weaver {
+
+namespace {
+/// Bound on the finished-program tombstone set (abort-race protection;
+/// normal completion never needs it).
+constexpr std::size_t kMaxFinishedTombstones = 4096;
+}  // namespace
 
 Shard::Shard(Options options)
     : options_(std::move(options)),
@@ -42,9 +49,21 @@ void Shard::Stop() {
 }
 
 void Shard::Loop() {
-  while (auto msg = inbox_->Pop()) {
+  while (true) {
+    std::optional<BusMessage> msg;
+    if (HasRunnableProgramWork()) {
+      // A capped program cycle left hops pending: keep the loop hot
+      // (TryPop) so the worklist drains even on an idle inbox, while
+      // still routing whatever arrived (an EndProgram abort must be able
+      // to interrupt).
+      msg = inbox_->TryPop();
+      if (!msg && inbox_->closed()) break;
+    } else {
+      msg = inbox_->Pop();
+      if (!msg) break;  // closed and drained
+    }
     const std::uint64_t t0 = NowNanos();
-    Route(*msg);
+    if (msg) Route(*msg);
     // Drain whatever else is queued before doing ordering work: batches
     // amortize the head comparisons. Over high water the batch drain
     // pauses (the one Pop per iteration still guarantees progress), so
@@ -62,8 +81,10 @@ void Shard::Loop() {
 
 void Shard::ProcessUntilIdle() {
   const std::uint64_t t0 = NowNanos();
-  while (auto msg = inbox_->TryPop()) Route(*msg);
-  ProcessReady();
+  do {
+    while (auto msg = inbox_->TryPop()) Route(*msg);
+    ProcessReady();
+  } while (HasRunnableProgramWork());
   stats_.busy_ns.fetch_add(NowNanos() - t0, std::memory_order_relaxed);
 }
 
@@ -101,17 +122,14 @@ void Shard::Route(const BusMessage& msg) {
       gk_queues_[gk].push_back(std::move(e));
       break;
     }
-    case kMsgWave: {
-      auto wave = std::static_pointer_cast<WaveMessage>(msg.payload);
-      PendingWave p;
-      p.wave = std::move(*wave);
-      p.arrival = arrival_counter_++;
-      pending_waves_.push_back(std::move(p));
+    case kMsgWaveHops: {
+      auto batch = std::static_pointer_cast<WaveHopBatchMessage>(msg.payload);
+      OnHopBatch(*batch);
       break;
     }
     case kMsgEndProgram: {
       auto end = std::static_pointer_cast<EndProgramMessage>(msg.payload);
-      program_state_.erase(end->program_id);
+      FinishProgram(end->program_id);
       break;
     }
     case kMsgGc: {
@@ -191,25 +209,29 @@ bool Shard::WaveEligible(const RefinableTimestamp& prog_ts) {
 }
 
 void Shard::ProcessReady() {
+  // Contexts whose eligibility already latched can run without queue
+  // heads: the snapshot guarantee was established when they latched.
+  RunEligiblePrograms();
   while (AllQueuesNonEmpty()) {
-    // First give eligible node programs a chance: their timestamps precede
-    // every queue head, so they read a snapshot no queued transaction can
+    // Promote waiting programs first: their timestamps precede every
+    // queue head, so they read a snapshot no queued transaction can
     // still change.
-    for (std::size_t i = 0; i < pending_waves_.size();) {
-      if (WaveEligible(pending_waves_[i].wave.ts)) {
-        WaveMessage wave = std::move(pending_waves_[i].wave);
-        pending_waves_.erase(pending_waves_.begin() +
-                             static_cast<std::ptrdiff_t>(i));
-        ExecuteWave(wave);
+    bool promoted = false;
+    for (auto& [pid, ctx] : contexts_) {
+      if (ctx.eligible || ctx.pending.empty()) continue;
+      if (WaveEligible(ctx.ts)) {
+        ctx.eligible = true;
+        promoted = true;
       } else {
         stats_.wave_delays.fetch_add(1, std::memory_order_relaxed);
-        ++i;
       }
     }
+    if (promoted) RunEligiblePrograms();
     const std::size_t q = PickMinHead();
     ApplyEntry(gk_queues_[q].front());
     gk_queues_[q].pop_front();
   }
+  RunEligiblePrograms();
 }
 
 OrderFn Shard::VisibilityOrderFn() {
@@ -223,38 +245,280 @@ OrderFn Shard::VisibilityOrderFn() {
   };
 }
 
-void Shard::ExecuteWave(const WaveMessage& wave) {
+void Shard::OnHopBatch(WaveHopBatchMessage& batch) {
+  if (finished_.count(batch.program_id)) return;  // late batch post-abort
+  auto it = contexts_.find(batch.program_id);
+  if (it == contexts_.end()) {
+    // First contact: intern everything per-hop execution needs -- the
+    // registry lookup, the timestamp, the visibility order function --
+    // once per (shard, program) instead of once per wave.
+    ProgramContext ctx;
+    ctx.ts = batch.ts;
+    ctx.name = batch.program_name;
+    ctx.program = options_.programs
+                      ? options_.programs->Find(batch.program_name)
+                      : nullptr;
+    // Visibility order memoized per write timestamp: the read side is
+    // pinned to this program's ts, resolutions are committed (stable)
+    // once made, and the context only ever runs on this shard's loop
+    // thread -- so repeat version checks (every edge scan re-compares
+    // the same created/deleted stamps) skip the resolver mutex
+    // entirely. This was the dominant per-vertex cost of the old
+    // per-wave path, which rebuilt the uncached fn every wave.
+    ctx.order = [this, cache = std::make_shared<
+                           std::unordered_map<EventId, ClockOrder>>(),
+                 base = VisibilityOrderFn()](
+                    const RefinableTimestamp& write_ts,
+                    const RefinableTimestamp& read_ts) {
+      auto [it, fresh] =
+          cache->try_emplace(write_ts.event_id(), ClockOrder::kConcurrent);
+      if (fresh) it->second = base(write_ts, read_ts);
+      return it->second;
+    };
+    ctx.coordinator = batch.coordinator;
+    ctx.states = &program_state_[batch.program_id];
+    ctx.visit_once = batch.visit_once;
+    it = contexts_.emplace(batch.program_id, std::move(ctx)).first;
+    stats_.contexts_installed.fetch_add(1, std::memory_order_relaxed);
+    live_contexts_.store(contexts_.size(), std::memory_order_relaxed);
+    live_state_tables_.store(program_state_.size(),
+                             std::memory_order_relaxed);
+  }
+  ProgramContext& ctx = it->second;
+  for (NextHop& hop : batch.hops) {
+    if (!QueueLocalHop(ctx, std::move(hop))) {
+      // The sender counted this hop spawned; consume it on the spot so
+      // the coordinator's credit count still balances.
+      ctx.coalesced_credit++;
+    }
+  }
+  // A batch can coalesce/prune away entirely; with nothing pending no
+  // cycle will run here, so the consumption credit must flow back now or
+  // the coordinator never reaches quiescence. (Credit with pending
+  // company rides the next cycle's delta instead.)
+  if (ctx.coalesced_credit > 0 && ctx.pending.empty()) {
+    auto acc = std::make_shared<WaveAccountingMessage>();
+    acc->program_id = batch.program_id;
+    acc->shard = options_.id;
+    acc->hops_consumed = ctx.coalesced_credit;
+    ctx.coalesced_credit = 0;
+    (void)options_.bus->Send(endpoint_, ctx.coordinator, kMsgWaveAccounting,
+                             std::move(acc), /*never_block=*/true);
+  }
+}
+
+bool Shard::QueueLocalHop(ProgramContext& ctx, NextHop hop) {
+  // Visited-vertex pruning (VisitOnce programs): a hop to a vertex whose
+  // program state is already set -- or that already has a hop pending,
+  // whatever its params -- can never do anything; drop it here instead
+  // of re-dispatching it. This is where BFS-style fan-in stops costing a
+  // full execution per in-edge.
+  if (ctx.visit_once) {
+    auto sit = ctx.states->find(hop.node);
+    if ((sit != ctx.states->end() && sit->second.has_value()) ||
+        ctx.pending_keys.count(hop.node) != 0) {
+      stats_.hops_pruned.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+  }
+  auto& entries = ctx.pending_keys[hop.node];
+  const std::size_t h = std::hash<std::string>{}(hop.params);
+  for (const auto& [queued_hash, queued_params] : entries) {
+    // Full compare on hash match only: coalescing must never drop a
+    // distinct hop.
+    if (queued_hash == h && *queued_params == hop.params) {
+      stats_.hops_coalesced.fetch_add(1, std::memory_order_relaxed);
+      return false;  // exact duplicate: coalesce
+    }
+  }
+  ctx.pending.push_back(std::move(hop));
+  entries.emplace_back(h, &ctx.pending.back().params);
+  return true;
+}
+
+bool Shard::HasRunnableProgramWork() const {
+  for (const auto& [pid, ctx] : contexts_) {
+    if (ctx.eligible && !ctx.pending.empty()) return true;
+  }
+  return false;
+}
+
+bool Shard::RunEligiblePrograms() {
+  if (contexts_.empty()) return false;
+  bool ran = false;
+  // Collect ids first: RunProgramCycle sends accounting inline, and the
+  // coordinator's handler may complete the program on this thread -- but
+  // context teardown always arrives as an EndProgram message through the
+  // inbox, so contexts_ itself never mutates under us. Still, keep the
+  // iteration robust against future reentrancy.
+  std::vector<ProgramId> runnable;
+  for (auto& [pid, ctx] : contexts_) {
+    if (ctx.eligible && !ctx.pending.empty()) runnable.push_back(pid);
+  }
+  for (ProgramId pid : runnable) {
+    auto it = contexts_.find(pid);
+    if (it == contexts_.end() || !it->second.eligible ||
+        it->second.pending.empty()) {
+      continue;
+    }
+    RunProgramCycle(pid, it->second);
+    ran = true;
+  }
+  return ran;
+}
+
+void Shard::RunProgramCycle(ProgramId pid, ProgramContext& ctx) {
   const std::uint64_t t0 = NowNanos();
-  const NodeProgram* program =
-      options_.programs ? options_.programs->Find(wave.program_name)
-                        : nullptr;
-  WaveResult result;
-  result.shard = options_.id;
-  if (program == nullptr) {
-    if (wave.sink) wave.sink(std::move(result));
-    return;
-  }
-  const OrderFn order = VisibilityOrderFn();
-  auto& states = program_state_[wave.program_id];
-  for (const NextHop& start : wave.starts) {
-    const Node* node = graph_.FindNode(start.node);
-    NodeView view(node, wave.ts, order);
-    std::any& state = states[start.node];
+  auto acc = std::make_shared<WaveAccountingMessage>();
+  acc->program_id = pid;
+  acc->shard = options_.id;
+  acc->cycles = 1;
+  acc->hops_consumed = ctx.coalesced_credit;
+  ctx.coalesced_credit = 0;
+
+  auto& states = *ctx.states;
+  std::vector<std::vector<NextHop>> remote(shard_endpoints_.size());
+  const std::size_t max_hops = std::max<std::size_t>(
+      1, options_.max_hops_per_cycle);
+  std::size_t executed = 0;
+
+  while (!ctx.pending.empty() && executed < max_hops) {
+    // Unindex the head BEFORE popping (the index points at the live
+    // deque element) so a later identical hop is NOT coalesced -- only
+    // pending duplicates are provably redundant. Identity compare: this
+    // exact element, no hashing on the pop path.
+    {
+      const NextHop& head = ctx.pending.front();
+      auto key_it = ctx.pending_keys.find(head.node);
+      if (key_it != ctx.pending_keys.end()) {
+        auto& list = key_it->second;
+        for (auto pit = list.begin(); pit != list.end(); ++pit) {
+          if (pit->second == &head.params) {
+            list.erase(pit);
+            break;
+          }
+        }
+        if (list.empty()) ctx.pending_keys.erase(key_it);
+      }
+    }
+    NextHop hop = std::move(ctx.pending.front());
+    ctx.pending.pop_front();
+    ++executed;
+    acc->hops_consumed++;
+
+    const Node* node = graph_.FindNode(hop.node);
+    NodeView view(node, ctx.ts, ctx.order);
+    std::any& state = states[hop.node];
     ProgramOutput out;
-    program->Run(view, start.params, &state, &out);
-    for (NextHop& hop : out.next_hops) {
-      result.next_hops.push_back(std::move(hop));
+    if (ctx.program != nullptr) {
+      ctx.program->Run(view, hop.params, &state, &out);
     }
+    acc->vertices_visited++;
     if (out.return_value.has_value()) {
-      result.returns.emplace_back(start.node, std::move(*out.return_value));
+      acc->returns.emplace_back(hop.node, std::move(*out.return_value));
     }
-    result.vertices_visited++;
+    for (NextHop& next : out.next_hops) {
+      auto owner = options_.locator != nullptr
+                       ? options_.locator->Lookup(next.node)
+                       : std::optional<ShardId>(options_.id);
+      if (!owner.has_value()) continue;  // unknown vertex: drop
+      if (*owner == options_.id) {
+        // Same shard: extend the local worklist -- a traversal that
+        // stays here completes in this cycle without any messages. A
+        // coalesced or pruned local hop is simply never spawned.
+        if (QueueLocalHop(ctx, std::move(next))) {
+          acc->hops_spawned++;
+        }
+      } else if (*owner < remote.size()) {
+        // VisitOnce programs forward each remote vertex at most once:
+        // the first hop visits it, so every later one is a no-op that
+        // need not cross the bus.
+        if (ctx.visit_once && !ctx.forwarded.insert(next.node).second) {
+          stats_.hops_pruned.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        remote[*owner].push_back(std::move(next));
+        acc->hops_spawned++;
+        stats_.hops_forwarded.fetch_add(1, std::memory_order_relaxed);
+      }
+      // else: owner beyond the endpoint table (shrunk redeployment): drop.
+    }
   }
+
+  std::uint64_t batches = 0;
+  for (const auto& group : remote) {
+    if (!group.empty()) ++batches;
+  }
+  acc->forwarded_batches = batches;
   stats_.waves_executed.fetch_add(1, std::memory_order_relaxed);
-  stats_.vertices_executed.fetch_add(result.vertices_visited,
+  stats_.hops_consumed.fetch_add(acc->hops_consumed,
+                                 std::memory_order_relaxed);
+  stats_.vertices_executed.fetch_add(acc->vertices_visited,
                                      std::memory_order_relaxed);
+  stats_.hop_batches_sent.fetch_add(batches, std::memory_order_relaxed);
   stats_.op_work_ns.fetch_add(NowNanos() - t0, std::memory_order_relaxed);
-  if (wave.sink) wave.sink(std::move(result));
+
+  // Accounting goes out BEFORE the hop batches: the coordinator must
+  // register the spawn credits before any peer can report consuming
+  // them, or it could observe a spurious consumed == spawned + starts.
+  // The coordinator is an inline-handler endpoint, so this Send runs the
+  // merge synchronously on this thread.
+  const EndpointId coordinator = ctx.coordinator;
+  const RefinableTimestamp ts = ctx.ts;
+  const std::string program_name = ctx.name;
+  const bool visit_once = ctx.visit_once;
+  (void)options_.bus->Send(endpoint_, coordinator, kMsgWaveAccounting,
+                           std::move(acc), /*never_block=*/true);
+
+  // NOTE: `ctx` may not be referenced past this point. The accounting
+  // send above can complete the program inline (coordinator handler on
+  // this thread); teardown arrives as an EndProgram inbox message, so
+  // the context is still alive today -- but keep the forwarding loop
+  // independent of it so that invariant is not load-bearing.
+  Status forward_error = Status::Ok();
+  for (std::size_t s = 0; s < remote.size(); ++s) {
+    if (remote[s].empty()) continue;
+    auto batch = std::make_shared<WaveHopBatchMessage>();
+    batch->program_id = pid;
+    batch->ts = ts;
+    batch->program_name = program_name;
+    batch->coordinator = coordinator;
+    batch->visit_once = visit_once;
+    batch->hops = std::move(remote[s]);
+    // never_block: peer shards push into each other from their event
+    // loops; blocking on a full peer inbox could deadlock the pair.
+    const Status sent =
+        options_.bus->Send(endpoint_, shard_endpoints_[s], kMsgWaveHops,
+                           std::move(batch), /*never_block=*/true);
+    if (!sent.ok()) forward_error = sent;
+  }
+  if (!forward_error.ok()) {
+    // A peer shard is down: the spawn credits just reported can never be
+    // consumed, so tell the coordinator to abort the program (the client
+    // re-runs it, same contract as the old frontier liveness check).
+    auto err = std::make_shared<WaveAccountingMessage>();
+    err->program_id = pid;
+    err->shard = options_.id;
+    err->error = Status::Unavailable(
+        "peer shard is down; re-run the program (" +
+        forward_error.ToString() + ")");
+    (void)options_.bus->Send(endpoint_, coordinator, kMsgWaveAccounting,
+                             std::move(err), /*never_block=*/true);
+  }
+}
+
+void Shard::FinishProgram(ProgramId pid) {
+  contexts_.erase(pid);
+  program_state_.erase(pid);
+  live_contexts_.store(contexts_.size(), std::memory_order_relaxed);
+  live_state_tables_.store(program_state_.size(), std::memory_order_relaxed);
+  if (finished_.insert(pid).second) {
+    finished_order_.push_back(pid);
+    while (finished_order_.size() > kMaxFinishedTombstones) {
+      finished_.erase(finished_order_.front());
+      finished_order_.pop_front();
+    }
+  }
 }
 
 void Shard::RunGc(const RefinableTimestamp& watermark) {

@@ -11,12 +11,20 @@
 // refinable timestamps. NOP transactions guarantee every queue always has
 // a head, bounding the wait.
 //
-// Node programs (paper §4.1): a program wave with timestamp Tprog is
-// delayed until every queue head is strictly after Tprog -- i.e. all
-// preceding and concurrent transactions have executed -- then runs against
-// the multi-version graph, filtering out writes ordered after Tprog.
-// Per-program scratch state lives here until the coordinator sends
-// EndProgram (paper §4.5).
+// Node programs (paper §4.1, §4.5; docs/node_programs.md): execution is
+// decentralized. Hop batches arrive from the coordinator (start wave) or
+// directly from peer shards; the first batch for a program installs a
+// ProgramContext that interns the registry lookup, timestamp, and
+// visibility order function once. A program's hops are delayed until
+// every queue head is strictly after its timestamp -- i.e. all preceding
+// and concurrent transactions have executed -- a check that is sticky
+// (heads only advance), so it runs once per (shard, program). Eligible
+// hops execute as a local worklist (a traversal that stays on this shard
+// never leaves it); hops owned by peers batch into one message per peer
+// per drain cycle; exact (vertex, params) duplicates coalesce at ingress.
+// Each cycle ends with an accounting delta to the coordinator, which
+// detects quiescence by credit counting. Per-program scratch state lives
+// here until the coordinator sends EndProgram (paper §4.5).
 #pragma once
 
 #include <atomic>
@@ -25,10 +33,12 @@
 #include <memory>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/ids.h"
 #include "common/queue.h"
+#include "core/locator.h"
 #include "core/messages.h"
 #include "core/node_program.h"
 #include "graph/graph_store.h"
@@ -45,6 +55,8 @@ class Shard {
     MessageBus* bus = nullptr;
     TimelineOracle* oracle = nullptr;
     std::shared_ptr<const ProgramRegistry> programs;
+    /// Vertex -> shard directory used to route forwarded program hops.
+    NodeLocator* locator = nullptr;
     /// Reuse an existing endpoint (shard recovery keeps its address).
     EndpointId reuse_endpoint = kNoEndpoint;
     /// Inbox capacity; senders block once this many messages are queued
@@ -58,6 +70,14 @@ class Shard {
     /// one message per iteration, so starved queues always refill.
     /// 0 disables the throttle.
     std::size_t queue_high_water = 0;
+    /// Max program hops executed per context per drain cycle. Bounds how
+    /// long program work can monopolize the event loop before control
+    /// returns to Route() -- which is also what lets a coordinator abort
+    /// (EndProgram) interrupt a runaway program. Leftover hops carry to
+    /// the next cycle. Default mirrors
+    /// WeaverOptions::shard_max_hops_per_cycle (the deployment always
+    /// overwrites this; keep the two in sync).
+    std::size_t max_hops_per_cycle = 2048;
   };
   static constexpr EndpointId kNoEndpoint = ~0u;
 
@@ -65,15 +85,29 @@ class Shard {
     std::atomic<std::uint64_t> txs_applied{0};
     std::atomic<std::uint64_t> nops_processed{0};
     std::atomic<std::uint64_t> op_apply_errors{0};
+    /// Program drain cycles executed (the decentralized "wave" analog).
     std::atomic<std::uint64_t> waves_executed{0};
     std::atomic<std::uint64_t> wave_delays{0};  // eligibility re-checks
     std::atomic<std::uint64_t> vertices_executed{0};
+    /// Program hops consumed (executed or coalesced away).
+    std::atomic<std::uint64_t> hops_consumed{0};
+    /// Hops forwarded to peer shards, and the batch messages carrying
+    /// them (the shard-to-shard traffic the coordinator never sees).
+    std::atomic<std::uint64_t> hops_forwarded{0};
+    std::atomic<std::uint64_t> hop_batches_sent{0};
+    /// Exact (vertex, params) duplicates dropped at ingress.
+    std::atomic<std::uint64_t> hops_coalesced{0};
+    /// Hops to already-visited vertices dropped at ingress (VisitOnce
+    /// programs only).
+    std::atomic<std::uint64_t> hops_pruned{0};
+    /// ProgramContexts installed (first hop batch per program).
+    std::atomic<std::uint64_t> contexts_installed{0};
     std::atomic<std::uint64_t> gc_rounds{0};
     std::atomic<std::uint64_t> seq_violations{0};
     /// Nanoseconds spent routing and executing work (excludes idle waits).
     std::atomic<std::uint64_t> busy_ns{0};
     /// Nanoseconds spent on per-operation work only: applying transaction
-    /// ops and executing program waves (excludes NOP/background routing).
+    /// ops and executing program hops (excludes NOP/background routing).
     /// This is the per-op service demand the Fig 12/13 scaling benches'
     /// model uses.
     std::atomic<std::uint64_t> op_work_ns{0};
@@ -86,6 +120,13 @@ class Shard {
 
   ShardId id() const { return options_.id; }
   EndpointId endpoint() const { return endpoint_; }
+
+  /// Installs the shard-id -> endpoint table used to forward program
+  /// hops to peers (deployment wiring happens after all shards are
+  /// constructed). Call before Start().
+  void SetShardEndpoints(std::vector<EndpointId> endpoints) {
+    shard_endpoints_ = std::move(endpoints);
+  }
 
   /// Starts the event-loop thread.
   void Start();
@@ -107,6 +148,16 @@ class Shard {
   /// Number of transactions currently queued (diagnostics).
   std::size_t QueuedTransactions() const;
 
+  /// Live per-program scratch-state tables / contexts (diagnostics:
+  /// both drop to zero once EndProgram lands for every finished
+  /// program). Atomic gauges, safe to read while the event loop runs.
+  std::size_t ProgramStateCount() const {
+    return live_state_tables_.load(std::memory_order_relaxed);
+  }
+  std::size_t ProgramContextCount() const {
+    return live_contexts_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct QueueEntry {
     RefinableTimestamp ts;
@@ -114,21 +165,74 @@ class Shard {
     bool is_nop = false;
     std::uint64_t arrival = 0;
   };
-  struct PendingWave {
-    WaveMessage wave;
-    std::uint64_t arrival = 0;
+
+  /// Per-(shard, program) execution state, installed on first hop batch.
+  /// Interned once: the registry lookup, the timestamp, and the
+  /// visibility order function -- the per-wave costs of the old
+  /// barrier design.
+  struct ProgramContext {
+    RefinableTimestamp ts;
+    std::string name;  // forwarded verbatim in hop batches
+    const NodeProgram* program = nullptr;  // null: name not registered
+    OrderFn order;
+    EndpointId coordinator = 0;
+    /// This program's per-vertex scratch-state table (interned pointer
+    /// into program_state_; mapped references are rehash-stable).
+    std::unordered_map<NodeId, std::any>* states = nullptr;
+    /// program->VisitOnce(): hops to vertices whose state is already set
+    /// -- or that already have ANY hop pending -- are pruned at ingress
+    /// instead of re-dispatched, and each remote vertex is forwarded at
+    /// most once (`forwarded`).
+    bool visit_once = false;
+    /// Remote vertices this shard has already forwarded a hop to
+    /// (VisitOnce programs only): later hops to them are provably
+    /// no-ops, so they are dropped before they ever cross the bus.
+    std::unordered_set<NodeId> forwarded;
+    /// Delay rule passed (paper §4.1). Sticky: queue heads only advance,
+    /// so once every head is strictly after ts it stays that way.
+    bool eligible = false;
+    std::deque<NextHop> pending;
+    /// Ingress coalescing index over `pending`: vertex -> (params hash,
+    /// pointer to the queued hop's params). An arriving exact duplicate
+    /// -- hash match confirmed by a full compare -- is consumed on the
+    /// spot. Pointers target live deque elements (std::deque references
+    /// survive push/pop at the other end; each entry is unindexed before
+    /// its element pops), so no params string is ever copied.
+    std::unordered_map<NodeId,
+                       std::vector<std::pair<std::size_t, const std::string*>>>
+        pending_keys;
+    /// Consumption credit for hops coalesced since the last cycle.
+    std::uint64_t coalesced_credit = 0;
   };
 
   void Loop();
   void Route(const BusMessage& msg);
-  /// Runs eligible transactions and waves; returns when blocked on input.
+  /// Runs eligible transactions and program hops; returns when blocked
+  /// on input.
   void ProcessReady();
   bool AllQueuesNonEmpty() const;
   /// Index of the queue whose head is ordered first.
   std::size_t PickMinHead();
   void ApplyEntry(const QueueEntry& entry);
   bool WaveEligible(const RefinableTimestamp& prog_ts);
-  void ExecuteWave(const WaveMessage& wave);
+
+  /// Ingests a hop batch: installs the context on first contact, then
+  /// queues hops with exact-duplicate coalescing.
+  void OnHopBatch(WaveHopBatchMessage& batch);
+  /// Queues one hop unless an exact (vertex, params) duplicate is
+  /// already pending; returns false when coalesced.
+  bool QueueLocalHop(ProgramContext& ctx, NextHop hop);
+  /// Executes up to max_hops_per_cycle pending hops of one eligible
+  /// program, forwards spawned hops, and reports the accounting delta.
+  void RunProgramCycle(ProgramId pid, ProgramContext& ctx);
+  /// Runs a cycle for every eligible context with pending hops; returns
+  /// true if any hop executed.
+  bool RunEligiblePrograms();
+  /// True while some eligible context has pending hops (the event loop
+  /// must not block on the inbox).
+  bool HasRunnableProgramWork() const;
+  void FinishProgram(ProgramId pid);
+
   void RunGc(const RefinableTimestamp& watermark);
 
   /// Order function used for multi-version visibility during program
@@ -139,20 +243,33 @@ class Shard {
   Options options_;
   EndpointId endpoint_ = 0;
   std::shared_ptr<BlockingQueue<BusMessage>> inbox_;
+  std::vector<EndpointId> shard_endpoints_;  // ShardId -> EndpointId
 
   GraphStore graph_;
   OrderResolver resolver_;
   std::vector<std::deque<QueueEntry>> gk_queues_;
   std::vector<std::uint64_t> last_channel_seq_;  // FIFO assertions per gk
-  std::vector<PendingWave> pending_waves_;
   std::uint64_t arrival_counter_ = 0;
 
-  // Per-program, per-vertex node program state (paper §2.3, §4.5).
+  // Per-program execution contexts and per-vertex scratch state (paper
+  // §2.3, §4.5), both GC'd on EndProgram.
+  std::unordered_map<ProgramId, ProgramContext> contexts_;
   std::unordered_map<ProgramId, std::unordered_map<NodeId, std::any>>
       program_state_;
+  /// Recently finished programs (bounded): late hop batches racing an
+  /// abort must not reinstall a context. Normal completion cannot race
+  /// (quiescence implies no batch is in flight).
+  std::unordered_set<ProgramId> finished_;
+  std::deque<ProgramId> finished_order_;
 
   std::thread loop_thread_;
   std::atomic<bool> running_{false};
+
+  /// Gauges mirroring contexts_.size() / program_state_.size() for the
+  /// thread-safe diagnostics above (the maps themselves are loop-thread
+  /// private).
+  std::atomic<std::size_t> live_contexts_{0};
+  std::atomic<std::size_t> live_state_tables_{0};
 
   Stats stats_;
 };

@@ -93,7 +93,9 @@ TEST(BusTest, DetachedEndpointDropsMessages) {
   const EndpointId a = bus.RegisterHandler("a", [](const BusMessage&) {});
   const EndpointId b = bus.RegisterInbox("b", inbox);
   bus.Detach(b);
-  ASSERT_TRUE(bus.Send(a, b, 0, Payload(1)).ok());  // silently dropped
+  // The message is dropped and the sender learns it (program hop
+  // forwarding relies on this to abort instead of hanging).
+  ASSERT_TRUE(bus.Send(a, b, 0, Payload(1)).IsUnavailable());
   EXPECT_EQ(inbox->Size(), 0u);
 }
 
