@@ -1,0 +1,144 @@
+// ReplyRouter: correlates reply messages with Pending<T> handles.
+//
+// With the transport-agnostic bus API (docs/transport.md), client
+// requests are plain data: a submitter attaches a reply endpoint and a
+// request id, and the gatekeeper answers with ClientCommitReply /
+// ClientProgramReply messages. The router owns the request-id space of
+// one reply endpoint: submissions register a Pending<T> and get an id;
+// the endpoint's bus handler feeds every inbound reply to OnMessage(),
+// which fulfills the matching handle. Shared by Session (its reply
+// endpoint) and Weaver's blocking wrappers (the deployment-internal reply
+// endpoint).
+//
+// Lifetime: the bus invokes handlers outside its endpoint lock, so a
+// handler can still be running while the owning Session is destroyed.
+// Owners therefore hold the router in a shared_ptr captured by the
+// handler lambda, and FailAll() any still-registered requests when they
+// detach -- a reply that arrives later finds no entry and is dropped.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "client/pending.h"
+#include "common/result.h"
+#include "core/messages.h"
+#include "core/node_program.h"
+#include "core/transaction.h"
+
+namespace weaver {
+
+class ReplyRouter {
+ public:
+  /// Registers a handle and returns the request id to put in the message.
+  /// Register BEFORE sending: a reply can arrive (inline) mid-Send.
+  std::uint64_t RegisterCommit(Pending<CommitResult> pending) {
+    std::lock_guard<std::mutex> lk(mu_);
+    const std::uint64_t id = next_id_++;
+    commits_.emplace(id, std::move(pending));
+    return id;
+  }
+
+  std::uint64_t RegisterProgram(Pending<Result<ProgramResult>> pending) {
+    std::lock_guard<std::mutex> lk(mu_);
+    const std::uint64_t id = next_id_++;
+    programs_.emplace(id, std::move(pending));
+    return id;
+  }
+
+  /// Bus handler body for the owning reply endpoint: fulfills the handle
+  /// a reply names. Unknown ids (already failed, or a stale reply after
+  /// FailAll) are dropped.
+  void OnMessage(const BusMessage& msg) {
+    switch (msg.payload_tag) {
+      case kMsgClientCommitReply: {
+        auto reply =
+            std::static_pointer_cast<ClientCommitReplyMessage>(msg.payload);
+        Pending<CommitResult> pending;
+        if (!TakeCommit(reply->request_id, &pending)) return;
+        pending.Fulfill(CommitResult{reply->status, reply->timestamp});
+        break;
+      }
+      case kMsgClientProgramReply: {
+        auto reply =
+            std::static_pointer_cast<ClientProgramReplyMessage>(msg.payload);
+        Pending<Result<ProgramResult>> pending;
+        if (!TakeProgram(reply->request_id, &pending)) return;
+        if (reply->status.ok()) {
+          pending.Fulfill(std::move(reply->result));
+        } else {
+          pending.Fulfill(reply->status);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  /// Fails one registered request (a Send that never reached the bus).
+  void FailCommit(std::uint64_t request_id, Status status) {
+    Pending<CommitResult> pending;
+    if (!TakeCommit(request_id, &pending)) return;
+    pending.Fulfill(CommitResult{std::move(status), {}});
+  }
+
+  void FailProgram(std::uint64_t request_id, Status status) {
+    Pending<Result<ProgramResult>> pending;
+    if (!TakeProgram(request_id, &pending)) return;
+    pending.Fulfill(Result<ProgramResult>(std::move(status)));
+  }
+
+  /// Fails every outstanding request (owner detaching its endpoint: no
+  /// reply can be delivered anymore, and Wait() must never hang).
+  void FailAll(const Status& status) {
+    std::unordered_map<std::uint64_t, Pending<CommitResult>> commits;
+    std::unordered_map<std::uint64_t, Pending<Result<ProgramResult>>>
+        programs;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      commits.swap(commits_);
+      programs.swap(programs_);
+    }
+    for (auto& [id, pending] : commits) {
+      pending.Fulfill(CommitResult{status, {}});
+    }
+    for (auto& [id, pending] : programs) {
+      pending.Fulfill(Result<ProgramResult>(status));
+    }
+  }
+
+  std::size_t OutstandingForTest() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return commits_.size() + programs_.size();
+  }
+
+ private:
+  bool TakeCommit(std::uint64_t id, Pending<CommitResult>* out) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = commits_.find(id);
+    if (it == commits_.end()) return false;
+    *out = std::move(it->second);
+    commits_.erase(it);
+    return true;
+  }
+
+  bool TakeProgram(std::uint64_t id, Pending<Result<ProgramResult>>* out) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = programs_.find(id);
+    if (it == programs_.end()) return false;
+    *out = std::move(it->second);
+    programs_.erase(it);
+    return true;
+  }
+
+  mutable std::mutex mu_;
+  std::uint64_t next_id_ = 1;
+  std::unordered_map<std::uint64_t, Pending<CommitResult>> commits_;
+  std::unordered_map<std::uint64_t, Pending<Result<ProgramResult>>>
+      programs_;
+};
+
+}  // namespace weaver

@@ -8,13 +8,30 @@
 namespace weaver {
 
 Session::Session(Weaver* db, GatekeeperId gk, std::uint64_t name_hint)
-    : db_(db), gk_(gk) {
-  // The session's endpoint gives its requests a real source address (and
-  // a FIFO channel to the gatekeeper); replies ride the in-process sink
-  // callbacks, so the inbound handler has nothing to do yet. A real
-  // transport would deliver responses here.
+    : db_(db), gk_(gk), router_(std::make_shared<ReplyRouter>()) {
+  // The session's endpoint is its reply address: the gatekeeper answers
+  // every request with a ClientCommitReply / ClientProgramReply message
+  // here, and the router fulfills the matching Pending handle. The
+  // handler also tracks the latest committed timestamp for the
+  // read-your-writes fence. It captures the router by shared_ptr (not
+  // `this`): the bus may still be invoking it while the session
+  // destructs.
   endpoint_ = db_->bus().RegisterHandler(
-      "session" + std::to_string(name_hint), [](const BusMessage&) {});
+      "session" + std::to_string(name_hint),
+      [router = router_, shared = shared_](const BusMessage& msg) {
+        if (msg.payload_tag == kMsgClientCommitReply) {
+          auto reply =
+              std::static_pointer_cast<ClientCommitReplyMessage>(msg.payload);
+          if (reply->status.ok()) {
+            // Commit replies arrive in execution (= submission) order on
+            // this session's lane, so last-writer-wins is the latest
+            // committed timestamp.
+            std::lock_guard<std::mutex> lk(shared->mu);
+            shared->last_committed = reply->timestamp;
+          }
+        }
+        router->OnMessage(msg);
+      });
   gk_client_ep_ = db_->gatekeeper(gk_).client_endpoint();
   // Endpoint ids are unique per deployment, which makes them convenient
   // globally-unique lane keys (Weaver's internal blocking wrappers use a
@@ -23,11 +40,23 @@ Session::Session(Weaver* db, GatekeeperId gk, std::uint64_t name_hint)
 }
 
 Session::~Session() {
-  // Detach the endpoint so the bus drops any future sends to it. (The
-  // endpoint slot itself and the per-channel sequence state stay behind
-  // -- the bus has no id reuse -- but they are a few bytes per session,
-  // not a queue.)
+  // Detach the endpoint so the bus drops any future replies, then fail
+  // whatever is still outstanding -- those replies can never arrive, and
+  // Wait() must not hang. (The endpoint slot and per-channel sequence
+  // state stay behind -- the bus has no id reuse -- but they are a few
+  // bytes per session, not a queue.)
   db_->bus().Detach(endpoint_);
+  router_->FailAll(Status::Unavailable("session closed"));
+}
+
+void Session::SetReadYourWrites(bool on) {
+  std::lock_guard<std::mutex> lk(state_mu_);
+  read_your_writes_ = on;
+}
+
+bool Session::read_your_writes() const {
+  std::lock_guard<std::mutex> lk(state_mu_);
+  return read_your_writes_;
 }
 
 Transaction Session::BeginTx() { return db_->BeginTx(); }
@@ -57,11 +86,16 @@ Pending<CommitResult> Session::SubmitCommit(Transaction tx, bool delay_paid) {
   }
   auto msg = std::make_shared<ClientCommitMessage>();
   msg->session_id = id_;
+  msg->reply_to = endpoint_;
   msg->delay_paid = delay_paid;
-  msg->tx = std::move(tx);
-  msg->sink = [pending](CommitResult r) mutable {
-    pending.Fulfill(std::move(r));
-  };
+  CommitPayload payload = tx.DetachForSubmit();
+  msg->ops = std::move(payload.ops);
+  msg->created_placements = std::move(payload.created_placements);
+  msg->read_set = std::move(payload.read_set);
+  // Register BEFORE sending: the reply (or an inline rejection) can
+  // arrive before Send returns.
+  msg->request_id = router_->RegisterCommit(pending);
+  const std::uint64_t request_id = msg->request_id;
   Status sent;
   {
     // The mutex defines the session's submission order when several
@@ -70,8 +104,12 @@ Pending<CommitResult> Session::SubmitCommit(Transaction tx, bool delay_paid) {
     std::lock_guard<std::mutex> lk(submit_mu_);
     sent = db_->bus().Send(endpoint_, gk_client_ep_, kMsgClientCommit,
                            std::move(msg));
+    if (sent.ok()) {
+      std::lock_guard<std::mutex> slk(state_mu_);
+      last_commit_ = pending;
+    }
   }
-  if (!sent.ok()) pending.Fulfill(CommitResult{std::move(sent), {}});
+  if (!sent.ok()) router_->FailCommit(request_id, std::move(sent));
   return pending;
 }
 
@@ -79,27 +117,69 @@ Pending<CommitResult> Session::CommitAsync(Transaction tx) {
   return SubmitCommit(std::move(tx), /*delay_paid=*/false);
 }
 
-Pending<Result<ProgramResult>> Session::RunProgramAsync(
-    std::string_view name, std::vector<NextHop> starts) {
-  auto pending = Pending<Result<ProgramResult>>::Make();
-  if (!db_->started()) {
-    pending.Fulfill(Result<ProgramResult>(
-        Status::FailedPrecondition("deployment not started")));
-    return pending;
+RefinableTimestamp Session::CurrentFence() {
+  Pending<CommitResult> last;
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    if (!read_your_writes_) return {};
+    last = last_commit_;
   }
+  // Wait for the most recent commit to execute: its reply (and every
+  // earlier one -- the lane is FIFO and replies are sent in execution
+  // order) has then recorded the fence. Cheap when already done.
+  if (last.valid()) (void)last.Wait();
+  std::lock_guard<std::mutex> lk(shared_->mu);
+  return shared_->last_committed;
+}
+
+std::vector<Pending<Result<ProgramResult>>> Session::RunProgramBatchAsync(
+    std::vector<ProgramCall> calls) {
+  std::vector<Pending<Result<ProgramResult>>> pendings;
+  pendings.reserve(calls.size());
+  for (std::size_t i = 0; i < calls.size(); ++i) {
+    pendings.push_back(Pending<Result<ProgramResult>>::Make());
+  }
+  if (calls.empty()) return pendings;
+  if (!db_->started()) {
+    for (auto& p : pendings) {
+      p.Fulfill(Result<ProgramResult>(
+          Status::FailedPrecondition("deployment not started")));
+    }
+    return pendings;
+  }
+  const RefinableTimestamp fence = CurrentFence();
   auto msg = std::make_shared<ClientProgramMessage>();
   msg->session_id = id_;
-  msg->program_name = std::string(name);
-  msg->starts = std::move(starts);
-  msg->sink = [pending](Result<ProgramResult> r) mutable {
-    pending.Fulfill(std::move(r));
-  };
+  msg->reply_to = endpoint_;
+  msg->requests.reserve(calls.size());
+  std::vector<std::uint64_t> request_ids;
+  request_ids.reserve(calls.size());
+  for (std::size_t i = 0; i < calls.size(); ++i) {
+    ProgramRequest req;
+    req.request_id = router_->RegisterProgram(pendings[i]);
+    req.program_name = std::move(calls[i].name);
+    req.starts = std::move(calls[i].starts);
+    req.fence = fence;
+    request_ids.push_back(req.request_id);
+    msg->requests.push_back(std::move(req));
+  }
   // No lock: programs carry no submission-order promise, so concurrent
   // submitters need not serialize.
   const Status sent = db_->bus().Send(endpoint_, gk_client_ep_,
                                       kMsgClientProgram, std::move(msg));
-  if (!sent.ok()) pending.Fulfill(Result<ProgramResult>(std::move(sent)));
-  return pending;
+  if (!sent.ok()) {
+    for (const std::uint64_t rid : request_ids) {
+      router_->FailProgram(rid, sent);
+    }
+  }
+  return pendings;
+}
+
+Pending<Result<ProgramResult>> Session::RunProgramAsync(
+    std::string_view name, std::vector<NextHop> starts) {
+  std::vector<ProgramCall> calls;
+  calls.push_back(ProgramCall{std::string(name), std::move(starts)});
+  return RunProgramBatchAsync(std::move(calls)).front();
 }
 
 Pending<Result<ProgramResult>> Session::RunProgramAsync(std::string_view name,
@@ -115,7 +195,7 @@ Status Session::Commit(Transaction* tx) {
     return Status::FailedPrecondition("invalid or moved-from transaction");
   }
   if (tx->committed()) {
-    // Guard BEFORE moving: re-committing must not wipe the recorded
+    // Guard BEFORE submitting: re-committing must not wipe the recorded
     // outcome of the earlier successful commit.
     return Status::Internal("transaction already committed");
   }
@@ -145,12 +225,19 @@ Status Session::RunTransaction(
 
 Result<ProgramResult> Session::RunProgram(std::string_view name,
                                           std::vector<NextHop> starts) {
+  if (db_->started()) {
+    // Route through the async surface so blocking callers get the same
+    // fence semantics (read-your-writes) as pipelined ones.
+    return RunProgramAsync(name, std::move(starts)).Take();
+  }
   return db_->RunProgramOn(gk_, name, std::move(starts));
 }
 
 Result<ProgramResult> Session::RunProgram(std::string_view name, NodeId start,
                                           std::string params) {
-  return db_->RunProgramOn(gk_, name, start, std::move(params));
+  std::vector<NextHop> starts;
+  starts.push_back(NextHop{start, std::move(params)});
+  return RunProgram(name, std::move(starts));
 }
 
 }  // namespace weaver

@@ -1,11 +1,14 @@
 // Session: the canonical client handle onto a Weaver deployment.
 //
 // A session speaks to ONE gatekeeper (chosen round-robin at open) through
-// ClientRequest messages on the MessageBus -- the seam a future real
-// transport plugs into -- and may pipeline many requests: CommitAsync()
-// and RunProgramAsync() return Pending<T> handles immediately, and the
-// gatekeeper's client ingress executes a session's requests strictly in
-// submission order while different sessions proceed in parallel.
+// ClientCommit / ClientProgram messages on the MessageBus, and receives
+// the outcomes as ClientCommitReply / ClientProgramReply messages on its
+// own reply endpoint -- request and response are both plain-data bus
+// messages (core/messages.h), which is exactly what lets the same
+// session logic run against in-process gatekeepers or across a real
+// transport (docs/transport.md). A session may pipeline many requests:
+// CommitAsync() and RunProgramAsync() return Pending<T> handles
+// immediately, fulfilled by the reply router when the replies arrive.
 //
 // Ordering guarantees:
 //   * per-session commits: execute (and take their timestamps) in the
@@ -13,7 +16,9 @@
 //   * programs: read consistent snapshots and carry no submission-order
 //     promise -- pipelined programs run concurrently on the gatekeeper's
 //     worker pool. A program that must observe an earlier CommitAsync()
-//     should Wait() on it first;
+//     should Wait() on it first, or turn on SetReadYourWrites(true) to
+//     have the session fence programs behind its last commit
+//     automatically;
 //   * cross-session: no submission-order guarantee -- concurrent sessions
 //     are ordered by the refinable timestamps their requests receive,
 //     exactly like concurrent clients in the paper.
@@ -29,12 +34,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "client/pending.h"
+#include "client/reply_router.h"
 #include "common/ids.h"
 #include "common/result.h"
 #include "core/node_program.h"
@@ -46,9 +53,15 @@ namespace weaver {
 
 class WeaverClient;
 
+/// One node-program invocation for the batched fan-out API.
+struct ProgramCall {
+  std::string name;
+  std::vector<NextHop> starts;
+};
+
 class Session {
  public:
-  ~Session();  // detaches the session's bus endpoint
+  ~Session();  // detaches the reply endpoint, fails outstanding handles
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
@@ -57,6 +70,16 @@ class Session {
   /// The gatekeeper this session is pinned to.
   GatekeeperId gatekeeper() const { return gk_; }
 
+  /// Read-your-writes mode: while enabled, every program submitted on
+  /// this session is fenced behind the session's last committed
+  /// timestamp -- the gatekeeper issues the program a timestamp that
+  /// happens-after the commit, so its snapshot observes the write.
+  /// Submission may block until the session's most recent CommitAsync()
+  /// executes (its reply carries the fence). Off by default: programs
+  /// run on whatever consistent snapshot their timestamp names.
+  void SetReadYourWrites(bool on);
+  bool read_your_writes() const;
+
   // --- Async (pipelined) surface -------------------------------------------
 
   /// Starts a buffered-write transaction (same object the blocking API
@@ -64,9 +87,9 @@ class Session {
   Transaction BeginTx();
 
   /// Submits the transaction for commit and returns immediately. The
-  /// transaction is moved into the request; the commit timestamp comes
-  /// back in the CommitResult. Commits submitted on one session are
-  /// executed -- and timestamped -- in submission order.
+  /// transaction is detached into the request (plain data; the commit
+  /// timestamp comes back in the CommitResult). Commits submitted on one
+  /// session are executed -- and timestamped -- in submission order.
   Pending<CommitResult> CommitAsync(Transaction tx);
 
   /// Submits a node program and returns immediately. Pipelined programs
@@ -78,13 +101,21 @@ class Session {
                                                  NodeId start,
                                                  std::string params = "");
 
+  /// Batched fan-out: submits every call in ONE ClientProgram message --
+  /// one bus crossing, one ingress pass -- and returns a handle per
+  /// call. The requests fan out inside the gatekeeper's ingress and may
+  /// run concurrently on its worker pool.
+  std::vector<Pending<Result<ProgramResult>>> RunProgramBatchAsync(
+      std::vector<ProgramCall> calls);
+
   // --- Blocking conveniences (wrappers over the async surface) -------------
 
   /// CommitAsync(...).Wait(): blocks until the commit executes, then
   /// annotates *tx with the outcome (timestamp() and committed() keep
-  /// working on the shell the move left behind). On a deployment that is
-  /// not started (deterministic/bulk-load mode) this executes inline,
-  /// like Weaver::Commit; the async methods instead fail fast there.
+  /// working on the shell the submission hollowed out). On a deployment
+  /// that is not started (deterministic/bulk-load mode) this executes
+  /// inline, like Weaver::Commit; the async methods instead fail fast
+  /// there.
   Status Commit(Transaction* tx);
 
   /// Retry loop over BeginTx + body + Commit, like Weaver::RunTransaction.
@@ -102,16 +133,37 @@ class Session {
   Session(Weaver* db, GatekeeperId gk, std::uint64_t name_hint);
 
   Pending<CommitResult> SubmitCommit(Transaction tx, bool delay_paid);
+  /// Current read-your-writes fence: waits for the most recent commit if
+  /// RYW is on (invalid timestamp otherwise / when nothing committed).
+  RefinableTimestamp CurrentFence();
 
   Weaver* db_;
   GatekeeperId gk_;
-  EndpointId endpoint_ = 0;         // this session's bus address
+  EndpointId endpoint_ = 0;         // this session's reply endpoint
   EndpointId gk_client_ep_ = 0;     // the pinned gatekeeper's ingress
   std::uint64_t id_ = 0;
+
+  /// Correlates replies with Pending handles. Shared with the bus
+  /// handler, which can outlive a destructing session by a beat.
+  std::shared_ptr<ReplyRouter> router_;
+
+  /// State the reply handler writes; shared for the same lifetime reason
+  /// as the router (the handler must never touch `this`).
+  struct SharedState {
+    std::mutex mu;
+    RefinableTimestamp last_committed;
+  };
+  std::shared_ptr<SharedState> shared_ = std::make_shared<SharedState>();
 
   /// Serializes commit submissions: the critical section's order is the
   /// session's commit submission order (programs submit lock-free).
   std::mutex submit_mu_;
+
+  /// Read-your-writes mode flag + the most recent commit's handle (its
+  /// reply carries the fence timestamp). Guarded by state_mu_.
+  mutable std::mutex state_mu_;
+  bool read_your_writes_ = false;
+  Pending<CommitResult> last_commit_;
 };
 
 }  // namespace weaver

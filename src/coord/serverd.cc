@@ -1,0 +1,167 @@
+#include "coord/serverd.h"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/message_codec.h"
+#include "core/locator.h"
+#include "core/messages.h"
+#include "core/node_program.h"
+#include "net/transport.h"
+#include "net/wire_link.h"
+#include "oracle/timeline_oracle.h"
+#include "shard/shard.h"
+
+namespace weaver {
+namespace serverd {
+
+EndpointLayout EndpointLayout::Compute(std::size_t num_shards,
+                                       std::size_t num_gatekeepers) {
+  // Mirrors Weaver's registration order exactly: shards first (one
+  // endpoint each), then per-gatekeeper (server, client ingress) pairs,
+  // then the program coordinator. Weaver asserts this layout when it
+  // opens a remote deployment, so drift fails loudly at boot.
+  EndpointLayout layout;
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    layout.shards.push_back(static_cast<EndpointId>(s));
+  }
+  for (std::size_t g = 0; g < num_gatekeepers; ++g) {
+    layout.gatekeepers.push_back(
+        static_cast<EndpointId>(num_shards + 2 * g));
+    layout.gatekeeper_clients.push_back(
+        static_cast<EndpointId>(num_shards + 2 * g + 1));
+  }
+  layout.coordinator =
+      static_cast<EndpointId>(num_shards + 2 * num_gatekeepers);
+  return layout;
+}
+
+int RunShardServer(int parent_fd, ShardId shard_id,
+                   const ShardServerOptions& options) {
+  const EndpointLayout layout =
+      EndpointLayout::Compute(options.num_shards, options.num_gatekeepers);
+
+  MessageBus bus;
+  bus.SetWireEncoder(EncodePayload);
+  auto transport =
+      std::shared_ptr<Transport>(SocketTransport::Adopt(parent_fd));
+
+  // Shard-local replicas of the deployment-wide state a shard consults:
+  // the timeline oracle (reactive refinement; see
+  // docs/transport.md#limitations), the program registry, and a
+  // hash-fallback vertex directory (remote deployments use hash
+  // placement, so ownership is computable without the backing store).
+  TimelineOracle oracle;
+  auto programs = ProgramRegistry::WithStandardPrograms();
+  const std::size_t num_shards = options.num_shards;
+  NodeLocator locator(num_shards, [num_shards](NodeId node) {
+    return static_cast<ShardId>(MixHash64(node) % num_shards);
+  });
+
+  // Mirror the endpoint layout: this shard's real server at its own id,
+  // a remote proxy through the parent link everywhere else. Ids are
+  // assigned by registration order, so the loop must visit every id in
+  // order; drift means frames would misroute, so it fails hard even in
+  // release builds.
+  std::unique_ptr<Shard> shard;
+  for (EndpointId id = 0; id <= layout.max_endpoint(); ++id) {
+    EndpointId got;
+    if (id == layout.shards[shard_id]) {
+      Shard::Options so;
+      so.id = shard_id;
+      so.num_gatekeepers = options.num_gatekeepers;
+      so.bus = &bus;
+      so.oracle = &oracle;
+      so.programs = programs;
+      so.locator = &locator;
+      so.inbox_capacity = options.inbox_capacity;
+      so.queue_high_water = options.queue_high_water;
+      so.max_hops_per_cycle = options.max_hops_per_cycle;
+      shard = std::make_unique<Shard>(so);
+      got = shard->endpoint();
+    } else {
+      got = bus.RegisterRemote("peer" + std::to_string(id), transport);
+    }
+    if (got != id) {
+      std::fprintf(stderr,
+                   "weaver-serverd: endpoint layout drifted (got %u, want "
+                   "%u)\n",
+                   got, id);
+      return 1;
+    }
+  }
+  shard->SetShardEndpoints(layout.shards);
+  shard->Start();
+
+  // Inbound link from the parent hub. Everything this shard can receive
+  // is addressed to it directly, so no hub forwarding happens here.
+  WireLink::Options lo;
+  lo.bus = &bus;
+  lo.transport = transport;
+  lo.decode = DecodePayload;
+  lo.never_block = WireNeverBlock;
+  lo.name = "shard" + std::to_string(shard_id) + ".uplink";
+  WireLink link(std::move(lo));
+
+  // Serve until the parent goes away: a Stop message closes the shard's
+  // inbox, and the parent tearing down the socket EOFs the link.
+  link.WaitClosed();
+  shard->Stop();
+  return link.error().ok() || link.error().IsUnavailable() ? 0 : 1;
+}
+
+Result<std::vector<ShardProcess>> SpawnShardServers(
+    const ShardServerOptions& options) {
+  std::vector<ShardProcess> children;
+  for (std::size_t s = 0; s < options.num_shards; ++s) {
+    auto fds = SocketTransport::CreateSocketPairFds();
+    if (!fds.ok()) {
+      for (const ShardProcess& c : children) ::close(c.parent_fd);
+      return fds.status();
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(fds->first);
+      ::close(fds->second);
+      for (const ShardProcess& c : children) ::close(c.parent_fd);
+      return Status::Internal("fork failed");
+    }
+    if (pid == 0) {
+      // Child: drop every parent-side fd (ours and earlier siblings'),
+      // serve, and _exit without running the parent's atexit chain.
+      ::close(fds->first);
+      for (const ShardProcess& c : children) ::close(c.parent_fd);
+      const int rc = RunShardServer(fds->second, static_cast<ShardId>(s),
+                                    options);
+      ::_exit(rc);
+    }
+    ::close(fds->second);  // parent: the child owns its end
+    children.push_back(ShardProcess{pid, fds->first});
+  }
+  return children;
+}
+
+Status WaitShardServers(const std::vector<ShardProcess>& children) {
+  Status result = Status::Ok();
+  for (const ShardProcess& child : children) {
+    int status = 0;
+    if (::waitpid(child.pid, &status, 0) < 0) {
+      result = Status::Internal("waitpid failed");
+      continue;
+    }
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      result = Status::Internal(
+          "shard server pid " + std::to_string(child.pid) +
+          " exited abnormally (status " + std::to_string(status) + ")");
+    }
+  }
+  return result;
+}
+
+}  // namespace serverd
+}  // namespace weaver

@@ -1,0 +1,99 @@
+// weaver-serverd: the multi-process deployment harness
+// (docs/transport.md#multi-process).
+//
+// The paper's deployment runs shard servers as separate processes; this
+// harness provides that shape. The PARENT process runs the gatekeeper
+// bank, the backing store, the program coordinator, and the clients (a
+// Weaver opened with WeaverOptions::remote_shard_fds); each CHILD
+// process runs one standalone shard server (RunShardServer) connected to
+// the parent by a stream socket. All inter-process traffic is wire
+// frames (net/wire.h) carrying the schemas of core/messages.h; the
+// parent doubles as a hub that forwards shard-to-shard hop batches
+// between children without decoding them.
+//
+// The two sides never exchange configuration at runtime: they agree on
+// the ENDPOINT LAYOUT below, computed from (num_shards, num_gatekeepers)
+// alone. It mirrors Weaver's construction order exactly --
+//
+//     ids 0..S-1                 shard servers
+//     ids S+2g, S+2g+1           gatekeeper g (server, client ingress)
+//     id  S+2G                   program coordinator
+//
+// -- so a frame's destination id means the same thing in every process.
+// A child registers its own shard at its id and a remote proxy (over its
+// single parent link) at every other id it can address.
+//
+// Shard-local state in a child: its own timeline-oracle REPLICA (the
+// reactive refinement stage; see docs/transport.md#limitations), the
+// standard program registry, and a hash-fallback NodeLocator -- which is
+// why remote deployments require hash placement.
+//
+// Fork protocol (the only supported spawn mode today; an exec-based
+// weaver-serverd binary would pass the same config on its command line):
+// create the socketpairs and FORK THE CHILDREN FIRST, before the parent
+// constructs its Weaver -- threads do not survive fork. Each child calls
+// RunShardServer, which blocks until the parent shuts down, and _exits.
+#pragma once
+
+#include <cstdint>
+#include <sys/types.h>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "net/bus.h"
+
+namespace weaver {
+namespace serverd {
+
+/// The endpoint-id contract between the parent deployment and the shard
+/// server processes.
+struct EndpointLayout {
+  std::vector<EndpointId> shards;
+  std::vector<EndpointId> gatekeepers;
+  std::vector<EndpointId> gatekeeper_clients;
+  EndpointId coordinator = 0;
+
+  static EndpointLayout Compute(std::size_t num_shards,
+                                std::size_t num_gatekeepers);
+  /// Highest id a child must be able to address (== coordinator).
+  EndpointId max_endpoint() const { return coordinator; }
+};
+
+/// Shard-server knobs a child shares with the parent deployment.
+struct ShardServerOptions {
+  std::size_t num_shards = 2;
+  std::size_t num_gatekeepers = 2;
+  std::size_t inbox_capacity = 8192;
+  std::size_t queue_high_water = 4096;
+  std::size_t max_hops_per_cycle = 2048;
+};
+
+/// Child-process entry point: builds a standalone shard server for
+/// `shard_id` wired to the parent over `parent_fd` (takes ownership of
+/// the fd), serves until the parent shuts down (Stop message or socket
+/// EOF), and returns the exit code. Call from a freshly forked child and
+/// _exit() with the result.
+int RunShardServer(int parent_fd, ShardId shard_id,
+                   const ShardServerOptions& options);
+
+/// One spawned shard-server child.
+struct ShardProcess {
+  pid_t pid = -1;
+  int parent_fd = -1;  // the parent's end of the pair
+};
+
+/// Forks one shard-server child per shard. Call BEFORE constructing the
+/// parent Weaver (threads do not survive fork). On success, feed the
+/// parent_fds into WeaverOptions::remote_shard_fds.
+Result<std::vector<ShardProcess>> SpawnShardServers(
+    const ShardServerOptions& options);
+
+/// Waits for every child to exit (after the parent Weaver shut down).
+/// Returns non-OK if any child exited abnormally or with a non-zero
+/// code.
+Status WaitShardServers(const std::vector<ShardProcess>& children);
+
+}  // namespace serverd
+}  // namespace weaver

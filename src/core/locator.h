@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <shared_mutex>
 #include <unordered_map>
@@ -22,12 +23,27 @@ class NodeLocator {
   NodeLocator(KvStore* kv, std::size_t num_shards)
       : kv_(kv), loads_(num_shards, 0) {}
 
+  /// Directory for a process with no backing store (remote shard-server
+  /// processes, docs/transport.md): unknown vertices resolve through
+  /// `default_placement` instead of a kv read-through. Only sound for
+  /// deployments using deterministic (hash) placement -- the deployment
+  /// enforces that before handing out this mode.
+  NodeLocator(std::size_t num_shards,
+              std::function<ShardId(NodeId)> default_placement)
+      : kv_(nullptr),
+        default_placement_(std::move(default_placement)),
+        loads_(num_shards, 0) {}
+
   /// Shard of `node`, or nullopt if the vertex is unknown.
   std::optional<ShardId> Lookup(NodeId node) const {
     {
       std::shared_lock lk(mu_);
       auto it = map_.find(node);
       if (it != map_.end()) return it->second;
+    }
+    if (kv_ == nullptr) {
+      if (default_placement_) return default_placement_(node);
+      return std::nullopt;
     }
     // Read-through to the backing store (another client may have created
     // the vertex).
@@ -67,6 +83,7 @@ class NodeLocator {
 
  private:
   KvStore* kv_;
+  std::function<ShardId(NodeId)> default_placement_;
   mutable std::shared_mutex mu_;
   std::unordered_map<NodeId, ShardId> map_;
   std::vector<std::size_t> loads_;

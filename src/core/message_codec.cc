@@ -1,0 +1,469 @@
+#include "core/message_codec.h"
+
+#include <utility>
+
+namespace weaver {
+
+namespace {
+
+// --- Shared sub-codecs ------------------------------------------------------
+
+void EncodeClock(const VectorClock& c, wire::Writer* w) {
+  w->VarU32(c.epoch());
+  w->Count(c.width());
+  for (std::size_t i = 0; i < c.width(); ++i) w->VarU64(c.Component(i));
+}
+
+Status DecodeClock(wire::Reader* r, VectorClock* out) {
+  std::uint32_t epoch = 0;
+  std::size_t width = 0;
+  WEAVER_RETURN_IF_ERROR(r->VarU32(&epoch));
+  WEAVER_RETURN_IF_ERROR(r->Count(&width));
+  std::vector<std::uint64_t> counters(width, 0);
+  for (std::size_t i = 0; i < width; ++i) {
+    WEAVER_RETURN_IF_ERROR(r->VarU64(&counters[i]));
+  }
+  *out = VectorClock(epoch, std::move(counters));
+  return Status::Ok();
+}
+
+void EncodeTs(const RefinableTimestamp& ts, wire::Writer* w) {
+  EncodeClock(ts.clock, w);
+  w->VarU32(ts.gatekeeper);
+  w->VarU64(ts.local_seq);
+}
+
+Status DecodeTs(wire::Reader* r, RefinableTimestamp* out) {
+  WEAVER_RETURN_IF_ERROR(DecodeClock(r, &out->clock));
+  WEAVER_RETURN_IF_ERROR(r->VarU32(&out->gatekeeper));
+  WEAVER_RETURN_IF_ERROR(r->VarU64(&out->local_seq));
+  return Status::Ok();
+}
+
+void EncodeStatus(const Status& s, wire::Writer* w) {
+  w->VarU32(static_cast<std::uint32_t>(s.code()));
+  w->String(s.message());
+}
+
+Status DecodeStatus(wire::Reader* r, Status* out) {
+  std::uint32_t code = 0;
+  std::string message;
+  WEAVER_RETURN_IF_ERROR(r->VarU32(&code));
+  WEAVER_RETURN_IF_ERROR(r->String(&message));
+  if (code > static_cast<std::uint32_t>(StatusCode::kResourceExhausted)) {
+    return Status::InvalidArgument("unknown status code on the wire");
+  }
+  *out = Status(static_cast<StatusCode>(code), std::move(message));
+  return Status::Ok();
+}
+
+void EncodeOp(const GraphOp& op, wire::Writer* w) {
+  w->U8(static_cast<std::uint8_t>(op.type));
+  w->VarU64(op.node);
+  w->VarU64(op.edge);
+  w->VarU64(op.to);
+  w->String(op.key);
+  w->String(op.value);
+}
+
+Status DecodeOp(wire::Reader* r, GraphOp* op) {
+  std::uint8_t type = 0;
+  WEAVER_RETURN_IF_ERROR(r->U8(&type));
+  if (type > static_cast<std::uint8_t>(GraphOpType::kRemoveEdgeProp)) {
+    return Status::InvalidArgument("unknown graph op type on the wire");
+  }
+  op->type = static_cast<GraphOpType>(type);
+  WEAVER_RETURN_IF_ERROR(r->VarU64(&op->node));
+  WEAVER_RETURN_IF_ERROR(r->VarU64(&op->edge));
+  WEAVER_RETURN_IF_ERROR(r->VarU64(&op->to));
+  WEAVER_RETURN_IF_ERROR(r->String(&op->key));
+  WEAVER_RETURN_IF_ERROR(r->String(&op->value));
+  return Status::Ok();
+}
+
+void EncodeOps(const std::vector<GraphOp>& ops, wire::Writer* w) {
+  w->Count(ops.size());
+  for (const GraphOp& op : ops) EncodeOp(op, w);
+}
+
+Status DecodeOps(wire::Reader* r, std::vector<GraphOp>* ops) {
+  std::size_t n = 0;
+  WEAVER_RETURN_IF_ERROR(r->Count(&n));
+  ops->resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    WEAVER_RETURN_IF_ERROR(DecodeOp(r, &(*ops)[i]));
+  }
+  return Status::Ok();
+}
+
+void EncodeHops(const std::vector<NextHop>& hops, wire::Writer* w) {
+  w->Count(hops.size());
+  for (const NextHop& hop : hops) {
+    w->VarU64(hop.node);
+    w->String(hop.params);
+  }
+}
+
+Status DecodeHops(wire::Reader* r, std::vector<NextHop>* hops) {
+  std::size_t n = 0;
+  WEAVER_RETURN_IF_ERROR(r->Count(&n));
+  hops->resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    WEAVER_RETURN_IF_ERROR(r->VarU64(&(*hops)[i].node));
+    WEAVER_RETURN_IF_ERROR(r->String(&(*hops)[i].params));
+  }
+  return Status::Ok();
+}
+
+void EncodeReturns(const std::vector<std::pair<NodeId, std::string>>& rets,
+                   wire::Writer* w) {
+  w->Count(rets.size());
+  for (const auto& [node, blob] : rets) {
+    w->VarU64(node);
+    w->String(blob);
+  }
+}
+
+Status DecodeReturns(wire::Reader* r,
+                     std::vector<std::pair<NodeId, std::string>>* rets) {
+  std::size_t n = 0;
+  WEAVER_RETURN_IF_ERROR(r->Count(&n));
+  rets->resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    WEAVER_RETURN_IF_ERROR(r->VarU64(&(*rets)[i].first));
+    WEAVER_RETURN_IF_ERROR(r->String(&(*rets)[i].second));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+// --- Per-schema codecs ------------------------------------------------------
+
+void Encode(const TxMessage& m, wire::Writer* w) {
+  EncodeTs(m.ts, w);
+  EncodeOps(m.ops, w);
+}
+
+Status Decode(wire::Reader* r, TxMessage* m) {
+  WEAVER_RETURN_IF_ERROR(DecodeTs(r, &m->ts));
+  return DecodeOps(r, &m->ops);
+}
+
+void Encode(const NopMessage& m, wire::Writer* w) { EncodeTs(m.ts, w); }
+
+Status Decode(wire::Reader* r, NopMessage* m) { return DecodeTs(r, &m->ts); }
+
+void Encode(const AnnounceMessage& m, wire::Writer* w) {
+  EncodeClock(m.clock, w);
+  w->VarU32(m.from);
+}
+
+Status Decode(wire::Reader* r, AnnounceMessage* m) {
+  WEAVER_RETURN_IF_ERROR(DecodeClock(r, &m->clock));
+  return r->VarU32(&m->from);
+}
+
+void Encode(const WaveHopBatchMessage& m, wire::Writer* w) {
+  w->VarU64(m.program_id);
+  EncodeTs(m.ts, w);
+  w->String(m.program_name);
+  w->VarU32(m.coordinator);
+  w->U8(m.visit_once ? 1 : 0);
+  EncodeHops(m.hops, w);
+}
+
+Status Decode(wire::Reader* r, WaveHopBatchMessage* m) {
+  WEAVER_RETURN_IF_ERROR(r->VarU64(&m->program_id));
+  WEAVER_RETURN_IF_ERROR(DecodeTs(r, &m->ts));
+  WEAVER_RETURN_IF_ERROR(r->String(&m->program_name));
+  WEAVER_RETURN_IF_ERROR(r->VarU32(&m->coordinator));
+  std::uint8_t visit_once = 0;
+  WEAVER_RETURN_IF_ERROR(r->U8(&visit_once));
+  m->visit_once = visit_once != 0;
+  return DecodeHops(r, &m->hops);
+}
+
+void Encode(const WaveAccountingMessage& m, wire::Writer* w) {
+  w->VarU64(m.program_id);
+  w->VarU32(m.shard);
+  w->VarU64(m.hops_consumed);
+  w->VarU64(m.hops_spawned);
+  w->VarU64(m.vertices_visited);
+  w->VarU64(m.cycles);
+  w->VarU64(m.forwarded_batches);
+  EncodeReturns(m.returns, w);
+  EncodeStatus(m.error, w);
+}
+
+Status Decode(wire::Reader* r, WaveAccountingMessage* m) {
+  WEAVER_RETURN_IF_ERROR(r->VarU64(&m->program_id));
+  WEAVER_RETURN_IF_ERROR(r->VarU32(&m->shard));
+  WEAVER_RETURN_IF_ERROR(r->VarU64(&m->hops_consumed));
+  WEAVER_RETURN_IF_ERROR(r->VarU64(&m->hops_spawned));
+  WEAVER_RETURN_IF_ERROR(r->VarU64(&m->vertices_visited));
+  WEAVER_RETURN_IF_ERROR(r->VarU64(&m->cycles));
+  WEAVER_RETURN_IF_ERROR(r->VarU64(&m->forwarded_batches));
+  WEAVER_RETURN_IF_ERROR(DecodeReturns(r, &m->returns));
+  return DecodeStatus(r, &m->error);
+}
+
+void Encode(const EndProgramMessage& m, wire::Writer* w) {
+  w->VarU64(m.program_id);
+}
+
+Status Decode(wire::Reader* r, EndProgramMessage* m) {
+  return r->VarU64(&m->program_id);
+}
+
+void Encode(const GcMessage& m, wire::Writer* w) {
+  EncodeTs(m.watermark, w);
+}
+
+Status Decode(wire::Reader* r, GcMessage* m) {
+  return DecodeTs(r, &m->watermark);
+}
+
+void Encode(const ClientCommitMessage& m, wire::Writer* w) {
+  w->VarU64(m.session_id);
+  w->VarU64(m.request_id);
+  w->VarU32(m.reply_to);
+  w->U8(m.delay_paid ? 1 : 0);
+  EncodeOps(m.ops, w);
+  w->Count(m.created_placements.size());
+  for (const auto& [node, shard] : m.created_placements) {
+    w->VarU64(node);
+    w->VarU32(shard);
+  }
+  w->Count(m.read_set.size());
+  for (const auto& [key, version] : m.read_set) {
+    w->String(key);
+    w->VarU64(version);
+  }
+}
+
+Status Decode(wire::Reader* r, ClientCommitMessage* m) {
+  WEAVER_RETURN_IF_ERROR(r->VarU64(&m->session_id));
+  WEAVER_RETURN_IF_ERROR(r->VarU64(&m->request_id));
+  WEAVER_RETURN_IF_ERROR(r->VarU32(&m->reply_to));
+  std::uint8_t delay_paid = 0;
+  WEAVER_RETURN_IF_ERROR(r->U8(&delay_paid));
+  m->delay_paid = delay_paid != 0;
+  WEAVER_RETURN_IF_ERROR(DecodeOps(r, &m->ops));
+  std::size_t n = 0;
+  WEAVER_RETURN_IF_ERROR(r->Count(&n));
+  m->created_placements.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    WEAVER_RETURN_IF_ERROR(r->VarU64(&m->created_placements[i].first));
+    WEAVER_RETURN_IF_ERROR(r->VarU32(&m->created_placements[i].second));
+  }
+  WEAVER_RETURN_IF_ERROR(r->Count(&n));
+  m->read_set.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    WEAVER_RETURN_IF_ERROR(r->String(&m->read_set[i].first));
+    WEAVER_RETURN_IF_ERROR(r->VarU64(&m->read_set[i].second));
+  }
+  return Status::Ok();
+}
+
+void Encode(const ClientProgramMessage& m, wire::Writer* w) {
+  w->VarU64(m.session_id);
+  w->VarU32(m.reply_to);
+  w->Count(m.requests.size());
+  for (const ProgramRequest& req : m.requests) {
+    w->VarU64(req.request_id);
+    w->String(req.program_name);
+    EncodeHops(req.starts, w);
+    EncodeTs(req.fence, w);
+  }
+}
+
+Status Decode(wire::Reader* r, ClientProgramMessage* m) {
+  WEAVER_RETURN_IF_ERROR(r->VarU64(&m->session_id));
+  WEAVER_RETURN_IF_ERROR(r->VarU32(&m->reply_to));
+  std::size_t n = 0;
+  WEAVER_RETURN_IF_ERROR(r->Count(&n));
+  m->requests.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ProgramRequest& req = m->requests[i];
+    WEAVER_RETURN_IF_ERROR(r->VarU64(&req.request_id));
+    WEAVER_RETURN_IF_ERROR(r->String(&req.program_name));
+    WEAVER_RETURN_IF_ERROR(DecodeHops(r, &req.starts));
+    WEAVER_RETURN_IF_ERROR(DecodeTs(r, &req.fence));
+  }
+  return Status::Ok();
+}
+
+void Encode(const ClientCommitReplyMessage& m, wire::Writer* w) {
+  w->VarU64(m.session_id);
+  w->VarU64(m.request_id);
+  EncodeStatus(m.status, w);
+  EncodeTs(m.timestamp, w);
+}
+
+Status Decode(wire::Reader* r, ClientCommitReplyMessage* m) {
+  WEAVER_RETURN_IF_ERROR(r->VarU64(&m->session_id));
+  WEAVER_RETURN_IF_ERROR(r->VarU64(&m->request_id));
+  WEAVER_RETURN_IF_ERROR(DecodeStatus(r, &m->status));
+  return DecodeTs(r, &m->timestamp);
+}
+
+void Encode(const ClientProgramReplyMessage& m, wire::Writer* w) {
+  w->VarU64(m.session_id);
+  w->VarU64(m.request_id);
+  EncodeStatus(m.status, w);
+  EncodeReturns(m.result.returns, w);
+  w->VarU64(m.result.vertices_visited);
+  w->VarU64(m.result.waves);
+  w->VarU64(m.result.hops);
+  w->VarU64(m.result.forwarded_batches);
+  w->VarU64(m.result.coordinator_msgs);
+  EncodeTs(m.result.timestamp, w);
+}
+
+Status Decode(wire::Reader* r, ClientProgramReplyMessage* m) {
+  WEAVER_RETURN_IF_ERROR(r->VarU64(&m->session_id));
+  WEAVER_RETURN_IF_ERROR(r->VarU64(&m->request_id));
+  WEAVER_RETURN_IF_ERROR(DecodeStatus(r, &m->status));
+  WEAVER_RETURN_IF_ERROR(DecodeReturns(r, &m->result.returns));
+  WEAVER_RETURN_IF_ERROR(r->VarU64(&m->result.vertices_visited));
+  WEAVER_RETURN_IF_ERROR(r->VarU64(&m->result.waves));
+  WEAVER_RETURN_IF_ERROR(r->VarU64(&m->result.hops));
+  WEAVER_RETURN_IF_ERROR(r->VarU64(&m->result.forwarded_batches));
+  WEAVER_RETURN_IF_ERROR(r->VarU64(&m->result.coordinator_msgs));
+  return DecodeTs(r, &m->result.timestamp);
+}
+
+// --- Type-erased payload codec ----------------------------------------------
+
+namespace {
+
+template <typename M>
+std::string EncodeAs(const std::shared_ptr<void>& payload) {
+  wire::Writer w;
+  Encode(*std::static_pointer_cast<M>(payload), &w);
+  return w.Take();
+}
+
+template <typename M>
+Result<std::shared_ptr<void>> DecodeAs(std::string_view bytes) {
+  wire::Reader r(bytes);
+  auto msg = std::make_shared<M>();
+  WEAVER_RETURN_IF_ERROR(Decode(&r, msg.get()));
+  return std::shared_ptr<void>(std::move(msg));
+}
+
+}  // namespace
+
+Result<std::string> EncodePayload(std::uint32_t tag,
+                                  const std::shared_ptr<void>& payload) {
+  if (tag == kMsgStop) return std::string();  // no schema: empty payload
+  if (payload == nullptr) {
+    return Status::InvalidArgument("null payload for tag " +
+                                   std::to_string(tag));
+  }
+  switch (tag) {
+    case kMsgTx:
+      return EncodeAs<TxMessage>(payload);
+    case kMsgNop:
+      return EncodeAs<NopMessage>(payload);
+    case kMsgAnnounce:
+      return EncodeAs<AnnounceMessage>(payload);
+    case kMsgWaveHops:
+      return EncodeAs<WaveHopBatchMessage>(payload);
+    case kMsgWaveAccounting:
+      return EncodeAs<WaveAccountingMessage>(payload);
+    case kMsgEndProgram:
+      return EncodeAs<EndProgramMessage>(payload);
+    case kMsgGc:
+      return EncodeAs<GcMessage>(payload);
+    case kMsgClientCommit:
+      return EncodeAs<ClientCommitMessage>(payload);
+    case kMsgClientProgram:
+      return EncodeAs<ClientProgramMessage>(payload);
+    case kMsgClientCommitReply:
+      return EncodeAs<ClientCommitReplyMessage>(payload);
+    case kMsgClientProgramReply:
+      return EncodeAs<ClientProgramReplyMessage>(payload);
+    default:
+      return Status::InvalidArgument("no wire codec for message tag " +
+                                     std::to_string(tag));
+  }
+}
+
+Result<std::shared_ptr<void>> DecodePayload(std::uint32_t tag,
+                                            std::string_view bytes) {
+  switch (tag) {
+    case kMsgStop:
+      return std::shared_ptr<void>();  // no schema
+    case kMsgTx:
+      return DecodeAs<TxMessage>(bytes);
+    case kMsgNop:
+      return DecodeAs<NopMessage>(bytes);
+    case kMsgAnnounce:
+      return DecodeAs<AnnounceMessage>(bytes);
+    case kMsgWaveHops:
+      return DecodeAs<WaveHopBatchMessage>(bytes);
+    case kMsgWaveAccounting:
+      return DecodeAs<WaveAccountingMessage>(bytes);
+    case kMsgEndProgram:
+      return DecodeAs<EndProgramMessage>(bytes);
+    case kMsgGc:
+      return DecodeAs<GcMessage>(bytes);
+    case kMsgClientCommit:
+      return DecodeAs<ClientCommitMessage>(bytes);
+    case kMsgClientProgram:
+      return DecodeAs<ClientProgramMessage>(bytes);
+    case kMsgClientCommitReply:
+      return DecodeAs<ClientCommitReplyMessage>(bytes);
+    case kMsgClientProgramReply:
+      return DecodeAs<ClientProgramReplyMessage>(bytes);
+    default:
+      return Status::InvalidArgument("no wire codec for message tag " +
+                                     std::to_string(tag));
+  }
+}
+
+Result<std::string> EncodeBusMessage(const BusMessage& msg) {
+  auto payload = EncodePayload(msg.payload_tag, msg.payload);
+  if (!payload.ok()) return payload.status();
+  wire::FrameHeader header;
+  header.tag = msg.payload_tag;
+  header.src = msg.src;
+  header.dst = msg.dst;
+  header.channel_seq = msg.channel_seq;
+  return wire::EncodeFrame(header, *payload);
+}
+
+Result<BusMessage> DecodeBusMessage(const wire::FrameHeader& header,
+                                    std::string_view payload) {
+  auto decoded = DecodePayload(header.tag, payload);
+  if (!decoded.ok()) return decoded.status();
+  BusMessage msg;
+  msg.src = header.src;
+  msg.dst = header.dst;
+  msg.channel_seq = header.channel_seq;
+  msg.payload_tag = header.tag;
+  msg.payload = std::move(decoded).value();
+  return msg;
+}
+
+bool WireNeverBlock(std::uint32_t tag) {
+  // Program/control traffic must not stall a wire receiver thread on a
+  // bounded inbox: hop batches and accounting keep the same never-block
+  // contract their in-process senders use (two full peers must not
+  // deadlock), and EndProgram/GC/Stop are small control messages whose
+  // delay would hold the whole link's FIFO stream behind a full inbox.
+  switch (tag) {
+    case kMsgWaveHops:
+    case kMsgWaveAccounting:
+    case kMsgEndProgram:
+    case kMsgGc:
+    case kMsgStop:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace weaver

@@ -1,0 +1,97 @@
+// Encode/Decode implementations for every bus message schema in
+// core/messages.h, over the wire primitives in net/wire.h
+// (docs/transport.md#schemas).
+//
+// Three levels of API:
+//
+//   * per-schema Encode(msg, Writer*) / Decode(Reader*, msg*) pairs --
+//     the codec proper, unit-tested for byte-identical roundtrips;
+//   * EncodePayload / DecodePayload -- the type-erased layer keyed by
+//     MsgTag that turns a BusMessage's shared_ptr<void> payload into
+//     bytes and back (what the transport glue uses);
+//   * EncodeBusMessage -- a full frame (header + payload) for one bus
+//     message, installed into MessageBus::SetWireEncoder by deployments
+//     that register remote endpoints.
+//
+// Decoders never trust input: truncated payloads, overflowing varints,
+// and absurd vector counts all return InvalidArgument instead of
+// crashing or allocating unboundedly. Unknown tags are rejected. A
+// decoded payload with trailing bytes is accepted (schema evolution
+// appends fields; see net/wire.h versioning rules).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/messages.h"
+#include "net/bus.h"
+#include "net/wire.h"
+
+namespace weaver {
+
+// --- Per-schema codecs ------------------------------------------------------
+
+void Encode(const TxMessage& m, wire::Writer* w);
+Status Decode(wire::Reader* r, TxMessage* m);
+
+void Encode(const NopMessage& m, wire::Writer* w);
+Status Decode(wire::Reader* r, NopMessage* m);
+
+void Encode(const AnnounceMessage& m, wire::Writer* w);
+Status Decode(wire::Reader* r, AnnounceMessage* m);
+
+void Encode(const WaveHopBatchMessage& m, wire::Writer* w);
+Status Decode(wire::Reader* r, WaveHopBatchMessage* m);
+
+void Encode(const WaveAccountingMessage& m, wire::Writer* w);
+Status Decode(wire::Reader* r, WaveAccountingMessage* m);
+
+void Encode(const EndProgramMessage& m, wire::Writer* w);
+Status Decode(wire::Reader* r, EndProgramMessage* m);
+
+void Encode(const GcMessage& m, wire::Writer* w);
+Status Decode(wire::Reader* r, GcMessage* m);
+
+void Encode(const ClientCommitMessage& m, wire::Writer* w);
+Status Decode(wire::Reader* r, ClientCommitMessage* m);
+
+void Encode(const ClientProgramMessage& m, wire::Writer* w);
+Status Decode(wire::Reader* r, ClientProgramMessage* m);
+
+void Encode(const ClientCommitReplyMessage& m, wire::Writer* w);
+Status Decode(wire::Reader* r, ClientCommitReplyMessage* m);
+
+void Encode(const ClientProgramReplyMessage& m, wire::Writer* w);
+Status Decode(wire::Reader* r, ClientProgramReplyMessage* m);
+
+// --- Type-erased payload codec (keyed by MsgTag) ----------------------------
+
+/// Serializes a BusMessage payload. kMsgStop (no schema) encodes to an
+/// empty payload; unknown tags fail with InvalidArgument.
+Result<std::string> EncodePayload(std::uint32_t tag,
+                                  const std::shared_ptr<void>& payload);
+
+/// Parses payload bytes into a fresh message of the schema `tag` names.
+/// The result is ready to install as BusMessage::payload.
+Result<std::shared_ptr<void>> DecodePayload(std::uint32_t tag,
+                                            std::string_view bytes);
+
+/// Encodes one bus message as a complete wire frame (header carries the
+/// tag, src/dst endpoints, and the channel sequence number). This is the
+/// function deployments install via MessageBus::SetWireEncoder.
+Result<std::string> EncodeBusMessage(const BusMessage& msg);
+
+/// Rebuilds a BusMessage from a received frame header + decoded payload
+/// bytes, preserving the sender-side channel sequence number.
+Result<BusMessage> DecodeBusMessage(const wire::FrameHeader& header,
+                                    std::string_view payload);
+
+/// Delivery policy for wire-received messages: true for tags that must
+/// never block the receiving thread on a bounded inbox (program/control
+/// traffic -- the same tags in-process senders pass never_block for).
+bool WireNeverBlock(std::uint32_t tag);
+
+}  // namespace weaver

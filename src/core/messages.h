@@ -1,18 +1,26 @@
 // Wire message schemas exchanged over the MessageBus between gatekeepers,
-// shard servers, and node-program coordinators.
+// shard servers, node-program coordinators, and client sessions.
+//
+// Every schema here is PLAIN DATA -- ids, timestamps, byte strings,
+// vectors -- with an Encode/Decode pair in core/message_codec.h, so a
+// deployment can carry any of them across a process boundary
+// (docs/transport.md). In particular there are no callbacks: client
+// requests carry a reply endpoint + request id, and the gatekeeper
+// answers with ClientCommitReply / ClientProgramReply messages that the
+// session's reply endpoint routes back to the waiting Pending<T>
+// (docs/client_api.md). Node-program params, per-hop state, and return
+// values are opaque byte strings serialized by the programs themselves
+// (core/node_program.h), exactly as they would be on a real wire.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/ids.h"
-#include "common/result.h"
+#include "common/status.h"
 #include "core/graph_op.h"
 #include "core/node_program.h"
-#include "core/transaction.h"
 #include "net/bus.h"
 #include "order/timestamp.h"
 #include "vclock/vclock.h"
@@ -28,8 +36,10 @@ enum MsgTag : std::uint32_t {
   kMsgGc = 6,        // deployment -> shard: multi-version GC watermark
   kMsgStop = 7,      // deployment -> shard: shut down event loop
   kMsgClientCommit = 8,   // session -> gatekeeper: async commit request
-  kMsgClientProgram = 9,  // session -> gatekeeper: async node program
+  kMsgClientProgram = 9,  // session -> gatekeeper: async node program(s)
   kMsgWaveAccounting = 10,  // shard -> coordinator: program progress delta
+  kMsgClientCommitReply = 11,   // gatekeeper -> session: commit outcome
+  kMsgClientProgramReply = 12,  // gatekeeper -> session: program outcome
 };
 
 /// Committed transaction: ops are the slice destined for the receiving
@@ -57,9 +67,7 @@ struct AnnounceMessage {
 // the start hops and detects quiescence from per-shard accounting
 // deltas (terminate when hops consumed == hops spawned + starts, the
 // credit-counting argument: a hop in flight has been counted spawned
-// but not yet consumed). Both message schemas below are plain values --
-// no callbacks -- so a multi-process transport only needs to serialize
-// them.
+// but not yet consumed).
 
 /// A batch of node-program hops addressed to one shard, sent by the
 /// coordinator (the start wave) or by a peer shard (forwarded hops; at
@@ -85,8 +93,8 @@ struct WaveHopBatchMessage {
 /// shard sends this BEFORE forwarding the cycle's spawned hop batches,
 /// so the coordinator registers the spawn credits before any downstream
 /// shard can report consuming them (the inline-delivery bus makes that
-/// ordering causal; a real transport would carry per-shard sequence
-/// numbers).
+/// ordering causal; the wire transport preserves it with per-channel
+/// sequence numbers plus in-order hub forwarding -- docs/transport.md).
 struct WaveAccountingMessage {
   ProgramId program_id = 0;
   ShardId shard = 0;
@@ -116,47 +124,88 @@ struct GcMessage {
   RefinableTimestamp watermark;
 };
 
-// --- Client ingress (sessions -> gatekeepers) -------------------------------
+// --- Client ingress (sessions <-> gatekeepers) ------------------------------
 //
 // Sessions submit work as messages on the bus instead of calling into
-// coordinator internals, so many requests from one client can be in flight
-// at once (pipelining) and a future real transport can carry the same
-// schema across processes. Responses ride back through the sink callback,
-// the same in-process stand-in WaveMessage uses for wave results.
-// Commit requests that share a session_id are executed in channel
+// coordinator internals, so many requests from one client can be in
+// flight at once (pipelining) and a real transport can carry the same
+// schema across processes. Responses come back as reply messages to the
+// endpoint named in the request; request ids correlate them. Commit
+// requests that share a session_id are executed in channel
 // (= submission) order by the gatekeeper's client ingress; requests from
 // different sessions -- and program requests generally -- may interleave
 // freely.
 
-/// Async commit: the transaction is moved into the request; the commit
-/// timestamp comes back in the CommitResult because the submitter can no
-/// longer ask the transaction.
+/// Async commit. The submitter's transaction is detached into plain
+/// fields (Transaction::DetachForSubmit): the buffered write ops, the
+/// tentative placements of created vertices, and the OCC read set (key ->
+/// observed version). The executing gatekeeper rehydrates a transaction
+/// against its own backing store (KvStore::Resume) and validates the read
+/// versions at commit, so client-side reads keep their serializable
+/// guarantee across a process boundary -- version tokens travel with the
+/// transaction, Warp style.
 struct ClientCommitMessage {
   /// Lane key on the gatekeeper ingress. Submission order within a
   /// session is the bus channel order (channel_seq); there is no
   /// separate sequence field.
   std::uint64_t session_id = 0;
+  /// Correlates the ClientCommitReply; unique per session endpoint.
+  std::uint64_t request_id = 0;
+  /// Where the reply goes (the session's bus endpoint).
+  EndpointId reply_to = 0;
   /// True when the submitter already accounted for the simulated
   /// backing-store round trip (blocking wrappers sleep client-side, as the
   /// pre-session API did). Pipelined submissions leave this false and the
   /// ingress amortizes one round trip across each drained batch.
   bool delay_paid = false;
-  Transaction tx;
-  std::function<void(CommitResult)> sink;
+  std::vector<GraphOp> ops;
+  std::vector<std::pair<NodeId, ShardId>> created_placements;
+  std::vector<std::pair<std::string, std::uint64_t>> read_set;
 };
 
-/// Async node program: executed by the receiving gatekeeper's ingress
-/// worker, which doubles as the wave-loop coordinator (the paper's
-/// topology: gatekeepers coordinate node programs). Programs read
-/// consistent snapshots and carry no submission-order promise -- they run
-/// on any free worker, so one session can have many in flight. A client
-/// that needs a program to observe its own commit waits for the commit
-/// first.
-struct ClientProgramMessage {
-  std::uint64_t session_id = 0;
+/// One node-program invocation inside a ClientProgramMessage.
+struct ProgramRequest {
+  std::uint64_t request_id = 0;
   std::string program_name;
   std::vector<NextHop> starts;
-  std::function<void(Result<ProgramResult>)> sink;
+  /// Read-your-writes fence (docs/client_api.md#read-your-writes): when
+  /// valid, the executing gatekeeper merges this clock before issuing the
+  /// program timestamp, so the program's snapshot observes the fenced
+  /// commit. Sessions in SetReadYourWrites(true) mode fill it with their
+  /// last committed timestamp.
+  RefinableTimestamp fence;
+};
+
+/// Async node program(s): executed by the receiving gatekeeper's ingress,
+/// which doubles as the node-program coordinator (the paper's topology:
+/// gatekeepers coordinate node programs). Programs read consistent
+/// snapshots and carry no submission-order promise -- each request runs
+/// on any free worker, so one session (or one batched message) can have
+/// many in flight. A message may carry several requests: a batched
+/// fan-out crosses the bus once and fans out inside the ingress.
+struct ClientProgramMessage {
+  std::uint64_t session_id = 0;
+  EndpointId reply_to = 0;
+  std::vector<ProgramRequest> requests;
+};
+
+/// Commit outcome, addressed to the requesting session's reply endpoint.
+/// Carries the commit timestamp because the submitter detached its
+/// transaction into the request and can no longer ask it.
+struct ClientCommitReplyMessage {
+  std::uint64_t session_id = 0;
+  std::uint64_t request_id = 0;
+  Status status;
+  RefinableTimestamp timestamp;
+};
+
+/// Node-program outcome for one ProgramRequest. `result` is meaningful
+/// only when `status` is OK.
+struct ClientProgramReplyMessage {
+  std::uint64_t session_id = 0;
+  std::uint64_t request_id = 0;
+  Status status;
+  ProgramResult result;
 };
 
 }  // namespace weaver

@@ -109,6 +109,22 @@ Status Transaction::RemoveEdgeProperty(NodeId from, EdgeId edge,
   return Status::Ok();
 }
 
+CommitPayload Transaction::DetachForSubmit() {
+  CommitPayload payload;
+  payload.ops = std::move(ops_);
+  payload.created_placements.assign(created_placements_.begin(),
+                                    created_placements_.end());
+  payload.read_set = kvtx_.ExportReads();
+  // The local OCC context is done: the executing side resumes validation
+  // from the exported versions, so holding ours open would only pin
+  // store state.
+  kvtx_.Abort();
+  db_ = nullptr;
+  ops_.clear();
+  created_placements_.clear();
+  return payload;
+}
+
 Result<NodeSnapshot> Transaction::GetNode(NodeId id) {
   if (db_ == nullptr) return MovedFromError();
   auto blob = kvtx_.Get(kv_keys::VertexData(id));

@@ -58,6 +58,17 @@ struct CommitResult {
   bool ok() const { return status.ok(); }
 };
 
+/// The plain-data content of a transaction, detached for submission as a
+/// ClientCommit message (core/messages.h): the buffered write batch, the
+/// tentative shard placements of created vertices, and the OCC read set.
+/// Everything here is serializable; the executing gatekeeper rehydrates a
+/// live transaction from it against its own backing store.
+struct CommitPayload {
+  std::vector<GraphOp> ops;
+  std::vector<std::pair<NodeId, ShardId>> created_placements;
+  std::vector<std::pair<std::string, std::uint64_t>> read_set;
+};
+
 class Transaction {
  public:
   /// Constructs an invalid transaction (equivalent to the moved-from
@@ -98,6 +109,16 @@ class Transaction {
   Result<NodeSnapshot> GetNode(NodeId id);
   /// True iff the vertex exists (committed, not deleted).
   Result<bool> NodeExists(NodeId id);
+
+  // --- Submission (session client API) ------------------------------------
+
+  /// Detaches the buffered state as the plain fields of a ClientCommit
+  /// message and invalidates the transaction (valid() becomes false; the
+  /// local OCC context is rolled back -- the executing gatekeeper resumes
+  /// it from the exported read set). The hollow shell remains safe to
+  /// hold: blocking wrappers annotate it with the commit outcome so
+  /// timestamp()/committed() keep working.
+  CommitPayload DetachForSubmit();
 
   // --- Introspection ------------------------------------------------------
 

@@ -8,6 +8,9 @@
 #include "client/pending.h"
 #include "common/clock.h"
 #include "common/serde.h"
+#include "coord/serverd.h"
+#include "core/message_codec.h"
+#include "net/transport.h"
 
 namespace weaver {
 
@@ -15,6 +18,14 @@ std::unique_ptr<Weaver> Weaver::Open(const WeaverOptions& options) {
   WeaverOptions o = options;
   o.num_gatekeepers = std::max<std::size_t>(1, o.num_gatekeepers);
   o.num_shards = std::max<std::size_t>(1, o.num_shards);
+  if (!o.remote_shard_fds.empty() &&
+      o.remote_shard_fds.size() != o.num_shards) {
+    std::fprintf(stderr,
+                 "weaver: remote_shard_fds (%zu) must match num_shards "
+                 "(%zu)\n",
+                 o.remote_shard_fds.size(), o.num_shards);
+    return nullptr;
+  }
   auto db = std::unique_ptr<Weaver>(new Weaver(o));
   if (!db->storage_status_.ok()) {
     std::fprintf(stderr, "weaver: cannot open durable storage at %s: %s\n",
@@ -60,6 +71,16 @@ Weaver::Weaver(const WeaverOptions& options) : options_(options) {
   }
   programs_ = ProgramRegistry::WithStandardPrograms();
   locator_ = std::make_unique<NodeLocator>(kv_.get(), options_.num_shards);
+  remote_shards_ = !options_.remote_shard_fds.empty();
+  if (remote_shards_ && options_.use_ldg_partitioner) {
+    // Remote shard servers route forwarded hops with the deterministic
+    // hash directory (they hold no placement state); LDG placements would
+    // diverge from it, so remote deployments force hash placement.
+    std::fprintf(stderr,
+                 "weaver: remote shards require hash placement; ignoring "
+                 "use_ldg_partitioner\n");
+    options_.use_ldg_partitioner = false;
+  }
   if (options_.use_ldg_partitioner) {
     partitioner_ = std::make_unique<LdgPartitioner>(
         options_.num_shards, options_.expected_vertices);
@@ -67,30 +88,44 @@ Weaver::Weaver(const WeaverOptions& options) : options_(options) {
     partitioner_ = std::make_unique<HashPartitioner>(options_.num_shards);
   }
 
-  // Boot shards first so gatekeepers can learn their endpoints.
+  // Boot shards first so gatekeepers can learn their endpoints. A remote
+  // deployment (docs/transport.md) registers transport-backed proxy
+  // endpoints in the same id positions instead -- the endpoint layout is
+  // the contract shard-server processes mirror (coord/serverd.h).
+  if (remote_shards_) bus_->SetWireEncoder(EncodePayload);
   for (std::size_t s = 0; s < options_.num_shards; ++s) {
-    Shard::Options so;
-    so.id = static_cast<ShardId>(s);
-    so.num_gatekeepers = options_.num_gatekeepers;
-    so.bus = bus_.get();
-    so.oracle = &oracle_;
-    so.programs = programs_;
-    so.locator = locator_.get();
-    so.inbox_capacity = options_.shard_inbox_capacity;
-    so.queue_high_water = options_.shard_queue_high_water;
-    so.max_hops_per_cycle = options_.shard_max_hops_per_cycle;
-    shards_.push_back(std::make_unique<Shard>(so));
+    if (remote_shards_) {
+      auto transport = std::shared_ptr<Transport>(
+          SocketTransport::Adopt(options_.remote_shard_fds[s]));
+      const EndpointId ep =
+          bus_->RegisterRemote("shard" + std::to_string(s), transport);
+      remote_shard_transports_.push_back(std::move(transport));
+      shards_.push_back(nullptr);
+      shard_endpoints_.push_back(ep);
+    } else {
+      Shard::Options so;
+      so.id = static_cast<ShardId>(s);
+      so.num_gatekeepers = options_.num_gatekeepers;
+      so.bus = bus_.get();
+      so.oracle = &oracle_;
+      so.programs = programs_;
+      so.locator = locator_.get();
+      so.inbox_capacity = options_.shard_inbox_capacity;
+      so.queue_high_water = options_.shard_queue_high_water;
+      so.max_hops_per_cycle = options_.shard_max_hops_per_cycle;
+      shards_.push_back(std::make_unique<Shard>(so));
+    }
     cluster_.Register("shard" + std::to_string(s), ServerKind::kShard,
                       static_cast<std::uint32_t>(s));
   }
 
-  std::vector<EndpointId> shard_eps;
-  shard_eps.reserve(shards_.size());
-  for (const auto& s : shards_) shard_eps.push_back(s->endpoint());
-  shard_endpoints_ = shard_eps;
-  // Peer table for shard-to-shard hop forwarding (endpoint ids are
-  // stable across shard recovery, so this wiring survives failures).
-  for (auto& s : shards_) s->SetShardEndpoints(shard_eps);
+  if (!remote_shards_) {
+    for (const auto& s : shards_) shard_endpoints_.push_back(s->endpoint());
+    // Peer table for shard-to-shard hop forwarding (endpoint ids are
+    // stable across shard recovery, so this wiring survives failures).
+    for (auto& s : shards_) s->SetShardEndpoints(shard_endpoints_);
+  }
+  const std::vector<EndpointId>& shard_eps = shard_endpoints_;
 
   for (std::size_t g = 0; g < options_.num_gatekeepers; ++g) {
     Gatekeeper::Options go;
@@ -107,6 +142,7 @@ Weaver::Weaver(const WeaverOptions& options) : options_(options) {
     go.client_lane_capacity = options_.client_lane_capacity;
     go.max_inflight_programs = options_.client_max_inflight_programs;
     go.nop_high_water = options_.nop_high_water;
+    go.announce_capacity = options_.announce_capacity;
     gatekeepers_.push_back(std::make_unique<Gatekeeper>(std::move(go)));
     cluster_.Register("gk" + std::to_string(g), ServerKind::kGatekeeper,
                       static_cast<std::uint32_t>(g));
@@ -133,26 +169,67 @@ Weaver::Weaver(const WeaverOptions& options) : options_(options) {
               std::static_pointer_cast<WaveAccountingMessage>(msg.payload));
         }
       });
+  // Remote deployments share this endpoint layout with their shard
+  // server processes -- ids are the addressing contract on the wire, so
+  // drift must fail at boot, loudly (a plain abort, not assert: release
+  // builds must not misroute silently). The contract has ONE definition
+  // (serverd::EndpointLayout); this only compares against it.
+  if (remote_shards_) {
+    const auto layout = serverd::EndpointLayout::Compute(
+        options_.num_shards, options_.num_gatekeepers);
+    bool ok = coordinator_endpoint_ == layout.coordinator;
+    for (std::size_t g = 0; ok && g < gatekeepers_.size(); ++g) {
+      ok = gatekeepers_[g]->endpoint() == layout.gatekeepers[g] &&
+           gatekeepers_[g]->client_endpoint() == layout.gatekeeper_clients[g];
+    }
+    for (std::size_t s = 0; ok && s < shard_endpoints_.size(); ++s) {
+      ok = shard_endpoints_[s] == layout.shards[s];
+    }
+    if (!ok) {
+      std::fprintf(stderr,
+                   "weaver: endpoint layout drifted from serverd contract "
+                   "(coordinator at %u, want %u)\n",
+                   coordinator_endpoint_, layout.coordinator);
+      std::abort();
+    }
+  }
+
+  // Reply endpoint for the deployment-internal blocking wrappers: they
+  // speak the same request/reply messages a session does.
+  internal_replies_ = std::make_shared<ReplyRouter>();
+  internal_reply_endpoint_ = bus_->RegisterHandler(
+      "weaver.replies",
+      [router = internal_replies_](const BusMessage& msg) {
+        router->OnMessage(msg);
+      });
 
   // Client ingress execution: the gatekeeper owns the lanes and workers,
   // the deployment owns the state a request needs (locator/partitioner
-  // for commits, the wave loop for programs).
+  // for commits, the program coordinator for programs). Requests are
+  // plain data; executors answer with reply messages to the endpoint the
+  // request names.
   Gatekeeper::ClientExecutor client_exec;
   client_exec.commit = [this](Gatekeeper& gk, ClientCommitMessage& req,
                               bool pay_delay) {
-    if (pay_delay) PayCommitDelay(req.tx.NumOps());
-    const Status st = CommitOnGatekeeper(&req.tx, gk);
-    if (req.sink) req.sink(CommitResult{st, req.tx.timestamp()});
+    if (pay_delay) PayCommitDelay(req.ops.size());
+    Transaction tx = RehydrateCommit(req);
+    const Status st = CommitOnGatekeeper(&tx, gk);
+    gk.SendCommitReply(req.reply_to, req.session_id, req.request_id, st,
+                       tx.timestamp());
   };
-  client_exec.program = [this](Gatekeeper& gk, ClientProgramMessage& req) {
+  client_exec.program = [this](Gatekeeper& gk,
+                               const ClientProgramMessage& msg,
+                               ProgramRequest& req) {
     // Fully asynchronous: the worker seeds the start wave and moves on;
-    // completion (a shard's final accounting delta) fulfills the sink and
+    // completion (a shard's final accounting delta) sends the reply and
     // releases the gatekeeper's in-flight program slot.
     Gatekeeper* gkp = &gk;
     RunProgramAsyncOn(
-        gk.id(), req.program_name, std::move(req.starts),
-        [gkp, sink = std::move(req.sink)](Result<ProgramResult> r) mutable {
-          if (sink) sink(std::move(r));
+        gk.id(), req.program_name, std::move(req.starts), req.fence,
+        [gkp, reply_to = msg.reply_to, session_id = msg.session_id,
+         request_id = req.request_id](Result<ProgramResult> r) mutable {
+          gkp->SendProgramReply(reply_to, session_id, request_id,
+                                std::move(r));
           gkp->OnProgramSettled();
         });
   };
@@ -161,6 +238,29 @@ Weaver::Weaver(const WeaverOptions& options) : options_(options) {
   bulk_dirty_.resize(options_.num_shards);
 
   if (recovered_data) RestoreFromBackingStore();
+
+  // Wire links come up last, once every local endpoint a frame could
+  // address exists. Each link drains one shard socket: decoded local
+  // deliveries (accounting to the coordinator) and verbatim hub
+  // forwarding for shard-to-shard hop batches.
+  for (std::size_t s = 0; s < remote_shard_transports_.size(); ++s) {
+    WireLink::Options lo;
+    lo.bus = bus_.get();
+    lo.transport = remote_shard_transports_[s];
+    lo.decode = DecodePayload;
+    lo.never_block = WireNeverBlock;
+    lo.name = "shard" + std::to_string(s) + ".link";
+    links_.push_back(std::make_unique<WireLink>(std::move(lo)));
+  }
+}
+
+Transaction Weaver::RehydrateCommit(ClientCommitMessage& msg) {
+  Transaction tx(this, kv_->Resume(msg.read_set));
+  tx.ops_ = std::move(msg.ops);
+  for (const auto& [node, shard] : msg.created_placements) {
+    tx.created_placements_[node] = shard;
+  }
+  return tx;
 }
 
 void Weaver::RestoreFromBackingStore() {
@@ -173,7 +273,9 @@ void Weaver::RestoreFromBackingStore() {
         10);
     const ShardId owner =
         static_cast<ShardId>(std::strtoul(value.c_str(), nullptr, 10));
-    if (owner >= shards_.size()) continue;  // shrunk redeployment
+    // Skip shrunk redeployments and remote shards (a shard-server
+    // process recovers its own partition).
+    if (owner >= shards_.size() || !shards_[owner]) continue;
     auto blob = kv_->Get(kv_keys::VertexData(node_id));
     if (!blob.ok()) continue;
     auto node = GraphStore::DeserializeNode(*blob);
@@ -201,7 +303,9 @@ Weaver::~Weaver() { Shutdown(); }
 void Weaver::Start() {
   bool expected = false;
   if (!started_.compare_exchange_strong(expected, true)) return;
-  for (auto& s : shards_) s->Start();
+  for (auto& s : shards_) {
+    if (s) s->Start();  // remote shards run their own event loops
+  }
   for (auto& g : gatekeepers_) {
     g->StartTimers();
     g->StartClientIngress();
@@ -248,9 +352,23 @@ void Weaver::Shutdown() {
   for (auto& s : shards_) {
     if (s) s->Stop();
   }
-  // Shard loops are joined: no accounting delta can arrive anymore, so
-  // any still-registered program can never reach quiescence. Fail them
-  // so their waiters (async sessions, blocking wrappers) unblock.
+  if (remote_shards_) {
+    // Ask the shard-server processes to exit, then tear the links down.
+    // Destroying a link JOINS its receiver (the destructor waits for the
+    // end-of-stream marker), so after this no thread can deliver into
+    // the coordinator/gatekeeper handlers this object is about to
+    // destroy.
+    for (std::size_t s = 0; s < shard_endpoints_.size(); ++s) {
+      (void)bus_->Send(coordinator_endpoint_, shard_endpoints_[s], kMsgStop,
+                       nullptr);
+    }
+    for (auto& link : links_) link->Stop();
+    links_.clear();
+  }
+  // Shard loops are joined (or their processes told to stop): no
+  // accounting delta can arrive anymore, so any still-registered program
+  // can never reach quiescence. Fail them so their waiters (async
+  // sessions, blocking wrappers) unblock.
   FailAllExecutions(
       Status::Unavailable("deployment shut down during execution"));
 }
@@ -292,22 +410,29 @@ Status Weaver::Commit(Transaction* tx) {
     return CommitOnGatekeeper(tx, gk);
   }
   // Thin wrapper over the async path: route the same ClientCommit message
-  // a session would send and wait for it (docs/client_api.md). The lane id
-  // is per-call, so concurrent blocking callers never serialize behind
-  // each other -- which is also why this cannot reuse Session (sessions
-  // pin one lane). Mirror of Session::SubmitCommit + Session::Commit;
-  // keep the two in sync.
+  // a session would send and wait for the reply (docs/client_api.md). The
+  // lane id is per-call, so concurrent blocking callers never serialize
+  // behind each other -- which is also why this cannot reuse Session
+  // (sessions pin one lane). Mirror of Session::SubmitCommit +
+  // Session::Commit; keep the two in sync.
   auto pending = Pending<CommitResult>::Make();
   auto msg = std::make_shared<ClientCommitMessage>();
   msg->session_id = next_internal_lane_.fetch_add(1, std::memory_order_relaxed);
+  msg->request_id = internal_replies_->RegisterCommit(pending);
+  msg->reply_to = internal_reply_endpoint_;
   msg->delay_paid = true;
-  msg->tx = std::move(*tx);
-  msg->sink = [pending](CommitResult r) mutable {
-    pending.Fulfill(std::move(r));
-  };
-  const Status sent = bus_->Send(coordinator_endpoint_, gk.client_endpoint(),
-                                 kMsgClientCommit, std::move(msg));
-  if (!sent.ok()) return sent;
+  CommitPayload payload = tx->DetachForSubmit();
+  msg->ops = std::move(payload.ops);
+  msg->created_placements = std::move(payload.created_placements);
+  msg->read_set = std::move(payload.read_set);
+  const std::uint64_t request_id = msg->request_id;
+  const Status sent = bus_->Send(internal_reply_endpoint_,
+                                 gk.client_endpoint(), kMsgClientCommit,
+                                 std::move(msg));
+  if (!sent.ok()) {
+    internal_replies_->FailCommit(request_id, sent);
+    return sent;
+  }
   const CommitResult& r = pending.Wait();
   AnnotateCommitOutcome(tx, r);
   return r.status;
@@ -386,7 +511,7 @@ void Weaver::ExecuteProgramAsync(
   for (NextHop& hop : starts) {
     auto shard = locator_->Lookup(hop.node);
     if (!shard.has_value() || *shard >= shards_.size()) continue;
-    if (!shards_[*shard]) {
+    if (!ShardAlive(*shard)) {
       done(Status::Unavailable("shard " + std::to_string(*shard) +
                                " is down; re-run the program"));
       return;
@@ -426,7 +551,7 @@ void Weaver::ExecuteProgramAsync(
     batch->visit_once = visit_once;
     batch->hops = std::move(by_shard[s]);
     const Status sent =
-        bus_->Send(coordinator_endpoint_, shards_[s]->endpoint(),
+        bus_->Send(coordinator_endpoint_, shard_endpoints_[s],
                    kMsgWaveHops, std::move(batch));
     if (!sent.ok()) seed_failure = sent;
   }
@@ -493,11 +618,11 @@ void Weaver::CompleteExecution(std::unique_ptr<ProgramExecution> ex) {
   // also tombstone the id against late hop batches). never_block: this
   // runs on a shard's own thread.
   for (std::size_t s = 0; s < shards_.size(); ++s) {
-    if (!shards_[s]) continue;
+    if (!ShardAlive(s)) continue;
     if (!aborted && (s >= ex->touched.size() || !ex->touched[s])) continue;
     auto end = std::make_shared<EndProgramMessage>();
     end->program_id = pid;
-    (void)bus_->Send(coordinator_endpoint_, shards_[s]->endpoint(),
+    (void)bus_->Send(coordinator_endpoint_, shard_endpoints_[s],
                      kMsgEndProgram, std::move(end), /*never_block=*/true);
   }
   if (!ex->done) return;
@@ -543,6 +668,14 @@ Result<ProgramResult> Weaver::ExecuteProgram(std::string_view name,
 void Weaver::RunProgramAsyncOn(
     GatekeeperId gk_id, std::string_view name, std::vector<NextHop> starts,
     std::function<void(Result<ProgramResult>)> done) {
+  RunProgramAsyncOn(gk_id, name, std::move(starts), RefinableTimestamp(),
+                    std::move(done));
+}
+
+void Weaver::RunProgramAsyncOn(
+    GatekeeperId gk_id, std::string_view name, std::vector<NextHop> starts,
+    const RefinableTimestamp& fence,
+    std::function<void(Result<ProgramResult>)> done) {
   if (!started_.load()) {
     done(Status::FailedPrecondition("deployment not started"));
     return;
@@ -566,7 +699,8 @@ void Weaver::RunProgramAsyncOn(
     }
   }
   Gatekeeper& gk = *gatekeepers_[gk_id];
-  const RefinableTimestamp ts = gk.BeginProgram();
+  const RefinableTimestamp ts =
+      gk.BeginProgram(fence.valid() ? &fence.clock : nullptr);
   Gatekeeper* gkp = &gk;
   const NodeId cache_node = cacheable ? starts[0].node : kInvalidNodeId;
   const std::string cache_params = cacheable ? starts[0].params : "";
@@ -632,6 +766,10 @@ Status Weaver::BulkCreateNode(
   if (started_.load()) {
     return Status::FailedPrecondition("bulk load requires a stopped deployment");
   }
+  if (remote_shards_) {
+    return Status::FailedPrecondition(
+        "bulk load requires in-process shards; load through transactions");
+  }
   std::lock_guard<std::mutex> lk(bulk_mu_);
   if (!bulk_ts_.valid()) {
     bulk_ts_ = gatekeepers_[0]->BeginProgram();  // any fresh timestamp
@@ -660,6 +798,10 @@ Result<EdgeId> Weaver::BulkCreateEdge(
   if (started_.load()) {
     return Status::FailedPrecondition("bulk load requires a stopped deployment");
   }
+  if (remote_shards_) {
+    return Status::FailedPrecondition(
+        "bulk load requires in-process shards; load through transactions");
+  }
   auto shard = locator_->Lookup(from);
   if (!shard.has_value()) {
     return Status::NotFound("bulk edge source " + std::to_string(from));
@@ -684,6 +826,7 @@ Status Weaver::FinishBulkLoad() {
   bulk_ts_.Serialize(&ts_writer);
   const std::string ts_blob = ts_writer.Take();
   for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (!shards_[s]) continue;  // remote: nothing was bulk loaded
     GraphStore& g = shards_[s]->graph();
     for (NodeId id : bulk_dirty_[s]) {
       const Node* node = g.FindNode(id);
@@ -716,11 +859,11 @@ void Weaver::RunGarbageCollection(bool include_shards) {
   }
   watermark.clock = VectorClock(epoch, std::move(mins));
   if (include_shards) {
-    for (auto& s : shards_) {
-      if (!s) continue;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (!ShardAlive(s)) continue;
       auto gc = std::make_shared<GcMessage>();
       gc->watermark = watermark;
-      bus_->Send(coordinator_endpoint_, s->endpoint(), kMsgGc,
+      bus_->Send(coordinator_endpoint_, shard_endpoints_[s], kMsgGc,
                  std::move(gc));
     }
   }
@@ -728,6 +871,10 @@ void Weaver::RunGarbageCollection(bool include_shards) {
 }
 
 Status Weaver::KillShard(ShardId id) {
+  if (remote_shards_) {
+    return Status::FailedPrecondition(
+        "fault injection requires in-process shards");
+  }
   if (id >= shards_.size()) return Status::InvalidArgument("no such shard");
   if (!shards_[id]) return Status::FailedPrecondition("shard already dead");
   bus_->Detach(shards_[id]->endpoint());
@@ -740,6 +887,10 @@ Status Weaver::KillShard(ShardId id) {
 }
 
 Status Weaver::RecoverShard(ShardId id) {
+  if (remote_shards_) {
+    return Status::FailedPrecondition(
+        "fault injection requires in-process shards");
+  }
   if (id >= shards_.size()) return Status::InvalidArgument("no such shard");
   if (shards_[id]) return Status::FailedPrecondition("shard is alive");
   Shard::Options so;
@@ -797,7 +948,7 @@ void Weaver::PumpAll() {
   for (auto& g : gatekeepers_) g->PumpAnnounce();
   for (auto& g : gatekeepers_) g->PumpNop();
   for (auto& s : shards_) {
-    if (s) s->ProcessUntilIdle();
+    if (s) s->ProcessUntilIdle();  // remote shards drain on their own
   }
 }
 

@@ -34,6 +34,7 @@
 #include <thread>
 #include <vector>
 
+#include "client/reply_router.h"
 #include "common/ids.h"
 #include "common/result.h"
 #include "coord/cluster_manager.h"
@@ -44,6 +45,7 @@
 #include "core/transaction.h"
 #include "kvstore/kvstore.h"
 #include "net/bus.h"
+#include "net/wire_link.h"
 #include "oracle/timeline_oracle.h"
 #include "order/gatekeeper.h"
 #include "partition/partitioner.h"
@@ -135,6 +137,23 @@ struct WeaverOptions {
   /// timestamps order after all recovered writes. Default: disabled
   /// (pure in-memory deployment, exactly the pre-storage behavior).
   StorageOptions storage;
+  /// Deferred-delivery capacity of each gatekeeper's announce endpoint
+  /// (bounded inline handlers; docs/transport.md#backpressure). A
+  /// gatekeeper lagging behind a delay-injected announce stream sheds the
+  /// excess instead of queueing it unboundedly -- dropped announces are
+  /// superseded by the next round. 0 disables.
+  std::size_t announce_capacity = 8192;
+  /// Multi-process deployment (docs/transport.md): one connected stream
+  /// socket per shard, each leading to a shard-server process started
+  /// with RunShardServer (coord/serverd.h). When non-empty (size must
+  /// equal num_shards), Open() registers remote proxy endpoints over
+  /// SocketTransport instead of constructing in-process shards; all
+  /// shard traffic is encoded into wire frames, and shard-to-shard hop
+  /// forwarding transits this process as a hub. Remote deployments
+  /// require hash placement (shard servers route forwarded hops with the
+  /// same hash; use_ldg_partitioner is ignored) and do not support bulk
+  /// load or shard fault injection -- build graphs through transactions.
+  std::vector<int> remote_shard_fds;
 };
 
 class Weaver {
@@ -188,9 +207,15 @@ class Weaver {
   /// program-cache hit, empty start set) or later on a shard thread when
   /// the quiescence accounting balances. Single-start invocations
   /// consult the program cache. The gatekeeper client ingress runs every
-  /// ClientProgram through this, so its workers never block on waves.
+  /// ClientProgram request through this, so its workers never block on
+  /// waves. A valid `fence` timestamp makes the program's snapshot
+  /// observe that commit (read-your-writes; Gatekeeper::BeginProgram).
   void RunProgramAsyncOn(GatekeeperId gk, std::string_view name,
                          std::vector<NextHop> starts,
+                         std::function<void(Result<ProgramResult>)> done);
+  void RunProgramAsyncOn(GatekeeperId gk, std::string_view name,
+                         std::vector<NextHop> starts,
+                         const RefinableTimestamp& fence,
                          std::function<void(Result<ProgramResult>)> done);
 
   /// Historical query (paper §4.5): runs `name` on the consistent snapshot
@@ -291,6 +316,22 @@ class Weaver {
   friend class Transaction;
   explicit Weaver(const WeaverOptions& options);
 
+  /// Rebuilds a live transaction from a decoded ClientCommit message:
+  /// resumes the OCC read set against this deployment's backing store and
+  /// adopts the buffered ops + placements. The ingress executor runs it
+  /// through CommitOnGatekeeper like any local transaction.
+  Transaction RehydrateCommit(ClientCommitMessage& msg);
+
+  /// True when shard `s` can receive messages. In-process deployments
+  /// check the server object (fault injection nulls it); remote shards
+  /// are presumed alive -- a dead one fails the Send instead.
+  bool ShardAlive(std::size_t s) const {
+    return remote_shards_ ? true : (s < shards_.size() && shards_[s] != nullptr);
+  }
+  EndpointId ShardEndpoint(std::size_t s) const {
+    return shard_endpoints_[s];
+  }
+
   ShardId PlaceNewNode(NodeId id);
   /// Round-robin gatekeeper choice shared by Commit and RunProgram.
   GatekeeperId NextGatekeeperId() {
@@ -363,11 +404,21 @@ class Weaver {
   std::shared_ptr<ProgramRegistry> programs_;
   std::unique_ptr<NodeLocator> locator_;
   std::unique_ptr<Partitioner> partitioner_;
+  /// In-process shard servers; all null in remote-shard deployments.
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<EndpointId> shard_endpoints_;  // stable across recovery
+  bool remote_shards_ = false;
+  /// Outbound transports + inbound wire links, one per remote shard
+  /// (the links also hub-forward shard-to-shard frames).
+  std::vector<std::shared_ptr<Transport>> remote_shard_transports_;
+  std::vector<std::unique_ptr<WireLink>> links_;
   std::vector<std::unique_ptr<Gatekeeper>> gatekeepers_;
   ClusterManager cluster_;
   EndpointId coordinator_endpoint_ = 0;
+  /// Reply endpoint + router for the deployment-internal blocking
+  /// wrappers (Weaver::Commit on a started deployment).
+  std::shared_ptr<ReplyRouter> internal_replies_;
+  EndpointId internal_reply_endpoint_ = 0;
 
   // In-flight node programs keyed by execution id (freshly allocated
   // per run from next_program_id_ -- see ProgramExecution::pid).

@@ -75,6 +75,13 @@ void KvStore::ApplyDeleteLocked(Stripe& s, std::string_view key) {
 
 KvTransaction KvStore::Begin() { return KvTransaction(this); }
 
+KvTransaction KvStore::Resume(
+    const std::vector<std::pair<std::string, std::uint64_t>>& reads) {
+  KvTransaction tx(this);
+  for (const auto& [key, version] : reads) tx.reads_[key] = version;
+  return tx;
+}
+
 Result<std::string> KvStore::Get(std::string_view key) const {
   const Stripe& s = stripes_[StripeFor(key)];
   std::lock_guard<std::mutex> lk(s.mu);

@@ -71,6 +71,15 @@ class KvStore {
   /// store and must not outlive it.
   KvTransaction Begin();
 
+  /// Rebuilds a transaction from an exported read set (key -> observed
+  /// version): the validation state of a transaction whose reads ran in
+  /// another process (a client submitting a ClientCommit message over a
+  /// real transport -- docs/transport.md). Commit validates the imported
+  /// versions exactly as if the reads had happened here, so the OCC
+  /// serializability guarantee survives the process boundary.
+  KvTransaction Resume(
+      const std::vector<std::pair<std::string, std::uint64_t>>& reads);
+
   /// Non-transactional read of the latest committed value.
   Result<std::string> Get(std::string_view key) const;
   /// Non-transactional blind write (used for bulk loads and recovery).
@@ -181,6 +190,13 @@ class KvTransaction {
 
   /// True once the transaction committed or aborted (or was moved from).
   bool finished() const { return finished_; }
+
+  /// Exports the OCC read set (key -> observed version) so a commit can
+  /// be submitted to another process and resumed there (KvStore::Resume).
+  std::vector<std::pair<std::string, std::uint64_t>> ExportReads() const {
+    return std::vector<std::pair<std::string, std::uint64_t>>(reads_.begin(),
+                                                              reads_.end());
+  }
 
   std::size_t read_set_size() const { return reads_.size(); }
   std::size_t write_set_size() const { return writes_.size(); }

@@ -1,8 +1,10 @@
 #include "net/bus.h"
 
 #include <cassert>
+#include <cstdio>
 
 #include "common/clock.h"
+#include "net/wire.h"
 
 namespace weaver {
 
@@ -30,13 +32,85 @@ EndpointId MessageBus::RegisterInbox(
 }
 
 EndpointId MessageBus::RegisterHandler(
-    std::string name, std::function<void(const BusMessage&)> handler) {
+    std::string name, std::function<void(const BusMessage&)> handler,
+    std::size_t capacity) {
   std::lock_guard<std::mutex> lk(endpoints_mu_);
   auto ep = std::make_unique<Endpoint>();
   ep->name = std::move(name);
   ep->handler = std::move(handler);
+  ep->handler_capacity = capacity;
+  if (capacity > 0) {
+    has_special_endpoints_.store(true, std::memory_order_relaxed);
+  }
   endpoints_.push_back(std::move(ep));
   return static_cast<EndpointId>(endpoints_.size() - 1);
+}
+
+EndpointId MessageBus::RegisterRemote(std::string name,
+                                      std::shared_ptr<Transport> transport) {
+  std::lock_guard<std::mutex> lk(endpoints_mu_);
+  auto ep = std::make_unique<Endpoint>();
+  ep->name = std::move(name);
+  ep->remote = std::move(transport);
+  has_special_endpoints_.store(true, std::memory_order_relaxed);
+  endpoints_.push_back(std::move(ep));
+  return static_cast<EndpointId>(endpoints_.size() - 1);
+}
+
+void MessageBus::SetWireEncoder(
+    std::function<Result<std::string>(std::uint32_t,
+                                      const std::shared_ptr<void>&)>
+        encoder) {
+  wire_encoder_ = std::move(encoder);
+}
+
+Status MessageBus::ForwardFrame(EndpointId dst, std::string_view frame,
+                                bool never_block) {
+  std::shared_ptr<Transport> transport;
+  {
+    std::lock_guard<std::mutex> lk(endpoints_mu_);
+    if (dst >= endpoints_.size() || endpoints_[dst]->remote == nullptr) {
+      return Status::InvalidArgument("endpoint " + std::to_string(dst) +
+                                     " is not remote");
+    }
+    if (!endpoints_[dst]->attached) {
+      return Status::Unavailable("remote endpoint " + std::to_string(dst) +
+                                 " is detached");
+    }
+    transport = endpoints_[dst]->remote;
+  }
+  return transport->SendBytes(frame, never_block);
+}
+
+Status MessageBus::DeliverWire(BusMessage msg, bool never_block) {
+  // The sequence number was assigned by the SENDING bus; verify it
+  // continues this channel's gap-free FIFO stream. Any violation means
+  // the link reordered or lost a frame -- fail loudly, never paper over.
+  {
+    std::lock_guard<std::mutex> lk(wire_seq_mu_);
+    std::uint64_t& last = wire_seq_[{msg.src, msg.dst}];
+    if (msg.channel_seq != last + 1) {
+      stats_.wire_seq_violations.fetch_add(1, std::memory_order_relaxed);
+      std::fprintf(stderr,
+                   "weaver: wire FIFO violation on channel %u->%u: got seq "
+                   "%llu, want %llu\n",
+                   msg.src, msg.dst,
+                   static_cast<unsigned long long>(msg.channel_seq),
+                   static_cast<unsigned long long>(last + 1));
+      return Status::Internal(
+          "wire channel sequence violation: got " +
+          std::to_string(msg.channel_seq) + ", want " +
+          std::to_string(last + 1) + " on channel " +
+          std::to_string(msg.src) + "->" + std::to_string(msg.dst));
+    }
+    last = msg.channel_seq;
+  }
+  stats_.wire_frames_received.fetch_add(1, std::memory_order_relaxed);
+  if (!Deliver(msg, never_block)) {
+    return Status::Unavailable("endpoint " + std::to_string(msg.dst) +
+                               " is detached or stopped");
+  }
+  return Status::Ok();
 }
 
 void MessageBus::Detach(EndpointId id) {
@@ -68,6 +142,42 @@ Status MessageBus::Send(EndpointId src, EndpointId dst,
   msg.payload = std::move(payload);
   msg.payload_tag = payload_tag;
 
+  // Destination kind decides the path: remote endpoints encode + ship
+  // frames, bounded handler endpoints may shed deferred load. Pure
+  // in-process deployments (no remote, no bounded handler anywhere) skip
+  // the inspection -- the hot path pays no extra endpoint lock.
+  std::shared_ptr<Transport> remote;
+  std::size_t handler_capacity = 0;
+  std::shared_ptr<std::atomic<std::size_t>> deferred;
+  if (has_special_endpoints_.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lk(endpoints_mu_);
+    if (dst < endpoints_.size()) {
+      Endpoint& ep = *endpoints_[dst];
+      remote = ep.attached ? ep.remote : nullptr;
+      if (ep.handler && ep.handler_capacity > 0) {
+        handler_capacity = ep.handler_capacity;
+        deferred = ep.deferred;
+      }
+    }
+  }
+
+  // Payload encoding for remote destinations happens HERE -- before the
+  // channel lock and before the sequence number is committed -- so a
+  // failed encode (unknown tag, null payload) cannot burn a sequence
+  // number and desync the receiver's gap-free FIFO check, and the
+  // serialization cost stays off the channel lock.
+  std::string payload_bytes;
+  if (remote != nullptr) {
+    if (!wire_encoder_) {
+      return Status::FailedPrecondition(
+          "remote endpoint with no wire encoder installed "
+          "(MessageBus::SetWireEncoder)");
+    }
+    auto encoded = wire_encoder_(msg.payload_tag, msg.payload);
+    if (!encoded.ok()) return encoded.status();
+    payload_bytes = std::move(encoded).value();
+  }
+
   Channel* ch = nullptr;
   {
     std::lock_guard<std::mutex> lk(channels_mu_);
@@ -76,15 +186,43 @@ Status MessageBus::Send(EndpointId src, EndpointId dst,
     ch = slot.get();
   }
 
+  // Delays model a slow local link; remote endpoints have a real one.
   std::uint64_t delay_us =
-      delay_fn_ ? delay_fn_(src, dst) : 0;
+      (delay_fn_ && remote == nullptr) ? delay_fn_(src, dst) : 0;
+
+  // Flow control happens BEFORE the channel lock: a blocking sender must
+  // not park inside the transport while holding ch->mu, or a never_block
+  // sender on the same channel would wait behind it -- exactly the wedge
+  // the flag exists to prevent. The post-lock enqueue below then never
+  // waits. (The pre-wait is approximate -- concurrent senders may
+  // overshoot the high-water mark by a few frames -- which is fine for a
+  // pacing heuristic.)
+  if (remote != nullptr && !never_block) remote->WaitWritable();
 
   // Sequence assignment must be atomic with handing the message to the
   // delivery path, otherwise two concurrent senders could invert order on
-  // the channel.
+  // the channel. For remote endpoints the transport enqueue happens under
+  // the same lock, so frames enter the outbound queue in sequence order.
   std::lock_guard<std::mutex> ch_lk(ch->mu);
   msg.channel_seq = ch->next_seq++;
   stats_.messages_sent.fetch_add(1, std::memory_order_relaxed);
+
+  if (remote != nullptr) {
+    wire::FrameHeader header;
+    header.tag = msg.payload_tag;
+    header.src = msg.src;
+    header.dst = msg.dst;
+    header.channel_seq = msg.channel_seq;
+    // Always a non-waiting enqueue: flow control already happened above,
+    // before ch->mu was taken.
+    const Status sent = remote->SendBytes(
+        wire::EncodeFrame(header, payload_bytes), /*never_block=*/true);
+    if (sent.ok()) {
+      stats_.wire_frames_sent.fetch_add(1, std::memory_order_relaxed);
+      stats_.messages_delivered.fetch_add(1, std::memory_order_relaxed);
+    }
+    return sent;
+  }
 
   if (delay_us == 0) {
     if (!Deliver(msg, never_block)) {
@@ -94,6 +232,26 @@ Status MessageBus::Send(EndpointId src, EndpointId dst,
     return Status::Ok();
   }
 
+  // Bounded handler endpoints shed deferred load here: a receiver that
+  // cannot keep up with the delayed stream drops new sends instead of
+  // queueing them without bound (announce backpressure -- safe because a
+  // dropped announce is superseded by the next one).
+  if (handler_capacity > 0) {
+    std::size_t count = deferred->load(std::memory_order_relaxed);
+    while (true) {
+      if (count >= handler_capacity) {
+        stats_.handler_capacity_drops.fetch_add(1, std::memory_order_relaxed);
+        return Status::ResourceExhausted(
+            "handler endpoint " + std::to_string(dst) +
+            " is over its deferred-delivery capacity");
+      }
+      if (deferred->compare_exchange_weak(count, count + 1,
+                                          std::memory_order_relaxed)) {
+        break;
+      }
+    }
+  }
+
   // Delayed path: clamp the deadline so it never precedes an earlier
   // message on the same channel (FIFO under heterogeneous delays).
   const std::uint64_t deadline =
@@ -101,7 +259,8 @@ Status MessageBus::Send(EndpointId src, EndpointId dst,
   ch->last_delivery_deadline_us = deadline;
   {
     std::lock_guard<std::mutex> lk(delay_mu_);
-    delay_queue_.push(Delayed{deadline, delay_order_++, msg});
+    delay_queue_.push(Delayed{deadline, delay_order_++, msg,
+                              std::move(deferred)});
     delay_cv_.notify_one();
   }
   return Status::Ok();
@@ -161,7 +320,12 @@ void MessageBus::FlushStalled() {
   // (a handler may Send back onto the delayed bus).
   for (auto it = stalled_.begin(); it != stalled_.end();) {
     auto& q = it->second;
-    while (!q.empty() && TryDeliver(q.front())) q.pop_front();
+    while (!q.empty() && TryDeliver(q.front().msg)) {
+      if (q.front().deferred) {
+        q.front().deferred->fetch_sub(1, std::memory_order_relaxed);
+      }
+      q.pop_front();
+    }
     it = q.empty() ? stalled_.erase(it) : std::next(it);
   }
 }
@@ -200,9 +364,11 @@ void MessageBus::DelayLoop() {
     // without delay_mu_ so a handler may Send (even delayed) safely.
     auto sit = stalled_.find(d.msg.dst);
     if (sit != stalled_.end() && !sit->second.empty()) {
-      sit->second.push_back(std::move(d.msg));
-    } else if (!TryDeliver(d.msg)) {
-      stalled_[d.msg.dst].push_back(std::move(d.msg));
+      sit->second.push_back(std::move(d));
+    } else if (TryDeliver(d.msg)) {
+      if (d.deferred) d.deferred->fetch_sub(1, std::memory_order_relaxed);
+    } else {
+      stalled_[d.msg.dst].push_back(std::move(d));
     }
     lk.lock();
   }

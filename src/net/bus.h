@@ -1,21 +1,34 @@
-// MessageBus: the simulated cluster interconnect.
+// MessageBus: the cluster interconnect.
 //
 // Weaver's deployment runs gatekeepers and shard servers as separate
-// processes connected by TCP; this reproduction runs them as actors inside
-// one process connected by this bus. The bus preserves the property the
+// processes connected by TCP; this reproduction runs them as actors that
+// exchange messages over this bus. The bus preserves the property the
 // protocol depends on (paper §4.2): every (source, destination) pair is a
 // reliable FIFO channel with per-channel sequence numbers, so transactions
 // from one gatekeeper cannot be lost or reordered in transit. Receivers
 // check the sequence numbers and fail loudly on a violation.
 //
-// Endpoints either own an inbox (BlockingQueue drained by their event
-// loop -- shard servers) or register an inline handler invoked on the
-// sender's thread (gatekeeper announce processing, which is a single
-// cheap clock merge).
+// Endpoints come in three kinds:
+//   * inbox -- a BlockingQueue drained by the owner's event loop (shard
+//     servers);
+//   * inline handler -- invoked on the sender's thread (gatekeeper
+//     announce processing, session reply routing). Handlers may carry a
+//     capacity bound on DEFERRED deliveries (delay-queue backlog), so a
+//     lagging receiver cannot grow an unbounded queue -- over-capacity
+//     sends drop with ResourceExhausted (safe for announces: a later
+//     announce supersedes a dropped one);
+//   * remote -- a proxy for an endpoint living in another process. Sends
+//     are encoded into wire frames (via the deployment-installed wire
+//     encoder, core/message_codec.h) and shipped over the endpoint's
+//     Transport (net/transport.h); a WireLink on the receiving side
+//     rebuilds the message and calls DeliverWire(), which enforces the
+//     per-channel sequence numbers across the process boundary. The
+//     in-process fast path never encodes anything.
 //
 // For tests, an optional delivery-delay hook routes messages through a
 // timer thread; per-channel FIFO order is still preserved (delays are
 // clamped monotonically per channel), modelling a slow but ordered link.
+// Delays apply to local endpoints only (a real link supplies its own).
 #pragma once
 
 #include <atomic>
@@ -33,7 +46,9 @@
 #include <vector>
 
 #include "common/queue.h"
+#include "common/result.h"
 #include "common/status.h"
+#include "net/transport.h"
 
 namespace weaver {
 
@@ -53,6 +68,16 @@ class MessageBus {
   struct Stats {
     std::atomic<std::uint64_t> messages_sent{0};
     std::atomic<std::uint64_t> messages_delivered{0};
+    /// Frames shipped to / received from remote (transport-backed)
+    /// endpoints.
+    std::atomic<std::uint64_t> wire_frames_sent{0};
+    std::atomic<std::uint64_t> wire_frames_received{0};
+    /// Wire deliveries rejected because a per-channel sequence number was
+    /// missing or out of order (a broken link; receivers fail loudly).
+    std::atomic<std::uint64_t> wire_seq_violations{0};
+    /// Sends dropped because a bounded handler endpoint's deferred-queue
+    /// capacity was exceeded (announce backpressure).
+    std::atomic<std::uint64_t> handler_capacity_drops{0};
   };
 
   MessageBus();
@@ -67,8 +92,50 @@ class MessageBus {
 
   /// Registers an endpoint with an inline delivery handler (invoked on the
   /// sender's thread, or the delay thread when delays are active).
+  /// `capacity` bounds DEFERRED deliveries only (messages parked in the
+  /// delay queue for this endpoint): sends beyond it drop with
+  /// ResourceExhausted instead of growing the queue. 0 = unbounded.
+  /// Synchronous (no-delay) deliveries never queue, so they are never
+  /// dropped.
   EndpointId RegisterHandler(std::string name,
-                             std::function<void(const BusMessage&)> handler);
+                             std::function<void(const BusMessage&)> handler,
+                             std::size_t capacity = 0);
+
+  /// Registers a remote proxy endpoint: sends to it are encoded with the
+  /// installed wire encoder and shipped over `transport` as frames.
+  /// Several remote endpoints may share one transport (a child process
+  /// reaches every parent-side endpoint through its single link).
+  EndpointId RegisterRemote(std::string name,
+                            std::shared_ptr<Transport> transport);
+
+  /// Installs the PAYLOAD encoder used for sends to remote endpoints
+  /// (core/message_codec.h's EncodePayload). The bus wraps the encoded
+  /// payload in a wire frame itself -- payload encoding happens (and can
+  /// fail) BEFORE the channel sequence number is committed, so an
+  /// unencodable message never desyncs the receiver's gap-free FIFO
+  /// check. Must be set before the first remote send; not changed while
+  /// traffic flows.
+  void SetWireEncoder(
+      std::function<Result<std::string>(std::uint32_t tag,
+                                        const std::shared_ptr<void>& payload)>
+          encoder);
+
+  /// Delivery entry point for messages received over a wire link. The
+  /// message carries the SENDER-side channel sequence number; this bus
+  /// verifies it continues the channel's gap-free FIFO stream and fails
+  /// loudly (Internal + stats().wire_seq_violations) on any violation --
+  /// a reordered or lost frame means the link broke its contract.
+  /// `never_block` bypasses bounded-inbox blocking (program/control
+  /// traffic, core/message_codec.h's WireNeverBlock).
+  Status DeliverWire(BusMessage msg, bool never_block);
+
+  /// Ships an already-encoded frame to a remote endpoint's transport
+  /// verbatim (hub routing: a frame between two child processes transits
+  /// the parent without being decoded). `never_block` carries the
+  /// ForcePush contract onto the outbound link (links must not wedge
+  /// forwarding program traffic into a congested peer).
+  Status ForwardFrame(EndpointId dst, std::string_view frame,
+                      bool never_block = false);
 
   /// Detaches an endpoint: subsequent sends to it are dropped (simulates a
   /// crashed server). Channel sequence state is preserved so a re-register
@@ -115,8 +182,15 @@ class MessageBus {
   struct Endpoint {
     std::string name;
     std::shared_ptr<BlockingQueue<BusMessage>> inbox;  // or...
-    std::function<void(const BusMessage&)> handler;    // ...inline handler
+    std::function<void(const BusMessage&)> handler;    // ...inline handler,
+    std::shared_ptr<Transport> remote;                 // ...or remote proxy
     bool attached = true;
+    /// Handler endpoints only: bound on deferred (delay-queue) deliveries
+    /// and the live count of them. The count is atomic because senders
+    /// increment it while the delay thread decrements after delivery.
+    std::size_t handler_capacity = 0;
+    std::shared_ptr<std::atomic<std::size_t>> deferred{
+        std::make_shared<std::atomic<std::size_t>>(0)};
   };
   struct Channel {
     std::mutex mu;
@@ -127,6 +201,9 @@ class MessageBus {
     std::uint64_t deliver_at_us;
     std::uint64_t order;  // tie-break, preserves global send order
     BusMessage msg;
+    /// Bounded-handler accounting: decremented once the message leaves
+    /// the deferred queues (delivered or dropped). Null when unbounded.
+    std::shared_ptr<std::atomic<std::size_t>> deferred;
     bool operator>(const Delayed& other) const {
       return std::tie(deliver_at_us, order) >
              std::tie(other.deliver_at_us, other.order);
@@ -154,6 +231,18 @@ class MessageBus {
   std::map<std::pair<EndpointId, EndpointId>, std::unique_ptr<Channel>>
       channels_;
 
+  /// Payload encoder for remote sends (deployment-installed).
+  std::function<Result<std::string>(std::uint32_t,
+                                    const std::shared_ptr<void>&)>
+      wire_encoder_;
+  /// True once any remote or bounded-handler endpoint exists; lets the
+  /// pure in-process hot path skip the pre-send endpoint inspection.
+  std::atomic<bool> has_special_endpoints_{false};
+  /// Last sequence number accepted per wire-inbound channel
+  /// (DeliverWire's gap/reorder check).
+  std::mutex wire_seq_mu_;
+  std::map<std::pair<EndpointId, EndpointId>, std::uint64_t> wire_seq_;
+
   std::function<std::uint64_t(EndpointId, EndpointId)> delay_fn_;
   std::mutex delay_mu_;
   std::condition_variable delay_cv_;
@@ -161,7 +250,7 @@ class MessageBus {
       delay_queue_;
   /// Delayed messages whose destination inbox was full, FIFO per
   /// destination. Touched only by the delay thread -- no lock.
-  std::unordered_map<EndpointId, std::deque<BusMessage>> stalled_;
+  std::unordered_map<EndpointId, std::deque<Delayed>> stalled_;
   std::uint64_t delay_order_ = 0;
   std::thread delay_thread_;
   bool stopping_ = false;

@@ -1,0 +1,113 @@
+#include "net/wire.h"
+
+#include "storage/crc32.h"
+
+namespace weaver {
+namespace wire {
+
+namespace {
+
+void PutU32Le(std::string* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64Le(std::string* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint32_t GetU32Le(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t GetU64Le(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string EncodeFrame(const FrameHeader& header, std::string_view payload) {
+  std::string out;
+  out.reserve(kHeaderSize + payload.size());
+  PutU32Le(&out, kFrameMagic);
+  out.push_back(static_cast<char>(kWireVersion));
+  PutU32Le(&out, header.tag);
+  PutU32Le(&out, header.src);
+  PutU32Le(&out, header.dst);
+  PutU64Le(&out, header.channel_seq);
+  PutU32Le(&out, static_cast<std::uint32_t>(payload.size()));
+  PutU32Le(&out, storage::Crc32(payload));
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+Status FrameParser::Next(FrameHeader* header, std::string* payload,
+                         bool* ready) {
+  *ready = false;
+  if (!poisoned_.ok()) return poisoned_;
+
+  // Compact the buffer once the consumed prefix dominates it, so a
+  // long-lived stream does not grow without bound.
+  if (consumed_ > 0 && consumed_ >= buf_.size() / 2) {
+    buf_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+
+  if (buf_.size() - consumed_ < kHeaderSize) return Status::Ok();
+  const char* h = buf_.data() + consumed_;
+  const std::uint32_t magic = GetU32Le(h);
+  if (magic != kFrameMagic) {
+    poisoned_ = Status::InvalidArgument("bad frame magic: corrupt stream");
+    return poisoned_;
+  }
+  const std::uint8_t version = static_cast<std::uint8_t>(h[4]);
+  if (version != kWireVersion) {
+    poisoned_ = Status::InvalidArgument(
+        "wire version mismatch: got " + std::to_string(version) +
+        ", want " + std::to_string(kWireVersion));
+    return poisoned_;
+  }
+  FrameHeader hdr;
+  hdr.tag = GetU32Le(h + 5);
+  hdr.src = GetU32Le(h + 9);
+  hdr.dst = GetU32Le(h + 13);
+  hdr.channel_seq = GetU64Le(h + 17);
+  hdr.payload_size = GetU32Le(h + 25);
+  hdr.payload_crc = GetU32Le(h + 29);
+  if (hdr.payload_size > kMaxFramePayload) {
+    poisoned_ = Status::InvalidArgument("frame payload size over limit");
+    return poisoned_;
+  }
+  if (buf_.size() - consumed_ < kHeaderSize + hdr.payload_size) {
+    return Status::Ok();  // need more bytes
+  }
+  const std::string_view body(buf_.data() + consumed_ + kHeaderSize,
+                              hdr.payload_size);
+  if (storage::Crc32(body) != hdr.payload_crc) {
+    poisoned_ = Status::InvalidArgument("frame payload CRC mismatch");
+    return poisoned_;
+  }
+  *header = hdr;
+  payload->assign(body.data(), body.size());
+  raw_offset_ = consumed_;
+  raw_size_ = kHeaderSize + hdr.payload_size;
+  consumed_ += raw_size_;
+  *ready = true;
+  return Status::Ok();
+}
+
+}  // namespace wire
+}  // namespace weaver

@@ -1,0 +1,213 @@
+// Wire serialization for the message bus: the zero-dependency codec layer
+// that turns bus messages into bytes a real transport can carry between
+// processes (docs/transport.md).
+//
+// Two pieces live here:
+//
+//   * wire::Writer / wire::Reader -- a compact binary encoding built on
+//     LEB128 varints (unsigned ints), length-prefixed strings, and
+//     varint-counted vectors. Every integer the schemas carry is written
+//     as a varint, so small values (timestamps early in an epoch, short
+//     vectors) cost one byte instead of eight. Encoding is canonical:
+//     the writer always emits minimal-length varints, which is what makes
+//     encode(decode(encode(x))) byte-identical.
+//
+//   * frames -- the transport unit. Every frame is a fixed-layout header
+//     (magic, version, payload tag, source/destination endpoint ids, the
+//     per-channel sequence number, payload length, payload CRC32)
+//     followed by the payload bytes. The header is fixed-width so a
+//     stream reader can find the payload length before parsing anything
+//     else; the CRC covers the payload so corruption is detected before a
+//     decoder ever sees the bytes. FrameParser incrementally consumes a
+//     byte stream (TCP segments arrive at arbitrary boundaries) and
+//     yields complete frames.
+//
+// Versioning rules (docs/transport.md#versioning): the header carries a
+// wire version; receivers reject frames from a different major version
+// loudly rather than guessing. Schema evolution happens by adding fields
+// at the END of a payload -- decoders must tolerate trailing bytes they
+// do not understand, and must treat truncated payloads as corruption.
+//
+// This header depends only on common/status + common/result, so the net
+// layer stays free of core message types; the per-schema codecs live in
+// core/message_codec.h.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace weaver {
+namespace wire {
+
+/// Append-only encoder: varint ints, length-prefixed strings.
+class Writer {
+ public:
+  void U8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+
+  /// LEB128 unsigned varint (1 byte for values < 128).
+  void VarU64(std::uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<char>((v & 0x7f) | 0x80));
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<char>(v));
+  }
+  void VarU32(std::uint32_t v) { VarU64(v); }
+
+  /// Length-prefixed byte string (varint length + raw bytes).
+  void String(std::string_view s) {
+    VarU64(s.size());
+    buf_.append(s.data(), s.size());
+  }
+
+  /// Vector prefix: callers write the count, then each element.
+  void Count(std::size_t n) { VarU64(n); }
+
+  const std::string& str() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Sequential decoder over a byte string. All getters return a non-OK
+/// status on truncated or malformed input instead of reading out of
+/// bounds; a payload with trailing bytes is legal (forward compatibility:
+/// newer senders append fields).
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  Status U8(std::uint8_t* out) {
+    if (pos_ >= data_.size()) return Truncated();
+    *out = static_cast<std::uint8_t>(data_[pos_++]);
+    return Status::Ok();
+  }
+
+  Status VarU64(std::uint64_t* out) {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      if (pos_ >= data_.size()) return Truncated();
+      const std::uint8_t byte = static_cast<std::uint8_t>(data_[pos_++]);
+      if (shift == 63 && (byte & 0x7e) != 0) {
+        return Status::InvalidArgument("varint overflows 64 bits");
+      }
+      v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+      if (shift > 63) return Status::InvalidArgument("varint too long");
+    }
+    *out = v;
+    return Status::Ok();
+  }
+
+  Status VarU32(std::uint32_t* out) {
+    std::uint64_t v = 0;
+    WEAVER_RETURN_IF_ERROR(VarU64(&v));
+    if (v > 0xffffffffULL) {
+      return Status::InvalidArgument("varint overflows 32 bits");
+    }
+    *out = static_cast<std::uint32_t>(v);
+    return Status::Ok();
+  }
+
+  Status String(std::string* out) {
+    std::uint64_t len = 0;
+    WEAVER_RETURN_IF_ERROR(VarU64(&len));
+    if (len > data_.size() - pos_) return Truncated();
+    out->assign(data_.data() + pos_, static_cast<std::size_t>(len));
+    pos_ += static_cast<std::size_t>(len);
+    return Status::Ok();
+  }
+
+  /// Vector count with a sanity cap: a corrupt count must not drive a
+  /// multi-gigabyte reserve before per-element reads hit the end of the
+  /// buffer. Every element costs at least one byte, so the remaining
+  /// input bounds any honest count.
+  Status Count(std::size_t* out) {
+    std::uint64_t n = 0;
+    WEAVER_RETURN_IF_ERROR(VarU64(&n));
+    if (n > remaining()) {
+      return Status::InvalidArgument("vector count exceeds payload size");
+    }
+    *out = static_cast<std::size_t>(n);
+    return Status::Ok();
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  static Status Truncated() {
+    return Status::InvalidArgument("truncated wire payload");
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+// --- Frames -----------------------------------------------------------------
+
+inline constexpr std::uint32_t kFrameMagic = 0x57565231;  // "WVR1"
+inline constexpr std::uint8_t kWireVersion = 1;
+/// Upper bound on a frame payload; anything larger is corruption (the
+/// largest honest payloads are hop batches, far below this).
+inline constexpr std::uint32_t kMaxFramePayload = 64u << 20;
+
+/// Fixed-width frame header. Serialized little-endian in the field order
+/// below; kHeaderSize is the exact on-wire size.
+struct FrameHeader {
+  std::uint32_t tag = 0;          // payload schema discriminator (MsgTag)
+  std::uint32_t src = 0;          // sending endpoint id
+  std::uint32_t dst = 0;          // destination endpoint id
+  std::uint64_t channel_seq = 0;  // per-(src,dst) FIFO sequence number
+  std::uint32_t payload_size = 0;
+  std::uint32_t payload_crc = 0;
+};
+
+inline constexpr std::size_t kHeaderSize =
+    /*magic*/ 4 + /*version*/ 1 + /*tag*/ 4 + /*src*/ 4 + /*dst*/ 4 +
+    /*seq*/ 8 + /*len*/ 4 + /*crc*/ 4;
+
+/// Serializes one frame (header + payload) ready for a stream transport.
+std::string EncodeFrame(const FrameHeader& header, std::string_view payload);
+
+/// Incremental frame decoder over a byte stream. Feed() arbitrary chunks;
+/// Next() yields complete frames. A malformed header or CRC mismatch
+/// poisons the parser (framing on a corrupt stream is unrecoverable) --
+/// every later Next() repeats the error so the link can fail loudly.
+class FrameParser {
+ public:
+  /// Appends received bytes to the internal buffer.
+  void Feed(const char* data, std::size_t n) { buf_.append(data, n); }
+
+  /// Extracts the next complete frame. Returns OK with *ready = true and
+  /// the frame filled in; OK with *ready = false when more bytes are
+  /// needed; non-OK on a corrupt stream.
+  Status Next(FrameHeader* header, std::string* payload, bool* ready);
+
+  /// The raw bytes (header + payload) of the frame the last successful
+  /// Next() returned, for verbatim forwarding without re-framing or
+  /// re-checksumming. Valid only until the next Feed() or Next() call.
+  std::string_view raw_frame() const {
+    return std::string_view(buf_.data() + raw_offset_, raw_size_);
+  }
+
+  std::size_t buffered() const { return buf_.size() - consumed_; }
+
+ private:
+  std::string buf_;
+  std::size_t consumed_ = 0;  // prefix already handed out as frames
+  std::size_t raw_offset_ = 0;  // last frame, for raw_frame()
+  std::size_t raw_size_ = 0;
+  Status poisoned_;           // sticky decode failure
+};
+
+}  // namespace wire
+}  // namespace weaver

@@ -1,0 +1,145 @@
+#include "net/wire_link.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace weaver {
+
+WireLink::WireLink(Options options) : options_(std::move(options)) {
+  assert(options_.bus != nullptr);
+  assert(options_.transport != nullptr);
+  assert(options_.decode != nullptr);
+  options_.transport->StartReceiver(
+      [this](const char* data, std::size_t n) { OnBytes(data, n); });
+}
+
+WireLink::~WireLink() {
+  Stop();
+  // The receive thread holds raw pointers into this object (the parser,
+  // the stats): wait until its end-of-stream marker confirms it is done
+  // with us. Stop() shut the transport down, so the marker is imminent.
+  std::unique_lock<std::mutex> lk(mu_);
+  closed_cv_.wait(lk, [&] { return receiver_done_; });
+}
+
+void WireLink::Stop() {
+  options_.transport->Stop();
+  std::lock_guard<std::mutex> lk(mu_);
+  closed_ = true;
+  closed_cv_.notify_all();
+}
+
+void WireLink::WaitClosed() {
+  std::unique_lock<std::mutex> lk(mu_);
+  closed_cv_.wait(lk, [&] { return closed_; });
+}
+
+bool WireLink::closed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return closed_;
+}
+
+Status WireLink::error() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return error_;
+}
+
+void WireLink::Fail(const Status& status) {
+  std::fprintf(stderr, "weaver: wire link %s failed: %s\n",
+               options_.name.c_str(), status.ToString().c_str());
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (error_.ok()) error_ = status;
+    closed_ = true;
+    closed_cv_.notify_all();
+  }
+  options_.transport->Stop();
+}
+
+void WireLink::OnBytes(const char* data, std::size_t n) {
+  if (data == nullptr) {
+    // End of stream (peer closed or transport stopped): a clean
+    // shutdown, not an error -- WaitClosed() callers proceed, and the
+    // destructor may reclaim the link.
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+    receiver_done_ = true;
+    closed_cv_.notify_all();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (closed_) return;  // poisoned link: drop the rest of the stream
+  }
+  parser_.Feed(data, n);
+  while (true) {
+    wire::FrameHeader header;
+    std::string payload;
+    bool ready = false;
+    const Status st = parser_.Next(&header, &payload, &ready);
+    if (!st.ok()) {
+      Fail(st);
+      return;
+    }
+    if (!ready) return;
+
+    // Hub forwarding first: a frame addressed to another remote endpoint
+    // of this bus transits verbatim -- raw bytes, no re-framing, no
+    // second CRC pass, one endpoint-table lookup (ForwardFrame tells us
+    // with InvalidArgument when the destination is local instead).
+    // never_block by tag: this thread serializes all of one child's
+    // traffic and must not wedge forwarding program frames into a
+    // congested peer.
+    const bool never_block =
+        options_.never_block && options_.never_block(header.tag);
+    const Status fwd =
+        options_.bus->ForwardFrame(header.dst, parser_.raw_frame(),
+                                   never_block);
+    if (fwd.ok()) {
+      stats_.frames_forwarded.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (!fwd.IsInvalidArgument()) {
+      // A remote destination whose process is gone: a routing data-loss
+      // event the sender cannot see, so count and report it.
+      stats_.deliver_errors.fetch_add(1, std::memory_order_relaxed);
+      std::fprintf(stderr,
+                   "weaver: wire link %s: dropping frame for dead remote "
+                   "endpoint %u: %s\n",
+                   options_.name.c_str(), header.dst,
+                   fwd.ToString().c_str());
+      continue;
+    }
+
+    // InvalidArgument: the destination is a local endpoint -- decode and
+    // deliver.
+    auto decoded = options_.decode(header.tag, payload);
+    if (!decoded.ok()) {
+      stats_.decode_errors.fetch_add(1, std::memory_order_relaxed);
+      Fail(decoded.status());
+      return;
+    }
+    BusMessage msg;
+    msg.src = header.src;
+    msg.dst = header.dst;
+    msg.channel_seq = header.channel_seq;
+    msg.payload_tag = header.tag;
+    msg.payload = std::move(decoded).value();
+    const Status delivered = options_.bus->DeliverWire(std::move(msg),
+                                                       never_block);
+    if (!delivered.ok()) {
+      stats_.deliver_errors.fetch_add(1, std::memory_order_relaxed);
+      if (delivered.IsInternal()) {
+        // Sequence violation: the FIFO contract is broken; fail loudly.
+        Fail(delivered);
+        return;
+      }
+      // Unavailable (detached/stopped local endpoint) during shutdown is
+      // expected; drop and continue.
+      continue;
+    }
+    stats_.frames_delivered.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace weaver

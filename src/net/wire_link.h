@@ -1,0 +1,104 @@
+// WireLink: binds one Transport's inbound byte stream to a MessageBus
+// (docs/transport.md#links-and-hubs).
+//
+// The link owns a FrameParser fed from the transport's receive thread.
+// For each complete frame it either:
+//
+//   * delivers locally -- decodes the payload (via the injected decoder,
+//     so the net layer stays free of core message types) and hands the
+//     rebuilt BusMessage to MessageBus::DeliverWire, which enforces the
+//     per-channel sequence numbers and fails loudly on a violation; or
+//
+//   * forwards -- when the frame's destination is itself a remote
+//     (transport-backed) endpoint of this bus, the frame is re-emitted
+//     verbatim to that endpoint's transport. This is what makes a
+//     deployment's parent process a hub: shard-to-shard traffic between
+//     two child processes transits the parent without being decoded,
+//     and because each inbound stream is processed in order by one
+//     thread, a shard's spawn-accounting frame is delivered to the
+//     coordinator before its hop batch is forwarded to the peer --
+//     preserving the spawn-before-consume order the quiescence protocol
+//     needs (docs/node_programs.md).
+//
+// A corrupt stream (bad magic, CRC mismatch, version skew) or a sequence
+// violation is unrecoverable: the link records the error, prints it, and
+// stops consuming. Loud beats wrong.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "net/bus.h"
+#include "net/transport.h"
+#include "net/wire.h"
+
+namespace weaver {
+
+class WireLink {
+ public:
+  struct Options {
+    MessageBus* bus = nullptr;
+    std::shared_ptr<Transport> transport;
+    /// Rebuilds a payload object from frame bytes (core/message_codec's
+    /// DecodePayload, injected to keep net/ schema-free).
+    std::function<Result<std::shared_ptr<void>>(std::uint32_t tag,
+                                                std::string_view bytes)>
+        decode;
+    /// Per-tag delivery policy: true = never block on a bounded inbox
+    /// (core/message_codec's WireNeverBlock).
+    std::function<bool(std::uint32_t tag)> never_block;
+    std::string name;  // diagnostics
+  };
+
+  struct Stats {
+    std::atomic<std::uint64_t> frames_delivered{0};
+    std::atomic<std::uint64_t> frames_forwarded{0};
+    std::atomic<std::uint64_t> decode_errors{0};
+    std::atomic<std::uint64_t> deliver_errors{0};  // incl. seq violations
+  };
+
+  /// Starts receiving immediately.
+  explicit WireLink(Options options);
+  ~WireLink();
+  WireLink(const WireLink&) = delete;
+  WireLink& operator=(const WireLink&) = delete;
+
+  /// Stops the underlying transport (and thus the receive thread).
+  void Stop();
+
+  /// Blocks until the link stops receiving (peer EOF, Stop(), or a fatal
+  /// stream error). Shard-server processes park on this.
+  void WaitClosed();
+
+  bool closed() const;
+  /// First fatal error, if any (OK while healthy).
+  Status error() const;
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void OnBytes(const char* data, std::size_t n);
+  void Fail(const Status& status);
+
+  Options options_;
+  wire::FrameParser parser_;  // receive thread only
+  mutable std::mutex mu_;
+  std::condition_variable closed_cv_;
+  bool closed_ = false;
+  /// Set by the receive thread's end-of-stream marker: the thread will
+  /// never touch this link again. The destructor waits for it -- the
+  /// transport may be shared, so transport destruction (which joins the
+  /// thread) can happen after the link is gone.
+  bool receiver_done_ = false;
+  Status error_;
+  Stats stats_;
+};
+
+}  // namespace weaver

@@ -34,12 +34,14 @@ Gatekeeper::Gatekeeper(Options options)
   assert(options_.kv != nullptr);
   assert(options_.id < options_.num_gatekeepers);
   endpoint_ = options_.bus->RegisterHandler(
-      "gk" + std::to_string(options_.id), [this](const BusMessage& msg) {
+      "gk" + std::to_string(options_.id),
+      [this](const BusMessage& msg) {
         if (msg.payload_tag == kMsgAnnounce) {
           auto ann = std::static_pointer_cast<AnnounceMessage>(msg.payload);
           OnAnnounce(ann->clock);
         }
-      });
+      },
+      options_.announce_capacity);
   // The client ingress endpoint only parks requests in lanes; the handler
   // runs on the sender's thread and must stay cheap.
   client_endpoint_ = options_.bus->RegisterHandler(
@@ -52,64 +54,84 @@ Gatekeeper::~Gatekeeper() {
   StopTimers();
 }
 
-namespace {
-
-std::uint64_t SessionIdOf(const BusMessage& msg) {
-  switch (msg.payload_tag) {
-    case kMsgClientCommit:
-      return std::static_pointer_cast<ClientCommitMessage>(msg.payload)
-          ->session_id;
-    case kMsgClientProgram:
-      return std::static_pointer_cast<ClientProgramMessage>(msg.payload)
-          ->session_id;
-    default:
-      return 0;
-  }
+void Gatekeeper::SendCommitReply(EndpointId reply_to,
+                                 std::uint64_t session_id,
+                                 std::uint64_t request_id, Status status,
+                                 const RefinableTimestamp& ts) {
+  auto reply = std::make_shared<ClientCommitReplyMessage>();
+  reply->session_id = session_id;
+  reply->request_id = request_id;
+  reply->status = std::move(status);
+  reply->timestamp = ts;
+  // A failed send means the requester detached (session closed): it
+  // already failed its outstanding handles, so the reply is moot.
+  (void)options_.bus->Send(client_endpoint_, reply_to, kMsgClientCommitReply,
+                           std::move(reply));
 }
 
-}  // namespace
+void Gatekeeper::SendProgramReply(EndpointId reply_to,
+                                  std::uint64_t session_id,
+                                  std::uint64_t request_id,
+                                  Result<ProgramResult> result) {
+  auto reply = std::make_shared<ClientProgramReplyMessage>();
+  reply->session_id = session_id;
+  reply->request_id = request_id;
+  reply->status = result.status();
+  if (result.ok()) reply->result = std::move(result).value();
+  (void)options_.bus->Send(client_endpoint_, reply_to,
+                           kMsgClientProgramReply, std::move(reply));
+}
 
-void Gatekeeper::FailClientRequest(const BusMessage& msg, Status status) {
-  switch (msg.payload_tag) {
-    case kMsgClientCommit: {
-      auto req = std::static_pointer_cast<ClientCommitMessage>(msg.payload);
-      if (req->sink) req->sink(CommitResult{std::move(status), {}});
-      break;
-    }
-    case kMsgClientProgram: {
-      auto req = std::static_pointer_cast<ClientProgramMessage>(msg.payload);
-      if (req->sink) req->sink(std::move(status));
-      break;
-    }
-    default:
-      break;
-  }
+void Gatekeeper::FailCommitRequest(const BusMessage& msg, Status status) {
+  auto req = std::static_pointer_cast<ClientCommitMessage>(msg.payload);
+  SendCommitReply(req->reply_to, req->session_id, req->request_id,
+                  std::move(status), {});
 }
 
 void Gatekeeper::EnqueueClientRequest(const BusMessage& msg) {
-  if (msg.payload_tag != kMsgClientCommit &&
-      msg.payload_tag != kMsgClientProgram) {
+  if (msg.payload_tag == kMsgClientProgram) {
+    auto req = std::static_pointer_cast<ClientProgramMessage>(msg.payload);
+    stats_.client_program_msgs.fetch_add(1, std::memory_order_relaxed);
+    // Programs carry no ordering promise: a shared queue lets any free
+    // worker serve them, so one session (or one batched message) can
+    // have many in flight. Batches fan out into one entry per request.
+    std::vector<std::uint64_t> rejected;
+    bool stopped = false;
+    {
+      std::lock_guard<std::mutex> lk(ingress_mu_);
+      stopped = ingress_stopped_;
+      for (std::size_t i = 0; i < req->requests.size(); ++i) {
+        if (stopped ||
+            (options_.client_lane_capacity > 0 &&
+             program_queue_.size() >= options_.client_lane_capacity * 8)) {
+          stats_.client_rejected.fetch_add(1, std::memory_order_relaxed);
+          rejected.push_back(req->requests[i].request_id);
+          continue;
+        }
+        program_queue_.push_back(ProgramWork{req, i});
+        ingress_cv_.notify_one();
+      }
+    }
+    for (const std::uint64_t rid : rejected) {
+      SendProgramReply(
+          req->reply_to, req->session_id, rid,
+          stopped ? Status::Unavailable("gatekeeper client ingress is "
+                                        "stopped")
+                  : Status::ResourceExhausted(
+                        "program queue over capacity; wait for in-flight "
+                        "requests before submitting more"));
+    }
     return;
   }
-  const std::uint64_t sid = SessionIdOf(msg);
+  if (msg.payload_tag != kMsgClientCommit) return;
+
+  const std::uint64_t sid =
+      std::static_pointer_cast<ClientCommitMessage>(msg.payload)->session_id;
   Status failure = Status::Ok();
   {
     std::lock_guard<std::mutex> lk(ingress_mu_);
     if (ingress_stopped_) {
       failure = Status::Unavailable("gatekeeper client ingress is stopped");
-    } else if (msg.payload_tag == kMsgClientProgram) {
-      // Programs carry no ordering promise: a shared queue lets any free
-      // worker serve them, so one session can have many in flight.
-      if (options_.client_lane_capacity > 0 &&
-          program_queue_.size() >= options_.client_lane_capacity * 8) {
-        stats_.client_rejected.fetch_add(1, std::memory_order_relaxed);
-        failure = Status::ResourceExhausted(
-            "program queue over capacity; wait for in-flight requests "
-            "before submitting more");
-      } else {
-        program_queue_.push_back(msg);
-        ingress_cv_.notify_one();
-      }
     } else {
       SessionLane& lane = lanes_[sid];
       if (options_.client_lane_capacity > 0 &&
@@ -128,7 +150,7 @@ void Gatekeeper::EnqueueClientRequest(const BusMessage& msg) {
       }
     }
   }
-  if (!failure.ok()) FailClientRequest(msg, std::move(failure));
+  if (!failure.ok()) FailCommitRequest(msg, std::move(failure));
 }
 
 void Gatekeeper::StartClientIngress() {
@@ -152,22 +174,30 @@ void Gatekeeper::StopClientIngress() {
   for (auto& w : workers) w.join();
   // Workers are gone: every still-queued request fails now so waiters
   // unblock (shutdown semantics of Pending<T>::Wait()).
-  std::vector<BusMessage> orphans;
+  std::vector<BusMessage> orphan_commits;
+  std::vector<ProgramWork> orphan_programs;
   {
     std::lock_guard<std::mutex> lk(ingress_mu_);
     for (auto& [sid, lane] : lanes_) {
-      for (auto& msg : lane.q) orphans.push_back(std::move(msg));
+      for (auto& msg : lane.q) orphan_commits.push_back(std::move(msg));
       lane.q.clear();
       lane.busy = false;
     }
     lanes_.clear();
     ready_lanes_.clear();
-    for (auto& msg : program_queue_) orphans.push_back(std::move(msg));
+    for (auto& work : program_queue_) {
+      orphan_programs.push_back(std::move(work));
+    }
     program_queue_.clear();
   }
-  for (const BusMessage& msg : orphans) {
-    FailClientRequest(
-        msg, Status::Unavailable("deployment shut down before execution"));
+  const Status down =
+      Status::Unavailable("deployment shut down before execution");
+  for (const BusMessage& msg : orphan_commits) {
+    FailCommitRequest(msg, down);
+  }
+  for (const ProgramWork& work : orphan_programs) {
+    SendProgramReply(work.msg->reply_to, work.msg->session_id,
+                     work.msg->requests[work.index].request_id, down);
   }
 }
 
@@ -195,12 +225,22 @@ void Gatekeeper::ClientIngressLoop() {
         program_dispatchable() && (ready_lanes_.empty() || prefer_programs);
     if (take_program) {
       prefer_programs = false;
-      BusMessage msg = std::move(program_queue_.front());
+      ProgramWork work = std::move(program_queue_.front());
       program_queue_.pop_front();
       ++inflight_programs_;  // released by OnProgramSettled
       lk.unlock();
-      bool unused = false;
-      DispatchClientRequest(msg, &unused);
+      stats_.client_programs.fetch_add(1, std::memory_order_relaxed);
+      ProgramRequest& req = work.msg->requests[work.index];
+      if (client_executor_.program) {
+        // Async contract: the executor's completion path sends the reply
+        // and calls OnProgramSettled() exactly once.
+        client_executor_.program(*this, *work.msg, req);
+      } else {
+        SendProgramReply(work.msg->reply_to, work.msg->session_id,
+                         req.request_id,
+                         Status::Internal("no client executor installed"));
+        OnProgramSettled();
+      }
       lk.lock();
       continue;
     }
@@ -225,7 +265,7 @@ void Gatekeeper::ClientIngressLoop() {
     // paid on their own thread).
     bool batch_delay_due = true;
     for (const BusMessage& msg : batch) {
-      DispatchClientRequest(msg, &batch_delay_due);
+      DispatchCommitRequest(msg, &batch_delay_due);
     }
 
     lk.lock();
@@ -241,39 +281,18 @@ void Gatekeeper::ClientIngressLoop() {
   }
 }
 
-void Gatekeeper::DispatchClientRequest(const BusMessage& msg,
+void Gatekeeper::DispatchCommitRequest(const BusMessage& msg,
                                        bool* batch_delay_due) {
-  switch (msg.payload_tag) {
-    case kMsgClientCommit: {
-      auto req = std::static_pointer_cast<ClientCommitMessage>(msg.payload);
-      stats_.client_commits.fetch_add(1, std::memory_order_relaxed);
-      const bool pay_delay = *batch_delay_due && !req->delay_paid;
-      if (pay_delay) *batch_delay_due = false;
-      if (client_executor_.commit) {
-        client_executor_.commit(*this, *req, pay_delay);
-      } else if (req->sink) {
-        req->sink(CommitResult{
-            Status::Internal("no client executor installed"), {}});
-      }
-      break;
-    }
-    case kMsgClientProgram: {
-      auto req = std::static_pointer_cast<ClientProgramMessage>(msg.payload);
-      stats_.client_programs.fetch_add(1, std::memory_order_relaxed);
-      if (client_executor_.program) {
-        // Async contract: the executor's completion path must call
-        // OnProgramSettled() exactly once to release the in-flight slot.
-        client_executor_.program(*this, *req);
-      } else {
-        if (req->sink) {
-          req->sink(Status::Internal("no client executor installed"));
-        }
-        OnProgramSettled();
-      }
-      break;
-    }
-    default:
-      break;
+  auto req = std::static_pointer_cast<ClientCommitMessage>(msg.payload);
+  stats_.client_commits.fetch_add(1, std::memory_order_relaxed);
+  const bool pay_delay = *batch_delay_due && !req->delay_paid;
+  if (pay_delay) *batch_delay_due = false;
+  if (client_executor_.commit) {
+    // The executor replies through SendCommitReply.
+    client_executor_.commit(*this, *req, pay_delay);
+  } else {
+    SendCommitReply(req->reply_to, req->session_id, req->request_id,
+                    Status::Internal("no client executor installed"), {});
   }
 }
 
@@ -591,8 +610,16 @@ Status Gatekeeper::CommitTransaction(
   return last_status;
 }
 
-RefinableTimestamp Gatekeeper::BeginProgram() {
+RefinableTimestamp Gatekeeper::BeginProgram(const VectorClock* fence) {
   const std::uint64_t busy_start = NowNanos();
+  if (fence != nullptr && fence->width() > 0) {
+    // Read-your-writes fence: after the merge, the issued timestamp
+    // dominates the fenced commit's clock component-wise (plus this
+    // gatekeeper's tick), so it happens-after the commit and the shard
+    // delay rule guarantees the commit executes before the program reads.
+    std::lock_guard<std::mutex> lk(clock_mu_);
+    clock_.Merge(*fence);
+  }
   std::uint64_t unused = 0;
   const RefinableTimestamp ts = IssueTimestamp(false, &unused);
   {

@@ -92,6 +92,12 @@ class Gatekeeper {
     /// are skipped) up to kMaxNopBackoff, and halves back once every
     /// inbox is below half of it. 0 disables the check.
     std::size_t nop_high_water = 0;
+    /// Capacity of this gatekeeper's announce endpoint for DEFERRED bus
+    /// deliveries (delay-injected links): a gatekeeper that lags behind
+    /// the announce stream sheds the excess instead of queueing it
+    /// without bound -- a dropped announce is superseded by the next one.
+    /// 0 = unbounded (the historical behavior).
+    std::size_t announce_capacity = 0;
   };
 
   /// Upper bound on the adaptive NOP period multiplier.
@@ -108,9 +114,12 @@ class Gatekeeper {
     /// above high water, so the emission period was multiplied).
     std::atomic<std::uint64_t> nops_skipped{0};
     std::atomic<std::uint64_t> programs_issued{0};
-    /// Client-ingress traffic (session API).
+    /// Client-ingress traffic (session API). client_programs counts
+    /// REQUESTS; client_program_msgs counts the bus messages carrying
+    /// them (a batched fan-out is many requests in one message).
     std::atomic<std::uint64_t> client_commits{0};
     std::atomic<std::uint64_t> client_programs{0};
+    std::atomic<std::uint64_t> client_program_msgs{0};
     std::atomic<std::uint64_t> client_batches{0};
     std::atomic<std::uint64_t> client_rejected{0};  // lane over capacity
     /// Nanoseconds this gatekeeper spent doing per-operation work
@@ -142,14 +151,22 @@ class Gatekeeper {
 
   /// How the ingress executes requests. Installed by the deployment
   /// (Weaver), which owns the locator/partitioner state commits need and
-  /// the wave loop programs need.
+  /// the program coordinator programs need. Executors complete requests
+  /// by sending reply messages (SendCommitReply / SendProgramReply) to
+  /// the endpoint named in the request -- there are no callbacks in the
+  /// schemas, so the same path works across a process boundary.
   struct ClientExecutor {
     /// `pay_delay` is true for the first commit of a drained batch whose
     /// submitter has not already paid the simulated backing-store round
     /// trip; the rest of the batch rides the same round trip.
     std::function<void(Gatekeeper&, ClientCommitMessage&, bool pay_delay)>
         commit;
-    std::function<void(Gatekeeper&, ClientProgramMessage&)> program;
+    /// Executes ONE request of a (possibly batched) program message.
+    /// Async contract: the completion path must SendProgramReply and call
+    /// OnProgramSettled() exactly once.
+    std::function<void(Gatekeeper&, const ClientProgramMessage&,
+                       ProgramRequest&)>
+        program;
   };
 
   /// Installs the executor. Call before StartClientIngress().
@@ -169,6 +186,17 @@ class Gatekeeper {
   /// releasing its in-flight slot so a waiting worker can seed the next
   /// one.
   void OnProgramSettled();
+
+  /// Sends a ClientCommitReply / ClientProgramReply to a requester's
+  /// reply endpoint. Used by the executors and by the ingress itself
+  /// (rejection and shutdown paths). A failed send (requester gone) is
+  /// dropped -- nobody is waiting anymore.
+  void SendCommitReply(EndpointId reply_to, std::uint64_t session_id,
+                       std::uint64_t request_id, Status status,
+                       const RefinableTimestamp& ts);
+  void SendProgramReply(EndpointId reply_to, std::uint64_t session_id,
+                        std::uint64_t request_id,
+                        Result<ProgramResult> result);
 
   /// Installs the peer gatekeeper endpoints (deployment wiring happens
   /// after all gatekeepers are constructed). Call before StartTimers().
@@ -192,7 +220,10 @@ class Gatekeeper {
       RefinableTimestamp* committed_ts);
 
   /// Issues a timestamp for a node program and registers it as in-flight.
-  RefinableTimestamp BeginProgram();
+  /// A valid `fence` clock is merged first, so the program's timestamp
+  /// happens-after the fenced commit and its snapshot observes it -- the
+  /// per-session read-your-writes mode (docs/client_api.md).
+  RefinableTimestamp BeginProgram(const VectorClock* fence = nullptr);
   /// Marks a program complete (removes it from the in-flight set).
   void EndProgram(const RefinableTimestamp& ts);
   /// Oldest in-flight program timestamp, or the current clock snapshot if
@@ -240,16 +271,27 @@ class Gatekeeper {
     bool busy = false;
   };
 
+  /// One dispatchable program request: batched ClientProgram messages
+  /// fan out into one entry per request at enqueue, so in-flight
+  /// accounting stays exact and a batch's requests can run on several
+  /// workers at once.
+  struct ProgramWork {
+    std::shared_ptr<ClientProgramMessage> msg;
+    std::size_t index = 0;  // into msg->requests
+  };
+
   /// Ticks the clock and returns the new timestamp plus a dense outbound
   /// slot id (transactions/NOPs only; programs pass want_slot = false).
   RefinableTimestamp IssueTimestamp(bool want_slot, std::uint64_t* slot);
 
   void EnqueueClientRequest(const BusMessage& msg);
   void ClientIngressLoop();
-  /// Runs one request through the executor (ingress worker thread).
-  void DispatchClientRequest(const BusMessage& msg, bool* batch_delay_due);
-  /// Completes a request with `status` without executing it.
-  static void FailClientRequest(const BusMessage& msg, Status status);
+  /// Runs one commit request through the executor (ingress worker
+  /// thread).
+  void DispatchCommitRequest(const BusMessage& msg, bool* batch_delay_due);
+  /// Completes a queued commit request with `status` without executing it
+  /// (rejection/shutdown paths; replies through SendCommitReply).
+  void FailCommitRequest(const BusMessage& msg, Status status);
 
   /// Hands a released slot's sends to the bus in slot order.
   void ReleaseSlot(std::uint64_t slot, std::function<void()> send_fn);
@@ -273,7 +315,7 @@ class Gatekeeper {
   std::condition_variable ingress_cv_;
   std::unordered_map<std::uint64_t, SessionLane> lanes_;
   std::deque<std::uint64_t> ready_lanes_;
-  std::deque<BusMessage> program_queue_;
+  std::deque<ProgramWork> program_queue_;
   std::vector<std::thread> ingress_workers_;
   /// Programs seeded but not yet settled (guarded by ingress_mu_).
   std::size_t inflight_programs_ = 0;

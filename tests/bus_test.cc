@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 namespace weaver {
@@ -133,6 +134,51 @@ TEST(BusTest, DelayedDeliveryPreservesChannelFifo) {
   auto m2 = inbox->Pop();
   EXPECT_EQ(*std::static_pointer_cast<int>(m1->payload), 1);
   EXPECT_EQ(*std::static_pointer_cast<int>(m2->payload), 2);
+}
+
+TEST(BusTest, BoundedHandlerShedsDeferredLoad) {
+  MessageBus bus;
+  std::atomic<int> handled{0};
+  const EndpointId a = bus.RegisterHandler("a", [](const BusMessage&) {});
+  const EndpointId slow = bus.RegisterHandler(
+      "slow", [&](const BusMessage&) { handled.fetch_add(1); },
+      /*capacity=*/4);
+
+  // Without delays, deliveries are synchronous: capacity never triggers.
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_TRUE(bus.Send(a, slow, 0, Payload(i)).ok());
+  }
+  EXPECT_EQ(handled.load(), 16);
+
+  // With a long delivery delay, the deferred queue for the endpoint is
+  // bounded: sends beyond capacity drop with ResourceExhausted instead
+  // of growing the queue (the announce-path backpressure remnant).
+  bus.SetDelayFn([](EndpointId, EndpointId) -> std::uint64_t {
+    return 200000;  // 200ms: nothing delivers during the burst
+  });
+  int accepted = 0;
+  int dropped = 0;
+  for (int i = 0; i < 32; ++i) {
+    const Status st = bus.Send(a, slow, 0, Payload(i));
+    if (st.ok()) {
+      ++accepted;
+    } else {
+      EXPECT_TRUE(st.IsResourceExhausted()) << st.ToString();
+      ++dropped;
+    }
+  }
+  EXPECT_EQ(accepted, 4);
+  EXPECT_EQ(dropped, 28);
+  EXPECT_EQ(bus.stats().handler_capacity_drops.load(), 28u);
+
+  // The deferred messages eventually deliver and release their slots.
+  for (int spin = 0; spin < 500 && handled.load() < 20; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(handled.load(), 20);
+  bus.SetDelayFn(nullptr);
+  EXPECT_TRUE(bus.Send(a, slow, 0, Payload(99)).ok());
+  EXPECT_EQ(handled.load(), 21);
 }
 
 TEST(BusTest, StatsCountTraffic) {

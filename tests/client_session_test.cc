@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/serde.h"
 #include "core/weaver.h"
 #include "programs/standard_programs.h"
 
@@ -171,6 +172,95 @@ TEST(ClientSession, LaneCapacityRejectsWithResourceExhausted) {
   EXPECT_TRUE(saw_rejection) << "64 instant submissions against a "
                                 "capacity-4 lane never saw backpressure";
   for (auto& p : pendings) (void)p.Wait();
+}
+
+TEST(ClientSession, ReadYourWritesFencesPrograms) {
+  auto db = Weaver::Open(FastOptions());
+  WeaverClient client(db.get());
+  auto session = client.OpenSession();
+  session->SetReadYourWrites(true);
+  EXPECT_TRUE(session->read_your_writes());
+
+  Transaction setup = session->BeginTx();
+  const NodeId a = setup.CreateNode();
+  const NodeId b = setup.CreateNode();
+  setup.CreateEdge(a, b);
+  ASSERT_TRUE(session->Commit(&setup).ok());
+
+  // Pipeline a commit and IMMEDIATELY submit a program that reads the
+  // written vertex: RYW mode must fence the program behind the commit,
+  // so the snapshot observes the write every time.
+  for (int round = 0; round < 16; ++round) {
+    Transaction tx = session->BeginTx();
+    const std::string value = "round-" + std::to_string(round);
+    ASSERT_TRUE(tx.AssignNodeProperty(a, "v", value).ok());
+    auto commit = session->CommitAsync(std::move(tx));
+    auto read = session->RunProgramAsync(programs::kGetNode, a);
+    const CommitResult& cr = commit.Wait();
+    ASSERT_TRUE(cr.ok()) << cr.status.ToString();
+    const Result<ProgramResult>& r = read.Wait();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    // The fenced program's timestamp happens-after the commit's.
+    EXPECT_EQ(cr.timestamp.Compare(r->timestamp), ClockOrder::kBefore);
+    ASSERT_EQ(r->returns.size(), 1u);
+    const auto decoded = programs::GetNodeResult::Decode(r->returns[0].second);
+    bool found = false;
+    for (const auto& [k, v] : decoded.properties) {
+      if (k == "v") {
+        EXPECT_EQ(v, value) << "round " << round
+                            << ": program missed its session's own write";
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << "round " << round;
+  }
+}
+
+TEST(ClientSession, BatchedProgramFanOut) {
+  auto db = Weaver::Open(FastOptions());
+  WeaverClient client(db.get());
+  auto session = client.OpenSession();
+
+  Transaction tx = session->BeginTx();
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 8; ++i) nodes.push_back(tx.CreateNode());
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      tx.CreateEdge(nodes[i], nodes[(i + j + 1) % 8]);
+    }
+  }
+  ASSERT_TRUE(session->Commit(&tx).ok());
+
+  // N programs in ONE ClientProgram message: one bus crossing, one
+  // ingress pass, results fan back per request id.
+  const Gatekeeper::Stats& gk_stats =
+      db->gatekeeper(session->gatekeeper()).stats();
+  const std::uint64_t msgs_before = gk_stats.client_program_msgs.load();
+  const std::uint64_t reqs_before = gk_stats.client_programs.load();
+  std::vector<ProgramCall> calls;
+  for (int i = 0; i < 8; ++i) {
+    calls.push_back(ProgramCall{std::string(programs::kCountEdges),
+                                {NextHop{nodes[i], ""}}});
+  }
+  auto pendings = session->RunProgramBatchAsync(std::move(calls));
+  ASSERT_EQ(pendings.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    const Result<ProgramResult>& r = pendings[i].Wait();
+    ASSERT_TRUE(r.ok()) << "call " << i << ": " << r.status().ToString();
+    ASSERT_EQ(r->returns.size(), 1u);
+    // count_edges returns the out-degree; vertex i has i+1 out-edges.
+    ByteReader reader(r->returns[0].second);
+    std::uint64_t degree = 0;
+    ASSERT_TRUE(reader.GetU64(&degree).ok());
+    EXPECT_EQ(degree, static_cast<std::uint64_t>(i + 1));
+  }
+  // The 8 requests crossed the bus as ONE ClientProgram message -- the
+  // batching property itself, not just the results.
+  EXPECT_EQ(gk_stats.client_program_msgs.load() - msgs_before, 1u);
+  EXPECT_EQ(gk_stats.client_programs.load() - reqs_before, 8u);
+
+  // An empty batch is a no-op.
+  EXPECT_TRUE(session->RunProgramBatchAsync({}).empty());
 }
 
 TEST(ClientSession, MovedFromTransactionFailsCleanly) {

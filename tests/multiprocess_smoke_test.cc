@@ -1,0 +1,218 @@
+// Multi-process deployment smoke test (docs/transport.md): shard servers
+// run in forked CHILD PROCESSES connected over SocketTransport, the
+// parent runs gatekeepers + clients, and the whole fig11-style
+// reachability workload (transactional graph build + BFS traversals +
+// point lookups) must produce results identical to the in-process bus.
+//
+// Lives in its own test binary: the children are forked BEFORE the
+// parent deployment creates any threads (threads do not survive fork),
+// so the remote run goes first and nothing else may precede it.
+//
+// Skipped under ThreadSanitizer: TSan and fork are a known-bad pairing.
+// The transport locking is TSan-covered by transport_test's socketpair
+// stress, which exercises the same code without fork.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "client/weaver_client.h"
+#include "coord/serverd.h"
+#include "core/weaver.h"
+#include "programs/standard_programs.h"
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define WEAVER_TSAN 1
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__)
+#define WEAVER_TSAN 1
+#endif
+
+namespace weaver {
+namespace {
+
+constexpr std::size_t kShards = 2;
+constexpr std::size_t kGatekeepers = 2;
+constexpr int kVertices = 120;
+constexpr int kExtraEdges = 200;
+
+WeaverOptions DeploymentOptions() {
+  WeaverOptions o;
+  o.num_shards = kShards;
+  o.num_gatekeepers = kGatekeepers;
+  o.tau_micros = 300;
+  o.nop_period_micros = 300;
+  return o;
+}
+
+/// Builds the deterministic reachability graph through the transactional
+/// client API (identical in both deployments: fresh deployments allocate
+/// the same vertex ids, and the edge set comes from a fixed seed).
+std::vector<NodeId> BuildGraph(Weaver* db) {
+  WeaverClient client(db);
+  auto session = client.OpenSession();
+
+  std::vector<NodeId> nodes;
+  {
+    Transaction tx = session->BeginTx();
+    for (int i = 0; i < kVertices; ++i) {
+      const NodeId n = tx.CreateNode();
+      EXPECT_NE(n, kInvalidNodeId);
+      EXPECT_TRUE(
+          tx.AssignNodeProperty(n, "idx", std::to_string(i)).ok());
+      nodes.push_back(n);
+    }
+    EXPECT_TRUE(session->Commit(&tx).ok());
+  }
+  // Ring (guarantees one reachable component) + seeded random chords.
+  std::mt19937 rng(4242);
+  std::uniform_int_distribution<int> pick(0, kVertices - 1);
+  for (int base = 0; base < kVertices; base += 40) {
+    Transaction tx = session->BeginTx();
+    for (int i = base; i < std::min(base + 40, kVertices); ++i) {
+      tx.CreateEdge(nodes[i], nodes[(i + 1) % kVertices]);
+    }
+    EXPECT_TRUE(session->Commit(&tx).ok());
+  }
+  for (int chunk = 0; chunk < kExtraEdges; chunk += 50) {
+    Transaction tx = session->BeginTx();
+    for (int i = chunk; i < std::min(chunk + 50, kExtraEdges); ++i) {
+      tx.CreateEdge(nodes[pick(rng)], nodes[pick(rng)]);
+    }
+    EXPECT_TRUE(session->Commit(&tx).ok());
+  }
+  return nodes;
+}
+
+struct WorkloadResults {
+  /// Sorted (vertex, return blob) list per query.
+  std::vector<std::vector<std::pair<NodeId, std::string>>> queries;
+};
+
+/// The fig11-style traversal workload: full-graph BFS reachability from
+/// several sources, targeted BFS, and point lookups -- all on the
+/// settled graph, so the results are a pure function of it.
+WorkloadResults RunWorkload(Weaver* db, const std::vector<NodeId>& nodes) {
+  WeaverClient client(db);
+  auto session = client.OpenSession();
+  WorkloadResults results;
+
+  auto record = [&](Result<ProgramResult> r) {
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    auto returns = r->returns;
+    std::sort(returns.begin(), returns.end());
+    results.queries.push_back(std::move(returns));
+  };
+
+  for (const int src : {0, 17, 63, 101}) {
+    programs::BfsParams params;  // unbounded exploration: returns every
+                                 // reachable vertex id
+    record(session->RunProgram(programs::kBfs, nodes[src], params.Encode()));
+  }
+  {
+    programs::BfsParams params;
+    params.target = nodes[77];
+    record(session->RunProgram(programs::kBfs, nodes[3], params.Encode()));
+  }
+  for (const int src : {5, 40, 119}) {
+    record(session->RunProgram(programs::kCountEdges, nodes[src]));
+    record(session->RunProgram(programs::kGetNode, nodes[src]));
+  }
+  return results;
+}
+
+#if !defined(WEAVER_TSAN)
+TEST(MultiProcessSmoke, RemoteShardsMatchInProcessBus) {
+  // 1. Fork the shard-server children FIRST (no threads exist yet).
+  serverd::ShardServerOptions so;
+  so.num_shards = kShards;
+  so.num_gatekeepers = kGatekeepers;
+  auto children = serverd::SpawnShardServers(so);
+  ASSERT_TRUE(children.ok()) << children.status().ToString();
+
+  // 2. Parent deployment over the sockets.
+  WorkloadResults remote_results;
+  std::vector<NodeId> remote_nodes;
+  {
+    WeaverOptions o = DeploymentOptions();
+    for (const auto& child : *children) {
+      o.remote_shard_fds.push_back(child.parent_fd);
+    }
+    auto db = Weaver::Open(o);
+    ASSERT_NE(db, nullptr);
+    remote_nodes = BuildGraph(db.get());
+    remote_results = RunWorkload(db.get(), remote_nodes);
+    EXPECT_EQ(db->bus().stats().wire_seq_violations.load(), 0u)
+        << "wire FIFO contract violated";
+    EXPECT_GT(db->bus().stats().wire_frames_sent.load(), 0u)
+        << "no traffic actually crossed the transport";
+    db->Shutdown();
+  }
+  // 3. Children exit cleanly once the parent tears the links down.
+  EXPECT_TRUE(serverd::WaitShardServers(*children).ok());
+
+  // 4. The identical workload on an in-process deployment.
+  auto db = Weaver::Open(DeploymentOptions());
+  ASSERT_NE(db, nullptr);
+  const std::vector<NodeId> nodes = BuildGraph(db.get());
+  ASSERT_EQ(nodes, remote_nodes);  // same ids: the workloads are aligned
+  const WorkloadResults local_results = RunWorkload(db.get(), nodes);
+
+  // 5. Same results, query by query.
+  ASSERT_EQ(remote_results.queries.size(), local_results.queries.size());
+  for (std::size_t q = 0; q < local_results.queries.size(); ++q) {
+    EXPECT_EQ(remote_results.queries[q], local_results.queries[q])
+        << "query " << q << " diverged between remote and in-process";
+  }
+  // The reachability queries really traversed the graph (every ring
+  // vertex is reachable from every source).
+  ASSERT_FALSE(local_results.queries.empty());
+  EXPECT_EQ(local_results.queries[0].size(),
+            static_cast<std::size_t>(kVertices));
+}
+
+// A second, smaller fork exercise: commits spanning both shard processes
+// are visible to subsequent transactional reads through the parent's
+// backing store, and a remote deployment refuses bulk load.
+TEST(MultiProcessSmoke, RemoteDeploymentGuards) {
+  serverd::ShardServerOptions so;
+  so.num_shards = kShards;
+  so.num_gatekeepers = 1;
+  auto children = serverd::SpawnShardServers(so);
+  ASSERT_TRUE(children.ok());
+  {
+    WeaverOptions o = DeploymentOptions();
+    o.num_gatekeepers = 1;
+    o.start = false;  // bulk-load guard fires before Start
+    for (const auto& child : *children) {
+      o.remote_shard_fds.push_back(child.parent_fd);
+    }
+    auto db = Weaver::Open(o);
+    ASSERT_NE(db, nullptr);
+    EXPECT_TRUE(db->BulkCreateNode(1).IsFailedPrecondition());
+    EXPECT_TRUE(db->KillShard(0).IsFailedPrecondition());
+    db->Start();
+    WeaverClient client(db.get());
+    auto session = client.OpenSession();
+    Transaction tx = session->BeginTx();
+    const NodeId a = tx.CreateNode();
+    const NodeId b = tx.CreateNode();
+    tx.CreateEdge(a, b);
+    ASSERT_TRUE(session->Commit(&tx).ok());
+    Transaction check = session->BeginTx();
+    auto exists = check.NodeExists(b);
+    ASSERT_TRUE(exists.ok());
+    EXPECT_TRUE(*exists);
+    db->Shutdown();
+  }
+  EXPECT_TRUE(serverd::WaitShardServers(*children).ok());
+}
+#endif  // !WEAVER_TSAN
+
+}  // namespace
+}  // namespace weaver
