@@ -30,7 +30,9 @@ void PrintCdf(const char* label, const Histogram& h) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ParseJsonOutput(argc, argv);
+  BenchJson json("fig10_latency_cdf");
   PrintHeader("bench_fig10_latency_cdf", "Fig 10 (transaction latency CDF)");
 
   const auto graph =
@@ -40,6 +42,7 @@ int main() {
 
   for (double read_fraction : {0.998, 0.75}) {
     std::printf("\n---- %.1f%% reads ----\n", read_fraction * 100);
+    const std::string mix_key = read_fraction > 0.9 ? "tao998" : "r75";
 
     // Weaver.
     {
@@ -78,6 +81,8 @@ int main() {
           },
           &latencies);
       PrintCdf("  weaver", latencies);
+      json.Latency("weaver_" + mix_key, latencies);
+      json.Metrics(db->metrics().Snapshot());  // last mix wins
     }
 
     // Titan-like.
@@ -102,6 +107,7 @@ int main() {
           },
           &latencies);
       PrintCdf("  titan ", latencies);
+      json.Latency("titan_" + mix_key, latencies);
     }
   }
   std::printf(

@@ -23,7 +23,9 @@
 using namespace weaver;
 using namespace weaver::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ParseJsonOutput(argc, argv);
+  BenchJson json("fig11_traversal_cdf");
   PrintHeader("bench_fig11_traversal_cdf", "Fig 11 (traversal latency CDF)");
 
   // Paper: 1.76M edges between uniformly random vertices. Scaled down.
@@ -46,7 +48,6 @@ int main() {
   // ---- Weaver --------------------------------------------------------------
   Histogram weaver_lat;
   std::uint64_t weaver_reachable = 0;
-  ProgramCounters counters;
   {
     WeaverOptions options;
     options.num_gatekeepers = 2;
@@ -64,7 +65,6 @@ int main() {
       auto result = db->RunProgram(programs::kBfs, src, params.Encode());
       weaver_lat.Record(NowNanos() - t0);
       if (result.ok()) {
-        counters.Add(*result);
         for (const auto& [_, ret] : result->returns) {
           if (ret == "found") {
             ++weaver_reachable;
@@ -73,21 +73,14 @@ int main() {
         }
       }
     }
-    // Decentralized-execution accounting (docs/node_programs.md): the
-    // old barrier design paid 2 blocking coordinator round trips per
-    // wave per touched shard; now the coordinator only receives the
-    // one-way accounting deltas counted here.
-    counters.Print("weaver accounting");
-    std::uint64_t pruned = 0, coalesced = 0;
-    for (std::size_t s = 0; s < db->num_shards(); ++s) {
-      pruned += db->shard(static_cast<ShardId>(s)).stats().hops_pruned.load();
-      coalesced +=
-          db->shard(static_cast<ShardId>(s)).stats().hops_coalesced.load();
-    }
-    std::printf("weaver ingress: hops_pruned=%llu hops_coalesced=%llu\n",
-                static_cast<unsigned long long>(pruned),
-                static_cast<unsigned long long>(coalesced));
+    // Decentralized-execution accounting (docs/node_programs.md), read
+    // from the metrics registry: the old barrier design paid 2 blocking
+    // coordinator round trips per wave per touched shard; now the
+    // coordinator only receives one-way accounting deltas
+    // (coord.accounting_msgs).
+    PrintProgramAccounting(db.get(), "weaver accounting");
     PrintBackpressure(db.get());
+    json.Metrics(db->metrics().Snapshot());
     std::printf("\n");
   }
 
@@ -136,6 +129,11 @@ int main() {
   print_cdf("graphlab(async)", async_lat);
   print_cdf("graphlab(sync)", sync_lat);
 
+  json.Latency("weaver_traversal", weaver_lat);
+  json.Latency("graphlab_async", async_lat);
+  json.Latency("graphlab_sync", sync_lat);
+  json.Number("async_over_weaver_mean", async_lat.Mean() / weaver_lat.Mean());
+  json.Number("sync_over_weaver_mean", sync_lat.Mean() / weaver_lat.Mean());
   std::printf("\nmean latency ratios: async/weaver=%.1fx sync/weaver=%.1fx "
               "(paper: 4.3x / 9.4x)\n",
               async_lat.Mean() / weaver_lat.Mean(),

@@ -29,7 +29,9 @@
 using namespace weaver;
 using namespace weaver::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ParseJsonOutput(argc, argv);
+  BenchJson json("fig12_scale_gatekeepers");
   PrintHeader("bench_fig12_scale_gatekeepers",
               "Fig 12 (gatekeeper scalability, get_node)");
 
@@ -66,12 +68,15 @@ int main() {
       sessions.push_back(client.OpenSession());
       mixes.emplace_back(graph.num_nodes, 1.0, 0.8, 77 + c);
     }
+    Histogram query_lat;
     const std::uint64_t ops = RunClients(
-        clients, duration_ms, [&](std::size_t c) {
+        clients, duration_ms,
+        [&](std::size_t c) {
           return sessions[c]
               ->RunProgram(programs::kGetNode, mixes[c].PickNode())
               .ok();
-        });
+        },
+        &query_lat);
 
     // Service-time model: see header comment.
     std::uint64_t gk_busy = 0, shard_busy = 0;
@@ -96,6 +101,11 @@ int main() {
     std::printf("%12zu | %14s | %12.2f | %14s\n", gks,
                 FormatRate(measured_tps).c_str(), gk_us_per_op,
                 FormatRate(modeled_tps).c_str());
+    const std::string key = "gk" + std::to_string(gks);
+    json.Number(key + "_modeled_tps", modeled_tps);
+    json.Number(key + "_gk_us_per_op", gk_us_per_op);
+    json.Latency(key + "_get_node", query_lat);
+    json.Metrics(db->metrics().Snapshot());  // largest config wins
   }
   std::printf(
       "\nexpected shape: modeled_tx/s grows ~linearly with gatekeepers "

@@ -21,7 +21,9 @@
 using namespace weaver;
 using namespace weaver::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ParseJsonOutput(argc, argv);
+  BenchJson json("fig13_scale_shards");
   PrintHeader("bench_fig13_scale_shards",
               "Fig 13 (shard scalability, clustering coefficient)");
 
@@ -59,14 +61,17 @@ int main() {
       sessions.push_back(client.OpenSession());
       mixes.emplace_back(graph.num_nodes, 1.0, 0.8, 55 + c);
     }
+    Histogram query_lat;
     const std::uint64_t ops = RunClients(
-        clients, duration_ms, [&](std::size_t c) {
+        clients, duration_ms,
+        [&](std::size_t c) {
           programs::ClusteringParams params;  // kGather phase
           return sessions[c]
               ->RunProgram(programs::kClustering, mixes[c].PickNode(),
                            params.Encode())
               .ok();
-        });
+        },
+        &query_lat);
 
     std::uint64_t gk_busy = 0, shard_busy = 0;
     for (std::size_t g = 0; g < db->num_gatekeepers(); ++g) {
@@ -90,6 +95,11 @@ int main() {
     std::printf("%8zu | %14s | %12.2f | %14s\n", shards,
                 FormatRate(measured_tps).c_str(), shard_us_per_op,
                 FormatRate(modeled_tps).c_str());
+    const std::string key = "shards" + std::to_string(shards);
+    json.Number(key + "_modeled_tps", modeled_tps);
+    json.Number(key + "_shard_us_per_op", shard_us_per_op);
+    json.Latency(key + "_clustering", query_lat);
+    json.Metrics(db->metrics().Snapshot());  // largest config wins
   }
   std::printf(
       "\nexpected shape: modeled_tx/s grows ~linearly with shards (shards "

@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "common/clock.h"
 #include "harness.h"
 #include "programs/extended_programs.h"
 #include "workload/tao_workload.h"
@@ -25,7 +26,9 @@
 using namespace weaver;
 using namespace weaver::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ParseJsonOutput(argc, argv);
+  BenchJson json("fig14_coordination");
   PrintHeader("bench_fig14_coordination",
               "Fig 14 (proactive vs reactive coordination overhead)");
 
@@ -52,11 +55,14 @@ int main() {
     db->oracle().ResetStats();
     workload::TaoWorkload mix(kHotSet, 0.0, 0.8, 123);  // all writes
     std::uint64_t announces = 0;
+    Histogram tx_lat;
     for (std::uint64_t q = 0; q < kQueries; ++q) {
       const NodeId n = mix.PickNode();
+      const std::uint64_t t0 = NowNanos();
       (void)db->RunTransaction([&](Transaction& tx) {
         return tx.AssignNodeProperty(n, "v", std::to_string(q));
       });
+      tx_lat.Record(NowNanos() - t0);
       if (every != (1ULL << 62) && q % every == 0) {
         for (std::size_t g = 0; g < db->num_gatekeepers(); ++g) {
           db->gatekeeper(static_cast<GatekeeperId>(g)).PumpAnnounce();
@@ -94,6 +100,11 @@ int main() {
     }
     std::printf("%18s | %18.3f | %20.3f\n", label, per_query_announce,
                 per_query_oracle);
+    json.Number(std::string("announces_per_query_") + label,
+                per_query_announce);
+    json.Number(std::string("oracle_msgs_per_query_") + label,
+                per_query_oracle);
+    json.Latency(std::string("tx_latency_every_") + label, tx_lat);
     // At the densest sweep point, also surface the backpressure signals
     // (ROADMAP item: adaptive NOP backoff in bench output) and the
     // decentralized node-program accounting over the written hot set --
@@ -117,16 +128,17 @@ int main() {
           std::this_thread::sleep_for(std::chrono::microseconds(200));
         }
       });
-      ProgramCounters counters;
       for (NodeId v = 1; v <= kHotSet; ++v) {
         programs::KHopParams khop;
         khop.remaining = 2;
-        auto r = db->RunProgram(programs::kKHop, v, khop.Encode());
-        if (r.ok()) counters.Add(*r);
+        (void)db->RunProgram(programs::kKHop, v, khop.Encode());
       }
       stop_pump.store(true);
       pump.join();
-      counters.Print("  khop accounting");
+      // These khops are the only programs this deployment has run, so
+      // the registry's coord.*/shard<N>.* accounting is exactly theirs.
+      PrintProgramAccounting(db.get(), "  khop accounting");
+      json.Metrics(db->metrics().Snapshot());
     }
   }
   std::printf(

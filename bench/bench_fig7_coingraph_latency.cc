@@ -19,7 +19,9 @@
 using namespace weaver;
 using namespace weaver::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ParseJsonOutput(argc, argv);
+  BenchJson json("fig7_coingraph_latency");
   PrintHeader("bench_fig7_coingraph_latency", "Fig 7 (block query latency)");
 
   workload::BlockchainOptions chain_opts;
@@ -46,6 +48,7 @@ int main() {
   baselines::BlockchainInfoLikeDb bcinfo(chain);
 
   const int kRuns = 20;  // paper: averaged over 20 runs
+  Histogram render_lat;  // all renders, all block sizes
   std::printf("%10s %8s | %12s %12s | %12s %12s\n", "block", "txs",
               "coingraph_ms", "ms_per_tx", "bcinfo_ms", "ms_per_tx");
   const std::uint32_t max_h =
@@ -61,7 +64,9 @@ int main() {
       const std::uint64_t t0 = NowNanos();
       auto result = db->RunProgram(programs::kBlockRender, block_vertex,
                                    programs::BlockRenderParams{}.Encode());
-      weaver_ms += (NowNanos() - t0) / 1e6;
+      const std::uint64_t dt = NowNanos() - t0;
+      render_lat.Record(dt);
+      weaver_ms += dt / 1e6;
       if (!result.ok() ||
           result->returns.size() != chain.blocks[h].txs.size() + 1) {
         std::fprintf(stderr, "coingraph render mismatch at block %u\n", h);
@@ -82,7 +87,13 @@ int main() {
 
     std::printf("%10u %8.0f | %12.3f %12.4f | %12.3f %12.4f\n", h, ntx,
                 weaver_ms, weaver_ms / ntx, bcinfo_ms, bcinfo_ms / ntx);
+    json.Number("coingraph_ms_per_tx_block" + std::to_string(h),
+                weaver_ms / ntx);
+    json.Number("bcinfo_ms_per_tx_block" + std::to_string(h),
+                bcinfo_ms / ntx);
   }
+  json.Latency("block_render", render_lat);
+  json.Metrics(db->metrics().Snapshot());
   std::printf(
       "\nexpected shape: latency linear in block size for both systems;\n"
       "CoinGraph's ms/tx below the baseline's, gap widest at large "

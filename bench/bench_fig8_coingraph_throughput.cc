@@ -15,7 +15,9 @@
 using namespace weaver;
 using namespace weaver::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ParseJsonOutput(argc, argv);
+  BenchJson json("fig8_coingraph_throughput");
   PrintHeader("bench_fig8_coingraph_throughput",
               "Fig 8 (block query throughput)");
 
@@ -40,6 +42,7 @@ int main() {
       static_cast<std::uint32_t>(chain.blocks.size() - 1);
   const std::uint32_t window = 100;  // paper: blocks chosen in [x, x+100]
 
+  Histogram query_lat;  // all queries, all height bands
   std::printf("%10s | %10s %14s | %10s\n", "block", "queries/s",
               "vertices/s", "avg_tx/blk");
   for (double frac : {0.05, 0.25, 0.5, 0.75, 0.95}) {
@@ -61,7 +64,8 @@ int main() {
           vertices.fetch_add(result->vertices_visited,
                              std::memory_order_relaxed);
           return true;
-        });
+        },
+        &query_lat);
     const double secs = duration_ms / 1e3;
     double avg_tx = 0;
     for (std::uint32_t h = base; h <= hi; ++h) {
@@ -71,7 +75,13 @@ int main() {
     std::printf("%10u | %10s %14s | %10.0f\n", base,
                 FormatRate(queries / secs).c_str(),
                 FormatRate(vertices.load() / secs).c_str(), avg_tx);
+    json.Number("queries_per_sec_block" + std::to_string(base),
+                queries / secs);
+    json.Number("vertices_per_sec_block" + std::to_string(base),
+                vertices.load() / secs);
   }
+  json.Latency("block_render", query_lat);
+  json.Metrics(db->metrics().Snapshot());
   std::printf(
       "\nexpected shape: queries/s falls with block height (bigger "
       "blocks);\nvertices/s stays in a sustained band.\n");

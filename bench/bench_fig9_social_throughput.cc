@@ -41,7 +41,8 @@ struct MixResult {
 
 MixResult RunMix(const workload::GeneratedGraph& graph, double read_fraction,
                  std::size_t clients, const OpenLoopOptions& open_loop,
-                 std::uint64_t duration_ms) {
+                 std::uint64_t duration_ms, const std::string& label,
+                 BenchJson* json) {
   MixResult out;
 
   // ---- Weaver ------------------------------------------------------------
@@ -69,6 +70,7 @@ MixResult RunMix(const workload::GeneratedGraph& graph, double read_fraction,
         sessions.push_back(client.OpenSession());
         mixes.emplace_back(graph.num_nodes, read_fraction, 0.8, 1000 + c);
       }
+      Histogram closed_lat;
       const std::uint64_t ops = RunClients(
           clients, duration_ms,
           [&](std::size_t c) {
@@ -101,8 +103,10 @@ MixResult RunMix(const workload::GeneratedGraph& graph, double read_fraction,
                     .ok();
             }
             return false;
-          });
+          },
+          &closed_lat);
       out.weaver_tps = ops / (duration_ms / 1e3);
+      json->Latency(label + "_closed_loop", closed_lat);
     }
 
     // Open-loop: N sessions x K pipelined requests. Only successful
@@ -114,6 +118,7 @@ MixResult RunMix(const workload::GeneratedGraph& graph, double read_fraction,
       for (std::size_t s = 0; s < open_loop.sessions; ++s) {
         mixes.emplace_back(graph.num_nodes, read_fraction, 0.8, 3000 + s);
       }
+      Histogram open_lat;
       const std::uint64_t ops = RunOpenLoopSessions(
           &client, open_loop.sessions, open_loop.inflight, duration_ms,
           [&](std::size_t s, Session& session) -> OpenLoopWait {
@@ -151,9 +156,13 @@ MixResult RunMix(const workload::GeneratedGraph& graph, double read_fraction,
               }
             }
             return [] { return false; };
-          });
+          },
+          &open_lat);
       out.weaver_openloop_tps = ops / (duration_ms / 1e3);
+      json->Latency(label + "_open_loop", open_lat);
     }
+    // Last mix wins the embedded snapshot (one deployment per mix).
+    json->Metrics(db->metrics().Snapshot());
   }
 
   // ---- Titan-like --------------------------------------------------------
@@ -203,6 +212,8 @@ MixResult RunMix(const workload::GeneratedGraph& graph, double read_fraction,
 int main(int argc, char** argv) {
   SetDurability(ParseDurability(argc, argv));
   OpenLoopOptions open_loop = ParseOpenLoop(argc, argv);
+  ParseJsonOutput(argc, argv);
+  BenchJson json("fig9_social_throughput");
   PrintHeader("bench_fig9_social_throughput",
               "Fig 9a/9b + Table 1 (social network throughput)");
 
@@ -223,14 +234,19 @@ int main(int argc, char** argv) {
               "pipeline");
   const struct {
     const char* name;
+    const char* key;  // BenchJson field prefix
     double read_fraction;
   } kMixes[] = {
-      {"Fig9a TAO 99.8% reads", 0.998},
-      {"Fig9b 75% reads", 0.75},
+      {"Fig9a TAO 99.8% reads", "tao998", 0.998},
+      {"Fig9b 75% reads", "r75", 0.75},
   };
   for (const auto& mix : kMixes) {
-    const MixResult r =
-        RunMix(graph, mix.read_fraction, clients, open_loop, duration_ms);
+    const MixResult r = RunMix(graph, mix.read_fraction, clients, open_loop,
+                               duration_ms, mix.key, &json);
+    json.Number(std::string(mix.key) + "_weaver_tps", r.weaver_tps);
+    json.Number(std::string(mix.key) + "_weaver_openloop_tps",
+                r.weaver_openloop_tps);
+    json.Number(std::string(mix.key) + "_titan_tps", r.titan_tps);
     std::printf("%22s | %12s | %14s | %12s | %6.1fx | %7.2fx\n", mix.name,
                 FormatRate(r.weaver_tps).c_str(),
                 FormatRate(r.weaver_openloop_tps).c_str(),

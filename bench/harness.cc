@@ -235,34 +235,57 @@ std::uint64_t RunOpenLoopSessions(
   return completed.load();
 }
 
+namespace {
+
+/// Sums "<instance>.<suffix>" over every instance in the snapshot (e.g.
+/// every shard's waves_executed). Matches on the ".suffix" tail, so
+/// suffixes must not collide across instrument families.
+std::uint64_t SumCounterSuffix(const obs::MetricsSnapshot& snap,
+                               const std::string& suffix) {
+  const std::string tail = "." + suffix;
+  std::uint64_t total = 0;
+  for (const auto& [name, value] : snap.counters) {
+    if (name.size() > tail.size() &&
+        name.compare(name.size() - tail.size(), tail.size(), tail) == 0) {
+      total += value;
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
 void PrintBackpressure(Weaver* db) {
+  const obs::MetricsSnapshot snap = db->metrics().Snapshot();
   for (std::size_t g = 0; g < db->num_gatekeepers(); ++g) {
-    const Gatekeeper& gk = db->gatekeeper(static_cast<GatekeeperId>(g));
-    std::printf("  gk%zu: nop_backoff=x%llu nops_skipped=%llu nops_sent=%llu\n",
-                g, static_cast<unsigned long long>(gk.nop_backoff()),
-                static_cast<unsigned long long>(gk.stats().nops_skipped.load()),
-                static_cast<unsigned long long>(gk.stats().nops_sent.load()));
+    const std::string p = "gk" + std::to_string(g) + ".";
+    std::printf("  gk%zu: nop_backoff=x%lld nops_skipped=%llu nops_sent=%llu\n",
+                g, static_cast<long long>(snap.GaugeValue(p + "nop_backoff")),
+                static_cast<unsigned long long>(
+                    snap.CounterValue(p + "nops_skipped")),
+                static_cast<unsigned long long>(
+                    snap.CounterValue(p + "nops_sent")));
   }
   for (std::size_t s = 0; s < db->num_shards(); ++s) {
-    const Shard& shard = db->shard(static_cast<ShardId>(s));
-    std::printf("  shard%zu: inbox_depth=%zu queued_txs=%zu\n", s,
-                db->bus().QueueDepth(shard.endpoint()),
-                shard.QueuedTransactions());
+    const std::string p = "shard" + std::to_string(s) + ".";
+    std::printf("  shard%zu: inbox_depth=%lld queued_txs=%lld\n", s,
+                static_cast<long long>(snap.GaugeValue(p + "inbox_depth")),
+                static_cast<long long>(snap.GaugeValue(p + "queued_txs")));
   }
 }
 
-void ProgramCounters::Add(const ProgramResult& r) {
-  programs++;
-  waves += r.waves;
-  hops += r.hops;
-  forwarded_batches += r.forwarded_batches;
-  coordinator_msgs += r.coordinator_msgs;
-  vertices += r.vertices_visited;
-}
-
-void ProgramCounters::Print(const char* label) const {
+void PrintProgramAccounting(Weaver* db, const char* label) {
+  const obs::MetricsSnapshot snap = db->metrics().Snapshot();
+  const std::uint64_t programs =
+      snap.CounterValue("coord.programs_completed") +
+      snap.CounterValue("coord.programs_aborted");
   if (programs == 0) return;
   const double n = static_cast<double>(programs);
+  const std::uint64_t waves = SumCounterSuffix(snap, "waves_executed");
+  const std::uint64_t hops = snap.CounterValue("coord.program_hops");
+  const std::uint64_t vertices = SumCounterSuffix(snap, "vertices_executed");
+  const std::uint64_t batches = SumCounterSuffix(snap, "hop_batches_sent");
+  const std::uint64_t coord_msgs = snap.CounterValue("coord.accounting_msgs");
   std::printf(
       "%s: programs=%llu waves=%llu (%.1f/q) hops=%llu (%.0f/q) "
       "vertices=%llu (%.0f/q) shard_batches=%llu (%.1f/q) "
@@ -271,10 +294,112 @@ void ProgramCounters::Print(const char* label) const {
       static_cast<unsigned long long>(waves), waves / n,
       static_cast<unsigned long long>(hops), hops / n,
       static_cast<unsigned long long>(vertices), vertices / n,
-      static_cast<unsigned long long>(forwarded_batches),
-      forwarded_batches / n,
-      static_cast<unsigned long long>(coordinator_msgs),
-      coordinator_msgs / n);
+      static_cast<unsigned long long>(batches), batches / n,
+      static_cast<unsigned long long>(coord_msgs), coord_msgs / n);
+  std::printf("%s ingress: hops_pruned=%llu hops_coalesced=%llu\n", label,
+              static_cast<unsigned long long>(
+                  SumCounterSuffix(snap, "hops_pruned")),
+              static_cast<unsigned long long>(
+                  SumCounterSuffix(snap, "hops_coalesced")));
+}
+
+namespace {
+
+std::string g_json_dir;  // empty = --json not given
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string JsonDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+void ParseJsonOutput(int argc, char** argv) {
+  constexpr std::string_view kFlag = "--json=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.substr(0, kFlag.size()) == kFlag) {
+      g_json_dir = std::string(arg.substr(kFlag.size()));
+    } else if (arg == "--json" && i + 1 < argc) {
+      g_json_dir = argv[i + 1];
+    }
+  }
+  if (g_json_dir.empty()) {
+    const char* env = std::getenv("WEAVER_BENCH_JSON");
+    if (env != nullptr) g_json_dir = env;
+  }
+}
+
+bool JsonEnabled() { return !g_json_dir.empty(); }
+
+BenchJson::BenchJson(std::string name) : name_(std::move(name)) {
+  Text("bench", name_);
+  Text("scale", FullScale() ? "full" : "quick");
+}
+
+BenchJson::~BenchJson() {
+  if (!JsonEnabled()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(g_json_dir, ec);
+  const std::string path =
+      (std::filesystem::path(g_json_dir) / ("BENCH_" + name_ + ".json"))
+          .string();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  bool first = true;
+  for (const Field& field : fields_) {
+    std::fprintf(f, "%s  \"%s\": %s", first ? "" : ",\n",
+                 JsonEscape(field.key).c_str(), field.literal.c_str());
+    first = false;
+  }
+  if (!metrics_json_.empty()) {
+    std::fprintf(f, "%s  \"metrics\": %s", first ? "" : ",\n",
+                 metrics_json_.c_str());
+  }
+  std::fprintf(f, "\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+void BenchJson::Number(const std::string& key, double value) {
+  fields_.push_back(Field{key, JsonDouble(value)});
+}
+
+void BenchJson::Integer(const std::string& key, std::uint64_t value) {
+  fields_.push_back(Field{key, std::to_string(value)});
+}
+
+void BenchJson::Text(const std::string& key, const std::string& value) {
+  fields_.push_back(Field{key, "\"" + JsonEscape(value) + "\""});
+}
+
+void BenchJson::Latency(const std::string& key, const Histogram& h) {
+  std::string obj = "{\"count\": " + std::to_string(h.count()) +
+                    ", \"mean_ms\": " + JsonDouble(h.Mean() / 1e6) +
+                    ", \"p50_ms\": " + JsonDouble(h.Percentile(50) / 1e6) +
+                    ", \"p95_ms\": " + JsonDouble(h.Percentile(95) / 1e6) +
+                    ", \"p99_ms\": " + JsonDouble(h.Percentile(99) / 1e6) +
+                    ", \"max_ms\": " + JsonDouble(h.max() / 1e6) + "}";
+  fields_.push_back(Field{key, std::move(obj)});
+}
+
+void BenchJson::Metrics(const obs::MetricsSnapshot& snapshot) {
+  metrics_json_ = snapshot.ToJson();
 }
 
 std::string FormatRate(double ops_per_sec) {

@@ -15,6 +15,7 @@
 #include "client/weaver_client.h"
 #include "common/histogram.h"
 #include "core/weaver.h"
+#include "obs/metrics.h"
 #include "workload/blockchain.h"
 #include "workload/social_graph.h"
 
@@ -47,25 +48,20 @@ std::uint64_t RunClients(std::size_t num_clients, std::uint64_t duration_ms,
 std::string FormatRate(double ops_per_sec);
 
 /// Prints the deployment's backpressure signals: per-gatekeeper adaptive
-/// NOP backoff (multiplier + skipped rounds) and per-shard inbox depth
-/// (MessageBus::QueueDepth). One line per server; ROADMAP item from the
-/// PR-3 backpressure work.
+/// NOP backoff (multiplier + skipped rounds) and per-shard inbox depth /
+/// queued transactions. All values come from one metrics-registry
+/// snapshot (docs/observability.md) -- the bench reads the same
+/// instruments an operator would scrape, not private component state.
 void PrintBackpressure(Weaver* db);
 
-/// Aggregates the per-program accounting counters of the decentralized
-/// execution model (docs/node_programs.md) across `results`.
-struct ProgramCounters {
-  std::uint64_t programs = 0;
-  std::uint64_t waves = 0;             // shard drain cycles
-  std::uint64_t hops = 0;              // hops consumed
-  std::uint64_t forwarded_batches = 0; // shard-to-shard hop batches
-  std::uint64_t coordinator_msgs = 0;  // accounting deltas received
-  std::uint64_t vertices = 0;
-
-  void Add(const ProgramResult& r);
-  /// Prints one summary line (per-program averages in parentheses).
-  void Print(const char* label) const;
-};
+/// Prints one summary line of the decentralized-execution accounting
+/// (docs/node_programs.md) -- programs, waves, hops, shard hop batches,
+/// coordinator accounting messages, vertices (per-program averages in
+/// parentheses) plus the ingress prune/coalesce counters -- read from
+/// the deployment's metrics registry (coord.* and shard<N>.* names).
+/// Counts cover every program the deployment has run, so call it on a
+/// deployment whose only programs are the ones under measurement.
+void PrintProgramAccounting(Weaver* db, const char* label);
 
 // --- Open-loop session mode -------------------------------------------------
 //
@@ -128,6 +124,50 @@ std::string ApplyDurability(WeaverOptions* options);
 
 /// Removes every data dir this process created via ApplyDurability.
 void RemoveBenchDataDirs();
+
+// --- Machine-readable results (--json) --------------------------------------
+//
+// --json=<dir> (or `--json <dir>`, or the WEAVER_BENCH_JSON env var)
+// makes every fig bench write its headline numbers next to the human
+// tables as <dir>/BENCH_<name>.json: throughput, latency percentiles
+// (p50/p95/p99), and the deployment's metrics snapshot. Without the
+// flag the benches stay print-only and BenchJson is a no-op.
+
+/// Parses the flag/env described above; remembered process-wide.
+void ParseJsonOutput(int argc, char** argv);
+
+/// True when a --json destination is set.
+bool JsonEnabled();
+
+/// Collects one bench's results; the destructor writes BENCH_<name>.json
+/// (creating the directory if needed) when --json is set. Fields land in
+/// insertion order; keys must be unique.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name);
+  ~BenchJson();  // writes the file (no-op without --json)
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  void Number(const std::string& key, double value);
+  void Integer(const std::string& key, std::uint64_t value);
+  void Text(const std::string& key, const std::string& value);
+  /// Expands a nanosecond latency histogram into
+  /// `key: {count, mean_ms, p50_ms, p95_ms, p99_ms, max_ms}`.
+  void Latency(const std::string& key, const Histogram& h);
+  /// Embeds a deployment metrics snapshot under "metrics"
+  /// (obs::MetricsSnapshot::ToJson; the last call wins).
+  void Metrics(const obs::MetricsSnapshot& snapshot);
+
+ private:
+  struct Field {
+    std::string key;
+    std::string literal;  // pre-rendered JSON value
+  };
+  std::string name_;
+  std::vector<Field> fields_;
+  std::string metrics_json_;  // empty = no "metrics" key
+};
 
 }  // namespace bench
 }  // namespace weaver

@@ -8,7 +8,12 @@
 // runs one shard server (coord/serverd.h). Shard-to-shard node-program
 // hop forwarding transits the parent as a hub, without being decoded.
 //
-//   ./example_weaver_serverd [num_shards]   (default 2)
+//   ./example_weaver_serverd [num_shards] [--metrics | --metrics=json]
+//
+// (default 2 shards). --metrics dumps, after the workload, the parent
+// process's registry plus a per-shard-process report collected over the
+// wire codec (Weaver::CollectMetrics, docs/observability.md); =json
+// emits the merged cluster view as JSON instead of text.
 //
 // The workload: build a small social graph through pipelined sessions,
 // then run BFS reachability and point lookups -- every byte of
@@ -17,6 +22,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "client/weaver_client.h"
@@ -27,8 +33,20 @@
 using namespace weaver;
 
 int main(int argc, char** argv) {
-  const std::size_t num_shards =
-      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 2;
+  std::size_t num_shards = 2;
+  bool dump_metrics = false;
+  bool metrics_json = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--metrics") {
+      dump_metrics = true;
+    } else if (arg == "--metrics=json") {
+      dump_metrics = true;
+      metrics_json = true;
+    } else {
+      num_shards = std::strtoul(argv[i], nullptr, 10);
+    }
+  }
 
   // 1. Fork the shard-server children FIRST: threads do not survive
   //    fork, so the parent deployment must not exist yet.
@@ -122,6 +140,30 @@ int main(int argc, char** argv) {
 
   ok = bfs->returns.size() == static_cast<std::size_t>(kUsers) &&
        stats.wire_seq_violations.load() == 0;
+
+  // 4b. Telemetry dump: one registry per PROCESS -- the parent's own,
+  // plus a snapshot each shard server ships back as a MetricsReport over
+  // its socket. The merged view is what an operator would scrape.
+  if (dump_metrics) {
+    auto cluster = db->CollectMetrics();
+    if (!cluster.ok()) {
+      std::fprintf(stderr, "metrics collection failed: %s\n",
+                   cluster.status().ToString().c_str());
+      ok = false;
+    } else if (metrics_json) {
+      std::printf("%s\n", cluster->Merged().ToJson().c_str());
+    } else {
+      std::printf("\n==== parent process ====\n%s",
+                  cluster->local.ToText().c_str());
+      for (const MetricsReportMessage& report : cluster->remote) {
+        std::printf("==== shard process %u (inbox_depth=%llu) ====\n%s",
+                    report.shard,
+                    static_cast<unsigned long long>(report.inbox_depth),
+                    report.snapshot.ToText().c_str());
+      }
+      ok = ok && cluster->remote.size() == num_shards;
+    }
+  }
   }
 
   // 5. Clean teardown: the deployment stops the links, the children see

@@ -3,12 +3,34 @@
 #include <utility>
 
 #include "client/weaver_client.h"
+#include "common/clock.h"
 #include "core/messages.h"
 
 namespace weaver {
 
+namespace {
+
+/// Records the end-to-end latency of a replied request, if its submission
+/// stamped a start time. Requires shared->mu held.
+void RecordReplyLatency(
+    obs::LatencyHistogram* hist,
+    std::unordered_map<std::uint64_t, std::uint64_t>* t0s,
+    std::uint64_t request_id) {
+  auto it = t0s->find(request_id);
+  if (it == t0s->end()) return;
+  if (hist != nullptr) hist->Record(NowNanos() - it->second);
+  t0s->erase(it);
+}
+
+}  // namespace
+
 Session::Session(Weaver* db, GatekeeperId gk, std::uint64_t name_hint)
     : db_(db), gk_(gk), router_(std::make_shared<ReplyRouter>()) {
+  // Shared across sessions; the deployment's registry owns them, so this
+  // prefix is never dropped (sessions must not outlive their Weaver).
+  shared_->commit_latency = db_->metrics().histogram("client.commit_latency");
+  shared_->program_latency =
+      db_->metrics().histogram("client.program_latency");
   // The session's endpoint is its reply address: the gatekeeper answers
   // every request with a ClientCommitReply / ClientProgramReply message
   // here, and the router fulfills the matching Pending handle. The
@@ -22,13 +44,21 @@ Session::Session(Weaver* db, GatekeeperId gk, std::uint64_t name_hint)
         if (msg.payload_tag == kMsgClientCommitReply) {
           auto reply =
               std::static_pointer_cast<ClientCommitReplyMessage>(msg.payload);
+          std::lock_guard<std::mutex> lk(shared->mu);
           if (reply->status.ok()) {
             // Commit replies arrive in execution (= submission) order on
             // this session's lane, so last-writer-wins is the latest
             // committed timestamp.
-            std::lock_guard<std::mutex> lk(shared->mu);
             shared->last_committed = reply->timestamp;
           }
+          RecordReplyLatency(shared->commit_latency, &shared->commit_t0,
+                             reply->request_id);
+        } else if (msg.payload_tag == kMsgClientProgramReply) {
+          auto reply = std::static_pointer_cast<ClientProgramReplyMessage>(
+              msg.payload);
+          std::lock_guard<std::mutex> lk(shared->mu);
+          RecordReplyLatency(shared->program_latency, &shared->program_t0,
+                             reply->request_id);
         }
         router->OnMessage(msg);
       });
@@ -96,6 +126,10 @@ Pending<CommitResult> Session::SubmitCommit(Transaction tx, bool delay_paid) {
   // arrive before Send returns.
   msg->request_id = router_->RegisterCommit(pending);
   const std::uint64_t request_id = msg->request_id;
+  {
+    std::lock_guard<std::mutex> slk(shared_->mu);
+    shared_->commit_t0[request_id] = NowNanos();
+  }
   Status sent;
   {
     // The mutex defines the session's submission order when several
@@ -109,7 +143,13 @@ Pending<CommitResult> Session::SubmitCommit(Transaction tx, bool delay_paid) {
       last_commit_ = pending;
     }
   }
-  if (!sent.ok()) router_->FailCommit(request_id, std::move(sent));
+  if (!sent.ok()) {
+    {
+      std::lock_guard<std::mutex> slk(shared_->mu);
+      shared_->commit_t0.erase(request_id);
+    }
+    router_->FailCommit(request_id, std::move(sent));
+  }
   return pending;
 }
 
@@ -163,11 +203,24 @@ std::vector<Pending<Result<ProgramResult>>> Session::RunProgramBatchAsync(
     request_ids.push_back(req.request_id);
     msg->requests.push_back(std::move(req));
   }
+  {
+    const std::uint64_t now = NowNanos();
+    std::lock_guard<std::mutex> slk(shared_->mu);
+    for (const std::uint64_t rid : request_ids) {
+      shared_->program_t0[rid] = now;
+    }
+  }
   // No lock: programs carry no submission-order promise, so concurrent
   // submitters need not serialize.
   const Status sent = db_->bus().Send(endpoint_, gk_client_ep_,
                                       kMsgClientProgram, std::move(msg));
   if (!sent.ok()) {
+    {
+      std::lock_guard<std::mutex> slk(shared_->mu);
+      for (const std::uint64_t rid : request_ids) {
+        shared_->program_t0.erase(rid);
+      }
+    }
     for (const std::uint64_t rid : request_ids) {
       router_->FailProgram(rid, sent);
     }

@@ -38,6 +38,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "client/pending.h"
@@ -152,6 +153,14 @@ class Session {
   struct SharedState {
     std::mutex mu;
     RefinableTimestamp last_committed;
+    /// End-to-end client latency ("client.commit_latency" /
+    /// "client.program_latency", shared by every session of the
+    /// deployment; owned by its registry). Submission stamps a start time
+    /// by request id; the reply handler records the difference.
+    obs::LatencyHistogram* commit_latency = nullptr;
+    obs::LatencyHistogram* program_latency = nullptr;
+    std::unordered_map<std::uint64_t, std::uint64_t> commit_t0;
+    std::unordered_map<std::uint64_t, std::uint64_t> program_t0;
   };
   std::shared_ptr<SharedState> shared_ = std::make_shared<SharedState>();
 

@@ -33,14 +33,17 @@ class Histogram {
   /// Used to print CDFs for the figure-10/11 benches.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> NonZeroBuckets() const;
 
- private:
+  // Bucket geometry, shared with the concurrent histogram in obs/metrics.h
+  // so its sparse snapshots stay mergeable with (and interpretable as)
+  // these buckets.
   static constexpr int kSubBucketBits = 5;  // 32 sub-buckets per octave
   static constexpr int kBucketCount = 64 * (1 << kSubBucketBits);
 
   static int BucketIndex(std::uint64_t value);
   static std::uint64_t BucketUpperBound(int index);
 
-  std::vector<std::uint64_t> buckets_;
+ private:
+ std::vector<std::uint64_t> buckets_;
   std::uint64_t count_ = 0;
   std::uint64_t sum_ = 0;
   std::uint64_t min_ = ~0ULL;

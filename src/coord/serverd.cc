@@ -46,7 +46,14 @@ int RunShardServer(int parent_fd, ShardId shard_id,
   const EndpointLayout layout =
       EndpointLayout::Compute(options.num_shards, options.num_gatekeepers);
 
+  // Per-process registry, declared before every component so DropPrefix
+  // in their destructors finds it alive. The shard answers
+  // kMsgMetricsRequest with a snapshot of this registry, which is how the
+  // parent's Weaver::CollectMetrics sees into this process.
+  obs::MetricsRegistry metrics;
+
   MessageBus bus;
+  bus.SetMetrics(&metrics);
   bus.SetWireEncoder(EncodePayload);
   auto transport =
       std::shared_ptr<Transport>(SocketTransport::Adopt(parent_fd));
@@ -62,6 +69,27 @@ int RunShardServer(int parent_fd, ShardId shard_id,
   NodeLocator locator(num_shards, [num_shards](NodeId node) {
     return static_cast<ShardId>(MixHash64(node) % num_shards);
   });
+
+  // The shard-local oracle replica's counters ride along in this
+  // process's reports; cluster-wide merges sum them with the parent's.
+  {
+    const TimelineOracle::Stats& os = oracle.stats();
+    const auto counter = [&](const char* name,
+                             const std::atomic<std::uint64_t>& v) {
+      metrics.AddCounterFn(std::string("oracle.") + name, [&v] {
+        return v.load(std::memory_order_relaxed);
+      });
+    };
+    counter("order_requests", os.order_requests);
+    counter("queries", os.queries);
+    counter("edges_established", os.edges_established);
+    counter("vclock_resolved", os.vclock_resolved);
+    counter("dag_resolved", os.dag_resolved);
+    counter("events_collected", os.events_collected);
+    metrics.AddGaugeFn("oracle.live_events", [&oracle] {
+      return static_cast<std::int64_t>(oracle.LiveEvents());
+    });
+  }
 
   // Mirror the endpoint layout: this shard's real server at its own id,
   // a remote proxy through the parent link everywhere else. Ids are
@@ -82,6 +110,7 @@ int RunShardServer(int parent_fd, ShardId shard_id,
       so.inbox_capacity = options.inbox_capacity;
       so.queue_high_water = options.queue_high_water;
       so.max_hops_per_cycle = options.max_hops_per_cycle;
+      so.metrics = &metrics;
       shard = std::make_unique<Shard>(so);
       got = shard->endpoint();
     } else {

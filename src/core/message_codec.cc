@@ -334,6 +334,88 @@ Status Decode(wire::Reader* r, ClientProgramReplyMessage* m) {
   return DecodeTs(r, &m->result.timestamp);
 }
 
+void Encode(const MetricsRequestMessage& m, wire::Writer* w) {
+  w->VarU64(m.request_id);
+  w->VarU32(m.reply_to);
+}
+
+Status Decode(wire::Reader* r, MetricsRequestMessage* m) {
+  WEAVER_RETURN_IF_ERROR(r->VarU64(&m->request_id));
+  return r->VarU32(&m->reply_to);
+}
+
+void Encode(const MetricsReportMessage& m, wire::Writer* w) {
+  w->VarU64(m.request_id);
+  w->VarU32(m.shard);
+  w->VarU64(m.inbox_depth);
+  const obs::MetricsSnapshot& s = m.snapshot;
+  w->Count(s.counters.size());
+  for (const auto& [name, v] : s.counters) {
+    w->String(name);
+    w->VarU64(v);
+  }
+  w->Count(s.gauges.size());
+  for (const auto& [name, v] : s.gauges) {
+    w->String(name);
+    // Two's-complement cast: negatives take the full 10 varint bytes,
+    // but gauges are near-zero signed values in practice.
+    w->VarU64(static_cast<std::uint64_t>(v));
+  }
+  w->Count(s.histograms.size());
+  for (const auto& [name, h] : s.histograms) {
+    w->String(name);
+    w->Count(h.buckets.size());
+    for (const auto& [idx, n] : h.buckets) {
+      w->VarU32(idx);
+      w->VarU64(n);
+    }
+    w->VarU64(h.count);
+    w->VarU64(h.sum);
+    w->VarU64(h.min);
+    w->VarU64(h.max);
+  }
+}
+
+Status Decode(wire::Reader* r, MetricsReportMessage* m) {
+  WEAVER_RETURN_IF_ERROR(r->VarU64(&m->request_id));
+  WEAVER_RETURN_IF_ERROR(r->VarU32(&m->shard));
+  WEAVER_RETURN_IF_ERROR(r->VarU64(&m->inbox_depth));
+  obs::MetricsSnapshot& s = m->snapshot;
+  std::size_t n = 0;
+  WEAVER_RETURN_IF_ERROR(r->Count(&n));
+  s.counters.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    WEAVER_RETURN_IF_ERROR(r->String(&s.counters[i].first));
+    WEAVER_RETURN_IF_ERROR(r->VarU64(&s.counters[i].second));
+  }
+  WEAVER_RETURN_IF_ERROR(r->Count(&n));
+  s.gauges.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    WEAVER_RETURN_IF_ERROR(r->String(&s.gauges[i].first));
+    std::uint64_t raw = 0;
+    WEAVER_RETURN_IF_ERROR(r->VarU64(&raw));
+    s.gauges[i].second = static_cast<std::int64_t>(raw);
+  }
+  WEAVER_RETURN_IF_ERROR(r->Count(&n));
+  s.histograms.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    obs::HistogramSnapshot& h = s.histograms[i].second;
+    WEAVER_RETURN_IF_ERROR(r->String(&s.histograms[i].first));
+    std::size_t buckets = 0;
+    WEAVER_RETURN_IF_ERROR(r->Count(&buckets));
+    h.buckets.resize(buckets);
+    for (std::size_t b = 0; b < buckets; ++b) {
+      WEAVER_RETURN_IF_ERROR(r->VarU32(&h.buckets[b].first));
+      WEAVER_RETURN_IF_ERROR(r->VarU64(&h.buckets[b].second));
+    }
+    WEAVER_RETURN_IF_ERROR(r->VarU64(&h.count));
+    WEAVER_RETURN_IF_ERROR(r->VarU64(&h.sum));
+    WEAVER_RETURN_IF_ERROR(r->VarU64(&h.min));
+    WEAVER_RETURN_IF_ERROR(r->VarU64(&h.max));
+  }
+  return Status::Ok();
+}
+
 // --- Type-erased payload codec ----------------------------------------------
 
 namespace {
@@ -385,6 +467,10 @@ Result<std::string> EncodePayload(std::uint32_t tag,
       return EncodeAs<ClientCommitReplyMessage>(payload);
     case kMsgClientProgramReply:
       return EncodeAs<ClientProgramReplyMessage>(payload);
+    case kMsgMetricsRequest:
+      return EncodeAs<MetricsRequestMessage>(payload);
+    case kMsgMetricsReport:
+      return EncodeAs<MetricsReportMessage>(payload);
     default:
       return Status::InvalidArgument("no wire codec for message tag " +
                                      std::to_string(tag));
@@ -418,6 +504,10 @@ Result<std::shared_ptr<void>> DecodePayload(std::uint32_t tag,
       return DecodeAs<ClientCommitReplyMessage>(bytes);
     case kMsgClientProgramReply:
       return DecodeAs<ClientProgramReplyMessage>(bytes);
+    case kMsgMetricsRequest:
+      return DecodeAs<MetricsRequestMessage>(bytes);
+    case kMsgMetricsReport:
+      return DecodeAs<MetricsReportMessage>(bytes);
     default:
       return Status::InvalidArgument("no wire codec for message tag " +
                                      std::to_string(tag));
@@ -454,12 +544,16 @@ bool WireNeverBlock(std::uint32_t tag) {
   // contract their in-process senders use (two full peers must not
   // deadlock), and EndProgram/GC/Stop are small control messages whose
   // delay would hold the whole link's FIFO stream behind a full inbox.
+  // Metrics traffic is likewise background control-plane: a scrape must
+  // never wedge behind a congested shard inbox.
   switch (tag) {
     case kMsgWaveHops:
     case kMsgWaveAccounting:
     case kMsgEndProgram:
     case kMsgGc:
     case kMsgStop:
+    case kMsgMetricsRequest:
+    case kMsgMetricsReport:
       return true;
     default:
       return false;

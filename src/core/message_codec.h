@@ -67,6 +67,12 @@ Status Decode(wire::Reader* r, ClientCommitReplyMessage* m);
 void Encode(const ClientProgramReplyMessage& m, wire::Writer* w);
 Status Decode(wire::Reader* r, ClientProgramReplyMessage* m);
 
+void Encode(const MetricsRequestMessage& m, wire::Writer* w);
+Status Decode(wire::Reader* r, MetricsRequestMessage* m);
+
+void Encode(const MetricsReportMessage& m, wire::Writer* w);
+Status Decode(wire::Reader* r, MetricsReportMessage* m);
+
 // --- Type-erased payload codec (keyed by MsgTag) ----------------------------
 
 /// Serializes a BusMessage payload. kMsgStop (no schema) encodes to an

@@ -22,6 +22,7 @@
 #include "core/graph_op.h"
 #include "core/node_program.h"
 #include "net/bus.h"
+#include "obs/metrics.h"
 #include "order/timestamp.h"
 #include "vclock/vclock.h"
 
@@ -40,6 +41,8 @@ enum MsgTag : std::uint32_t {
   kMsgWaveAccounting = 10,  // shard -> coordinator: program progress delta
   kMsgClientCommitReply = 11,   // gatekeeper -> session: commit outcome
   kMsgClientProgramReply = 12,  // gatekeeper -> session: program outcome
+  kMsgMetricsRequest = 13,  // parent -> shard server: snapshot your registry
+  kMsgMetricsReport = 14,   // shard server -> parent: the snapshot
 };
 
 /// Committed transaction: ops are the slice destined for the receiving
@@ -206,6 +209,29 @@ struct ClientProgramReplyMessage {
   std::uint64_t request_id = 0;
   Status status;
   ProgramResult result;
+};
+
+// --- Observability (docs/observability.md) ----------------------------------
+
+/// Asks a shard-server process to snapshot its metrics registry. The
+/// reply is addressed to `reply_to` -- in practice the parent's program
+/// coordinator, the highest endpoint id a child can address
+/// (coord/serverd.h layout contract), whose handler dispatches on the
+/// reply tag.
+struct MetricsRequestMessage {
+  std::uint64_t request_id = 0;
+  EndpointId reply_to = 0;
+};
+
+/// One process's registry snapshot. `inbox_depth` duplicates the shard's
+/// own "shardN.inbox_depth" gauge as a first-class field because the
+/// parent feeds it straight into MessageBus::NoteRemoteDepth -- the
+/// remote-endpoint half of QueueDepth() -- without a name lookup.
+struct MetricsReportMessage {
+  std::uint64_t request_id = 0;
+  ShardId shard = 0;
+  std::uint64_t inbox_depth = 0;
+  obs::MetricsSnapshot snapshot;
 };
 
 }  // namespace weaver

@@ -39,6 +39,10 @@ std::unique_ptr<Weaver> Weaver::Open(const WeaverOptions& options) {
 
 Weaver::Weaver(const WeaverOptions& options) : options_(options) {
   bus_ = std::make_unique<MessageBus>();
+  // From here on every endpoint registration exports its depth gauge, and
+  // the bus's own counters are scrapeable (docs/observability.md).
+  bus_->SetMetrics(&metrics_);
+  trace_.SetSampleEvery(options_.trace_sample_every);
   if (options_.storage.enabled()) {
     auto kv = KvStore::Open(options_.kv_stripes, options_.storage);
     if (kv.ok()) {
@@ -113,6 +117,7 @@ Weaver::Weaver(const WeaverOptions& options) : options_(options) {
       so.inbox_capacity = options_.shard_inbox_capacity;
       so.queue_high_water = options_.shard_queue_high_water;
       so.max_hops_per_cycle = options_.shard_max_hops_per_cycle;
+      so.metrics = &metrics_;
       shards_.push_back(std::make_unique<Shard>(so));
     }
     cluster_.Register("shard" + std::to_string(s), ServerKind::kShard,
@@ -143,6 +148,8 @@ Weaver::Weaver(const WeaverOptions& options) : options_(options) {
     go.max_inflight_programs = options_.client_max_inflight_programs;
     go.nop_high_water = options_.nop_high_water;
     go.announce_capacity = options_.announce_capacity;
+    go.metrics = &metrics_;
+    go.trace = &trace_;
     gatekeepers_.push_back(std::make_unique<Gatekeeper>(std::move(go)));
     cluster_.Register("gk" + std::to_string(g), ServerKind::kGatekeeper,
                       static_cast<std::uint32_t>(g));
@@ -167,6 +174,12 @@ Weaver::Weaver(const WeaverOptions& options) : options_(options) {
         if (msg.payload_tag == kMsgWaveAccounting) {
           OnWaveAccounting(
               std::static_pointer_cast<WaveAccountingMessage>(msg.payload));
+        } else if (msg.payload_tag == kMsgMetricsReport) {
+          // Remote shard-server processes can only address endpoints that
+          // existed when they booted, so metrics replies share the
+          // coordinator endpoint rather than a dedicated one.
+          OnMetricsReport(
+              std::static_pointer_cast<MetricsReportMessage>(msg.payload));
         }
       });
   // Remote deployments share this endpoint layout with their shard
@@ -193,6 +206,36 @@ Weaver::Weaver(const WeaverOptions& options) : options_(options) {
       std::abort();
     }
   }
+
+  // Coordinator / oracle / storage instruments. The oracle and storage
+  // engine are plain members (no DropPrefix of their own); their callback
+  // instruments die with this object, after every snapshotter has.
+  coord_programs_completed_ = metrics_.counter("coord.programs_completed");
+  coord_programs_aborted_ = metrics_.counter("coord.programs_aborted");
+  coord_program_hops_ = metrics_.counter("coord.program_hops");
+  coord_accounting_msgs_ = metrics_.counter("coord.accounting_msgs");
+  coord_program_latency_ = metrics_.histogram("coord.program_latency");
+  {
+    const TimelineOracle::Stats& os = oracle_.stats();
+    const auto counter = [&](const char* name,
+                             const std::atomic<std::uint64_t>& v) {
+      metrics_.AddCounterFn(std::string("oracle.") + name, [&v] {
+        return v.load(std::memory_order_relaxed);
+      });
+    };
+    counter("order_requests", os.order_requests);
+    counter("queries", os.queries);
+    counter("edges_established", os.edges_established);
+    counter("vclock_resolved", os.vclock_resolved);
+    counter("dag_resolved", os.dag_resolved);
+    counter("events_collected", os.events_collected);
+    // GC lag: events still live in the dependency DAG (grows between
+    // CollectBefore rounds; quadratic ordering cost if it runs away).
+    metrics_.AddGaugeFn("oracle.live_events", [this] {
+      return static_cast<std::int64_t>(oracle_.LiveEvents());
+    });
+  }
+  if (kv_->durable()) kv_->storage_engine()->SetMetrics(&metrics_);
 
   // Reply endpoint for the deployment-internal blocking wrappers: they
   // speak the same request/reply messages a session does.
@@ -324,6 +367,7 @@ void Weaver::Start() {
         if (stop_gc_) return;
         lk.unlock();
         RunGarbageCollection(/*include_shards=*/(++tick % 64) == 0);
+        MaybePollRemoteMetrics();
         lk.lock();
       }
     });
@@ -371,6 +415,12 @@ void Weaver::Shutdown() {
   // sessions, blocking wrappers) unblock.
   FailAllExecutions(
       Status::Unavailable("deployment shut down during execution"));
+  // Same for metrics collections: their replies can no longer arrive.
+  {
+    std::lock_guard<std::mutex> lk(metrics_mu_);
+    for (auto& [rid, c] : metrics_pending_) c.failed = true;
+  }
+  metrics_cv_.notify_all();
 }
 
 ShardId Weaver::PlaceNewNode(NodeId id) {
@@ -536,6 +586,8 @@ void Weaver::ExecuteProgramAsync(
     ex->starts = total;
     ex->touched.assign(shards_.size(), false);
     ex->done = std::move(done);
+    ex->begin_ns = seed_start;
+    ex->traced = trace_.ShouldSample();
     std::lock_guard<std::mutex> lk(executions_mu_);
     executions_.emplace(pid, std::move(ex));
   }
@@ -625,9 +677,30 @@ void Weaver::CompleteExecution(std::unique_ptr<ProgramExecution> ex) {
     (void)bus_->Send(coordinator_endpoint_, shard_endpoints_[s],
                      kMsgEndProgram, std::move(end), /*never_block=*/true);
   }
-  if (!ex->done) return;
+  const std::uint64_t quiesced_ns = NowNanos();
+  (aborted ? coord_programs_aborted_ : coord_programs_completed_)->Add();
+  coord_program_hops_->Add(ex->consumed);
+  coord_accounting_msgs_->Add(ex->accounting_msgs);
+  if (ex->begin_ns != 0) {
+    coord_program_latency_->Record(quiesced_ns - ex->begin_ns);
+  }
+  const auto record_span = [&] {
+    if (!ex->traced) return;
+    obs::TraceSpan span;
+    span.kind = obs::TraceSpan::Kind::kProgram;
+    span.id = pid;
+    span.begin_ns = ex->begin_ns;
+    span.applied_ns = quiesced_ns;  // quiescence: every hop consumed
+    span.replied_ns = NowNanos();   // after the done callback ran
+    trace_.Append(span);
+  };
+  if (!ex->done) {
+    record_span();
+    return;
+  }
   if (aborted) {
     ex->done(ex->failure);
+    record_span();
     return;
   }
   ProgramResult result;
@@ -639,6 +712,117 @@ void Weaver::CompleteExecution(std::unique_ptr<ProgramExecution> ex) {
   result.forwarded_batches = ex->forwarded_batches;
   result.coordinator_msgs = ex->accounting_msgs;
   ex->done(std::move(result));
+  record_span();
+}
+
+obs::MetricsSnapshot Weaver::ClusterMetrics::Merged() const {
+  obs::MetricsSnapshot merged = local;
+  for (const MetricsReportMessage& report : remote) {
+    merged.Merge(report.snapshot);
+  }
+  return merged;
+}
+
+void Weaver::OnMetricsReport(
+    const std::shared_ptr<MetricsReportMessage>& m) {
+  // Freshest depth wins, solicited or not: this is what keeps the
+  // gatekeepers' NOP backpressure check meaningful for remote shards
+  // (MessageBus::QueueDepth's staleness contract).
+  if (m->shard < shard_endpoints_.size()) {
+    bus_->NoteRemoteDepth(shard_endpoints_[m->shard], m->inbox_depth);
+  }
+  {
+    std::lock_guard<std::mutex> lk(metrics_mu_);
+    auto it = metrics_pending_.find(m->request_id);
+    if (it == metrics_pending_.end()) return;  // background poll reply
+    it->second.reports.push_back(*m);
+    if (it->second.reports.size() < it->second.expected) return;
+  }
+  metrics_cv_.notify_all();
+}
+
+std::size_t Weaver::RequestRemoteMetrics(std::uint64_t rid) {
+  std::size_t sent = 0;
+  for (std::size_t s = 0; s < shard_endpoints_.size(); ++s) {
+    auto req = std::make_shared<MetricsRequestMessage>();
+    req->request_id = rid;
+    req->reply_to = coordinator_endpoint_;
+    if (bus_->Send(coordinator_endpoint_, shard_endpoints_[s],
+                   kMsgMetricsRequest, std::move(req),
+                   /*never_block=*/true)
+            .ok()) {
+      ++sent;
+    }
+  }
+  return sent;
+}
+
+void Weaver::MaybePollRemoteMetrics() {
+  if (!remote_shards_ || options_.metrics_poll_period_micros == 0) return;
+  const std::uint64_t now = NowNanos();
+  if (now - last_metrics_poll_ns_ <
+      options_.metrics_poll_period_micros * 1000) {
+    return;
+  }
+  last_metrics_poll_ns_ = now;
+  // Unsolicited: no pending entry, so the replies only refresh depths.
+  RequestRemoteMetrics(
+      next_metrics_request_.fetch_add(1, std::memory_order_relaxed));
+}
+
+Result<Weaver::ClusterMetrics> Weaver::CollectMetrics(
+    std::uint64_t timeout_micros) {
+  ClusterMetrics out;
+  out.local = metrics_.Snapshot();
+  if (!remote_shards_) return out;
+  if (!started_.load()) {
+    return Status::FailedPrecondition(
+        "remote metrics require a started deployment");
+  }
+  const std::uint64_t rid =
+      next_metrics_request_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(metrics_mu_);
+    metrics_pending_[rid].expected = shard_endpoints_.size();
+  }
+  const std::size_t sent = RequestRemoteMetrics(rid);
+  MetricsCollection collection;
+  Status failure = Status::Ok();
+  {
+    std::unique_lock<std::mutex> lk(metrics_mu_);
+    // Re-find on every check: concurrent CollectMetrics calls insert into
+    // the map while this one waits, which can invalidate references.
+    const auto pending = [&]() -> MetricsCollection& {
+      return metrics_pending_[rid];
+    };
+    if (sent < pending().expected) {
+      failure = Status::Unavailable("a shard-server process is gone");
+    } else {
+      metrics_cv_.wait_for(
+          lk, std::chrono::microseconds(timeout_micros), [&] {
+            return pending().failed ||
+                   pending().reports.size() >= pending().expected;
+          });
+      if (pending().failed) {
+        failure = Status::Unavailable("deployment shut down during "
+                                      "metrics collection");
+      } else if (pending().reports.size() < pending().expected) {
+        failure = Status::TimedOut(
+            "metrics collection incomplete: " +
+            std::to_string(pending().reports.size()) + "/" +
+            std::to_string(pending().expected) + " shard reports");
+      }
+    }
+    collection = std::move(pending());
+    metrics_pending_.erase(rid);
+  }
+  if (!failure.ok()) return failure;
+  out.remote = std::move(collection.reports);
+  std::sort(out.remote.begin(), out.remote.end(),
+            [](const MetricsReportMessage& a, const MetricsReportMessage& b) {
+              return a.shard < b.shard;
+            });
+  return out;
 }
 
 void Weaver::FailAllExecutions(const Status& status) {
@@ -903,6 +1087,7 @@ Status Weaver::RecoverShard(ShardId id) {
   so.inbox_capacity = options_.shard_inbox_capacity;
   so.queue_high_water = options_.shard_queue_high_water;
   so.max_hops_per_cycle = options_.shard_max_hops_per_cycle;
+  so.metrics = &metrics_;
   so.reuse_endpoint = dead_shard_endpoints_[id];
   auto shard = std::make_unique<Shard>(so);  // reattaches: messages buffer
   shard->SetShardEndpoints(shard_endpoints_);

@@ -46,6 +46,8 @@
 #include "kvstore/kvstore.h"
 #include "net/bus.h"
 #include "net/wire_link.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "oracle/timeline_oracle.h"
 #include "order/gatekeeper.h"
 #include "partition/partitioner.h"
@@ -154,6 +156,16 @@ struct WeaverOptions {
   /// same hash; use_ldg_partitioner is ignored) and do not support bulk
   /// load or shard fault injection -- build graphs through transactions.
   std::vector<int> remote_shard_fds;
+  /// Request-trace sampling stride (docs/observability.md#tracing): keep
+  /// every n-th commit / program span in Weaver::trace(). 0 disables
+  /// (default; ShouldSample is then one relaxed load on the hot path).
+  std::uint64_t trace_sample_every = 0;
+  /// Remote deployments only: period of the background MetricsRequest
+  /// poll that refreshes each remote shard's inbox depth (the NOP
+  /// backpressure input; MessageBus::QueueDepth staleness contract) and
+  /// rides on the GC thread, so it also requires gc_period_micros > 0.
+  /// 0 disables the poll; CollectMetrics() still works on demand.
+  std::uint64_t metrics_poll_period_micros = 100'000;
 };
 
 class Weaver {
@@ -298,6 +310,34 @@ class Weaver {
   ProgramRegistry& programs() { return *programs_; }
   ProgramCache& program_cache() { return program_cache_; }
 
+  // --- Observability (docs/observability.md) ---------------------------------
+
+  /// Cluster-wide metrics: this process's registry snapshot plus, for
+  /// remote deployments, a fresh MetricsReport from every shard-server
+  /// process.
+  struct ClusterMetrics {
+    obs::MetricsSnapshot local;
+    /// One report per remote shard process, sorted by shard id. Empty for
+    /// in-process deployments (every component already lives in `local`).
+    std::vector<MetricsReportMessage> remote;
+    /// local + every remote snapshot, folded associatively.
+    obs::MetricsSnapshot Merged() const;
+  };
+
+  /// Snapshots the cluster's metrics. Remote deployments request a
+  /// MetricsReport from every shard-server process and wait up to
+  /// `timeout_micros` for all replies (TimedOut if any is missing); the
+  /// reported inbox depths also refresh MessageBus::QueueDepth for the
+  /// remote shard endpoints.
+  Result<ClusterMetrics> CollectMetrics(
+      std::uint64_t timeout_micros = 1'000'000);
+
+  /// This process's instrument registry (every in-process component
+  /// exports into it).
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  /// Sampled commit/program span log (WeaverOptions::trace_sample_every).
+  obs::TraceLog& trace() { return trace_; }
+
   /// Deterministic helpers for tests with start = false.
   void PumpAll();  // one announce + NOP round, then drain every shard
 
@@ -372,6 +412,8 @@ class Weaver {
     std::vector<bool> touched;  // shards that reported accounting
     Status failure;             // non-OK: abort (peer down, runaway)
     std::function<void(Result<ProgramResult>)> done;
+    std::uint64_t begin_ns = 0;  // seed time (coord.program_latency)
+    bool traced = false;         // record a TraceSpan on completion
   };
 
   /// Seed + quiescence side of the decentralized execution (shared by
@@ -390,6 +432,16 @@ class Weaver {
   /// Coordinator endpoint delivery: merges one accounting delta and
   /// completes the execution on quiescence or failure.
   void OnWaveAccounting(const std::shared_ptr<WaveAccountingMessage>& m);
+  /// Coordinator endpoint delivery of one shard-server process's registry
+  /// snapshot (reply to a MetricsRequest). Refreshes the remote inbox
+  /// depth and completes a pending CollectMetrics when all replies are in.
+  void OnMetricsReport(const std::shared_ptr<MetricsReportMessage>& m);
+  /// Sends a MetricsRequest (id `rid`) to every remote shard; returns how
+  /// many sends succeeded. never_block: this may run on the GC thread.
+  std::size_t RequestRemoteMetrics(std::uint64_t rid);
+  /// GC-thread hook: fires an unsolicited metrics poll when the configured
+  /// period elapsed (replies refresh remote depths; nobody waits on them).
+  void MaybePollRemoteMetrics();
   /// Tears down a finished execution: EndProgram broadcast (touched
   /// shards on success, every live shard on abort) and the done
   /// callback. Runs outside executions_mu_.
@@ -398,6 +450,11 @@ class Weaver {
   void FailAllExecutions(const Status& status);
 
   WeaverOptions options_;
+  /// Observability state. Declared before every component so it is
+  /// destroyed after them all: components deregister their instruments in
+  /// their destructors (DropPrefix), which must find the registry alive.
+  obs::MetricsRegistry metrics_;
+  obs::TraceLog trace_;
   std::unique_ptr<MessageBus> bus_;
   std::unique_ptr<KvStore> kv_;
   TimelineOracle oracle_;
@@ -440,6 +497,28 @@ class Weaver {
   std::atomic<std::uint64_t> next_internal_lane_{1ull << 63};
 
   std::mutex partition_mu_;  // serializes placement decisions
+
+  // Cluster-wide metrics collection (remote deployments): CollectMetrics
+  // registers a pending entry keyed by request id; coordinator-delivered
+  // MetricsReports fill it and signal the waiter. Unsolicited reports
+  // (background poll, late replies) just refresh remote depths.
+  std::mutex metrics_mu_;
+  std::condition_variable metrics_cv_;
+  std::atomic<std::uint64_t> next_metrics_request_{1};
+  struct MetricsCollection {
+    std::vector<MetricsReportMessage> reports;
+    std::size_t expected = 0;
+    bool failed = false;  // shutdown before completion
+  };
+  std::unordered_map<std::uint64_t, MetricsCollection> metrics_pending_;
+  std::uint64_t last_metrics_poll_ns_ = 0;  // GC-thread private
+
+  // Coordinator-side program instruments (owned by metrics_).
+  obs::Counter* coord_programs_completed_ = nullptr;
+  obs::Counter* coord_programs_aborted_ = nullptr;
+  obs::Counter* coord_program_hops_ = nullptr;
+  obs::Counter* coord_accounting_msgs_ = nullptr;
+  obs::LatencyHistogram* coord_program_latency_ = nullptr;
 
   // Periodic GC timer (paper §4.5).
   std::thread gc_thread_;

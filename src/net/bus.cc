@@ -19,16 +19,79 @@ MessageBus::~MessageBus() {
     delay_cv_.notify_all();
   }
   if (delay_thread_.joinable()) delay_thread_.join();
+  // The exported counters and depth gauges read this object; the
+  // registry (owned by the deployment, destroyed after the bus) must
+  // forget them first.
+  if (metrics_ != nullptr) metrics_->DropPrefix("bus.");
+}
+
+void MessageBus::SetMetrics(obs::MetricsRegistry* registry) {
+  metrics_ = registry;
+  if (registry == nullptr) return;
+  registry->AddCounterFn("bus.messages_sent", [this] {
+    return stats_.messages_sent.load(std::memory_order_relaxed);
+  });
+  registry->AddCounterFn("bus.messages_delivered", [this] {
+    return stats_.messages_delivered.load(std::memory_order_relaxed);
+  });
+  registry->AddCounterFn("bus.wire_frames_sent", [this] {
+    return stats_.wire_frames_sent.load(std::memory_order_relaxed);
+  });
+  registry->AddCounterFn("bus.wire_frames_received", [this] {
+    return stats_.wire_frames_received.load(std::memory_order_relaxed);
+  });
+  registry->AddCounterFn("bus.wire_seq_violations", [this] {
+    return stats_.wire_seq_violations.load(std::memory_order_relaxed);
+  });
+  registry->AddCounterFn("bus.handler_capacity_drops", [this] {
+    return stats_.handler_capacity_drops.load(std::memory_order_relaxed);
+  });
+  registry->AddCounterFn("bus.wire_bytes_sent", [this] {
+    return stats_.wire_bytes_sent.load(std::memory_order_relaxed);
+  });
+  registry->AddCounterFn("bus.wire_bytes_received", [this] {
+    return stats_.wire_bytes_received.load(std::memory_order_relaxed);
+  });
+  // Endpoints registered before SetMetrics get their depth gauges now;
+  // later registrations add theirs inline. Remote endpoints export the
+  // depth their owning process last reported (NoteRemoteDepth), so the
+  // scraped view covers remote inboxes too.
+  std::vector<std::pair<EndpointId, std::string>> queues;
+  {
+    std::lock_guard<std::mutex> lk(endpoints_mu_);
+    for (std::size_t id = 0; id < endpoints_.size(); ++id) {
+      if (endpoints_[id]->inbox != nullptr ||
+          endpoints_[id]->remote != nullptr) {
+        queues.emplace_back(static_cast<EndpointId>(id),
+                            endpoints_[id]->name);
+      }
+    }
+  }
+  for (const auto& [id, name] : queues) ExportEndpointDepth(id, name);
+}
+
+void MessageBus::ExportEndpointDepth(EndpointId id, const std::string& name) {
+  if (metrics_ == nullptr) return;
+  metrics_->AddGaugeFn("bus." + name + ".depth", [this, id] {
+    return static_cast<std::int64_t>(QueueDepth(id));
+  });
 }
 
 EndpointId MessageBus::RegisterInbox(
     std::string name, std::shared_ptr<BlockingQueue<BusMessage>> inbox) {
-  std::lock_guard<std::mutex> lk(endpoints_mu_);
-  auto ep = std::make_unique<Endpoint>();
-  ep->name = std::move(name);
-  ep->inbox = std::move(inbox);
-  endpoints_.push_back(std::move(ep));
-  return static_cast<EndpointId>(endpoints_.size() - 1);
+  EndpointId id;
+  std::string gauge_name;
+  {
+    std::lock_guard<std::mutex> lk(endpoints_mu_);
+    auto ep = std::make_unique<Endpoint>();
+    ep->name = std::move(name);
+    ep->inbox = std::move(inbox);
+    gauge_name = ep->name;
+    endpoints_.push_back(std::move(ep));
+    id = static_cast<EndpointId>(endpoints_.size() - 1);
+  }
+  ExportEndpointDepth(id, gauge_name);
+  return id;
 }
 
 EndpointId MessageBus::RegisterHandler(
@@ -48,13 +111,21 @@ EndpointId MessageBus::RegisterHandler(
 
 EndpointId MessageBus::RegisterRemote(std::string name,
                                       std::shared_ptr<Transport> transport) {
-  std::lock_guard<std::mutex> lk(endpoints_mu_);
-  auto ep = std::make_unique<Endpoint>();
-  ep->name = std::move(name);
-  ep->remote = std::move(transport);
-  has_special_endpoints_.store(true, std::memory_order_relaxed);
-  endpoints_.push_back(std::move(ep));
-  return static_cast<EndpointId>(endpoints_.size() - 1);
+  EndpointId id;
+  std::string gauge_name;
+  {
+    std::lock_guard<std::mutex> lk(endpoints_mu_);
+    auto ep = std::make_unique<Endpoint>();
+    ep->name = std::move(name);
+    ep->remote = std::move(transport);
+    ep->remote_depth = std::make_shared<std::atomic<std::size_t>>(0);
+    has_special_endpoints_.store(true, std::memory_order_relaxed);
+    gauge_name = ep->name;
+    endpoints_.push_back(std::move(ep));
+    id = static_cast<EndpointId>(endpoints_.size() - 1);
+  }
+  ExportEndpointDepth(id, gauge_name);
+  return id;
 }
 
 void MessageBus::SetWireEncoder(
@@ -215,10 +286,13 @@ Status MessageBus::Send(EndpointId src, EndpointId dst,
     header.channel_seq = msg.channel_seq;
     // Always a non-waiting enqueue: flow control already happened above,
     // before ch->mu was taken.
-    const Status sent = remote->SendBytes(
-        wire::EncodeFrame(header, payload_bytes), /*never_block=*/true);
+    const std::string frame = wire::EncodeFrame(header, payload_bytes);
+    const std::size_t frame_bytes = frame.size();
+    const Status sent = remote->SendBytes(frame, /*never_block=*/true);
     if (sent.ok()) {
       stats_.wire_frames_sent.fetch_add(1, std::memory_order_relaxed);
+      stats_.wire_bytes_sent.fetch_add(frame_bytes,
+                                       std::memory_order_relaxed);
       stats_.messages_delivered.fetch_add(1, std::memory_order_relaxed);
     }
     return sent;
@@ -376,12 +450,30 @@ void MessageBus::DelayLoop() {
 
 std::size_t MessageBus::QueueDepth(EndpointId id) const {
   std::shared_ptr<BlockingQueue<BusMessage>> inbox;
+  std::shared_ptr<std::atomic<std::size_t>> remote_depth;
   {
     std::lock_guard<std::mutex> lk(endpoints_mu_);
     if (id >= endpoints_.size()) return 0;
     inbox = endpoints_[id]->inbox;
+    remote_depth = endpoints_[id]->remote_depth;
   }
-  return inbox ? inbox->Size() : 0;
+  if (inbox) return inbox->Size();
+  // Remote endpoint: the depth its owning process last reported
+  // (NoteRemoteDepth). Stale between reports -- callers treating this as
+  // a backpressure signal must tolerate that (and 0 until the first
+  // report arrives).
+  if (remote_depth) return remote_depth->load(std::memory_order_relaxed);
+  return 0;
+}
+
+void MessageBus::NoteRemoteDepth(EndpointId id, std::size_t depth) {
+  std::shared_ptr<std::atomic<std::size_t>> remote_depth;
+  {
+    std::lock_guard<std::mutex> lk(endpoints_mu_);
+    if (id >= endpoints_.size()) return;
+    remote_depth = endpoints_[id]->remote_depth;
+  }
+  if (remote_depth) remote_depth->store(depth, std::memory_order_relaxed);
 }
 
 const std::string& MessageBus::NameOf(EndpointId id) const {

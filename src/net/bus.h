@@ -49,6 +49,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "net/transport.h"
+#include "obs/metrics.h"
 
 namespace weaver {
 
@@ -78,6 +79,10 @@ class MessageBus {
     /// Sends dropped because a bounded handler endpoint's deferred-queue
     /// capacity was exceeded (announce backpressure).
     std::atomic<std::uint64_t> handler_capacity_drops{0};
+    /// Payload + frame bytes shipped to / received from remote endpoints
+    /// (received bytes are reported by the WireLinks feeding this bus).
+    std::atomic<std::uint64_t> wire_bytes_sent{0};
+    std::atomic<std::uint64_t> wire_bytes_received{0};
   };
 
   MessageBus();
@@ -170,11 +175,28 @@ class MessageBus {
 
   const std::string& NameOf(EndpointId id) const;
 
-  /// Depth of an inbox endpoint's queue (0 for handler endpoints and
-  /// unknown ids). Producers use this as a backpressure signal: the
-  /// gatekeeper NOP timer skips a round when a destination shard's inbox
-  /// is above its high-water mark instead of growing it without bound.
+  /// Depth of an inbox endpoint's queue. For remote endpoints, the depth
+  /// last observed via NoteRemoteDepth (a MetricsReport from the owning
+  /// process) -- possibly stale, see the staleness contract at the
+  /// gatekeeper call site. 0 for handler endpoints and unknown ids.
   std::size_t QueueDepth(EndpointId id) const;
+
+  /// Records the queue depth a remote endpoint's owning process reported
+  /// for itself (fed by Weaver::OnMetricsReport). No-op for non-remote
+  /// endpoints.
+  void NoteRemoteDepth(EndpointId id, std::size_t depth);
+
+  /// Attributes wire bytes received by a WireLink to this bus's stats
+  /// (the link owns the receive path; the bus owns the counters).
+  void NoteWireBytesReceived(std::uint64_t n) {
+    stats_.wire_bytes_received.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Exports this bus's counters into `registry` under "bus." names,
+  /// including a "bus.<endpoint>.depth" gauge per inbox endpoint
+  /// (registered lazily as endpoints appear). The registry must outlive
+  /// the bus; the bus drops its names in its destructor.
+  void SetMetrics(obs::MetricsRegistry* registry);
 
   const Stats& stats() const { return stats_; }
 
@@ -191,6 +213,9 @@ class MessageBus {
     std::size_t handler_capacity = 0;
     std::shared_ptr<std::atomic<std::size_t>> deferred{
         std::make_shared<std::atomic<std::size_t>>(0)};
+    /// Remote endpoints only: last inbox depth the owning process
+    /// reported for this endpoint (NoteRemoteDepth).
+    std::shared_ptr<std::atomic<std::size_t>> remote_depth;
   };
   struct Channel {
     std::mutex mu;
@@ -224,8 +249,19 @@ class MessageBus {
   void FlushStalled();
   void DelayLoop();
 
+  /// Registers the per-endpoint depth gauge for `id`. Call WITHOUT
+  /// endpoints_mu_ held: the registry lock is taken inside, and
+  /// Snapshot() invokes the gauge (which takes endpoints_mu_ via
+  /// QueueDepth) while holding the registry lock -- taking them in the
+  /// opposite order here would deadlock.
+  void ExportEndpointDepth(EndpointId id, const std::string& name);
+
   mutable std::mutex endpoints_mu_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
+
+  /// Metrics export (null until SetMetrics). Written during deployment
+  /// setup, before concurrent registration traffic.
+  obs::MetricsRegistry* metrics_ = nullptr;
 
   std::mutex channels_mu_;
   std::map<std::pair<EndpointId, EndpointId>, std::unique_ptr<Channel>>

@@ -71,6 +71,7 @@ void WireLink::OnBytes(const char* data, std::size_t n) {
     std::lock_guard<std::mutex> lk(mu_);
     if (closed_) return;  // poisoned link: drop the rest of the stream
   }
+  options_.bus->NoteWireBytesReceived(n);
   parser_.Feed(data, n);
   while (true) {
     wire::FrameHeader header;

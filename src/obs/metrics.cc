@@ -1,0 +1,318 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace weaver {
+namespace obs {
+
+std::size_t Counter::StripeIndex() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t idx =
+      next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return idx;
+}
+
+LatencyHistogram::LatencyHistogram()
+    : buckets_(static_cast<std::size_t>(Histogram::kBucketCount)) {}
+
+void LatencyHistogram::Record(std::uint64_t value_ns) {
+  const auto idx =
+      static_cast<std::size_t>(Histogram::BucketIndex(value_ns));
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value_ns, std::memory_order_relaxed);
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value_ns < seen &&
+         !min_.compare_exchange_weak(seen, value_ns,
+                                     std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value_ns > seen &&
+         !max_.compare_exchange_weak(seen, value_ns,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot snap;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const std::uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) {
+      snap.buckets.emplace_back(static_cast<std::uint32_t>(i), n);
+    }
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  const std::uint64_t lo = min_.load(std::memory_order_relaxed);
+  snap.min = snap.count != 0 && lo != ~0ULL ? lo : 0;
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  if (other.count == 0 && other.buckets.empty()) return;
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> merged;
+  merged.reserve(buckets.size() + other.buckets.size());
+  std::size_t a = 0;
+  std::size_t b = 0;
+  while (a < buckets.size() || b < other.buckets.size()) {
+    if (b >= other.buckets.size() ||
+        (a < buckets.size() && buckets[a].first < other.buckets[b].first)) {
+      merged.push_back(buckets[a++]);
+    } else if (a >= buckets.size() ||
+               other.buckets[b].first < buckets[a].first) {
+      merged.push_back(other.buckets[b++]);
+    } else {
+      merged.emplace_back(buckets[a].first,
+                          buckets[a].second + other.buckets[b].second);
+      ++a;
+      ++b;
+    }
+  }
+  buckets = std::move(merged);
+  min = count == 0 ? other.min
+                   : (other.count == 0 ? min : std::min(min, other.min));
+  max = std::max(max, other.max);
+  count += other.count;
+  sum += other.sum;
+}
+
+double HistogramSnapshot::Mean() const {
+  return count == 0
+             ? 0.0
+             : static_cast<double>(sum) / static_cast<double>(count);
+}
+
+std::uint64_t HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0;
+  const double rank = p / 100.0 * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (const auto& [idx, n] : buckets) {
+    seen += n;
+    if (static_cast<double>(seen) >= rank) {
+      return Histogram::BucketUpperBound(static_cast<int>(idx));
+    }
+  }
+  return max;
+}
+
+std::string HistogramSnapshot::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.3fms p50=%.3fms p95=%.3fms p99=%.3fms "
+                "max=%.3fms",
+                static_cast<unsigned long long>(count), Mean() / 1e6,
+                Percentile(50) / 1e6, Percentile(95) / 1e6,
+                Percentile(99) / 1e6, static_cast<double>(max) / 1e6);
+  return buf;
+}
+
+namespace {
+
+/// In-place merge of sorted (name, value) lists with a per-collision fold.
+template <typename V, typename Fold>
+void MergeSorted(std::vector<std::pair<std::string, V>>* into,
+                 const std::vector<std::pair<std::string, V>>& from,
+                 Fold fold) {
+  std::vector<std::pair<std::string, V>> merged;
+  merged.reserve(into->size() + from.size());
+  std::size_t a = 0;
+  std::size_t b = 0;
+  while (a < into->size() || b < from.size()) {
+    if (b >= from.size() ||
+        (a < into->size() && (*into)[a].first < from[b].first)) {
+      merged.push_back(std::move((*into)[a++]));
+    } else if (a >= into->size() || from[b].first < (*into)[a].first) {
+      merged.push_back(from[b++]);
+    } else {
+      auto entry = std::move((*into)[a++]);
+      fold(&entry.second, from[b++].second);
+      merged.push_back(std::move(entry));
+    }
+  }
+  *into = std::move(merged);
+}
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  MergeSorted(&counters, other.counters,
+              [](std::uint64_t* a, std::uint64_t b) { *a += b; });
+  MergeSorted(&gauges, other.gauges,
+              [](std::int64_t* a, std::int64_t b) { *a += b; });
+  MergeSorted(&histograms, other.histograms,
+              [](HistogramSnapshot* a, const HistogramSnapshot& b) {
+                a->Merge(b);
+              });
+}
+
+std::uint64_t MetricsSnapshot::CounterValue(const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+std::int64_t MetricsSnapshot::GaugeValue(const std::string& name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const HistogramSnapshot* MetricsSnapshot::FindHistogram(
+    const std::string& name) const {
+  for (const auto& [n, v] : histograms) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  char buf[64];
+  for (const auto& [name, v] : counters) {
+    std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", v);
+    out += name;
+    out += buf;
+  }
+  for (const auto& [name, v] : gauges) {
+    std::snprintf(buf, sizeof(buf), " %" PRId64 "\n", v);
+    out += name;
+    out += buf;
+  }
+  for (const auto& [name, h] : histograms) {
+    out += name;
+    out += " ";
+    out += h.Summary();
+    out += "\n";
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  char buf[128];
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) out += ",";
+    first = false;
+    AppendJsonString(&out, name);
+    std::snprintf(buf, sizeof(buf), ":%" PRIu64, v);
+    out += buf;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) out += ",";
+    first = false;
+    AppendJsonString(&out, name);
+    std::snprintf(buf, sizeof(buf), ":%" PRId64, v);
+    out += buf;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ",";
+    first = false;
+    AppendJsonString(&out, name);
+    std::snprintf(buf, sizeof(buf),
+                  ":{\"count\":%" PRIu64
+                  ",\"mean_ms\":%.6f,\"p50_ms\":%.6f,\"p95_ms\":%.6f,"
+                  "\"p99_ms\":%.6f,\"max_ms\":%.6f}",
+                  h.count, h.Mean() / 1e6, h.Percentile(50) / 1e6,
+                  h.Percentile(95) / 1e6, h.Percentile(99) / 1e6,
+                  static_cast<double>(h.max) / 1e6);
+    out += buf;
+  }
+  out += "}}";
+  return out;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+LatencyHistogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
+  return slot.get();
+}
+
+void MetricsRegistry::AddCounterFn(const std::string& name,
+                                   std::function<std::uint64_t()> fn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  counter_fns_[name] = std::move(fn);
+}
+
+void MetricsRegistry::AddGaugeFn(const std::string& name,
+                                 std::function<std::int64_t()> fn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  gauge_fns_[name] = std::move(fn);
+}
+
+void MetricsRegistry::DropPrefix(const std::string& prefix) {
+  const auto drop = [&prefix](auto* map) {
+    for (auto it = map->lower_bound(prefix); it != map->end();) {
+      if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+      it = map->erase(it);
+    }
+  };
+  std::lock_guard<std::mutex> lk(mu_);
+  drop(&counters_);
+  drop(&gauges_);
+  drop(&histograms_);
+  drop(&counter_fns_);
+  drop(&gauge_fns_);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lk(mu_);
+  snap.counters.reserve(counters_.size() + counter_fns_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->Value());
+  }
+  for (const auto& [name, fn] : counter_fns_) {
+    snap.counters.emplace_back(name, fn());
+  }
+  std::sort(snap.counters.begin(), snap.counters.end());
+  snap.gauges.reserve(gauges_.size() + gauge_fns_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->Value());
+  }
+  for (const auto& [name, fn] : gauge_fns_) {
+    snap.gauges.emplace_back(name, fn());
+  }
+  std::sort(snap.gauges.begin(), snap.gauges.end());
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.emplace_back(name, h->Snapshot());
+  }
+  return snap;
+}
+
+}  // namespace obs
+}  // namespace weaver

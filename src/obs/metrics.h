@@ -1,0 +1,178 @@
+// Observability metrics (docs/observability.md): named counters, gauges,
+// and mergeable log-bucket latency histograms, registered per process in a
+// MetricsRegistry and exported as MetricsSnapshot values that merge
+// associatively -- the property that lets a parent deployment fold the
+// snapshots shipped by remote shard-server processes (MetricsReport,
+// core/messages.h) into one cluster-wide view.
+//
+// Hot-path cost model: Counter::Add is one relaxed fetch_add on a
+// per-thread cache-line-owned stripe (no sharing between steady-state
+// writer threads); LatencyHistogram::Record is one relaxed fetch_add on a
+// log bucket (same geometry as common/histogram.h) plus count/sum/min/max
+// updates. Neither takes a lock. Registration and Snapshot() take the
+// registry mutex and are meant for setup and scrape time only.
+//
+// Naming scheme: "<instance>.<metric>", where the instance prefix ends
+// with a dot owned by one component ("shard0.", "gk1.", "bus.", "oracle.",
+// "storage.", "coord.", "client."). Components deregister everything they
+// contributed with DropPrefix("<instance>.") when they die, which is what
+// makes shard recovery (KillShard/RecoverShard) re-registration safe.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace weaver {
+namespace obs {
+
+/// Monotonic counter, striped across cache lines so concurrent writer
+/// threads do not contend. Value() sums the stripes (racy-exact: each
+/// stripe read is atomic; the sum is a moment-in-time lower bound while
+/// writers run, exact once they stop).
+class Counter {
+ public:
+  void Add(std::uint64_t delta = 1) {
+    stripes_[StripeIndex()].v.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t Value() const {
+    std::uint64_t total = 0;
+    for (const Stripe& s : stripes_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  static constexpr std::size_t kStripes = 16;
+  struct alignas(64) Stripe {
+    std::atomic<std::uint64_t> v{0};
+  };
+  /// Each thread picks a stripe once (round-robin over first touches) and
+  /// keeps it for life, so steady-state increments never share a line.
+  static std::size_t StripeIndex();
+
+  Stripe stripes_[kStripes];
+};
+
+/// Point-in-time signed value (queue depths, backoff levels, live-object
+/// counts).
+class Gauge {
+ public:
+  void Set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(std::int64_t delta) {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Sparse, plain-data image of a latency histogram: (bucket index, count)
+/// pairs sorted by index, in the bucket geometry of common/histogram.h.
+/// This is the unit of merging and of wire transfer (MetricsReport).
+struct HistogramSnapshot {
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> buckets;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  // 0 when count == 0
+  std::uint64_t max = 0;
+
+  /// Associative, commutative fold: (a + b) + c == a + (b + c).
+  void Merge(const HistogramSnapshot& other);
+
+  double Mean() const;
+  /// p in [0, 100]; upper bound of the bucket holding the p-th percentile.
+  std::uint64_t Percentile(double p) const;
+  /// One-line count/mean/p50/p95/p99/max summary in milliseconds.
+  std::string Summary() const;
+};
+
+/// Thread-safe log-bucket latency histogram (same buckets as
+/// common/histogram.h, but every cell is a relaxed atomic so hot paths
+/// record without locks).
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void Record(std::uint64_t value_ns);
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~0ULL};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// One process's metrics at a moment in time: sorted name -> value lists.
+/// Plain data -- encodable (core/message_codec.h), mergeable, printable.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  /// Associative fold: counters add, gauges add (cluster-wide depth is the
+  /// sum of per-process depths), histograms merge bucket-wise. Names
+  /// appearing on only one side are kept as-is.
+  void Merge(const MetricsSnapshot& other);
+
+  /// Lookups by exact name; 0 / nullptr when absent.
+  std::uint64_t CounterValue(const std::string& name) const;
+  std::int64_t GaugeValue(const std::string& name) const;
+  const HistogramSnapshot* FindHistogram(const std::string& name) const;
+
+  /// "name value" per line (histograms as one-line summaries).
+  std::string ToText() const;
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,mean_ms,
+  /// p50_ms,p95_ms,p99_ms,max_ms}}} -- stable key order (sorted names).
+  std::string ToJson() const;
+};
+
+/// Per-process instrument registry. Owned instruments (counter / gauge /
+/// histogram) are created on first use and live until DropPrefix;
+/// returned pointers are stable for the instrument's lifetime, so hot
+/// paths look a name up once and keep the pointer. Callback instruments
+/// (AddCounterFn / AddGaugeFn) read component-owned state at snapshot
+/// time -- the component must DropPrefix its names before that state
+/// dies, and the callbacks must not call back into this registry
+/// (Snapshot holds the registry lock while invoking them).
+class MetricsRegistry {
+ public:
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  LatencyHistogram* histogram(const std::string& name);
+
+  void AddCounterFn(const std::string& name,
+                    std::function<std::uint64_t()> fn);
+  void AddGaugeFn(const std::string& name, std::function<std::int64_t()> fn);
+
+  /// Removes every instrument (owned and callback) whose name starts with
+  /// `prefix`. Callers must have dropped any pointers obtained from the
+  /// owned-instrument accessors for those names.
+  void DropPrefix(const std::string& prefix);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  // std::map: sorted iteration gives snapshots their stable name order.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+  std::map<std::string, std::function<std::uint64_t()>> counter_fns_;
+  std::map<std::string, std::function<std::int64_t()>> gauge_fns_;
+};
+
+}  // namespace obs
+}  // namespace weaver

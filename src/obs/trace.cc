@@ -1,0 +1,56 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace weaver {
+namespace obs {
+
+void TraceLog::Append(const TraceSpan& span) {
+  sampled_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(mu_);
+  if (ring_.size() >= capacity_ && capacity_ > 0) {
+    ring_.pop_front();
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (capacity_ > 0) ring_.push_back(span);
+}
+
+std::vector<TraceSpan> TraceLog::Dump() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return std::vector<TraceSpan>(ring_.begin(), ring_.end());
+}
+
+std::string TraceLog::DumpText() const {
+  std::string out;
+  char buf[192];
+  for (const TraceSpan& s : Dump()) {
+    const double order_us =
+        s.ordered_ns >= s.begin_ns && s.ordered_ns != 0
+            ? (s.ordered_ns - s.begin_ns) / 1e3
+            : 0.0;
+    const std::uint64_t applied_base =
+        s.ordered_ns != 0 ? s.ordered_ns : s.begin_ns;
+    const double apply_us = s.applied_ns >= applied_base && s.applied_ns != 0
+                                ? (s.applied_ns - applied_base) / 1e3
+                                : 0.0;
+    const std::uint64_t replied_base =
+        s.applied_ns != 0 ? s.applied_ns : s.begin_ns;
+    const double reply_us = s.replied_ns >= replied_base && s.replied_ns != 0
+                                ? (s.replied_ns - replied_base) / 1e3
+                                : 0.0;
+    const double total_us = s.replied_ns >= s.begin_ns && s.replied_ns != 0
+                                ? (s.replied_ns - s.begin_ns) / 1e3
+                                : 0.0;
+    std::snprintf(buf, sizeof(buf),
+                  "%s id=%" PRIu64
+                  " order=%.1fus apply=%.1fus reply=%.1fus total=%.1fus\n",
+                  s.kind == TraceSpan::Kind::kCommit ? "commit" : "program",
+                  s.id, order_us, apply_us, reply_us, total_us);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace weaver

@@ -1,0 +1,81 @@
+// Lightweight request tracing (docs/observability.md#tracing): a sampled
+// ring buffer of per-commit / per-program spans recording the lifecycle
+// timestamps the tail-latency questions need --
+//
+//   begin    request entered the gatekeeper / coordinator
+//   ordered  a refinable timestamp was issued (commits only)
+//   applied  the state change landed / the program quiesced
+//   replied  the reply left for the client
+//
+// Sampling is a stride: SetSampleEvery(n) keeps every n-th request (0
+// disables tracing entirely, the default -- ShouldSample is then one
+// relaxed load on the hot path). The buffer is a bounded ring; old spans
+// are dropped, counted, and Dump() returns what survived.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace weaver {
+namespace obs {
+
+struct TraceSpan {
+  enum class Kind : std::uint8_t { kCommit = 1, kProgram = 2 };
+  Kind kind = Kind::kCommit;
+  std::uint64_t id = 0;  // transaction / program id
+  std::uint64_t begin_ns = 0;
+  std::uint64_t ordered_ns = 0;  // 0 when the stage does not apply
+  std::uint64_t applied_ns = 0;
+  std::uint64_t replied_ns = 0;
+};
+
+class TraceLog {
+ public:
+  explicit TraceLog(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  /// Keep every n-th request; 0 turns tracing off.
+  void SetSampleEvery(std::uint64_t n) {
+    sample_every_.store(n, std::memory_order_relaxed);
+  }
+  std::uint64_t sample_every() const {
+    return sample_every_.load(std::memory_order_relaxed);
+  }
+
+  /// Decides (and consumes) one sampling slot: with SetSampleEvery(n),
+  /// exactly every n-th call returns true (the 1st, n+1-th, ...).
+  bool ShouldSample() {
+    const std::uint64_t n = sample_every_.load(std::memory_order_relaxed);
+    if (n == 0) return false;
+    return seen_.fetch_add(1, std::memory_order_relaxed) % n == 0;
+  }
+
+  void Append(const TraceSpan& span);
+
+  std::vector<TraceSpan> Dump() const;
+  /// One line per span: kind, id, and per-stage deltas in microseconds.
+  std::string DumpText() const;
+
+  std::uint64_t sampled() const {
+    return sampled_.load(std::memory_order_relaxed);
+  }
+  /// Spans evicted from the ring by newer ones.
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const std::size_t capacity_;
+  std::atomic<std::uint64_t> sample_every_{0};
+  std::atomic<std::uint64_t> seen_{0};
+  std::atomic<std::uint64_t> sampled_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  mutable std::mutex mu_;
+  std::deque<TraceSpan> ring_;
+};
+
+}  // namespace obs
+}  // namespace weaver

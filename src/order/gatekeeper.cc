@@ -22,6 +22,12 @@ Status ParseTimestamp(std::string_view blob, RefinableTimestamp* ts) {
   return RefinableTimestamp::Deserialize(&r, ts);
 }
 
+/// The commit span being filled by the current ingress worker, if its
+/// request was sampled. CommitTransaction runs synchronously on the
+/// dispatching worker's thread, so a thread-local hands the span down
+/// without threading a parameter through the executor interface.
+thread_local obs::TraceSpan* t_active_commit_span = nullptr;
+
 }  // namespace
 
 Gatekeeper::Gatekeeper(Options options)
@@ -47,11 +53,59 @@ Gatekeeper::Gatekeeper(Options options)
   client_endpoint_ = options_.bus->RegisterHandler(
       "gk" + std::to_string(options_.id) + ".client",
       [this](const BusMessage& msg) { EnqueueClientRequest(msg); });
+  ExportMetrics();
 }
 
 Gatekeeper::~Gatekeeper() {
   StopClientIngress();
   StopTimers();
+  if (options_.metrics != nullptr) {
+    commit_latency_ = nullptr;
+    options_.metrics->DropPrefix("gk" + std::to_string(options_.id) + ".");
+  }
+}
+
+void Gatekeeper::ExportMetrics() {
+  if (options_.metrics == nullptr) return;
+  obs::MetricsRegistry* reg = options_.metrics;
+  const std::string prefix = "gk" + std::to_string(options_.id) + ".";
+  // Callback instruments read stats_ atomics; the destructor drops the
+  // prefix before stats_ dies.
+  const auto counter = [&](const char* name,
+                           const std::atomic<std::uint64_t>& v) {
+    reg->AddCounterFn(prefix + name, [&v] {
+      return v.load(std::memory_order_relaxed);
+    });
+  };
+  counter("txs_committed", stats_.txs_committed);
+  counter("txs_aborted_kv", stats_.txs_aborted_kv);
+  counter("txs_aborted_last_update", stats_.txs_aborted_last_update);
+  counter("announces_sent", stats_.announces_sent);
+  counter("announces_received", stats_.announces_received);
+  counter("nops_sent", stats_.nops_sent);
+  counter("nops_skipped", stats_.nops_skipped);
+  counter("programs_issued", stats_.programs_issued);
+  counter("client_commits", stats_.client_commits);
+  counter("client_programs", stats_.client_programs);
+  counter("client_program_msgs", stats_.client_program_msgs);
+  counter("client_batches", stats_.client_batches);
+  counter("client_rejected", stats_.client_rejected);
+  counter("busy_ns", stats_.busy_ns);
+  reg->AddGaugeFn(prefix + "nop_backoff", [this] {
+    return static_cast<std::int64_t>(
+        nop_backoff_.load(std::memory_order_relaxed));
+  });
+  reg->AddGaugeFn(prefix + "inflight_programs", [this] {
+    std::lock_guard<std::mutex> lk(ingress_mu_);
+    return static_cast<std::int64_t>(inflight_programs_);
+  });
+  reg->AddGaugeFn(prefix + "lane_depth", [this] {
+    std::lock_guard<std::mutex> lk(ingress_mu_);
+    std::size_t depth = program_queue_.size();
+    for (const auto& [sid, lane] : lanes_) depth += lane.q.size();
+    return static_cast<std::int64_t>(depth);
+  });
+  commit_latency_ = reg->histogram(prefix + "commit_latency");
 }
 
 void Gatekeeper::SendCommitReply(EndpointId reply_to,
@@ -287,12 +341,31 @@ void Gatekeeper::DispatchCommitRequest(const BusMessage& msg,
   stats_.client_commits.fetch_add(1, std::memory_order_relaxed);
   const bool pay_delay = *batch_delay_due && !req->delay_paid;
   if (pay_delay) *batch_delay_due = false;
+
+  obs::TraceSpan span;
+  const bool sampled =
+      options_.trace != nullptr && options_.trace->ShouldSample();
+  if (sampled) {
+    span.kind = obs::TraceSpan::Kind::kCommit;
+    span.id = req->request_id;
+    span.begin_ns = NowNanos();
+    t_active_commit_span = &span;
+  }
+  const std::uint64_t start = NowNanos();
   if (client_executor_.commit) {
     // The executor replies through SendCommitReply.
     client_executor_.commit(*this, *req, pay_delay);
   } else {
     SendCommitReply(req->reply_to, req->session_id, req->request_id,
                     Status::Internal("no client executor installed"), {});
+  }
+  if (commit_latency_ != nullptr) {
+    commit_latency_->Record(NowNanos() - start);
+  }
+  if (sampled) {
+    t_active_commit_span = nullptr;
+    span.replied_ns = NowNanos();
+    options_.trace->Append(span);
   }
 }
 
@@ -369,6 +442,14 @@ void Gatekeeper::UpdateNopBackoff() {
   // slowdown then outruns the drain and the deployment livelocks
   // (docs/client_api.md#backpressure).
   if (options_.nop_high_water == 0) return;
+  // Staleness contract: for in-process shards QueueDepth is live; for a
+  // shard in another process it is the depth from that process's last
+  // MetricsReport (MessageBus::NoteRemoteDepth), refreshed by the
+  // deployment's metrics poll -- so remote backpressure reacts at poll
+  // granularity, and reads 0 before the first report arrives. Both lags
+  // are safe here: the worst case is NOPs staying at full rate a little
+  // longer (or backing off a little longer) than a live depth would
+  // dictate, and the halving path re-probes every round.
   std::size_t max_depth = 0;
   for (EndpointId shard_ep : options_.shard_endpoints) {
     max_depth = std::max(max_depth, options_.bus->QueueDepth(shard_ep));
@@ -475,6 +556,11 @@ Status Gatekeeper::CommitTransaction(
     std::uint64_t slot = 0;
     const RefinableTimestamp ts = IssueTimestamp(true, &slot);
     *committed_ts = ts;
+    if (t_active_commit_span != nullptr) {
+      // A retry overwrites the stamp: the span records the ordering that
+      // actually committed.
+      t_active_commit_span->ordered_ns = NowNanos();
+    }
 
     // Any early return must still release the outbound slot (with no
     // sends), or the sequencer would stall every later transaction.
@@ -582,6 +668,9 @@ Status Gatekeeper::CommitTransaction(
       stats_.txs_aborted_kv.fetch_add(1, std::memory_order_relaxed);
       release_empty();
       return commit_st;
+    }
+    if (t_active_commit_span != nullptr) {
+      t_active_commit_span->applied_ns = NowNanos();
     }
 
     // Committed on the backing store: forward per-shard slices. Every

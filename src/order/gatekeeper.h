@@ -40,6 +40,8 @@
 #include "core/messages.h"
 #include "kvstore/kvstore.h"
 #include "net/bus.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "order/timestamp.h"
 #include "vclock/vclock.h"
 
@@ -98,6 +100,14 @@ class Gatekeeper {
     /// without bound -- a dropped announce is superseded by the next one.
     /// 0 = unbounded (the historical behavior).
     std::size_t announce_capacity = 0;
+    /// Optional metrics registry. When set, the gatekeeper exports its
+    /// Stats fields, a commit-latency histogram, and backpressure gauges
+    /// under "gk<id>." names; the registry must outlive the gatekeeper
+    /// (the destructor drops the names).
+    obs::MetricsRegistry* metrics = nullptr;
+    /// Optional request-trace log. When set (and sampling is on), commit
+    /// executions record begin/ordered/applied/replied spans.
+    obs::TraceLog* trace = nullptr;
   };
 
   /// Upper bound on the adaptive NOP period multiplier.
@@ -301,6 +311,10 @@ class Gatekeeper {
   void UpdateNopBackoff();
   void SendNop(const RefinableTimestamp& ts);
 
+  /// Registers this gatekeeper's instruments ("gk<id>." names) with
+  /// options_.metrics. Constructor-only.
+  void ExportMetrics();
+
   Options options_;
   EndpointId endpoint_ = 0;
   EndpointId client_endpoint_ = 0;
@@ -335,6 +349,11 @@ class Gatekeeper {
   /// shard inbox is over high water). Read by NopLoop, written after each
   /// round; atomic so tests/stats readers can peek.
   std::atomic<std::uint64_t> nop_backoff_{1};
+
+  /// End-to-end commit execution latency (DispatchCommitRequest through
+  /// the executor's reply). Owned by options_.metrics; null when metrics
+  /// are off.
+  obs::LatencyHistogram* commit_latency_ = nullptr;
 
   std::thread announce_thread_;
   std::thread nop_thread_;

@@ -28,9 +28,88 @@ Shard::Shard(Options options)
     endpoint_ = options_.bus->RegisterInbox(
         "shard" + std::to_string(options_.id), inbox_);
   }
+  ExportMetrics();
 }
 
-Shard::~Shard() { Stop(); }
+Shard::~Shard() {
+  Stop();
+  // The loop thread is joined; the exported callbacks reading this
+  // object must go before it does. (Shard recovery destroys + re-creates
+  // a Shard with the same id, so the names re-register cleanly.)
+  if (options_.metrics != nullptr) {
+    options_.metrics->DropPrefix("shard" + std::to_string(options_.id) + ".");
+  }
+}
+
+void Shard::ExportMetrics() {
+  obs::MetricsRegistry* m = options_.metrics;
+  if (m == nullptr) return;
+  const std::string p = "shard" + std::to_string(options_.id) + ".";
+  const auto counter = [&](const char* name,
+                           const std::atomic<std::uint64_t>& v) {
+    m->AddCounterFn(p + name, [&v] {
+      return v.load(std::memory_order_relaxed);
+    });
+  };
+  counter("txs_applied", stats_.txs_applied);
+  counter("nops_processed", stats_.nops_processed);
+  counter("op_apply_errors", stats_.op_apply_errors);
+  counter("waves_executed", stats_.waves_executed);
+  counter("wave_delays", stats_.wave_delays);
+  counter("vertices_executed", stats_.vertices_executed);
+  counter("hops_consumed", stats_.hops_consumed);
+  counter("hops_forwarded", stats_.hops_forwarded);
+  counter("hop_batches_sent", stats_.hop_batches_sent);
+  counter("hops_coalesced", stats_.hops_coalesced);
+  counter("hops_pruned", stats_.hops_pruned);
+  counter("contexts_installed", stats_.contexts_installed);
+  counter("gc_rounds", stats_.gc_rounds);
+  counter("seq_violations", stats_.seq_violations);
+  counter("busy_ns", stats_.busy_ns);
+  counter("op_work_ns", stats_.op_work_ns);
+  m->AddGaugeFn(p + "inbox_depth", [this] {
+    return static_cast<std::int64_t>(options_.bus->QueueDepth(endpoint_));
+  });
+  m->AddGaugeFn(p + "queued_txs", [this] {
+    return static_cast<std::int64_t>(
+        queued_txs_.load(std::memory_order_relaxed));
+  });
+  m->AddGaugeFn(p + "queue_high_water", [this] {
+    return static_cast<std::int64_t>(
+        queue_high_water_mark_.load(std::memory_order_relaxed));
+  });
+  m->AddGaugeFn(p + "live_contexts", [this] {
+    return static_cast<std::int64_t>(
+        live_contexts_.load(std::memory_order_relaxed));
+  });
+  m->AddGaugeFn(p + "live_state_tables", [this] {
+    return static_cast<std::int64_t>(
+        live_state_tables_.load(std::memory_order_relaxed));
+  });
+}
+
+void Shard::NoteQueueDepth() {
+  const std::size_t depth = QueuedTransactions();
+  queued_txs_.store(depth, std::memory_order_relaxed);
+  std::size_t seen = queue_high_water_mark_.load(std::memory_order_relaxed);
+  while (depth > seen && !queue_high_water_mark_.compare_exchange_weak(
+                             seen, depth, std::memory_order_relaxed)) {
+  }
+}
+
+void Shard::OnMetricsRequest(const MetricsRequestMessage& req) {
+  auto report = std::make_shared<MetricsReportMessage>();
+  report->request_id = req.request_id;
+  report->shard = options_.id;
+  report->inbox_depth = inbox_->Size();
+  if (options_.metrics != nullptr) {
+    report->snapshot = options_.metrics->Snapshot();
+  }
+  // never_block: a scrape reply must not wedge the event loop behind a
+  // congested reply path.
+  (void)options_.bus->Send(endpoint_, req.reply_to, kMsgMetricsReport,
+                           std::move(report), /*never_block=*/true);
+}
 
 void Shard::Start() {
   bool expected = false;
@@ -74,6 +153,7 @@ void Shard::Loop() {
       if (!more) break;
       Route(*more);
     }
+    NoteQueueDepth();
     ProcessReady();
     stats_.busy_ns.fetch_add(NowNanos() - t0, std::memory_order_relaxed);
   }
@@ -83,6 +163,7 @@ void Shard::ProcessUntilIdle() {
   const std::uint64_t t0 = NowNanos();
   do {
     while (auto msg = inbox_->TryPop()) Route(*msg);
+    NoteQueueDepth();
     ProcessReady();
   } while (HasRunnableProgramWork());
   stats_.busy_ns.fetch_add(NowNanos() - t0, std::memory_order_relaxed);
@@ -135,6 +216,11 @@ void Shard::Route(const BusMessage& msg) {
     case kMsgGc: {
       auto gc = std::static_pointer_cast<GcMessage>(msg.payload);
       RunGc(gc->watermark);
+      break;
+    }
+    case kMsgMetricsRequest: {
+      auto req = std::static_pointer_cast<MetricsRequestMessage>(msg.payload);
+      OnMetricsRequest(*req);
       break;
     }
     case kMsgStop:

@@ -43,6 +43,7 @@
 #include "core/node_program.h"
 #include "graph/graph_store.h"
 #include "net/bus.h"
+#include "obs/metrics.h"
 #include "order/resolver.h"
 
 namespace weaver {
@@ -78,6 +79,11 @@ class Shard {
     /// WeaverOptions::shard_max_hops_per_cycle (the deployment always
     /// overwrites this; keep the two in sync).
     std::size_t max_hops_per_cycle = 2048;
+    /// When set, the shard exports its counters and queue gauges under
+    /// "shard<id>." names and answers kMsgMetricsRequest with a registry
+    /// snapshot (docs/observability.md). The registry must outlive the
+    /// shard; the shard drops its names in its destructor.
+    obs::MetricsRegistry* metrics = nullptr;
   };
   static constexpr EndpointId kNoEndpoint = ~0u;
 
@@ -207,6 +213,13 @@ class Shard {
 
   void Loop();
   void Route(const BusMessage& msg);
+  /// Registers this shard's instruments under "shard<id>." (ctor).
+  void ExportMetrics();
+  /// Replies to a metrics scrape with this process's registry snapshot.
+  void OnMetricsRequest(const MetricsRequestMessage& req);
+  /// Refreshes the queued-transaction gauge + high-water mark (loop
+  /// thread; the gauges are atomics so scrapers read them safely).
+  void NoteQueueDepth();
   /// Runs eligible transactions and program hops; returns when blocked
   /// on input.
   void ProcessReady();
@@ -270,6 +283,11 @@ class Shard {
   /// private).
   std::atomic<std::size_t> live_contexts_{0};
   std::atomic<std::size_t> live_state_tables_{0};
+
+  /// Queued-transaction gauge + high-water mark, refreshed by the loop
+  /// thread (gk_queues_ itself is loop-thread private).
+  std::atomic<std::size_t> queued_txs_{0};
+  std::atomic<std::size_t> queue_high_water_mark_{0};
 
   Stats stats_;
 };

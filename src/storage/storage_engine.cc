@@ -8,6 +8,7 @@
 #include <cstring>
 #include <filesystem>
 
+#include "common/clock.h"
 #include "common/serde.h"
 
 namespace weaver {
@@ -55,10 +56,38 @@ StorageEngine::StorageEngine(StorageOptions options)
     : options_(std::move(options)) {}
 
 StorageEngine::~StorageEngine() {
+  if (metrics_ != nullptr) {
+    if (wal_) wal_->SetFsyncHistogram(nullptr);
+    checkpoint_duration_ = nullptr;
+    metrics_->DropPrefix("storage.");
+  }
   if (lock_fd_ >= 0) {
     ::flock(lock_fd_, LOCK_UN);
     ::close(lock_fd_);
   }
+}
+
+void StorageEngine::SetMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr || metrics_ != nullptr) return;
+  metrics_ = registry;
+  const Wal::Stats& ws = wal_->stats();
+  const auto counter = [&](const char* name,
+                           const std::atomic<std::uint64_t>& v) {
+    registry->AddCounterFn(std::string("storage.") + name, [&v] {
+      return v.load(std::memory_order_relaxed);
+    });
+  };
+  counter("wal_appends", ws.appends);
+  counter("wal_syncs", ws.syncs);
+  counter("wal_bytes_appended", ws.bytes_appended);
+  counter("wal_rotations", ws.rotations);
+  counter("checkpoints_taken", checkpoints_taken_);
+  registry->AddGaugeFn("storage.wal_bytes_since_checkpoint", [this] {
+    return static_cast<std::int64_t>(
+        wal_bytes_since_checkpoint_.load(std::memory_order_relaxed));
+  });
+  wal_->SetFsyncHistogram(registry->histogram("storage.fsync_latency"));
+  checkpoint_duration_ = registry->histogram("storage.checkpoint_duration");
 }
 
 Result<std::unique_ptr<StorageEngine>> StorageEngine::Open(
@@ -153,6 +182,7 @@ std::uint64_t StorageEngine::PrepareCheckpoint() { return wal_->Rotate(); }
 Status StorageEngine::CommitCheckpoint(
     std::vector<std::pair<std::string, std::string>> rows,
     std::uint64_t wal_start) {
+  const std::uint64_t start_ns = NowNanos();
   std::lock_guard<std::mutex> lk(manifest_mu_);
   const std::uint64_t id = manifest_.checkpoint_id + 1;
   WEAVER_RETURN_IF_ERROR(
@@ -169,6 +199,9 @@ Status StorageEngine::CommitCheckpoint(
   // Best-effort GC; stale files are harmless and re-collected next time.
   (void)wal_->DeleteSegmentsBefore(wal_start);
   DeleteCheckpointsExcept(options_.data_dir, id);
+  if (checkpoint_duration_ != nullptr) {
+    checkpoint_duration_->Record(NowNanos() - start_ns);
+  }
   return Status::Ok();
 }
 

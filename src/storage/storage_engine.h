@@ -21,6 +21,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/checkpoint.h"
 #include "storage/storage_options.h"
 #include "storage/wal.h"
@@ -99,6 +100,11 @@ class StorageEngine {
   const Wal::Stats& wal_stats() const { return wal_->stats(); }
   const StorageOptions& options() const { return options_; }
 
+  /// Exports WAL / checkpoint instruments under "storage." names and
+  /// installs the fsync-latency histogram on the WAL. The registry must
+  /// outlive this engine (the destructor drops the names).
+  void SetMetrics(obs::MetricsRegistry* registry);
+
  private:
   explicit StorageEngine(StorageOptions options);
 
@@ -109,6 +115,10 @@ class StorageEngine {
   mutable std::mutex manifest_mu_;
   std::atomic<std::uint64_t> wal_bytes_since_checkpoint_{0};
   std::atomic<std::uint64_t> checkpoints_taken_{0};
+  obs::MetricsRegistry* metrics_ = nullptr;
+  /// End-to-end CommitCheckpoint duration (snapshot write + manifest
+  /// commit + GC). Owned by metrics_; null when metrics are off.
+  obs::LatencyHistogram* checkpoint_duration_ = nullptr;
 };
 
 }  // namespace storage

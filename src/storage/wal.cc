@@ -11,6 +11,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "common/clock.h"
 #include "common/serde.h"
 #include "storage/crc32.h"
 #include "storage/io_util.h"
@@ -163,7 +164,11 @@ Status Wal::Append(std::string_view payload) {
       const std::uint64_t target = appended_offset_;
       const int fd = fd_;
       lk.unlock();
+      const std::uint64_t sync_start = NowNanos();
       ::fdatasync(fd);
+      if (auto* hist = fsync_hist_.load(std::memory_order_acquire)) {
+        hist->Record(NowNanos() - sync_start);
+      }
       lk.lock();
       durable_offset_ = std::max(durable_offset_, target);
       sync_in_progress_ = false;

@@ -32,6 +32,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/storage_options.h"
 
 namespace weaver {
@@ -81,6 +82,13 @@ class Wal {
   std::uint64_t active_segment() const { return active_segment_; }
   const Stats& stats() const { return stats_; }
 
+  /// Installs a histogram that receives the duration of every group-commit
+  /// fdatasync ("storage.fsync_latency"). The histogram must outlive this
+  /// log (StorageEngine::SetMetrics owns the wiring).
+  void SetFsyncHistogram(obs::LatencyHistogram* h) {
+    fsync_hist_.store(h, std::memory_order_release);
+  }
+
   /// Replays every frame of every segment with id >= `from_segment`, in
   /// segment order, invoking `apply` on each payload. Stops a segment at
   /// its first invalid frame (torn tail) and moves on; a failing `apply`
@@ -125,6 +133,7 @@ class Wal {
   bool needs_rotate_ = false;
 
   Stats stats_;
+  std::atomic<obs::LatencyHistogram*> fsync_hist_{nullptr};
 };
 
 }  // namespace storage

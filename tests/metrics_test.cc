@@ -1,0 +1,286 @@
+// Observability subsystem tests (docs/observability.md): concurrent
+// counter/histogram updates (TSan-covered), snapshot-merge associativity,
+// byte-identical MetricsReport codec re-encode, trace sampling bounds,
+// DropPrefix lifecycle, and the remote-inbox-depth staleness plumbing.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/message_codec.h"
+#include "core/messages.h"
+#include "net/bus.h"
+#include "net/transport.h"
+#include "net/wire.h"
+#include "obs/trace.h"
+
+namespace weaver {
+namespace {
+
+void ExpectSnapshotEq(const obs::MetricsSnapshot& a,
+                      const obs::MetricsSnapshot& b) {
+  EXPECT_EQ(a.counters, b.counters);
+  EXPECT_EQ(a.gauges, b.gauges);
+  ASSERT_EQ(a.histograms.size(), b.histograms.size());
+  for (std::size_t i = 0; i < a.histograms.size(); ++i) {
+    EXPECT_EQ(a.histograms[i].first, b.histograms[i].first);
+    const obs::HistogramSnapshot& ha = a.histograms[i].second;
+    const obs::HistogramSnapshot& hb = b.histograms[i].second;
+    EXPECT_EQ(ha.buckets, hb.buckets);
+    EXPECT_EQ(ha.count, hb.count);
+    EXPECT_EQ(ha.sum, hb.sum);
+    EXPECT_EQ(ha.min, hb.min);
+    EXPECT_EQ(ha.max, hb.max);
+  }
+}
+
+TEST(Metrics, CounterConcurrentAdds) {
+  obs::MetricsRegistry reg;
+  obs::Counter* c = reg.counter("t.adds");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c->Add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->Value(), kThreads * kPerThread);
+  EXPECT_EQ(reg.Snapshot().CounterValue("t.adds"), kThreads * kPerThread);
+}
+
+TEST(Metrics, HistogramConcurrentRecords) {
+  obs::MetricsRegistry reg;
+  obs::LatencyHistogram* h = reg.histogram("t.lat");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([h, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        h->Record(1000 * (t + 1) + i % 100);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const obs::HistogramSnapshot snap = h->Snapshot();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  EXPECT_EQ(snap.min, 1000u);
+  EXPECT_GE(snap.max, 8000u);
+  EXPECT_GT(snap.Percentile(50), 0u);
+  EXPECT_GE(snap.Percentile(99), snap.Percentile(50));
+}
+
+TEST(Metrics, SnapshotMergeIsAssociativeAndCommutative) {
+  // Three snapshots with overlapping and disjoint names, built through
+  // real registries so the sorted-name invariant holds.
+  obs::MetricsRegistry ra, rb, rc;
+  ra.counter("c.shared")->Add(1);
+  ra.counter("c.a_only")->Add(10);
+  ra.gauge("g.shared")->Set(5);
+  ra.histogram("h.shared")->Record(1000);
+  ra.histogram("h.shared")->Record(2000);
+
+  rb.counter("c.shared")->Add(2);
+  rb.counter("c.b_only")->Add(20);
+  rb.gauge("g.shared")->Set(-3);
+  rb.gauge("g.b_only")->Set(7);
+  rb.histogram("h.shared")->Record(1000000);
+  rb.histogram("h.b_only")->Record(5);
+
+  rc.counter("c.shared")->Add(3);
+  rc.histogram("h.shared")->Record(1000000000);
+
+  const obs::MetricsSnapshot a = ra.Snapshot();
+  const obs::MetricsSnapshot b = rb.Snapshot();
+  const obs::MetricsSnapshot c = rc.Snapshot();
+
+  obs::MetricsSnapshot left = a;  // (a + b) + c
+  left.Merge(b);
+  left.Merge(c);
+  obs::MetricsSnapshot bc = b;  // a + (b + c)
+  bc.Merge(c);
+  obs::MetricsSnapshot right = a;
+  right.Merge(bc);
+  ExpectSnapshotEq(left, right);
+
+  obs::MetricsSnapshot ab = a;  // commutative too
+  ab.Merge(b);
+  obs::MetricsSnapshot ba = b;
+  ba.Merge(a);
+  ExpectSnapshotEq(ab, ba);
+
+  EXPECT_EQ(left.CounterValue("c.shared"), 6u);
+  EXPECT_EQ(left.CounterValue("c.a_only"), 10u);
+  EXPECT_EQ(left.CounterValue("c.b_only"), 20u);
+  EXPECT_EQ(left.GaugeValue("g.shared"), 2);  // cluster depth = sum
+  const obs::HistogramSnapshot* h = left.FindHistogram("h.shared");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 4u);  // 2 from a, 1 from b, 1 from c
+  EXPECT_EQ(h->min, 1000u);
+  EXPECT_EQ(h->max, 1000000000u);
+}
+
+TEST(Metrics, MetricsReportCodecReencodesByteIdentical) {
+  obs::MetricsRegistry reg;
+  reg.counter("shard1.txs_applied")->Add(17);
+  reg.counter("bus.messages_sent")->Add(12345678);
+  reg.gauge("shard1.queued_txs")->Set(-4);
+  reg.histogram("storage.fsync_latency")->Record(250000);
+  reg.histogram("storage.fsync_latency")->Record(1750000);
+
+  MetricsReportMessage m;
+  m.request_id = 77;
+  m.shard = 1;
+  m.inbox_depth = 42;
+  m.snapshot = reg.Snapshot();
+
+  wire::Writer w1;
+  Encode(m, &w1);
+  const std::string bytes = w1.Take();
+
+  MetricsReportMessage decoded;
+  wire::Reader r(bytes);
+  ASSERT_TRUE(Decode(&r, &decoded).ok());
+  EXPECT_TRUE(r.AtEnd()) << "decoder left trailing bytes";
+  EXPECT_EQ(decoded.request_id, 77u);
+  EXPECT_EQ(decoded.shard, 1u);
+  EXPECT_EQ(decoded.inbox_depth, 42u);
+  ExpectSnapshotEq(decoded.snapshot, m.snapshot);
+
+  wire::Writer w2;
+  Encode(decoded, &w2);
+  EXPECT_EQ(bytes, w2.str()) << "re-encode is not byte-identical";
+
+  // Truncation safety: every strict prefix decodes without crashing.
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    MetricsReportMessage victim;
+    wire::Reader rr(std::string_view(bytes.data(), cut));
+    (void)Decode(&rr, &victim);
+  }
+
+  // The type-erased payload layer covers both metrics tags.
+  auto enc = EncodePayload(kMsgMetricsReport,
+                           std::make_shared<MetricsReportMessage>(m));
+  ASSERT_TRUE(enc.ok());
+  EXPECT_TRUE(DecodePayload(kMsgMetricsReport, *enc).ok());
+
+  MetricsRequestMessage req;
+  req.request_id = 9;
+  req.reply_to = 13;
+  wire::Writer wr;
+  Encode(req, &wr);
+  MetricsRequestMessage req2;
+  wire::Reader rr(wr.str());
+  ASSERT_TRUE(Decode(&rr, &req2).ok());
+  EXPECT_EQ(req2.request_id, 9u);
+  EXPECT_EQ(req2.reply_to, 13u);
+  auto enc_req = EncodePayload(kMsgMetricsRequest,
+                               std::make_shared<MetricsRequestMessage>(req));
+  ASSERT_TRUE(enc_req.ok());
+  EXPECT_TRUE(DecodePayload(kMsgMetricsRequest, *enc_req).ok());
+}
+
+TEST(Metrics, TraceSamplingBounds) {
+  obs::TraceLog log;
+  // Off by default: no hot-path sampling.
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(log.ShouldSample());
+
+  log.SetSampleEvery(4);
+  int sampled = 0;
+  for (int i = 0; i < 100; ++i) sampled += log.ShouldSample() ? 1 : 0;
+  EXPECT_EQ(sampled, 25);  // exact stride, not probabilistic
+
+  log.SetSampleEvery(1);
+  sampled = 0;
+  for (int i = 0; i < 100; ++i) sampled += log.ShouldSample() ? 1 : 0;
+  EXPECT_EQ(sampled, 100);
+
+  log.SetSampleEvery(0);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(log.ShouldSample());
+}
+
+TEST(Metrics, TraceRingEvictsOldest) {
+  obs::TraceLog log(/*capacity=*/4);
+  for (std::uint64_t i = 1; i <= 6; ++i) {
+    obs::TraceSpan span;
+    span.kind = obs::TraceSpan::Kind::kProgram;
+    span.id = i;
+    span.begin_ns = i * 10;
+    log.Append(span);
+  }
+  const std::vector<obs::TraceSpan> spans = log.Dump();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans.front().id, 3u);  // 1 and 2 were evicted
+  EXPECT_EQ(spans.back().id, 6u);
+  EXPECT_EQ(log.sampled(), 6u);
+  EXPECT_EQ(log.dropped(), 2u);
+  EXPECT_FALSE(log.DumpText().empty());
+}
+
+TEST(Metrics, DropPrefixRemovesOnlyThatInstance) {
+  obs::MetricsRegistry reg;
+  reg.counter("gk0.txs_committed")->Add(3);
+  reg.histogram("gk0.commit_latency")->Record(500);
+  reg.AddCounterFn("gk0.nops_sent", [] { return 11u; });
+  reg.AddGaugeFn("gk0.nop_backoff", [] { return 2; });
+  reg.counter("gk1.txs_committed")->Add(9);
+
+  reg.DropPrefix("gk0.");
+  const obs::MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.CounterValue("gk0.txs_committed"), 0u);
+  EXPECT_EQ(snap.CounterValue("gk0.nops_sent"), 0u);
+  EXPECT_EQ(snap.GaugeValue("gk0.nop_backoff"), 0);
+  EXPECT_EQ(snap.FindHistogram("gk0.commit_latency"), nullptr);
+  EXPECT_EQ(snap.CounterValue("gk1.txs_committed"), 9u);
+
+  // Recovery re-registers the same names from scratch (KillShard /
+  // RecoverShard does exactly this).
+  reg.counter("gk0.txs_committed")->Add(1);
+  EXPECT_EQ(reg.Snapshot().CounterValue("gk0.txs_committed"), 1u);
+}
+
+TEST(Metrics, RemoteEndpointDepthComesFromReports) {
+  auto pair = SocketTransport::CreatePair();
+  ASSERT_TRUE(pair.ok());
+  std::shared_ptr<Transport> side = std::move(pair->first);
+
+  obs::MetricsRegistry reg;
+  MessageBus bus;
+  bus.SetMetrics(&reg);
+  bus.SetWireEncoder(EncodePayload);
+  const EndpointId remote = bus.RegisterRemote("peer0", side);
+  const EndpointId handler =
+      bus.RegisterHandler("local", [](const BusMessage&) {});
+
+  // Before any MetricsReport arrives the remote depth reads 0 (the
+  // documented cold-start of the staleness contract).
+  EXPECT_EQ(bus.QueueDepth(remote), 0u);
+  bus.NoteRemoteDepth(remote, 7);
+  EXPECT_EQ(bus.QueueDepth(remote), 7u);
+  bus.NoteRemoteDepth(remote, 3);  // freshest report wins
+  EXPECT_EQ(bus.QueueDepth(remote), 3u);
+  // No-op for non-remote endpoints.
+  bus.NoteRemoteDepth(handler, 99);
+  EXPECT_EQ(bus.QueueDepth(handler), 0u);
+
+  // The per-endpoint depth gauge reads through the same path.
+  EXPECT_EQ(reg.Snapshot().GaugeValue("bus.peer0.depth"), 3);
+}
+
+TEST(Metrics, SnapshotJsonCarriesPercentiles) {
+  obs::MetricsRegistry reg;
+  obs::LatencyHistogram* h = reg.histogram("client.commit_latency");
+  for (int i = 1; i <= 100; ++i) h->Record(i * 10000);
+  const std::string json = reg.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"client.commit_latency\""), std::string::npos);
+  EXPECT_NE(json.find("p99_ms"), std::string::npos);
+  EXPECT_NE(json.find("p50_ms"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace weaver

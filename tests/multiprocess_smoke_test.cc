@@ -140,6 +140,10 @@ TEST(MultiProcessSmoke, RemoteShardsMatchInProcessBus) {
   std::vector<NodeId> remote_nodes;
   {
     WeaverOptions o = DeploymentOptions();
+    // No background metrics poll: the only MetricsReports in this test
+    // are the ones CollectMetrics solicits, so the depth assertions
+    // below are deterministic.
+    o.metrics_poll_period_micros = 0;
     for (const auto& child : *children) {
       o.remote_shard_fds.push_back(child.parent_fd);
     }
@@ -151,6 +155,32 @@ TEST(MultiProcessSmoke, RemoteShardsMatchInProcessBus) {
         << "wire FIFO contract violated";
     EXPECT_GT(db->bus().stats().wire_frames_sent.load(), 0u)
         << "no traffic actually crossed the transport";
+
+    // Cluster-wide metrics: every remote shard PROCESS ships a registry
+    // snapshot plus its live inbox depth over the wire codec.
+    auto cluster = db->CollectMetrics();
+    ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+    ASSERT_EQ(cluster->remote.size(), kShards);
+    const serverd::EndpointLayout layout =
+        serverd::EndpointLayout::Compute(kShards, kGatekeepers);
+    for (std::size_t s = 0; s < kShards; ++s) {
+      const MetricsReportMessage& report = cluster->remote[s];
+      EXPECT_EQ(static_cast<std::size_t>(report.shard), s);
+      EXPECT_GT(report.snapshot.CounterValue(
+                    "shard" + std::to_string(s) + ".txs_applied"),
+                0u)
+          << "shard " << s << " reported no applied transactions";
+      // The same report feeds MessageBus::QueueDepth for the remote
+      // endpoint (with the poll disabled, no newer report can race in
+      // between the collection and this read).
+      EXPECT_EQ(db->bus().QueueDepth(layout.shards[s]), report.inbox_depth);
+    }
+    const obs::MetricsSnapshot merged = cluster->Merged();
+    EXPECT_GT(merged.CounterValue("coord.programs_completed"), 0u);
+    EXPECT_GT(merged.CounterValue("shard0.txs_applied") +
+                  merged.CounterValue("shard1.txs_applied"),
+              0u)
+        << "merged cluster view lost the remote shard counters";
     db->Shutdown();
   }
   // 3. Children exit cleanly once the parent tears the links down.
