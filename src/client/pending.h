@@ -16,6 +16,8 @@
 #include <optional>
 #include <utility>
 
+#include "common/status.h"
+
 namespace weaver {
 
 template <typename T>
@@ -64,13 +66,20 @@ class Pending {
     return *state_->value;
   }
 
-  /// Wait() with a deadline; false when the request is still in flight.
+  /// Wait() with a deadline. OK once the result is installed (read it with
+  /// Wait()/Take()); DeadlineExceeded when the request is still in flight
+  /// after `timeout` -- the bound a client needs to keep making progress
+  /// while a shard process is down. The request itself is NOT cancelled: a
+  /// late fulfillment still lands and a later Wait() returns it.
   template <typename Rep, typename Period>
-  bool WaitFor(std::chrono::duration<Rep, Period> timeout) {
+  Status WaitFor(std::chrono::duration<Rep, Period> timeout) {
     assert(state_ != nullptr && "WaitFor() on an empty Pending handle");
     std::unique_lock<std::mutex> lk(state_->mu);
-    return state_->cv.wait_for(lk, timeout,
-                               [&] { return state_->value.has_value(); });
+    if (state_->cv.wait_for(lk, timeout,
+                            [&] { return state_->value.has_value(); })) {
+      return Status::Ok();
+    }
+    return Status::DeadlineExceeded("request still in flight after timeout");
   }
 
   /// Wait() and move the result out (single consumer; the slot keeps the

@@ -26,6 +26,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kResourceExhausted:
       return "RESOURCE_EXHAUSTED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }

@@ -21,6 +21,7 @@ enum class StatusCode : std::uint8_t {
   kCancelled,
   kInternal,
   kResourceExhausted,   // backpressure: queue/lane over capacity
+  kDeadlineExceeded,    // bounded wait expired; request may still land
 };
 
 /// Canonical result of a fallible Weaver operation.
@@ -65,6 +66,9 @@ class Status {
   static Status ResourceExhausted(std::string msg = "") {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg = "") {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -82,6 +86,9 @@ class Status {
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
   bool IsResourceExhausted() const {
     return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
   }
 
   StatusCode code() const { return code_; }

@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <cassert>
+#include <cerrno>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -111,6 +112,10 @@ int RunShardServer(int parent_fd, ShardId shard_id,
       so.queue_high_water = options.queue_high_water;
       so.max_hops_per_cycle = options.max_hops_per_cycle;
       so.metrics = &metrics;
+      // This process owns its oracle replica; the parent's GC watermark
+      // arrives as kMsgGc and must trim it here, or replica memory grows
+      // without bound (the PR 5 soft spot).
+      so.gc_oracle = true;
       shard = std::make_unique<Shard>(so);
       got = shard->endpoint();
     } else {
@@ -180,6 +185,9 @@ Status WaitShardServers(const std::vector<ShardProcess>& children) {
   for (const ShardProcess& child : children) {
     int status = 0;
     if (::waitpid(child.pid, &status, 0) < 0) {
+      // ECHILD: the supervisor already reaped this pid when it recovered
+      // the crash -- not an error here.
+      if (errno == ECHILD) continue;
       result = Status::Internal("waitpid failed");
       continue;
     }
@@ -190,6 +198,80 @@ Status WaitShardServers(const std::vector<ShardProcess>& children) {
     }
   }
   return result;
+}
+
+int RunSpareServer(int parent_fd, const ShardServerOptions& options) {
+  // Block until the parent assigns a shard id (4 bytes, host order --
+  // parent and spare are always the same machine and binary) or closes
+  // the fd (never needed: clean exit). No transport exists yet; a plain
+  // read keeps the spare's footprint at one idle process.
+  std::uint32_t shard_id = 0;
+  std::size_t got = 0;
+  while (got < sizeof(shard_id)) {
+    const ssize_t n = ::read(parent_fd, reinterpret_cast<char*>(&shard_id) + got,
+                             sizeof(shard_id) - got);
+    if (n == 0) {
+      ::close(parent_fd);
+      return 0;  // EOF: the deployment shut down without needing us
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(parent_fd);
+      return 1;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  if (shard_id >= options.num_shards) {
+    std::fprintf(stderr, "weaver-serverd: spare assigned bogus shard %u\n",
+                 shard_id);
+    ::close(parent_fd);
+    return 1;
+  }
+  return RunShardServer(parent_fd, static_cast<ShardId>(shard_id), options);
+}
+
+Result<std::vector<ShardProcess>> SpawnSpareServers(
+    const ShardServerOptions& options, std::size_t count) {
+  std::vector<ShardProcess> spares;
+  for (std::size_t i = 0; i < count; ++i) {
+    auto fds = SocketTransport::CreateSocketPairFds();
+    if (!fds.ok()) {
+      for (const ShardProcess& c : spares) ::close(c.parent_fd);
+      return fds.status();
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(fds->first);
+      ::close(fds->second);
+      for (const ShardProcess& c : spares) ::close(c.parent_fd);
+      return Status::Internal("fork failed");
+    }
+    if (pid == 0) {
+      ::close(fds->first);
+      for (const ShardProcess& c : spares) ::close(c.parent_fd);
+      const int rc = RunSpareServer(fds->second, options);
+      ::_exit(rc);
+    }
+    ::close(fds->second);
+    spares.push_back(ShardProcess{pid, fds->first});
+  }
+  return spares;
+}
+
+Status AssignSpare(int fd, ShardId shard_id) {
+  const std::uint32_t id = shard_id;
+  std::size_t put = 0;
+  while (put < sizeof(id)) {
+    const ssize_t n =
+        ::write(fd, reinterpret_cast<const char*>(&id) + put,
+                sizeof(id) - put);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable("spare process is gone (write failed)");
+    }
+    put += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
 }
 
 }  // namespace serverd

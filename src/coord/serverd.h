@@ -92,8 +92,34 @@ Result<std::vector<ShardProcess>> SpawnShardServers(
 
 /// Waits for every child to exit (after the parent Weaver shut down).
 /// Returns non-OK if any child exited abnormally or with a non-zero
-/// code.
+/// code. Children the supervisor already reaped (recovered crashes) are
+/// skipped silently: ECHILD means "handled", not "lost".
 Status WaitShardServers(const std::vector<ShardProcess>& children);
+
+// --- Warm spare pool (docs/fault_tolerance.md#respawn) ----------------------
+//
+// fork() from the threaded parent is unsafe, so a dead shard cannot be
+// respawned on demand: the spares are forked UP FRONT, alongside the
+// original shard servers, while the process is still single-threaded.
+// Each spare blocks reading a 4-byte shard id from its socket; assigning
+// one (AssignSpare) turns it into that shard's server over the same fd.
+// An unused spare sees EOF when the parent closes its fd and exits 0.
+
+/// Spare-process entry point: blocks until the parent assigns a shard id
+/// over `parent_fd`, then serves exactly like RunShardServer. EOF before
+/// an assignment is a clean "never needed" exit.
+int RunSpareServer(int parent_fd, const ShardServerOptions& options);
+
+/// Forks `count` unassigned spare processes. Same fork-first rule as
+/// SpawnShardServers; call it immediately after, before the parent
+/// Weaver exists. Pass the parent_fds into
+/// WeaverOptions::supervision.spare_fds (and the pids into spare_pids).
+Result<std::vector<ShardProcess>> SpawnSpareServers(
+    const ShardServerOptions& options, std::size_t count);
+
+/// Tells the spare behind `fd` to become shard `shard_id`. After this
+/// the fd carries wire frames; adopt it into a transport.
+Status AssignSpare(int fd, ShardId shard_id);
 
 }  // namespace serverd
 }  // namespace weaver

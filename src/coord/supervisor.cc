@@ -1,0 +1,367 @@
+#include "coord/supervisor.h"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "common/clock.h"
+#include "coord/serverd.h"
+#include "core/message_codec.h"
+#include "core/weaver.h"
+#include "kvstore/kvstore.h"
+#include "net/transport.h"
+#include "net/wire_link.h"
+
+namespace weaver {
+
+ShardSupervisor::ShardSupervisor(Weaver* weaver) : weaver_(weaver) {
+  const ShardSupervisionOptions& opts = weaver_->options_.supervision;
+  shards_.reserve(weaver_->options_.num_shards);
+  for (std::size_t s = 0; s < weaver_->options_.num_shards; ++s) {
+    auto st = std::make_unique<ShardState>();
+    if (s < opts.shard_pids.size()) st->pid = opts.shard_pids[s];
+    shards_.push_back(std::move(st));
+  }
+  spare_pids_ = opts.spare_pids;
+  spare_fds_ = opts.spare_fds;
+
+  obs::MetricsRegistry& m = weaver_->metrics_;
+  recoveries_ = m.counter("supervisor.recoveries");
+  recoveries_failed_ = m.counter("supervisor.recoveries_failed");
+  reset_ack_timeouts_ = m.counter("supervisor.reset_ack_timeouts");
+  replayed_vertices_ = m.counter("supervisor.replayed_vertices");
+  sigkills_ = m.counter("supervisor.sigkills");
+  shards_down_ = m.gauge("supervisor.shards_down");
+  recovery_latency_ = m.histogram("supervisor.recovery_latency");
+}
+
+ShardSupervisor::~ShardSupervisor() {
+  Stop();
+  weaver_->metrics_.DropPrefix("supervisor.");
+}
+
+void ShardSupervisor::Start() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (thread_.joinable()) return;
+  stop_ = false;
+  thread_ = std::thread([this] { MonitorLoop(); });
+}
+
+void ShardSupervisor::Stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+    cv_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+  // Unused spares read the close as EOF and exit 0; the harness that
+  // forked them waits for them like any other child.
+  for (int& fd : spare_fds_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+}
+
+void ShardSupervisor::OnLinkDown(ShardId shard) {
+  if (shard >= shards_.size()) return;
+  shards_[shard]->link_down.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> lk(mu_);
+  wake_ = true;
+  cv_.notify_all();
+}
+
+void ShardSupervisor::OnResetAck(const ShardResetAckMessage& ack) {
+  std::lock_guard<std::mutex> lk(ack_mu_);
+  if (ack.token != ack_token_) return;  // stale ack from an earlier round
+  ++acks_;
+  ack_cv_.notify_all();
+}
+
+bool ShardSupervisor::Reaped(ShardState* st) {
+  if (st->pid <= 0) return false;
+  int status = 0;
+  const pid_t r = ::waitpid(st->pid, &status, WNOHANG);
+  if (r == st->pid || (r < 0 && errno == ECHILD)) {
+    st->pid = -1;
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t ShardSupervisor::LinkFrames(ShardId shard) const {
+  const WireLink* link = shard < weaver_->links_.size()
+                             ? weaver_->links_[shard].get()
+                             : nullptr;
+  if (link == nullptr) return 0;
+  return link->stats().frames_delivered.load(std::memory_order_relaxed) +
+         link->stats().frames_forwarded.load(std::memory_order_relaxed);
+}
+
+void ShardSupervisor::MonitorLoop() {
+  const ShardSupervisionOptions& opts = weaver_->options_.supervision;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait_for(lk, std::chrono::microseconds(opts.poll_period_micros),
+                   [&] { return stop_ || wake_; });
+      if (stop_) return;
+      wake_ = false;
+    }
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      ShardState& st = *shards_[s];
+      if (st.lost) continue;
+      bool dead = Reaped(&st);
+      if (st.link_down.load(std::memory_order_acquire)) dead = true;
+      if (!dead) {
+        const std::uint64_t frames =
+            LinkFrames(static_cast<ShardId>(s));
+        const std::uint64_t now = NowMicros();
+        if (frames != st.last_frames || st.last_activity_us == 0) {
+          st.last_frames = frames;
+          st.last_activity_us = now;
+          st.pinged = false;
+          weaver_->cluster_.Heartbeat("shard" + std::to_string(s));
+        } else if (opts.heartbeat_timeout_micros > 0 &&
+                   now - st.last_activity_us >=
+                       2 * opts.heartbeat_timeout_micros) {
+          // Silent through a ping round: wedged but alive. Kill first so
+          // the recovery below never races a half-dead writer.
+          std::fprintf(stderr,
+                       "weaver-supervisor: shard%zu silent for %llu us; "
+                       "killing pid %d\n",
+                       s,
+                       static_cast<unsigned long long>(
+                           now - st.last_activity_us),
+                       static_cast<int>(st.pid));
+          sigkills_->Add();
+          if (st.pid > 0) ::kill(st.pid, SIGKILL);
+          dead = true;
+        } else if (opts.heartbeat_timeout_micros > 0 && !st.pinged &&
+                   now - st.last_activity_us >=
+                       opts.heartbeat_timeout_micros) {
+          // Quiet but maybe just idle: solicit a reply frame. The
+          // request_id matches no pending collection, so the reply only
+          // refreshes the remote depth -- and the frame counter.
+          st.pinged = true;
+          auto req = std::make_shared<MetricsRequestMessage>();
+          req->request_id = 0;
+          req->reply_to = weaver_->coordinator_endpoint_;
+          (void)weaver_->bus_->Send(weaver_->coordinator_endpoint_,
+                                    weaver_->shard_endpoints_[s],
+                                    kMsgMetricsRequest, std::move(req),
+                                    /*never_block=*/true);
+        }
+      }
+      if (dead) Recover(static_cast<ShardId>(s));
+    }
+  }
+}
+
+void ShardSupervisor::Recover(ShardId s) {
+  const std::uint64_t t0 = NowNanos();
+  ShardState& st = *shards_[s];
+  const EndpointId ep = weaver_->shard_endpoints_[s];
+  const std::string name = "shard" + std::to_string(s);
+  std::fprintf(stderr, "weaver-supervisor: %s (pid %d) is down; recovering\n",
+               name.c_str(), static_cast<int>(st.pid));
+  shards_down_->Add(1);
+
+  // 1. FENCE. Down flag first: ShardAlive fast-fails new seeding before
+  // anything else happens. Detach drops frames addressed to the corpse
+  // (hub forwards included). In-flight programs can never balance their
+  // credits once a shard is gone -- fail them all; their clients retry.
+  weaver_->remote_down_[s].store(true, std::memory_order_relaxed);
+  weaver_->cluster_.MarkFailed(name);
+  weaver_->bus_->Detach(ep);
+  weaver_->FailAllExecutions(
+      Status::Unavailable(name + " crashed; re-run the program"));
+  if (s < weaver_->links_.size() && weaver_->links_[s]) {
+    weaver_->links_[s]->Stop();
+    weaver_->links_[s].reset();
+  }
+  weaver_->remote_shard_transports_[s].reset();
+  if (st.pid > 0) {
+    // Heartbeat-declared deaths arrive here with the process possibly
+    // still running; make it true, then reap.
+    ::kill(st.pid, SIGKILL);
+    (void)::waitpid(st.pid, nullptr, 0);
+    st.pid = -1;
+  }
+  st.link_down.store(false, std::memory_order_release);
+
+  // 2. EPOCH. Before the exclusive gate: the barrier takes every clock
+  // lock, and a commit holding the shared gate may be waiting on one.
+  {
+    std::vector<Gatekeeper*> gks;
+    gks.reserve(weaver_->gatekeepers_.size());
+    for (auto& g : weaver_->gatekeepers_) gks.push_back(g.get());
+    auto epoch = weaver_->cluster_.AdvanceEpochBarrier(gks);
+    if (!epoch.ok()) {
+      std::fprintf(stderr,
+                   "weaver-supervisor: epoch barrier failed (%s); "
+                   "continuing recovery in the old epoch\n",
+                   epoch.status().ToString().c_str());
+    }
+  }
+
+  // 3. RESPAWN from the warm spare pool.
+  int fd = -1;
+  pid_t pid = -1;
+  while (!spare_fds_.empty()) {
+    fd = spare_fds_.back();
+    spare_fds_.pop_back();
+    pid = spare_pids_.back();
+    spare_pids_.pop_back();
+    if (serverd::AssignSpare(fd, s).ok()) break;
+    ::close(fd);  // that spare died on the bench; reap it and try the next
+    (void)::waitpid(pid, nullptr, WNOHANG);
+    fd = -1;
+    pid = -1;
+  }
+  if (fd < 0) {
+    st.lost = true;
+    recoveries_failed_->Add();
+    std::fprintf(stderr,
+                 "weaver-supervisor: no spare left for %s; it stays down\n",
+                 name.c_str());
+    return;
+  }
+
+  auto transport = std::shared_ptr<Transport>(SocketTransport::Adopt(fd));
+  if (weaver_->options_.shard_transport_decorator) {
+    transport =
+        weaver_->options_.shard_transport_decorator(std::move(transport), s);
+  }
+
+  // 4. RESET the survivors' wire-sequence state for the dead endpoint.
+  // Their stale-seq frames to it were dropped at the detached endpoint
+  // (FIFO uplinks: anything sent before their reset ran precedes the
+  // ack), so after the acks no old-numbered frame can reach the respawn.
+  ResetSurvivors(s, ep);
+
+  std::uint64_t replayed = 0;
+  {
+    // 5. REPLAY under the exclusive gate: no commit slice or program
+    // seed interleaves with the reset + replay stream.
+    std::unique_lock<std::shared_mutex> gate(weaver_->commit_gate_);
+    // Programs seeded between the fence above and this acquisition may
+    // have hops en route to the dead endpoint (dropped at the hub) --
+    // they would hang, so they fail here too. Seeding holds the shared
+    // gate, so no new execution can register while we hold it.
+    weaver_->FailAllExecutions(
+        Status::Unavailable(name + " crashed; re-run the program"));
+    weaver_->bus_->ResetPeer(ep);
+    weaver_->bus_->ReplaceRemote(ep, transport);
+    weaver_->remote_shard_transports_[s] = transport;
+    WireLink::Options lo;
+    lo.bus = weaver_->bus_.get();
+    lo.transport = transport;
+    lo.decode = DecodePayload;
+    lo.never_block = WireNeverBlock;
+    lo.name = name + ".link";
+    lo.on_down = [this, s](const Status&) { OnLinkDown(s); };
+    weaver_->links_[s] = std::make_unique<WireLink>(std::move(lo));
+    replayed = ReplayPartition(s, ep);
+  }
+
+  // 6. REJOIN.
+  st.pid = pid;
+  st.last_frames = 0;
+  st.last_activity_us = NowMicros();
+  st.pinged = false;
+  weaver_->remote_down_[s].store(false, std::memory_order_relaxed);
+  weaver_->cluster_.MarkRecovered(name);
+  shards_down_->Add(-1);
+  replayed_vertices_->Add(replayed);
+  recoveries_->Add();
+  const std::uint64_t elapsed_ns = NowNanos() - t0;
+  recovery_latency_->Record(elapsed_ns);
+  std::fprintf(stderr,
+               "weaver-supervisor: %s respawned as pid %d (%llu vertices "
+               "replayed, %.1f ms)\n",
+               name.c_str(), static_cast<int>(pid),
+               static_cast<unsigned long long>(replayed),
+               static_cast<double>(elapsed_ns) / 1e6);
+}
+
+void ShardSupervisor::ResetSurvivors(ShardId dead, EndpointId dead_ep) {
+  const std::uint64_t token = next_token_++;
+  {
+    std::lock_guard<std::mutex> lk(ack_mu_);
+    ack_token_ = token;
+    acks_ = 0;
+  }
+  std::size_t expected = 0;
+  for (std::size_t p = 0; p < shards_.size(); ++p) {
+    if (p == dead || shards_[p]->lost) continue;
+    auto reset = std::make_shared<ShardResetMessage>();
+    reset->target = dead_ep;
+    reset->token = token;
+    reset->reply_to = weaver_->coordinator_endpoint_;
+    if (weaver_->bus_
+            ->Send(weaver_->coordinator_endpoint_,
+                   weaver_->shard_endpoints_[p], kMsgShardReset,
+                   std::move(reset), /*never_block=*/true)
+            .ok()) {
+      ++expected;
+    }
+  }
+  if (expected == 0) return;
+  std::unique_lock<std::mutex> lk(ack_mu_);
+  const bool all = ack_cv_.wait_for(
+      lk,
+      std::chrono::microseconds(
+          weaver_->options_.supervision.reset_ack_timeout_micros),
+      [&] { return acks_ >= expected; });
+  if (!all) {
+    reset_ack_timeouts_->Add();
+    std::fprintf(stderr,
+                 "weaver-supervisor: reset round %llu got %zu/%zu acks; "
+                 "proceeding\n",
+                 static_cast<unsigned long long>(token), acks_, expected);
+  }
+}
+
+std::uint64_t ShardSupervisor::ReplayPartition(ShardId s, EndpointId ep) {
+  constexpr std::size_t kBatch = 256;
+  std::uint64_t replayed = 0;
+  auto batch = std::make_shared<PartitionReplayMessage>();
+  batch->shard = s;
+  const auto flush = [&] {
+    if (batch->vertices.empty()) return;
+    (void)weaver_->bus_->Send(weaver_->coordinator_endpoint_, ep,
+                              kMsgPartitionReplay, std::move(batch),
+                              /*never_block=*/true);
+    batch = std::make_shared<PartitionReplayMessage>();
+    batch->shard = s;
+  };
+  // Same durable source boot-time recovery reads
+  // (Weaver::RestoreFromBackingStore): commits publish vertex blobs to
+  // the kv store before their slices go out, so the scan covers every
+  // acknowledged write.
+  for (const auto& [key, value] :
+       weaver_->kv_->ScanPrefix(kv_keys::kVertexShardMapPrefix)) {
+    const NodeId node_id = std::strtoull(
+        key.substr(kv_keys::kVertexShardMapPrefix.size()).c_str(), nullptr,
+        10);
+    const ShardId owner =
+        static_cast<ShardId>(std::strtoul(value.c_str(), nullptr, 10));
+    if (owner != s) continue;
+    auto blob = weaver_->kv_->Get(kv_keys::VertexData(node_id));
+    if (!blob.ok()) continue;
+    batch->vertices.emplace_back(node_id, std::move(*blob));
+    ++replayed;
+    if (batch->vertices.size() >= kBatch) flush();
+  }
+  flush();
+  return replayed;
+}
+
+}  // namespace weaver

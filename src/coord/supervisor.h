@@ -1,0 +1,151 @@
+// ShardSupervisor: process-level fault tolerance for multi-process
+// deployments (docs/fault_tolerance.md).
+//
+// The parent deployment watches its shard-server children and recovers a
+// dead one end to end. Detection combines three signals, any of which
+// declares the child down:
+//
+//   * waitpid(WNOHANG) reaps an exited pid (crash, kill -9);
+//   * the child's inbound WireLink reports link-down (peer EOF / reset);
+//   * a heartbeat timeout -- no frame received for
+//     heartbeat_timeout_micros solicits a metrics ping, and silence for
+//     twice that declares the child wedged-but-alive: it is SIGKILLed
+//     first, so the recovery below never races a half-dead writer.
+//
+// Recovery state machine for a dead shard s (runs on the monitor thread):
+//
+//   1. FENCE   -- mark s down (ShardAlive fast-fails new work with
+//                 Unavailable), MarkFailed in the cluster manager, detach
+//                 its bus endpoint, fail every in-flight node program,
+//                 destroy the old link, reap the corpse.
+//   2. EPOCH   -- AdvanceEpochBarrier: the respawned server starts life in
+//                 a fresh epoch, so cross-failure timestamps stay
+//                 monotonic (paper §4.3). Runs BEFORE the commit gate is
+//                 taken exclusively -- the barrier holds every clock lock.
+//   3. RESPAWN -- assign a warm spare (serverd::AssignSpare; spares were
+//                 forked before the parent had threads, because fork from
+//                 a threaded process is unsafe). No spare left: the shard
+//                 stays down and supervisor.recoveries_failed counts it.
+//   4. RESET   -- kMsgShardReset to every surviving shard child: each
+//                 resets its wire-sequence state for the dead endpoint on
+//                 its own event loop (serialized with its hop forwarding)
+//                 and acks. Waited with a timeout; stragglers are counted,
+//                 not fatal.
+//   5. REPLAY  -- under the EXCLUSIVE commit gate: reset the parent's own
+//                 sequence state, install the spare's transport + a fresh
+//                 WireLink, and stream the partition (every kv-committed
+//                 vertex owned by s) back as kMsgPartitionReplay batches.
+//                 Commits publish to the kv store BEFORE their shard
+//                 slices go out, so the scan covers every acknowledged
+//                 write; slices that raced the crash are re-applied
+//                 benignly (multi-version installs are idempotent).
+//   6. REJOIN  -- MarkRecovered, clear the down flag, resume heartbeats.
+//
+// Everything is observable through the deployment registry under the
+// "supervisor." prefix (docs/observability.md): recoveries,
+// recoveries_failed, reset_ack_timeouts, replayed_vertices, sigkills,
+// shards_down, and the recovery_latency histogram.
+#pragma once
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "core/messages.h"
+#include "obs/metrics.h"
+
+namespace weaver {
+
+class Weaver;
+
+class ShardSupervisor {
+ public:
+  /// Reads WeaverOptions::supervision off the deployment. Construct after
+  /// the gatekeepers exist and before the wire links (the links' on_down
+  /// hooks point here).
+  explicit ShardSupervisor(Weaver* weaver);
+  ~ShardSupervisor();
+  ShardSupervisor(const ShardSupervisor&) = delete;
+  ShardSupervisor& operator=(const ShardSupervisor&) = delete;
+
+  /// Starts / stops the monitor thread (both idempotent). Stop also
+  /// closes the unused spare fds, which the spares read as EOF and exit
+  /// cleanly.
+  void Start();
+  void Stop();
+
+  /// WireLink on_down hook for shard `shard`'s inbound link: flags the
+  /// crash and wakes the monitor immediately (no poll-period latency).
+  /// Safe from any thread; does nothing but flag + notify.
+  void OnLinkDown(ShardId shard);
+  /// Coordinator-delivered kMsgShardResetAck (a surviving shard finished
+  /// resetting its sequence state for the dead endpoint).
+  void OnResetAck(const ShardResetAckMessage& ack);
+
+ private:
+  struct ShardState {
+    pid_t pid = -1;
+    /// Set by OnLinkDown (link receive thread); consumed by the monitor.
+    std::atomic<bool> link_down{false};
+    /// Down for good: died with the spare pool empty.
+    bool lost = false;
+    // Heartbeat bookkeeping (monitor thread only).
+    std::uint64_t last_frames = 0;
+    std::uint64_t last_activity_us = 0;
+    bool pinged = false;
+  };
+
+  void MonitorLoop();
+  /// waitpid(WNOHANG); true when the child is gone (reaped here or
+  /// already unknown to the kernel).
+  static bool Reaped(ShardState* st);
+  /// Frames ever received on shard `shard`'s inbound link (the heartbeat
+  /// signal: a live shard's NOP acks and accounting keep it moving).
+  std::uint64_t LinkFrames(ShardId shard) const;
+  /// The recovery state machine (steps 1-6 above).
+  void Recover(ShardId shard);
+  /// Step 4: reset round over the surviving shards.
+  void ResetSurvivors(ShardId dead, EndpointId dead_ep);
+  /// Step 5's replay stream; returns the vertex count.
+  std::uint64_t ReplayPartition(ShardId shard, EndpointId ep);
+
+  Weaver* weaver_;
+  std::vector<std::unique_ptr<ShardState>> shards_;
+  /// Spare pool, consumed back-to-front.
+  std::vector<pid_t> spare_pids_;
+  std::vector<int> spare_fds_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool wake_ = false;  // link-down fast path: skip the rest of the poll wait
+  std::thread thread_;
+
+  // Reset-ack round state (one round at a time; the monitor thread is the
+  // only initiator).
+  std::mutex ack_mu_;
+  std::condition_variable ack_cv_;
+  std::uint64_t ack_token_ = 0;
+  std::size_t acks_ = 0;
+  std::uint64_t next_token_ = 1;
+
+  // Owned by the deployment registry; dropped (prefix "supervisor.") in
+  // the destructor.
+  obs::Counter* recoveries_ = nullptr;
+  obs::Counter* recoveries_failed_ = nullptr;
+  obs::Counter* reset_ack_timeouts_ = nullptr;
+  obs::Counter* replayed_vertices_ = nullptr;
+  obs::Counter* sigkills_ = nullptr;
+  obs::Gauge* shards_down_ = nullptr;
+  obs::LatencyHistogram* recovery_latency_ = nullptr;
+};
+
+}  // namespace weaver

@@ -50,7 +50,7 @@ Status DecodeStatus(wire::Reader* r, Status* out) {
   std::string message;
   WEAVER_RETURN_IF_ERROR(r->VarU32(&code));
   WEAVER_RETURN_IF_ERROR(r->String(&message));
-  if (code > static_cast<std::uint32_t>(StatusCode::kResourceExhausted)) {
+  if (code > static_cast<std::uint32_t>(StatusCode::kDeadlineExceeded)) {
     return Status::InvalidArgument("unknown status code on the wire");
   }
   *out = Status(static_cast<StatusCode>(code), std::move(message));
@@ -416,6 +416,38 @@ Status Decode(wire::Reader* r, MetricsReportMessage* m) {
   return Status::Ok();
 }
 
+void Encode(const ShardResetMessage& m, wire::Writer* w) {
+  w->VarU32(m.target);
+  w->VarU64(m.token);
+  w->VarU32(m.reply_to);
+}
+
+Status Decode(wire::Reader* r, ShardResetMessage* m) {
+  WEAVER_RETURN_IF_ERROR(r->VarU32(&m->target));
+  WEAVER_RETURN_IF_ERROR(r->VarU64(&m->token));
+  return r->VarU32(&m->reply_to);
+}
+
+void Encode(const ShardResetAckMessage& m, wire::Writer* w) {
+  w->VarU32(m.shard);
+  w->VarU64(m.token);
+}
+
+Status Decode(wire::Reader* r, ShardResetAckMessage* m) {
+  WEAVER_RETURN_IF_ERROR(r->VarU32(&m->shard));
+  return r->VarU64(&m->token);
+}
+
+void Encode(const PartitionReplayMessage& m, wire::Writer* w) {
+  w->VarU32(m.shard);
+  EncodeReturns(m.vertices, w);
+}
+
+Status Decode(wire::Reader* r, PartitionReplayMessage* m) {
+  WEAVER_RETURN_IF_ERROR(r->VarU32(&m->shard));
+  return DecodeReturns(r, &m->vertices);
+}
+
 // --- Type-erased payload codec ----------------------------------------------
 
 namespace {
@@ -471,6 +503,12 @@ Result<std::string> EncodePayload(std::uint32_t tag,
       return EncodeAs<MetricsRequestMessage>(payload);
     case kMsgMetricsReport:
       return EncodeAs<MetricsReportMessage>(payload);
+    case kMsgShardReset:
+      return EncodeAs<ShardResetMessage>(payload);
+    case kMsgShardResetAck:
+      return EncodeAs<ShardResetAckMessage>(payload);
+    case kMsgPartitionReplay:
+      return EncodeAs<PartitionReplayMessage>(payload);
     default:
       return Status::InvalidArgument("no wire codec for message tag " +
                                      std::to_string(tag));
@@ -508,6 +546,12 @@ Result<std::shared_ptr<void>> DecodePayload(std::uint32_t tag,
       return DecodeAs<MetricsRequestMessage>(bytes);
     case kMsgMetricsReport:
       return DecodeAs<MetricsReportMessage>(bytes);
+    case kMsgShardReset:
+      return DecodeAs<ShardResetMessage>(bytes);
+    case kMsgShardResetAck:
+      return DecodeAs<ShardResetAckMessage>(bytes);
+    case kMsgPartitionReplay:
+      return DecodeAs<PartitionReplayMessage>(bytes);
     default:
       return Status::InvalidArgument("no wire codec for message tag " +
                                      std::to_string(tag));
@@ -554,6 +598,11 @@ bool WireNeverBlock(std::uint32_t tag) {
     case kMsgStop:
     case kMsgMetricsRequest:
     case kMsgMetricsReport:
+    // Recovery control traffic: the reset/replay round runs while parts
+    // of the cluster are wedged by definition -- it must never block.
+    case kMsgShardReset:
+    case kMsgShardResetAck:
+    case kMsgPartitionReplay:
       return true;
     default:
       return false;

@@ -73,6 +73,15 @@ Status Decode(wire::Reader* r, MetricsRequestMessage* m);
 void Encode(const MetricsReportMessage& m, wire::Writer* w);
 Status Decode(wire::Reader* r, MetricsReportMessage* m);
 
+void Encode(const ShardResetMessage& m, wire::Writer* w);
+Status Decode(wire::Reader* r, ShardResetMessage* m);
+
+void Encode(const ShardResetAckMessage& m, wire::Writer* w);
+Status Decode(wire::Reader* r, ShardResetAckMessage* m);
+
+void Encode(const PartitionReplayMessage& m, wire::Writer* w);
+Status Decode(wire::Reader* r, PartitionReplayMessage* m);
+
 // --- Type-erased payload codec (keyed by MsgTag) ----------------------------
 
 /// Serializes a BusMessage payload. kMsgStop (no schema) encodes to an

@@ -43,6 +43,9 @@ enum MsgTag : std::uint32_t {
   kMsgClientProgramReply = 12,  // gatekeeper -> session: program outcome
   kMsgMetricsRequest = 13,  // parent -> shard server: snapshot your registry
   kMsgMetricsReport = 14,   // shard server -> parent: the snapshot
+  kMsgShardReset = 15,  // supervisor -> surviving shard: peer seq state reset
+  kMsgShardResetAck = 16,  // surviving shard -> supervisor: reset done
+  kMsgPartitionReplay = 17,  // supervisor -> respawned shard: vertex blobs
 };
 
 /// Committed transaction: ops are the slice destined for the receiving
@@ -232,6 +235,40 @@ struct MetricsReportMessage {
   ShardId shard = 0;
   std::uint64_t inbox_depth = 0;
   obs::MetricsSnapshot snapshot;
+};
+
+// --- Shard-process recovery (docs/fault_tolerance.md) -----------------------
+//
+// When a shard process dies, its wire sequence state dies with it: the
+// respawned process starts every channel at seq 1, and every SURVIVING
+// process still holds the old counters toward the dead endpoint. The
+// supervisor heals this with an explicit reset round: each survivor
+// resets its bus state toward `target` (on its event loop, serialized
+// with its own hop forwarding) and acks; only after every ack does the
+// supervisor attach the replacement transport.
+
+/// Supervisor -> surviving shard server: forget all wire sequence state
+/// (send channels and receive expectations) toward endpoint `target`.
+struct ShardResetMessage {
+  EndpointId target = 0;
+  /// Correlates the ack; one recovery uses one token for all survivors.
+  std::uint64_t token = 0;
+  EndpointId reply_to = 0;
+};
+
+/// Surviving shard server -> supervisor: reset applied.
+struct ShardResetAckMessage {
+  ShardId shard = 0;
+  std::uint64_t token = 0;
+};
+
+/// Supervisor -> respawned shard server: a batch of the partition's
+/// vertices read back from the durable backing store (the gatekeepers
+/// commit to the store BEFORE forwarding slices, so an acknowledged
+/// write is always here). Blobs are GraphStore::SerializeNode output.
+struct PartitionReplayMessage {
+  ShardId shard = 0;
+  std::vector<std::pair<NodeId, std::string>> vertices;
 };
 
 }  // namespace weaver

@@ -4,11 +4,13 @@
 #include <cassert>
 #include <condition_variable>
 #include <cstdio>
+#include <mutex>
 
 #include "client/pending.h"
 #include "common/clock.h"
 #include "common/serde.h"
 #include "coord/serverd.h"
+#include "coord/supervisor.h"
 #include "core/message_codec.h"
 #include "net/transport.h"
 
@@ -101,6 +103,12 @@ Weaver::Weaver(const WeaverOptions& options) : options_(options) {
     if (remote_shards_) {
       auto transport = std::shared_ptr<Transport>(
           SocketTransport::Adopt(options_.remote_shard_fds[s]));
+      if (options_.shard_transport_decorator) {
+        // Fault-injection seam (net/fault_injector.h): every outbound
+        // shard transport -- original or respawned -- passes through it.
+        transport = options_.shard_transport_decorator(
+            std::move(transport), static_cast<ShardId>(s));
+      }
       const EndpointId ep =
           bus_->RegisterRemote("shard" + std::to_string(s), transport);
       remote_shard_transports_.push_back(std::move(transport));
@@ -180,6 +188,13 @@ Weaver::Weaver(const WeaverOptions& options) : options_(options) {
           // coordinator endpoint rather than a dedicated one.
           OnMetricsReport(
               std::static_pointer_cast<MetricsReportMessage>(msg.payload));
+        } else if (msg.payload_tag == kMsgShardResetAck) {
+          // Recovery control traffic rides the coordinator endpoint for
+          // the same addressability reason.
+          if (supervisor_) {
+            supervisor_->OnResetAck(
+                *std::static_pointer_cast<ShardResetAckMessage>(msg.payload));
+          }
         }
       });
   // Remote deployments share this endpoint layout with their shard
@@ -282,6 +297,20 @@ Weaver::Weaver(const WeaverOptions& options) : options_(options) {
 
   if (recovered_data) RestoreFromBackingStore();
 
+  // Shard-process supervision (docs/fault_tolerance.md): built before
+  // the links so their on_down hooks have somewhere to point. The down
+  // bitmap exists whenever supervision does -- ShardAlive consults it.
+  if (remote_shards_ && options_.supervision.enabled) {
+    remote_down_.reset(new std::atomic<bool>[options_.num_shards]);
+    for (std::size_t s = 0; s < options_.num_shards; ++s) {
+      remote_down_[s].store(false, std::memory_order_relaxed);
+    }
+    supervisor_ = std::make_unique<ShardSupervisor>(this);
+  } else if (options_.supervision.enabled) {
+    std::fprintf(stderr,
+                 "weaver: supervision requires remote shards; ignoring\n");
+  }
+
   // Wire links come up last, once every local endpoint a frame could
   // address exists. Each link drains one shard socket: decoded local
   // deliveries (accounting to the coordinator) and verbatim hub
@@ -293,6 +322,11 @@ Weaver::Weaver(const WeaverOptions& options) : options_(options) {
     lo.decode = DecodePayload;
     lo.never_block = WireNeverBlock;
     lo.name = "shard" + std::to_string(s) + ".link";
+    if (supervisor_) {
+      lo.on_down = [this, s](const Status&) {
+        supervisor_->OnLinkDown(static_cast<ShardId>(s));
+      };
+    }
     links_.push_back(std::make_unique<WireLink>(std::move(lo)));
   }
 }
@@ -353,6 +387,7 @@ void Weaver::Start() {
     g->StartTimers();
     g->StartClientIngress();
   }
+  if (supervisor_) supervisor_->Start();
   if (options_.gc_period_micros > 0 && !gc_thread_.joinable()) {
     stop_gc_ = false;
     gc_thread_ = std::thread([this] {
@@ -375,7 +410,11 @@ void Weaver::Start() {
 }
 
 void Weaver::Shutdown() {
-  // Stop the client ingress first, while started_ is still true and the
+  // The supervisor goes first: once shutdown starts tearing links down,
+  // every peer EOF would read as a crash and the monitor would burn the
+  // spare pool respawning shards we are about to stop.
+  if (supervisor_) supervisor_->Stop();
+  // Stop the client ingress next, while started_ is still true and the
   // shards still drain: requests already on a worker finish normally
   // (their waves, slices, and RunProgramOn's started_ check all need the
   // deployment up) and queued ones fail with Unavailable, so no
@@ -406,7 +445,11 @@ void Weaver::Shutdown() {
       (void)bus_->Send(coordinator_endpoint_, shard_endpoints_[s], kMsgStop,
                        nullptr);
     }
-    for (auto& link : links_) link->Stop();
+    // A link slot may be null: a failed recovery (spare pool empty)
+    // leaves the dead shard's slot empty.
+    for (auto& link : links_) {
+      if (link) link->Stop();
+    }
     links_.clear();
   }
   // Shard loops are joined (or their processes told to stop): no
@@ -495,6 +538,10 @@ Status Weaver::CommitOnGatekeeper(Transaction* tx, Gatekeeper& gk) {
   if (tx->committed_) {
     return Status::Internal("transaction already committed");
   }
+  // Shared side of the recovery gate: a partition replay in progress
+  // (exclusive holder) must not interleave with commit slices
+  // (docs/fault_tolerance.md). Uncontended in steady state.
+  std::shared_lock<std::shared_mutex> recovery_gate(commit_gate_);
   // Resolve the placement of every vertex touched by the batch: created
   // vertices use the partitioner's tentative choice; existing vertices use
   // the locator (backed by the store's vertex->shard map).
@@ -543,6 +590,11 @@ void Weaver::ExecuteProgramAsync(
   const ProgramId pid =
       next_program_id_.fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t seed_start = NowNanos();
+  // Shared side of the recovery gate: held across registration + seeding
+  // so a recovery's replay stream never interleaves with seed batches,
+  // and so the supervisor's under-gate FailAllExecutions cannot miss an
+  // execution that is mid-registration (docs/fault_tolerance.md).
+  std::shared_lock<std::shared_mutex> recovery_gate(commit_gate_);
 
   // Visited-vertex pruning eligibility is an execution-wide property
   // decided here, once, over the start params (conservative AND across

@@ -24,11 +24,14 @@
 // paper's §4.3 recovery paths.
 #pragma once
 
+#include <sys/types.h>
+
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -55,6 +58,32 @@
 #include "storage/storage_options.h"
 
 namespace weaver {
+
+class ShardSupervisor;
+
+/// Shard-process supervision (docs/fault_tolerance.md): the parent watches
+/// its shard-server children, detects death (waitpid + link EOF + missed
+/// heartbeats), and recovers -- epoch bump, warm-spare respawn, partition
+/// replay from the backing store. Only meaningful with remote_shard_fds.
+struct ShardSupervisionOptions {
+  bool enabled = false;
+  /// pid of each original shard-server child, indexed by ShardId (from
+  /// serverd::SpawnShardServers). Required when enabled.
+  std::vector<pid_t> shard_pids;
+  /// Warm spare pool (serverd::SpawnSpareServers): consumed back-to-front,
+  /// one per recovery. A shard that dies with the pool empty stays down.
+  std::vector<pid_t> spare_pids;
+  std::vector<int> spare_fds;
+  /// Monitor thread cadence.
+  std::uint64_t poll_period_micros = 20'000;
+  /// A child silent (no frames received) this long is pinged; silent for
+  /// twice this long it is declared wedged, SIGKILLed, and recovered.
+  std::uint64_t heartbeat_timeout_micros = 2'000'000;
+  /// How long recovery waits for the surviving shards to acknowledge the
+  /// wire-sequence reset before proceeding anyway (counted in
+  /// supervisor.reset_ack_timeouts).
+  std::uint64_t reset_ack_timeout_micros = 2'000'000;
+};
 
 struct WeaverOptions {
   std::size_t num_gatekeepers = 2;
@@ -166,6 +195,14 @@ struct WeaverOptions {
   /// rides on the GC thread, so it also requires gc_period_micros > 0.
   /// 0 disables the poll; CollectMetrics() still works on demand.
   std::uint64_t metrics_poll_period_micros = 100'000;
+  /// Shard-process crash supervision (docs/fault_tolerance.md).
+  ShardSupervisionOptions supervision;
+  /// Fault-injection seam (net/fault_injector.h): wraps each remote
+  /// shard's outbound transport at adoption time -- both the original
+  /// remote_shard_fds and any respawned spare. Identity when unset.
+  std::function<std::shared_ptr<Transport>(std::shared_ptr<Transport>,
+                                           ShardId)>
+      shard_transport_decorator;
 };
 
 class Weaver {
@@ -354,6 +391,7 @@ class Weaver {
 
  private:
   friend class Transaction;
+  friend class ShardSupervisor;
   explicit Weaver(const WeaverOptions& options);
 
   /// Rebuilds a live transaction from a decoded ClientCommit message:
@@ -364,9 +402,14 @@ class Weaver {
 
   /// True when shard `s` can receive messages. In-process deployments
   /// check the server object (fault injection nulls it); remote shards
-  /// are presumed alive -- a dead one fails the Send instead.
+  /// consult the supervisor's down bitmap (always alive when supervision
+  /// is off -- a dead one fails the Send instead).
   bool ShardAlive(std::size_t s) const {
-    return remote_shards_ ? true : (s < shards_.size() && shards_[s] != nullptr);
+    if (remote_shards_) {
+      return remote_down_ == nullptr ||
+             !remote_down_[s].load(std::memory_order_relaxed);
+    }
+    return s < shards_.size() && shards_[s] != nullptr;
   }
   EndpointId ShardEndpoint(std::size_t s) const {
     return shard_endpoints_[s];
@@ -533,6 +576,23 @@ class Weaver {
 
   // Endpoints of killed shards, kept for recovery reattachment.
   std::unordered_map<ShardId, EndpointId> dead_shard_endpoints_;
+
+  // --- Shard-process supervision (docs/fault_tolerance.md) -----------------
+
+  /// Commit/recovery gate. Commits and program seeding hold it SHARED;
+  /// the supervisor holds it EXCLUSIVE across the wire-sequence reset +
+  /// backing-store scan + partition replay, so no slice or hop batch can
+  /// interleave with the replay stream. Lock order: the epoch barrier
+  /// (which takes every clock lock) runs BEFORE the exclusive acquisition
+  /// and never under it.
+  std::shared_mutex commit_gate_;
+  /// Per-shard down flags (remote deployments with supervision only):
+  /// set the moment a crash is detected so ShardAlive fast-fails new work
+  /// with Unavailable instead of letting it hang on a dead socket.
+  std::unique_ptr<std::atomic<bool>[]> remote_down_;
+  /// Declared last: destroyed (and explicitly stopped in Shutdown) before
+  /// every component it watches.
+  std::unique_ptr<ShardSupervisor> supervisor_;
 };
 
 }  // namespace weaver

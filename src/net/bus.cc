@@ -199,6 +199,54 @@ void MessageBus::ReattachInbox(
   endpoints_[id]->attached = true;
 }
 
+void MessageBus::ResetPeer(EndpointId id) {
+  // Send side: restart every channel touching the peer at seq 1. The
+  // Channel objects are reset IN PLACE under their own lock -- erasing
+  // them would free a mutex a concurrent Send may be holding. Lock order
+  // (channels_mu_ then ch->mu) matches Send.
+  std::vector<Channel*> touching;
+  {
+    std::lock_guard<std::mutex> lk(channels_mu_);
+    for (auto& [key, ch] : channels_) {
+      if (key.first == id || key.second == id) touching.push_back(ch.get());
+    }
+  }
+  for (Channel* ch : touching) {
+    std::lock_guard<std::mutex> lk(ch->mu);
+    ch->next_seq = 1;
+    ch->last_delivery_deadline_us = 0;
+  }
+  // Receive side: forget DeliverWire's last-accepted sequence numbers for
+  // streams from or to the peer, so the fresh process's seq-1 frames pass
+  // the gap check instead of reading as a FIFO violation.
+  {
+    std::lock_guard<std::mutex> lk(wire_seq_mu_);
+    for (auto it = wire_seq_.begin(); it != wire_seq_.end();) {
+      if (it->first.first == id || it->first.second == id) {
+        it = wire_seq_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void MessageBus::ReplaceRemote(EndpointId id,
+                               std::shared_ptr<Transport> transport) {
+  std::lock_guard<std::mutex> lk(endpoints_mu_);
+  if (id >= endpoints_.size() || endpoints_[id]->remote == nullptr) {
+    std::fprintf(stderr,
+                 "weaver: ReplaceRemote on non-remote endpoint %u ignored\n",
+                 id);
+    return;
+  }
+  endpoints_[id]->remote = std::move(transport);
+  endpoints_[id]->attached = true;
+  if (endpoints_[id]->remote_depth) {
+    endpoints_[id]->remote_depth->store(0, std::memory_order_relaxed);
+  }
+}
+
 void MessageBus::SetDelayFn(
     std::function<std::uint64_t(EndpointId, EndpointId)> delay_fn) {
   delay_fn_ = std::move(delay_fn);

@@ -149,6 +149,20 @@ class MessageBus {
   void ReattachInbox(EndpointId id,
                      std::shared_ptr<BlockingQueue<BusMessage>> inbox);
 
+  /// Forgets all wire/channel sequence state touching endpoint `id`, in
+  /// both directions: send channels restart at seq 1 and DeliverWire's
+  /// receive expectations are cleared. Process recovery uses this after a
+  /// peer process died (its counters died with it) and BEFORE the
+  /// replacement transport is attached, so the fresh process's stream
+  /// starts gap-free. Channels are reset in place (never erased): a
+  /// concurrent sender may hold a channel's lock.
+  void ResetPeer(EndpointId id);
+
+  /// Swaps the transport behind a remote endpoint and re-attaches it
+  /// (the respawned process's link). Call after ResetPeer; no-op with a
+  /// loud stderr line for non-remote endpoints.
+  void ReplaceRemote(EndpointId id, std::shared_ptr<Transport> transport);
+
   /// Sends a message. Assigns the per-channel sequence number atomically
   /// with enqueueing, so concurrent senders on one channel stay FIFO.
   /// Returns Unavailable if the destination is detached (delayed

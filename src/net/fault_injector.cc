@@ -1,0 +1,86 @@
+#include "net/fault_injector.h"
+
+#include <signal.h>
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <utility>
+
+namespace weaver {
+
+FaultInjectingTransport::FaultInjectingTransport(
+    std::shared_ptr<Transport> inner, FaultPlan plan)
+    : inner_(std::move(inner)), plan_(plan) {}
+
+void FaultInjectingTransport::CountFrame() {
+  const std::uint64_t seen =
+      frames_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (plan_.kind == FaultPlan::Kind::kNone) return;
+  if (seen <= plan_.after_frames) return;
+  if (plan_.kind == FaultPlan::Kind::kDelay) {
+    // Delay applies to every frame from the trigger on; the one-shot
+    // latch is only for the destructive kinds.
+    fired_.store(true, std::memory_order_relaxed);
+    return;
+  }
+  bool expected = false;
+  if (!fired_.compare_exchange_strong(expected, true,
+                                      std::memory_order_relaxed)) {
+    return;
+  }
+  Fire();
+}
+
+void FaultInjectingTransport::Fire() {
+  switch (plan_.kind) {
+    case FaultPlan::Kind::kKillPid:
+      std::fprintf(stderr,
+                   "weaver: fault injector: SIGKILL pid %d at frame %llu\n",
+                   static_cast<int>(plan_.pid),
+                   static_cast<unsigned long long>(frames()));
+      if (plan_.pid > 0) ::kill(plan_.pid, SIGKILL);
+      break;
+    case FaultPlan::Kind::kDropLink:
+      std::fprintf(stderr,
+                   "weaver: fault injector: dropping link at frame %llu\n",
+                   static_cast<unsigned long long>(frames()));
+      inner_->Stop();
+      break;
+    case FaultPlan::Kind::kNone:
+    case FaultPlan::Kind::kDelay:
+      break;
+  }
+}
+
+Status FaultInjectingTransport::SendBytes(std::string_view bytes,
+                                          bool never_block) {
+  CountFrame();
+  if (plan_.kind == FaultPlan::Kind::kDelay &&
+      fired_.load(std::memory_order_relaxed) && plan_.delay_micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(plan_.delay_micros));
+  }
+  return inner_->SendBytes(bytes, never_block);
+}
+
+void FaultInjectingTransport::WaitWritable() { inner_->WaitWritable(); }
+
+void FaultInjectingTransport::StartReceiver(
+    std::function<void(const char* data, std::size_t n)> on_bytes) {
+  // Receive-direction traffic counts toward the trigger too: a shard that
+  // mostly replies (accounting, metrics) can still be killed at a
+  // deterministic point in ITS stream. Chunks are not frames, but the
+  // chunk count is just as deterministic for a given workload on a FIFO
+  // socket -- good enough for a trigger, and it avoids re-parsing.
+  inner_->StartReceiver(
+      [this, on_bytes = std::move(on_bytes)](const char* data, std::size_t n) {
+        if (data != nullptr) CountFrame();
+        on_bytes(data, n);
+      });
+}
+
+void FaultInjectingTransport::Stop() { inner_->Stop(); }
+
+bool FaultInjectingTransport::closed() const { return inner_->closed(); }
+
+}  // namespace weaver

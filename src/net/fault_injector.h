@@ -1,0 +1,84 @@
+// FaultInjectingTransport: a Transport decorator that injects
+// deterministic faults into one link (docs/fault_tolerance.md#chaos).
+//
+// Chaos testing needs crashes at REPRODUCIBLE points in the message
+// stream, not wall-clock kills: "the 200th frame to shard 1" is the same
+// instant on every run, while "after 50ms" lands anywhere. The decorator
+// wraps the parent-side transport of one shard process (installed via
+// WeaverOptions::shard_transport_decorator) and counts the frames that
+// cross it in either direction; when the configured frame count is
+// reached it fires its fault exactly once:
+//
+//   * kill  -- SIGKILL the configured pid (the shard child), simulating
+//              a hard process crash mid-stream;
+//   * drop  -- stop the underlying transport, simulating a severed link
+//              (the process survives but the parent sees EOF);
+//   * delay -- sleep before each subsequent send, simulating a slow
+//              link (does not fire once; applies from the trigger on).
+//
+// Everything else forwards verbatim, so a decorated link is
+// byte-identical to a bare one until the fault fires. The injector is
+// test/bench infrastructure compiled into the normal build: it has no
+// hooks into production code paths beyond the decorator seam.
+#pragma once
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+
+#include "common/status.h"
+#include "net/transport.h"
+
+namespace weaver {
+
+struct FaultPlan {
+  enum class Kind : std::uint8_t {
+    kNone,      // count frames, never fire (observation only)
+    kKillPid,   // SIGKILL `pid` at the trigger frame
+    kDropLink,  // stop the inner transport at the trigger frame
+    kDelay,     // sleep `delay_micros` before each send from the trigger on
+  };
+  Kind kind = Kind::kNone;
+  /// Fires when the cumulative frame count (sends + receives) reaches
+  /// this. 0 = on the very first frame.
+  std::uint64_t after_frames = 0;
+  pid_t pid = -1;                   // kKillPid
+  std::uint64_t delay_micros = 0;   // kDelay
+};
+
+class FaultInjectingTransport final : public Transport {
+ public:
+  FaultInjectingTransport(std::shared_ptr<Transport> inner, FaultPlan plan);
+
+  Status SendBytes(std::string_view bytes, bool never_block = false) override;
+  void WaitWritable() override;
+  void StartReceiver(
+      std::function<void(const char* data, std::size_t n)> on_bytes) override;
+  void Stop() override;
+  bool closed() const override;
+
+  /// Frames seen so far (both directions).
+  std::uint64_t frames() const {
+    return frames_.load(std::memory_order_relaxed);
+  }
+  /// True once the fault has fired.
+  bool fired() const { return fired_.load(std::memory_order_relaxed); }
+
+  const std::shared_ptr<Transport>& inner() const { return inner_; }
+
+ private:
+  /// Counts one frame and fires the plan if its trigger was reached.
+  void CountFrame();
+  void Fire();
+
+  std::shared_ptr<Transport> inner_;
+  FaultPlan plan_;
+  std::atomic<std::uint64_t> frames_{0};
+  std::atomic<bool> fired_{false};
+};
+
+}  // namespace weaver

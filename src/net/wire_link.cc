@@ -23,6 +23,13 @@ WireLink::~WireLink() {
 }
 
 void WireLink::Stop() {
+  {
+    // Mark the local stop BEFORE the transport goes down: the receive
+    // thread's end-of-stream marker races this call, and only a genuine
+    // peer EOF may surface as Unavailable.
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+  }
   options_.transport->Stop();
   std::lock_guard<std::mutex> lk(mu_);
   closed_ = true;
@@ -47,24 +54,45 @@ Status WireLink::error() const {
 void WireLink::Fail(const Status& status) {
   std::fprintf(stderr, "weaver: wire link %s failed: %s\n",
                options_.name.c_str(), status.ToString().c_str());
+  bool report = false;
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (error_.ok()) error_ = status;
     closed_ = true;
+    if (!down_reported_) {
+      down_reported_ = true;
+      report = true;
+    }
     closed_cv_.notify_all();
   }
   options_.transport->Stop();
+  if (report && options_.on_down) options_.on_down(status);
 }
 
 void WireLink::OnBytes(const char* data, std::size_t n) {
   if (data == nullptr) {
-    // End of stream (peer closed or transport stopped): a clean
-    // shutdown, not an error -- WaitClosed() callers proceed, and the
-    // destructor may reclaim the link.
-    std::lock_guard<std::mutex> lk(mu_);
-    closed_ = true;
-    receiver_done_ = true;
-    closed_cv_.notify_all();
+    // End of stream. After a local Stop() this is the expected clean
+    // shutdown (error stays OK). Otherwise the PEER went away -- EOF or
+    // ECONNRESET from a dead process -- which is a link-down event, not
+    // stream corruption: record Unavailable and tell the supervisor, but
+    // never poison anything a healthy restart would need.
+    bool report = false;
+    Status down;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!stopping_ && error_.ok()) {
+        error_ = Status::Unavailable("peer closed the link");
+      }
+      if (!stopping_ && !down_reported_) {
+        down_reported_ = true;
+        report = true;
+        down = error_;
+      }
+      closed_ = true;
+      receiver_done_ = true;
+      closed_cv_.notify_all();
+    }
+    if (report && options_.on_down) options_.on_down(down);
     return;
   }
   {
@@ -102,13 +130,21 @@ void WireLink::OnBytes(const char* data, std::size_t n) {
     }
     if (!fwd.IsInvalidArgument()) {
       // A remote destination whose process is gone: a routing data-loss
-      // event the sender cannot see, so count and report it.
+      // event the sender cannot see, so count it -- but print only the
+      // first and every 1024th. During an outage every surviving shard
+      // keeps forwarding hops at the dead peer until recovery detaches
+      // it; one line per dropped frame would bury the useful output.
       stats_.deliver_errors.fetch_add(1, std::memory_order_relaxed);
-      std::fprintf(stderr,
-                   "weaver: wire link %s: dropping frame for dead remote "
-                   "endpoint %u: %s\n",
-                   options_.name.c_str(), header.dst,
-                   fwd.ToString().c_str());
+      const std::uint64_t drops =
+          stats_.forward_drops.fetch_add(1, std::memory_order_relaxed);
+      if (drops % 1024 == 0) {
+        std::fprintf(stderr,
+                     "weaver: wire link %s: dropping frame for dead remote "
+                     "endpoint %u (%llu dropped so far): %s\n",
+                     options_.name.c_str(), header.dst,
+                     static_cast<unsigned long long>(drops + 1),
+                     fwd.ToString().c_str());
+      }
       continue;
     }
 

@@ -54,6 +54,12 @@ class WireLink {
     /// Per-tag delivery policy: true = never block on a bounded inbox
     /// (core/message_codec's WireNeverBlock).
     std::function<bool(std::uint32_t tag)> never_block;
+    /// Invoked (at most once, off the lock) when the link goes down for
+    /// any reason other than a local Stop(): peer EOF/reset surfaces as
+    /// Unavailable, stream corruption as the parser's error. Supervisors
+    /// hang crash detection off this; the callback must not re-enter the
+    /// link beyond closed()/error()/stats().
+    std::function<void(const Status&)> on_down;
     std::string name;  // diagnostics
   };
 
@@ -62,6 +68,9 @@ class WireLink {
     std::atomic<std::uint64_t> frames_forwarded{0};
     std::atomic<std::uint64_t> decode_errors{0};
     std::atomic<std::uint64_t> deliver_errors{0};  // incl. seq violations
+    /// Forwarded frames dropped because their remote destination was
+    /// detached (only the first and every 1024th are printed).
+    std::atomic<std::uint64_t> forward_drops{0};
   };
 
   /// Starts receiving immediately.
@@ -92,6 +101,13 @@ class WireLink {
   mutable std::mutex mu_;
   std::condition_variable closed_cv_;
   bool closed_ = false;
+  /// Set by Stop() BEFORE the transport is stopped, so the receive
+  /// thread's end-of-stream marker can tell a local shutdown (clean,
+  /// error stays OK) from a genuine peer EOF (link-down: Unavailable +
+  /// on_down).
+  bool stopping_ = false;
+  /// on_down fires at most once.
+  bool down_reported_ = false;
   /// Set by the receive thread's end-of-stream marker: the thread will
   /// never touch this link again. The destructor waits for it -- the
   /// transport may be shared, so transport destruction (which joins the

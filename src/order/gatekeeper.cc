@@ -84,6 +84,8 @@ void Gatekeeper::ExportMetrics() {
   counter("announces_received", stats_.announces_received);
   counter("nops_sent", stats_.nops_sent);
   counter("nops_skipped", stats_.nops_skipped);
+  counter("slice_send_failures", stats_.slice_send_failures);
+  counter("nop_send_failures", stats_.nop_send_failures);
   counter("programs_issued", stats_.programs_issued);
   counter("client_commits", stats_.client_commits);
   counter("client_programs", stats_.client_programs);
@@ -496,7 +498,13 @@ void Gatekeeper::SendNop(const RefinableTimestamp& ts) {
   for (EndpointId shard_ep : options_.shard_endpoints) {
     auto payload = std::make_shared<NopMessage>();
     payload->ts = ts;
-    options_.bus->Send(endpoint_, shard_ep, kMsgNop, std::move(payload));
+    const Status st =
+        options_.bus->Send(endpoint_, shard_ep, kMsgNop, std::move(payload));
+    if (!st.ok()) {
+      // A down shard: harmless (the next NOP after recovery re-primes the
+      // queue head), but counted so outages are visible in metrics.
+      stats_.nop_send_failures.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   stats_.nops_sent.fetch_add(1, std::memory_order_relaxed);
 }
@@ -689,8 +697,17 @@ Status Gatekeeper::CommitTransaction(
         auto payload = std::make_shared<TxMessage>();
         payload->ts = ts;
         payload->ops = std::move((*slices)[s]);
-        options_.bus->Send(endpoint_, options_.shard_endpoints[s], kMsgTx,
-                           std::move(payload));
+        const Status st = options_.bus->Send(
+            endpoint_, options_.shard_endpoints[s], kMsgTx,
+            std::move(payload));
+        if (!st.ok()) {
+          // The shard endpoint is down. The commit is already durable in
+          // the backing store (kvtx->Commit above), so nothing
+          // acknowledged is lost: recovery replays this write from the
+          // store. Count the drop -- it is the retry/replay work a chaos
+          // run must see in the metrics.
+          stats_.slice_send_failures.fetch_add(1, std::memory_order_relaxed);
+        }
       }
     });
     stats_.txs_committed.fetch_add(1, std::memory_order_relaxed);

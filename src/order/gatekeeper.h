@@ -123,6 +123,13 @@ class Gatekeeper {
     /// NOP rounds skipped by backpressure backoff (a shard inbox was
     /// above high water, so the emission period was multiplied).
     std::atomic<std::uint64_t> nops_skipped{0};
+    /// Post-commit slice / NOP sends that failed -- a shard endpoint was
+    /// down (detached, crashed process). Not data loss: the commit is
+    /// already durable in the backing store and recovery replays the
+    /// partition, but every drop here is a retry the cluster performed,
+    /// so chaos runs read it as their retry count.
+    std::atomic<std::uint64_t> slice_send_failures{0};
+    std::atomic<std::uint64_t> nop_send_failures{0};
     std::atomic<std::uint64_t> programs_issued{0};
     /// Client-ingress traffic (session API). client_programs counts
     /// REQUESTS; client_program_msgs counts the bus messages carrying

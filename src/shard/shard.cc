@@ -223,6 +223,37 @@ void Shard::Route(const BusMessage& msg) {
       OnMetricsRequest(*req);
       break;
     }
+    case kMsgShardReset: {
+      // A peer process died and is being replaced: forget all wire
+      // sequence state toward it. Handled on the event loop, so the
+      // reset is serialized with this shard's own sends to the peer --
+      // anything sent after the ack uses fresh sequence numbers.
+      auto reset = std::static_pointer_cast<ShardResetMessage>(msg.payload);
+      options_.bus->ResetPeer(reset->target);
+      auto ack = std::make_shared<ShardResetAckMessage>();
+      ack->shard = options_.id;
+      ack->token = reset->token;
+      (void)options_.bus->Send(endpoint_, reset->reply_to, kMsgShardResetAck,
+                               std::move(ack), /*never_block=*/true);
+      break;
+    }
+    case kMsgPartitionReplay: {
+      // Recovery replay: install vertices of this shard's partition read
+      // back from the durable store. The loop thread owns graph_, so
+      // direct installation is safe; duplicates (a slice that landed
+      // before the crash) overwrite with identical state.
+      auto replay =
+          std::static_pointer_cast<PartitionReplayMessage>(msg.payload);
+      for (auto& [node, blob] : replay->vertices) {
+        auto decoded = GraphStore::DeserializeNode(blob);
+        if (!decoded.ok()) {
+          stats_.op_apply_errors.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        graph_.InstallNode(std::move(decoded).value());
+      }
+      break;
+    }
     case kMsgStop:
       inbox_->Close();
       break;
@@ -617,6 +648,9 @@ void Shard::RunGc(const RefinableTimestamp& watermark) {
   };
   graph_.CollectBefore(watermark, conservative);
   resolver_.TrimBefore(watermark.clock);
+  // Shard-server processes: the oracle replica is ours alone, and this
+  // watermark message is the only way the parent's GC reaches it.
+  if (options_.gc_oracle) options_.oracle->CollectBefore(watermark.clock);
   stats_.gc_rounds.fetch_add(1, std::memory_order_relaxed);
 }
 

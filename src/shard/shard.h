@@ -84,6 +84,12 @@ class Shard {
     /// snapshot (docs/observability.md). The registry must outlive the
     /// shard; the shard drops its names in its destructor.
     obs::MetricsRegistry* metrics = nullptr;
+    /// Collect `oracle` at the kMsgGc watermark too. Shard-server
+    /// processes own their oracle REPLICA, so the parent's GC watermark
+    /// reaches it only through the shard (true in coord/serverd);
+    /// in-process deployments share one oracle that Weaver collects
+    /// itself (false).
+    bool gc_oracle = false;
   };
   static constexpr EndpointId kNoEndpoint = ~0u;
 

@@ -135,7 +135,7 @@ TEST(ClientSession, WaitAfterShutdownReturnsError) {
   Transaction late = session->BeginTx();
   (void)late.AssignNodeProperty(n, "k", "late");
   auto p = session->CommitAsync(std::move(late));
-  ASSERT_TRUE(p.WaitFor(std::chrono::seconds(5)));
+  ASSERT_TRUE(p.WaitFor(std::chrono::seconds(5)).ok());
   EXPECT_FALSE(p.Wait().ok());
   EXPECT_TRUE(p.Wait().status.IsFailedPrecondition() ||
               p.Wait().status.IsUnavailable())

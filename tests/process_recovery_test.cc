@@ -1,0 +1,340 @@
+// Shard-process crash recovery, end to end (docs/fault_tolerance.md):
+// a shard-server child is killed -9 mid-workload, the supervisor detects
+// the death, respawns a warm spare, replays the partition from the
+// backing store, and the deployment answers the same queries as an
+// in-process run that never crashed. The invariant under test is the
+// paper's durability contract: every ACKNOWLEDGED write survives the
+// crash (commits publish to the kv store before their shard slices go
+// out, so the replay scan covers them all).
+//
+// Lives in its own test binary: children are forked BEFORE the parent
+// deployment creates any threads (threads do not survive fork).
+//
+// Skipped under ThreadSanitizer: TSan and fork are a known-bad pairing
+// (same policy as multiprocess_smoke_test).
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/types.h>
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <random>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "client/weaver_client.h"
+#include "coord/serverd.h"
+#include "core/weaver.h"
+#include "net/fault_injector.h"
+#include "programs/standard_programs.h"
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define WEAVER_TSAN 1
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__)
+#define WEAVER_TSAN 1
+#endif
+
+namespace weaver {
+namespace {
+
+constexpr std::size_t kShards = 2;
+constexpr std::size_t kGatekeepers = 2;
+constexpr int kVertices = 96;
+constexpr int kOutageWrites = 40;
+
+WeaverOptions DeploymentOptions() {
+  WeaverOptions o;
+  o.num_shards = kShards;
+  o.num_gatekeepers = kGatekeepers;
+  o.tau_micros = 300;
+  o.nop_period_micros = 300;
+  o.metrics_poll_period_micros = 0;
+  return o;
+}
+
+/// Deterministic ring + seeded chords, built through the transactional
+/// client API (identical ids across deployments).
+std::vector<NodeId> BuildGraph(Weaver* db) {
+  WeaverClient client(db);
+  auto session = client.OpenSession();
+  std::vector<NodeId> nodes;
+  {
+    Transaction tx = session->BeginTx();
+    for (int i = 0; i < kVertices; ++i) {
+      const NodeId n = tx.CreateNode();
+      EXPECT_NE(n, kInvalidNodeId);
+      EXPECT_TRUE(tx.AssignNodeProperty(n, "idx", std::to_string(i)).ok());
+      nodes.push_back(n);
+    }
+    EXPECT_TRUE(session->Commit(&tx).ok());
+  }
+  std::mt19937 rng(4242);
+  std::uniform_int_distribution<int> pick(0, kVertices - 1);
+  for (int base = 0; base < kVertices; base += 32) {
+    Transaction tx = session->BeginTx();
+    for (int i = base; i < std::min(base + 32, kVertices); ++i) {
+      tx.CreateEdge(nodes[i], nodes[(i + 1) % kVertices]);
+    }
+    EXPECT_TRUE(session->Commit(&tx).ok());
+  }
+  for (int i = 0; i < 60; ++i) {
+    Transaction tx = session->BeginTx();
+    tx.CreateEdge(nodes[pick(rng)], nodes[pick(rng)]);
+    EXPECT_TRUE(session->Commit(&tx).ok());
+  }
+  return nodes;
+}
+
+/// Writes committed while (or right after) a shard is down: new vertices
+/// hung off the ring, one commit each so every acknowledgment is its own
+/// durability promise. Returns the new ids.
+std::vector<NodeId> ApplyOutageWrites(Weaver* db,
+                                      const std::vector<NodeId>& nodes) {
+  WeaverClient client(db);
+  auto session = client.OpenSession();
+  std::vector<NodeId> fresh;
+  for (int i = 0; i < kOutageWrites; ++i) {
+    Transaction tx = session->BeginTx();
+    const NodeId n = tx.CreateNode();
+    EXPECT_NE(n, kInvalidNodeId);
+    EXPECT_TRUE(tx.AssignNodeProperty(n, "wave", "outage").ok());
+    tx.CreateEdge(nodes[i % kVertices], n);
+    EXPECT_TRUE(session->Commit(&tx).ok()) << "outage write " << i;
+    fresh.push_back(n);
+  }
+  return fresh;
+}
+
+/// Runs `name` with bounded retries: a program raced against an ongoing
+/// recovery fails fast with Unavailable and is retried after a backoff
+/// (the chaos-mode client contract, docs/fault_tolerance.md#clients).
+Result<ProgramResult> RunWithRetry(Session* session,
+                                   std::string_view name, NodeId start,
+                                   std::string params = "") {
+  Result<ProgramResult> r = Status::Internal("never ran");
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    r = session->RunProgram(name, start, params);
+    if (r.ok() || !r.status().IsUnavailable()) return r;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return r;
+}
+
+struct WorkloadResults {
+  std::vector<std::vector<std::pair<NodeId, std::string>>> queries;
+};
+
+/// Pure function of the settled graph: BFS reachability from several
+/// sources (covers the outage vertices, which hang off the ring) plus
+/// point lookups on both original and outage vertices.
+WorkloadResults RunWorkload(Weaver* db, const std::vector<NodeId>& nodes,
+                            const std::vector<NodeId>& outage_nodes) {
+  WeaverClient client(db);
+  auto session = client.OpenSession();
+  WorkloadResults results;
+  auto record = [&](Result<ProgramResult> r) {
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    auto returns = r->returns;
+    std::sort(returns.begin(), returns.end());
+    results.queries.push_back(std::move(returns));
+  };
+  for (const int src : {0, 31, 77}) {
+    programs::BfsParams params;  // unbounded: every reachable vertex
+    record(RunWithRetry(session.get(), programs::kBfs, nodes[src],
+                        params.Encode()));
+  }
+  for (const int src : {3, 50}) {
+    record(RunWithRetry(session.get(), programs::kCountEdges, nodes[src]));
+    record(RunWithRetry(session.get(), programs::kGetNode, nodes[src]));
+  }
+  for (std::size_t i = 0; i < outage_nodes.size(); i += 7) {
+    record(RunWithRetry(session.get(), programs::kGetNode, outage_nodes[i]));
+  }
+  return results;
+}
+
+/// Polls cluster metrics until the supervisor reports `want` completed
+/// recoveries and no shard down. Returns false on deadline.
+bool AwaitRecoveries(Weaver* db, std::uint64_t want,
+                     std::chrono::seconds deadline) {
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  while (std::chrono::steady_clock::now() < until) {
+    auto cluster = db->CollectMetrics(/*timeout_micros=*/500'000);
+    if (cluster.ok()) {
+      const obs::MetricsSnapshot& local = cluster->local;
+      if (local.CounterValue("supervisor.recoveries") >= want &&
+          local.GaugeValue("supervisor.shards_down") == 0) {
+        return true;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return false;
+}
+
+#if !defined(WEAVER_TSAN)
+
+/// kill -9 one shard child mid-workload; acknowledged writes survive and
+/// the recovered deployment matches an in-process run that never crashed.
+TEST(ProcessRecovery, KilledShardIsRespawnedAndReplayed) {
+  // 1. Fork shard servers AND the warm spare pool first (no threads yet).
+  serverd::ShardServerOptions so;
+  so.num_shards = kShards;
+  so.num_gatekeepers = kGatekeepers;
+  auto children = serverd::SpawnShardServers(so);
+  ASSERT_TRUE(children.ok()) << children.status().ToString();
+  auto spares = serverd::SpawnSpareServers(so, /*count=*/2);
+  ASSERT_TRUE(spares.ok()) << spares.status().ToString();
+
+  WorkloadResults remote_results;
+  std::vector<NodeId> remote_nodes;
+  std::vector<NodeId> remote_outage;
+  std::uint64_t replayed = 0;
+  {
+    WeaverOptions o = DeploymentOptions();
+    o.supervision.enabled = true;
+    o.supervision.poll_period_micros = 5'000;
+    for (const auto& child : *children) {
+      o.remote_shard_fds.push_back(child.parent_fd);
+      o.supervision.shard_pids.push_back(child.pid);
+    }
+    for (const auto& spare : *spares) {
+      o.supervision.spare_pids.push_back(spare.pid);
+      o.supervision.spare_fds.push_back(spare.parent_fd);
+    }
+    auto db = Weaver::Open(o);
+    ASSERT_NE(db, nullptr);
+
+    // 2. Build the graph, then hard-kill shard 0's process.
+    remote_nodes = BuildGraph(db.get());
+    ASSERT_EQ(::kill((*children)[0].pid, SIGKILL), 0);
+
+    // 3. Acknowledged writes while the shard is down (or recovering):
+    // commits stay available -- durability comes from the kv store, the
+    // dead shard's slices are the retries the replay makes whole.
+    remote_outage = ApplyOutageWrites(db.get(), remote_nodes);
+
+    // 4. The supervisor heals the cluster.
+    ASSERT_TRUE(AwaitRecoveries(db.get(), 1, std::chrono::seconds(30)))
+        << "supervisor never reported the recovery";
+
+    // 5. Post-recovery traversals see every acknowledged write.
+    remote_results = RunWorkload(db.get(), remote_nodes, remote_outage);
+    EXPECT_EQ(db->bus().stats().wire_seq_violations.load(), 0u)
+        << "recovery broke the wire FIFO contract";
+    auto cluster = db->CollectMetrics();
+    ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+    const obs::MetricsSnapshot& local = cluster->local;
+    EXPECT_EQ(local.CounterValue("supervisor.recoveries"), 1u);
+    EXPECT_EQ(local.CounterValue("supervisor.recoveries_failed"), 0u);
+    replayed = local.CounterValue("supervisor.replayed_vertices");
+    EXPECT_GT(replayed, 0u) << "recovery replayed nothing";
+    const obs::HistogramSnapshot* latency =
+        local.FindHistogram("supervisor.recovery_latency");
+    ASSERT_NE(latency, nullptr);
+    EXPECT_EQ(latency->count, 1u);
+    db->Shutdown();
+  }
+  // The killed child was reaped by the supervisor (ECHILD-skipped); the
+  // survivor, the consumed spare, and the unused spare all exit 0.
+  EXPECT_TRUE(serverd::WaitShardServers(*children).ok());
+  EXPECT_TRUE(serverd::WaitShardServers(*spares).ok());
+
+  // 6. The identical workload on an in-process deployment that never
+  // crashed must produce identical results.
+  auto db = Weaver::Open(DeploymentOptions());
+  ASSERT_NE(db, nullptr);
+  const std::vector<NodeId> nodes = BuildGraph(db.get());
+  ASSERT_EQ(nodes, remote_nodes);
+  const std::vector<NodeId> outage = ApplyOutageWrites(db.get(), nodes);
+  ASSERT_EQ(outage, remote_outage);
+  const WorkloadResults local_results =
+      RunWorkload(db.get(), nodes, outage);
+  ASSERT_EQ(remote_results.queries.size(), local_results.queries.size());
+  for (std::size_t q = 0; q < local_results.queries.size(); ++q) {
+    EXPECT_EQ(remote_results.queries[q], local_results.queries[q])
+        << "query " << q << " diverged after crash recovery";
+  }
+  // The BFS really covered the post-crash graph: ring + outage vertices.
+  ASSERT_FALSE(local_results.queries.empty());
+  EXPECT_EQ(local_results.queries[0].size(),
+            static_cast<std::size_t>(kVertices + kOutageWrites));
+}
+
+/// The deterministic fault-injection seam: a FaultInjectingTransport
+/// drops shard 1's link at a fixed frame count. The process survives,
+/// but the parent sees EOF -- the supervisor must SIGKILL the orphan and
+/// recover exactly as for a real crash.
+TEST(ProcessRecovery, DroppedLinkRecoversThroughInjectorSeam) {
+  serverd::ShardServerOptions so;
+  so.num_shards = kShards;
+  so.num_gatekeepers = 1;
+  auto children = serverd::SpawnShardServers(so);
+  ASSERT_TRUE(children.ok()) << children.status().ToString();
+  auto spares = serverd::SpawnSpareServers(so, /*count=*/1);
+  ASSERT_TRUE(spares.ok()) << spares.status().ToString();
+
+  std::shared_ptr<FaultInjectingTransport> injected;
+  {
+    WeaverOptions o = DeploymentOptions();
+    o.num_gatekeepers = 1;
+    o.supervision.enabled = true;
+    o.supervision.poll_period_micros = 5'000;
+    for (const auto& child : *children) {
+      o.remote_shard_fds.push_back(child.parent_fd);
+      o.supervision.shard_pids.push_back(child.pid);
+    }
+    for (const auto& spare : *spares) {
+      o.supervision.spare_pids.push_back(spare.pid);
+      o.supervision.spare_fds.push_back(spare.parent_fd);
+    }
+    o.shard_transport_decorator =
+        [&injected](std::shared_ptr<Transport> inner,
+                    ShardId shard) -> std::shared_ptr<Transport> {
+      if (shard != 1 || injected != nullptr) return inner;
+      FaultPlan plan;
+      plan.kind = FaultPlan::Kind::kDropLink;
+      plan.after_frames = 200;  // mid-build: reproducible on every run
+      injected = std::make_shared<FaultInjectingTransport>(std::move(inner),
+                                                           plan);
+      return injected;
+    };
+    auto db = Weaver::Open(o);
+    ASSERT_NE(db, nullptr);
+    ASSERT_NE(injected, nullptr) << "decorator never ran";
+
+    const std::vector<NodeId> nodes = BuildGraph(db.get());
+    ASSERT_TRUE(AwaitRecoveries(db.get(), 1, std::chrono::seconds(30)))
+        << "supervisor never recovered the dropped link (injector fired: "
+        << injected->fired() << ", frames: " << injected->frames() << ")";
+    EXPECT_TRUE(injected->fired());
+
+    // The healed deployment still answers traversals over the full ring.
+    WeaverClient client(db.get());
+    auto session = client.OpenSession();
+    programs::BfsParams params;
+    auto r = RunWithRetry(session.get(), programs::kBfs, nodes[0],
+                          params.Encode());
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->returns.size(), static_cast<std::size_t>(kVertices));
+    auto cluster = db->CollectMetrics();
+    ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+    EXPECT_GE(cluster->local.CounterValue("supervisor.recoveries"), 1u);
+    db->Shutdown();
+  }
+  EXPECT_TRUE(serverd::WaitShardServers(*children).ok());
+  EXPECT_TRUE(serverd::WaitShardServers(*spares).ok());
+}
+
+#endif  // !WEAVER_TSAN
+
+}  // namespace
+}  // namespace weaver
