@@ -16,7 +16,9 @@
 #include <optional>
 #include <utility>
 
+#include "common/annotations.h"
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace weaver {
 
@@ -39,7 +41,7 @@ class Pending {
 
   bool ready() const {
     if (!state_) return false;
-    std::lock_guard<std::mutex> lk(state_->mu);
+    MutexLock lk(state_->mu);
     return state_->value.has_value();
   }
 
@@ -49,7 +51,7 @@ class Pending {
   void Fulfill(T value) {
     if (!state_) return;
     {
-      std::lock_guard<std::mutex> lk(state_->mu);
+      MutexLock lk(state_->mu);
       if (state_->value.has_value()) return;
       state_->value.emplace(std::move(value));
     }
@@ -59,10 +61,13 @@ class Pending {
   /// Blocks until the request completes and returns its result. Repeated
   /// calls return the same result. Waiting on an empty (default-
   /// constructed) handle is a programming error.
+  // The returned reference outlives the lock; that is safe by the type's
+  // protocol: the slot is write-once (first Fulfill wins) and never
+  // cleared, so it is immutable once observed fulfilled.
   const T& Wait() {
     assert(state_ != nullptr && "Wait() on an empty Pending handle");
-    std::unique_lock<std::mutex> lk(state_->mu);
-    state_->cv.wait(lk, [&] { return state_->value.has_value(); });
+    MutexLock lk(state_->mu);
+    while (!state_->value.has_value()) state_->cv.wait(lk.native());
     return *state_->value;
   }
 
@@ -74,28 +79,33 @@ class Pending {
   template <typename Rep, typename Period>
   Status WaitFor(std::chrono::duration<Rep, Period> timeout) {
     assert(state_ != nullptr && "WaitFor() on an empty Pending handle");
-    std::unique_lock<std::mutex> lk(state_->mu);
-    if (state_->cv.wait_for(lk, timeout,
-                            [&] { return state_->value.has_value(); })) {
-      return Status::Ok();
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    MutexLock lk(state_->mu);
+    while (!state_->value.has_value()) {
+      if (state_->cv.wait_until(lk.native(), deadline) ==
+          std::cv_status::timeout) {
+        if (state_->value.has_value()) break;  // fulfilled at the wire
+        return Status::DeadlineExceeded(
+            "request still in flight after timeout");
+      }
     }
-    return Status::DeadlineExceeded("request still in flight after timeout");
+    return Status::Ok();
   }
 
   /// Wait() and move the result out (single consumer; the slot keeps the
   /// moved-from value, so only call once).
   T Take() {
     assert(state_ != nullptr && "Take() on an empty Pending handle");
-    std::unique_lock<std::mutex> lk(state_->mu);
-    state_->cv.wait(lk, [&] { return state_->value.has_value(); });
+    MutexLock lk(state_->mu);
+    while (!state_->value.has_value()) state_->cv.wait(lk.native());
     return std::move(*state_->value);
   }
 
  private:
   struct State {
-    std::mutex mu;
+    Mutex mu;
     std::condition_variable cv;
-    std::optional<T> value;
+    std::optional<T> value GUARDED_BY(mu);
   };
 
   std::shared_ptr<State> state_;

@@ -23,7 +23,9 @@
 #include <utility>
 
 #include "client/pending.h"
+#include "common/annotations.h"
 #include "common/result.h"
+#include "common/sync.h"
 #include "core/messages.h"
 #include "core/node_program.h"
 #include "core/transaction.h"
@@ -35,14 +37,14 @@ class ReplyRouter {
   /// Registers a handle and returns the request id to put in the message.
   /// Register BEFORE sending: a reply can arrive (inline) mid-Send.
   std::uint64_t RegisterCommit(Pending<CommitResult> pending) {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     const std::uint64_t id = next_id_++;
     commits_.emplace(id, std::move(pending));
     return id;
   }
 
   std::uint64_t RegisterProgram(Pending<Result<ProgramResult>> pending) {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     const std::uint64_t id = next_id_++;
     programs_.emplace(id, std::move(pending));
     return id;
@@ -98,7 +100,7 @@ class ReplyRouter {
     std::unordered_map<std::uint64_t, Pending<Result<ProgramResult>>>
         programs;
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       commits.swap(commits_);
       programs.swap(programs_);
     }
@@ -111,13 +113,13 @@ class ReplyRouter {
   }
 
   std::size_t OutstandingForTest() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     return commits_.size() + programs_.size();
   }
 
  private:
   bool TakeCommit(std::uint64_t id, Pending<CommitResult>* out) {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     auto it = commits_.find(id);
     if (it == commits_.end()) return false;
     *out = std::move(it->second);
@@ -126,7 +128,7 @@ class ReplyRouter {
   }
 
   bool TakeProgram(std::uint64_t id, Pending<Result<ProgramResult>>* out) {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     auto it = programs_.find(id);
     if (it == programs_.end()) return false;
     *out = std::move(it->second);
@@ -134,11 +136,12 @@ class ReplyRouter {
     return true;
   }
 
-  mutable std::mutex mu_;
-  std::uint64_t next_id_ = 1;
-  std::unordered_map<std::uint64_t, Pending<CommitResult>> commits_;
+  mutable Mutex mu_;
+  std::uint64_t next_id_ GUARDED_BY(mu_) = 1;
+  std::unordered_map<std::uint64_t, Pending<CommitResult>> commits_
+      GUARDED_BY(mu_);
   std::unordered_map<std::uint64_t, Pending<Result<ProgramResult>>>
-      programs_;
+      programs_ GUARDED_BY(mu_);
 };
 
 }  // namespace weaver

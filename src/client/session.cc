@@ -44,7 +44,7 @@ Session::Session(Weaver* db, GatekeeperId gk, std::uint64_t name_hint)
         if (msg.payload_tag == kMsgClientCommitReply) {
           auto reply =
               std::static_pointer_cast<ClientCommitReplyMessage>(msg.payload);
-          std::lock_guard<std::mutex> lk(shared->mu);
+          MutexLock lk(shared->mu);
           if (reply->status.ok()) {
             // Commit replies arrive in execution (= submission) order on
             // this session's lane, so last-writer-wins is the latest
@@ -56,7 +56,7 @@ Session::Session(Weaver* db, GatekeeperId gk, std::uint64_t name_hint)
         } else if (msg.payload_tag == kMsgClientProgramReply) {
           auto reply = std::static_pointer_cast<ClientProgramReplyMessage>(
               msg.payload);
-          std::lock_guard<std::mutex> lk(shared->mu);
+          MutexLock lk(shared->mu);
           RecordReplyLatency(shared->program_latency, &shared->program_t0,
                              reply->request_id);
         }
@@ -80,12 +80,12 @@ Session::~Session() {
 }
 
 void Session::SetReadYourWrites(bool on) {
-  std::lock_guard<std::mutex> lk(state_mu_);
+  MutexLock lk(state_mu_);
   read_your_writes_ = on;
 }
 
 bool Session::read_your_writes() const {
-  std::lock_guard<std::mutex> lk(state_mu_);
+  MutexLock lk(state_mu_);
   return read_your_writes_;
 }
 
@@ -127,7 +127,7 @@ Pending<CommitResult> Session::SubmitCommit(Transaction tx, bool delay_paid) {
   msg->request_id = router_->RegisterCommit(pending);
   const std::uint64_t request_id = msg->request_id;
   {
-    std::lock_guard<std::mutex> slk(shared_->mu);
+    MutexLock slk(shared_->mu);
     shared_->commit_t0[request_id] = NowNanos();
   }
   Status sent;
@@ -135,17 +135,17 @@ Pending<CommitResult> Session::SubmitCommit(Transaction tx, bool delay_paid) {
     // The mutex defines the session's submission order when several
     // threads share it: sends enter the bus channel (and so the ingress
     // lane) in this critical section's order.
-    std::lock_guard<std::mutex> lk(submit_mu_);
+    MutexLock lk(submit_mu_);
     sent = db_->bus().Send(endpoint_, gk_client_ep_, kMsgClientCommit,
                            std::move(msg));
     if (sent.ok()) {
-      std::lock_guard<std::mutex> slk(state_mu_);
+      MutexLock slk(state_mu_);
       last_commit_ = pending;
     }
   }
   if (!sent.ok()) {
     {
-      std::lock_guard<std::mutex> slk(shared_->mu);
+      MutexLock slk(shared_->mu);
       shared_->commit_t0.erase(request_id);
     }
     router_->FailCommit(request_id, std::move(sent));
@@ -160,7 +160,7 @@ Pending<CommitResult> Session::CommitAsync(Transaction tx) {
 RefinableTimestamp Session::CurrentFence() {
   Pending<CommitResult> last;
   {
-    std::lock_guard<std::mutex> lk(state_mu_);
+    MutexLock lk(state_mu_);
     if (!read_your_writes_) return {};
     last = last_commit_;
   }
@@ -168,7 +168,7 @@ RefinableTimestamp Session::CurrentFence() {
   // earlier one -- the lane is FIFO and replies are sent in execution
   // order) has then recorded the fence. Cheap when already done.
   if (last.valid()) (void)last.Wait();
-  std::lock_guard<std::mutex> lk(shared_->mu);
+  MutexLock lk(shared_->mu);
   return shared_->last_committed;
 }
 
@@ -205,7 +205,7 @@ std::vector<Pending<Result<ProgramResult>>> Session::RunProgramBatchAsync(
   }
   {
     const std::uint64_t now = NowNanos();
-    std::lock_guard<std::mutex> slk(shared_->mu);
+    MutexLock slk(shared_->mu);
     for (const std::uint64_t rid : request_ids) {
       shared_->program_t0[rid] = now;
     }
@@ -216,7 +216,7 @@ std::vector<Pending<Result<ProgramResult>>> Session::RunProgramBatchAsync(
                                       kMsgClientProgram, std::move(msg));
   if (!sent.ok()) {
     {
-      std::lock_guard<std::mutex> slk(shared_->mu);
+      MutexLock slk(shared_->mu);
       for (const std::uint64_t rid : request_ids) {
         shared_->program_t0.erase(rid);
       }

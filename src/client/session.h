@@ -43,8 +43,10 @@
 
 #include "client/pending.h"
 #include "client/reply_router.h"
+#include "common/annotations.h"
 #include "common/ids.h"
 #include "common/result.h"
+#include "common/sync.h"
 #include "core/node_program.h"
 #include "core/transaction.h"
 #include "core/weaver.h"
@@ -151,28 +153,31 @@ class Session {
   /// State the reply handler writes; shared for the same lifetime reason
   /// as the router (the handler must never touch `this`).
   struct SharedState {
-    std::mutex mu;
-    RefinableTimestamp last_committed;
+    Mutex mu;
+    RefinableTimestamp last_committed GUARDED_BY(mu);
     /// End-to-end client latency ("client.commit_latency" /
     /// "client.program_latency", shared by every session of the
     /// deployment; owned by its registry). Submission stamps a start time
-    /// by request id; the reply handler records the difference.
+    /// by request id; the reply handler records the difference. The
+    /// pointers themselves are set once at session construction, before
+    /// the reply endpoint exists, and never change -- no guard needed.
     obs::LatencyHistogram* commit_latency = nullptr;
     obs::LatencyHistogram* program_latency = nullptr;
-    std::unordered_map<std::uint64_t, std::uint64_t> commit_t0;
-    std::unordered_map<std::uint64_t, std::uint64_t> program_t0;
+    std::unordered_map<std::uint64_t, std::uint64_t> commit_t0 GUARDED_BY(mu);
+    std::unordered_map<std::uint64_t, std::uint64_t> program_t0 GUARDED_BY(mu);
   };
   std::shared_ptr<SharedState> shared_ = std::make_shared<SharedState>();
 
   /// Serializes commit submissions: the critical section's order is the
-  /// session's commit submission order (programs submit lock-free).
-  std::mutex submit_mu_;
+  /// session's commit submission order (programs submit lock-free). An
+  /// ordering lock -- it guards no fields, so no GUARDED_BY points here.
+  Mutex submit_mu_;
 
   /// Read-your-writes mode flag + the most recent commit's handle (its
-  /// reply carries the fence timestamp). Guarded by state_mu_.
-  mutable std::mutex state_mu_;
-  bool read_your_writes_ = false;
-  Pending<CommitResult> last_commit_;
+  /// reply carries the fence timestamp).
+  mutable Mutex state_mu_;
+  bool read_your_writes_ GUARDED_BY(state_mu_) = false;
+  Pending<CommitResult> last_commit_ GUARDED_BY(state_mu_);
 };
 
 }  // namespace weaver

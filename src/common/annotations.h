@@ -1,0 +1,90 @@
+// Clang Thread Safety Analysis annotations.
+//
+// These macros attach capability (lock) semantics to types, fields, and
+// functions so that `clang -Wthread-safety` can prove lock discipline at
+// compile time: every GUARDED_BY field access must happen with its mutex
+// held, every REQUIRES function must be called with the named locks held,
+// and scoped guards (SCOPED_CAPABILITY) are tracked through their
+// constructor/destructor. Under any other compiler (or with
+// WEAVER_NO_THREAD_SAFETY_ANNOTATIONS defined) every macro expands to
+// nothing, so the annotations are zero-cost documentation.
+//
+// The vocabulary follows the Clang documentation's canonical mutex.h
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html). Conventions
+// for this repo are in docs/static_analysis.md. Intentional escapes use
+// NO_THREAD_SAFETY_ANALYSIS and must carry a `ts_unchecked:` rationale
+// comment at the use site; the CMake option WEAVER_THREAD_SAFETY=ON turns
+// the analysis on as -Werror so annotations cannot rot.
+#pragma once
+
+#if defined(__clang__) && !defined(WEAVER_NO_THREAD_SAFETY_ANNOTATIONS)
+#define WEAVER_TS_ATTRIBUTE(x) __attribute__((x))
+#else
+#define WEAVER_TS_ATTRIBUTE(x)  // no-op outside Clang
+#endif
+
+/// Marks a class as a capability (a lock). The string names the
+/// capability kind in diagnostics, e.g. CAPABILITY("mutex").
+#define CAPABILITY(x) WEAVER_TS_ATTRIBUTE(capability(x))
+
+/// Marks a class as a scoped capability: its constructor acquires and its
+/// destructor releases, like std::lock_guard.
+#define SCOPED_CAPABILITY WEAVER_TS_ATTRIBUTE(scoped_lockable)
+
+/// Field may only be read/written with the given capability held.
+#define GUARDED_BY(x) WEAVER_TS_ATTRIBUTE(guarded_by(x))
+
+/// Pointer field whose *pointee* may only be accessed with the capability
+/// held (the pointer itself is unguarded).
+#define PT_GUARDED_BY(x) WEAVER_TS_ATTRIBUTE(pt_guarded_by(x))
+
+/// Declares a required acquisition order between capabilities.
+#define ACQUIRED_BEFORE(...) WEAVER_TS_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) WEAVER_TS_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+/// Caller must hold the capability exclusively (resp. at least shared)
+/// when invoking the function; the function does not release it.
+#define REQUIRES(...) \
+  WEAVER_TS_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  WEAVER_TS_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires (resp. releases) the capability; caller must not
+/// (resp. must) hold it at the call.
+#define ACQUIRE(...) WEAVER_TS_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  WEAVER_TS_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) WEAVER_TS_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  WEAVER_TS_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+/// Releases a capability held in either exclusive or shared mode (used on
+/// destructors of guards that can hold either).
+#define RELEASE_GENERIC(...) \
+  WEAVER_TS_ATTRIBUTE(release_generic_capability(__VA_ARGS__))
+
+/// Function attempts the acquisition and returns `ret` on success.
+#define TRY_ACQUIRE(...) \
+  WEAVER_TS_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  WEAVER_TS_ATTRIBUTE(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (guards against self-deadlock on
+/// non-reentrant locks).
+#define EXCLUDES(...) WEAVER_TS_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (tells the analysis to
+/// assume it from here on).
+#define ASSERT_CAPABILITY(x) WEAVER_TS_ATTRIBUTE(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  WEAVER_TS_ATTRIBUTE(assert_shared_capability(x))
+
+/// Function returns a reference to the named capability (lets callers
+/// lock through an accessor).
+#define RETURN_CAPABILITY(x) WEAVER_TS_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch: turns the analysis off for one function. Every use MUST
+/// carry a `ts_unchecked:` comment explaining why the locking pattern is
+/// correct but inexpressible (e.g. dynamic lock sets over a runtime
+/// collection of mutexes, hand-over-hand locking across callbacks).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  WEAVER_TS_ATTRIBUTE(no_thread_safety_analysis)

@@ -7,6 +7,9 @@
 #include <optional>
 #include <utility>
 
+#include "common/annotations.h"
+#include "common/sync.h"
+
 namespace weaver {
 
 /// Unbounded (optionally bounded) blocking queue. Close() wakes all waiters;
@@ -20,9 +23,11 @@ class BlockingQueue {
 
   /// Returns false if the queue has been closed.
   bool Push(T item) {
-    std::unique_lock<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     if (capacity_ > 0) {
-      not_full_.wait(lk, [&] { return closed_ || items_.size() < capacity_; });
+      while (!closed_ && items_.size() >= capacity_) {
+        not_full_.wait(lk.native());
+      }
     }
     if (closed_) return false;
     items_.push_back(std::move(item));
@@ -38,7 +43,7 @@ class BlockingQueue {
   /// full of work for A). Hop batches are few (at most one per peer per
   /// drain cycle), so the capacity overshoot is bounded in practice.
   bool ForcePush(T item) {
-    std::unique_lock<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     if (closed_) return false;
     items_.push_back(std::move(item));
     not_empty_.notify_one();
@@ -49,7 +54,7 @@ class BlockingQueue {
   /// item is NOT consumed -- the caller may retry), kClosed when the
   /// queue no longer accepts work.
   PushResult TryPush(T& item) {
-    std::unique_lock<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     if (closed_) return PushResult::kClosed;
     if (capacity_ > 0 && items_.size() >= capacity_) return PushResult::kFull;
     items_.push_back(std::move(item));
@@ -59,8 +64,10 @@ class BlockingQueue {
 
   /// Blocks until an item is available or the queue is closed and empty.
   std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lk(mu_);
-    not_empty_.wait(lk, [&] { return closed_ || !items_.empty(); });
+    MutexLock lk(mu_);
+    while (!closed_ && items_.empty()) {
+      not_empty_.wait(lk.native());
+    }
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -70,7 +77,7 @@ class BlockingQueue {
 
   /// Non-blocking pop.
   std::optional<T> TryPop() {
-    std::unique_lock<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -79,32 +86,33 @@ class BlockingQueue {
   }
 
   void Close() {
-    std::unique_lock<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     closed_ = true;
     not_empty_.notify_all();
     not_full_.notify_all();
   }
 
   bool closed() const {
-    std::unique_lock<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     return closed_;
   }
 
-  /// Configured capacity; 0 means unbounded.
+  /// Configured capacity; 0 means unbounded. Immutable after
+  /// construction, so readable without the lock.
   std::size_t capacity() const { return capacity_; }
 
   std::size_t Size() const {
-    std::unique_lock<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     return items_.size();
   }
 
  private:
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
-  std::deque<T> items_;
-  std::size_t capacity_;
-  bool closed_ = false;
+  std::deque<T> items_ GUARDED_BY(mu_);
+  const std::size_t capacity_;
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace weaver

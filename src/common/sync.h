@@ -1,33 +1,162 @@
 // Small synchronization primitives shared across modules.
+//
+// Everything here is annotated for Clang Thread Safety Analysis
+// (common/annotations.h, docs/static_analysis.md): the lock types are
+// capabilities, the guards are scoped capabilities, and the rest of the
+// tree declares GUARDED_BY/REQUIRES against them so `-Wthread-safety`
+// proves lock discipline at compile time.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <mutex>
+#include <new>
 #include <shared_mutex>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/ids.h"
 
 namespace weaver {
 
-/// Test-and-test-and-set spinlock for very short critical sections
-/// (e.g. a vector-clock increment). Satisfies BasicLockable.
-class SpinLock {
+/// Cache-line size used to pad per-stripe locks so neighbouring stripes
+/// do not false-share. libstdc++ only exposes the real value when the
+/// feature-test macro says so; 64 bytes is correct for every x86-64 and
+/// most AArch64 parts we run on.
+#if defined(__cpp_lib_hardware_interference_size)
+// GCC warns that the value can vary with -mtune; we use it only to size
+// private padding, never across an ABI boundary, so the variance is fine.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winterference-size"
+#endif
+inline constexpr std::size_t kDestructiveInterferenceSize =
+    std::hardware_destructive_interference_size;
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+#else
+inline constexpr std::size_t kDestructiveInterferenceSize = 64;
+#endif
+
+/// std::mutex wrapped as a Clang TSA capability. Satisfies Lockable, so
+/// std::lock_guard / std::unique_lock still work where needed, but
+/// guarded code should prefer the annotated MutexLock below. native()
+/// exposes the underlying std::mutex for the rare caller that must build
+/// a dynamic lock set (and therefore steps outside the analysis).
+class CAPABILITY("mutex") Mutex {
  public:
-  void lock() {
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::shared_mutex wrapped as a TSA capability (exclusive writers,
+/// shared readers).
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock_shared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() RELEASE_SHARED() { mu_.unlock_shared(); }
+
+  std::shared_mutex& native() { return mu_; }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// Scoped exclusive lock over Mutex (the annotated std::unique_lock).
+/// Internally holds a std::unique_lock over the native mutex so
+/// condition variables can wait on it: the canonical wait shape is
+///
+///   MutexLock lk(mu_);
+///   while (!condition_on_guarded_state()) cv_.wait(lk.native());
+///
+/// (an explicit while-loop instead of the predicate overload, because
+/// TSA analyzes lambdas without the caller's capabilities). Unlock() /
+/// Lock() support hand-over-hand sections that drop the lock around a
+/// callback and retake it, with the analysis tracking the state.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : lk_(mu.native()) {}
+  ~MutexLock() RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void Unlock() RELEASE() { lk_.unlock(); }
+  void Lock() ACQUIRE() { lk_.lock(); }
+
+  /// The underlying unique_lock, for std::condition_variable::wait.
+  std::unique_lock<std::mutex>& native() { return lk_; }
+
+ private:
+  std::unique_lock<std::mutex> lk_;
+};
+
+/// Scoped shared (reader) lock over SharedMutex.
+class SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) ACQUIRE_SHARED(mu)
+      : lk_(mu.native()) {}
+  ~ReaderLock() RELEASE_GENERIC() = default;
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  std::shared_lock<std::shared_mutex> lk_;
+};
+
+/// Scoped exclusive (writer) lock over SharedMutex.
+class SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) ACQUIRE(mu) : lk_(mu.native()) {}
+  ~WriterLock() RELEASE_GENERIC() = default;
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  std::unique_lock<std::shared_mutex> lk_;
+};
+
+/// Test-and-test-and-set spinlock for very short critical sections
+/// (e.g. a vector-clock increment). Satisfies BasicLockable. A default-
+/// initialized atomic_flag is clear since C++20; the old ATOMIC_FLAG_INIT
+/// idiom is deprecated.
+class CAPABILITY("mutex") SpinLock {
+ public:
+  void lock() ACQUIRE() {
     while (flag_.test_and_set(std::memory_order_acquire)) {
       while (flag_.test(std::memory_order_relaxed)) {
         // spin
       }
     }
   }
-  void unlock() { flag_.clear(std::memory_order_release); }
-  bool try_lock() { return !flag_.test_and_set(std::memory_order_acquire); }
+  void unlock() RELEASE() { flag_.clear(std::memory_order_release); }
+  bool try_lock() TRY_ACQUIRE(true) {
+    return !flag_.test_and_set(std::memory_order_acquire);
+  }
 
  private:
-  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+  std::atomic_flag flag_;
 };
 
 /// A fixed bank of mutexes indexed by key hash. Used by the backing store's
@@ -40,14 +169,27 @@ class StripedMutex {
   std::size_t StripeFor(std::uint64_t key_hash) const {
     return MixHash64(key_hash) % stripes_.size();
   }
-  std::mutex& Get(std::size_t stripe) { return stripes_[stripe].m; }
+  Mutex& Get(std::size_t stripe) { return stripes_[stripe].m; }
   std::size_t stripe_count() const { return stripes_.size(); }
 
  private:
+  /// Pads each stripe out to a multiple of the destructive-interference
+  /// size so adjacent stripes never share a cache line. (When the mutex
+  /// happens to fill a whole number of lines already, the pad still adds
+  /// one line rather than a zero-length array.)
   struct Padded {
-    std::mutex m;
-    char pad[48];
+    Mutex m;
+    char pad[kDestructiveInterferenceSize -
+             (sizeof(Mutex) % kDestructiveInterferenceSize) +
+             (sizeof(Mutex) % kDestructiveInterferenceSize == 0
+                  ? kDestructiveInterferenceSize
+                  : 0)];
   };
+  static_assert(sizeof(Padded) % kDestructiveInterferenceSize == 0,
+                "stripe padding must round the stripe up to whole "
+                "cache lines to prevent false sharing");
+  static_assert(sizeof(Padded) >= kDestructiveInterferenceSize,
+                "a stripe must span at least one cache line");
   std::vector<Padded> stripes_;
 };
 
@@ -58,22 +200,22 @@ class ResettableLatch {
   explicit ResettableLatch(std::ptrdiff_t count) : count_(count) {}
 
   void CountDown() {
-    std::unique_lock<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     if (--count_ == 0) cv_.notify_all();
   }
   void Wait() {
-    std::unique_lock<std::mutex> lk(mu_);
-    cv_.wait(lk, [&] { return count_ <= 0; });
+    MutexLock lk(mu_);
+    while (count_ > 0) cv_.wait(lk.native());
   }
   void Reset(std::ptrdiff_t count) {
-    std::unique_lock<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     count_ = count;
   }
 
  private:
-  std::mutex mu_;
+  Mutex mu_;
   std::condition_variable cv_;
-  std::ptrdiff_t count_;
+  std::ptrdiff_t count_ GUARDED_BY(mu_);
 };
 
 }  // namespace weaver

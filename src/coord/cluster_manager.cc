@@ -6,7 +6,7 @@ namespace weaver {
 
 void ClusterManager::Register(std::string name, ServerKind kind,
                               std::uint32_t index) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   Member m;
   m.name = name;
   m.kind = kind;
@@ -17,7 +17,7 @@ void ClusterManager::Register(std::string name, ServerKind kind,
 }
 
 void ClusterManager::Heartbeat(const std::string& name) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto it = members_.find(name);
   if (it != members_.end()) {
     it->second.last_heartbeat_us = NowMicros();
@@ -27,7 +27,7 @@ void ClusterManager::Heartbeat(const std::string& name) {
 
 std::vector<std::string> ClusterManager::DetectFailures(
     std::uint64_t timeout_us) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   const std::uint64_t now = NowMicros();
   std::vector<std::string> failed;
   for (auto& [name, m] : members_) {
@@ -41,13 +41,13 @@ std::vector<std::string> ClusterManager::DetectFailures(
 }
 
 void ClusterManager::MarkFailed(const std::string& name) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto it = members_.find(name);
   if (it != members_.end()) it->second.alive = false;
 }
 
 void ClusterManager::MarkRecovered(const std::string& name) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto it = members_.find(name);
   if (it != members_.end()) {
     it->second.alive = true;
@@ -56,13 +56,13 @@ void ClusterManager::MarkRecovered(const std::string& name) {
 }
 
 bool ClusterManager::IsAlive(const std::string& name) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto it = members_.find(name);
   return it != members_.end() && it->second.alive;
 }
 
 std::vector<ClusterManager::Member> ClusterManager::Members() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   std::vector<Member> out;
   out.reserve(members_.size());
   for (const auto& [_, m] : members_) out.push_back(m);
@@ -72,13 +72,13 @@ std::vector<ClusterManager::Member> ClusterManager::Members() const {
 }
 
 void ClusterManager::RestoreEpoch(std::uint32_t epoch) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   epoch_ = std::max(epoch_, epoch);
 }
 
 void ClusterManager::SetEpochPersist(
     std::function<Status(std::uint32_t)> persist) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   persist_epoch_ = std::move(persist);
 }
 
@@ -89,12 +89,12 @@ Result<std::uint32_t> ClusterManager::AdvanceEpochBarrier(
   std::vector<std::unique_lock<std::mutex>> locks;
   locks.reserve(gatekeepers.size());
   for (Gatekeeper* gk : gatekeepers) {
-    locks.emplace_back(gk->clock_mutex());
+    locks.emplace_back(gk->clock_mutex().native());
   }
   std::uint32_t new_epoch;
   std::function<Status(std::uint32_t)> persist;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     new_epoch = epoch_ + 1;
     persist = persist_epoch_;
   }
@@ -108,7 +108,7 @@ Result<std::uint32_t> ClusterManager::AdvanceEpochBarrier(
     if (!persisted.ok()) return persisted;
   }
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     epoch_ = new_epoch;
   }
   for (Gatekeeper* gk : gatekeepers) {

@@ -22,8 +22,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/clock.h"
 #include "common/ids.h"
+#include "common/sync.h"
 #include "common/result.h"
 #include "order/gatekeeper.h"
 
@@ -59,7 +61,7 @@ class ClusterManager {
   std::vector<Member> Members() const;
 
   std::uint32_t current_epoch() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     return epoch_;
   }
 
@@ -81,14 +83,17 @@ class ClusterManager {
   /// epoch can be issued until all gatekeepers have advanced, and no
   /// old-epoch timestamp can be issued after any new-epoch one. Fails
   /// (leaving the epoch unchanged) only when the persist hook fails.
+  // ts_unchecked: acquires every gatekeeper's clock lock through a
+  // dynamic std::unique_lock vector (a runtime-sized lock bank, taken in
+  // canonical bank order), which the analysis cannot model.
   Result<std::uint32_t> AdvanceEpochBarrier(
-      const std::vector<Gatekeeper*>& gatekeepers);
+      const std::vector<Gatekeeper*>& gatekeepers) NO_THREAD_SAFETY_ANALYSIS;
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Member> members_;
-  std::uint32_t epoch_ = 0;
-  std::function<Status(std::uint32_t)> persist_epoch_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, Member> members_ GUARDED_BY(mu_);
+  std::uint32_t epoch_ GUARDED_BY(mu_) = 0;
+  std::function<Status(std::uint32_t)> persist_epoch_ GUARDED_BY(mu_);
 };
 
 }  // namespace weaver

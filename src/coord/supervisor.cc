@@ -48,7 +48,7 @@ ShardSupervisor::~ShardSupervisor() {
 }
 
 void ShardSupervisor::Start() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (thread_.joinable()) return;
   stop_ = false;
   thread_ = std::thread([this] { MonitorLoop(); });
@@ -56,7 +56,7 @@ void ShardSupervisor::Start() {
 
 void ShardSupervisor::Stop() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     stop_ = true;
     cv_.notify_all();
   }
@@ -72,13 +72,13 @@ void ShardSupervisor::Stop() {
 void ShardSupervisor::OnLinkDown(ShardId shard) {
   if (shard >= shards_.size()) return;
   shards_[shard]->link_down.store(true, std::memory_order_release);
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   wake_ = true;
   cv_.notify_all();
 }
 
 void ShardSupervisor::OnResetAck(const ShardResetAckMessage& ack) {
-  std::lock_guard<std::mutex> lk(ack_mu_);
+  MutexLock lk(ack_mu_);
   if (ack.token != ack_token_) return;  // stale ack from an earlier round
   ++acks_;
   ack_cv_.notify_all();
@@ -108,9 +108,16 @@ void ShardSupervisor::MonitorLoop() {
   const ShardSupervisionOptions& opts = weaver_->options_.supervision;
   while (true) {
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_.wait_for(lk, std::chrono::microseconds(opts.poll_period_micros),
-                   [&] { return stop_ || wake_; });
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::microseconds(opts.poll_period_micros);
+      MutexLock lk(mu_);
+      while (!stop_ && !wake_) {
+        if (cv_.wait_until(lk.native(), deadline) ==
+            std::cv_status::timeout) {
+          break;
+        }
+      }
       if (stop_) return;
       wake_ = false;
     }
@@ -250,7 +257,7 @@ void ShardSupervisor::Recover(ShardId s) {
   {
     // 5. REPLAY under the exclusive gate: no commit slice or program
     // seed interleaves with the reset + replay stream.
-    std::unique_lock<std::shared_mutex> gate(weaver_->commit_gate_);
+    WriterLock gate(weaver_->commit_gate_);
     // Programs seeded between the fence above and this acquisition may
     // have hops en route to the dead endpoint (dropped at the hub) --
     // they would hang, so they fail here too. Seeding holds the shared
@@ -294,7 +301,7 @@ void ShardSupervisor::Recover(ShardId s) {
 void ShardSupervisor::ResetSurvivors(ShardId dead, EndpointId dead_ep) {
   const std::uint64_t token = next_token_++;
   {
-    std::lock_guard<std::mutex> lk(ack_mu_);
+    MutexLock lk(ack_mu_);
     ack_token_ = token;
     acks_ = 0;
   }
@@ -314,12 +321,19 @@ void ShardSupervisor::ResetSurvivors(ShardId dead, EndpointId dead_ep) {
     }
   }
   if (expected == 0) return;
-  std::unique_lock<std::mutex> lk(ack_mu_);
-  const bool all = ack_cv_.wait_for(
-      lk,
+  const auto deadline =
+      std::chrono::steady_clock::now() +
       std::chrono::microseconds(
-          weaver_->options_.supervision.reset_ack_timeout_micros),
-      [&] { return acks_ >= expected; });
+          weaver_->options_.supervision.reset_ack_timeout_micros);
+  MutexLock lk(ack_mu_);
+  bool all = true;
+  while (acks_ < expected) {
+    if (ack_cv_.wait_until(lk.native(), deadline) ==
+        std::cv_status::timeout) {
+      all = acks_ >= expected;
+      break;
+    }
+  }
   if (!all) {
     reset_ack_timeouts_->Add();
     std::fprintf(stderr,

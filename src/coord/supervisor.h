@@ -57,8 +57,10 @@
 #include <thread>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/ids.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "core/messages.h"
 #include "obs/metrics.h"
 
@@ -123,18 +125,22 @@ class ShardSupervisor {
   std::vector<pid_t> spare_pids_;
   std::vector<int> spare_fds_;
 
-  std::mutex mu_;
+  Mutex mu_;
   std::condition_variable cv_;
-  bool stop_ = false;
-  bool wake_ = false;  // link-down fast path: skip the rest of the poll wait
+  bool stop_ GUARDED_BY(mu_) = false;
+  /// Link-down fast path: skip the rest of the poll wait.
+  bool wake_ GUARDED_BY(mu_) = false;
+  /// Written by Start (under mu_, before the loop runs) and joined by
+  /// Stop after the stop_ handshake; the handle itself needs no guard.
   std::thread thread_;
 
   // Reset-ack round state (one round at a time; the monitor thread is the
   // only initiator).
-  std::mutex ack_mu_;
+  Mutex ack_mu_;
   std::condition_variable ack_cv_;
-  std::uint64_t ack_token_ = 0;
-  std::size_t acks_ = 0;
+  std::uint64_t ack_token_ GUARDED_BY(ack_mu_) = 0;
+  std::size_t acks_ GUARDED_BY(ack_mu_) = 0;
+  /// Monitor thread only (ResetSurvivors is its sole caller); no guard.
   std::uint64_t next_token_ = 1;
 
   // Owned by the deployment registry; dropped (prefix "supervisor.") in

@@ -13,7 +13,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/ids.h"
+#include "common/sync.h"
 #include "kvstore/kvstore.h"
 
 namespace weaver {
@@ -37,7 +39,7 @@ class NodeLocator {
   /// Shard of `node`, or nullopt if the vertex is unknown.
   std::optional<ShardId> Lookup(NodeId node) const {
     {
-      std::shared_lock lk(mu_);
+      ReaderLock lk(mu_);
       auto it = map_.find(node);
       if (it != map_.end()) return it->second;
     }
@@ -56,13 +58,13 @@ class NodeLocator {
   }
 
   void Record(NodeId node, ShardId shard) {
-    std::unique_lock lk(mu_);
+    WriterLock lk(mu_);
     auto [it, inserted] = map_.try_emplace(node, shard);
     if (inserted && shard < loads_.size()) loads_[shard]++;
   }
 
   void Forget(NodeId node) {
-    std::unique_lock lk(mu_);
+    WriterLock lk(mu_);
     auto it = map_.find(node);
     if (it != map_.end()) {
       if (it->second < loads_.size()) loads_[it->second]--;
@@ -72,21 +74,21 @@ class NodeLocator {
 
   /// Vertex count per shard (partitioner input).
   std::vector<std::size_t> ShardLoads() const {
-    std::shared_lock lk(mu_);
+    ReaderLock lk(mu_);
     return loads_;
   }
 
   std::size_t Size() const {
-    std::shared_lock lk(mu_);
+    ReaderLock lk(mu_);
     return map_.size();
   }
 
  private:
   KvStore* kv_;
   std::function<ShardId(NodeId)> default_placement_;
-  mutable std::shared_mutex mu_;
-  std::unordered_map<NodeId, ShardId> map_;
-  std::vector<std::size_t> loads_;
+  mutable SharedMutex mu_;
+  std::unordered_map<NodeId, ShardId> map_ GUARDED_BY(mu_);
+  std::vector<std::size_t> loads_ GUARDED_BY(mu_);
 };
 
 }  // namespace weaver

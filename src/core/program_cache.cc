@@ -5,7 +5,7 @@ namespace weaver {
 std::optional<ProgramResult> ProgramCache::Lookup(std::string_view program,
                                                   NodeId start,
                                                   const std::string& params) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto it = entries_.find(Key{std::string(program), start, params});
   if (it == entries_.end()) {
     stats_.misses++;
@@ -18,7 +18,7 @@ std::optional<ProgramResult> ProgramCache::Lookup(std::string_view program,
 void ProgramCache::Insert(std::string_view program, NodeId start,
                           const std::string& params,
                           const ProgramResult& result) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (entries_.size() >= max_entries_) {
     // Simple safety valve: memoization is an optimization, so dumping the
     // cache wholesale is always correct.
@@ -43,7 +43,7 @@ void ProgramCache::Insert(std::string_view program, NodeId start,
 }
 
 void ProgramCache::InvalidateNode(NodeId node) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto nit = by_node_.find(node);
   if (nit == by_node_.end()) return;
   // Copy: erasing entries mutates the reverse index.
@@ -65,18 +65,18 @@ void ProgramCache::InvalidateNode(NodeId node) {
 }
 
 void ProgramCache::Clear() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   entries_.clear();
   by_node_.clear();
 }
 
 std::size_t ProgramCache::Size() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return entries_.size();
 }
 
 ProgramCache::Stats ProgramCache::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return stats_;
 }
 

@@ -25,7 +25,9 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/annotations.h"
 #include "common/ids.h"
+#include "common/sync.h"
 #include "core/node_program.h"
 
 namespace weaver {
@@ -81,11 +83,12 @@ class ProgramCache {
   };
 
   std::size_t max_entries_;
-  mutable std::mutex mu_;
-  std::unordered_map<Key, Entry, KeyHash> entries_;
+  mutable Mutex mu_;
+  std::unordered_map<Key, Entry, KeyHash> entries_ GUARDED_BY(mu_);
   // Reverse index: vertex -> keys depending on it.
-  std::unordered_map<NodeId, std::unordered_set<const Key*>> by_node_;
-  Stats stats_;
+  std::unordered_map<NodeId, std::unordered_set<const Key*>> by_node_
+      GUARDED_BY(mu_);
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace weaver

@@ -395,15 +395,15 @@ void Weaver::Start() {
       // down with DAG size), so they are collected every tick; the
       // O(graph) shard sweep runs every 64th tick.
       std::uint64_t tick = 0;
-      std::unique_lock<std::mutex> lk(gc_mu_);
+      MutexLock lk(gc_mu_);
       while (!stop_gc_) {
-        gc_cv_.wait_for(lk,
+        gc_cv_.wait_for(lk.native(),
                         std::chrono::microseconds(options_.gc_period_micros));
         if (stop_gc_) return;
-        lk.unlock();
+        lk.Unlock();
         RunGarbageCollection(/*include_shards=*/(++tick % 64) == 0);
         MaybePollRemoteMetrics();
-        lk.lock();
+        lk.Lock();
       }
     });
   }
@@ -424,7 +424,7 @@ void Weaver::Shutdown() {
   }
   started_.store(false);
   {
-    std::lock_guard<std::mutex> lk(gc_mu_);
+    MutexLock lk(gc_mu_);
     stop_gc_ = true;
     gc_cv_.notify_all();
   }
@@ -460,14 +460,14 @@ void Weaver::Shutdown() {
       Status::Unavailable("deployment shut down during execution"));
   // Same for metrics collections: their replies can no longer arrive.
   {
-    std::lock_guard<std::mutex> lk(metrics_mu_);
+    MutexLock lk(metrics_mu_);
     for (auto& [rid, c] : metrics_pending_) c.failed = true;
   }
   metrics_cv_.notify_all();
 }
 
 ShardId Weaver::PlaceNewNode(NodeId id) {
-  std::lock_guard<std::mutex> lk(partition_mu_);
+  MutexLock lk(partition_mu_);
   return partitioner_->Place(id, {}, locator_->ShardLoads());
 }
 
@@ -541,7 +541,7 @@ Status Weaver::CommitOnGatekeeper(Transaction* tx, Gatekeeper& gk) {
   // Shared side of the recovery gate: a partition replay in progress
   // (exclusive holder) must not interleave with commit slices
   // (docs/fault_tolerance.md). Uncontended in steady state.
-  std::shared_lock<std::shared_mutex> recovery_gate(commit_gate_);
+  ReaderLock recovery_gate(commit_gate_);
   // Resolve the placement of every vertex touched by the batch: created
   // vertices use the partitioner's tentative choice; existing vertices use
   // the locator (backed by the store's vertex->shard map).
@@ -594,7 +594,7 @@ void Weaver::ExecuteProgramAsync(
   // so a recovery's replay stream never interleaves with seed batches,
   // and so the supervisor's under-gate FailAllExecutions cannot miss an
   // execution that is mid-registration (docs/fault_tolerance.md).
-  std::shared_lock<std::shared_mutex> recovery_gate(commit_gate_);
+  ReaderLock recovery_gate(commit_gate_);
 
   // Visited-vertex pruning eligibility is an execution-wide property
   // decided here, once, over the start params (conservative AND across
@@ -640,7 +640,7 @@ void Weaver::ExecuteProgramAsync(
     ex->done = std::move(done);
     ex->begin_ns = seed_start;
     ex->traced = trace_.ShouldSample();
-    std::lock_guard<std::mutex> lk(executions_mu_);
+    MutexLock lk(executions_mu_);
     executions_.emplace(pid, std::move(ex));
   }
 
@@ -680,7 +680,7 @@ void Weaver::OnWaveAccounting(
     const std::shared_ptr<WaveAccountingMessage>& m) {
   std::unique_ptr<ProgramExecution> finished;
   {
-    std::lock_guard<std::mutex> lk(executions_mu_);
+    MutexLock lk(executions_mu_);
     auto it = executions_.find(m->program_id);
     if (it == executions_.end()) return;  // late delta after an abort
     ProgramExecution& ex = *it->second;
@@ -784,7 +784,7 @@ void Weaver::OnMetricsReport(
     bus_->NoteRemoteDepth(shard_endpoints_[m->shard], m->inbox_depth);
   }
   {
-    std::lock_guard<std::mutex> lk(metrics_mu_);
+    MutexLock lk(metrics_mu_);
     auto it = metrics_pending_.find(m->request_id);
     if (it == metrics_pending_.end()) return;  // background poll reply
     it->second.reports.push_back(*m);
@@ -834,38 +834,40 @@ Result<Weaver::ClusterMetrics> Weaver::CollectMetrics(
   const std::uint64_t rid =
       next_metrics_request_.fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lk(metrics_mu_);
+    MutexLock lk(metrics_mu_);
     metrics_pending_[rid].expected = shard_endpoints_.size();
   }
   const std::size_t sent = RequestRemoteMetrics(rid);
   MetricsCollection collection;
   Status failure = Status::Ok();
   {
-    std::unique_lock<std::mutex> lk(metrics_mu_);
+    MutexLock lk(metrics_mu_);
     // Re-find on every check: concurrent CollectMetrics calls insert into
     // the map while this one waits, which can invalidate references.
-    const auto pending = [&]() -> MetricsCollection& {
-      return metrics_pending_[rid];
-    };
-    if (sent < pending().expected) {
+    if (sent < metrics_pending_[rid].expected) {
       failure = Status::Unavailable("a shard-server process is gone");
     } else {
-      metrics_cv_.wait_for(
-          lk, std::chrono::microseconds(timeout_micros), [&] {
-            return pending().failed ||
-                   pending().reports.size() >= pending().expected;
-          });
-      if (pending().failed) {
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::microseconds(timeout_micros);
+      bool timed_out = false;
+      while (!timed_out) {
+        const MetricsCollection& p = metrics_pending_[rid];
+        if (p.failed || p.reports.size() >= p.expected) break;
+        timed_out = metrics_cv_.wait_until(lk.native(), deadline) ==
+                    std::cv_status::timeout;
+      }
+      const MetricsCollection& p = metrics_pending_[rid];
+      if (p.failed) {
         failure = Status::Unavailable("deployment shut down during "
                                       "metrics collection");
-      } else if (pending().reports.size() < pending().expected) {
+      } else if (p.reports.size() < p.expected) {
         failure = Status::TimedOut(
             "metrics collection incomplete: " +
-            std::to_string(pending().reports.size()) + "/" +
-            std::to_string(pending().expected) + " shard reports");
+            std::to_string(p.reports.size()) + "/" +
+            std::to_string(p.expected) + " shard reports");
       }
     }
-    collection = std::move(pending());
+    collection = std::move(metrics_pending_[rid]);
     metrics_pending_.erase(rid);
   }
   if (!failure.ok()) return failure;
@@ -880,7 +882,7 @@ Result<Weaver::ClusterMetrics> Weaver::CollectMetrics(
 void Weaver::FailAllExecutions(const Status& status) {
   std::unordered_map<ProgramId, std::unique_ptr<ProgramExecution>> orphans;
   {
-    std::lock_guard<std::mutex> lk(executions_mu_);
+    MutexLock lk(executions_mu_);
     orphans.swap(executions_);
   }
   for (auto& [pid, ex] : orphans) {
@@ -1006,7 +1008,7 @@ Status Weaver::BulkCreateNode(
     return Status::FailedPrecondition(
         "bulk load requires in-process shards; load through transactions");
   }
-  std::lock_guard<std::mutex> lk(bulk_mu_);
+  MutexLock lk(bulk_mu_);
   if (!bulk_ts_.valid()) {
     bulk_ts_ = gatekeepers_[0]->BeginProgram();  // any fresh timestamp
     gatekeepers_[0]->EndProgram(bulk_ts_);
@@ -1042,7 +1044,7 @@ Result<EdgeId> Weaver::BulkCreateEdge(
   if (!shard.has_value()) {
     return Status::NotFound("bulk edge source " + std::to_string(from));
   }
-  std::lock_guard<std::mutex> lk(bulk_mu_);
+  MutexLock lk(bulk_mu_);
   const EdgeId eid = AllocateEdgeId();
   GraphStore& g = shards_[*shard]->graph();
   WEAVER_RETURN_IF_ERROR(g.CreateEdge(eid, from, to, bulk_ts_));
@@ -1057,7 +1059,7 @@ Status Weaver::FinishBulkLoad() {
     return Status::FailedPrecondition("bulk load requires a stopped deployment");
   }
   if (!options_.bulk_load_durable) return Status::Ok();
-  std::lock_guard<std::mutex> lk(bulk_mu_);
+  MutexLock lk(bulk_mu_);
   ByteWriter ts_writer;
   bulk_ts_.Serialize(&ts_writer);
   const std::string ts_blob = ts_writer.Take();

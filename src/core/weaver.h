@@ -38,8 +38,10 @@
 #include <vector>
 
 #include "client/reply_router.h"
+#include "common/annotations.h"
 #include "common/ids.h"
 #include "common/result.h"
+#include "common/sync.h"
 #include "coord/cluster_manager.h"
 #include "core/locator.h"
 #include "core/messages.h"
@@ -503,6 +505,8 @@ class Weaver {
   TimelineOracle oracle_;
   std::shared_ptr<ProgramRegistry> programs_;
   std::unique_ptr<NodeLocator> locator_;
+  /// Placement decisions run under partition_mu_ (the LDG partitioner
+  /// mutates per-shard load state); set once at Open, before any thread.
   std::unique_ptr<Partitioner> partitioner_;
   /// In-process shard servers; all null in remote-shard deployments.
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -522,9 +526,9 @@ class Weaver {
 
   // In-flight node programs keyed by execution id (freshly allocated
   // per run from next_program_id_ -- see ProgramExecution::pid).
-  std::mutex executions_mu_;
+  Mutex executions_mu_;
   std::unordered_map<ProgramId, std::unique_ptr<ProgramExecution>>
-      executions_;
+      executions_ GUARDED_BY(executions_mu_);
 
   ProgramCache program_cache_;
   Status storage_status_;  // non-OK when the durable store failed to open
@@ -539,13 +543,13 @@ class Weaver {
   /// are bus endpoint ids, and so fit in 32 bits).
   std::atomic<std::uint64_t> next_internal_lane_{1ull << 63};
 
-  std::mutex partition_mu_;  // serializes placement decisions
+  Mutex partition_mu_;  // serializes placement decisions
 
   // Cluster-wide metrics collection (remote deployments): CollectMetrics
   // registers a pending entry keyed by request id; coordinator-delivered
   // MetricsReports fill it and signal the waiter. Unsolicited reports
   // (background poll, late replies) just refresh remote depths.
-  std::mutex metrics_mu_;
+  Mutex metrics_mu_;
   std::condition_variable metrics_cv_;
   std::atomic<std::uint64_t> next_metrics_request_{1};
   struct MetricsCollection {
@@ -553,7 +557,8 @@ class Weaver {
     std::size_t expected = 0;
     bool failed = false;  // shutdown before completion
   };
-  std::unordered_map<std::uint64_t, MetricsCollection> metrics_pending_;
+  std::unordered_map<std::uint64_t, MetricsCollection> metrics_pending_
+      GUARDED_BY(metrics_mu_);
   std::uint64_t last_metrics_poll_ns_ = 0;  // GC-thread private
 
   // Coordinator-side program instruments (owned by metrics_).
@@ -565,14 +570,14 @@ class Weaver {
 
   // Periodic GC timer (paper §4.5).
   std::thread gc_thread_;
-  std::mutex gc_mu_;
+  Mutex gc_mu_;
   std::condition_variable gc_cv_;
-  bool stop_gc_ = false;
+  bool stop_gc_ GUARDED_BY(gc_mu_) = false;
 
   // Bulk-load bookkeeping: shard -> vertices needing a durable flush.
-  std::mutex bulk_mu_;
-  RefinableTimestamp bulk_ts_;
-  std::vector<std::vector<NodeId>> bulk_dirty_;
+  Mutex bulk_mu_;
+  RefinableTimestamp bulk_ts_ GUARDED_BY(bulk_mu_);
+  std::vector<std::vector<NodeId>> bulk_dirty_ GUARDED_BY(bulk_mu_);
 
   // Endpoints of killed shards, kept for recovery reattachment.
   std::unordered_map<ShardId, EndpointId> dead_shard_endpoints_;
@@ -585,7 +590,7 @@ class Weaver {
   /// interleave with the replay stream. Lock order: the epoch barrier
   /// (which takes every clock lock) runs BEFORE the exclusive acquisition
   /// and never under it.
-  std::shared_mutex commit_gate_;
+  SharedMutex commit_gate_;
   /// Per-shard down flags (remote deployments with supervision only):
   /// set the moment a crash is detected so ShardAlive fast-fails new work
   /// with Unavailable instead of letting it hang on a dead socket.

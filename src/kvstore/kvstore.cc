@@ -25,10 +25,12 @@ Result<std::unique_ptr<KvStore>> KvStore::Open(
   store->engine_ = std::move(engine).value();
 
   // Rebuild committed state: checkpoint rows first, then the WAL tail in
-  // commit order. Single-threaded -- no stripe locks needed yet.
+  // commit order. Recovery is single-threaded, so the stripe locks are
+  // uncontended -- taken anyway to satisfy the helpers' lock contracts.
   WEAVER_RETURN_IF_ERROR(store->engine_->Recover(
       [&store](std::string&& key, std::string&& value) {
         Stripe& s = store->stripes_[store->StripeFor(key)];
+        MutexLock lk(s.mu);
         Versioned& v = s.map[std::move(key)];
         v.value = std::move(value);
         v.version = 1;
@@ -36,6 +38,7 @@ Result<std::unique_ptr<KvStore>> KvStore::Open(
       },
       [&store](const WalOp& op) {
         Stripe& s = store->stripes_[store->StripeFor(op.key)];
+        MutexLock lk(s.mu);
         if (op.kind == WalOp::Kind::kPut) {
           store->ApplyPutLocked(s, op.key, op.value);
         } else {
@@ -84,7 +87,7 @@ KvTransaction KvStore::Resume(
 
 Result<std::string> KvStore::Get(std::string_view key) const {
   const Stripe& s = stripes_[StripeFor(key)];
-  std::lock_guard<std::mutex> lk(s.mu);
+  MutexLock lk(s.mu);
   auto it = s.map.find(std::string(key));
   if (it == s.map.end() || it->second.tombstone) {
     return Status::NotFound(std::string(key));
@@ -95,7 +98,7 @@ Result<std::string> KvStore::Get(std::string_view key) const {
 Status KvStore::Put(std::string_view key, std::string value) {
   Stripe& s = stripes_[StripeFor(key)];
   {
-    std::lock_guard<std::mutex> lk(s.mu);
+    MutexLock lk(s.mu);
     if (engine_ != nullptr) {
       // Write-ahead: the record is on the log (durable per policy) before
       // the value becomes visible.
@@ -112,7 +115,7 @@ Status KvStore::Put(std::string_view key, std::string value) {
 Status KvStore::Delete(std::string_view key) {
   Stripe& s = stripes_[StripeFor(key)];
   {
-    std::lock_guard<std::mutex> lk(s.mu);
+    MutexLock lk(s.mu);
     if (engine_ != nullptr) {
       WEAVER_RETURN_IF_ERROR(engine_->AppendBatch(
           {{WalOp::Kind::kDelete, std::string(key), std::string()}}));
@@ -125,7 +128,7 @@ Status KvStore::Delete(std::string_view key) {
 
 bool KvStore::Contains(std::string_view key) const {
   const Stripe& s = stripes_[StripeFor(key)];
-  std::lock_guard<std::mutex> lk(s.mu);
+  MutexLock lk(s.mu);
   auto it = s.map.find(std::string(key));
   return it != s.map.end() && !it->second.tombstone;
 }
@@ -133,7 +136,7 @@ bool KvStore::Contains(std::string_view key) const {
 std::size_t KvStore::ApproximateSize() const {
   std::size_t total = 0;
   for (const auto& s : stripes_) {
-    std::lock_guard<std::mutex> lk(s.mu);
+    MutexLock lk(s.mu);
     total += s.map.size();
   }
   return total;
@@ -143,7 +146,7 @@ std::vector<std::pair<std::string, std::string>> KvStore::ScanPrefix(
     std::string_view prefix) const {
   std::vector<std::pair<std::string, std::string>> out;
   for (const auto& s : stripes_) {
-    std::lock_guard<std::mutex> lk(s.mu);
+    MutexLock lk(s.mu);
     for (const auto& [k, v] : s.map) {
       if (v.tombstone) continue;
       if (k.size() >= prefix.size() &&
@@ -173,7 +176,7 @@ Status KvStore::CheckpointInternal() {
   // idempotent.
   std::vector<std::unique_lock<std::mutex>> locks;
   locks.reserve(stripes_.size());
-  for (auto& s : stripes_) locks.emplace_back(s.mu);
+  for (auto& s : stripes_) locks.emplace_back(s.mu.native());
   const std::uint64_t wal_start = engine_->PrepareCheckpoint();
   std::size_t total = 0;
   for (const auto& s : stripes_) total += s.map.size();
@@ -242,7 +245,7 @@ Result<std::string> KvTransaction::Get(std::string_view key) {
     return *wit->second.value;
   }
   KvStore::Stripe& s = store_->stripes_[store_->StripeFor(key)];
-  std::lock_guard<std::mutex> lk(s.mu);
+  MutexLock lk(s.mu);
   auto it = s.map.find(k);
   const std::uint64_t version = it == s.map.end() ? 0 : it->second.version;
   // First read of a key pins its version; a repeated read that observes a
@@ -283,7 +286,7 @@ Status KvTransaction::Commit() {
   std::vector<std::unique_lock<std::mutex>> locks;
   locks.reserve(stripe_idx.size());
   for (std::size_t idx : stripe_idx) {
-    locks.emplace_back(store_->stripes_[idx].mu);
+    locks.emplace_back(store_->stripes_[idx].mu.native());
   }
 
   // Validate: every version read must still be current.

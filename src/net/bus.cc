@@ -14,7 +14,7 @@ MessageBus::MessageBus() {
 
 MessageBus::~MessageBus() {
   {
-    std::lock_guard<std::mutex> lk(delay_mu_);
+    MutexLock lk(delay_mu_);
     stopping_ = true;
     delay_cv_.notify_all();
   }
@@ -58,7 +58,7 @@ void MessageBus::SetMetrics(obs::MetricsRegistry* registry) {
   // scraped view covers remote inboxes too.
   std::vector<std::pair<EndpointId, std::string>> queues;
   {
-    std::lock_guard<std::mutex> lk(endpoints_mu_);
+    MutexLock lk(endpoints_mu_);
     for (std::size_t id = 0; id < endpoints_.size(); ++id) {
       if (endpoints_[id]->inbox != nullptr ||
           endpoints_[id]->remote != nullptr) {
@@ -82,7 +82,7 @@ EndpointId MessageBus::RegisterInbox(
   EndpointId id;
   std::string gauge_name;
   {
-    std::lock_guard<std::mutex> lk(endpoints_mu_);
+    MutexLock lk(endpoints_mu_);
     auto ep = std::make_unique<Endpoint>();
     ep->name = std::move(name);
     ep->inbox = std::move(inbox);
@@ -97,7 +97,7 @@ EndpointId MessageBus::RegisterInbox(
 EndpointId MessageBus::RegisterHandler(
     std::string name, std::function<void(const BusMessage&)> handler,
     std::size_t capacity) {
-  std::lock_guard<std::mutex> lk(endpoints_mu_);
+  MutexLock lk(endpoints_mu_);
   auto ep = std::make_unique<Endpoint>();
   ep->name = std::move(name);
   ep->handler = std::move(handler);
@@ -114,7 +114,7 @@ EndpointId MessageBus::RegisterRemote(std::string name,
   EndpointId id;
   std::string gauge_name;
   {
-    std::lock_guard<std::mutex> lk(endpoints_mu_);
+    MutexLock lk(endpoints_mu_);
     auto ep = std::make_unique<Endpoint>();
     ep->name = std::move(name);
     ep->remote = std::move(transport);
@@ -139,7 +139,7 @@ Status MessageBus::ForwardFrame(EndpointId dst, std::string_view frame,
                                 bool never_block) {
   std::shared_ptr<Transport> transport;
   {
-    std::lock_guard<std::mutex> lk(endpoints_mu_);
+    MutexLock lk(endpoints_mu_);
     if (dst >= endpoints_.size() || endpoints_[dst]->remote == nullptr) {
       return Status::InvalidArgument("endpoint " + std::to_string(dst) +
                                      " is not remote");
@@ -158,7 +158,7 @@ Status MessageBus::DeliverWire(BusMessage msg, bool never_block) {
   // continues this channel's gap-free FIFO stream. Any violation means
   // the link reordered or lost a frame -- fail loudly, never paper over.
   {
-    std::lock_guard<std::mutex> lk(wire_seq_mu_);
+    MutexLock lk(wire_seq_mu_);
     std::uint64_t& last = wire_seq_[{msg.src, msg.dst}];
     if (msg.channel_seq != last + 1) {
       stats_.wire_seq_violations.fetch_add(1, std::memory_order_relaxed);
@@ -185,7 +185,7 @@ Status MessageBus::DeliverWire(BusMessage msg, bool never_block) {
 }
 
 void MessageBus::Detach(EndpointId id) {
-  std::lock_guard<std::mutex> lk(endpoints_mu_);
+  MutexLock lk(endpoints_mu_);
   assert(id < endpoints_.size());
   endpoints_[id]->attached = false;
   endpoints_[id]->inbox.reset();
@@ -193,7 +193,7 @@ void MessageBus::Detach(EndpointId id) {
 
 void MessageBus::ReattachInbox(
     EndpointId id, std::shared_ptr<BlockingQueue<BusMessage>> inbox) {
-  std::lock_guard<std::mutex> lk(endpoints_mu_);
+  MutexLock lk(endpoints_mu_);
   assert(id < endpoints_.size());
   endpoints_[id]->inbox = std::move(inbox);
   endpoints_[id]->attached = true;
@@ -206,13 +206,13 @@ void MessageBus::ResetPeer(EndpointId id) {
   // (channels_mu_ then ch->mu) matches Send.
   std::vector<Channel*> touching;
   {
-    std::lock_guard<std::mutex> lk(channels_mu_);
+    MutexLock lk(channels_mu_);
     for (auto& [key, ch] : channels_) {
       if (key.first == id || key.second == id) touching.push_back(ch.get());
     }
   }
   for (Channel* ch : touching) {
-    std::lock_guard<std::mutex> lk(ch->mu);
+    MutexLock lk(ch->mu);
     ch->next_seq = 1;
     ch->last_delivery_deadline_us = 0;
   }
@@ -220,7 +220,7 @@ void MessageBus::ResetPeer(EndpointId id) {
   // streams from or to the peer, so the fresh process's seq-1 frames pass
   // the gap check instead of reading as a FIFO violation.
   {
-    std::lock_guard<std::mutex> lk(wire_seq_mu_);
+    MutexLock lk(wire_seq_mu_);
     for (auto it = wire_seq_.begin(); it != wire_seq_.end();) {
       if (it->first.first == id || it->first.second == id) {
         it = wire_seq_.erase(it);
@@ -233,7 +233,7 @@ void MessageBus::ResetPeer(EndpointId id) {
 
 void MessageBus::ReplaceRemote(EndpointId id,
                                std::shared_ptr<Transport> transport) {
-  std::lock_guard<std::mutex> lk(endpoints_mu_);
+  MutexLock lk(endpoints_mu_);
   if (id >= endpoints_.size() || endpoints_[id]->remote == nullptr) {
     std::fprintf(stderr,
                  "weaver: ReplaceRemote on non-remote endpoint %u ignored\n",
@@ -269,7 +269,7 @@ Status MessageBus::Send(EndpointId src, EndpointId dst,
   std::size_t handler_capacity = 0;
   std::shared_ptr<std::atomic<std::size_t>> deferred;
   if (has_special_endpoints_.load(std::memory_order_relaxed)) {
-    std::lock_guard<std::mutex> lk(endpoints_mu_);
+    MutexLock lk(endpoints_mu_);
     if (dst < endpoints_.size()) {
       Endpoint& ep = *endpoints_[dst];
       remote = ep.attached ? ep.remote : nullptr;
@@ -299,7 +299,7 @@ Status MessageBus::Send(EndpointId src, EndpointId dst,
 
   Channel* ch = nullptr;
   {
-    std::lock_guard<std::mutex> lk(channels_mu_);
+    MutexLock lk(channels_mu_);
     auto& slot = channels_[{src, dst}];
     if (!slot) slot = std::make_unique<Channel>();
     ch = slot.get();
@@ -322,7 +322,7 @@ Status MessageBus::Send(EndpointId src, EndpointId dst,
   // delivery path, otherwise two concurrent senders could invert order on
   // the channel. For remote endpoints the transport enqueue happens under
   // the same lock, so frames enter the outbound queue in sequence order.
-  std::lock_guard<std::mutex> ch_lk(ch->mu);
+  MutexLock ch_lk(ch->mu);
   msg.channel_seq = ch->next_seq++;
   stats_.messages_sent.fetch_add(1, std::memory_order_relaxed);
 
@@ -380,7 +380,7 @@ Status MessageBus::Send(EndpointId src, EndpointId dst,
       std::max(NowMicros() + delay_us, ch->last_delivery_deadline_us);
   ch->last_delivery_deadline_us = deadline;
   {
-    std::lock_guard<std::mutex> lk(delay_mu_);
+    MutexLock lk(delay_mu_);
     delay_queue_.push(Delayed{deadline, delay_order_++, msg,
                               std::move(deferred)});
     delay_cv_.notify_one();
@@ -392,7 +392,7 @@ bool MessageBus::Deliver(const BusMessage& msg, bool never_block) {
   std::shared_ptr<BlockingQueue<BusMessage>> inbox;
   std::function<void(const BusMessage&)> handler;
   {
-    std::lock_guard<std::mutex> lk(endpoints_mu_);
+    MutexLock lk(endpoints_mu_);
     if (msg.dst >= endpoints_.size()) return false;
     Endpoint& ep = *endpoints_[msg.dst];
     if (!ep.attached) return false;  // crashed server: message dropped
@@ -418,7 +418,7 @@ bool MessageBus::TryDeliver(BusMessage& msg) {
   std::shared_ptr<BlockingQueue<BusMessage>> inbox;
   std::function<void(const BusMessage&)> handler;
   {
-    std::lock_guard<std::mutex> lk(endpoints_mu_);
+    MutexLock lk(endpoints_mu_);
     if (msg.dst >= endpoints_.size()) return true;  // dropped
     Endpoint& ep = *endpoints_[msg.dst];
     if (!ep.attached) return true;  // crashed server: message dropped
@@ -453,17 +453,17 @@ void MessageBus::FlushStalled() {
 }
 
 void MessageBus::DelayLoop() {
-  std::unique_lock<std::mutex> lk(delay_mu_);
+  MutexLock lk(delay_mu_);
   while (true) {
     if (stopping_) return;
     if (!stalled_.empty()) {
-      lk.unlock();
+      lk.Unlock();
       FlushStalled();
-      lk.lock();
+      lk.Lock();
       if (stopping_) return;
     }
     if (delay_queue_.empty() && stalled_.empty()) {
-      delay_cv_.wait(lk, [&] { return stopping_ || !delay_queue_.empty(); });
+      while (!stopping_ && delay_queue_.empty()) delay_cv_.wait(lk.native());
       continue;
     }
     const std::uint64_t now = NowMicros();
@@ -475,12 +475,12 @@ void MessageBus::DelayLoop() {
       const std::uint64_t cap =
           stalled_.empty() ? next_deadline - now
                            : std::min<std::uint64_t>(next_deadline - now, 1000);
-      delay_cv_.wait_for(lk, std::chrono::microseconds(cap));
+      delay_cv_.wait_for(lk.native(), std::chrono::microseconds(cap));
       continue;
     }
     Delayed d = delay_queue_.top();
     delay_queue_.pop();
-    lk.unlock();
+    lk.Unlock();
     // Per-destination FIFO: while earlier messages to this destination
     // are parked, later ones must queue behind them. Deliveries run
     // without delay_mu_ so a handler may Send (even delayed) safely.
@@ -492,7 +492,7 @@ void MessageBus::DelayLoop() {
     } else {
       stalled_[d.msg.dst].push_back(std::move(d));
     }
-    lk.lock();
+    lk.Lock();
   }
 }
 
@@ -500,7 +500,7 @@ std::size_t MessageBus::QueueDepth(EndpointId id) const {
   std::shared_ptr<BlockingQueue<BusMessage>> inbox;
   std::shared_ptr<std::atomic<std::size_t>> remote_depth;
   {
-    std::lock_guard<std::mutex> lk(endpoints_mu_);
+    MutexLock lk(endpoints_mu_);
     if (id >= endpoints_.size()) return 0;
     inbox = endpoints_[id]->inbox;
     remote_depth = endpoints_[id]->remote_depth;
@@ -517,7 +517,7 @@ std::size_t MessageBus::QueueDepth(EndpointId id) const {
 void MessageBus::NoteRemoteDepth(EndpointId id, std::size_t depth) {
   std::shared_ptr<std::atomic<std::size_t>> remote_depth;
   {
-    std::lock_guard<std::mutex> lk(endpoints_mu_);
+    MutexLock lk(endpoints_mu_);
     if (id >= endpoints_.size()) return;
     remote_depth = endpoints_[id]->remote_depth;
   }
@@ -525,7 +525,7 @@ void MessageBus::NoteRemoteDepth(EndpointId id, std::size_t depth) {
 }
 
 const std::string& MessageBus::NameOf(EndpointId id) const {
-  std::lock_guard<std::mutex> lk(endpoints_mu_);
+  MutexLock lk(endpoints_mu_);
   static const std::string kUnknown = "?";
   if (id >= endpoints_.size()) return kUnknown;
   return endpoints_[id]->name;

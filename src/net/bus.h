@@ -45,9 +45,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/queue.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "net/transport.h"
 #include "obs/metrics.h"
 
@@ -232,9 +234,10 @@ class MessageBus {
     std::shared_ptr<std::atomic<std::size_t>> remote_depth;
   };
   struct Channel {
-    std::mutex mu;
-    std::uint64_t next_seq = 1;
-    std::uint64_t last_delivery_deadline_us = 0;  // for FIFO under delays
+    Mutex mu;
+    std::uint64_t next_seq GUARDED_BY(mu) = 1;
+    // For FIFO under delays.
+    std::uint64_t last_delivery_deadline_us GUARDED_BY(mu) = 0;
   };
   struct Delayed {
     std::uint64_t deliver_at_us;
@@ -270,16 +273,16 @@ class MessageBus {
   /// opposite order here would deadlock.
   void ExportEndpointDepth(EndpointId id, const std::string& name);
 
-  mutable std::mutex endpoints_mu_;
-  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  mutable Mutex endpoints_mu_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_ GUARDED_BY(endpoints_mu_);
 
   /// Metrics export (null until SetMetrics). Written during deployment
   /// setup, before concurrent registration traffic.
   obs::MetricsRegistry* metrics_ = nullptr;
 
-  std::mutex channels_mu_;
+  Mutex channels_mu_;
   std::map<std::pair<EndpointId, EndpointId>, std::unique_ptr<Channel>>
-      channels_;
+      channels_ GUARDED_BY(channels_mu_);
 
   /// Payload encoder for remote sends (deployment-installed).
   std::function<Result<std::string>(std::uint32_t,
@@ -290,20 +293,23 @@ class MessageBus {
   std::atomic<bool> has_special_endpoints_{false};
   /// Last sequence number accepted per wire-inbound channel
   /// (DeliverWire's gap/reorder check).
-  std::mutex wire_seq_mu_;
-  std::map<std::pair<EndpointId, EndpointId>, std::uint64_t> wire_seq_;
+  Mutex wire_seq_mu_;
+  std::map<std::pair<EndpointId, EndpointId>, std::uint64_t> wire_seq_
+      GUARDED_BY(wire_seq_mu_);
 
   std::function<std::uint64_t(EndpointId, EndpointId)> delay_fn_;
-  std::mutex delay_mu_;
+  Mutex delay_mu_;
   std::condition_variable delay_cv_;
   std::priority_queue<Delayed, std::vector<Delayed>, std::greater<>>
-      delay_queue_;
+      delay_queue_ GUARDED_BY(delay_mu_);
   /// Delayed messages whose destination inbox was full, FIFO per
-  /// destination. Touched only by the delay thread -- no lock.
+  /// destination. Touched only by the delay thread -- no lock (and no
+  /// GUARDED_BY: FlushStalled walks it with delay_mu_ deliberately
+  /// dropped so deliveries can re-enter Send).
   std::unordered_map<EndpointId, std::deque<Delayed>> stalled_;
-  std::uint64_t delay_order_ = 0;
+  std::uint64_t delay_order_ GUARDED_BY(delay_mu_) = 0;
   std::thread delay_thread_;
-  bool stopping_ = false;
+  bool stopping_ GUARDED_BY(delay_mu_) = false;
 
   Stats stats_;
 };

@@ -107,15 +107,15 @@ SocketTransport::~SocketTransport() {
 }
 
 void SocketTransport::WaitWritable() {
-  std::unique_lock<std::mutex> lk(send_mu_);
-  send_cv_.wait(lk, [&] {
-    return closed_.load() || writer_failed_ ||
-           send_queue_bytes_ < kSendQueueHighWater;
-  });
+  MutexLock lk(send_mu_);
+  while (!closed_.load() && !writer_failed_ &&
+         send_queue_bytes_ >= kSendQueueHighWater) {
+    send_cv_.wait(lk.native());
+  }
 }
 
 Status SocketTransport::SendBytes(std::string_view bytes, bool never_block) {
-  std::unique_lock<std::mutex> lk(send_mu_);
+  MutexLock lk(send_mu_);
   if (closed_.load() || writer_failed_) {
     return Status::Unavailable("transport is stopped");
   }
@@ -128,10 +128,10 @@ Status SocketTransport::SendBytes(std::string_view bytes, bool never_block) {
     // loops (shard hop forwarding, hub routing) cannot wedge on a
     // congested link. (Senders that hold ordering locks of their own use
     // WaitWritable() before locking + never_block here instead.)
-    send_cv_.wait(lk, [&] {
-      return closed_.load() || writer_failed_ ||
-             send_queue_bytes_ < kSendQueueHighWater;
-    });
+    while (!closed_.load() && !writer_failed_ &&
+           send_queue_bytes_ >= kSendQueueHighWater) {
+      send_cv_.wait(lk.native());
+    }
     if (closed_.load() || writer_failed_) {
       return Status::Unavailable("transport is stopped");
     }
@@ -143,15 +143,17 @@ Status SocketTransport::SendBytes(std::string_view bytes, bool never_block) {
 }
 
 void SocketTransport::WriterLoop() {
-  std::unique_lock<std::mutex> lk(send_mu_);
+  MutexLock lk(send_mu_);
   while (true) {
-    send_cv_.wait(lk, [&] { return closed_.load() || !send_queue_.empty(); });
+    while (!closed_.load() && send_queue_.empty()) {
+      send_cv_.wait(lk.native());
+    }
     if (send_queue_.empty()) return;  // closed and drained
     std::string frame = std::move(send_queue_.front());
     send_queue_.pop_front();
     send_queue_bytes_ -= frame.size();
     send_cv_.notify_all();  // space freed: wake blocked senders
-    lk.unlock();
+    lk.Unlock();
     const char* p = frame.data();
     std::size_t left = frame.size();
     while (left > 0) {
@@ -159,7 +161,7 @@ void SocketTransport::WriterLoop() {
       if (n < 0) {
         if (errno == EINTR) continue;
         closed_.store(true);
-        lk.lock();
+        lk.Lock();
         writer_failed_ = true;
         send_queue_.clear();
         send_queue_bytes_ = 0;
@@ -169,7 +171,7 @@ void SocketTransport::WriterLoop() {
       p += n;
       left -= static_cast<std::size_t>(n);
     }
-    lk.lock();
+    lk.Lock();
   }
 }
 
@@ -189,7 +191,7 @@ void SocketTransport::StartReceiver(
       // it can exit and be joined) and any sender parked on flow
       // control. Stop() would do the same, but EOF can arrive first and
       // Stop() no-ops once closed_ is set.
-      std::lock_guard<std::mutex> lk(send_mu_);
+      MutexLock lk(send_mu_);
       send_cv_.notify_all();
     }
     on_bytes(nullptr, 0);  // end-of-stream marker
@@ -201,7 +203,7 @@ void SocketTransport::Stop() {
   // Unblocks both the receiver's read() and any peer blocked writing.
   ::shutdown(fd_, SHUT_RDWR);
   // Wake the writer thread and any sender parked on flow control.
-  std::lock_guard<std::mutex> lk(send_mu_);
+  MutexLock lk(send_mu_);
   send_cv_.notify_all();
 }
 

@@ -28,8 +28,10 @@
 #include <thread>
 #include <utility>
 
+#include "common/annotations.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace weaver {
 
@@ -131,13 +133,14 @@ class SocketTransport final : public Transport {
   std::atomic<bool> closed_{false};
 
   /// Outbound frame queue + its writer thread (started lazily on the
-  /// first send; guarded by send_mu_).
-  std::mutex send_mu_;
+  /// first send, under send_mu_; joined by the destructor, which runs
+  /// after every sender is gone).
+  Mutex send_mu_;
   std::condition_variable send_cv_;       // writer wakeup + space waiters
-  std::deque<std::string> send_queue_;
-  std::size_t send_queue_bytes_ = 0;
-  bool writer_failed_ = false;
-  std::thread writer_;
+  std::deque<std::string> send_queue_ GUARDED_BY(send_mu_);
+  std::size_t send_queue_bytes_ GUARDED_BY(send_mu_) = 0;
+  bool writer_failed_ GUARDED_BY(send_mu_) = false;
+  std::thread writer_ GUARDED_BY(send_mu_);
 };
 
 }  // namespace weaver

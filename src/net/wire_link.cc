@@ -18,8 +18,8 @@ WireLink::~WireLink() {
   // The receive thread holds raw pointers into this object (the parser,
   // the stats): wait until its end-of-stream marker confirms it is done
   // with us. Stop() shut the transport down, so the marker is imminent.
-  std::unique_lock<std::mutex> lk(mu_);
-  closed_cv_.wait(lk, [&] { return receiver_done_; });
+  MutexLock lk(mu_);
+  while (!receiver_done_) closed_cv_.wait(lk.native());
 }
 
 void WireLink::Stop() {
@@ -27,27 +27,27 @@ void WireLink::Stop() {
     // Mark the local stop BEFORE the transport goes down: the receive
     // thread's end-of-stream marker races this call, and only a genuine
     // peer EOF may surface as Unavailable.
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     stopping_ = true;
   }
   options_.transport->Stop();
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   closed_ = true;
   closed_cv_.notify_all();
 }
 
 void WireLink::WaitClosed() {
-  std::unique_lock<std::mutex> lk(mu_);
-  closed_cv_.wait(lk, [&] { return closed_; });
+  MutexLock lk(mu_);
+  while (!closed_) closed_cv_.wait(lk.native());
 }
 
 bool WireLink::closed() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return closed_;
 }
 
 Status WireLink::error() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return error_;
 }
 
@@ -56,7 +56,7 @@ void WireLink::Fail(const Status& status) {
                options_.name.c_str(), status.ToString().c_str());
   bool report = false;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     if (error_.ok()) error_ = status;
     closed_ = true;
     if (!down_reported_) {
@@ -79,7 +79,7 @@ void WireLink::OnBytes(const char* data, std::size_t n) {
     bool report = false;
     Status down;
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       if (!stopping_ && error_.ok()) {
         error_ = Status::Unavailable("peer closed the link");
       }
@@ -96,7 +96,7 @@ void WireLink::OnBytes(const char* data, std::size_t n) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     if (closed_) return;  // poisoned link: drop the rest of the stream
   }
   options_.bus->NoteWireBytesReceived(n);

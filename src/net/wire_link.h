@@ -33,8 +33,10 @@
 #include <mutex>
 #include <string>
 
+#include "common/annotations.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "net/bus.h"
 #include "net/transport.h"
 #include "net/wire.h"
@@ -98,22 +100,22 @@ class WireLink {
 
   Options options_;
   wire::FrameParser parser_;  // receive thread only
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::condition_variable closed_cv_;
-  bool closed_ = false;
+  bool closed_ GUARDED_BY(mu_) = false;
   /// Set by Stop() BEFORE the transport is stopped, so the receive
   /// thread's end-of-stream marker can tell a local shutdown (clean,
   /// error stays OK) from a genuine peer EOF (link-down: Unavailable +
   /// on_down).
-  bool stopping_ = false;
+  bool stopping_ GUARDED_BY(mu_) = false;
   /// on_down fires at most once.
-  bool down_reported_ = false;
+  bool down_reported_ GUARDED_BY(mu_) = false;
   /// Set by the receive thread's end-of-stream marker: the thread will
   /// never touch this link again. The destructor waits for it -- the
   /// transport may be shared, so transport destruction (which joins the
   /// thread) can happen after the link is gone.
-  bool receiver_done_ = false;
-  Status error_;
+  bool receiver_done_ GUARDED_BY(mu_) = false;
+  Status error_ GUARDED_BY(mu_);
   Stats stats_;
 };
 

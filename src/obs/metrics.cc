@@ -241,21 +241,21 @@ std::string MetricsSnapshot::ToJson() const {
 }
 
 Counter* MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
 LatencyHistogram* MetricsRegistry::histogram(const std::string& name) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
   return slot.get();
@@ -263,13 +263,13 @@ LatencyHistogram* MetricsRegistry::histogram(const std::string& name) {
 
 void MetricsRegistry::AddCounterFn(const std::string& name,
                                    std::function<std::uint64_t()> fn) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   counter_fns_[name] = std::move(fn);
 }
 
 void MetricsRegistry::AddGaugeFn(const std::string& name,
                                  std::function<std::int64_t()> fn) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   gauge_fns_[name] = std::move(fn);
 }
 
@@ -280,7 +280,7 @@ void MetricsRegistry::DropPrefix(const std::string& prefix) {
       it = map->erase(it);
     }
   };
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   drop(&counters_);
   drop(&gauges_);
   drop(&histograms_);
@@ -290,7 +290,7 @@ void MetricsRegistry::DropPrefix(const std::string& prefix) {
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snap;
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   snap.counters.reserve(counters_.size() + counter_fns_.size());
   for (const auto& [name, c] : counters_) {
     snap.counters.emplace_back(name, c->Value());

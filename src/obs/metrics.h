@@ -29,7 +29,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/histogram.h"
+#include "common/sync.h"
 
 namespace weaver {
 namespace obs {
@@ -165,13 +167,16 @@ class MetricsRegistry {
   MetricsSnapshot Snapshot() const;
 
  private:
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // std::map: sorted iteration gives snapshots their stable name order.
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
-  std::map<std::string, std::function<std::uint64_t()>> counter_fns_;
-  std::map<std::string, std::function<std::int64_t()>> gauge_fns_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::function<std::uint64_t()>> counter_fns_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::function<std::int64_t()>> gauge_fns_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace obs

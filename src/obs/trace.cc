@@ -8,7 +8,7 @@ namespace obs {
 
 void TraceLog::Append(const TraceSpan& span) {
   sampled_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (ring_.size() >= capacity_ && capacity_ > 0) {
     ring_.pop_front();
     dropped_.fetch_add(1, std::memory_order_relaxed);
@@ -17,7 +17,7 @@ void TraceLog::Append(const TraceSpan& span) {
 }
 
 std::vector<TraceSpan> TraceLog::Dump() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return std::vector<TraceSpan>(ring_.begin(), ring_.end());
 }
 

@@ -20,6 +20,9 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/sync.h"
+
 namespace weaver {
 namespace obs {
 
@@ -73,8 +76,8 @@ class TraceLog {
   std::atomic<std::uint64_t> seen_{0};
   std::atomic<std::uint64_t> sampled_{0};
   std::atomic<std::uint64_t> dropped_{0};
-  mutable std::mutex mu_;
-  std::deque<TraceSpan> ring_;
+  mutable Mutex mu_;
+  std::deque<TraceSpan> ring_ GUARDED_BY(mu_);
 };
 
 }  // namespace obs

@@ -7,7 +7,7 @@
 namespace weaver {
 
 void TimelineOracle::CreateEvent(const RefinableTimestamp& ts) {
-  std::unique_lock lk(mu_);
+  WriterLock lk(mu_);
   FindOrCreate(ts);
 }
 
@@ -90,7 +90,7 @@ ClockOrder TimelineOracle::QueryOrder(const RefinableTimestamp& a,
     stats_.vclock_resolved.fetch_add(1, std::memory_order_relaxed);
     return by_clock;
   }
-  std::shared_lock lk(mu_);
+  ReaderLock lk(mu_);
   const ClockOrder o = ResolveLocked(a, b);
   if (o != ClockOrder::kConcurrent) {
     stats_.dag_resolved.fetch_add(1, std::memory_order_relaxed);
@@ -107,7 +107,7 @@ ClockOrder TimelineOracle::OrderPair(const RefinableTimestamp& a,
     stats_.vclock_resolved.fetch_add(1, std::memory_order_relaxed);
     return by_clock;
   }
-  std::unique_lock lk(mu_);
+  WriterLock lk(mu_);
   const ClockOrder existing = ResolveLocked(a, b);
   if (existing != ClockOrder::kConcurrent) {
     stats_.dag_resolved.fetch_add(1, std::memory_order_relaxed);
@@ -129,7 +129,7 @@ ClockOrder TimelineOracle::OrderPair(const RefinableTimestamp& a,
 Status TimelineOracle::AssignHappensBefore(const RefinableTimestamp& before,
                                            const RefinableTimestamp& after) {
   stats_.order_requests.fetch_add(1, std::memory_order_relaxed);
-  std::unique_lock lk(mu_);
+  WriterLock lk(mu_);
   const ClockOrder existing = ResolveLocked(before, after);
   if (existing == ClockOrder::kBefore || existing == ClockOrder::kEqual) {
     return Status::Ok();  // already implied
@@ -148,7 +148,7 @@ Status TimelineOracle::AssignHappensBefore(const RefinableTimestamp& before,
 }
 
 void TimelineOracle::CollectBefore(const VectorClock& watermark) {
-  std::unique_lock lk(mu_);
+  WriterLock lk(mu_);
   std::vector<EventId> dead;
   for (const auto& [id, node] : events_) {
     if (node.ts.clock.Compare(watermark) == ClockOrder::kBefore) {
@@ -183,7 +183,7 @@ void TimelineOracle::CollectBefore(const VectorClock& watermark) {
 }
 
 std::size_t TimelineOracle::LiveEvents() const {
-  std::shared_lock lk(mu_);
+  ReaderLock lk(mu_);
   return events_.size();
 }
 

@@ -30,8 +30,10 @@
 #include <utility>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/ids.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "order/timestamp.h"
 #include "vclock/vclock.h"
 
@@ -99,17 +101,18 @@ class TimelineOracle {
 
   // All helpers below require the caller to hold mu_ (shared is enough for
   // the const ones).
-  const EventNode* Find(EventId id) const;
-  EventNode* FindOrCreate(const RefinableTimestamp& ts);
+  const EventNode* Find(EventId id) const REQUIRES_SHARED(mu_);
+  EventNode* FindOrCreate(const RefinableTimestamp& ts) REQUIRES(mu_);
   /// True iff a path from `from` to `to` exists using explicit edges and
   /// vector-clock-implied hops. Neither endpoint needs to be registered.
   bool Reaches(const RefinableTimestamp& from,
-               const RefinableTimestamp& to) const;
+               const RefinableTimestamp& to) const REQUIRES_SHARED(mu_);
   ClockOrder ResolveLocked(const RefinableTimestamp& a,
-                           const RefinableTimestamp& b) const;
+                           const RefinableTimestamp& b) const
+      REQUIRES_SHARED(mu_);
 
-  mutable std::shared_mutex mu_;
-  std::unordered_map<EventId, EventNode> events_;
+  mutable SharedMutex mu_;
+  std::unordered_map<EventId, EventNode> events_ GUARDED_BY(mu_);
   Stats stats_;
 };
 

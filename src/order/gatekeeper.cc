@@ -98,11 +98,11 @@ void Gatekeeper::ExportMetrics() {
         nop_backoff_.load(std::memory_order_relaxed));
   });
   reg->AddGaugeFn(prefix + "inflight_programs", [this] {
-    std::lock_guard<std::mutex> lk(ingress_mu_);
+    MutexLock lk(ingress_mu_);
     return static_cast<std::int64_t>(inflight_programs_);
   });
   reg->AddGaugeFn(prefix + "lane_depth", [this] {
-    std::lock_guard<std::mutex> lk(ingress_mu_);
+    MutexLock lk(ingress_mu_);
     std::size_t depth = program_queue_.size();
     for (const auto& [sid, lane] : lanes_) depth += lane.q.size();
     return static_cast<std::int64_t>(depth);
@@ -154,7 +154,7 @@ void Gatekeeper::EnqueueClientRequest(const BusMessage& msg) {
     std::vector<std::uint64_t> rejected;
     bool stopped = false;
     {
-      std::lock_guard<std::mutex> lk(ingress_mu_);
+      MutexLock lk(ingress_mu_);
       stopped = ingress_stopped_;
       for (std::size_t i = 0; i < req->requests.size(); ++i) {
         if (stopped ||
@@ -185,7 +185,7 @@ void Gatekeeper::EnqueueClientRequest(const BusMessage& msg) {
       std::static_pointer_cast<ClientCommitMessage>(msg.payload)->session_id;
   Status failure = Status::Ok();
   {
-    std::lock_guard<std::mutex> lk(ingress_mu_);
+    MutexLock lk(ingress_mu_);
     if (ingress_stopped_) {
       failure = Status::Unavailable("gatekeeper client ingress is stopped");
     } else {
@@ -210,7 +210,7 @@ void Gatekeeper::EnqueueClientRequest(const BusMessage& msg) {
 }
 
 void Gatekeeper::StartClientIngress() {
-  std::lock_guard<std::mutex> lk(ingress_mu_);
+  MutexLock lk(ingress_mu_);
   if (!ingress_workers_.empty() || ingress_stopped_) return;
   const std::size_t workers = std::max<std::size_t>(1, options_.client_workers);
   ingress_workers_.reserve(workers);
@@ -222,7 +222,7 @@ void Gatekeeper::StartClientIngress() {
 void Gatekeeper::StopClientIngress() {
   std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lk(ingress_mu_);
+    MutexLock lk(ingress_mu_);
     ingress_stopped_ = true;
     workers.swap(ingress_workers_);
     ingress_cv_.notify_all();
@@ -233,7 +233,7 @@ void Gatekeeper::StopClientIngress() {
   std::vector<BusMessage> orphan_commits;
   std::vector<ProgramWork> orphan_programs;
   {
-    std::lock_guard<std::mutex> lk(ingress_mu_);
+    MutexLock lk(ingress_mu_);
     for (auto& [sid, lane] : lanes_) {
       for (auto& msg : lane.q) orphan_commits.push_back(std::move(msg));
       lane.q.clear();
@@ -257,34 +257,35 @@ void Gatekeeper::StopClientIngress() {
   }
 }
 
+bool Gatekeeper::ProgramDispatchableLocked() const {
+  // A program may only be seeded while a free in-flight slot exists
+  // (execution is async, so the worker pool itself no longer bounds
+  // concurrent traversals).
+  return !program_queue_.empty() &&
+         (options_.max_inflight_programs == 0 ||
+          inflight_programs_ < options_.max_inflight_programs);
+}
+
 void Gatekeeper::ClientIngressLoop() {
   // Alternate between the commit lanes and the shared program queue so
   // neither starves the other under sustained load from one kind.
   bool prefer_programs = false;
-  std::unique_lock<std::mutex> lk(ingress_mu_);
-  // A program may only be seeded while a free in-flight slot exists
-  // (execution is async, so the worker pool itself no longer bounds
-  // concurrent traversals).
-  auto program_dispatchable = [&] {
-    return !program_queue_.empty() &&
-           (options_.max_inflight_programs == 0 ||
-            inflight_programs_ < options_.max_inflight_programs);
-  };
+  MutexLock lk(ingress_mu_);
   while (true) {
-    ingress_cv_.wait(lk, [&] {
-      return ingress_stopped_ || !ready_lanes_.empty() ||
-             program_dispatchable();
-    });
+    while (!ingress_stopped_ && ready_lanes_.empty() &&
+           !ProgramDispatchableLocked()) {
+      ingress_cv_.wait(lk.native());
+    }
     if (ingress_stopped_) return;
 
-    const bool take_program =
-        program_dispatchable() && (ready_lanes_.empty() || prefer_programs);
+    const bool take_program = ProgramDispatchableLocked() &&
+                              (ready_lanes_.empty() || prefer_programs);
     if (take_program) {
       prefer_programs = false;
       ProgramWork work = std::move(program_queue_.front());
       program_queue_.pop_front();
       ++inflight_programs_;  // released by OnProgramSettled
-      lk.unlock();
+      lk.Unlock();
       stats_.client_programs.fetch_add(1, std::memory_order_relaxed);
       ProgramRequest& req = work.msg->requests[work.index];
       if (client_executor_.program) {
@@ -297,7 +298,7 @@ void Gatekeeper::ClientIngressLoop() {
                          Status::Internal("no client executor installed"));
         OnProgramSettled();
       }
-      lk.lock();
+      lk.Lock();
       continue;
     }
     prefer_programs = true;
@@ -312,7 +313,7 @@ void Gatekeeper::ClientIngressLoop() {
       batch.push_back(std::move(lane.q.front()));
       lane.q.pop_front();
     }
-    lk.unlock();
+    lk.Unlock();
 
     stats_.client_batches.fetch_add(1, std::memory_order_relaxed);
     // One simulated backing-store round trip covers the whole batch: the
@@ -324,7 +325,7 @@ void Gatekeeper::ClientIngressLoop() {
       DispatchCommitRequest(msg, &batch_delay_due);
     }
 
-    lk.lock();
+    lk.Lock();
     // References into lanes_ survive inserts (unordered_map guarantees
     // pointer stability); only this worker may finish or erase the lane it
     // marked busy.
@@ -373,14 +374,14 @@ void Gatekeeper::DispatchCommitRequest(const BusMessage& msg,
 
 void Gatekeeper::OnProgramSettled() {
   {
-    std::lock_guard<std::mutex> lk(ingress_mu_);
+    MutexLock lk(ingress_mu_);
     if (inflight_programs_ > 0) --inflight_programs_;
   }
   ingress_cv_.notify_one();
 }
 
 void Gatekeeper::StartTimers() {
-  std::lock_guard<std::mutex> lk(timer_mu_);
+  MutexLock lk(timer_mu_);
   if (timers_running_) return;
   timers_running_ = true;
   stop_timers_ = false;
@@ -394,7 +395,7 @@ void Gatekeeper::StartTimers() {
 
 void Gatekeeper::StopTimers() {
   {
-    std::lock_guard<std::mutex> lk(timer_mu_);
+    MutexLock lk(timer_mu_);
     if (!timers_running_) return;
     stop_timers_ = true;
     timer_cv_.notify_all();
@@ -402,34 +403,35 @@ void Gatekeeper::StopTimers() {
   if (announce_thread_.joinable()) announce_thread_.join();
   if (nop_thread_.joinable()) nop_thread_.join();
   {
-    std::lock_guard<std::mutex> lk(timer_mu_);
+    MutexLock lk(timer_mu_);
     timers_running_ = false;
   }
 }
 
 void Gatekeeper::AnnounceLoop() {
-  std::unique_lock<std::mutex> lk(timer_mu_);
+  MutexLock lk(timer_mu_);
   while (!stop_timers_) {
-    timer_cv_.wait_for(lk, std::chrono::microseconds(options_.tau_micros));
+    timer_cv_.wait_for(lk.native(),
+                       std::chrono::microseconds(options_.tau_micros));
     if (stop_timers_) return;
-    lk.unlock();
+    lk.Unlock();
     PumpAnnounce();
-    lk.lock();
+    lk.Lock();
   }
 }
 
 void Gatekeeper::NopLoop() {
-  std::unique_lock<std::mutex> lk(timer_mu_);
+  MutexLock lk(timer_mu_);
   while (!stop_timers_) {
     timer_cv_.wait_for(
-        lk, std::chrono::microseconds(
-                options_.nop_period_micros *
-                nop_backoff_.load(std::memory_order_relaxed)));
+        lk.native(), std::chrono::microseconds(
+                         options_.nop_period_micros *
+                         nop_backoff_.load(std::memory_order_relaxed)));
     if (stop_timers_) return;
-    lk.unlock();
+    lk.Unlock();
     PumpNop();
     UpdateNopBackoff();
-    lk.lock();
+    lk.Lock();
   }
 }
 
@@ -468,11 +470,11 @@ void Gatekeeper::UpdateNopBackoff() {
 
 RefinableTimestamp Gatekeeper::IssueTimestamp(bool want_slot,
                                               std::uint64_t* slot) {
-  std::lock_guard<std::mutex> clk(clock_mu_);
+  MutexLock clk(clock_mu_);
   const std::uint64_t seq = clock_.Tick(options_.id);
   RefinableTimestamp ts(clock_, options_.id, seq);
   if (want_slot) {
-    std::lock_guard<std::mutex> olk(out_mu_);
+    MutexLock olk(out_mu_);
     *slot = next_slot_to_alloc_++;
   }
   return ts;
@@ -480,7 +482,7 @@ RefinableTimestamp Gatekeeper::IssueTimestamp(bool want_slot,
 
 void Gatekeeper::ReleaseSlot(std::uint64_t slot,
                              std::function<void()> send_fn) {
-  std::unique_lock<std::mutex> lk(out_mu_);
+  MutexLock lk(out_mu_);
   pending_releases_[slot] = std::move(send_fn);
   // Drain the contiguous prefix in slot order. Sends run under out_mu_, so
   // messages enter the per-shard channels in timestamp order -- the FIFO
@@ -527,13 +529,13 @@ void Gatekeeper::PumpAnnounce() {
 }
 
 void Gatekeeper::OnAnnounce(const VectorClock& peer_clock) {
-  std::lock_guard<std::mutex> lk(clock_mu_);
+  MutexLock lk(clock_mu_);
   clock_.Merge(peer_clock);
   stats_.announces_received.fetch_add(1, std::memory_order_relaxed);
 }
 
 VectorClock Gatekeeper::SnapshotClock() {
-  std::lock_guard<std::mutex> lk(clock_mu_);
+  MutexLock lk(clock_mu_);
   return clock_;
 }
 
@@ -600,7 +602,7 @@ Status Gatekeeper::CommitTransaction(
       WEAVER_RETURN_IF_ERROR(ParseTimestamp(*last_blob, &last));
       if (last.Compare(ts) != ClockOrder::kBefore) {
         {
-          std::lock_guard<std::mutex> lk(clock_mu_);
+          MutexLock lk(clock_mu_);
           clock_.Merge(last.clock);
         }
         stats_.txs_aborted_last_update.fetch_add(1,
@@ -723,13 +725,13 @@ RefinableTimestamp Gatekeeper::BeginProgram(const VectorClock* fence) {
     // dominates the fenced commit's clock component-wise (plus this
     // gatekeeper's tick), so it happens-after the commit and the shard
     // delay rule guarantees the commit executes before the program reads.
-    std::lock_guard<std::mutex> lk(clock_mu_);
+    MutexLock lk(clock_mu_);
     clock_.Merge(*fence);
   }
   std::uint64_t unused = 0;
   const RefinableTimestamp ts = IssueTimestamp(false, &unused);
   {
-    std::lock_guard<std::mutex> lk(programs_mu_);
+    MutexLock lk(programs_mu_);
     active_programs_.emplace(ts.event_id(), ts);
   }
   stats_.programs_issued.fetch_add(1, std::memory_order_relaxed);
@@ -739,13 +741,13 @@ RefinableTimestamp Gatekeeper::BeginProgram(const VectorClock* fence) {
 }
 
 void Gatekeeper::EndProgram(const RefinableTimestamp& ts) {
-  std::lock_guard<std::mutex> lk(programs_mu_);
+  MutexLock lk(programs_mu_);
   active_programs_.erase(ts.event_id());
 }
 
 RefinableTimestamp Gatekeeper::OldestActive() {
   VectorClock snapshot = SnapshotClock();
-  std::lock_guard<std::mutex> lk(programs_mu_);
+  MutexLock lk(programs_mu_);
   if (active_programs_.empty()) {
     return RefinableTimestamp(snapshot, options_.id,
                               snapshot.Component(options_.id));

@@ -34,8 +34,10 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/ids.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "core/graph_op.h"
 #include "core/messages.h"
 #include "kvstore/kvstore.h"
@@ -257,9 +259,8 @@ class Gatekeeper {
 
   /// Epoch barrier support (paper §4.3): the cluster manager holds all
   /// gatekeepers' clock locks and advances them in unison.
-  std::mutex& clock_mutex() { return clock_mu_; }
-  /// Requires clock_mutex() held by the caller.
-  void AdvanceEpochLocked(std::uint32_t epoch);
+  Mutex& clock_mutex() RETURN_CAPABILITY(clock_mu_) { return clock_mu_; }
+  void AdvanceEpochLocked(std::uint32_t epoch) REQUIRES(clock_mu_);
 
   VectorClock SnapshotClock();
   const Stats& stats() const { return stats_; }
@@ -301,6 +302,10 @@ class Gatekeeper {
   /// slot id (transactions/NOPs only; programs pass want_slot = false).
   RefinableTimestamp IssueTimestamp(bool want_slot, std::uint64_t* slot);
 
+  /// True when a queued program may be seeded (queue non-empty and an
+  /// in-flight slot free). Ingress workers poll this under ingress_mu_.
+  bool ProgramDispatchableLocked() const REQUIRES(ingress_mu_);
+
   void EnqueueClientRequest(const BusMessage& msg);
   void ClientIngressLoop();
   /// Runs one commit request through the executor (ingress worker
@@ -326,31 +331,33 @@ class Gatekeeper {
   EndpointId endpoint_ = 0;
   EndpointId client_endpoint_ = 0;
 
-  std::mutex clock_mu_;
-  VectorClock clock_;
+  Mutex clock_mu_;
+  VectorClock clock_ GUARDED_BY(clock_mu_);
 
   // Client ingress: per-session commit lanes + shared program queue +
   // worker pool.
   ClientExecutor client_executor_;
-  std::mutex ingress_mu_;
+  mutable Mutex ingress_mu_;
   std::condition_variable ingress_cv_;
-  std::unordered_map<std::uint64_t, SessionLane> lanes_;
-  std::deque<std::uint64_t> ready_lanes_;
-  std::deque<ProgramWork> program_queue_;
-  std::vector<std::thread> ingress_workers_;
-  /// Programs seeded but not yet settled (guarded by ingress_mu_).
-  std::size_t inflight_programs_ = 0;
-  bool ingress_stopped_ = false;
+  std::unordered_map<std::uint64_t, SessionLane> lanes_ GUARDED_BY(ingress_mu_);
+  std::deque<std::uint64_t> ready_lanes_ GUARDED_BY(ingress_mu_);
+  std::deque<ProgramWork> program_queue_ GUARDED_BY(ingress_mu_);
+  std::vector<std::thread> ingress_workers_ GUARDED_BY(ingress_mu_);
+  /// Programs seeded but not yet settled.
+  std::size_t inflight_programs_ GUARDED_BY(ingress_mu_) = 0;
+  bool ingress_stopped_ GUARDED_BY(ingress_mu_) = false;
 
   // Outbound sequencer: slots release to the bus in allocation order.
-  std::mutex out_mu_;
-  std::uint64_t next_slot_to_alloc_ = 0;
-  std::uint64_t next_slot_to_release_ = 0;
-  std::map<std::uint64_t, std::function<void()>> pending_releases_;
+  Mutex out_mu_;
+  std::uint64_t next_slot_to_alloc_ GUARDED_BY(out_mu_) = 0;
+  std::uint64_t next_slot_to_release_ GUARDED_BY(out_mu_) = 0;
+  std::map<std::uint64_t, std::function<void()>> pending_releases_
+      GUARDED_BY(out_mu_);
 
   // In-flight node programs, keyed by event id.
-  std::mutex programs_mu_;
-  std::unordered_map<EventId, RefinableTimestamp> active_programs_;
+  Mutex programs_mu_;
+  std::unordered_map<EventId, RefinableTimestamp> active_programs_
+      GUARDED_BY(programs_mu_);
 
   /// Current NOP period multiplier (1 = configured rate; grows while a
   /// shard inbox is over high water). Read by NopLoop, written after each
@@ -362,12 +369,15 @@ class Gatekeeper {
   /// are off.
   obs::LatencyHistogram* commit_latency_ = nullptr;
 
+  /// Timer threads: written only by StartTimers (under timer_mu_, before
+  /// the loops run) and joined by StopTimers after the stop handshake, so
+  /// the handles themselves need no guard -- the flags below do.
   std::thread announce_thread_;
   std::thread nop_thread_;
-  std::mutex timer_mu_;
+  Mutex timer_mu_;
   std::condition_variable timer_cv_;
-  bool timers_running_ = false;
-  bool stop_timers_ = false;
+  bool timers_running_ GUARDED_BY(timer_mu_) = false;
+  bool stop_timers_ GUARDED_BY(timer_mu_) = false;
 
   Stats stats_;
 };

@@ -14,7 +14,7 @@ ClockOrder OrderResolver::Resolve(const RefinableTimestamp& a,
   }
   const Key key{a.event_id(), b.event_id()};
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     auto it = cache_.find(key);
     if (it != cache_.end()) {
       stats_.cache_hits++;
@@ -23,7 +23,7 @@ ClockOrder OrderResolver::Resolve(const RefinableTimestamp& a,
   }
   const ClockOrder decided = oracle_->OrderPair(a, b, prefer);
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     stats_.oracle_requests++;
     cache_[key] = decided;
     cache_[{key.second, key.first}] = FlipOrder(decided);
@@ -38,7 +38,7 @@ ClockOrder OrderResolver::Peek(const RefinableTimestamp& a,
   const ClockOrder by_clock = a.Compare(b);
   if (by_clock != ClockOrder::kConcurrent) return by_clock;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     auto it = cache_.find(Key{a.event_id(), b.event_id()});
     if (it != cache_.end()) return it->second;
   }
@@ -46,7 +46,7 @@ ClockOrder OrderResolver::Peek(const RefinableTimestamp& a,
 }
 
 void OrderResolver::TrimBefore(const VectorClock& watermark) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto is_dead = [&](EventId id) {
     auto it = cached_clocks_.find(id);
     return it != cached_clocks_.end() &&
@@ -77,7 +77,7 @@ void OrderResolver::TrimBefore(const VectorClock& watermark) {
 }
 
 std::size_t OrderResolver::CacheSize() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return cache_.size();
 }
 

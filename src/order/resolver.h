@@ -13,7 +13,9 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/annotations.h"
 #include "common/ids.h"
+#include "common/sync.h"
 #include "oracle/timeline_oracle.h"
 #include "order/timestamp.h"
 
@@ -50,10 +52,13 @@ class OrderResolver {
   using Key = std::pair<EventId, EventId>;
 
   TimelineOracle* oracle_;
-  mutable std::mutex mu_;
-  std::unordered_map<Key, ClockOrder, IdPairHash> cache_;
+  mutable Mutex mu_;
+  std::unordered_map<Key, ClockOrder, IdPairHash> cache_ GUARDED_BY(mu_);
   // Clock snapshots for TrimBefore: event id -> clock of cached decisions.
-  std::unordered_map<EventId, VectorClock> cached_clocks_;
+  std::unordered_map<EventId, VectorClock> cached_clocks_ GUARDED_BY(mu_);
+  /// Owned by the shard's event-loop thread (the resolver's only Resolve/
+  /// Peek caller); TrimBefore, the one cross-thread entry, leaves it
+  /// alone -- so the counters need no guard.
   Stats stats_;
 };
 

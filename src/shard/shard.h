@@ -25,6 +25,15 @@
 // Each cycle ends with an accounting delta to the coordinator, which
 // detects quiescence by credit counting. Per-program scratch state lives
 // here until the coordinator sends EndProgram (paper §4.5).
+//
+// Thread ownership (why this class has no mutexes and no GUARDED_BY
+// annotations -- docs/static_analysis.md): the shard is single-threaded
+// by design. Every mutable structure (graph, queues, program contexts,
+// scratch state) is owned by the event-loop thread, which is the only
+// thread that touches it; cross-thread communication happens exclusively
+// through the inbox BlockingQueue (annotated, common/queue.h) on the way
+// in and bus sends on the way out, and the handful of values other
+// threads may read (diagnostic gauges, the running flag) are atomics.
 #pragma once
 
 #include <atomic>

@@ -118,17 +118,22 @@ Result<std::unique_ptr<StorageEngine>> StorageEngine::Open(
   }
 
   auto manifest = ReadManifest(options.data_dir);
-  if (manifest.ok()) {
-    engine->manifest_ = *manifest;
-  } else if (!manifest.status().IsNotFound()) {
-    return manifest.status();  // corrupt manifest: refuse to guess
+  std::uint64_t wal_start;
+  {
+    MutexLock lk(engine->manifest_mu_);
+    if (manifest.ok()) {
+      engine->manifest_ = *manifest;
+    } else if (!manifest.status().IsNotFound()) {
+      return manifest.status();  // corrupt manifest: refuse to guess
+    }
+    wal_start = engine->manifest_.wal_start;
   }
 
-  auto wal = Wal::Open(options.data_dir, options, engine->manifest_.wal_start);
+  auto wal = Wal::Open(options.data_dir, options, wal_start);
   if (!wal.ok()) return wal.status();
   engine->wal_ = std::move(wal).value();
   engine->wal_bytes_since_checkpoint_.store(
-      Wal::SegmentBytes(options.data_dir, engine->manifest_.wal_start),
+      Wal::SegmentBytes(options.data_dir, wal_start),
       std::memory_order_relaxed);
   return engine;
 }
@@ -137,9 +142,17 @@ Status StorageEngine::Recover(
     const std::function<void(std::string&&, std::string&&)>& install,
     const std::function<void(const WalOp&)>& apply, RecoveryStats* stats) {
   RecoveryStats local;
-  if (manifest_.checkpoint_id != 0) {
+  std::uint64_t checkpoint_id, wal_start;
+  {
+    // Recovery runs single-threaded at Open, but reading the manifest
+    // under its lock keeps the invariant uniform (and free: uncontended).
+    MutexLock lk(manifest_mu_);
+    checkpoint_id = manifest_.checkpoint_id;
+    wal_start = manifest_.wal_start;
+  }
+  if (checkpoint_id != 0) {
     WEAVER_RETURN_IF_ERROR(ReadCheckpointFile(
-        options_.data_dir, manifest_.checkpoint_id,
+        options_.data_dir, checkpoint_id,
         [&](std::string&& key, std::string&& value) {
           ++local.checkpoint_rows;
           install(std::move(key), std::move(value));
@@ -147,7 +160,7 @@ Status StorageEngine::Recover(
   }
   std::vector<WalOp> batch;
   auto replay = Wal::Replay(
-      options_.data_dir, manifest_.wal_start, [&](std::string_view payload) {
+      options_.data_dir, wal_start, [&](std::string_view payload) {
         WEAVER_RETURN_IF_ERROR(DecodeBatch(payload, &batch));
         for (const WalOp& op : batch) {
           ++local.wal_ops;
@@ -183,7 +196,7 @@ Status StorageEngine::CommitCheckpoint(
     std::vector<std::pair<std::string, std::string>> rows,
     std::uint64_t wal_start) {
   const std::uint64_t start_ns = NowNanos();
-  std::lock_guard<std::mutex> lk(manifest_mu_);
+  MutexLock lk(manifest_mu_);
   const std::uint64_t id = manifest_.checkpoint_id + 1;
   WEAVER_RETURN_IF_ERROR(
       WriteCheckpointFile(options_.data_dir, id, &rows));
@@ -206,7 +219,7 @@ Status StorageEngine::CommitCheckpoint(
 }
 
 Status StorageEngine::PersistEpoch(std::uint32_t epoch) {
-  std::lock_guard<std::mutex> lk(manifest_mu_);
+  MutexLock lk(manifest_mu_);
   if (manifest_.epoch == epoch) return Status::Ok();
   Manifest next = manifest_;
   next.epoch = epoch;

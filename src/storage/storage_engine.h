@@ -19,8 +19,10 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "obs/metrics.h"
 #include "storage/checkpoint.h"
 #include "storage/storage_options.h"
@@ -89,7 +91,10 @@ class StorageEngine {
   /// Persists `epoch` in the manifest (cluster epoch survives restarts so
   /// gatekeeper clocks stay monotonic). Cheap: rewrites the tiny manifest.
   Status PersistEpoch(std::uint32_t epoch);
-  std::uint32_t recovered_epoch() const { return manifest_.epoch; }
+  std::uint32_t recovered_epoch() const {
+    MutexLock lk(manifest_mu_);
+    return manifest_.epoch;
+  }
 
   std::uint64_t wal_bytes_since_checkpoint() const {
     return wal_bytes_since_checkpoint_.load(std::memory_order_relaxed);
@@ -111,8 +116,8 @@ class StorageEngine {
   StorageOptions options_;
   int lock_fd_ = -1;  // flock()ed <data_dir>/LOCK
   std::unique_ptr<Wal> wal_;
-  Manifest manifest_;
-  mutable std::mutex manifest_mu_;
+  mutable Mutex manifest_mu_;
+  Manifest manifest_ GUARDED_BY(manifest_mu_);
   std::atomic<std::uint64_t> wal_bytes_since_checkpoint_{0};
   std::atomic<std::uint64_t> checkpoints_taken_{0};
   obs::MetricsRegistry* metrics_ = nullptr;

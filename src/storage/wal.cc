@@ -53,7 +53,7 @@ Wal::Wal(std::string dir, const StorageOptions& options)
     : dir_(std::move(dir)), options_(options) {}
 
 Wal::~Wal() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (fd_ >= 0) {
     if (options_.fsync == FsyncPolicy::kAlways) ::fdatasync(fd_);
     ::close(fd_);
@@ -69,7 +69,7 @@ Result<std::unique_ptr<Wal>> Wal::Open(std::string dir,
   for (const auto& [id, _] : ListSegments(wal->dir_)) {
     next = std::max(next, id + 1);
   }
-  std::lock_guard<std::mutex> lk(wal->mu_);
+  MutexLock lk(wal->mu_);
   WEAVER_RETURN_IF_ERROR(wal->OpenSegmentLocked(next));
   return wal;
 }
@@ -93,9 +93,9 @@ Status Wal::OpenSegmentLocked(std::uint64_t id) {
   return Status::Ok();
 }
 
-std::uint64_t Wal::RotateLocked(std::unique_lock<std::mutex>& lk) {
+std::uint64_t Wal::RotateLocked(MutexLock& lk) {
   // Wait out any in-flight group-commit sync: the leader holds the old fd.
-  sync_cv_.wait(lk, [this] { return !sync_in_progress_; });
+  while (sync_in_progress_) sync_cv_.wait(lk.native());
   if (options_.fsync == FsyncPolicy::kAlways && fd_ >= 0) {
     // Everything appended so far lives in segments being retired; cover it
     // before the fd goes away so later leaders need only sync the new fd.
@@ -110,7 +110,7 @@ std::uint64_t Wal::RotateLocked(std::unique_lock<std::mutex>& lk) {
 }
 
 std::uint64_t Wal::Rotate() {
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return RotateLocked(lk);
 }
 
@@ -128,7 +128,7 @@ Status Wal::Append(std::string_view payload) {
   }
   frame.append(payload.data(), payload.size());
 
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (fd_ < 0) return Status::Internal("WAL has no active segment");
   if (needs_rotate_ || (active_segment_bytes_ >= options_.segment_size_bytes &&
                         active_segment_bytes_ > 0)) {
@@ -163,19 +163,19 @@ Status Wal::Append(std::string_view payload) {
       sync_in_progress_ = true;
       const std::uint64_t target = appended_offset_;
       const int fd = fd_;
-      lk.unlock();
+      lk.Unlock();
       const std::uint64_t sync_start = NowNanos();
       ::fdatasync(fd);
       if (auto* hist = fsync_hist_.load(std::memory_order_acquire)) {
         hist->Record(NowNanos() - sync_start);
       }
-      lk.lock();
+      lk.Lock();
       durable_offset_ = std::max(durable_offset_, target);
       sync_in_progress_ = false;
       stats_.syncs.fetch_add(1, std::memory_order_relaxed);
       sync_cv_.notify_all();
     } else {
-      sync_cv_.wait(lk);
+      sync_cv_.wait(lk.native());
     }
   }
   return Status::Ok();

@@ -30,8 +30,10 @@
 #include <string_view>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "obs/metrics.h"
 #include "storage/storage_options.h"
 
@@ -79,7 +81,10 @@ class Wal {
   /// checkpoint whose manifest records `segment_id` as the replay start).
   Status DeleteSegmentsBefore(std::uint64_t segment_id);
 
-  std::uint64_t active_segment() const { return active_segment_; }
+  std::uint64_t active_segment() const {
+    MutexLock lk(mu_);
+    return active_segment_;
+  }
   const Stats& stats() const { return stats_; }
 
   /// Installs a histogram that receives the duration of every group-commit
@@ -110,27 +115,29 @@ class Wal {
   Wal(std::string dir, const StorageOptions& options);
 
   /// Opens segment file `id` for appending; requires mu_ held.
-  Status OpenSegmentLocked(std::uint64_t id);
-  std::uint64_t RotateLocked(std::unique_lock<std::mutex>& lk);
+  Status OpenSegmentLocked(std::uint64_t id) REQUIRES(mu_);
+  /// Rotates to a fresh segment; `lk` must hold mu_ (it is dropped and
+  /// retaken while waiting out an in-flight group-commit sync).
+  std::uint64_t RotateLocked(MutexLock& lk) REQUIRES(mu_);
 
   const std::string dir_;
   const StorageOptions options_;
 
-  std::mutex mu_;
+  mutable Mutex mu_;
   std::condition_variable sync_cv_;
-  int fd_ = -1;
-  std::uint64_t active_segment_ = 0;
-  std::uint64_t active_segment_bytes_ = 0;
+  int fd_ GUARDED_BY(mu_) = -1;
+  std::uint64_t active_segment_ GUARDED_BY(mu_) = 0;
+  std::uint64_t active_segment_bytes_ GUARDED_BY(mu_) = 0;
   /// Logical offset of the end of the last appended frame (monotonic
   /// across rotations) and the prefix known durable. Group commit works in
   /// terms of these watermarks.
-  std::uint64_t appended_offset_ = 0;
-  std::uint64_t durable_offset_ = 0;
-  bool sync_in_progress_ = false;
+  std::uint64_t appended_offset_ GUARDED_BY(mu_) = 0;
+  std::uint64_t durable_offset_ GUARDED_BY(mu_) = 0;
+  bool sync_in_progress_ GUARDED_BY(mu_) = false;
   /// Set when a failed append may have left a partial frame that could
   /// not be truncated away: the next append must rotate first so no
   /// acknowledged record lands behind a torn frame.
-  bool needs_rotate_ = false;
+  bool needs_rotate_ GUARDED_BY(mu_) = false;
 
   Stats stats_;
   std::atomic<obs::LatencyHistogram*> fsync_hist_{nullptr};

@@ -1,0 +1,24 @@
+// NEGATIVE case: must NOT compile under Clang -Werror=thread-safety.
+// Reads a GUARDED_BY field without holding its mutex -- the canonical
+// violation the annotation vocabulary exists to reject. If this file
+// ever compiles with the analysis on, the macros in
+// common/annotations.h have silently become no-ops.
+#include "common/sync.h"
+
+namespace {
+
+struct Counter {
+  weaver::Mutex mu;
+  int value GUARDED_BY(mu) = 0;
+};
+
+int ReadUnlocked(Counter& c) {
+  return c.value;  // no lock held: thread-safety error expected here
+}
+
+}  // namespace
+
+int Use() {
+  Counter c;
+  return ReadUnlocked(c);
+}

@@ -1,0 +1,24 @@
+// NEGATIVE case: must NOT compile under Clang -Werror=thread-safety.
+// Calls a REQUIRES(mu) helper without holding mu -- the locked-caller
+// contract every *Locked() helper in src/ relies on.
+#include "common/sync.h"
+
+namespace {
+
+struct Table {
+  weaver::Mutex mu;
+  int size GUARDED_BY(mu) = 0;
+
+  int SizeLocked() const REQUIRES(mu) { return size; }
+};
+
+int CallWithoutLock(const Table& t) {
+  return t.SizeLocked();  // caller does not hold mu: error expected here
+}
+
+}  // namespace
+
+int Use() {
+  Table t;
+  return CallWithoutLock(t);
+}

@@ -1,0 +1,17 @@
+// NEGATIVE case: must NOT compile under Clang -Werror=thread-safety.
+// Releases a capability that is not held (double unlock) -- the
+// lock-discipline misuse class, caught by the ACQUIRE/RELEASE
+// annotations on weaver::Mutex.
+#include "common/sync.h"
+
+namespace {
+
+void DoubleUnlock(weaver::Mutex& mu) {
+  mu.lock();
+  mu.unlock();
+  mu.unlock();  // not held any more: error expected here
+}
+
+}  // namespace
+
+void Use(weaver::Mutex& mu) { DoubleUnlock(mu); }

@@ -1,0 +1,85 @@
+# Negative-compilation harness for the thread-safety annotations
+# (docs/static_analysis.md#negative-compilation-test).
+#
+# Invoked by ctest (registered from the top-level CMakeLists.txt when a
+# Clang compiler is available) as:
+#
+#   cmake -DCLANGXX=<clang++> -DREPO_SRC=<repo>/src \
+#         -DCASES=<this dir>/cases -P run_cases.cmake
+#
+# Contract:
+#   * good_*.cc must compile CLEAN with -Werror=thread-safety (positive
+#     control: the harness and the annotated vocabulary work);
+#   * bad_*.cc must compile WITHOUT the analysis (they are valid C++)
+#     and must FAIL with -Werror=thread-safety (the annotations really
+#     reject unlocked access / lock misuse -- they have not silently
+#     become no-ops).
+#
+# Any deviation is a FATAL_ERROR, which ctest reports as a failure.
+
+foreach(var CLANGXX REPO_SRC CASES)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_cases.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+set(BASE_FLAGS -std=c++20 -fsyntax-only "-I${REPO_SRC}")
+set(TSA_FLAGS -Wthread-safety -Werror=thread-safety)
+
+function(compile_case src with_tsa out_ok out_log)
+  set(flags ${BASE_FLAGS})
+  if(with_tsa)
+    list(APPEND flags ${TSA_FLAGS})
+  endif()
+  execute_process(
+    COMMAND "${CLANGXX}" ${flags} "${src}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(rc EQUAL 0)
+    set(${out_ok} TRUE PARENT_SCOPE)
+  else()
+    set(${out_ok} FALSE PARENT_SCOPE)
+  endif()
+  set(${out_log} "${out}${err}" PARENT_SCOPE)
+endfunction()
+
+file(GLOB good_cases "${CASES}/good_*.cc")
+file(GLOB bad_cases "${CASES}/bad_*.cc")
+if(NOT good_cases OR NOT bad_cases)
+  message(FATAL_ERROR "run_cases.cmake: no cases found under ${CASES}")
+endif()
+
+foreach(src ${good_cases})
+  get_filename_component(name "${src}" NAME)
+  compile_case("${src}" TRUE ok log)
+  if(NOT ok)
+    message(FATAL_ERROR
+      "${name}: positive control FAILED under -Werror=thread-safety "
+      "(valid annotated code rejected):\n${log}")
+  endif()
+  message(STATUS "${name}: compiles clean with the analysis on (ok)")
+endforeach()
+
+foreach(src ${bad_cases})
+  get_filename_component(name "${src}" NAME)
+  compile_case("${src}" FALSE ok log)
+  if(NOT ok)
+    message(FATAL_ERROR
+      "${name}: does not compile even WITHOUT the analysis -- the case "
+      "is broken C++, not a thread-safety violation:\n${log}")
+  endif()
+  compile_case("${src}" TRUE ok log)
+  if(ok)
+    message(FATAL_ERROR
+      "${name}: compiled despite its thread-safety violation -- the "
+      "annotations have become no-ops under Clang")
+  endif()
+  if(NOT log MATCHES "thread-safety")
+    message(FATAL_ERROR
+      "${name}: failed for a reason other than thread-safety:\n${log}")
+  endif()
+  message(STATUS "${name}: rejected by -Werror=thread-safety (ok)")
+endforeach()
+
+message(STATUS "annotations_compile_test: all cases behaved as required")

@@ -211,6 +211,47 @@ TEST(WireCodec, RepliesRoundtrip) {
   ExpectRoundtrip(p);
 }
 
+TEST(WireCodec, MetricsMessagesRoundtrip) {
+  MetricsRequestMessage req;
+  req.request_id = 51;
+  req.reply_to = 9;
+  ExpectRoundtrip(req);
+
+  MetricsReportMessage rep;
+  rep.request_id = 51;
+  rep.shard = 2;
+  rep.inbox_depth = 17;
+  rep.snapshot.counters.emplace_back("shard2.tx_applied", 123);
+  rep.snapshot.gauges.emplace_back("shard2.inbox_depth", 17);
+  obs::HistogramSnapshot h;
+  h.count = 3;
+  h.sum = 900;
+  h.min = 100;
+  h.max = 500;
+  h.buckets = {{100, 1}, {250, 1}, {500, 1}};
+  rep.snapshot.histograms.emplace_back("shard2.apply_latency", h);
+  ExpectRoundtrip(rep);
+}
+
+TEST(WireCodec, ShardRecoveryMessagesRoundtrip) {
+  ShardResetMessage reset;
+  reset.target = 4;
+  reset.token = 77;
+  reset.reply_to = 8;
+  ExpectRoundtrip(reset);
+
+  ShardResetAckMessage ack;
+  ack.shard = 1;
+  ack.token = 77;
+  ExpectRoundtrip(ack);
+
+  PartitionReplayMessage replay;
+  replay.shard = 1;
+  replay.vertices.emplace_back(42, "serialized-vertex-blob");
+  replay.vertices.emplace_back(43, "");
+  ExpectRoundtrip(replay);
+}
+
 TEST(WireCodec, PayloadCodecCoversEveryTag) {
   // Every schema tag must encode and decode through the type-erased
   // layer; unknown tags must be rejected.
@@ -218,7 +259,9 @@ TEST(WireCodec, PayloadCodecCoversEveryTag) {
       kMsgTx,           kMsgNop,           kMsgAnnounce,
       kMsgWaveHops,     kMsgEndProgram,    kMsgGc,
       kMsgClientCommit, kMsgClientProgram, kMsgWaveAccounting,
-      kMsgClientCommitReply, kMsgClientProgramReply};
+      kMsgClientCommitReply, kMsgClientProgramReply,
+      kMsgMetricsRequest, kMsgMetricsReport, kMsgShardReset,
+      kMsgShardResetAck, kMsgPartitionReplay};
   for (const std::uint32_t tag : tags) {
     auto fresh = DecodePayload(tag, [&] {
       // Encode a default-constructed message of the tag's schema first.
@@ -248,6 +291,21 @@ TEST(WireCodec, PayloadCodecCoversEveryTag) {
           break;
         case kMsgClientProgramReply:
           blank = std::make_shared<ClientProgramReplyMessage>();
+          break;
+        case kMsgMetricsRequest:
+          blank = std::make_shared<MetricsRequestMessage>();
+          break;
+        case kMsgMetricsReport:
+          blank = std::make_shared<MetricsReportMessage>();
+          break;
+        case kMsgShardReset:
+          blank = std::make_shared<ShardResetMessage>();
+          break;
+        case kMsgShardResetAck:
+          blank = std::make_shared<ShardResetAckMessage>();
+          break;
+        case kMsgPartitionReplay:
+          blank = std::make_shared<PartitionReplayMessage>();
           break;
       }
       auto encoded = EncodePayload(tag, blank);

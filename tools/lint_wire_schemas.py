@@ -1,0 +1,227 @@
+#!/usr/bin/env python3
+"""Wire-schema drift linter (docs/static_analysis.md#schema-linter).
+
+Statically cross-checks the three files that must agree for the wire
+protocol to be safe to evolve:
+
+  src/core/messages.h        -- the schema definitions (MsgTag + structs)
+  src/core/message_codec.h   -- per-schema Encode/Decode declarations
+  src/core/message_codec.cc  -- codec definitions + the EncodePayload /
+                                DecodePayload tag registries
+  tests/wire_codec_test.cc   -- byte-identical re-encode tests
+
+Checks enforced (each failure is one line on stderr; exit 1 on any):
+
+  1. Every `*Message` struct in messages.h has an Encode(const X&, ...)
+     declaration and a Decode(..., X*) declaration in message_codec.h.
+  2. Every `*Message` struct has matching Encode/Decode DEFINITIONS in
+     message_codec.cc.
+  3. Every `*Message` struct is registered in BOTH payload registries in
+     message_codec.cc (EncodeAs<X> and DecodeAs<X>).
+  4. Every MsgTag enumerator (except the schema-less allowlist, e.g.
+     kMsgStop) appears as a `case` in both payload registries.
+  5. Every `*Message` struct has a roundtrip test: some TEST body in
+     wire_codec_test.cc constructs an instance and passes it to
+     ExpectRoundtrip() (the byte-identical re-encode helper).
+  6. Every MsgTag enumerator appears somewhere in wire_codec_test.cc
+     (the PayloadCodecCoversEveryTag registry walk).
+
+Run from anywhere: paths are resolved relative to the repo root (the
+directory holding this script's parent). `--self-test` exercises the
+checker against synthetic drifted fixtures and exits non-zero if any
+drift goes undetected -- CI runs both modes.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+# Tags that deliberately have no schema struct / no payload bytes.
+SCHEMALESS_TAGS = {"kMsgStop"}
+
+MESSAGES_H = "src/core/messages.h"
+CODEC_H = "src/core/message_codec.h"
+CODEC_CC = "src/core/message_codec.cc"
+CODEC_TEST = "tests/wire_codec_test.cc"
+
+
+def parse_schemas(messages_h: str):
+    """Returns (tags, structs): MsgTag enumerator names and *Message structs."""
+    enum_m = re.search(r"enum\s+MsgTag[^{]*\{(.*?)\}", messages_h, re.S)
+    if not enum_m:
+        raise SystemExit("lint_wire_schemas: no `enum MsgTag` in " + MESSAGES_H)
+    tags = re.findall(r"\b(kMsg\w+)\s*=", enum_m.group(1))
+    structs = re.findall(r"^struct\s+(\w+Message)\b", messages_h, re.M)
+    return tags, structs
+
+
+def parse_test_roundtrips(test_cc: str):
+    """Struct names passed to ExpectRoundtrip() inside some TEST body."""
+    covered = set()
+    # Split at TEST( boundaries; within each body, map variable -> type for
+    # declarations `XMessage var;` / `XMessage var{...}` and record the types
+    # of variables later passed to ExpectRoundtrip(var).
+    for body in re.split(r"\bTEST\s*\(", test_cc)[1:]:
+        decls = dict(
+            (var, typ)
+            for typ, var in re.findall(r"\b(\w+Message)\s+(\w+)\s*[;{=]", body)
+        )
+        for var in re.findall(r"\bExpectRoundtrip\s*\(\s*(\w+)\s*\)", body):
+            if var in decls:
+                covered.add(decls[var])
+    return covered
+
+
+def check(files: dict) -> list:
+    """Runs every check over {path: contents}; returns error strings."""
+    errors = []
+    tags, structs = parse_schemas(files[MESSAGES_H])
+    codec_h = files[CODEC_H]
+    codec_cc = files[CODEC_CC]
+    test_cc = files[CODEC_TEST]
+
+    for s in structs:
+        if not re.search(r"void\s+Encode\(const\s+%s&" % s, codec_h):
+            errors.append(f"{CODEC_H}: missing `void Encode(const {s}&, "
+                          f"wire::Writer*)` declaration")
+        if not re.search(r"Status\s+Decode\(wire::Reader\*\s*\w*,\s*%s\*" % s,
+                         codec_h):
+            errors.append(f"{CODEC_H}: missing `Status Decode(wire::Reader*, "
+                          f"{s}*)` declaration")
+        if not re.search(r"void\s+Encode\(const\s+%s&[^)]*\)\s*\{" % s,
+                         codec_cc):
+            errors.append(f"{CODEC_CC}: missing Encode definition for {s}")
+        if not re.search(
+                r"Status\s+Decode\(wire::Reader\*\s*\w*,\s*%s\*[^)]*\)\s*\{" % s,
+                codec_cc):
+            errors.append(f"{CODEC_CC}: missing Decode definition for {s}")
+        if not re.search(r"EncodeAs<%s>" % s, codec_cc):
+            errors.append(f"{CODEC_CC}: {s} not registered in EncodePayload")
+        if not re.search(r"DecodeAs<%s>" % s, codec_cc):
+            errors.append(f"{CODEC_CC}: {s} not registered in DecodePayload")
+
+    # Tag registration: each schema-bearing tag must appear as a switch case
+    # in both registries (EncodePayload and DecodePayload share the file;
+    # require two case sites to cover both).
+    for t in tags:
+        if t in SCHEMALESS_TAGS:
+            continue
+        case_count = len(re.findall(r"case\s+%s\s*:" % t, codec_cc))
+        if case_count < 2:
+            errors.append(f"{CODEC_CC}: tag {t} not registered in both "
+                          f"EncodePayload and DecodePayload "
+                          f"(found {case_count} case site(s), need 2)")
+
+    covered = parse_test_roundtrips(test_cc)
+    for s in structs:
+        if s not in covered:
+            errors.append(f"{CODEC_TEST}: no ExpectRoundtrip() byte-identical "
+                          f"re-encode test constructs a {s}")
+    for t in tags:
+        if not re.search(r"\b%s\b" % t, test_cc):
+            errors.append(f"{CODEC_TEST}: tag {t} never exercised "
+                          f"(PayloadCodecCoversEveryTag drift)")
+
+    return errors
+
+
+def load_repo_files(root: pathlib.Path) -> dict:
+    files = {}
+    for rel in (MESSAGES_H, CODEC_H, CODEC_CC, CODEC_TEST):
+        p = root / rel
+        if not p.is_file():
+            raise SystemExit(f"lint_wire_schemas: {p} not found "
+                             f"(run from the repo, or pass --root)")
+        files[rel] = p.read_text()
+    return files
+
+
+def self_test(root: pathlib.Path) -> int:
+    """Drifts the real files in-memory and asserts the checker objects."""
+    base = load_repo_files(root)
+    if check(base):
+        # The repo itself must be clean before drift injection means anything.
+        for e in check(base):
+            print("self-test precondition (repo not clean):", e,
+                  file=sys.stderr)
+        return 1
+
+    failures = 0
+
+    def expect_drift(name: str, mutate):
+        nonlocal failures
+        drifted = dict(base)
+        mutate(drifted)
+        errs = check(drifted)
+        if errs:
+            print(f"self-test ok: {name} -> {len(errs)} error(s), e.g. "
+                  f"{errs[0]}")
+        else:
+            print(f"self-test FAIL: {name} went undetected", file=sys.stderr)
+            failures += 1
+
+    # A brand-new schema nobody wired up anywhere (the ShardReset story).
+    def add_schema(f):
+        f[MESSAGES_H] = f[MESSAGES_H].replace(
+            "}  // namespace weaver",
+            "struct GhostMessage { std::uint64_t x = 0; };\n"
+            "}  // namespace weaver")
+    expect_drift("unwired new schema struct", add_schema)
+
+    # A new tag with no codec registration.
+    def add_tag(f):
+        f[MESSAGES_H] = re.sub(r"\n\};", "\n  kMsgGhost = 99,\n};",
+                               f[MESSAGES_H], count=1)
+    expect_drift("unregistered new tag", add_tag)
+
+    # Codec declaration deleted from the header.
+    def drop_decl(f):
+        f[CODEC_H] = f[CODEC_H].replace(
+            "void Encode(const NopMessage& m, wire::Writer* w);", "")
+    expect_drift("deleted Encode declaration", drop_decl)
+
+    # Payload-registry entry deleted (tag still decodable one way only).
+    def drop_case(f):
+        f[CODEC_CC] = f[CODEC_CC].replace(
+            "case kMsgNop:\n      return EncodeAs<NopMessage>(payload);", "", 1)
+    expect_drift("tag dropped from EncodePayload switch", drop_case)
+
+    # Roundtrip test deleted.
+    def drop_test(f):
+        f[CODEC_TEST] = re.sub(
+            r"TEST\(WireCodec, NopRoundtrip\).*?\n\}\n", "", f[CODEC_TEST],
+            flags=re.S)
+    expect_drift("deleted roundtrip test", drop_test)
+
+    if failures == 0:
+        print("self-test passed: all injected drift detected")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", type=pathlib.Path,
+                    default=pathlib.Path(__file__).resolve().parent.parent,
+                    help="repo root (default: this script's parent's parent)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the linter catches synthetic drift")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test(args.root)
+
+    errors = check(load_repo_files(args.root))
+    for e in errors:
+        print("lint_wire_schemas:", e, file=sys.stderr)
+    if errors:
+        print(f"lint_wire_schemas: {len(errors)} schema drift problem(s); "
+              f"see docs/static_analysis.md#schema-linter", file=sys.stderr)
+        return 1
+    print("lint_wire_schemas: all message schemas have codecs, registry "
+          "entries, and byte-identical re-encode tests")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
