@@ -1,16 +1,21 @@
 // Chaos recovery bench (docs/fault_tolerance.md#chaos): a multi-process
 // deployment under sustained transactional + traversal load while every
 // shard-server process is hard-killed once, at a deterministic point in
-// its frame stream (net/fault_injector.h). Measures what the paper's
-// fault-tolerance story promises an operator:
+// its frame stream (net/fault_injector.h), and -- with --chaos -- the
+// timeline-oracle service (weaver-oracled) is SIGKILLed once mid-load.
+// Measures what the paper's fault-tolerance story promises an operator:
 //
 //   * availability -- commits and programs keep completing through the
 //     outages (bounded retries on Unavailable, bounded waits via
 //     Pending<T>::WaitFor -> DeadlineExceeded);
 //   * durability   -- every ACKNOWLEDGED write is read back after the
-//     cluster heals (kv-first commit + partition replay);
-//   * recovery     -- supervisor.* metrics show one recovery per shard,
-//     none failed, and the recovery latency distribution.
+//     cluster heals (kv-first commit + partition replay), and every
+//     timeline-order decision acknowledged before the oracle died reads
+//     back identically from the respawn's replayed changelog (no order
+//     inversions);
+//   * recovery     -- supervisor.* metrics show one recovery per shard
+//     plus one oracle recovery, none failed, and the recovery latency
+//     distribution.
 //
 // Run with --chaos to inject the kills (CI's recovery smoke); without it
 // the binary is the same workload on an undisturbed multi-process
@@ -19,16 +24,20 @@
 // guards the robustness layer the deployment needs around it.
 #include <signal.h>
 
+#include <stdlib.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "client/weaver_client.h"
@@ -36,7 +45,9 @@
 #include "core/weaver.h"
 #include "harness.h"
 #include "net/fault_injector.h"
+#include "oracle/oracle_client.h"
 #include "programs/standard_programs.h"
+#include "vclock/vclock.h"
 
 namespace weaver {
 namespace bench {
@@ -115,14 +126,18 @@ Result<ProgramResult> RunProgramAcknowledged(Session* session,
   return r;
 }
 
-bool AwaitRecoveries(Weaver* db, std::uint64_t want,
+bool AwaitRecoveries(Weaver* db, std::uint64_t want_shards,
+                     std::uint64_t want_oracle,
                      std::chrono::seconds deadline) {
   const auto until = std::chrono::steady_clock::now() + deadline;
   while (std::chrono::steady_clock::now() < until) {
     auto cluster = db->CollectMetrics(/*timeout_micros=*/500'000);
     if (cluster.ok() &&
-        cluster->local.CounterValue("supervisor.recoveries") >= want &&
-        cluster->local.GaugeValue("supervisor.shards_down") == 0) {
+        cluster->local.CounterValue("supervisor.recoveries") >= want_shards &&
+        cluster->local.CounterValue("supervisor.oracle_recoveries") >=
+            want_oracle &&
+        cluster->local.GaugeValue("supervisor.shards_down") == 0 &&
+        cluster->local.GaugeValue("supervisor.oracle_down") == 0) {
       return true;
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
@@ -130,21 +145,56 @@ bool AwaitRecoveries(Weaver* db, std::uint64_t want,
   return false;
 }
 
+/// Synthetic timestamps for the timeline-order ledger: pairwise
+/// concurrent (distinct gatekeepers, incomparable counters) in an epoch
+/// far above anything the deployment's GC watermark can reach, so the
+/// service never collects them mid-run.
+constexpr std::uint32_t kLedgerEpoch = 1'000'000;
+
+RefinableTimestamp LedgerTs(std::uint64_t counter, GatekeeperId gk) {
+  std::vector<std::uint64_t> counters(kGatekeepers, 0);
+  counters[gk] = counter;
+  VectorClock clock(kLedgerEpoch, std::move(counters));
+  return RefinableTimestamp(clock, gk, counter);
+}
+
 int Run(bool chaos) {
   PrintHeader("bench_chaos_recovery",
               chaos ? "chaos (--chaos)" : "baseline (no faults)");
 
-  // Fork shard servers and the spare pool BEFORE any thread exists.
+  // Fork shard servers, the oracle service, and the spare pool BEFORE
+  // any thread exists. The spares are generic: each can become a shard
+  // or the oracle, so one pool covers both failure kinds.
   serverd::ShardServerOptions so;
   so.num_shards = kShards;
   so.num_gatekeepers = kGatekeepers;
+  so.remote_oracle = true;
+  std::string oracle_dir;
+  {
+    std::string templ =
+        (std::filesystem::temp_directory_path() / "weaver_oracled_XXXXXX")
+            .string();
+    char* dir = ::mkdtemp(templ.data());
+    if (dir == nullptr) {
+      std::fprintf(stderr, "mkdtemp failed\n");
+      return 1;
+    }
+    oracle_dir = dir;
+  }
+  so.oracle_data_dir = oracle_dir;
   auto children = serverd::SpawnShardServers(so);
   if (!children.ok()) {
     std::fprintf(stderr, "spawn failed: %s\n",
                  children.status().ToString().c_str());
     return 1;
   }
-  auto spares = serverd::SpawnSpareServers(so, kShards);
+  auto oracled = serverd::SpawnOracleServer(so);
+  if (!oracled.ok()) {
+    std::fprintf(stderr, "oracle spawn failed: %s\n",
+                 oracled.status().ToString().c_str());
+    return 1;
+  }
+  auto spares = serverd::SpawnSpareServers(so, kShards + 1);
   if (!spares.ok()) {
     std::fprintf(stderr, "spare spawn failed: %s\n",
                  spares.status().ToString().c_str());
@@ -164,6 +214,9 @@ int Run(bool chaos) {
     o.metrics_poll_period_micros = 0;
     o.supervision.enabled = true;
     o.supervision.poll_period_micros = 5'000;
+    o.oracle_service.enabled = true;
+    o.oracle_service.pid = oracled->pid;
+    o.oracle_service.fd = oracled->parent_fd;
     for (const auto& child : *children) {
       o.remote_shard_fds.push_back(child.parent_fd);
       o.supervision.shard_pids.push_back(child.pid);
@@ -215,6 +268,28 @@ int Run(bool chaos) {
       if (!session->Commit(&etx).ok()) return 1;
     }
 
+    // Timeline-order ledger: every decision acknowledged here is logged
+    // in the oracle's changelog; after the oracle is killed and
+    // respawned, each must read back identically (no inversions).
+    constexpr int kLedgerPairs = 16;
+    std::vector<std::pair<RefinableTimestamp, RefinableTimestamp>> ledger;
+    std::vector<ClockOrder> decided;
+    for (int i = 1; i <= kLedgerPairs; ++i) {
+      const auto a = LedgerTs(static_cast<std::uint64_t>(i), 0);
+      const auto b = LedgerTs(static_cast<std::uint64_t>(i), 1);
+      auto order = db->oracle_client().OrderPair(
+          a, b,
+          (i % 2) != 0 ? OrderPreference::kPreferFirst
+                       : OrderPreference::kPreferSecond);
+      if (!order.ok()) {
+        std::fprintf(stderr, "chaos: ledger order failed: %s\n",
+                     order.status().ToString().c_str());
+        return 1;
+      }
+      ledger.emplace_back(a, b);
+      decided.push_back(*order);
+    }
+
     // Sustained load: every acknowledged vertex is a durability promise
     // we verify after the cluster heals. The frame triggers fire during
     // this loop; the loop keeps making progress through both outages.
@@ -223,6 +298,12 @@ int Run(bool chaos) {
     acknowledged.reserve(kRounds);
     const auto t0 = std::chrono::steady_clock::now();
     for (int i = 0; i < kRounds; ++i) {
+      if (chaos && i == kRounds / 2) {
+        // Hard-kill the oracle service mid-load: the supervisor must
+        // fence it, respawn a spare as the oracle, and replay the
+        // changelog while shard-side callers retry through Unavailable.
+        ::kill(oracled->pid, SIGKILL);
+      }
       NodeId created = kInvalidNodeId;
       if (!CommitAcknowledged(session.get(), ring[i % kRingVertices],
                               "w" + std::to_string(i), &stats, &created)) {
@@ -242,9 +323,11 @@ int Run(bool chaos) {
       }
     }
 
-    // The cluster must heal: one recovery per shard under --chaos.
+    // The cluster must heal: one recovery per shard plus one oracle
+    // recovery under --chaos.
     const std::uint64_t want = chaos ? kShards : 0;
-    if (!AwaitRecoveries(db.get(), want, std::chrono::seconds(60))) {
+    if (!AwaitRecoveries(db.get(), want, chaos ? 1 : 0,
+                         std::chrono::seconds(60))) {
       std::fprintf(stderr, "chaos: cluster never healed\n");
       return 1;
     }
@@ -264,6 +347,24 @@ int Run(bool chaos) {
       }
     }
 
+    // Order read-back: wipe the parent's replica first, so every
+    // re-query below must consult the (respawned) service's DAG rather
+    // than a warm local cache. Each re-query flips the operands and
+    // prefers the opposite answer -- a service that lost the changelog
+    // edge would happily establish the inverted order.
+    std::uint64_t order_inversions = 0;
+    db->oracle_client().CollectBefore(
+        VectorClock(kLedgerEpoch + 1,
+                    std::vector<std::uint64_t>(kGatekeepers, 1)));
+    for (std::size_t i = 0; i < ledger.size(); ++i) {
+      auto again = db->oracle_client().OrderPair(
+          ledger[i].second, ledger[i].first, OrderPreference::kPreferFirst);
+      if (!again.ok() || *again != FlipOrder(decided[i])) {
+        ++order_inversions;
+        all_reads_ok = false;
+      }
+    }
+
     auto cluster = db->CollectMetrics();
     if (!cluster.ok()) {
       std::fprintf(stderr, "metrics collection failed: %s\n",
@@ -272,6 +373,22 @@ int Run(bool chaos) {
     }
     final_metrics = cluster->Merged();
     const obs::MetricsSnapshot& local = cluster->local;
+
+    // The respawned oracle's own report (shard == kOracleMetricsSource):
+    // under --chaos it must show a changelog replay.
+    std::uint64_t oracle_replayed = 0;
+    for (const auto& report : cluster->remote) {
+      if (report.shard == kOracleMetricsSource) {
+        oracle_replayed =
+            report.snapshot.CounterValue("oracle.service.replayed_records");
+      }
+    }
+    if (chaos && oracle_replayed == 0) {
+      std::fprintf(stderr,
+                   "chaos: respawned oracle reports no replayed changelog "
+                   "records\n");
+      all_reads_ok = false;
+    }
 
     std::printf("\n%-34s %12s\n", "metric", "value");
     auto row = [](const char* name, std::uint64_t v) {
@@ -283,6 +400,12 @@ int Run(bool chaos) {
     row("unavailable_retries", stats.unavailable_retries.load());
     row("deadline_waits_250ms", stats.deadline_waits.load());
     row("acknowledged_missing_after_heal", missing);
+    row("order_inversions_after_heal", order_inversions);
+    row("oracle.service.replayed_records", oracle_replayed);
+    row("supervisor.oracle_recoveries",
+        local.CounterValue("supervisor.oracle_recoveries"));
+    row("oracle.client.unavailable",
+        final_metrics.CounterValue("oracle.client.unavailable"));
     row("supervisor.recoveries", local.CounterValue("supervisor.recoveries"));
     row("supervisor.recoveries_failed",
         local.CounterValue("supervisor.recoveries_failed"));
@@ -307,6 +430,10 @@ int Run(bool chaos) {
       json.Integer("unavailable_retries", stats.unavailable_retries.load());
       json.Integer("deadline_waits", stats.deadline_waits.load());
       json.Integer("acknowledged_missing_after_heal", missing);
+      json.Integer("order_inversions_after_heal", order_inversions);
+      json.Integer("oracle_recoveries",
+                   local.CounterValue("supervisor.oracle_recoveries"));
+      json.Integer("oracle_replayed_records", oracle_replayed);
       json.Integer("recoveries", local.CounterValue("supervisor.recoveries"));
       json.Integer("recoveries_failed",
                    local.CounterValue("supervisor.recoveries_failed"));
@@ -318,12 +445,16 @@ int Run(bool chaos) {
     db->Shutdown();
   }
   if (!serverd::WaitShardServers(*children).ok() ||
+      !serverd::WaitShardServers({*oracled}).ok() ||
       !serverd::WaitShardServers(*spares).ok()) {
     std::fprintf(stderr, "chaos: a shard process exited abnormally\n");
     return 1;
   }
+  std::error_code ec;
+  std::filesystem::remove_all(oracle_dir, ec);
   if (!all_reads_ok) {
-    std::fprintf(stderr, "chaos: ACKNOWLEDGED WRITES WERE LOST\n");
+    std::fprintf(stderr,
+                 "chaos: ACKNOWLEDGED WRITES OR ORDER DECISIONS WERE LOST\n");
     return 1;
   }
   std::printf("\nresult: %s -- all acknowledged writes survived\n",

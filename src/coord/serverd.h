@@ -19,14 +19,22 @@
 //     ids S+2g, S+2g+1           gatekeeper g (server, client ingress)
 //     id  S+2G                   program coordinator
 //
+// -- and, when the deployment runs the standalone timeline-oracle
+// service (docs/oracle_service.md):
+//
+//     id  S+2G+1                 weaver-oracled
+//     ids S+2G+2+p               shard p's oracle-client reply endpoint
+//     id  S+2G+2+S               the parent's oracle-client reply endpoint
+//
 // -- so a frame's destination id means the same thing in every process.
 // A child registers its own shard at its id and a remote proxy (over its
 // single parent link) at every other id it can address.
 //
-// Shard-local state in a child: its own timeline-oracle REPLICA (the
-// reactive refinement stage; see docs/transport.md#limitations), the
-// standard program registry, and a hash-fallback NodeLocator -- which is
-// why remote deployments require hash placement.
+// Shard-local state in a child: its own timeline-oracle view (an
+// OracleClient -- authoritative passthrough without the service, a
+// replica + RPC path with it), the standard program registry, and a
+// hash-fallback NodeLocator -- which is why remote deployments require
+// hash placement.
 //
 // Fork protocol (the only supported spawn mode today; an exec-based
 // weaver-serverd binary would pass the same config on its command line):
@@ -36,6 +44,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <sys/types.h>
 #include <vector>
 
@@ -43,6 +52,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "net/bus.h"
+#include "storage/storage_options.h"
 
 namespace weaver {
 namespace serverd {
@@ -55,10 +65,21 @@ struct EndpointLayout {
   std::vector<EndpointId> gatekeeper_clients;
   EndpointId coordinator = 0;
 
+  /// Oracle-service endpoints; meaningful only when with_oracle.
+  bool with_oracle = false;
+  EndpointId oracle = 0;
+  /// oracle_clients[p]: shard p's reply endpoint for OracleReply frames.
+  std::vector<EndpointId> oracle_clients;
+  /// The parent process's own reply endpoint (GC collect RPCs).
+  EndpointId parent_oracle_client = 0;
+
   static EndpointLayout Compute(std::size_t num_shards,
-                                std::size_t num_gatekeepers);
-  /// Highest id a child must be able to address (== coordinator).
-  EndpointId max_endpoint() const { return coordinator; }
+                                std::size_t num_gatekeepers,
+                                bool with_oracle = false);
+  /// Highest id a child must be able to address.
+  EndpointId max_endpoint() const {
+    return with_oracle ? parent_oracle_client : coordinator;
+  }
 };
 
 /// Shard-server knobs a child shares with the parent deployment.
@@ -68,15 +89,42 @@ struct ShardServerOptions {
   std::size_t inbox_capacity = 8192;
   std::size_t queue_high_water = 4096;
   std::size_t max_hops_per_cycle = 2048;
+
+  /// Run the deployment against a standalone weaver-oracled process
+  /// (docs/oracle_service.md). Shards then resolve concurrent pairs
+  /// through an OracleClient RPC path instead of a process-local
+  /// authoritative replica, and the endpoint layout grows the oracle ids
+  /// above.
+  bool remote_oracle = false;
+  /// weaver-oracled's durable-changelog directory; empty runs the
+  /// service memory-only (no crash durability -- tests only).
+  std::string oracle_data_dir;
+  /// Changelog records between oracle checkpoints.
+  std::uint64_t oracle_snapshot_every = 8192;
+  /// Changelog fsync policy.
+  FsyncPolicy oracle_fsync = FsyncPolicy::kNever;
+  /// Shard-side OracleClient deadlines (per attempt / total budget).
+  std::uint64_t oracle_rpc_timeout_micros = 250'000;
+  std::uint64_t oracle_total_deadline_micros = 3'000'000;
 };
 
 /// Child-process entry point: builds a standalone shard server for
 /// `shard_id` wired to the parent over `parent_fd` (takes ownership of
 /// the fd), serves until the parent shuts down (Stop message or socket
 /// EOF), and returns the exit code. Call from a freshly forked child and
-/// _exit() with the result.
+/// _exit() with the result. With options.remote_oracle, `rehydrate`
+/// makes the shard pull the oracle service's full edge dump (Sync)
+/// before serving -- the respawn path, where refinements made before a
+/// predecessor crashed must be visible again.
 int RunShardServer(int parent_fd, ShardId shard_id,
-                   const ShardServerOptions& options);
+                   const ShardServerOptions& options, bool rehydrate = false);
+
+/// Child-process entry point for weaver-oracled: the standalone,
+/// supervised timeline-oracle service (docs/oracle_service.md). Serves
+/// OracleRequest batches at layout.oracle over the parent hub link,
+/// journaling every established edge to the durable changelog in
+/// options.oracle_data_dir, until the parent shuts down.
+int RunOracleServer(int parent_fd, const ShardServerOptions& options);
 
 /// One spawned shard-server child.
 struct ShardProcess {
@@ -90,6 +138,10 @@ struct ShardProcess {
 Result<std::vector<ShardProcess>> SpawnShardServers(
     const ShardServerOptions& options);
 
+/// Forks the weaver-oracled child. Same fork-first rule. Feed the
+/// parent_fd/pid into WeaverOptions::oracle_service.
+Result<ShardProcess> SpawnOracleServer(const ShardServerOptions& options);
+
 /// Waits for every child to exit (after the parent Weaver shut down).
 /// Returns non-OK if any child exited abnormally or with a non-zero
 /// code. Children the supervisor already reaped (recovered crashes) are
@@ -101,13 +153,28 @@ Status WaitShardServers(const std::vector<ShardProcess>& children);
 // fork() from the threaded parent is unsafe, so a dead shard cannot be
 // respawned on demand: the spares are forked UP FRONT, alongside the
 // original shard servers, while the process is still single-threaded.
-// Each spare blocks reading a 4-byte shard id from its socket; assigning
-// one (AssignSpare) turns it into that shard's server over the same fd.
-// An unused spare sees EOF when the parent closes its fd and exits 0.
+// Each spare blocks reading a 4-byte assignment word from its socket;
+// assigning one (AssignSpare) turns it into that server over the same
+// fd. An unused spare sees EOF when the parent closes its fd and exits
+// 0. The assignment word is a shard id, optionally tagged:
+//
+//   kSpareBecomeOracle             become weaver-oracled (replays the
+//                                  durable changelog from
+//                                  options.oracle_data_dir)
+//   kSpareRehydrateBit | shard_id  become that shard AND rehydrate its
+//                                  oracle replica from the service
+//                                  (Sync) before serving
 
-/// Spare-process entry point: blocks until the parent assigns a shard id
-/// over `parent_fd`, then serves exactly like RunShardServer. EOF before
-/// an assignment is a clean "never needed" exit.
+/// Assignment word: the spare becomes the oracle service.
+constexpr std::uint32_t kSpareBecomeOracle = 0xFFFFFFFFu;
+/// Assignment-word tag: the spare becomes shard (word & ~bit) in
+/// rehydrate mode.
+constexpr std::uint32_t kSpareRehydrateBit = 0x80000000u;
+
+/// Spare-process entry point: blocks until the parent assigns a role
+/// over `parent_fd`, then serves exactly like RunShardServer /
+/// RunOracleServer. EOF before an assignment is a clean "never needed"
+/// exit.
 int RunSpareServer(int parent_fd, const ShardServerOptions& options);
 
 /// Forks `count` unassigned spare processes. Same fork-first rule as
@@ -117,9 +184,10 @@ int RunSpareServer(int parent_fd, const ShardServerOptions& options);
 Result<std::vector<ShardProcess>> SpawnSpareServers(
     const ShardServerOptions& options, std::size_t count);
 
-/// Tells the spare behind `fd` to become shard `shard_id`. After this
-/// the fd carries wire frames; adopt it into a transport.
-Status AssignSpare(int fd, ShardId shard_id);
+/// Tells the spare behind `fd` to take the role in `assignment` (a plain
+/// shard id or one of the tagged words above). After this the fd carries
+/// wire frames; adopt it into a transport.
+Status AssignSpare(int fd, std::uint32_t assignment);
 
 }  // namespace serverd
 }  // namespace weaver

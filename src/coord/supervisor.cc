@@ -31,6 +31,8 @@ ShardSupervisor::ShardSupervisor(Weaver* weaver) : weaver_(weaver) {
   }
   spare_pids_ = opts.spare_pids;
   spare_fds_ = opts.spare_fds;
+  oracle_enabled_ = weaver_->remote_oracle_;
+  if (oracle_enabled_) oracle_.pid = weaver_->options_.oracle_service.pid;
 
   obs::MetricsRegistry& m = weaver_->metrics_;
   recoveries_ = m.counter("supervisor.recoveries");
@@ -38,7 +40,9 @@ ShardSupervisor::ShardSupervisor(Weaver* weaver) : weaver_(weaver) {
   reset_ack_timeouts_ = m.counter("supervisor.reset_ack_timeouts");
   replayed_vertices_ = m.counter("supervisor.replayed_vertices");
   sigkills_ = m.counter("supervisor.sigkills");
+  oracle_recoveries_ = m.counter("supervisor.oracle_recoveries");
   shards_down_ = m.gauge("supervisor.shards_down");
+  oracle_down_ = m.gauge("supervisor.oracle_down");
   recovery_latency_ = m.histogram("supervisor.recovery_latency");
 }
 
@@ -77,6 +81,13 @@ void ShardSupervisor::OnLinkDown(ShardId shard) {
   cv_.notify_all();
 }
 
+void ShardSupervisor::OnOracleLinkDown() {
+  oracle_.link_down.store(true, std::memory_order_release);
+  MutexLock lk(mu_);
+  wake_ = true;
+  cv_.notify_all();
+}
+
 void ShardSupervisor::OnResetAck(const ShardResetAckMessage& ack) {
   MutexLock lk(ack_mu_);
   if (ack.token != ack_token_) return;  // stale ack from an earlier round
@@ -95,13 +106,51 @@ bool ShardSupervisor::Reaped(ShardState* st) {
   return false;
 }
 
-std::uint64_t ShardSupervisor::LinkFrames(ShardId shard) const {
-  const WireLink* link = shard < weaver_->links_.size()
-                             ? weaver_->links_[shard].get()
-                             : nullptr;
+std::uint64_t ShardSupervisor::FramesOf(const WireLink* link) {
   if (link == nullptr) return 0;
   return link->stats().frames_delivered.load(std::memory_order_relaxed) +
          link->stats().frames_forwarded.load(std::memory_order_relaxed);
+}
+
+bool ShardSupervisor::HeartbeatDead(ShardState* st, const WireLink* link,
+                                    EndpointId ep, const std::string& name) {
+  const ShardSupervisionOptions& opts = weaver_->options_.supervision;
+  const std::uint64_t frames = FramesOf(link);
+  const std::uint64_t now = NowMicros();
+  if (frames != st->last_frames || st->last_activity_us == 0) {
+    st->last_frames = frames;
+    st->last_activity_us = now;
+    st->pinged = false;
+    weaver_->cluster_.Heartbeat(name);
+    return false;
+  }
+  if (opts.heartbeat_timeout_micros > 0 &&
+      now - st->last_activity_us >= 2 * opts.heartbeat_timeout_micros) {
+    // Silent through a ping round: wedged but alive. Kill first so the
+    // recovery that follows never races a half-dead writer.
+    std::fprintf(stderr,
+                 "weaver-supervisor: %s silent for %llu us; killing pid %d\n",
+                 name.c_str(),
+                 static_cast<unsigned long long>(now - st->last_activity_us),
+                 static_cast<int>(st->pid));
+    sigkills_->Add();
+    if (st->pid > 0) ::kill(st->pid, SIGKILL);
+    return true;
+  }
+  if (opts.heartbeat_timeout_micros > 0 && !st->pinged &&
+      now - st->last_activity_us >= opts.heartbeat_timeout_micros) {
+    // Quiet but maybe just idle: solicit a reply frame. The request_id
+    // matches no pending collection, so the reply only refreshes the
+    // remote depth -- and the frame counter.
+    st->pinged = true;
+    auto req = std::make_shared<MetricsRequestMessage>();
+    req->request_id = 0;
+    req->reply_to = weaver_->coordinator_endpoint_;
+    (void)weaver_->bus_->Send(weaver_->coordinator_endpoint_, ep,
+                              kMsgMetricsRequest, std::move(req),
+                              /*never_block=*/true);
+  }
+  return false;
 }
 
 void ShardSupervisor::MonitorLoop() {
@@ -127,46 +176,22 @@ void ShardSupervisor::MonitorLoop() {
       bool dead = Reaped(&st);
       if (st.link_down.load(std::memory_order_acquire)) dead = true;
       if (!dead) {
-        const std::uint64_t frames =
-            LinkFrames(static_cast<ShardId>(s));
-        const std::uint64_t now = NowMicros();
-        if (frames != st.last_frames || st.last_activity_us == 0) {
-          st.last_frames = frames;
-          st.last_activity_us = now;
-          st.pinged = false;
-          weaver_->cluster_.Heartbeat("shard" + std::to_string(s));
-        } else if (opts.heartbeat_timeout_micros > 0 &&
-                   now - st.last_activity_us >=
-                       2 * opts.heartbeat_timeout_micros) {
-          // Silent through a ping round: wedged but alive. Kill first so
-          // the recovery below never races a half-dead writer.
-          std::fprintf(stderr,
-                       "weaver-supervisor: shard%zu silent for %llu us; "
-                       "killing pid %d\n",
-                       s,
-                       static_cast<unsigned long long>(
-                           now - st.last_activity_us),
-                       static_cast<int>(st.pid));
-          sigkills_->Add();
-          if (st.pid > 0) ::kill(st.pid, SIGKILL);
-          dead = true;
-        } else if (opts.heartbeat_timeout_micros > 0 && !st.pinged &&
-                   now - st.last_activity_us >=
-                       opts.heartbeat_timeout_micros) {
-          // Quiet but maybe just idle: solicit a reply frame. The
-          // request_id matches no pending collection, so the reply only
-          // refreshes the remote depth -- and the frame counter.
-          st.pinged = true;
-          auto req = std::make_shared<MetricsRequestMessage>();
-          req->request_id = 0;
-          req->reply_to = weaver_->coordinator_endpoint_;
-          (void)weaver_->bus_->Send(weaver_->coordinator_endpoint_,
-                                    weaver_->shard_endpoints_[s],
-                                    kMsgMetricsRequest, std::move(req),
-                                    /*never_block=*/true);
-        }
+        const WireLink* link = s < weaver_->links_.size()
+                                   ? weaver_->links_[s].get()
+                                   : nullptr;
+        dead = HeartbeatDead(&st, link, weaver_->shard_endpoints_[s],
+                             "shard" + std::to_string(s));
       }
       if (dead) Recover(static_cast<ShardId>(s));
+    }
+    if (oracle_enabled_ && !oracle_.lost) {
+      bool dead = Reaped(&oracle_);
+      if (oracle_.link_down.load(std::memory_order_acquire)) dead = true;
+      if (!dead) {
+        dead = HeartbeatDead(&oracle_, weaver_->oracle_link_.get(),
+                             weaver_->oracle_endpoint_, "oracled");
+      }
+      if (dead) RecoverOracle();
     }
   }
 }
@@ -218,7 +243,14 @@ void ShardSupervisor::Recover(ShardId s) {
     }
   }
 
-  // 3. RESPAWN from the warm spare pool.
+  // 3. RESPAWN from the warm spare pool. With weaver-oracled running,
+  // the respawn gets the rehydrate bit: it Sync()s the oracle's edge set
+  // into its local replica after its link is up, so refinements the dead
+  // shard had already observed stay locally answerable.
+  const std::uint32_t assignment =
+      weaver_->remote_oracle_
+          ? (serverd::kSpareRehydrateBit | static_cast<std::uint32_t>(s))
+          : static_cast<std::uint32_t>(s);
   int fd = -1;
   pid_t pid = -1;
   while (!spare_fds_.empty()) {
@@ -226,7 +258,7 @@ void ShardSupervisor::Recover(ShardId s) {
     spare_fds_.pop_back();
     pid = spare_pids_.back();
     spare_pids_.pop_back();
-    if (serverd::AssignSpare(fd, s).ok()) break;
+    if (serverd::AssignSpare(fd, assignment).ok()) break;
     ::close(fd);  // that spare died on the bench; reap it and try the next
     (void)::waitpid(pid, nullptr, WNOHANG);
     fd = -1;
@@ -251,7 +283,18 @@ void ShardSupervisor::Recover(ShardId s) {
   // Their stale-seq frames to it were dropped at the detached endpoint
   // (FIFO uplinks: anything sent before their reset ran precedes the
   // ack), so after the acks no old-numbered frame can reach the respawn.
-  ResetSurvivors(s, ep);
+  // The oracle service joins the round: it must forget the dead shard's
+  // oracle-client endpoint, whose respawn restarts request seqs at zero.
+  std::vector<std::pair<EndpointId, EndpointId>> resets;
+  for (std::size_t p = 0; p < shards_.size(); ++p) {
+    if (p == s || shards_[p]->lost) continue;
+    resets.emplace_back(weaver_->shard_endpoints_[p], ep);
+  }
+  if (weaver_->remote_oracle_ && !oracle_.lost) {
+    resets.emplace_back(weaver_->oracle_endpoint_,
+                        weaver_->oracle_client_endpoints_[s]);
+  }
+  RunResetRound(resets);
 
   std::uint64_t replayed = 0;
   {
@@ -266,6 +309,15 @@ void ShardSupervisor::Recover(ShardId s) {
         Status::Unavailable(name + " crashed; re-run the program"));
     weaver_->bus_->ResetPeer(ep);
     weaver_->bus_->ReplaceRemote(ep, transport);
+    if (weaver_->remote_oracle_) {
+      // The shard's oracle-client reply endpoint rides the same socket:
+      // reset its sequence state AND re-point it at the respawn's
+      // transport, or the oracle's replies to the new process would be
+      // dropped at the hub ("transport is stopped").
+      weaver_->bus_->ResetPeer(weaver_->oracle_client_endpoints_[s]);
+      weaver_->bus_->ReplaceRemote(weaver_->oracle_client_endpoints_[s],
+                                   transport);
+    }
     weaver_->remote_shard_transports_[s] = transport;
     WireLink::Options lo;
     lo.bus = weaver_->bus_.get();
@@ -298,7 +350,8 @@ void ShardSupervisor::Recover(ShardId s) {
                static_cast<double>(elapsed_ns) / 1e6);
 }
 
-void ShardSupervisor::ResetSurvivors(ShardId dead, EndpointId dead_ep) {
+void ShardSupervisor::RunResetRound(
+    const std::vector<std::pair<EndpointId, EndpointId>>& resets) {
   const std::uint64_t token = next_token_++;
   {
     MutexLock lk(ack_mu_);
@@ -306,15 +359,13 @@ void ShardSupervisor::ResetSurvivors(ShardId dead, EndpointId dead_ep) {
     acks_ = 0;
   }
   std::size_t expected = 0;
-  for (std::size_t p = 0; p < shards_.size(); ++p) {
-    if (p == dead || shards_[p]->lost) continue;
+  for (const auto& [dst, target] : resets) {
     auto reset = std::make_shared<ShardResetMessage>();
-    reset->target = dead_ep;
+    reset->target = target;
     reset->token = token;
     reset->reply_to = weaver_->coordinator_endpoint_;
     if (weaver_->bus_
-            ->Send(weaver_->coordinator_endpoint_,
-                   weaver_->shard_endpoints_[p], kMsgShardReset,
+            ->Send(weaver_->coordinator_endpoint_, dst, kMsgShardReset,
                    std::move(reset), /*never_block=*/true)
             .ok()) {
       ++expected;
@@ -341,6 +392,99 @@ void ShardSupervisor::ResetSurvivors(ShardId dead, EndpointId dead_ep) {
                  "proceeding\n",
                  static_cast<unsigned long long>(token), acks_, expected);
   }
+}
+
+void ShardSupervisor::RecoverOracle() {
+  const std::uint64_t t0 = NowNanos();
+  ShardState& st = oracle_;
+  const EndpointId ep = weaver_->oracle_endpoint_;
+  std::fprintf(stderr,
+               "weaver-supervisor: oracled (pid %d) is down; recovering\n",
+               static_cast<int>(st.pid));
+  oracle_down_->Add(1);
+
+  // FENCE. Detach drops frames addressed to the corpse (shard requests
+  // hub-forwarded here included); callers time out and retry. No epoch
+  // bump, no commit gate, no execution fail-out: the oracle holds no
+  // clocks and no graph state, and every in-flight caller either parks
+  // its wave or aborts its program with a retriable Unavailable.
+  weaver_->cluster_.MarkFailed("oracled");
+  weaver_->bus_->Detach(ep);
+  if (weaver_->oracle_link_) {
+    weaver_->oracle_link_->Stop();
+    weaver_->oracle_link_.reset();
+  }
+  weaver_->oracle_transport_.reset();
+  if (st.pid > 0) {
+    ::kill(st.pid, SIGKILL);
+    (void)::waitpid(st.pid, nullptr, 0);
+    st.pid = -1;
+  }
+  st.link_down.store(false, std::memory_order_release);
+
+  // RESPAWN: the spare replays the oracle's durable changelog before it
+  // serves (serverd::RunOracleServer refuses to come up on a recovery
+  // failure), so every edge acknowledged pre-crash is re-established.
+  int fd = -1;
+  pid_t pid = -1;
+  while (!spare_fds_.empty()) {
+    fd = spare_fds_.back();
+    spare_fds_.pop_back();
+    pid = spare_pids_.back();
+    spare_pids_.pop_back();
+    if (serverd::AssignSpare(fd, serverd::kSpareBecomeOracle).ok()) break;
+    ::close(fd);
+    (void)::waitpid(pid, nullptr, WNOHANG);
+    fd = -1;
+    pid = -1;
+  }
+  if (fd < 0) {
+    st.lost = true;
+    recoveries_failed_->Add();
+    std::fprintf(
+        stderr,
+        "weaver-supervisor: no spare left for oracled; it stays down\n");
+    return;
+  }
+  auto transport = std::shared_ptr<Transport>(SocketTransport::Adopt(fd));
+
+  // RESET: every live shard forgets its wire-sequence state for the
+  // oracle endpoint (requests restart at seq zero toward the respawn,
+  // and replies from it restart at zero toward them). The parent resets
+  // its own state below, before the new link comes up.
+  std::vector<std::pair<EndpointId, EndpointId>> resets;
+  for (std::size_t p = 0; p < shards_.size(); ++p) {
+    if (shards_[p]->lost) continue;
+    resets.emplace_back(weaver_->shard_endpoints_[p], ep);
+  }
+  RunResetRound(resets);
+
+  weaver_->bus_->ResetPeer(ep);
+  weaver_->bus_->ReplaceRemote(ep, transport);
+  weaver_->oracle_transport_ = transport;
+  WireLink::Options lo;
+  lo.bus = weaver_->bus_.get();
+  lo.transport = transport;
+  lo.decode = DecodePayload;
+  lo.never_block = WireNeverBlock;
+  lo.name = "oracled.link";
+  lo.on_down = [this](const Status&) { OnOracleLinkDown(); };
+  weaver_->oracle_link_ = std::make_unique<WireLink>(std::move(lo));
+
+  // REJOIN.
+  st.pid = pid;
+  st.last_frames = 0;
+  st.last_activity_us = NowMicros();
+  st.pinged = false;
+  weaver_->cluster_.MarkRecovered("oracled");
+  oracle_down_->Add(-1);
+  oracle_recoveries_->Add();
+  const std::uint64_t elapsed_ns = NowNanos() - t0;
+  recovery_latency_->Record(elapsed_ns);
+  std::fprintf(stderr,
+               "weaver-supervisor: oracled respawned as pid %d (%.1f ms)\n",
+               static_cast<int>(pid),
+               static_cast<double>(elapsed_ns) / 1e6);
 }
 
 std::uint64_t ShardSupervisor::ReplayPartition(ShardId s, EndpointId ep) {

@@ -41,10 +41,22 @@
 //                 benignly (multi-version installs are idempotent).
 //   6. REJOIN  -- MarkRecovered, clear the down flag, resume heartbeats.
 //
+// The timeline-oracle service (weaver-oracled, docs/oracle_service.md)
+// is supervised by the same monitor with the same three detection
+// signals, but its recovery is simpler: no epoch bump (the oracle holds
+// no clocks), no commit gate, and no partition replay -- the service
+// replays its own durable changelog on boot. Recovery for the oracle is
+// FENCE -> RESPAWN (spare assigned kSpareBecomeOracle) -> RESET (every
+// live shard and the parent forget their wire-sequence state for the
+// oracle endpoint) -> REJOIN. Shard-side callers ride it out: waves
+// park and programs abort with retriable Unavailable until the respawn
+// answers again.
+//
 // Everything is observable through the deployment registry under the
 // "supervisor." prefix (docs/observability.md): recoveries,
 // recoveries_failed, reset_ack_timeouts, replayed_vertices, sigkills,
-// shards_down, and the recovery_latency histogram.
+// shards_down, oracle_recoveries, oracle_down, and the recovery_latency
+// histogram.
 #pragma once
 
 #include <sys/types.h>
@@ -54,7 +66,9 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/annotations.h"
@@ -67,6 +81,7 @@
 namespace weaver {
 
 class Weaver;
+class WireLink;
 
 class ShardSupervisor {
  public:
@@ -88,6 +103,8 @@ class ShardSupervisor {
   /// crash and wakes the monitor immediately (no poll-period latency).
   /// Safe from any thread; does nothing but flag + notify.
   void OnLinkDown(ShardId shard);
+  /// Same, for the oracle service's inbound link.
+  void OnOracleLinkDown();
   /// Coordinator-delivered kMsgShardResetAck (a surviving shard finished
   /// resetting its sequence state for the dead endpoint).
   void OnResetAck(const ShardResetAckMessage& ack);
@@ -109,18 +126,34 @@ class ShardSupervisor {
   /// waitpid(WNOHANG); true when the child is gone (reaped here or
   /// already unknown to the kernel).
   static bool Reaped(ShardState* st);
-  /// Frames ever received on shard `shard`'s inbound link (the heartbeat
-  /// signal: a live shard's NOP acks and accounting keep it moving).
-  std::uint64_t LinkFrames(ShardId shard) const;
-  /// The recovery state machine (steps 1-6 above).
+  /// Frames ever received on a child's inbound link (the heartbeat
+  /// signal: a live child's acks, replies, and accounting keep it
+  /// moving). Null link (recovery in progress) reads as zero.
+  static std::uint64_t FramesOf(const WireLink* link);
+  /// Shared heartbeat bookkeeping for one live child: refreshes activity
+  /// on link progress, solicits a metrics ping after one quiet timeout,
+  /// and SIGKILLs after two. Returns true when the child was declared
+  /// wedged (and killed); the caller then runs its recovery.
+  bool HeartbeatDead(ShardState* st, const WireLink* link, EndpointId ep,
+                     const std::string& name);
+  /// The shard recovery state machine (steps 1-6 above).
   void Recover(ShardId shard);
-  /// Step 4: reset round over the surviving shards.
-  void ResetSurvivors(ShardId dead, EndpointId dead_ep);
+  /// Oracle recovery: FENCE -> RESPAWN -> RESET -> REJOIN.
+  void RecoverOracle();
+  /// Reset round: for each (dst, target) pair, ask the server child at
+  /// `dst` to forget its wire-sequence state for endpoint `target`, and
+  /// wait (bounded) for the acks.
+  void RunResetRound(
+      const std::vector<std::pair<EndpointId, EndpointId>>& resets);
   /// Step 5's replay stream; returns the vertex count.
   std::uint64_t ReplayPartition(ShardId shard, EndpointId ep);
 
   Weaver* weaver_;
   std::vector<std::unique_ptr<ShardState>> shards_;
+  /// weaver-oracled, when the deployment runs one (same lifecycle state
+  /// as a shard child; `lost` means it died with the spare pool empty).
+  ShardState oracle_;
+  bool oracle_enabled_ = false;
   /// Spare pool, consumed back-to-front.
   std::vector<pid_t> spare_pids_;
   std::vector<int> spare_fds_;
@@ -150,7 +183,9 @@ class ShardSupervisor {
   obs::Counter* reset_ack_timeouts_ = nullptr;
   obs::Counter* replayed_vertices_ = nullptr;
   obs::Counter* sigkills_ = nullptr;
+  obs::Counter* oracle_recoveries_ = nullptr;
   obs::Gauge* shards_down_ = nullptr;
+  obs::Gauge* oracle_down_ = nullptr;
   obs::LatencyHistogram* recovery_latency_ = nullptr;
 };
 

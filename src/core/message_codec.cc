@@ -4,17 +4,19 @@
 
 namespace weaver {
 
-namespace {
-
 // --- Shared sub-codecs ------------------------------------------------------
+//
+// Clock and timestamp encodings are public (message_codec.h): the oracle
+// service's durable changelog reuses them so a WAL record and a wire
+// payload spell a timestamp identically.
 
-void EncodeClock(const VectorClock& c, wire::Writer* w) {
+void EncodeVectorClock(const VectorClock& c, wire::Writer* w) {
   w->VarU32(c.epoch());
   w->Count(c.width());
   for (std::size_t i = 0; i < c.width(); ++i) w->VarU64(c.Component(i));
 }
 
-Status DecodeClock(wire::Reader* r, VectorClock* out) {
+Status DecodeVectorClock(wire::Reader* r, VectorClock* out) {
   std::uint32_t epoch = 0;
   std::size_t width = 0;
   WEAVER_RETURN_IF_ERROR(r->VarU32(&epoch));
@@ -27,18 +29,20 @@ Status DecodeClock(wire::Reader* r, VectorClock* out) {
   return Status::Ok();
 }
 
-void EncodeTs(const RefinableTimestamp& ts, wire::Writer* w) {
-  EncodeClock(ts.clock, w);
+void EncodeTimestamp(const RefinableTimestamp& ts, wire::Writer* w) {
+  EncodeVectorClock(ts.clock, w);
   w->VarU32(ts.gatekeeper);
   w->VarU64(ts.local_seq);
 }
 
-Status DecodeTs(wire::Reader* r, RefinableTimestamp* out) {
-  WEAVER_RETURN_IF_ERROR(DecodeClock(r, &out->clock));
+Status DecodeTimestamp(wire::Reader* r, RefinableTimestamp* out) {
+  WEAVER_RETURN_IF_ERROR(DecodeVectorClock(r, &out->clock));
   WEAVER_RETURN_IF_ERROR(r->VarU32(&out->gatekeeper));
   WEAVER_RETURN_IF_ERROR(r->VarU64(&out->local_seq));
   return Status::Ok();
 }
+
+namespace {
 
 void EncodeStatus(const Status& s, wire::Writer* w) {
   w->VarU32(static_cast<std::uint32_t>(s.code()));
@@ -141,32 +145,32 @@ Status DecodeReturns(wire::Reader* r,
 // --- Per-schema codecs ------------------------------------------------------
 
 void Encode(const TxMessage& m, wire::Writer* w) {
-  EncodeTs(m.ts, w);
+  EncodeTimestamp(m.ts, w);
   EncodeOps(m.ops, w);
 }
 
 Status Decode(wire::Reader* r, TxMessage* m) {
-  WEAVER_RETURN_IF_ERROR(DecodeTs(r, &m->ts));
+  WEAVER_RETURN_IF_ERROR(DecodeTimestamp(r, &m->ts));
   return DecodeOps(r, &m->ops);
 }
 
-void Encode(const NopMessage& m, wire::Writer* w) { EncodeTs(m.ts, w); }
+void Encode(const NopMessage& m, wire::Writer* w) { EncodeTimestamp(m.ts, w); }
 
-Status Decode(wire::Reader* r, NopMessage* m) { return DecodeTs(r, &m->ts); }
+Status Decode(wire::Reader* r, NopMessage* m) { return DecodeTimestamp(r, &m->ts); }
 
 void Encode(const AnnounceMessage& m, wire::Writer* w) {
-  EncodeClock(m.clock, w);
+  EncodeVectorClock(m.clock, w);
   w->VarU32(m.from);
 }
 
 Status Decode(wire::Reader* r, AnnounceMessage* m) {
-  WEAVER_RETURN_IF_ERROR(DecodeClock(r, &m->clock));
+  WEAVER_RETURN_IF_ERROR(DecodeVectorClock(r, &m->clock));
   return r->VarU32(&m->from);
 }
 
 void Encode(const WaveHopBatchMessage& m, wire::Writer* w) {
   w->VarU64(m.program_id);
-  EncodeTs(m.ts, w);
+  EncodeTimestamp(m.ts, w);
   w->String(m.program_name);
   w->VarU32(m.coordinator);
   w->U8(m.visit_once ? 1 : 0);
@@ -175,7 +179,7 @@ void Encode(const WaveHopBatchMessage& m, wire::Writer* w) {
 
 Status Decode(wire::Reader* r, WaveHopBatchMessage* m) {
   WEAVER_RETURN_IF_ERROR(r->VarU64(&m->program_id));
-  WEAVER_RETURN_IF_ERROR(DecodeTs(r, &m->ts));
+  WEAVER_RETURN_IF_ERROR(DecodeTimestamp(r, &m->ts));
   WEAVER_RETURN_IF_ERROR(r->String(&m->program_name));
   WEAVER_RETURN_IF_ERROR(r->VarU32(&m->coordinator));
   std::uint8_t visit_once = 0;
@@ -217,11 +221,11 @@ Status Decode(wire::Reader* r, EndProgramMessage* m) {
 }
 
 void Encode(const GcMessage& m, wire::Writer* w) {
-  EncodeTs(m.watermark, w);
+  EncodeTimestamp(m.watermark, w);
 }
 
 Status Decode(wire::Reader* r, GcMessage* m) {
-  return DecodeTs(r, &m->watermark);
+  return DecodeTimestamp(r, &m->watermark);
 }
 
 void Encode(const ClientCommitMessage& m, wire::Writer* w) {
@@ -274,7 +278,7 @@ void Encode(const ClientProgramMessage& m, wire::Writer* w) {
     w->VarU64(req.request_id);
     w->String(req.program_name);
     EncodeHops(req.starts, w);
-    EncodeTs(req.fence, w);
+    EncodeTimestamp(req.fence, w);
   }
 }
 
@@ -289,7 +293,7 @@ Status Decode(wire::Reader* r, ClientProgramMessage* m) {
     WEAVER_RETURN_IF_ERROR(r->VarU64(&req.request_id));
     WEAVER_RETURN_IF_ERROR(r->String(&req.program_name));
     WEAVER_RETURN_IF_ERROR(DecodeHops(r, &req.starts));
-    WEAVER_RETURN_IF_ERROR(DecodeTs(r, &req.fence));
+    WEAVER_RETURN_IF_ERROR(DecodeTimestamp(r, &req.fence));
   }
   return Status::Ok();
 }
@@ -298,14 +302,14 @@ void Encode(const ClientCommitReplyMessage& m, wire::Writer* w) {
   w->VarU64(m.session_id);
   w->VarU64(m.request_id);
   EncodeStatus(m.status, w);
-  EncodeTs(m.timestamp, w);
+  EncodeTimestamp(m.timestamp, w);
 }
 
 Status Decode(wire::Reader* r, ClientCommitReplyMessage* m) {
   WEAVER_RETURN_IF_ERROR(r->VarU64(&m->session_id));
   WEAVER_RETURN_IF_ERROR(r->VarU64(&m->request_id));
   WEAVER_RETURN_IF_ERROR(DecodeStatus(r, &m->status));
-  return DecodeTs(r, &m->timestamp);
+  return DecodeTimestamp(r, &m->timestamp);
 }
 
 void Encode(const ClientProgramReplyMessage& m, wire::Writer* w) {
@@ -318,7 +322,7 @@ void Encode(const ClientProgramReplyMessage& m, wire::Writer* w) {
   w->VarU64(m.result.hops);
   w->VarU64(m.result.forwarded_batches);
   w->VarU64(m.result.coordinator_msgs);
-  EncodeTs(m.result.timestamp, w);
+  EncodeTimestamp(m.result.timestamp, w);
 }
 
 Status Decode(wire::Reader* r, ClientProgramReplyMessage* m) {
@@ -331,7 +335,7 @@ Status Decode(wire::Reader* r, ClientProgramReplyMessage* m) {
   WEAVER_RETURN_IF_ERROR(r->VarU64(&m->result.hops));
   WEAVER_RETURN_IF_ERROR(r->VarU64(&m->result.forwarded_batches));
   WEAVER_RETURN_IF_ERROR(r->VarU64(&m->result.coordinator_msgs));
-  return DecodeTs(r, &m->result.timestamp);
+  return DecodeTimestamp(r, &m->result.timestamp);
 }
 
 void Encode(const MetricsRequestMessage& m, wire::Writer* w) {
@@ -448,6 +452,80 @@ Status Decode(wire::Reader* r, PartitionReplayMessage* m) {
   return DecodeReturns(r, &m->vertices);
 }
 
+void Encode(const OracleRequestMessage& m, wire::Writer* w) {
+  w->VarU64(m.request_id);
+  w->VarU32(m.reply_to);
+  w->Count(m.ops.size());
+  for (const OracleOp& op : m.ops) {
+    w->U8(op.type);
+    EncodeTimestamp(op.a, w);
+    EncodeTimestamp(op.b, w);
+    w->U8(op.prefer);
+    EncodeVectorClock(op.watermark, w);
+  }
+}
+
+Status Decode(wire::Reader* r, OracleRequestMessage* m) {
+  WEAVER_RETURN_IF_ERROR(r->VarU64(&m->request_id));
+  WEAVER_RETURN_IF_ERROR(r->VarU32(&m->reply_to));
+  std::size_t n = 0;
+  WEAVER_RETURN_IF_ERROR(r->Count(&n));
+  m->ops.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    OracleOp& op = m->ops[i];
+    WEAVER_RETURN_IF_ERROR(r->U8(&op.type));
+    if (op.type > OracleOp::kSync) {
+      return Status::InvalidArgument("unknown oracle op type on the wire");
+    }
+    WEAVER_RETURN_IF_ERROR(DecodeTimestamp(r, &op.a));
+    WEAVER_RETURN_IF_ERROR(DecodeTimestamp(r, &op.b));
+    WEAVER_RETURN_IF_ERROR(r->U8(&op.prefer));
+    if (op.prefer > 1) {
+      return Status::InvalidArgument("oracle op preference out of range");
+    }
+    WEAVER_RETURN_IF_ERROR(DecodeVectorClock(r, &op.watermark));
+  }
+  return Status::Ok();
+}
+
+void Encode(const OracleReplyMessage& m, wire::Writer* w) {
+  w->VarU64(m.request_id);
+  EncodeStatus(m.status, w);
+  w->Count(m.decisions.size());
+  for (const OracleDecision& d : m.decisions) {
+    w->U8(d.order);
+    EncodeStatus(d.status, w);
+  }
+  w->Count(m.edges.size());
+  for (const auto& [before, after] : m.edges) {
+    EncodeTimestamp(before, w);
+    EncodeTimestamp(after, w);
+  }
+}
+
+Status Decode(wire::Reader* r, OracleReplyMessage* m) {
+  WEAVER_RETURN_IF_ERROR(r->VarU64(&m->request_id));
+  WEAVER_RETURN_IF_ERROR(DecodeStatus(r, &m->status));
+  std::size_t n = 0;
+  WEAVER_RETURN_IF_ERROR(r->Count(&n));
+  m->decisions.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    OracleDecision& d = m->decisions[i];
+    WEAVER_RETURN_IF_ERROR(r->U8(&d.order));
+    if (d.order > static_cast<std::uint8_t>(ClockOrder::kConcurrent)) {
+      return Status::InvalidArgument("oracle decision order out of range");
+    }
+    WEAVER_RETURN_IF_ERROR(DecodeStatus(r, &d.status));
+  }
+  WEAVER_RETURN_IF_ERROR(r->Count(&n));
+  m->edges.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    WEAVER_RETURN_IF_ERROR(DecodeTimestamp(r, &m->edges[i].first));
+    WEAVER_RETURN_IF_ERROR(DecodeTimestamp(r, &m->edges[i].second));
+  }
+  return Status::Ok();
+}
+
 // --- Type-erased payload codec ----------------------------------------------
 
 namespace {
@@ -509,6 +587,10 @@ Result<std::string> EncodePayload(std::uint32_t tag,
       return EncodeAs<ShardResetAckMessage>(payload);
     case kMsgPartitionReplay:
       return EncodeAs<PartitionReplayMessage>(payload);
+    case kMsgOracleRequest:
+      return EncodeAs<OracleRequestMessage>(payload);
+    case kMsgOracleReply:
+      return EncodeAs<OracleReplyMessage>(payload);
     default:
       return Status::InvalidArgument("no wire codec for message tag " +
                                      std::to_string(tag));
@@ -552,6 +634,10 @@ Result<std::shared_ptr<void>> DecodePayload(std::uint32_t tag,
       return DecodeAs<ShardResetAckMessage>(bytes);
     case kMsgPartitionReplay:
       return DecodeAs<PartitionReplayMessage>(bytes);
+    case kMsgOracleRequest:
+      return DecodeAs<OracleRequestMessage>(bytes);
+    case kMsgOracleReply:
+      return DecodeAs<OracleReplyMessage>(bytes);
     default:
       return Status::InvalidArgument("no wire codec for message tag " +
                                      std::to_string(tag));
@@ -603,6 +689,12 @@ bool WireNeverBlock(std::uint32_t tag) {
     case kMsgShardReset:
     case kMsgShardResetAck:
     case kMsgPartitionReplay:
+    // Oracle RPCs: requests land in the service's inline handler and
+    // replies in the requester's inline client handler -- neither may
+    // stall the hub's forwarding thread behind a bounded inbox, and a
+    // blocked reply would deadlock the very caller waiting on it.
+    case kMsgOracleRequest:
+    case kMsgOracleReply:
       return true;
     default:
       return false;

@@ -32,6 +32,18 @@
 
 namespace weaver {
 
+// --- Shared sub-codecs ------------------------------------------------------
+//
+// Public because they double as the oracle service's changelog record
+// format (oracle/oracle_service.cc) -- one canonical byte encoding for
+// clocks and timestamps, whether they travel on the wire or into the WAL.
+
+void EncodeVectorClock(const VectorClock& c, wire::Writer* w);
+Status DecodeVectorClock(wire::Reader* r, VectorClock* out);
+
+void EncodeTimestamp(const RefinableTimestamp& ts, wire::Writer* w);
+Status DecodeTimestamp(wire::Reader* r, RefinableTimestamp* out);
+
 // --- Per-schema codecs ------------------------------------------------------
 
 void Encode(const TxMessage& m, wire::Writer* w);
@@ -81,6 +93,12 @@ Status Decode(wire::Reader* r, ShardResetAckMessage* m);
 
 void Encode(const PartitionReplayMessage& m, wire::Writer* w);
 Status Decode(wire::Reader* r, PartitionReplayMessage* m);
+
+void Encode(const OracleRequestMessage& m, wire::Writer* w);
+Status Decode(wire::Reader* r, OracleRequestMessage* m);
+
+void Encode(const OracleReplyMessage& m, wire::Writer* w);
+Status Decode(wire::Reader* r, OracleReplyMessage* m);
 
 // --- Type-erased payload codec (keyed by MsgTag) ----------------------------
 

@@ -46,6 +46,8 @@ enum MsgTag : std::uint32_t {
   kMsgShardReset = 15,  // supervisor -> surviving shard: peer seq state reset
   kMsgShardResetAck = 16,  // surviving shard -> supervisor: reset done
   kMsgPartitionReplay = 17,  // supervisor -> respawned shard: vertex blobs
+  kMsgOracleRequest = 18,  // shard/parent -> oracle service: batched ops
+  kMsgOracleReply = 19,    // oracle service -> requester: batched decisions
 };
 
 /// Committed transaction: ops are the slice destined for the receiving
@@ -237,6 +239,11 @@ struct MetricsReportMessage {
   obs::MetricsSnapshot snapshot;
 };
 
+/// `shard` value in reports (and reset acks) from weaver-oracled: the
+/// oracle service is not a shard, so consumers indexing by shard id must
+/// skip it. Also never a valid spare assignment (coord/serverd.h).
+constexpr ShardId kOracleMetricsSource = 0xFFFFFFFFu;
+
 // --- Shard-process recovery (docs/fault_tolerance.md) -----------------------
 //
 // When a shard process dies, its wire sequence state dies with it: the
@@ -269,6 +276,59 @@ struct ShardResetAckMessage {
 struct PartitionReplayMessage {
   ShardId shard = 0;
   std::vector<std::pair<NodeId, std::string>> vertices;
+};
+
+// --- Timeline-oracle service (docs/oracle_service.md) -----------------------
+//
+// When the timeline oracle runs as its own process, shard servers and the
+// parent talk to it with batched request/reply messages. Every op in a
+// request is applied in order and answered positionally in the reply, so
+// one round trip refines a whole wave's worth of concurrent pairs. Enum
+// fields travel as raw bytes (the schema layer stays plain data, like
+// GraphOp); decoders validate the ranges.
+
+/// One oracle operation inside an OracleRequestMessage.
+struct OracleOp {
+  enum Type : std::uint8_t {
+    kOrderPair = 0,    // order a vs b, establishing per `prefer` if needed
+    kAssignEdge = 1,   // establish happens-before a -> b (cycle-checked)
+    kCollect = 2,      // GC: drop events whose clocks precede `watermark`
+    kSync = 3,         // dump every explicit edge (replica rehydration)
+  };
+  std::uint8_t type = kOrderPair;
+  RefinableTimestamp a;
+  RefinableTimestamp b;
+  /// OrderPreference for kOrderPair (0 = prefer a first, 1 = prefer b).
+  std::uint8_t prefer = 0;
+  /// kCollect only.
+  VectorClock watermark;
+};
+
+/// Batched oracle ops. `reply_to` is the requester's oracle-client reply
+/// endpoint (coord/serverd.h layout contract); `request_id` correlates
+/// the reply within that endpoint.
+struct OracleRequestMessage {
+  std::uint64_t request_id = 0;
+  EndpointId reply_to = 0;
+  std::vector<OracleOp> ops;
+};
+
+/// Positional outcome of one OracleOp. `order` is a ClockOrder byte and
+/// is meaningful for kOrderPair (never kConcurrent); `status` carries a
+/// kAssignEdge cycle rejection (FailedPrecondition) or per-op failure.
+struct OracleDecision {
+  std::uint8_t order = 0;
+  Status status;
+};
+
+/// Reply to one OracleRequestMessage: `decisions` answers the ops
+/// positionally; `edges` is the full explicit-edge dump when the request
+/// contained a kSync op (empty otherwise).
+struct OracleReplyMessage {
+  std::uint64_t request_id = 0;
+  Status status;
+  std::vector<OracleDecision> decisions;
+  std::vector<std::pair<RefinableTimestamp, RefinableTimestamp>> edges;
 };
 
 }  // namespace weaver

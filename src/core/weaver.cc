@@ -28,6 +28,11 @@ std::unique_ptr<Weaver> Weaver::Open(const WeaverOptions& options) {
                  o.remote_shard_fds.size(), o.num_shards);
     return nullptr;
   }
+  if (o.oracle_service.enabled && o.remote_shard_fds.empty()) {
+    std::fprintf(stderr,
+                 "weaver: oracle_service requires remote shards; ignoring\n");
+    o.oracle_service.enabled = false;
+  }
   auto db = std::unique_ptr<Weaver>(new Weaver(o));
   if (!db->storage_status_.ok()) {
     std::fprintf(stderr, "weaver: cannot open durable storage at %s: %s\n",
@@ -197,6 +202,52 @@ Weaver::Weaver(const WeaverOptions& options) : options_(options) {
           }
         }
       });
+  // weaver-oracled wiring (docs/oracle_service.md): the service's remote
+  // endpoint and the per-process reply endpoints come right after the
+  // coordinator, extending the serverd layout contract. Each shard's
+  // reply endpoint is a remote over that SHARD's transport, so an
+  // OracleReply frame arriving on the oracle link is hub-forwarded to
+  // the owning shard process verbatim (and shard requests arriving on
+  // shard links forward to the oracle transport the same way).
+  remote_oracle_ = remote_shards_ && options_.oracle_service.enabled;
+  if (remote_oracle_) {
+    oracle_transport_ = std::shared_ptr<Transport>(
+        SocketTransport::Adopt(options_.oracle_service.fd));
+    oracle_endpoint_ = bus_->RegisterRemote("oracled", oracle_transport_);
+    for (std::size_t s = 0; s < options_.num_shards; ++s) {
+      oracle_client_endpoints_.push_back(bus_->RegisterRemote(
+          "shard" + std::to_string(s) + ".oracle-client",
+          remote_shard_transports_[s]));
+    }
+    parent_oracle_client_endpoint_ = bus_->RegisterHandler(
+        "weaver.oracle-client", [this](const BusMessage& msg) {
+          if (msg.payload_tag != kMsgOracleReply ||
+              oracle_client_ == nullptr) {
+            return;
+          }
+          oracle_client_->OnReply(
+              *std::static_pointer_cast<OracleReplyMessage>(msg.payload));
+        });
+    cluster_.Register("oracled", ServerKind::kShard,
+                      static_cast<std::uint32_t>(options_.num_shards));
+  }
+  // The parent's oracle handle: everything this process asks of the
+  // timeline (GC collects; any future ordering need) goes through it, so
+  // both modes share one code path.
+  {
+    OracleClient::Options co;
+    if (remote_oracle_) {
+      co.bus = bus_.get();
+      co.self = parent_oracle_client_endpoint_;
+      co.service = oracle_endpoint_;
+      co.rpc_timeout_micros = options_.oracle_service.rpc_timeout_micros;
+      co.total_deadline_micros =
+          options_.oracle_service.total_deadline_micros;
+    } else {
+      co.local = &oracle_;
+    }
+    oracle_client_ = std::make_unique<OracleClient>(co);
+  }
   // Remote deployments share this endpoint layout with their shard
   // server processes -- ids are the addressing contract on the wire, so
   // drift must fail at boot, loudly (a plain abort, not assert: release
@@ -204,7 +255,7 @@ Weaver::Weaver(const WeaverOptions& options) : options_(options) {
   // (serverd::EndpointLayout); this only compares against it.
   if (remote_shards_) {
     const auto layout = serverd::EndpointLayout::Compute(
-        options_.num_shards, options_.num_gatekeepers);
+        options_.num_shards, options_.num_gatekeepers, remote_oracle_);
     bool ok = coordinator_endpoint_ == layout.coordinator;
     for (std::size_t g = 0; ok && g < gatekeepers_.size(); ++g) {
       ok = gatekeepers_[g]->endpoint() == layout.gatekeepers[g] &&
@@ -212,6 +263,14 @@ Weaver::Weaver(const WeaverOptions& options) : options_(options) {
     }
     for (std::size_t s = 0; ok && s < shard_endpoints_.size(); ++s) {
       ok = shard_endpoints_[s] == layout.shards[s];
+    }
+    if (remote_oracle_) {
+      ok = ok && oracle_endpoint_ == layout.oracle &&
+           parent_oracle_client_endpoint_ == layout.parent_oracle_client;
+      for (std::size_t s = 0; ok && s < oracle_client_endpoints_.size();
+           ++s) {
+        ok = oracle_client_endpoints_[s] == layout.oracle_clients[s];
+      }
     }
     if (!ok) {
       std::fprintf(stderr,
@@ -231,7 +290,11 @@ Weaver::Weaver(const WeaverOptions& options) : options_(options) {
   coord_accounting_msgs_ = metrics_.counter("coord.accounting_msgs");
   coord_program_latency_ = metrics_.histogram("coord.program_latency");
   {
-    const TimelineOracle::Stats& os = oracle_.stats();
+    // In-process mode these read the authoritative oracle; with
+    // weaver-oracled they read the parent's replica (the service exports
+    // the authoritative oracle.* series itself, tagged
+    // kOracleMetricsSource).
+    const TimelineOracle::Stats& os = oracle_client_->view().stats();
     const auto counter = [&](const char* name,
                              const std::atomic<std::uint64_t>& v) {
       metrics_.AddCounterFn(std::string("oracle.") + name, [&v] {
@@ -247,8 +310,16 @@ Weaver::Weaver(const WeaverOptions& options) : options_(options) {
     // GC lag: events still live in the dependency DAG (grows between
     // CollectBefore rounds; quadratic ordering cost if it runs away).
     metrics_.AddGaugeFn("oracle.live_events", [this] {
-      return static_cast<std::int64_t>(oracle_.LiveEvents());
+      return static_cast<std::int64_t>(oracle_client_->view().LiveEvents());
     });
+    if (remote_oracle_) {
+      const OracleClient::Stats& cs = oracle_client_->stats();
+      counter("client.local_hits", cs.local_hits);
+      counter("client.rpcs", cs.rpcs);
+      counter("client.retries", cs.retries);
+      counter("client.unavailable", cs.unavailable);
+      counter("client.sync_edges_applied", cs.sync_edges_applied);
+    }
   }
   if (kv_->durable()) kv_->storage_engine()->SetMetrics(&metrics_);
 
@@ -328,6 +399,18 @@ Weaver::Weaver(const WeaverOptions& options) : options_(options) {
       };
     }
     links_.push_back(std::make_unique<WireLink>(std::move(lo)));
+  }
+  if (remote_oracle_) {
+    WireLink::Options lo;
+    lo.bus = bus_.get();
+    lo.transport = oracle_transport_;
+    lo.decode = DecodePayload;
+    lo.never_block = WireNeverBlock;
+    lo.name = "oracled.link";
+    if (supervisor_) {
+      lo.on_down = [this](const Status&) { supervisor_->OnOracleLinkDown(); };
+    }
+    oracle_link_ = std::make_unique<WireLink>(std::move(lo));
   }
 }
 
@@ -451,6 +534,12 @@ void Weaver::Shutdown() {
       if (link) link->Stop();
     }
     links_.clear();
+    // weaver-oracled exits on its parent socket's EOF; Stop() closes the
+    // transport and joins the receiver, same as the shard links.
+    if (oracle_link_) {
+      oracle_link_->Stop();
+      oracle_link_.reset();
+    }
   }
   // Shard loops are joined (or their processes told to stop): no
   // accounting delta can arrive anymore, so any still-registered program
@@ -795,17 +884,23 @@ void Weaver::OnMetricsReport(
 
 std::size_t Weaver::RequestRemoteMetrics(std::uint64_t rid) {
   std::size_t sent = 0;
-  for (std::size_t s = 0; s < shard_endpoints_.size(); ++s) {
+  const auto ask = [&](EndpointId dst) {
     auto req = std::make_shared<MetricsRequestMessage>();
     req->request_id = rid;
     req->reply_to = coordinator_endpoint_;
-    if (bus_->Send(coordinator_endpoint_, shard_endpoints_[s],
-                   kMsgMetricsRequest, std::move(req),
-                   /*never_block=*/true)
+    if (bus_->Send(coordinator_endpoint_, dst, kMsgMetricsRequest,
+                   std::move(req), /*never_block=*/true)
             .ok()) {
       ++sent;
     }
+  };
+  for (std::size_t s = 0; s < shard_endpoints_.size(); ++s) {
+    ask(shard_endpoints_[s]);
   }
+  // The oracle reports like any other server process; its report carries
+  // shard = kOracleMetricsSource, which every by-shard consumer
+  // bounds-checks away.
+  if (remote_oracle_) ask(oracle_endpoint_);
   return sent;
 }
 
@@ -835,7 +930,8 @@ Result<Weaver::ClusterMetrics> Weaver::CollectMetrics(
       next_metrics_request_.fetch_add(1, std::memory_order_relaxed);
   {
     MutexLock lk(metrics_mu_);
-    metrics_pending_[rid].expected = shard_endpoints_.size();
+    metrics_pending_[rid].expected =
+        shard_endpoints_.size() + (remote_oracle_ ? 1 : 0);
   }
   const std::size_t sent = RequestRemoteMetrics(rid);
   MetricsCollection collection;
@@ -1105,7 +1201,10 @@ void Weaver::RunGarbageCollection(bool include_shards) {
                  std::move(gc));
     }
   }
-  oracle_.CollectBefore(watermark.clock);
+  // With weaver-oracled this is the RPC that drives the service's
+  // changelog GC (and trims the parent's replica); a failure just means
+  // the next GC round retries with a newer watermark.
+  (void)oracle_client_->CollectService(watermark.clock);
 }
 
 Status Weaver::KillShard(ShardId id) {

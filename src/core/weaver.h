@@ -53,6 +53,7 @@
 #include "net/wire_link.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "oracle/oracle_client.h"
 #include "oracle/timeline_oracle.h"
 #include "order/gatekeeper.h"
 #include "partition/partitioner.h"
@@ -85,6 +86,21 @@ struct ShardSupervisionOptions {
   /// wire-sequence reset before proceeding anyway (counted in
   /// supervisor.reset_ack_timeouts).
   std::uint64_t reset_ack_timeout_micros = 2'000'000;
+};
+
+/// Standalone timeline-oracle service (docs/oracle_service.md): the
+/// authoritative oracle runs as a supervised weaver-oracled process with
+/// a durable changelog; this process (and every shard server) holds only
+/// an OracleClient replica. Remote-shard deployments only.
+struct OracleServiceOptions {
+  bool enabled = false;
+  /// The weaver-oracled child (serverd::SpawnOracleServer): its pid (for
+  /// supervision) and the parent's end of its socketpair.
+  pid_t pid = -1;
+  int fd = -1;
+  /// Parent-side OracleClient deadlines (GC collect RPCs).
+  std::uint64_t rpc_timeout_micros = 250'000;
+  std::uint64_t total_deadline_micros = 3'000'000;
 };
 
 struct WeaverOptions {
@@ -199,6 +215,10 @@ struct WeaverOptions {
   std::uint64_t metrics_poll_period_micros = 100'000;
   /// Shard-process crash supervision (docs/fault_tolerance.md).
   ShardSupervisionOptions supervision;
+  /// Standalone replicated-changelog timeline oracle
+  /// (docs/oracle_service.md). Requires remote_shard_fds; supervised
+  /// alongside the shards when supervision is enabled.
+  OracleServiceOptions oracle_service;
   /// Fault-injection seam (net/fault_injector.h): wraps each remote
   /// shard's outbound transport at adoption time -- both the original
   /// remote_shard_fds and any respawned spare. Identity when unset.
@@ -339,6 +359,9 @@ class Weaver {
   /// in-memory deployments).
   std::uint64_t recovered_vertices() const { return recovered_vertices_; }
   TimelineOracle& oracle() { return oracle_; }
+  /// The parent's oracle handle: a local-mode client over oracle_, or
+  /// the weaver-oracled RPC path (WeaverOptions::oracle_service).
+  OracleClient& oracle_client() { return *oracle_client_; }
   MessageBus& bus() { return *bus_; }
   NodeLocator& locator() { return *locator_; }
   ClusterManager& cluster() { return cluster_; }
@@ -503,6 +526,10 @@ class Weaver {
   std::unique_ptr<MessageBus> bus_;
   std::unique_ptr<KvStore> kv_;
   TimelineOracle oracle_;
+  /// This process's oracle handle (constructed in the ctor after the
+  /// endpoint layout is registered; GC watermarks flow through it). With
+  /// oracle_service it holds the replica; oracle_ is then unused.
+  std::unique_ptr<OracleClient> oracle_client_;
   std::shared_ptr<ProgramRegistry> programs_;
   std::unique_ptr<NodeLocator> locator_;
   /// Placement decisions run under partition_mu_ (the LDG partitioner
@@ -516,6 +543,14 @@ class Weaver {
   /// (the links also hub-forward shard-to-shard frames).
   std::vector<std::shared_ptr<Transport>> remote_shard_transports_;
   std::vector<std::unique_ptr<WireLink>> links_;
+  /// weaver-oracled wiring (WeaverOptions::oracle_service): the outbound
+  /// transport, its inbound link, and the layout's oracle endpoints.
+  bool remote_oracle_ = false;
+  std::shared_ptr<Transport> oracle_transport_;
+  std::unique_ptr<WireLink> oracle_link_;
+  EndpointId oracle_endpoint_ = 0;
+  std::vector<EndpointId> oracle_client_endpoints_;  // per shard
+  EndpointId parent_oracle_client_endpoint_ = 0;
   std::vector<std::unique_ptr<Gatekeeper>> gatekeepers_;
   ClusterManager cluster_;
   EndpointId coordinator_endpoint_ = 0;

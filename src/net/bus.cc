@@ -159,22 +159,34 @@ Status MessageBus::DeliverWire(BusMessage msg, bool never_block) {
   // the link reordered or lost a frame -- fail loudly, never paper over.
   {
     MutexLock lk(wire_seq_mu_);
-    std::uint64_t& last = wire_seq_[{msg.src, msg.dst}];
-    if (msg.channel_seq != last + 1) {
+    const auto key = std::make_pair(msg.src, msg.dst);
+    const auto it = wire_seq_.find(key);
+    // Idempotent-protocol channels (AllowFirstContact) baseline on the
+    // first frame observed and re-baseline on a seq-1 restart: during
+    // process failover the hub drops fenced frames, burning sender
+    // sequence numbers a fresh receiver never sees, and a straggling
+    // reset can restart the sender's stream after contact was made.
+    const bool lenient = first_contact_ok_.count(msg.src) != 0 ||
+                         first_contact_ok_.count(msg.dst) != 0;
+    const std::uint64_t want = (it == wire_seq_.end()) ? 1 : it->second + 1;
+    const bool ok = msg.channel_seq == want ||
+                    (lenient && (it == wire_seq_.end() ||
+                                 msg.channel_seq == 1));
+    if (!ok) {
       stats_.wire_seq_violations.fetch_add(1, std::memory_order_relaxed);
       std::fprintf(stderr,
                    "weaver: wire FIFO violation on channel %u->%u: got seq "
                    "%llu, want %llu\n",
                    msg.src, msg.dst,
                    static_cast<unsigned long long>(msg.channel_seq),
-                   static_cast<unsigned long long>(last + 1));
+                   static_cast<unsigned long long>(want));
       return Status::Internal(
           "wire channel sequence violation: got " +
-          std::to_string(msg.channel_seq) + ", want " +
-          std::to_string(last + 1) + " on channel " +
-          std::to_string(msg.src) + "->" + std::to_string(msg.dst));
+          std::to_string(msg.channel_seq) + ", want " + std::to_string(want) +
+          " on channel " + std::to_string(msg.src) + "->" +
+          std::to_string(msg.dst));
     }
-    last = msg.channel_seq;
+    wire_seq_[key] = msg.channel_seq;
   }
   stats_.wire_frames_received.fetch_add(1, std::memory_order_relaxed);
   if (!Deliver(msg, never_block)) {
@@ -197,6 +209,11 @@ void MessageBus::ReattachInbox(
   assert(id < endpoints_.size());
   endpoints_[id]->inbox = std::move(inbox);
   endpoints_[id]->attached = true;
+}
+
+void MessageBus::AllowFirstContact(EndpointId id) {
+  MutexLock lk(wire_seq_mu_);
+  first_contact_ok_.insert(id);
 }
 
 void MessageBus::ResetPeer(EndpointId id) {

@@ -37,6 +37,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <set>
 #include <memory>
 #include <mutex>
 #include <queue>
@@ -135,6 +136,22 @@ class MessageBus {
   /// `never_block` bypasses bounded-inbox blocking (program/control
   /// traffic, core/message_codec.h's WireNeverBlock).
   Status DeliverWire(BusMessage msg, bool never_block);
+
+  /// Marks channels touching `id` as idempotent-protocol channels:
+  /// DeliverWire accepts the first frame it sees on such a channel as the
+  /// sequence baseline (instead of requiring seq 1), and accepts a
+  /// restart at seq 1 any time (the peer process was respawned or reset).
+  /// Mid-stream gaps and reorders still fail loudly.
+  ///
+  /// This exists for the timeline-oracle RPC endpoints
+  /// (docs/oracle_service.md): during oracle failover the parent hub
+  /// drops oracle-bound frames while the endpoint is fenced, which burns
+  /// sender sequence numbers the respawned process never sees -- and the
+  /// oracle protocol is retried idempotent request/reply, so a lost
+  /// frame is safe. Shard-to-shard wave channels must NOT be marked: a
+  /// dropped hop is lost work (the supervisor's commit gate prevents
+  /// those drops instead).
+  void AllowFirstContact(EndpointId id);
 
   /// Ships an already-encoded frame to a remote endpoint's transport
   /// verbatim (hub routing: a frame between two child processes transits
@@ -296,6 +313,9 @@ class MessageBus {
   Mutex wire_seq_mu_;
   std::map<std::pair<EndpointId, EndpointId>, std::uint64_t> wire_seq_
       GUARDED_BY(wire_seq_mu_);
+  /// Endpoints whose channels take a first-contact sequence baseline and
+  /// accept seq-1 restarts (AllowFirstContact).
+  std::set<EndpointId> first_contact_ok_ GUARDED_BY(wire_seq_mu_);
 
   std::function<std::uint64_t(EndpointId, EndpointId)> delay_fn_;
   Mutex delay_mu_;

@@ -1,0 +1,248 @@
+#include "oracle/oracle_client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+namespace weaver {
+
+namespace {
+
+std::uint8_t PreferByte(OrderPreference prefer) {
+  return prefer == OrderPreference::kPreferFirst ? 0 : 1;
+}
+
+}  // namespace
+
+OracleClient::OracleClient(Options options) : options_(options) {}
+
+void OracleClient::ApplyDecision(const RefinableTimestamp& a,
+                                 const RefinableTimestamp& b,
+                                 ClockOrder order) {
+  // Replica updates can never fail: the authoritative oracle's decisions
+  // are mutually consistent, and an already-implied edge is a no-op.
+  if (order == ClockOrder::kBefore) {
+    (void)replica_.AssignHappensBefore(a, b);
+  } else if (order == ClockOrder::kAfter) {
+    (void)replica_.AssignHappensBefore(b, a);
+  }
+}
+
+Result<OracleReplyMessage> OracleClient::Call(
+    const std::vector<OracleOp>& ops) {
+  using Clock = std::chrono::steady_clock;
+  const auto deadline =
+      Clock::now() + std::chrono::microseconds(options_.total_deadline_micros);
+  std::uint64_t backoff = options_.backoff_initial_micros;
+  bool first_attempt = true;
+
+  while (true) {
+    if (!first_attempt) stats_.retries.fetch_add(1, std::memory_order_relaxed);
+    first_attempt = false;
+
+    std::uint64_t id = 0;
+    {
+      MutexLock lk(mu_);
+      id = next_request_id_++;
+      pending_.emplace(id, PendingCall{});
+    }
+    auto request = std::make_shared<OracleRequestMessage>();
+    request->request_id = id;
+    request->reply_to = options_.self;
+    request->ops = ops;
+    const Status sent =
+        options_.bus->Send(options_.self, options_.service, kMsgOracleRequest,
+                           std::move(request), /*never_block=*/true);
+    stats_.rpcs.fetch_add(1, std::memory_order_relaxed);
+
+    bool answered = false;
+    OracleReplyMessage reply;
+    {
+      MutexLock lk(mu_);
+      if (sent.ok()) {
+        const auto attempt_deadline = std::min(
+            deadline,
+            Clock::now() + std::chrono::microseconds(options_.rpc_timeout_micros));
+        auto it = pending_.find(id);
+        while (it != pending_.end() && !it->second.done) {
+          if (cv_.wait_until(lk.native(), attempt_deadline) ==
+              std::cv_status::timeout) {
+            break;
+          }
+          // The map may rehash while unlocked; re-find after every wake.
+          it = pending_.find(id);
+        }
+        it = pending_.find(id);
+        if (it != pending_.end() && it->second.done) {
+          answered = true;
+          reply = std::move(it->second.reply);
+        }
+      }
+      pending_.erase(id);
+    }
+
+    if (answered) {
+      if (reply.status.ok()) return reply;
+      if (!reply.status.IsUnavailable()) return reply.status;
+      // Unavailable from the service (e.g. mid-restart): fall through to
+      // the retry/backoff path like a lost reply.
+    }
+
+    const auto now = Clock::now();
+    if (now + std::chrono::microseconds(backoff) >= deadline) {
+      stats_.unavailable.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable(
+          "timeline oracle did not answer within the deadline (failover in "
+          "progress?); retry");
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+    backoff = std::min<std::uint64_t>(backoff * 2, 100'000);
+  }
+}
+
+void OracleClient::OnReply(const OracleReplyMessage& reply) {
+  MutexLock lk(mu_);
+  auto it = pending_.find(reply.request_id);
+  if (it == pending_.end()) return;  // stale reply to a timed-out attempt
+  it->second.reply = reply;
+  it->second.done = true;
+  cv_.notify_all();
+}
+
+Result<std::vector<ClockOrder>> OracleClient::OrderPairs(
+    const std::vector<std::pair<RefinableTimestamp, RefinableTimestamp>>&
+        pairs,
+    OrderPreference prefer) {
+  std::vector<ClockOrder> out(pairs.size(), ClockOrder::kConcurrent);
+  if (options_.local != nullptr) {
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      out[i] = options_.local->OrderPair(pairs[i].first, pairs[i].second,
+                                         prefer);
+    }
+    return out;
+  }
+
+  std::vector<std::size_t> misses;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const ClockOrder known =
+        replica_.QueryOrder(pairs[i].first, pairs[i].second);
+    if (known != ClockOrder::kConcurrent) {
+      out[i] = known;
+      stats_.local_hits.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      misses.push_back(i);
+    }
+  }
+  if (misses.empty()) return out;
+
+  std::vector<OracleOp> ops;
+  ops.reserve(misses.size());
+  for (const std::size_t i : misses) {
+    OracleOp op;
+    op.type = OracleOp::kOrderPair;
+    op.a = pairs[i].first;
+    op.b = pairs[i].second;
+    op.prefer = PreferByte(prefer);
+    ops.push_back(std::move(op));
+  }
+  auto reply = Call(ops);
+  if (!reply.ok()) return reply.status();
+  if (reply->decisions.size() != misses.size()) {
+    return Status::Internal("oracle reply decision count mismatch");
+  }
+  for (std::size_t j = 0; j < misses.size(); ++j) {
+    const OracleDecision& decision = reply->decisions[j];
+    if (!decision.status.ok()) return decision.status;
+    const std::size_t i = misses[j];
+    out[i] = static_cast<ClockOrder>(decision.order);
+    ApplyDecision(pairs[i].first, pairs[i].second, out[i]);
+  }
+  return out;
+}
+
+Result<ClockOrder> OracleClient::OrderPair(const RefinableTimestamp& a,
+                                           const RefinableTimestamp& b,
+                                           OrderPreference prefer) {
+  auto orders = OrderPairs({{a, b}}, prefer);
+  if (!orders.ok()) return orders.status();
+  return (*orders)[0];
+}
+
+ClockOrder OracleClient::QueryOrder(const RefinableTimestamp& a,
+                                    const RefinableTimestamp& b) {
+  return options_.local != nullptr ? options_.local->QueryOrder(a, b)
+                                   : replica_.QueryOrder(a, b);
+}
+
+Status OracleClient::AssignHappensBefore(const RefinableTimestamp& before,
+                                         const RefinableTimestamp& after) {
+  if (options_.local != nullptr) {
+    return options_.local->AssignHappensBefore(before, after);
+  }
+  if (replica_.QueryOrder(before, after) == ClockOrder::kBefore) {
+    stats_.local_hits.fetch_add(1, std::memory_order_relaxed);
+    return Status::Ok();
+  }
+  OracleOp op;
+  op.type = OracleOp::kAssignEdge;
+  op.a = before;
+  op.b = after;
+  auto reply = Call({op});
+  if (!reply.ok()) return reply.status();
+  if (reply->decisions.size() != 1) {
+    return Status::Internal("oracle reply decision count mismatch");
+  }
+  const Status st = reply->decisions[0].status;
+  if (st.ok()) ApplyDecision(before, after, ClockOrder::kBefore);
+  return st;
+}
+
+void OracleClient::CreateEvent(const RefinableTimestamp& ts) {
+  if (options_.local != nullptr) {
+    options_.local->CreateEvent(ts);
+  } else {
+    replica_.CreateEvent(ts);
+  }
+}
+
+void OracleClient::CollectBefore(const VectorClock& watermark) {
+  if (options_.local != nullptr) {
+    options_.local->CollectBefore(watermark);
+  } else {
+    replica_.CollectBefore(watermark);
+  }
+}
+
+Status OracleClient::CollectService(const VectorClock& watermark) {
+  if (options_.local != nullptr) {
+    options_.local->CollectBefore(watermark);
+    return Status::Ok();
+  }
+  OracleOp op;
+  op.type = OracleOp::kCollect;
+  op.watermark = watermark;
+  auto reply = Call({op});
+  if (!reply.ok()) return reply.status();
+  if (!reply->decisions.empty() && !reply->decisions[0].status.ok()) {
+    return reply->decisions[0].status;
+  }
+  replica_.CollectBefore(watermark);
+  return Status::Ok();
+}
+
+Status OracleClient::Sync() {
+  if (options_.local != nullptr) return Status::Ok();
+  OracleOp op;
+  op.type = OracleOp::kSync;
+  auto reply = Call({op});
+  if (!reply.ok()) return reply.status();
+  for (const auto& [before, after] : reply->edges) {
+    (void)replica_.AssignHappensBefore(before, after);
+  }
+  stats_.sync_edges_applied.fetch_add(reply->edges.size(),
+                                      std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+}  // namespace weaver

@@ -1,0 +1,168 @@
+// OracleClient: every process's handle on the timeline oracle
+// (docs/oracle_service.md).
+//
+// Two modes behind one surface:
+//
+//   * Local -- wraps a TimelineOracle owned by the same process. Every
+//     call is a passthrough; nothing can fail. This is the single-process
+//     deployment, unchanged.
+//
+//   * Remote -- the oracle is authoritative in a weaver-oracled process.
+//     The client owns a local TimelineOracle REPLICA that caches every
+//     decision it has learned: refinements are irrevocable and monotonic
+//     (paper §3.4), so a cached answer is always still correct, and the
+//     paper's refinable-timestamps insight means most comparisons resolve
+//     by vector clocks or the replica without ever leaving the process.
+//     Only genuinely undetermined pairs become a batched OracleRequest
+//     RPC; the authoritative decisions are folded back into the replica.
+//
+// Remote calls carry deadline/retry-with-backoff semantics: an attempt
+// that gets no reply within rpc_timeout is retried (fresh request id, so
+// a late reply to the old id is dropped) until total_deadline, after
+// which the call surfaces `Unavailable` -- the caller-visible shape of an
+// oracle failover in progress. Callers treat Unavailable as retriable
+// (shards park the affected wave or abort the program; clients re-run).
+//
+// Threading: OrderPairs/OrderPair/AssignHappensBefore/Sync block the
+// calling thread while an RPC is in flight. OnReply is called from the
+// wire receive thread (the reply endpoint's inline bus handler) and only
+// touches the pending-call table, so a blocked caller and the receiver
+// never deadlock.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/annotations.h"
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/sync.h"
+#include "core/messages.h"
+#include "net/bus.h"
+#include "oracle/timeline_oracle.h"
+
+namespace weaver {
+
+class OracleClient {
+ public:
+  struct Options {
+    /// Local mode: the in-process authoritative oracle. When set, every
+    /// other field is ignored.
+    TimelineOracle* local = nullptr;
+
+    /// Remote mode: the bus carrying OracleRequest/OracleReply frames.
+    MessageBus* bus = nullptr;
+    /// This client's reply endpoint (the owner registers an inline
+    /// handler there that forwards OracleReplyMessages to OnReply).
+    EndpointId self = 0;
+    /// The oracle service's endpoint.
+    EndpointId service = 0;
+
+    /// Per-attempt reply timeout. An attempt that expires is retried
+    /// with a fresh request id.
+    std::uint64_t rpc_timeout_micros = 250'000;
+    /// Total budget across attempts; exhausted -> Unavailable.
+    std::uint64_t total_deadline_micros = 3'000'000;
+    /// Exponential backoff between attempts, doubling up to 100ms.
+    std::uint64_t backoff_initial_micros = 2'000;
+  };
+
+  struct Stats {
+    /// Comparisons answered by the replica (or vector clocks) alone.
+    std::atomic<std::uint64_t> local_hits{0};
+    std::atomic<std::uint64_t> rpcs{0};
+    std::atomic<std::uint64_t> retries{0};
+    std::atomic<std::uint64_t> unavailable{0};
+    /// Edges folded into the replica by Sync() (rehydration).
+    std::atomic<std::uint64_t> sync_edges_applied{0};
+  };
+
+  explicit OracleClient(Options options);
+  OracleClient(const OracleClient&) = delete;
+  OracleClient& operator=(const OracleClient&) = delete;
+
+  bool remote() const { return options_.local == nullptr; }
+
+  /// Batched definitive ordering: one RPC round trip covers every pair
+  /// the local view cannot answer. Result is positional and never
+  /// contains kConcurrent on success.
+  Result<std::vector<ClockOrder>> OrderPairs(
+      const std::vector<std::pair<RefinableTimestamp, RefinableTimestamp>>&
+          pairs,
+      OrderPreference prefer);
+
+  /// Single-pair convenience over OrderPairs.
+  Result<ClockOrder> OrderPair(const RefinableTimestamp& a,
+                               const RefinableTimestamp& b,
+                               OrderPreference prefer);
+
+  /// Read-only, local-view-only: kConcurrent when this process does not
+  /// know an order (conservative -- never wrong, possibly incomplete).
+  ClockOrder QueryOrder(const RefinableTimestamp& a,
+                        const RefinableTimestamp& b);
+
+  /// Establishes (or confirms) a happens-before edge authoritatively.
+  Status AssignHappensBefore(const RefinableTimestamp& before,
+                             const RefinableTimestamp& after);
+
+  void CreateEvent(const RefinableTimestamp& ts);
+
+  /// Trims the LOCAL view only (replica or local oracle). Shards call
+  /// this from their GC path; the watermark already reached the service
+  /// via the parent's CollectService().
+  void CollectBefore(const VectorClock& watermark);
+
+  /// Durably records the GC watermark at the service (appends a collect
+  /// record to its changelog) and trims the local view. Local mode:
+  /// plain CollectBefore.
+  Status CollectService(const VectorClock& watermark);
+
+  /// Rehydrates the replica from the service's full edge dump. A
+  /// respawned process calls this once at boot so refinements made
+  /// before its predecessor crashed are visible again (the PR 7 gap).
+  /// Local mode: no-op.
+  Status Sync();
+
+  /// Reply-endpoint entry point; called from the wire receive thread.
+  void OnReply(const OracleReplyMessage& reply);
+
+  /// The oracle answering local queries: the wrapped local oracle, or
+  /// the replica in remote mode. For metrics and tests.
+  const TimelineOracle& view() const {
+    return options_.local != nullptr ? *options_.local : replica_;
+  }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct PendingCall {
+    bool done = false;
+    OracleReplyMessage reply;
+  };
+
+  /// One RPC with retry/backoff/deadline. Returns the service's reply
+  /// (request-level status OK) or Unavailable after deadline exhaustion.
+  Result<OracleReplyMessage> Call(const std::vector<OracleOp>& ops);
+
+  /// Folds an authoritative decision for (a, b) into the replica.
+  void ApplyDecision(const RefinableTimestamp& a, const RefinableTimestamp& b,
+                     ClockOrder order);
+
+  Options options_;
+  /// Remote-mode decision cache. Unused (empty) in local mode.
+  TimelineOracle replica_;
+
+  Mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<std::uint64_t, PendingCall> pending_ GUARDED_BY(mu_);
+  std::uint64_t next_request_id_ GUARDED_BY(mu_) = 1;
+
+  Stats stats_;
+};
+
+}  // namespace weaver

@@ -1,0 +1,261 @@
+#include "oracle/oracle_service.h"
+
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "core/message_codec.h"
+#include "storage/checkpoint.h"
+
+namespace weaver {
+
+namespace {
+
+// Changelog record kinds. Records reuse the wire codec's canonical
+// timestamp/clock encodings (message_codec.h), so a record is one kind
+// byte followed by wire-encoded operands.
+constexpr std::uint8_t kRecordEdge = 1;     // ts_before, ts_after
+constexpr std::uint8_t kRecordCollect = 2;  // watermark clock
+
+std::string EncodeEdgeRecord(const RefinableTimestamp& before,
+                             const RefinableTimestamp& after) {
+  wire::Writer w;
+  w.U8(kRecordEdge);
+  EncodeTimestamp(before, &w);
+  EncodeTimestamp(after, &w);
+  return w.Take();
+}
+
+std::string EncodeCollectRecord(const VectorClock& watermark) {
+  wire::Writer w;
+  w.U8(kRecordCollect);
+  EncodeVectorClock(watermark, &w);
+  return w.Take();
+}
+
+std::string CheckpointRowKey(std::uint64_t index) {
+  char buf[21];
+  std::snprintf(buf, sizeof buf, "%020llu",
+                static_cast<unsigned long long>(index));
+  return std::string(buf);
+}
+
+}  // namespace
+
+OracleService::OracleService(Options options)
+    : options_(std::move(options)) {}
+
+Result<std::unique_ptr<OracleService>> OracleService::Open(Options options) {
+  std::unique_ptr<OracleService> service(new OracleService(std::move(options)));
+  WEAVER_RETURN_IF_ERROR(service->Recover());
+  return service;
+}
+
+Status OracleService::ApplyRecord(std::string_view payload) {
+  wire::Reader r(payload);
+  std::uint8_t kind = 0;
+  WEAVER_RETURN_IF_ERROR(r.U8(&kind));
+  switch (kind) {
+    case kRecordEdge: {
+      RefinableTimestamp before, after;
+      WEAVER_RETURN_IF_ERROR(DecodeTimestamp(&r, &before));
+      WEAVER_RETURN_IF_ERROR(DecodeTimestamp(&r, &after));
+      // The live oracle only logged edges it established, so replaying
+      // them in log order onto the rebuilt DAG can never cycle; a
+      // FailedPrecondition here means a corrupt (not torn -- CRC passed)
+      // log and must fail recovery loudly.
+      return oracle_.AssignHappensBefore(before, after);
+    }
+    case kRecordCollect: {
+      VectorClock watermark;
+      WEAVER_RETURN_IF_ERROR(DecodeVectorClock(&r, &watermark));
+      oracle_.CollectBefore(watermark);
+      return Status::Ok();
+    }
+    default:
+      return Status::InvalidArgument("unknown oracle changelog record kind " +
+                                     std::to_string(kind));
+  }
+}
+
+Status OracleService::Recover() {
+  if (options_.data_dir.empty()) return Status::Ok();
+
+  storage::Manifest manifest;
+  auto read = storage::ReadManifest(options_.data_dir);
+  if (read.ok()) {
+    manifest = *read;
+  } else if (!read.status().IsNotFound()) {
+    return read.status();
+  }
+
+  if (manifest.checkpoint_id != 0) {
+    Status apply_status = Status::Ok();
+    WEAVER_RETURN_IF_ERROR(storage::ReadCheckpointFile(
+        options_.data_dir, manifest.checkpoint_id,
+        [&](std::string&& /*key*/, std::string&& value) {
+          if (!apply_status.ok()) return;
+          apply_status = ApplyRecord(value);
+          if (apply_status.ok()) {
+            stats_.replayed_records.fetch_add(1, std::memory_order_relaxed);
+          }
+        }));
+    WEAVER_RETURN_IF_ERROR(apply_status);
+  }
+
+  auto replayed = storage::Wal::Replay(
+      options_.data_dir, manifest.wal_start,
+      [&](std::string_view payload) { return ApplyRecord(payload); });
+  WEAVER_RETURN_IF_ERROR(replayed.status());
+  stats_.replayed_records.fetch_add(replayed->records,
+                                    std::memory_order_relaxed);
+  stats_.replay_torn_tails.fetch_add(replayed->torn_tails,
+                                     std::memory_order_relaxed);
+
+  StorageOptions storage_options;
+  storage_options.data_dir = options_.data_dir;
+  storage_options.fsync = options_.fsync;
+  auto wal = storage::Wal::Open(options_.data_dir, storage_options,
+                                manifest.wal_start);
+  WEAVER_RETURN_IF_ERROR(wal.status());
+  MutexLock lk(log_mu_);
+  wal_ = std::move(*wal);
+  checkpoint_id_ = manifest.checkpoint_id;
+  return Status::Ok();
+}
+
+Status OracleService::AppendRecord(const std::string& payload) {
+  if (wal_ == nullptr) return Status::Ok();
+  WEAVER_RETURN_IF_ERROR(wal_->Append(payload));
+  stats_.changelog_records.fetch_add(1, std::memory_order_relaxed);
+  ++records_since_snapshot_;
+  // The snapshot trigger lives at the end of Handle, NOT here: the
+  // caller has not yet applied this record to the DAG, and a snapshot
+  // taken now would both miss its effect and truncate its WAL segment.
+  return Status::Ok();
+}
+
+void OracleService::MaybeSnapshotLocked() {
+  if (wal_ == nullptr || options_.snapshot_every_records == 0 ||
+      records_since_snapshot_ < options_.snapshot_every_records) {
+    return;
+  }
+  // Rotation first: records appended after this point land in segments
+  // >= wal_start and are NOT covered by the snapshot about to be taken.
+  // (We hold log_mu_, so no record can slip between the rotate and the
+  // dump.) A crash anywhere in this sequence is safe: the manifest is
+  // replaced atomically, so recovery either sees the old snapshot + the
+  // full WAL or the new snapshot + the truncated WAL.
+  const std::uint64_t wal_start = wal_->Rotate();
+  const auto edges = oracle_.DumpEdges();
+  std::vector<std::pair<std::string, std::string>> rows;
+  rows.reserve(edges.size());
+  std::uint64_t index = 0;
+  for (const auto& [before, after] : edges) {
+    rows.emplace_back(CheckpointRowKey(index++),
+                      EncodeEdgeRecord(before, after));
+  }
+  const std::uint64_t id = checkpoint_id_ + 1;
+  Status st = storage::WriteCheckpointFile(options_.data_dir, id, &rows);
+  if (st.ok()) {
+    storage::Manifest manifest;
+    manifest.checkpoint_id = id;
+    manifest.wal_start = wal_start;
+    st = storage::WriteManifest(options_.data_dir, manifest);
+  }
+  if (!st.ok()) {
+    // Snapshot failure is not fatal: the old manifest still covers the
+    // full WAL. Try again after another snapshot interval.
+    std::fprintf(stderr, "weaver-oracled: snapshot failed: %s\n",
+                 st.ToString().c_str());
+    records_since_snapshot_ = 0;
+    return;
+  }
+  checkpoint_id_ = id;
+  records_since_snapshot_ = 0;
+  (void)wal_->DeleteSegmentsBefore(wal_start);
+  storage::DeleteCheckpointsExcept(options_.data_dir, id);
+  stats_.snapshots.fetch_add(1, std::memory_order_relaxed);
+}
+
+void OracleService::Handle(const OracleRequestMessage& req,
+                           OracleReplyMessage* reply) {
+  stats_.requests.fetch_add(1, std::memory_order_relaxed);
+  stats_.ops.fetch_add(req.ops.size(), std::memory_order_relaxed);
+  reply->request_id = req.request_id;
+  reply->status = Status::Ok();
+  reply->decisions.clear();
+  reply->decisions.resize(req.ops.size());
+  reply->edges.clear();
+
+  MutexLock lk(log_mu_);
+  for (std::size_t i = 0; i < req.ops.size(); ++i) {
+    const OracleOp& op = req.ops[i];
+    OracleDecision& decision = reply->decisions[i];
+    switch (op.type) {
+      case OracleOp::kOrderPair: {
+        // Split OrderPair into query + explicit assignment so the
+        // changelog records exactly the edges that were established
+        // (already-determined pairs append nothing). log_mu_ makes the
+        // two steps atomic with respect to other requests.
+        ClockOrder order = oracle_.QueryOrder(op.a, op.b);
+        if (order == ClockOrder::kConcurrent) {
+          const bool a_first = op.prefer == 0;
+          const RefinableTimestamp& first = a_first ? op.a : op.b;
+          const RefinableTimestamp& second = a_first ? op.b : op.a;
+          decision.status = AppendRecord(EncodeEdgeRecord(first, second));
+          if (decision.status.ok()) {
+            decision.status = oracle_.AssignHappensBefore(first, second);
+          }
+          order = a_first ? ClockOrder::kBefore : ClockOrder::kAfter;
+        }
+        decision.order = static_cast<std::uint8_t>(order);
+        break;
+      }
+      case OracleOp::kAssignEdge: {
+        // Query first so the changelog only grows for genuinely new
+        // edges: an implied order appends nothing, and a cycle rejection
+        // must be detected BEFORE logging -- a logged-but-rejected edge
+        // would poison replay.
+        const ClockOrder existing = oracle_.QueryOrder(op.a, op.b);
+        if (existing == ClockOrder::kBefore ||
+            existing == ClockOrder::kEqual) {
+          decision.status = Status::Ok();
+        } else if (existing == ClockOrder::kAfter) {
+          decision.status = Status::FailedPrecondition(
+              "happens-before assignment would create a cycle: " +
+              op.b.ToString() + " already precedes " + op.a.ToString());
+        } else {
+          decision.status = AppendRecord(EncodeEdgeRecord(op.a, op.b));
+          if (decision.status.ok()) {
+            decision.status = oracle_.AssignHappensBefore(op.a, op.b);
+          }
+        }
+        decision.order = static_cast<std::uint8_t>(
+            decision.status.ok() ? ClockOrder::kBefore
+                                 : ClockOrder::kConcurrent);
+        break;
+      }
+      case OracleOp::kCollect: {
+        decision.status = AppendRecord(EncodeCollectRecord(op.watermark));
+        if (decision.status.ok()) oracle_.CollectBefore(op.watermark);
+        break;
+      }
+      case OracleOp::kSync: {
+        reply->edges = oracle_.DumpEdges();
+        stats_.sync_dumps.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      default:
+        decision.status =
+            Status::InvalidArgument("unknown oracle op type " +
+                                    std::to_string(op.type));
+        break;
+    }
+  }
+  // Snapshot only once every logged record's effect is in the DAG --
+  // the dump must cover everything the rotated-away segments held.
+  MaybeSnapshotLocked();
+}
+
+}  // namespace weaver

@@ -1,0 +1,108 @@
+// OracleService: the timeline oracle as a crash-surviving state machine
+// (docs/oracle_service.md).
+//
+// Wraps the authoritative TimelineOracle with (a) a batched request
+// handler speaking the OracleRequest/OracleReply wire schemas and (b) a
+// durable changelog built on the storage layer's WAL + checkpoint
+// machinery. Every refinement the oracle commits to -- an explicit
+// happens-before edge, a GC watermark -- is appended to the changelog
+// BEFORE the decision is handed back to the requester, so an answered
+// refinement can never be forgotten by a crash (the same WAL-first rule
+// the kv store uses for acknowledged writes). On restart, Open() rebuilds
+// the dependency DAG from the latest snapshot plus a torn-tail-tolerant
+// WAL replay; periodic snapshots (checkpoint file + MANIFEST + segment
+// truncation) bound replay time.
+//
+// The service is deliberately transport-agnostic: Handle() maps one
+// request to one reply, and coord/serverd.cc owns the process shell that
+// pumps bus messages through it (weaver-oracled). Handle() is safe to
+// call from multiple threads; a single log mutex serializes state
+// mutation with changelog append so the on-disk record order always
+// matches the apply order (what makes replay equivalent to live state).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/annotations.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/sync.h"
+#include "core/messages.h"
+#include "oracle/timeline_oracle.h"
+#include "storage/storage_options.h"
+#include "storage/wal.h"
+
+namespace weaver {
+
+class OracleService {
+ public:
+  struct Options {
+    /// Changelog root directory. Empty disables durability: the service
+    /// is a plain in-memory oracle behind the same RPC surface.
+    std::string data_dir;
+    FsyncPolicy fsync = FsyncPolicy::kNever;
+    /// Snapshot (checkpoint + manifest + WAL truncation) after this many
+    /// changelog records since the last snapshot. 0 = never snapshot.
+    std::uint64_t snapshot_every_records = 8192;
+  };
+
+  struct Stats {
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> ops{0};
+    std::atomic<std::uint64_t> changelog_records{0};
+    std::atomic<std::uint64_t> snapshots{0};
+    std::atomic<std::uint64_t> sync_dumps{0};
+    /// Recovery: records applied from the snapshot + WAL at Open().
+    std::atomic<std::uint64_t> replayed_records{0};
+    std::atomic<std::uint64_t> replay_torn_tails{0};
+  };
+
+  /// Opens the service, replaying any durable state found under
+  /// options.data_dir (snapshot first, then WAL segments from the
+  /// manifest's replay start; a torn tail record is dropped, everything
+  /// before it is applied).
+  static Result<std::unique_ptr<OracleService>> Open(Options options);
+
+  OracleService(const OracleService&) = delete;
+  OracleService& operator=(const OracleService&) = delete;
+
+  /// Applies one batched request and fills the reply positionally.
+  /// Mutating ops are durable in the changelog before their decision is
+  /// recorded in the reply. Thread-safe.
+  void Handle(const OracleRequestMessage& req, OracleReplyMessage* reply);
+
+  /// The wrapped oracle (metrics, tests). Queries through it bypass the
+  /// changelog; mutations must go through Handle so they are logged.
+  TimelineOracle& oracle() { return oracle_; }
+  const TimelineOracle& oracle() const { return oracle_; }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  explicit OracleService(Options options);
+
+  /// Replays snapshot + WAL into the oracle. Called once from Open().
+  Status Recover();
+  /// Applies one changelog record payload to the oracle.
+  Status ApplyRecord(std::string_view payload);
+  /// Appends one record; no-op when durability is disabled.
+  Status AppendRecord(const std::string& payload) REQUIRES(log_mu_);
+  void MaybeSnapshotLocked() REQUIRES(log_mu_);
+
+  Options options_;
+  TimelineOracle oracle_;
+
+  /// Serializes oracle mutation + changelog append (and snapshots), so
+  /// the changelog's record order is exactly the oracle's apply order.
+  Mutex log_mu_;
+  std::unique_ptr<storage::Wal> wal_ GUARDED_BY(log_mu_);
+  std::uint64_t records_since_snapshot_ GUARDED_BY(log_mu_) = 0;
+  std::uint64_t checkpoint_id_ GUARDED_BY(log_mu_) = 0;
+
+  Stats stats_;
+};
+
+}  // namespace weaver

@@ -182,6 +182,19 @@ void TimelineOracle::CollectBefore(const VectorClock& watermark) {
   }
 }
 
+std::vector<std::pair<RefinableTimestamp, RefinableTimestamp>>
+TimelineOracle::DumpEdges() const {
+  ReaderLock lk(mu_);
+  std::vector<std::pair<RefinableTimestamp, RefinableTimestamp>> edges;
+  for (const auto& [id, node] : events_) {
+    for (EventId succ_id : node.succ) {
+      const EventNode* succ = Find(succ_id);
+      if (succ != nullptr) edges.emplace_back(node.ts, succ->ts);
+    }
+  }
+  return edges;
+}
+
 std::size_t TimelineOracle::LiveEvents() const {
   ReaderLock lk(mu_);
   return events_.size();

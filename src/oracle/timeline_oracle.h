@@ -88,6 +88,14 @@ class TimelineOracle {
   /// ordering commitment between surviving events is lost.
   void CollectBefore(const VectorClock& watermark);
 
+  /// Every explicit happens-before edge as (before, after) timestamp
+  /// pairs. This is the oracle's replayable state: re-establishing each
+  /// pair via AssignHappensBefore on an empty oracle rebuilds an
+  /// equivalent DAG (clock-implied orderings need no edges). Snapshots
+  /// and replica rehydration (docs/oracle_service.md) are built on it.
+  std::vector<std::pair<RefinableTimestamp, RefinableTimestamp>> DumpEdges()
+      const;
+
   std::size_t LiveEvents() const;
   const Stats& stats() const { return stats_; }
   void ResetStats();

@@ -1,36 +1,104 @@
 #include "order/resolver.h"
 
+#include <cassert>
 #include <unordered_set>
 
 namespace weaver {
 
+OrderResolver::OrderResolver(TimelineOracle* oracle) {
+  OracleClient::Options options;
+  options.local = oracle;
+  owned_client_ = std::make_unique<OracleClient>(options);
+  client_ = owned_client_.get();
+}
+
+bool OrderResolver::CacheLookup(const Key& key, ClockOrder* out) {
+  MutexLock lk(mu_);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) return false;
+  stats_.cache_hits++;
+  *out = it->second;
+  return true;
+}
+
+void OrderResolver::CacheStore(const RefinableTimestamp& a,
+                               const RefinableTimestamp& b,
+                               ClockOrder decided) {
+  const Key key{a.event_id(), b.event_id()};
+  MutexLock lk(mu_);
+  cache_[key] = decided;
+  cache_[{key.second, key.first}] = FlipOrder(decided);
+  cached_clocks_.try_emplace(a.event_id(), a.clock);
+  cached_clocks_.try_emplace(b.event_id(), b.clock);
+}
+
 ClockOrder OrderResolver::Resolve(const RefinableTimestamp& a,
                                   const RefinableTimestamp& b,
                                   OrderPreference prefer) {
+  auto decided = TryResolve(a, b, prefer);
+  // Local-mode clients never fail; see the header contract.
+  assert(decided.ok());
+  if (!decided.ok()) {
+    return prefer == OrderPreference::kPreferFirst ? ClockOrder::kBefore
+                                                   : ClockOrder::kAfter;
+  }
+  return *decided;
+}
+
+Result<ClockOrder> OrderResolver::TryResolve(const RefinableTimestamp& a,
+                                             const RefinableTimestamp& b,
+                                             OrderPreference prefer) {
   const ClockOrder by_clock = a.Compare(b);
   if (by_clock != ClockOrder::kConcurrent) {
     stats_.vclock_fast_path++;
     return by_clock;
   }
-  const Key key{a.event_id(), b.event_id()};
-  {
-    MutexLock lk(mu_);
-    auto it = cache_.find(key);
-    if (it != cache_.end()) {
-      stats_.cache_hits++;
-      return it->second;
+  ClockOrder cached = ClockOrder::kConcurrent;
+  if (CacheLookup(Key{a.event_id(), b.event_id()}, &cached)) return cached;
+  stats_.oracle_requests++;
+  auto decided = client_->OrderPair(a, b, prefer);
+  if (!decided.ok()) {
+    stats_.oracle_failures++;
+    return decided.status();
+  }
+  CacheStore(a, b, *decided);
+  return *decided;
+}
+
+Result<std::vector<ClockOrder>> OrderResolver::ResolveBatch(
+    const std::vector<std::pair<RefinableTimestamp, RefinableTimestamp>>&
+        pairs,
+    OrderPreference prefer) {
+  std::vector<ClockOrder> out(pairs.size(), ClockOrder::kConcurrent);
+  std::vector<std::size_t> misses;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const auto& [a, b] = pairs[i];
+    const ClockOrder by_clock = a.Compare(b);
+    if (by_clock != ClockOrder::kConcurrent) {
+      stats_.vclock_fast_path++;
+      out[i] = by_clock;
+      continue;
     }
+    if (CacheLookup(Key{a.event_id(), b.event_id()}, &out[i])) continue;
+    misses.push_back(i);
   }
-  const ClockOrder decided = oracle_->OrderPair(a, b, prefer);
-  {
-    MutexLock lk(mu_);
-    stats_.oracle_requests++;
-    cache_[key] = decided;
-    cache_[{key.second, key.first}] = FlipOrder(decided);
-    cached_clocks_.try_emplace(a.event_id(), a.clock);
-    cached_clocks_.try_emplace(b.event_id(), b.clock);
+  if (misses.empty()) return out;
+
+  std::vector<std::pair<RefinableTimestamp, RefinableTimestamp>> ask;
+  ask.reserve(misses.size());
+  for (const std::size_t i : misses) ask.push_back(pairs[i]);
+  stats_.oracle_requests++;
+  auto decided = client_->OrderPairs(ask, prefer);
+  if (!decided.ok()) {
+    stats_.oracle_failures++;
+    return decided.status();
   }
-  return decided;
+  for (std::size_t j = 0; j < misses.size(); ++j) {
+    const std::size_t i = misses[j];
+    out[i] = (*decided)[j];
+    CacheStore(pairs[i].first, pairs[i].second, out[i]);
+  }
+  return out;
 }
 
 ClockOrder OrderResolver::Peek(const RefinableTimestamp& a,
@@ -42,7 +110,7 @@ ClockOrder OrderResolver::Peek(const RefinableTimestamp& a,
     auto it = cache_.find(Key{a.event_id(), b.event_id()});
     if (it != cache_.end()) return it->second;
   }
-  return oracle_->QueryOrder(a, b);
+  return client_->QueryOrder(a, b);
 }
 
 void OrderResolver::TrimBefore(const VectorClock& watermark) {

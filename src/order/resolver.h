@@ -4,18 +4,29 @@
 // in order of cost: (1) the vector clocks (the common, proactive case),
 // (2) a local cache of previous oracle decisions -- ordering decisions are
 // irrevocable and monotonic, so caching is always sound (paper §4.2), and
-// (3) an ordering request to the timeline oracle, which establishes an
-// order per the supplied arrival preference if none exists.
+// (3) the timeline oracle via an OracleClient, which establishes an order
+// per the supplied arrival preference if none exists.
+//
+// With a remote oracle service the third step is an RPC that can fail
+// (Unavailable during failover), so the shard-facing entry points are
+// fallible: TryResolve / ResolveBatch return a Result and the caller
+// decides whether to park the work or abort the program. The infallible
+// Resolve() remains for local-oracle callers (tests, benches), where the
+// client cannot fail.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "common/annotations.h"
 #include "common/ids.h"
+#include "common/result.h"
 #include "common/sync.h"
+#include "oracle/oracle_client.h"
 #include "oracle/timeline_oracle.h"
 #include "order/timestamp.h"
 
@@ -27,18 +38,44 @@ class OrderResolver {
     std::uint64_t vclock_fast_path = 0;
     std::uint64_t cache_hits = 0;
     std::uint64_t oracle_requests = 0;
+    /// TryResolve/ResolveBatch calls that surfaced a non-OK status
+    /// (oracle unreachable mid-failover).
+    std::uint64_t oracle_failures = 0;
   };
 
-  explicit OrderResolver(TimelineOracle* oracle) : oracle_(oracle) {}
+  /// Resolves against an in-process oracle (wrapped in an owned
+  /// local-mode OracleClient).
+  explicit OrderResolver(TimelineOracle* oracle);
+  /// Resolves through the given client (local or remote mode).
+  explicit OrderResolver(OracleClient* client) : client_(client) {}
 
   /// Definitive order of a vs b (never kConcurrent). If the pair is
   /// concurrent and not yet ordered, the oracle establishes an order with
-  /// `a` first when prefer == kPreferFirst.
+  /// `a` first when prefer == kPreferFirst. Local-oracle clients only --
+  /// a remote client's failure cannot be reported here (asserts in debug,
+  /// falls back to the preference order in release).
   ClockOrder Resolve(const RefinableTimestamp& a, const RefinableTimestamp& b,
                      OrderPreference prefer);
 
-  /// Read-only variant: kConcurrent when no order is known. Used by
-  /// speculative checks that must not establish commitments.
+  /// Fallible single-pair resolution: Unavailable when the oracle cannot
+  /// be reached before the client's deadline. The caller must treat the
+  /// failure as retriable and must NOT act on any assumed order.
+  Result<ClockOrder> TryResolve(const RefinableTimestamp& a,
+                                const RefinableTimestamp& b,
+                                OrderPreference prefer);
+
+  /// Fallible batched resolution: answers every pair, forwarding the
+  /// cache/clock misses to the oracle in ONE request. The result is
+  /// positional. On failure no partial answers are returned (already-
+  /// cached pairs are still cached for next time).
+  Result<std::vector<ClockOrder>> ResolveBatch(
+      const std::vector<std::pair<RefinableTimestamp, RefinableTimestamp>>&
+          pairs,
+      OrderPreference prefer);
+
+  /// Read-only variant: kConcurrent when no order is known locally. Used
+  /// by speculative checks that must not establish commitments (and must
+  /// not block on an RPC).
   ClockOrder Peek(const RefinableTimestamp& a, const RefinableTimestamp& b);
 
   /// Drops cached decisions whose events both precede `watermark` (invoked
@@ -51,7 +88,15 @@ class OrderResolver {
  private:
   using Key = std::pair<EventId, EventId>;
 
-  TimelineOracle* oracle_;
+  /// Cache lookup; fills *out and returns true on a hit.
+  bool CacheLookup(const Key& key, ClockOrder* out);
+  void CacheStore(const RefinableTimestamp& a, const RefinableTimestamp& b,
+                  ClockOrder decided);
+
+  /// Set iff constructed from a bare TimelineOracle*.
+  std::unique_ptr<OracleClient> owned_client_;
+  OracleClient* client_ = nullptr;
+
   mutable Mutex mu_;
   std::unordered_map<Key, ClockOrder, IdPairHash> cache_ GUARDED_BY(mu_);
   // Clock snapshots for TrimBefore: event id -> clock of cached decisions.

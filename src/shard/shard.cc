@@ -11,15 +11,26 @@ namespace {
 /// Bound on the finished-program tombstone set (abort-race protection;
 /// normal completion never needs it).
 constexpr std::size_t kMaxFinishedTombstones = 4096;
+
+/// Wraps an in-process oracle in a local-mode client (Options::oracle
+/// form); null when the caller supplied its own client.
+std::unique_ptr<OracleClient> MakeLocalClient(TimelineOracle* oracle) {
+  if (oracle == nullptr) return nullptr;
+  OracleClient::Options co;
+  co.local = oracle;
+  return std::make_unique<OracleClient>(co);
+}
 }  // namespace
 
 Shard::Shard(Options options)
     : options_(std::move(options)),
-      resolver_(options_.oracle),
+      owned_oracle_client_(MakeLocalClient(options_.oracle)),
+      resolver_(options_.oracle_client != nullptr ? options_.oracle_client
+                                                  : owned_oracle_client_.get()),
       gk_queues_(options_.num_gatekeepers),
       last_channel_seq_(options_.num_gatekeepers + 64, 0) {
   assert(options_.bus != nullptr);
-  assert(options_.oracle != nullptr);
+  assert(options_.oracle != nullptr || options_.oracle_client != nullptr);
   inbox_ = std::make_shared<BlockingQueue<BusMessage>>(options_.inbox_capacity);
   if (options_.reuse_endpoint != kNoEndpoint) {
     endpoint_ = options_.reuse_endpoint;
@@ -65,6 +76,7 @@ void Shard::ExportMetrics() {
   counter("contexts_installed", stats_.contexts_installed);
   counter("gc_rounds", stats_.gc_rounds);
   counter("seq_violations", stats_.seq_violations);
+  counter("oracle_stalls", stats_.oracle_stalls);
   counter("busy_ns", stats_.busy_ns);
   counter("op_work_ns", stats_.op_work_ns);
   m->AddGaugeFn(p + "inbox_depth", [this] {
@@ -316,10 +328,21 @@ bool Shard::WaveEligible(const RefinableTimestamp& prog_ts) {
   // Delay rule (paper §4.1): every queue head must be ordered strictly
   // after the program; concurrent heads are resolved transaction-first, so
   // an unresolved head forces the program to wait for that transaction.
-  for (auto& q : gk_queues_) {
-    const QueueEntry& head = q.front();
-    const ClockOrder o = resolver_.Resolve(head.ts, prog_ts,
-                                           OrderPreference::kPreferFirst);
+  // All heads go through ONE batched resolution: with a remote oracle the
+  // cache/clock misses share a single RPC round trip.
+  std::vector<std::pair<RefinableTimestamp, RefinableTimestamp>> pairs;
+  pairs.reserve(gk_queues_.size());
+  for (auto& q : gk_queues_) pairs.emplace_back(q.front().ts, prog_ts);
+  auto orders = resolver_.ResolveBatch(pairs, OrderPreference::kPreferFirst);
+  if (!orders.ok()) {
+    // Oracle unreachable (failover in progress): park the wave. No order
+    // was established, so waiting is always sound, and eligibility is
+    // re-checked every drain cycle -- the program resumes once the
+    // respawned service answers again.
+    stats_.oracle_stalls.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  for (const ClockOrder o : *orders) {
     if (o != ClockOrder::kAfter) return false;  // head <= prog: wait
   }
   return true;
@@ -357,8 +380,19 @@ OrderFn Shard::VisibilityOrderFn() {
     // Writes win ties: a transaction concurrent with a node program is
     // ordered before it unless the oracle already knows otherwise
     // (paper §4.1 -- programs never miss committed writes).
-    return resolver_.Resolve(write_ts, read_ts,
-                             OrderPreference::kPreferFirst);
+    auto decided = resolver_.TryResolve(write_ts, read_ts,
+                                        OrderPreference::kPreferFirst);
+    if (decided.ok()) return *decided;
+    // Oracle unreachable (failover in progress). Answer with the
+    // write-wins order the oracle would have established, but flag the
+    // stall so RunProgramCycle aborts this program with a retriable
+    // Unavailable -- a fallback answer must never back an acknowledged
+    // result. Nothing leaks: the resolver caches only authoritative
+    // decisions, and the per-program order memo dies with the aborted
+    // context.
+    stats_.oracle_stalls.fetch_add(1, std::memory_order_relaxed);
+    oracle_stall_ = true;
+    return ClockOrder::kBefore;
   };
 }
 
@@ -499,7 +533,11 @@ void Shard::RunProgramCycle(ProgramId pid, ProgramContext& ctx) {
       1, options_.max_hops_per_cycle);
   std::size_t executed = 0;
 
-  while (!ctx.pending.empty() && executed < max_hops) {
+  // Armed by VisibilityOrderFn when the oracle cannot be reached: the
+  // cycle stops early and the program aborts retriably below.
+  oracle_stall_ = false;
+
+  while (!ctx.pending.empty() && executed < max_hops && !oracle_stall_) {
     // Unindex the head BEFORE popping (the index points at the live
     // deque element) so a later identical hop is NOT coalesced -- only
     // pending duplicates are provably redundant. Identity compare: this
@@ -609,16 +647,22 @@ void Shard::RunProgramCycle(ProgramId pid, ProgramContext& ctx) {
                            std::move(batch), /*never_block=*/true);
     if (!sent.ok()) forward_error = sent;
   }
-  if (!forward_error.ok()) {
-    // A peer shard is down: the spawn credits just reported can never be
-    // consumed, so tell the coordinator to abort the program (the client
-    // re-runs it, same contract as the old frontier liveness check).
+  if (!forward_error.ok() || oracle_stall_) {
+    // A peer shard is down (the spawn credits just reported can never be
+    // consumed), or a hop read a version through an oracle-fallback
+    // order (the result may be wrong): tell the coordinator to abort the
+    // program. The client re-runs it -- same retriable contract as the
+    // old frontier liveness check.
     auto err = std::make_shared<WaveAccountingMessage>();
     err->program_id = pid;
     err->shard = options_.id;
-    err->error = Status::Unavailable(
-        "peer shard is down; re-run the program (" +
-        forward_error.ToString() + ")");
+    err->error =
+        !forward_error.ok()
+            ? Status::Unavailable("peer shard is down; re-run the program (" +
+                                  forward_error.ToString() + ")")
+            : Status::Unavailable(
+                  "timeline oracle unreachable during visibility "
+                  "resolution (failover in progress?); re-run the program");
     (void)options_.bus->Send(endpoint_, coordinator, kMsgWaveAccounting,
                              std::move(err), /*never_block=*/true);
   }
@@ -648,9 +692,17 @@ void Shard::RunGc(const RefinableTimestamp& watermark) {
   };
   graph_.CollectBefore(watermark, conservative);
   resolver_.TrimBefore(watermark.clock);
-  // Shard-server processes: the oracle replica is ours alone, and this
-  // watermark message is the only way the parent's GC reaches it.
-  if (options_.gc_oracle) options_.oracle->CollectBefore(watermark.clock);
+  // Shard-server processes: the oracle view (local oracle or client
+  // replica) is ours alone, and this watermark message is the only way
+  // the parent's GC reaches it. The durable collect already happened at
+  // the service (the parent's CollectService), so trimming the local
+  // view is all that is left.
+  if (options_.gc_oracle) {
+    OracleClient* client = options_.oracle_client != nullptr
+                               ? options_.oracle_client
+                               : owned_oracle_client_.get();
+    client->CollectBefore(watermark.clock);
+  }
   stats_.gc_rounds.fetch_add(1, std::memory_order_relaxed);
 }
 

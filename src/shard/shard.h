@@ -63,7 +63,15 @@ class Shard {
     ShardId id = 0;
     std::size_t num_gatekeepers = 1;
     MessageBus* bus = nullptr;
+    /// In-process oracle (single-process deployments and shard servers
+    /// without the oracle service). Wrapped in an owned local-mode
+    /// OracleClient. Exactly one of oracle / oracle_client must be set.
     TimelineOracle* oracle = nullptr;
+    /// Externally owned client (remote-oracle shard servers,
+    /// coord/serverd). Remote calls can fail mid-failover; the shard
+    /// parks waves and aborts programs with a retriable Unavailable
+    /// instead of inventing an order.
+    OracleClient* oracle_client = nullptr;
     std::shared_ptr<const ProgramRegistry> programs;
     /// Vertex -> shard directory used to route forwarded program hops.
     NodeLocator* locator = nullptr;
@@ -125,6 +133,9 @@ class Shard {
     std::atomic<std::uint64_t> contexts_installed{0};
     std::atomic<std::uint64_t> gc_rounds{0};
     std::atomic<std::uint64_t> seq_violations{0};
+    /// Order resolutions that hit an unreachable oracle (failover in
+    /// progress): the wave was parked or the program aborted retriably.
+    std::atomic<std::uint64_t> oracle_stalls{0};
     /// Nanoseconds spent routing and executing work (excludes idle waits).
     std::atomic<std::uint64_t> busy_ns{0};
     /// Nanoseconds spent on per-operation work only: applying transaction
@@ -274,6 +285,9 @@ class Shard {
   std::vector<EndpointId> shard_endpoints_;  // ShardId -> EndpointId
 
   GraphStore graph_;
+  /// Set iff Options::oracle was given: the local-mode client wrapping
+  /// it. Declared before resolver_, which points at it.
+  std::unique_ptr<OracleClient> owned_oracle_client_;
   OrderResolver resolver_;
   std::vector<std::deque<QueueEntry>> gk_queues_;
   std::vector<std::uint64_t> last_channel_seq_;  // FIFO assertions per gk
@@ -289,6 +303,13 @@ class Shard {
   /// (quiescence implies no batch is in flight).
   std::unordered_set<ProgramId> finished_;
   std::deque<ProgramId> finished_order_;
+
+  /// Set by VisibilityOrderFn when the oracle was unreachable and a
+  /// deterministic fallback order was used; RunProgramCycle checks it
+  /// after each hop and aborts the program retriably (the fallback
+  /// answer must never become an acknowledged result). Loop-thread
+  /// owned.
+  bool oracle_stall_ = false;
 
   std::thread loop_thread_;
   std::atomic<bool> running_{false};

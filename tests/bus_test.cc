@@ -198,5 +198,56 @@ TEST(BusTest, NameLookup) {
   EXPECT_EQ(bus.NameOf(999), "?");
 }
 
+// Wire-delivery sequencing: strict channels demand a gap-free stream
+// starting at 1; AllowFirstContact channels (idempotent oracle RPC,
+// docs/oracle_service.md) baseline on the first observed frame and
+// accept seq-1 restarts, but still reject mid-stream gaps.
+TEST(BusTest, WireSequenceStrictByDefault) {
+  MessageBus bus;
+  const EndpointId a = bus.RegisterHandler("a", [](const BusMessage&) {});
+  const EndpointId b = bus.RegisterHandler("b", [](const BusMessage&) {});
+  const auto frame = [&](std::uint64_t seq) {
+    BusMessage m;
+    m.src = a;
+    m.dst = b;
+    m.payload_tag = 0;
+    m.payload = Payload(0);
+    m.channel_seq = seq;
+    return m;
+  };
+  // A first frame above 1 means the link lost the start of the stream.
+  EXPECT_TRUE(bus.DeliverWire(frame(2), false).IsInternal());
+  EXPECT_TRUE(bus.DeliverWire(frame(1), false).ok());
+  EXPECT_TRUE(bus.DeliverWire(frame(2), false).ok());
+  EXPECT_TRUE(bus.DeliverWire(frame(4), false).IsInternal());  // gap
+  EXPECT_TRUE(bus.DeliverWire(frame(1), false).IsInternal());  // restart
+}
+
+TEST(BusTest, WireSequenceFirstContactBaselineAndRestart) {
+  MessageBus bus;
+  const EndpointId a = bus.RegisterHandler("a", [](const BusMessage&) {});
+  const EndpointId b = bus.RegisterHandler("b", [](const BusMessage&) {});
+  bus.AllowFirstContact(b);
+  const auto frame = [&](std::uint64_t seq) {
+    BusMessage m;
+    m.src = a;
+    m.dst = b;
+    m.payload_tag = 0;
+    m.payload = Payload(0);
+    m.channel_seq = seq;
+    return m;
+  };
+  // Earlier frames were dropped while the receiver was fenced: the
+  // first frame observed becomes the baseline.
+  EXPECT_TRUE(bus.DeliverWire(frame(5), false).ok());
+  EXPECT_TRUE(bus.DeliverWire(frame(6), false).ok());
+  EXPECT_TRUE(bus.DeliverWire(frame(8), false).IsInternal());  // gap still fatal
+  // The sender was reset after contact (straggling reset round): a
+  // seq-1 restart re-baselines instead of failing the link.
+  EXPECT_TRUE(bus.DeliverWire(frame(1), false).ok());
+  EXPECT_TRUE(bus.DeliverWire(frame(2), false).ok());
+  EXPECT_TRUE(bus.DeliverWire(frame(4), false).IsInternal());
+}
+
 }  // namespace
 }  // namespace weaver

@@ -1,0 +1,344 @@
+// Tests for the standalone timeline-oracle service (weaver-oracled,
+// docs/oracle_service.md): the durable changelog (log-before-reply,
+// replay equivalence, snapshot + WAL recovery, torn-tail tolerance),
+// the batched RPC surface, and the client's retry/deadline contract.
+#include "oracle/oracle_service.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/bus.h"
+#include "oracle/oracle_client.h"
+#include "oracle/timeline_oracle.h"
+
+namespace weaver {
+namespace {
+
+namespace fs = std::filesystem;
+
+RefinableTimestamp Ts(std::initializer_list<std::uint64_t> counters,
+                      GatekeeperId gk, std::uint32_t epoch = 0) {
+  VectorClock c(epoch, std::vector<std::uint64_t>(counters));
+  return RefinableTimestamp(c, gk, c.Component(gk));
+}
+
+class OracleServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::path(::testing::TempDir()) /
+            ("oracled_" + std::string(
+                              ::testing::UnitTest::GetInstance()
+                                  ->current_test_info()
+                                  ->name()) +
+             "_" + std::to_string(::getpid())))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::unique_ptr<OracleService> Open(std::uint64_t snapshot_every = 0) {
+    OracleService::Options so;
+    so.data_dir = dir_;
+    so.snapshot_every_records = snapshot_every;
+    auto service = OracleService::Open(so);
+    EXPECT_TRUE(service.ok()) << service.status().ToString();
+    return service.ok() ? std::move(*service) : nullptr;
+  }
+
+  /// One kOrderPair op through the batched surface.
+  static ClockOrder OrderPair(OracleService* service,
+                              const RefinableTimestamp& a,
+                              const RefinableTimestamp& b,
+                              OrderPreference prefer) {
+    OracleRequestMessage req;
+    req.request_id = 1;
+    OracleOp op;
+    op.type = OracleOp::kOrderPair;
+    op.a = a;
+    op.b = b;
+    op.prefer = prefer == OrderPreference::kPreferFirst ? 0 : 1;
+    req.ops.push_back(op);
+    OracleReplyMessage reply;
+    service->Handle(req, &reply);
+    EXPECT_EQ(reply.decisions.size(), 1u);
+    EXPECT_TRUE(reply.decisions[0].status.ok())
+        << reply.decisions[0].status.ToString();
+    return static_cast<ClockOrder>(reply.decisions[0].order);
+  }
+
+  std::string dir_;
+};
+
+/// The core durability contract: a fresh Open() on the same directory
+/// rebuilds exactly the DAG the live service had -- every answered
+/// decision reads back identically, and the edge dumps agree.
+TEST_F(OracleServiceTest, ChangelogReplayEquivalentToLiveState) {
+  std::vector<std::pair<RefinableTimestamp, RefinableTimestamp>> pairs;
+  for (std::uint64_t i = 1; i <= 12; ++i) {
+    pairs.emplace_back(Ts({i, 0, 0}, 0), Ts({0, i, 0}, 1));
+    pairs.emplace_back(Ts({0, i, 0}, 1), Ts({0, 0, i}, 2));
+  }
+  std::vector<ClockOrder> decided;
+  std::uint64_t live_records = 0;
+  std::vector<std::pair<RefinableTimestamp, RefinableTimestamp>> live_edges;
+  {
+    auto service = Open();
+    ASSERT_NE(service, nullptr);
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      decided.push_back(OrderPair(service.get(), pairs[i].first,
+                                  pairs[i].second,
+                                  (i % 2) == 0
+                                      ? OrderPreference::kPreferFirst
+                                      : OrderPreference::kPreferSecond));
+    }
+    live_records = service->stats().changelog_records.load();
+    live_edges = service->oracle().DumpEdges();
+    EXPECT_GT(live_records, 0u);
+  }
+  auto reopened = Open();
+  ASSERT_NE(reopened, nullptr);
+  EXPECT_EQ(reopened->stats().replayed_records.load(), live_records);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(
+        reopened->oracle().QueryOrder(pairs[i].first, pairs[i].second),
+        decided[i])
+        << "decision " << i << " changed across replay";
+  }
+  // Same edge set (order-insensitive: the dump walks a hash map).
+  auto key = [](const std::pair<RefinableTimestamp, RefinableTimestamp>& e) {
+    return std::make_pair(e.first.event_id(), e.second.event_id());
+  };
+  std::vector<std::pair<EventId, EventId>> live_keys, replay_keys;
+  for (const auto& e : live_edges) live_keys.push_back(key(e));
+  for (const auto& e : reopened->oracle().DumpEdges()) {
+    replay_keys.push_back(key(e));
+  }
+  std::sort(live_keys.begin(), live_keys.end());
+  std::sort(replay_keys.begin(), replay_keys.end());
+  EXPECT_EQ(live_keys, replay_keys);
+}
+
+/// Snapshots mid-stream must not change what recovery rebuilds: the
+/// checkpoint + truncated WAL recover the same state as a pure replay.
+TEST_F(OracleServiceTest, SnapshotPlusWalMatchesPureReplay) {
+  std::vector<std::pair<RefinableTimestamp, RefinableTimestamp>> pairs;
+  for (std::uint64_t i = 1; i <= 20; ++i) {
+    pairs.emplace_back(Ts({i, 0}, 0), Ts({0, i}, 1));
+  }
+  std::vector<ClockOrder> decided;
+  {
+    auto service = Open(/*snapshot_every=*/4);
+    ASSERT_NE(service, nullptr);
+    for (const auto& [a, b] : pairs) {
+      decided.push_back(
+          OrderPair(service.get(), a, b, OrderPreference::kPreferFirst));
+    }
+    EXPECT_GE(service->stats().snapshots.load(), 1u);
+  }
+  auto reopened = Open(/*snapshot_every=*/4);
+  ASSERT_NE(reopened, nullptr);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(
+        reopened->oracle().QueryOrder(pairs[i].first, pairs[i].second),
+        decided[i]);
+  }
+}
+
+/// A crash can tear the last changelog record. Recovery must drop ONLY
+/// the torn tail and keep every record before it.
+TEST_F(OracleServiceTest, TornTailLosesOnlyTheLastRecord) {
+  std::vector<std::pair<RefinableTimestamp, RefinableTimestamp>> pairs;
+  for (std::uint64_t i = 1; i <= 6; ++i) {
+    pairs.emplace_back(Ts({i, 0}, 0), Ts({0, i}, 1));
+  }
+  {
+    auto service = Open();
+    ASSERT_NE(service, nullptr);
+    for (const auto& [a, b] : pairs) {
+      OrderPair(service.get(), a, b, OrderPreference::kPreferFirst);
+    }
+  }
+  // Tear the tail: chop bytes off the newest WAL segment
+  // (wal-<seq>.log; zero-padded, so lexicographic max == newest).
+  fs::path newest;
+  for (const auto& entry : fs::recursive_directory_iterator(dir_)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("wal-", 0) != 0) continue;
+    if (newest.empty() || name > newest.filename().string()) {
+      newest = entry.path();
+    }
+  }
+  ASSERT_FALSE(newest.empty()) << "no WAL segment found under " << dir_;
+  const auto size = fs::file_size(newest);
+  ASSERT_GT(size, 4u);
+  fs::resize_file(newest, size - 3);
+
+  auto reopened = Open();
+  ASSERT_NE(reopened, nullptr);
+  EXPECT_EQ(reopened->stats().replay_torn_tails.load(), 1u);
+  // Everything but the last decision survived.
+  for (std::size_t i = 0; i + 1 < pairs.size(); ++i) {
+    EXPECT_EQ(
+        reopened->oracle().QueryOrder(pairs[i].first, pairs[i].second),
+        ClockOrder::kBefore)
+        << "pre-tear decision " << i << " lost";
+  }
+}
+
+/// A rejected kAssignEdge (cycle) must never reach the changelog:
+/// otherwise replay would poison the rebuilt DAG with an edge the live
+/// service refused.
+TEST_F(OracleServiceTest, RejectedEdgeNotLoggedNotReplayed) {
+  const auto a = Ts({1, 0}, 0);
+  const auto b = Ts({0, 1}, 1);
+  std::uint64_t records = 0;
+  {
+    auto service = Open();
+    ASSERT_NE(service, nullptr);
+    OrderPair(service.get(), a, b, OrderPreference::kPreferFirst);  // a < b
+    records = service->stats().changelog_records.load();
+    OracleRequestMessage req;
+    req.request_id = 2;
+    OracleOp op;
+    op.type = OracleOp::kAssignEdge;
+    op.a = b;  // b -> a would close a cycle
+    op.b = a;
+    req.ops.push_back(op);
+    OracleReplyMessage reply;
+    service->Handle(req, &reply);
+    ASSERT_EQ(reply.decisions.size(), 1u);
+    EXPECT_TRUE(reply.decisions[0].status.IsFailedPrecondition());
+    EXPECT_EQ(service->stats().changelog_records.load(), records)
+        << "rejected edge was logged";
+  }
+  auto reopened = Open();
+  ASSERT_NE(reopened, nullptr);
+  EXPECT_EQ(reopened->oracle().QueryOrder(a, b), ClockOrder::kBefore);
+}
+
+/// kCollect is a logged mutation: replay must re-run the GC, not
+/// resurrect collected events.
+TEST_F(OracleServiceTest, CollectIsReplayed) {
+  {
+    auto service = Open();
+    ASSERT_NE(service, nullptr);
+    OrderPair(service.get(), Ts({1, 0}, 0), Ts({0, 1}, 1),
+              OrderPreference::kPreferFirst);
+    OracleRequestMessage req;
+    req.request_id = 3;
+    OracleOp op;
+    op.type = OracleOp::kCollect;
+    op.watermark = VectorClock(0, {5, 5});
+    req.ops.push_back(op);
+    OracleReplyMessage reply;
+    service->Handle(req, &reply);
+    EXPECT_EQ(service->oracle().LiveEvents(), 0u);
+  }
+  auto reopened = Open();
+  ASSERT_NE(reopened, nullptr);
+  EXPECT_EQ(reopened->oracle().LiveEvents(), 0u)
+      << "replay resurrected collected events";
+}
+
+/// The client-service RPC loop over a real bus (inline handlers): a
+/// remote-mode OracleClient resolves through the service, caches the
+/// decision in its replica, and Sync() bulk-loads the edge dump.
+TEST(OracleClientRpcTest, ResolvesThroughServiceAndSyncs) {
+  OracleService::Options so;  // no data_dir: in-memory service
+  auto service = OracleService::Open(so);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+
+  MessageBus bus;
+  OracleClient* client_ptr = nullptr;
+  const EndpointId service_ep = bus.RegisterHandler(
+      "oracled", [&](const BusMessage& msg) {
+        if (msg.payload_tag != kMsgOracleRequest) return;
+        auto req = std::static_pointer_cast<OracleRequestMessage>(msg.payload);
+        auto reply = std::make_shared<OracleReplyMessage>();
+        (*service)->Handle(*req, reply.get());
+        (void)bus.Send(msg.dst, req->reply_to, kMsgOracleReply,
+                       std::move(reply), /*never_block=*/true);
+      });
+  const EndpointId client_ep = bus.RegisterHandler(
+      "client", [&](const BusMessage& msg) {
+        if (msg.payload_tag != kMsgOracleReply || client_ptr == nullptr) {
+          return;
+        }
+        client_ptr->OnReply(
+            *std::static_pointer_cast<OracleReplyMessage>(msg.payload));
+      });
+
+  OracleClient::Options co;
+  co.bus = &bus;
+  co.self = client_ep;
+  co.service = service_ep;
+  OracleClient client(co);
+  client_ptr = &client;
+
+  const auto a = Ts({1, 0}, 0);
+  const auto b = Ts({0, 1}, 1);
+  auto order = client.OrderPair(a, b, OrderPreference::kPreferFirst);
+  ASSERT_TRUE(order.ok()) << order.status().ToString();
+  EXPECT_EQ(*order, ClockOrder::kBefore);
+  EXPECT_EQ(client.stats().rpcs.load(), 1u);
+
+  // Second ask: answered from the replica, no RPC.
+  auto again = client.OrderPair(a, b, OrderPreference::kPreferFirst);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, ClockOrder::kBefore);
+  EXPECT_EQ(client.stats().rpcs.load(), 1u);
+  EXPECT_EQ(client.stats().local_hits.load(), 1u);
+
+  // A cold client Syncs the full edge dump.
+  OracleClient cold(co);
+  client_ptr = &cold;
+  ASSERT_TRUE(cold.Sync().ok());
+  EXPECT_GE(cold.stats().sync_edges_applied.load(), 1u);
+  EXPECT_EQ(cold.QueryOrder(a, b), ClockOrder::kBefore);
+}
+
+/// No service behind the endpoint: the client retries with backoff and
+/// surfaces Unavailable once the total deadline passes -- the retriable
+/// error shards hand to programs mid-failover.
+TEST(OracleClientRpcTest, DeadlineSurfacesUnavailable) {
+  MessageBus bus;
+  // A black hole: requests are delivered and dropped, replies never come.
+  const EndpointId service_ep =
+      bus.RegisterHandler("blackhole", [](const BusMessage&) {});
+  OracleClient* client_ptr = nullptr;
+  const EndpointId client_ep =
+      bus.RegisterHandler("client", [&](const BusMessage& msg) {
+        if (client_ptr != nullptr && msg.payload_tag == kMsgOracleReply) {
+          client_ptr->OnReply(
+              *std::static_pointer_cast<OracleReplyMessage>(msg.payload));
+        }
+      });
+  OracleClient::Options co;
+  co.bus = &bus;
+  co.self = client_ep;
+  co.service = service_ep;
+  co.rpc_timeout_micros = 2'000;
+  co.total_deadline_micros = 20'000;
+  co.backoff_initial_micros = 500;
+  OracleClient client(co);
+  client_ptr = &client;
+
+  auto order = client.OrderPair(Ts({1, 0}, 0), Ts({0, 1}, 1),
+                                OrderPreference::kPreferFirst);
+  ASSERT_FALSE(order.ok());
+  EXPECT_TRUE(order.status().IsUnavailable()) << order.status().ToString();
+  EXPECT_GE(client.stats().retries.load(), 1u);
+  EXPECT_EQ(client.stats().unavailable.load(), 1u);
+}
+
+}  // namespace
+}  // namespace weaver

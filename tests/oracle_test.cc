@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <map>
 #include <thread>
 #include <vector>
@@ -265,6 +266,72 @@ TEST(OracleConcurrencyTest, ParallelOrderPairsStayCoherent) {
       if (a.event_id() == b.event_id()) continue;
       EXPECT_EQ(oracle.QueryOrder(a, b),
                 FlipOrder(oracle.QueryOrder(b, a)));
+    }
+  }
+}
+
+TEST(OracleConcurrencyTest, CollectBeforeRacesConcurrentAcquires) {
+  // Watermark GC racing OrderPair/QueryOrder acquires: decisions among
+  // events ABOVE every watermark must never flip or vanish, no matter
+  // how the collector interleaves with the acquirers (the GC cadence the
+  // deployment runs against weaver-oracled).
+  TimelineOracle oracle;
+  // High band: survives every watermark used below.
+  std::vector<RefinableTimestamp> high;
+  for (int i = 0; i < 6; ++i) {
+    std::vector<std::uint64_t> c(6, 0);
+    c[static_cast<std::size_t>(i)] = 1'000'000;
+    high.push_back(RefinableTimestamp(VectorClock(0, c),
+                                      static_cast<GatekeeperId>(i),
+                                      1'000'000));
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<bool> flipped{false};
+  std::vector<std::thread> threads;
+  // Acquirers: a churn band of short-lived concurrent events (collected
+  // continuously) plus orders among the high band (never collected).
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(100 + t);
+      std::map<std::pair<EventId, EventId>, ClockOrder> seen;
+      for (std::uint64_t i = 1; !stop.load(std::memory_order_relaxed); ++i) {
+        std::vector<std::uint64_t> ca(6, 0), cb(6, 0);
+        ca[0] = i * 3 + static_cast<std::uint64_t>(t);
+        cb[1] = i * 3 + static_cast<std::uint64_t>(t);
+        const RefinableTimestamp a(VectorClock(0, ca), 0, ca[0]);
+        const RefinableTimestamp b(VectorClock(0, cb), 1, cb[1]);
+        oracle.OrderPair(a, b, OrderPreference::kPreferFirst);
+        const auto& ha = high[rng.Uniform(high.size())];
+        const auto& hb = high[rng.Uniform(high.size())];
+        if (ha.event_id() == hb.event_id()) continue;
+        const ClockOrder o =
+            oracle.OrderPair(ha, hb, OrderPreference::kPreferFirst);
+        const auto key = std::make_pair(ha.event_id(), hb.event_id());
+        auto it = seen.find(key);
+        if (it != seen.end() && it->second != o) flipped.store(true);
+        seen[key] = o;
+        seen[{key.second, key.first}] = FlipOrder(o);
+      }
+    });
+  }
+  // Collector: advancing watermark sweeps the churn band, never the
+  // high band.
+  threads.emplace_back([&] {
+    for (int round = 0; round < 200; ++round) {
+      const std::uint64_t w = static_cast<std::uint64_t>(round + 1) * 50;
+      oracle.CollectBefore(VectorClock(0, {w, w, w, w, w, w}));
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    stop.store(true);
+  });
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(flipped.load()) << "GC flipped a decision above the watermark";
+  EXPECT_GT(oracle.stats().events_collected.load(), 0u);
+  // Survivor coherence after the dust settles.
+  for (const auto& a : high) {
+    for (const auto& b : high) {
+      if (a.event_id() == b.event_id()) continue;
+      EXPECT_EQ(oracle.QueryOrder(a, b), FlipOrder(oracle.QueryOrder(b, a)));
     }
   }
 }

@@ -15,10 +15,12 @@
 #include <gtest/gtest.h>
 
 #include <signal.h>
+#include <stdlib.h>
 #include <sys/types.h>
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <memory>
 #include <random>
 #include <string>
@@ -31,7 +33,9 @@
 #include "coord/serverd.h"
 #include "core/weaver.h"
 #include "net/fault_injector.h"
+#include "oracle/oracle_client.h"
 #include "programs/standard_programs.h"
+#include "vclock/vclock.h"
 
 #if defined(__has_feature)
 #if __has_feature(thread_sanitizer)
@@ -332,6 +336,136 @@ TEST(ProcessRecovery, DroppedLinkRecoversThroughInjectorSeam) {
   }
   EXPECT_TRUE(serverd::WaitShardServers(*children).ok());
   EXPECT_TRUE(serverd::WaitShardServers(*spares).ok());
+}
+
+/// Synthetic concurrent timestamps in an epoch far above any watermark
+/// the deployment can reach, so the oracle never GC-collects them.
+RefinableTimestamp HighEpochTs(std::uint64_t counter, GatekeeperId gk) {
+  std::vector<std::uint64_t> counters(kGatekeepers, 0);
+  counters[gk] = counter;
+  VectorClock clock(/*epoch=*/1'000'000, std::move(counters));
+  return RefinableTimestamp(clock, gk, counter);
+}
+
+/// Polls until shard `shard`'s own metrics report shows at least `want`
+/// oracle edges applied via Sync (the rehydration path).
+bool AwaitSyncedEdges(Weaver* db, ShardId shard, std::uint64_t want,
+                      std::chrono::seconds deadline) {
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  while (std::chrono::steady_clock::now() < until) {
+    auto cluster = db->CollectMetrics(/*timeout_micros=*/500'000);
+    if (cluster.ok()) {
+      for (const auto& report : cluster->remote) {
+        if (report.shard == shard &&
+            report.snapshot.CounterValue("oracle.client.sync_edges_applied") >=
+                want) {
+          return true;
+        }
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return false;
+}
+
+/// PR 7 gap, closed: with weaver-oracled running, a respawned shard
+/// rehydrates its oracle replica from the service (Sync) before serving,
+/// so timeline refinements established before its crash are visible to
+/// it after REJOIN without one RPC per pair.
+TEST(ProcessRecovery, RespawnedShardRehydratesOracleView) {
+  constexpr std::uint64_t kPairs = 8;
+  serverd::ShardServerOptions so;
+  so.num_shards = kShards;
+  so.num_gatekeepers = kGatekeepers;
+  so.remote_oracle = true;
+  std::string oracle_dir;
+  {
+    std::string templ =
+        (std::filesystem::temp_directory_path() / "weaver_rehydrate_XXXXXX")
+            .string();
+    char* dir = ::mkdtemp(templ.data());
+    ASSERT_NE(dir, nullptr);
+    oracle_dir = dir;
+  }
+  so.oracle_data_dir = oracle_dir;
+  auto children = serverd::SpawnShardServers(so);
+  ASSERT_TRUE(children.ok()) << children.status().ToString();
+  auto oracled = serverd::SpawnOracleServer(so);
+  ASSERT_TRUE(oracled.ok()) << oracled.status().ToString();
+  auto spares = serverd::SpawnSpareServers(so, /*count=*/1);
+  ASSERT_TRUE(spares.ok()) << spares.status().ToString();
+  {
+    WeaverOptions o = DeploymentOptions();
+    o.supervision.enabled = true;
+    o.supervision.poll_period_micros = 5'000;
+    o.oracle_service.enabled = true;
+    o.oracle_service.pid = oracled->pid;
+    o.oracle_service.fd = oracled->parent_fd;
+    for (const auto& child : *children) {
+      o.remote_shard_fds.push_back(child.parent_fd);
+      o.supervision.shard_pids.push_back(child.pid);
+    }
+    for (const auto& spare : *spares) {
+      o.supervision.spare_pids.push_back(spare.pid);
+      o.supervision.spare_fds.push_back(spare.parent_fd);
+    }
+    auto db = Weaver::Open(o);
+    ASSERT_NE(db, nullptr);
+
+    // Refinements established BEFORE the crash, through the service (and
+    // its changelog).
+    std::vector<std::pair<RefinableTimestamp, RefinableTimestamp>> pairs;
+    std::vector<ClockOrder> decided;
+    for (std::uint64_t i = 1; i <= kPairs; ++i) {
+      const auto a = HighEpochTs(i, 0);
+      const auto b = HighEpochTs(i, 1);
+      auto order =
+          db->oracle_client().OrderPair(a, b, OrderPreference::kPreferFirst);
+      ASSERT_TRUE(order.ok()) << order.status().ToString();
+      pairs.emplace_back(a, b);
+      decided.push_back(*order);
+    }
+
+    const std::vector<NodeId> nodes = BuildGraph(db.get());
+    ASSERT_EQ(::kill((*children)[0].pid, SIGKILL), 0);
+    const std::vector<NodeId> outage = ApplyOutageWrites(db.get(), nodes);
+    ASSERT_TRUE(AwaitRecoveries(db.get(), 1, std::chrono::seconds(30)))
+        << "supervisor never reported the recovery";
+
+    // The respawn Sync'd the oracle's edge dump into its local replica:
+    // every pre-crash refinement is locally answerable on shard 0.
+    EXPECT_TRUE(
+        AwaitSyncedEdges(db.get(), 0, kPairs, std::chrono::seconds(20)))
+        << "respawned shard never reported rehydrated oracle edges";
+
+    // And the decisions themselves read back un-inverted through the
+    // service (parent replica wiped first so the queries cannot be
+    // answered from a warm local cache).
+    db->oracle_client().CollectBefore(VectorClock(
+        1'000'001, std::vector<std::uint64_t>(kGatekeepers, 1)));
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      auto again = db->oracle_client().OrderPair(
+          pairs[i].second, pairs[i].first, OrderPreference::kPreferFirst);
+      ASSERT_TRUE(again.ok()) << again.status().ToString();
+      EXPECT_EQ(*again, FlipOrder(decided[i])) << "order inverted at " << i;
+    }
+
+    // The healed deployment still answers traversals.
+    WeaverClient client(db.get());
+    auto session = client.OpenSession();
+    programs::BfsParams params;
+    auto r = RunWithRetry(session.get(), programs::kBfs, nodes[0],
+                          params.Encode());
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->returns.size(),
+              static_cast<std::size_t>(kVertices + kOutageWrites));
+    db->Shutdown();
+  }
+  EXPECT_TRUE(serverd::WaitShardServers(*children).ok());
+  EXPECT_TRUE(serverd::WaitShardServers({*oracled}).ok());
+  EXPECT_TRUE(serverd::WaitShardServers(*spares).ok());
+  std::error_code ec;
+  std::filesystem::remove_all(oracle_dir, ec);
 }
 
 #endif  // !WEAVER_TSAN

@@ -252,6 +252,67 @@ TEST(WireCodec, ShardRecoveryMessagesRoundtrip) {
   ExpectRoundtrip(replay);
 }
 
+TEST(WireCodec, OracleMessagesRoundtrip) {
+  OracleRequestMessage req;
+  req.request_id = 61;
+  req.reply_to = 12;
+  OracleOp order;
+  order.type = OracleOp::kOrderPair;
+  order.a = MakeTs(1, 0, {4, 1}, 4);
+  order.b = MakeTs(1, 1, {1, 3}, 3);
+  order.prefer = 1;
+  OracleOp assign;
+  assign.type = OracleOp::kAssignEdge;
+  assign.a = MakeTs(1, 0, {5, 1}, 5);
+  assign.b = MakeTs(1, 1, {1, 6}, 6);
+  OracleOp collect;
+  collect.type = OracleOp::kCollect;
+  collect.watermark = VectorClock(1, {3, 3});
+  OracleOp sync;
+  sync.type = OracleOp::kSync;
+  req.ops.push_back(order);
+  req.ops.push_back(assign);
+  req.ops.push_back(collect);
+  req.ops.push_back(sync);
+  ExpectRoundtrip(req);
+
+  OracleRequestMessage empty_req;  // all defaults
+  ExpectRoundtrip(empty_req);
+
+  OracleReplyMessage rep;
+  rep.request_id = 61;
+  rep.status = Status::Ok();
+  OracleDecision d1;
+  d1.order = 2;  // ClockOrder::kAfter
+  OracleDecision d2;
+  d2.status = Status::FailedPrecondition("would create a cycle");
+  rep.decisions.push_back(d1);
+  rep.decisions.push_back(d2);
+  rep.edges.emplace_back(MakeTs(1, 0, {4, 1}, 4), MakeTs(1, 1, {1, 3}, 3));
+  ExpectRoundtrip(rep);
+
+  OracleReplyMessage unavailable;
+  unavailable.request_id = 62;
+  unavailable.status = Status::Unavailable("oracle restarting");
+  ExpectRoundtrip(unavailable);
+}
+
+TEST(WireCodec, OracleDecodersRejectBadEnums) {
+  OracleRequestMessage req;
+  OracleOp op;
+  op.type = OracleOp::kOrderPair;
+  req.ops.push_back(op);
+  wire::Writer w;
+  Encode(req, &w);
+  std::string bytes = w.Take();
+  // The op type byte follows request_id (1 byte) + reply_to (1 byte) +
+  // count (1 byte) for these small values.
+  bytes[3] = static_cast<char>(OracleOp::kSync + 1);
+  OracleRequestMessage victim;
+  wire::Reader r(bytes);
+  EXPECT_FALSE(Decode(&r, &victim).ok());
+}
+
 TEST(WireCodec, PayloadCodecCoversEveryTag) {
   // Every schema tag must encode and decode through the type-erased
   // layer; unknown tags must be rejected.
@@ -261,7 +322,8 @@ TEST(WireCodec, PayloadCodecCoversEveryTag) {
       kMsgClientCommit, kMsgClientProgram, kMsgWaveAccounting,
       kMsgClientCommitReply, kMsgClientProgramReply,
       kMsgMetricsRequest, kMsgMetricsReport, kMsgShardReset,
-      kMsgShardResetAck, kMsgPartitionReplay};
+      kMsgShardResetAck, kMsgPartitionReplay,
+      kMsgOracleRequest, kMsgOracleReply};
   for (const std::uint32_t tag : tags) {
     auto fresh = DecodePayload(tag, [&] {
       // Encode a default-constructed message of the tag's schema first.
@@ -306,6 +368,12 @@ TEST(WireCodec, PayloadCodecCoversEveryTag) {
           break;
         case kMsgPartitionReplay:
           blank = std::make_shared<PartitionReplayMessage>();
+          break;
+        case kMsgOracleRequest:
+          blank = std::make_shared<OracleRequestMessage>();
+          break;
+        case kMsgOracleReply:
+          blank = std::make_shared<OracleReplyMessage>();
           break;
       }
       auto encoded = EncodePayload(tag, blank);
