@@ -62,11 +62,15 @@ Session::Session(Weaver* db, GatekeeperId gk, std::uint64_t name_hint)
         }
         router->OnMessage(msg);
       });
-  gk_client_ep_ = db_->gatekeeper(gk_).client_endpoint();
+  gk_client_ep_ = db_->GatekeeperClientEndpoint(gk_);
   // Endpoint ids are unique per deployment, which makes them convenient
   // globally-unique lane keys (Weaver's internal blocking wrappers use a
   // disjoint high-bit id space).
   id_ = endpoint_;
+  // Let the deployment fail this session's in-flight calls if the pinned
+  // gatekeeper is an out-of-parent process and crashes -- the requests
+  // die with it, and Wait() must see Unavailable, not hang.
+  router_registration_ = db_->RegisterSessionRouter(gk_, router_);
 }
 
 Session::~Session() {
@@ -76,6 +80,7 @@ Session::~Session() {
   // state stay behind -- the bus has no id reuse -- but they are a few
   // bytes per session, not a queue.)
   db_->bus().Detach(endpoint_);
+  db_->UnregisterSessionRouter(router_registration_);
   router_->FailAll(Status::Unavailable("session closed"));
 }
 

@@ -149,6 +149,9 @@ class Session {
   /// Correlates replies with Pending handles. Shared with the bus
   /// handler, which can outlive a destructing session by a beat.
   std::shared_ptr<ReplyRouter> router_;
+  /// Registration in the deployment's session-router table (crash
+  /// fencing: Weaver::FailSessionCalls); released in the destructor.
+  std::uint64_t router_registration_ = 0;
 
   /// State the reply handler writes; shared for the same lifetime reason
   /// as the router (the handler must never touch `this`).

@@ -1,0 +1,144 @@
+// Cluster bootstrap: the coordinator-side TCP listener that admits
+// standalone weaver-serverd processes into a deployment, plus the
+// fork+exec spawner that launches them
+// (docs/transport.md#cluster-bootstrap).
+//
+// The coordinator opens slots -- (role, shard id) pairs it wants filled,
+// each carrying the RoleAssign configuration the joiner will receive --
+// and then accepts joins. Every inbound connection runs the versioned
+// handshake (cluster/handshake.h) against the slot registry:
+//
+//   * codec-version mismatch        -> refused, InvalidArgument
+//   * wrong join token              -> refused, Aborted
+//   * stale expected epoch          -> refused (fenced), FailedPrecondition
+//   * slot already live (dup shard) -> refused, AlreadyExists
+//   * no such open slot             -> refused, NotFound
+//
+// A refused or half-finished joiner is closed and the accept loop
+// continues; no listener state outlives the connection (a mid-handshake
+// disconnect leaves the slot open for the next attempt). An accepted
+// joiner's socket is returned raw, ready for SocketTransport::Adopt on
+// the bus -- the listener never owns live-cluster traffic.
+//
+// Unlike the fork-based SpawnShardServers path (coord/serverd.h), an
+// exec'd serverd inherits NOTHING: SpawnServerd closes every descriptor
+// above stderr between fork and exec, and the child connects its own
+// socket after exec. That is what lets the supervisor respawn crashed
+// processes on demand instead of consuming a pre-forked spare pool, and
+// what lets an operator start servers from a shell.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <sys/types.h>
+
+#include "cluster/handshake.h"
+#include "common/annotations.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/sync.h"
+#include "core/messages.h"
+
+namespace weaver {
+namespace cluster {
+
+/// One admitted process: the connected socket (caller owns the fd) and
+/// what the handshake established about the peer.
+struct JoinedProcess {
+  int fd = -1;
+  std::uint64_t pid = 0;
+  NodeRole role = NodeRole::kSpare;
+  std::uint32_t shard_id = 0;
+};
+
+class ClusterListener {
+ public:
+  struct Options {
+    /// 0 = pick any free loopback port (read it back via port()).
+    std::uint16_t port = 0;
+    /// Shared secret joiners must echo. Empty = any token accepted.
+    std::string token;
+    /// Epoch advertised in acks and used to fence stale joiners.
+    std::uint32_t cluster_epoch = 1;
+    /// Per-frame deadline inside one connection's handshake.
+    std::uint64_t handshake_timeout_micros = 2'000'000;
+    /// How long one AcceptJoin() call waits for a valid joiner.
+    std::uint64_t accept_timeout_micros = 30'000'000;
+  };
+
+  /// Counters over the listener's lifetime (test + log visibility).
+  struct Stats {
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected_version = 0;
+    std::uint64_t rejected_token = 0;
+    std::uint64_t rejected_epoch = 0;
+    std::uint64_t rejected_duplicate = 0;
+    std::uint64_t rejected_no_slot = 0;
+    std::uint64_t handshake_failures = 0;  // disconnects, timeouts, garbage
+  };
+
+  static Result<std::unique_ptr<ClusterListener>> Open(Options options);
+  ~ClusterListener();
+  ClusterListener(const ClusterListener&) = delete;
+  ClusterListener& operator=(const ClusterListener&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Keeps the advertised/fencing epoch current as recoveries bump it.
+  void set_cluster_epoch(std::uint32_t epoch);
+
+  /// Opens a slot: a joiner asking for (role, shard_id) -- or wildcarding
+  /// the shard id within the role -- will be admitted and sent
+  /// `assignment` (its role/shard_id/cluster_epoch fields are stamped at
+  /// accept time). FailedPrecondition if the slot is open or live.
+  Status OpenSlot(NodeRole role, std::uint32_t shard_id,
+                  RoleAssignMessage assignment);
+
+  /// Accepts connections until one passes the handshake for an open slot,
+  /// then marks that slot live and returns the socket. Refused joiners
+  /// are answered + closed and the loop continues. DeadlineExceeded when
+  /// accept_timeout_micros elapses with no valid joiner.
+  Result<JoinedProcess> AcceptJoin();
+
+  /// Marks a live slot dead (the process was fenced/killed); the slot is
+  /// removed entirely -- re-open it with OpenSlot before respawning.
+  void ReleaseRole(NodeRole role, std::uint32_t shard_id);
+
+  Stats stats() const;
+
+ private:
+  explicit ClusterListener(Options options) : options_(std::move(options)) {}
+
+  struct Slot {
+    bool live = false;
+    RoleAssignMessage assignment;
+  };
+
+  /// Runs the handshake on one accepted connection. Returns true when a
+  /// slot was filled (out filled in); false = refused/failed, fd closed,
+  /// caller keeps accepting.
+  bool HandshakeOne(int fd, JoinedProcess* out);
+
+  Options options_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+
+  mutable Mutex mu_;
+  std::uint32_t cluster_epoch_ GUARDED_BY(mu_) = 1;
+  std::map<std::pair<std::uint8_t, std::uint32_t>, Slot> slots_
+      GUARDED_BY(mu_);
+  Stats stats_ GUARDED_BY(mu_);
+};
+
+/// fork+execs `binary --join=127.0.0.1:<port> --token=<token>
+/// --role=<role> --shard=<shard_id>`; every fd above stderr is closed in
+/// the child before exec, so the serverd starts with no inherited
+/// descriptors. Only async-signal-safe calls run between fork and exec.
+Result<pid_t> SpawnServerd(const std::string& binary, std::uint16_t port,
+                           const std::string& token, NodeRole role,
+                           std::uint32_t shard_id);
+
+}  // namespace cluster
+}  // namespace weaver

@@ -1,0 +1,244 @@
+#include "cluster/handshake.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "core/message_codec.h"
+#include "net/wire.h"
+
+namespace weaver {
+namespace cluster {
+
+namespace {
+
+std::uint64_t NowMicros() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Status SendHandshakeFrame(int fd, std::uint32_t tag,
+                          const std::string& payload) {
+  wire::FrameHeader header;
+  header.tag = tag;
+  const std::string frame = wire::EncodeFrame(header, payload);
+  const char* p = frame.data();
+  std::size_t left = frame.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("handshake write: ") +
+                                 std::strerror(errno));
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+/// Blocking read of exactly `n` bytes with a poll() deadline.
+Status ReadExact(int fd, char* buf, std::size_t n, std::uint64_t deadline) {
+  std::size_t got = 0;
+  while (got < n) {
+    const std::uint64_t now = NowMicros();
+    if (now >= deadline) {
+      return Status::DeadlineExceeded("handshake frame timed out");
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int timeout_ms = static_cast<int>((deadline - now + 999) / 1000);
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("handshake poll: ") +
+                                 std::strerror(errno));
+    }
+    if (rc == 0) {
+      return Status::DeadlineExceeded("handshake frame timed out");
+    }
+    const ssize_t r = ::read(fd, buf + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("handshake read: ") +
+                                 std::strerror(errno));
+    }
+    if (r == 0) {
+      return Status::Unavailable("peer closed mid-handshake");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return Status::Ok();
+}
+
+std::uint32_t LoadU32Le(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint32_t>(b[0]) |
+         (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+}  // namespace
+
+Status ReadHandshakeFrame(int fd, std::uint32_t* tag, std::string* payload,
+                          std::uint64_t timeout_micros) {
+  // Read EXACTLY one frame -- header, then payload_size bytes -- so back-
+  // to-back frames (JoinAck immediately followed by RoleAssign in one TCP
+  // segment) leave the second frame's bytes in the socket for the next
+  // call. A bulk-read-into-parser loop here would swallow and discard
+  // them.
+  const std::uint64_t deadline = NowMicros() + timeout_micros;
+  char header_buf[wire::kHeaderSize];
+  WEAVER_RETURN_IF_ERROR(
+      ReadExact(fd, header_buf, wire::kHeaderSize, deadline));
+  if (LoadU32Le(header_buf) != wire::kFrameMagic) {
+    return Status::InvalidArgument("handshake frame: bad magic");
+  }
+  // payload_size sits at a fixed offset (wire.h field order); validate it
+  // before trusting it as a read length.
+  constexpr std::size_t kLenOffset =
+      /*magic*/ 4 + /*version*/ 1 + /*tag*/ 4 + /*src*/ 4 + /*dst*/ 4 +
+      /*seq*/ 8;
+  const std::uint32_t payload_size = LoadU32Le(header_buf + kLenOffset);
+  if (payload_size > wire::kMaxFramePayload) {
+    return Status::InvalidArgument("handshake frame: oversized payload");
+  }
+  std::string body(payload_size, '\0');
+  if (payload_size > 0) {
+    WEAVER_RETURN_IF_ERROR(
+        ReadExact(fd, body.data(), payload_size, deadline));
+  }
+  // Run the assembled bytes through the shared parser so version and CRC
+  // checks stay in one place.
+  wire::FrameParser parser;
+  parser.Feed(header_buf, wire::kHeaderSize);
+  if (payload_size > 0) parser.Feed(body.data(), payload_size);
+  wire::FrameHeader header;
+  bool ready = false;
+  WEAVER_RETURN_IF_ERROR(parser.Next(&header, payload, &ready));
+  if (!ready) {
+    return Status::Internal("handshake frame: parser rejected full frame");
+  }
+  *tag = header.tag;
+  return Status::Ok();
+}
+
+namespace {
+
+template <typename M>
+Status SendHandshakeMessage(int fd, std::uint32_t tag, const M& m) {
+  wire::Writer w;
+  Encode(m, &w);
+  return SendHandshakeFrame(fd, tag, w.str());
+}
+
+template <typename M>
+Status ReadHandshakeMessage(int fd, std::uint32_t want_tag, M* m,
+                            std::uint64_t timeout_micros) {
+  std::uint32_t tag = 0;
+  std::string payload;
+  WEAVER_RETURN_IF_ERROR(
+      ReadHandshakeFrame(fd, &tag, &payload, timeout_micros));
+  if (tag != want_tag) {
+    return Status::InvalidArgument(
+        "unexpected handshake frame: got tag " + std::to_string(tag) +
+        ", want " + std::to_string(want_tag));
+  }
+  wire::Reader r(payload);
+  return Decode(&r, m);
+}
+
+}  // namespace
+
+Status SendJoinRequest(int fd, const JoinRequestMessage& m) {
+  return SendHandshakeMessage(fd, kMsgJoinRequest, m);
+}
+
+Status SendJoinAck(int fd, const JoinAckMessage& m) {
+  return SendHandshakeMessage(fd, kMsgJoinAck, m);
+}
+
+Status SendRoleAssign(int fd, const RoleAssignMessage& m) {
+  return SendHandshakeMessage(fd, kMsgRoleAssign, m);
+}
+
+Result<JoinOutcome> JoinCluster(std::uint16_t port,
+                                const JoinRequestMessage& request,
+                                std::uint64_t timeout_micros) {
+  // Connect by hand (not via SocketTransport::ConnectLoopback): the
+  // handshake needs the raw fd before any transport owns it -- a
+  // transport's Stop()/destructor would shutdown() the socket.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Unavailable(std::string("socket: ") +
+                               std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status st =
+        Status::Unavailable(std::string("connect: ") + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  Status st = SendJoinRequest(fd, request);
+  JoinAckMessage ack;
+  if (st.ok()) {
+    st = ReadHandshakeMessage(fd, kMsgJoinAck, &ack, timeout_micros);
+  }
+  if (st.ok() && !ack.status.ok()) st = ack.status;
+  JoinOutcome out;
+  if (st.ok()) {
+    st = ReadHandshakeMessage(fd, kMsgRoleAssign, &out.assignment,
+                              timeout_micros);
+  }
+  if (!st.ok()) {
+    ::close(fd);
+    return st;
+  }
+  out.fd = fd;
+  return out;
+}
+
+const char* RoleName(NodeRole role) {
+  switch (role) {
+    case NodeRole::kShard:
+      return "shard";
+    case NodeRole::kOracle:
+      return "oracle";
+    case NodeRole::kGatekeeper:
+      return "gatekeeper";
+    case NodeRole::kSpare:
+      return "spare";
+  }
+  return "unknown";
+}
+
+Result<NodeRole> ParseRole(const std::string& name) {
+  if (name == "shard") return NodeRole::kShard;
+  if (name == "oracle") return NodeRole::kOracle;
+  if (name == "gatekeeper") return NodeRole::kGatekeeper;
+  if (name == "spare") return NodeRole::kSpare;
+  return Status::InvalidArgument("unknown role: " + name);
+}
+
+}  // namespace cluster
+}  // namespace weaver

@@ -1,0 +1,74 @@
+// Cluster join handshake: the three-message negotiation a standalone
+// weaver-serverd process runs against a coordinator's ClusterListener
+// before it becomes a shard, oracle, gatekeeper, or spare
+// (docs/transport.md#cluster-bootstrap).
+//
+//     joiner                         coordinator
+//       | -- JoinRequest ----------------> |   codec version, expected
+//       |                                  |   epoch, role + shard wanted,
+//       |                                  |   join token, pid
+//       | <-- JoinAck -------------------- |   OK, or a refusal status
+//       | <-- RoleAssign ----------------- |   role, shard id, epoch, and
+//       |                                  |   the full server config
+//       |        (socket adopted into a SocketTransport on both sides)
+//
+// The messages are ordinary CRC-sealed wire frames (net/wire.h) with
+// their schemas in core/messages.h, but they travel DIRECTLY on the raw
+// connected socket -- no MessageBus, no channel sequence numbers
+// (src/dst/seq are zero) -- because the handshake is precisely the step
+// that decides whether this socket gets adopted into a bus at all. The
+// helpers here do the raw-fd frame IO with poll() deadlines so a stalled
+// or malicious peer cannot wedge either side.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/messages.h"
+
+namespace weaver {
+namespace cluster {
+
+/// Writes one handshake frame (header src/dst/seq all zero) directly to
+/// `fd`, blocking until fully written.
+Status SendHandshakeFrame(int fd, std::uint32_t tag,
+                          const std::string& payload);
+
+/// Reads exactly one frame from `fd`, enforcing `timeout_micros` across
+/// the whole read. Returns the tag + payload bytes; DeadlineExceeded on
+/// timeout, Unavailable on EOF, InvalidArgument on a corrupt stream.
+Status ReadHandshakeFrame(int fd, std::uint32_t* tag, std::string* payload,
+                          std::uint64_t timeout_micros);
+
+/// Encode-and-send / read-and-decode conveniences for the three schemas.
+Status SendJoinRequest(int fd, const JoinRequestMessage& m);
+Status SendJoinAck(int fd, const JoinAckMessage& m);
+Status SendRoleAssign(int fd, const RoleAssignMessage& m);
+
+/// What a successful client-side handshake yields: the connected socket
+/// (caller owns the fd; pass it to SocketTransport::Adopt or a server
+/// entry point) plus the coordinator's assignment.
+struct JoinOutcome {
+  int fd = -1;
+  RoleAssignMessage assignment;
+};
+
+/// Client side of the handshake: connects to the coordinator's listener
+/// on loopback `port`, sends `request`, and waits for the verdict. A
+/// refusal closes the socket and returns the coordinator's status
+/// verbatim (so "codec version mismatch" or "stale cluster epoch" reach
+/// the joiner's stderr unmangled).
+Result<JoinOutcome> JoinCluster(std::uint16_t port,
+                                const JoinRequestMessage& request,
+                                std::uint64_t timeout_micros);
+
+/// Role names for command lines and logs ("shard", "oracle",
+/// "gatekeeper", "spare").
+const char* RoleName(NodeRole role);
+/// Inverse of RoleName; InvalidArgument on an unknown name.
+Result<NodeRole> ParseRole(const std::string& name);
+
+}  // namespace cluster
+}  // namespace weaver

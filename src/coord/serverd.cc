@@ -27,7 +27,8 @@ namespace serverd {
 
 EndpointLayout EndpointLayout::Compute(std::size_t num_shards,
                                        std::size_t num_gatekeepers,
-                                       bool with_oracle) {
+                                       bool with_oracle,
+                                       bool with_remote_gatekeepers) {
   // Mirrors Weaver's registration order exactly: shards first (one
   // endpoint each), then per-gatekeeper (server, client ingress) pairs,
   // then the program coordinator, then (oracle deployments only) the
@@ -56,7 +57,71 @@ EndpointLayout EndpointLayout::Compute(std::size_t num_shards,
     layout.parent_oracle_client =
         static_cast<EndpointId>(layout.oracle + 1 + num_shards);
   }
+  layout.with_remote_gatekeepers = with_remote_gatekeepers;
+  if (with_remote_gatekeepers) {
+    EndpointId base = static_cast<EndpointId>(
+        (with_oracle ? layout.parent_oracle_client : layout.coordinator) + 1);
+    for (std::size_t g = 0; g < num_gatekeepers; ++g) {
+      layout.gk_agents.push_back(static_cast<EndpointId>(base + g));
+    }
+    for (std::size_t g = 0; g < num_gatekeepers; ++g) {
+      layout.gk_controls.push_back(
+          static_cast<EndpointId>(base + num_gatekeepers + g));
+    }
+  }
   return layout;
+}
+
+RoleAssignMessage AssignmentFromOptions(const ShardServerOptions& options) {
+  RoleAssignMessage m;
+  m.num_shards = static_cast<std::uint32_t>(options.num_shards);
+  m.num_gatekeepers = static_cast<std::uint32_t>(options.num_gatekeepers);
+  m.inbox_capacity = options.inbox_capacity;
+  m.queue_high_water = options.queue_high_water;
+  m.max_hops_per_cycle = options.max_hops_per_cycle;
+  m.remote_oracle = options.remote_oracle;
+  m.remote_gatekeepers = options.remote_gatekeepers;
+  m.oracle_rpc_timeout_micros = options.oracle_rpc_timeout_micros;
+  m.oracle_total_deadline_micros = options.oracle_total_deadline_micros;
+  m.oracle_data_dir = options.oracle_data_dir;
+  m.oracle_snapshot_every = options.oracle_snapshot_every;
+  m.oracle_fsync = static_cast<std::uint8_t>(options.oracle_fsync);
+  m.tau_micros = options.tau_micros;
+  m.nop_period_micros = options.nop_period_micros;
+  m.client_workers = options.client_workers;
+  m.client_batch = options.client_batch;
+  m.client_lane_capacity = options.client_lane_capacity;
+  m.max_inflight_programs = options.max_inflight_programs;
+  m.nop_high_water = options.nop_high_water;
+  m.announce_capacity = options.announce_capacity;
+  return m;
+}
+
+ShardServerOptions OptionsFromAssignment(const RoleAssignMessage& assign) {
+  ShardServerOptions options;
+  options.num_shards = assign.num_shards;
+  options.num_gatekeepers = assign.num_gatekeepers;
+  options.inbox_capacity = assign.inbox_capacity;
+  options.queue_high_water = assign.queue_high_water;
+  options.max_hops_per_cycle = assign.max_hops_per_cycle;
+  options.remote_oracle = assign.remote_oracle;
+  options.remote_gatekeepers = assign.remote_gatekeepers;
+  options.oracle_rpc_timeout_micros = assign.oracle_rpc_timeout_micros;
+  options.oracle_total_deadline_micros = assign.oracle_total_deadline_micros;
+  options.oracle_data_dir = assign.oracle_data_dir;
+  options.oracle_snapshot_every = assign.oracle_snapshot_every;
+  options.oracle_fsync = assign.oracle_fsync <= 1
+                             ? static_cast<FsyncPolicy>(assign.oracle_fsync)
+                             : FsyncPolicy::kNever;
+  options.tau_micros = assign.tau_micros;
+  options.nop_period_micros = assign.nop_period_micros;
+  options.client_workers = assign.client_workers;
+  options.client_batch = assign.client_batch;
+  options.client_lane_capacity = assign.client_lane_capacity;
+  options.max_inflight_programs = assign.max_inflight_programs;
+  options.nop_high_water = assign.nop_high_water;
+  options.announce_capacity = assign.announce_capacity;
+  return options;
 }
 
 namespace {
@@ -89,7 +154,8 @@ void ExportOracleMetrics(obs::MetricsRegistry* metrics,
 int RunShardServer(int parent_fd, ShardId shard_id,
                    const ShardServerOptions& options, bool rehydrate) {
   const EndpointLayout layout = EndpointLayout::Compute(
-      options.num_shards, options.num_gatekeepers, options.remote_oracle);
+      options.num_shards, options.num_gatekeepers, options.remote_oracle,
+      options.remote_gatekeepers);
 
   // Per-process registry, declared before every component so DropPrefix
   // in their destructors finds it alive. The shard answers
@@ -205,6 +271,28 @@ int RunShardServer(int parent_fd, ShardId shard_id,
   // first-contact baseline for them instead of hard-failing its uplink
   // on the gap. Shard-to-shard wave channels stay strict.
   if (options.remote_oracle) bus.AllowFirstContact(layout.oracle);
+  // Same for out-of-parent gatekeepers: they keep streaming nop ticks and
+  // commit slices at a fenced shard endpoint the whole time its
+  // replacement is being brought up, and the hub drops those frames while
+  // burning the senders' sequence numbers. The dropped slices are
+  // re-applied by the supervisor's REPLAY step and nop ticks are
+  // idempotent watermark carriers, so a respawned shard baselines on the
+  // first gatekeeper frame it actually observes.
+  if (options.remote_gatekeepers) {
+    for (const EndpointId gk : layout.gatekeepers) bus.AllowFirstContact(gk);
+  }
+  // A replacement process baselines peer-shard channels as well: a
+  // surviving shard can emit one last wave hop at the fenced endpoint
+  // after its reset ran (the hub drops it and burns the sequence number),
+  // and the program that hop belonged to was failed at the fence and is
+  // retried by the client. Cold boots stay strict -- nothing burns before
+  // first contact there, so the FIFO tripwire keeps its teeth where it
+  // matters.
+  if (rehydrate) {
+    for (ShardId s = 0; s < options.num_shards; ++s) {
+      if (s != shard_id) bus.AllowFirstContact(layout.shards[s]);
+    }
+  }
 
   // Inbound link from the parent hub. Everything this shard can receive
   // is addressed to it directly, so no hub forwarding happens here.
@@ -240,7 +328,8 @@ int RunShardServer(int parent_fd, ShardId shard_id,
 
 int RunOracleServer(int parent_fd, const ShardServerOptions& options) {
   const EndpointLayout layout = EndpointLayout::Compute(
-      options.num_shards, options.num_gatekeepers, /*with_oracle=*/true);
+      options.num_shards, options.num_gatekeepers, /*with_oracle=*/true,
+      options.remote_gatekeepers);
 
   obs::MetricsRegistry metrics;
   MessageBus bus;

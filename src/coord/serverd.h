@@ -26,6 +26,17 @@
 //     ids S+2G+2+p               shard p's oracle-client reply endpoint
 //     id  S+2G+2+S               the parent's oracle-client reply endpoint
 //
+// -- and, when gatekeepers run out-of-parent as their own processes
+// (docs/transport.md#cluster-bootstrap), after everything above:
+//
+//     ids base+g                 gatekeeper g's parent-side agent
+//                                (StoreCommit / GkProgramStart handler)
+//     ids base+G+g               gatekeeper g's child-side control
+//                                (StoreCommitReply, program replies,
+//                                 GkEpochAdvance)
+//
+// where base is one past the last id of the preceding blocks.
+//
 // -- so a frame's destination id means the same thing in every process.
 // A child registers its own shard at its id and a remote proxy (over its
 // single parent link) at every other id it can address.
@@ -51,6 +62,7 @@
 #include "common/ids.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "core/messages.h"
 #include "net/bus.h"
 #include "storage/storage_options.h"
 
@@ -73,11 +85,23 @@ struct EndpointLayout {
   /// The parent process's own reply endpoint (GC collect RPCs).
   EndpointId parent_oracle_client = 0;
 
+  /// Out-of-parent gatekeeper endpoints; meaningful only when
+  /// with_remote_gatekeepers.
+  bool with_remote_gatekeepers = false;
+  /// gk_agents[g]: the parent-side agent that applies gatekeeper g's
+  /// commits to the backing store and seeds its node programs.
+  std::vector<EndpointId> gk_agents;
+  /// gk_controls[g]: gatekeeper g's child-side control endpoint (agent
+  /// replies, epoch advances).
+  std::vector<EndpointId> gk_controls;
+
   static EndpointLayout Compute(std::size_t num_shards,
                                 std::size_t num_gatekeepers,
-                                bool with_oracle = false);
+                                bool with_oracle = false,
+                                bool with_remote_gatekeepers = false);
   /// Highest id a child must be able to address.
   EndpointId max_endpoint() const {
+    if (with_remote_gatekeepers) return gk_controls.back();
     return with_oracle ? parent_oracle_client : coordinator;
   }
 };
@@ -106,7 +130,31 @@ struct ShardServerOptions {
   /// Shard-side OracleClient deadlines (per attempt / total budget).
   std::uint64_t oracle_rpc_timeout_micros = 250'000;
   std::uint64_t oracle_total_deadline_micros = 3'000'000;
+
+  /// Run the gatekeeper bank out-of-parent: each gatekeeper is its own
+  /// process (RunGatekeeperServer) holding the clock, sequencer, timers,
+  /// and client ingress; the parent keeps only the backing store and a
+  /// per-gatekeeper agent endpoint that applies commits. The endpoint
+  /// layout grows the gk_agents / gk_controls blocks above.
+  bool remote_gatekeepers = false;
+  /// Gatekeeper knobs mirrored from Gatekeeper::Options so an exec'd
+  /// gatekeeper process builds the same configuration the parent would.
+  std::uint64_t tau_micros = 1000;
+  std::uint64_t nop_period_micros = 200;
+  std::size_t client_workers = 8;
+  std::size_t client_batch = 8;
+  std::size_t client_lane_capacity = 256;
+  std::size_t max_inflight_programs = 64;
+  std::size_t nop_high_water = 0;
+  std::size_t announce_capacity = 0;
 };
+
+/// RoleAssign <-> ShardServerOptions: the handshake ships the full
+/// configuration image, so an exec'd serverd needs nothing but its
+/// command line. Role/shard/epoch/rehydrate are the coordinator's to
+/// stamp; these helpers move only the options image.
+RoleAssignMessage AssignmentFromOptions(const ShardServerOptions& options);
+ShardServerOptions OptionsFromAssignment(const RoleAssignMessage& assign);
 
 /// Child-process entry point: builds a standalone shard server for
 /// `shard_id` wired to the parent over `parent_fd` (takes ownership of
@@ -125,6 +173,16 @@ int RunShardServer(int parent_fd, ShardId shard_id,
 /// journaling every established edge to the durable changelog in
 /// options.oracle_data_dir, until the parent shuts down.
 int RunOracleServer(int parent_fd, const ShardServerOptions& options);
+
+/// Child-process entry point for an out-of-parent gatekeeper
+/// (docs/transport.md#cluster-bootstrap): owns gatekeeper `gk_id`'s
+/// vector clock, slot sequencer, timers, and client ingress; commits are
+/// applied through StoreCommit RPCs to the parent-side agent. `epoch`
+/// seeds the clock (a respawn joins at the fenced cluster epoch). Serves
+/// until the parent shuts down. Defined in src/order/gatekeeper_server.cc.
+int RunGatekeeperServer(int parent_fd, GatekeeperId gk_id,
+                        const ShardServerOptions& options,
+                        std::uint32_t epoch);
 
 /// One spawned shard-server child.
 struct ShardProcess {

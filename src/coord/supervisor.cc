@@ -33,6 +33,15 @@ ShardSupervisor::ShardSupervisor(Weaver* weaver) : weaver_(weaver) {
   spare_fds_ = opts.spare_fds;
   oracle_enabled_ = weaver_->remote_oracle_;
   if (oracle_enabled_) oracle_.pid = weaver_->options_.oracle_service.pid;
+  gk_enabled_ = weaver_->remote_gatekeepers_;
+  if (gk_enabled_) {
+    gk_states_.reserve(weaver_->options_.num_gatekeepers);
+    for (std::size_t g = 0; g < weaver_->options_.num_gatekeepers; ++g) {
+      auto st = std::make_unique<ShardState>();
+      if (g < opts.gatekeeper_pids.size()) st->pid = opts.gatekeeper_pids[g];
+      gk_states_.push_back(std::move(st));
+    }
+  }
 
   obs::MetricsRegistry& m = weaver_->metrics_;
   recoveries_ = m.counter("supervisor.recoveries");
@@ -41,8 +50,11 @@ ShardSupervisor::ShardSupervisor(Weaver* weaver) : weaver_(weaver) {
   replayed_vertices_ = m.counter("supervisor.replayed_vertices");
   sigkills_ = m.counter("supervisor.sigkills");
   oracle_recoveries_ = m.counter("supervisor.oracle_recoveries");
+  gk_recoveries_ = m.counter("supervisor.gk_recoveries");
+  exec_respawns_ = m.counter("supervisor.exec_respawns");
   shards_down_ = m.gauge("supervisor.shards_down");
   oracle_down_ = m.gauge("supervisor.oracle_down");
+  gks_down_ = m.gauge("supervisor.gks_down");
   recovery_latency_ = m.histogram("supervisor.recovery_latency");
 }
 
@@ -83,6 +95,14 @@ void ShardSupervisor::OnLinkDown(ShardId shard) {
 
 void ShardSupervisor::OnOracleLinkDown() {
   oracle_.link_down.store(true, std::memory_order_release);
+  MutexLock lk(mu_);
+  wake_ = true;
+  cv_.notify_all();
+}
+
+void ShardSupervisor::OnGatekeeperLinkDown(GatekeeperId gk) {
+  if (gk >= gk_states_.size()) return;
+  gk_states_[gk]->link_down.store(true, std::memory_order_release);
   MutexLock lk(mu_);
   wake_ = true;
   cv_.notify_all();
@@ -193,7 +213,108 @@ void ShardSupervisor::MonitorLoop() {
       }
       if (dead) RecoverOracle();
     }
+    for (std::size_t g = 0; g < gk_states_.size(); ++g) {
+      ShardState& st = *gk_states_[g];
+      if (st.lost) continue;
+      bool dead = Reaped(&st);
+      if (st.link_down.load(std::memory_order_acquire)) dead = true;
+      if (!dead) {
+        // The control endpoint ignores the solicited ping, but the
+        // child's 5ms watermark reports keep its frame counter moving,
+        // so a live gatekeeper never looks silent.
+        const WireLink* link = g < weaver_->gatekeeper_links_.size()
+                                   ? weaver_->gatekeeper_links_[g].get()
+                                   : nullptr;
+        dead = HeartbeatDead(&st, link, weaver_->gk_control_endpoints_[g],
+                             "gk" + std::to_string(g));
+      }
+      if (dead) RecoverGatekeeper(static_cast<GatekeeperId>(g));
+    }
   }
+}
+
+bool ShardSupervisor::SpawnReplacement(NodeRole role, std::uint32_t id,
+                                       bool rehydrate,
+                                       std::uint32_t spare_assignment,
+                                       bool allow_spare, int* fd,
+                                       pid_t* pid) {
+  *fd = -1;
+  *pid = -1;
+  const ShardSupervisionOptions& opts = weaver_->options_.supervision;
+  if (opts.exec_respawn) {
+    // Fresh process, fresh address space, no inherited fds: the
+    // cluster-bootstrap harness execs weaver-serverd and hands back the
+    // joined connection (docs/transport.md#cluster-bootstrap).
+    auto proc =
+        opts.exec_respawn(role, id, rehydrate, weaver_->cluster_.current_epoch());
+    if (proc.ok()) {
+      *fd = proc->parent_fd;
+      *pid = proc->pid;
+      exec_respawns_->Add();
+      return true;
+    }
+    std::fprintf(stderr,
+                 "weaver-supervisor: exec respawn failed (%s); %s\n",
+                 proc.status().ToString().c_str(),
+                 allow_spare ? "falling back to the spare pool"
+                             : "no other respawn source");
+  }
+  if (!allow_spare) return false;
+  while (!spare_fds_.empty()) {
+    const int f = spare_fds_.back();
+    spare_fds_.pop_back();
+    const pid_t p = spare_pids_.back();
+    spare_pids_.pop_back();
+    if (serverd::AssignSpare(f, spare_assignment).ok()) {
+      *fd = f;
+      *pid = p;
+      return true;
+    }
+    ::close(f);  // that spare died on the bench; reap it and try the next
+    (void)::waitpid(p, nullptr, WNOHANG);
+  }
+  return false;
+}
+
+std::uint32_t ShardSupervisor::AdvanceEpoch(GatekeeperId skip_gk) {
+  if (weaver_->remote_gatekeepers_) {
+    // The clocks live out-of-parent: bump the cluster epoch, then tell
+    // every surviving gatekeeper process; each applies it under its own
+    // clock lock. Not a true barrier -- the survivors converge within a
+    // control-message delivery -- but cross-failure monotonicity only
+    // needs the RESPAWNED clock to start in the new epoch, which its
+    // RoleAssign guarantees.
+    auto epoch = weaver_->cluster_.AdvanceEpochBarrier({});
+    if (!epoch.ok()) {
+      std::fprintf(stderr,
+                   "weaver-supervisor: epoch bump failed (%s); "
+                   "continuing recovery in the old epoch\n",
+                   epoch.status().ToString().c_str());
+      return weaver_->cluster_.current_epoch();
+    }
+    for (std::size_t g = 0; g < gk_states_.size(); ++g) {
+      if (g == skip_gk || gk_states_[g]->lost) continue;
+      auto adv = std::make_shared<GkEpochAdvanceMessage>();
+      adv->epoch = *epoch;
+      (void)weaver_->bus_->Send(weaver_->coordinator_endpoint_,
+                                weaver_->gk_control_endpoints_[g],
+                                kMsgGkEpochAdvance, std::move(adv),
+                                /*never_block=*/true);
+    }
+    return *epoch;
+  }
+  std::vector<Gatekeeper*> gks;
+  gks.reserve(weaver_->gatekeepers_.size());
+  for (auto& g : weaver_->gatekeepers_) gks.push_back(g.get());
+  auto epoch = weaver_->cluster_.AdvanceEpochBarrier(gks);
+  if (!epoch.ok()) {
+    std::fprintf(stderr,
+                 "weaver-supervisor: epoch barrier failed (%s); "
+                 "continuing recovery in the old epoch\n",
+                 epoch.status().ToString().c_str());
+    return weaver_->cluster_.current_epoch();
+  }
+  return *epoch;
 }
 
 void ShardSupervisor::Recover(ShardId s) {
@@ -230,21 +351,11 @@ void ShardSupervisor::Recover(ShardId s) {
 
   // 2. EPOCH. Before the exclusive gate: the barrier takes every clock
   // lock, and a commit holding the shared gate may be waiting on one.
-  {
-    std::vector<Gatekeeper*> gks;
-    gks.reserve(weaver_->gatekeepers_.size());
-    for (auto& g : weaver_->gatekeepers_) gks.push_back(g.get());
-    auto epoch = weaver_->cluster_.AdvanceEpochBarrier(gks);
-    if (!epoch.ok()) {
-      std::fprintf(stderr,
-                   "weaver-supervisor: epoch barrier failed (%s); "
-                   "continuing recovery in the old epoch\n",
-                   epoch.status().ToString().c_str());
-    }
-  }
+  (void)AdvanceEpoch(/*skip_gk=*/static_cast<GatekeeperId>(-1));
 
-  // 3. RESPAWN from the warm spare pool. With weaver-oracled running,
-  // the respawn gets the rehydrate bit: it Sync()s the oracle's edge set
+  // 3. RESPAWN: exec a fresh weaver-serverd when the harness provides
+  // the hook, else assign a warm spare. With weaver-oracled running, the
+  // respawn gets the rehydrate bit: it Sync()s the oracle's edge set
   // into its local replica after its link is up, so refinements the dead
   // shard had already observed stay locally answerable.
   const std::uint32_t assignment =
@@ -253,22 +364,14 @@ void ShardSupervisor::Recover(ShardId s) {
           : static_cast<std::uint32_t>(s);
   int fd = -1;
   pid_t pid = -1;
-  while (!spare_fds_.empty()) {
-    fd = spare_fds_.back();
-    spare_fds_.pop_back();
-    pid = spare_pids_.back();
-    spare_pids_.pop_back();
-    if (serverd::AssignSpare(fd, assignment).ok()) break;
-    ::close(fd);  // that spare died on the bench; reap it and try the next
-    (void)::waitpid(pid, nullptr, WNOHANG);
-    fd = -1;
-    pid = -1;
-  }
-  if (fd < 0) {
+  if (!SpawnReplacement(NodeRole::kShard, static_cast<std::uint32_t>(s),
+                        weaver_->remote_oracle_, assignment,
+                        /*allow_spare=*/true, &fd, &pid)) {
     st.lost = true;
     recoveries_failed_->Add();
     std::fprintf(stderr,
-                 "weaver-supervisor: no spare left for %s; it stays down\n",
+                 "weaver-supervisor: no respawn source for %s; it stays "
+                 "down\n",
                  name.c_str());
     return;
   }
@@ -293,6 +396,16 @@ void ShardSupervisor::Recover(ShardId s) {
   if (weaver_->remote_oracle_ && !oracle_.lost) {
     resets.emplace_back(weaver_->oracle_endpoint_,
                         weaver_->oracle_client_endpoints_[s]);
+  }
+  if (weaver_->remote_gatekeepers_) {
+    // Out-of-parent gatekeepers stream commit slices and program seeds
+    // straight at shard endpoints: each live one must forget its wire
+    // sequences toward the respawn too, or its next slice arrives with a
+    // stale high seq and kills the fresh uplink.
+    for (std::size_t h = 0; h < weaver_->gk_control_endpoints_.size(); ++h) {
+      if (h < gk_states_.size() && gk_states_[h]->lost) continue;
+      resets.emplace_back(weaver_->gk_control_endpoints_[h], ep);
+    }
   }
   RunResetRound(resets);
 
@@ -422,28 +535,20 @@ void ShardSupervisor::RecoverOracle() {
   }
   st.link_down.store(false, std::memory_order_release);
 
-  // RESPAWN: the spare replays the oracle's durable changelog before it
-  // serves (serverd::RunOracleServer refuses to come up on a recovery
-  // failure), so every edge acknowledged pre-crash is re-established.
+  // RESPAWN: the replacement replays the oracle's durable changelog
+  // before it serves (serverd::RunOracleServer refuses to come up on a
+  // recovery failure), so every edge acknowledged pre-crash is
+  // re-established.
   int fd = -1;
   pid_t pid = -1;
-  while (!spare_fds_.empty()) {
-    fd = spare_fds_.back();
-    spare_fds_.pop_back();
-    pid = spare_pids_.back();
-    spare_pids_.pop_back();
-    if (serverd::AssignSpare(fd, serverd::kSpareBecomeOracle).ok()) break;
-    ::close(fd);
-    (void)::waitpid(pid, nullptr, WNOHANG);
-    fd = -1;
-    pid = -1;
-  }
-  if (fd < 0) {
+  if (!SpawnReplacement(NodeRole::kOracle, 0, /*rehydrate=*/false,
+                        serverd::kSpareBecomeOracle, /*allow_spare=*/true,
+                        &fd, &pid)) {
     st.lost = true;
     recoveries_failed_->Add();
     std::fprintf(
         stderr,
-        "weaver-supervisor: no spare left for oracled; it stays down\n");
+        "weaver-supervisor: no respawn source for oracled; it stays down\n");
     return;
   }
   auto transport = std::shared_ptr<Transport>(SocketTransport::Adopt(fd));
@@ -484,6 +589,130 @@ void ShardSupervisor::RecoverOracle() {
   std::fprintf(stderr,
                "weaver-supervisor: oracled respawned as pid %d (%.1f ms)\n",
                static_cast<int>(pid),
+               static_cast<double>(elapsed_ns) / 1e6);
+}
+
+void ShardSupervisor::RecoverGatekeeper(GatekeeperId g) {
+  const std::uint64_t t0 = NowNanos();
+  ShardState& st = *gk_states_[g];
+  const std::string name = "gk" + std::to_string(g);
+  const EndpointId server_ep = weaver_->gk_server_endpoints_[g];
+  const EndpointId client_ep = weaver_->gk_client_endpoints_[g];
+  const EndpointId control_ep = weaver_->gk_control_endpoints_[g];
+  std::fprintf(stderr, "weaver-supervisor: %s (pid %d) is down; recovering\n",
+               name.c_str(), static_cast<int>(st.pid));
+  gks_down_->Add(1);
+
+  // FENCE. Detach all three of the dead process's endpoints: new client
+  // sends fail fast instead of queueing toward a corpse, and stale
+  // frames (peer announces, agent replies) are dropped. The dead clock
+  // owner can never answer what it had accepted -- fail the parent's
+  // internal pending replies so blocking wrappers return a retriable
+  // Unavailable instead of hanging. (Pendings aimed at LIVE gatekeepers
+  // fail too and simply retry: commits are acked only after the
+  // parent-side store apply, so a retry of an already-applied write
+  // re-validates against its own result and is benign.)
+  weaver_->cluster_.MarkFailed(name);
+  weaver_->bus_->Detach(server_ep);
+  weaver_->bus_->Detach(client_ep);
+  weaver_->bus_->Detach(control_ep);
+  weaver_->internal_replies_->FailAll(
+      Status::Unavailable(name + " crashed; retry"));
+  // Client sessions pinned to this gatekeeper have their in-flight
+  // requests die with the process -- unlike a shard crash, where the
+  // surviving gatekeeper owns the retry, nothing will ever answer them.
+  // Fail them fast so clients rebuild and resubmit.
+  weaver_->FailSessionCalls(g, Status::Unavailable(name +
+                                                   " crashed; resubmit"));
+  if (g < weaver_->gatekeeper_links_.size() &&
+      weaver_->gatekeeper_links_[g]) {
+    weaver_->gatekeeper_links_[g]->Stop();
+    weaver_->gatekeeper_links_[g].reset();
+  }
+  weaver_->remote_gatekeeper_transports_[g].reset();
+  if (st.pid > 0) {
+    ::kill(st.pid, SIGKILL);
+    (void)::waitpid(st.pid, nullptr, 0);
+    st.pid = -1;
+  }
+  st.link_down.store(false, std::memory_order_release);
+  {
+    // The cached GC watermark is the dead clock's word; GC skips rounds
+    // until the respawn reports again.
+    MutexLock lk(weaver_->gk_wm_mu_);
+    weaver_->gk_watermarks_[g] = RefinableTimestamp();
+  }
+
+  // EPOCH. The respawn's clock seeds at the new epoch (RoleAssign), so
+  // its restarted counters still order after everything the dead
+  // process issued.
+  (void)AdvanceEpoch(/*skip_gk=*/g);
+
+  // RESPAWN. Gatekeepers exist only in cluster-bootstrap deployments:
+  // exec_respawn is the only source (spares can only become shards or
+  // the oracle).
+  int fd = -1;
+  pid_t pid = -1;
+  if (!SpawnReplacement(NodeRole::kGatekeeper, g, /*rehydrate=*/false,
+                        /*spare_assignment=*/0, /*allow_spare=*/false, &fd,
+                        &pid)) {
+    st.lost = true;
+    recoveries_failed_->Add();
+    std::fprintf(stderr,
+                 "weaver-supervisor: no exec respawn for %s; it stays down\n",
+                 name.c_str());
+    return;
+  }
+  auto transport = std::shared_ptr<Transport>(SocketTransport::Adopt(fd));
+
+  // RESET: every survivor that addresses the dead process forgets its
+  // wire-sequence state -- shards send announce acks and accounting to
+  // the server endpoint, and surviving gatekeeper processes announce to
+  // it as a peer. The respawn's bus expects every channel to start at
+  // seq zero.
+  std::vector<std::pair<EndpointId, EndpointId>> resets;
+  for (std::size_t p = 0; p < shards_.size(); ++p) {
+    if (shards_[p]->lost) continue;
+    resets.emplace_back(weaver_->shard_endpoints_[p], server_ep);
+    resets.emplace_back(weaver_->shard_endpoints_[p], client_ep);
+  }
+  for (std::size_t h = 0; h < gk_states_.size(); ++h) {
+    if (h == g || gk_states_[h]->lost) continue;
+    resets.emplace_back(weaver_->gk_control_endpoints_[h], server_ep);
+  }
+  RunResetRound(resets);
+
+  // REJOIN. No commit gate and no replay: gatekeepers hold no graph
+  // state, and every commit the dead one acked was already applied (and
+  // published to the kv store) parent-side before the ack went out.
+  weaver_->bus_->ResetPeer(server_ep);
+  weaver_->bus_->ResetPeer(client_ep);
+  weaver_->bus_->ResetPeer(control_ep);
+  weaver_->bus_->ReplaceRemote(server_ep, transport);
+  weaver_->bus_->ReplaceRemote(client_ep, transport);
+  weaver_->bus_->ReplaceRemote(control_ep, transport);
+  weaver_->remote_gatekeeper_transports_[g] = transport;
+  WireLink::Options lo;
+  lo.bus = weaver_->bus_.get();
+  lo.transport = transport;
+  lo.decode = DecodePayload;
+  lo.never_block = WireNeverBlock;
+  lo.name = name + ".link";
+  lo.on_down = [this, g](const Status&) { OnGatekeeperLinkDown(g); };
+  weaver_->gatekeeper_links_[g] = std::make_unique<WireLink>(std::move(lo));
+
+  st.pid = pid;
+  st.last_frames = 0;
+  st.last_activity_us = NowMicros();
+  st.pinged = false;
+  weaver_->cluster_.MarkRecovered(name);
+  gks_down_->Add(-1);
+  gk_recoveries_->Add();
+  const std::uint64_t elapsed_ns = NowNanos() - t0;
+  recovery_latency_->Record(elapsed_ns);
+  std::fprintf(stderr,
+               "weaver-supervisor: %s respawned as pid %d (%.1f ms)\n",
+               name.c_str(), static_cast<int>(pid),
                static_cast<double>(elapsed_ns) / 1e6);
 }
 

@@ -52,6 +52,26 @@
 // park and programs abort with retriable Unavailable until the respawn
 // answers again.
 //
+// Respawn source: when ShardSupervisionOptions::exec_respawn is set (the
+// cluster-bootstrap harness, docs/transport.md#cluster-bootstrap), a
+// replacement is fork+exec'd on demand -- a fresh weaver-serverd joins
+// over TCP with no inherited state -- and the warm spare pool is only
+// the fallback. Without the hook, the spare pool is the only source.
+//
+// Out-of-parent gatekeeper processes (same doc) are supervised with the
+// same three detection signals. Their recovery is: FENCE (detach the
+// dead gatekeeper's server/client/control endpoints, fail the parent's
+// internal pending replies, kill+reap), EPOCH (barrier bump broadcast to
+// the surviving gatekeeper processes as GkEpochAdvance -- the respawn
+// seeds its clock at the new epoch, so cross-failure timestamps stay
+// monotonic while its counters restart at zero), RESPAWN (exec_respawn
+// only: spares cannot become gatekeepers), RESET (surviving shards and
+// gatekeepers forget their wire-sequence state for the dead process's
+// endpoints), REJOIN (parent resets + re-points the three endpoints at
+// the new transport, fresh link, watermark cache invalidated). No
+// partition replay: gatekeepers hold no graph state, and every commit
+// they acked was applied to the backing store parent-side first.
+//
 // Everything is observable through the deployment registry under the
 // "supervisor." prefix (docs/observability.md): recoveries,
 // recoveries_failed, reset_ack_timeouts, replayed_vertices, sigkills,
@@ -105,6 +125,8 @@ class ShardSupervisor {
   void OnLinkDown(ShardId shard);
   /// Same, for the oracle service's inbound link.
   void OnOracleLinkDown();
+  /// Same, for an out-of-parent gatekeeper process's inbound link.
+  void OnGatekeeperLinkDown(GatekeeperId gk);
   /// Coordinator-delivered kMsgShardResetAck (a surviving shard finished
   /// resetting its sequence state for the dead endpoint).
   void OnResetAck(const ShardResetAckMessage& ack);
@@ -140,6 +162,22 @@ class ShardSupervisor {
   void Recover(ShardId shard);
   /// Oracle recovery: FENCE -> RESPAWN -> RESET -> REJOIN.
   void RecoverOracle();
+  /// Gatekeeper-process recovery (header comment above). exec_respawn
+  /// only: the spare pool cannot produce gatekeepers.
+  void RecoverGatekeeper(GatekeeperId gk);
+  /// Produces a replacement child: exec_respawn when configured (falling
+  /// back on its failure), else the warm spare pool with
+  /// `spare_assignment` (pass allow_spare = false for roles spares cannot
+  /// take). Returns false when no source produced one.
+  bool SpawnReplacement(NodeRole role, std::uint32_t id, bool rehydrate,
+                        std::uint32_t spare_assignment, bool allow_spare,
+                        int* fd, pid_t* pid);
+  /// The EPOCH step, remote-gatekeeper aware: in-process it runs the
+  /// barrier across the gatekeeper bank; with out-of-parent gatekeepers
+  /// it bumps the cluster epoch and broadcasts GkEpochAdvance to every
+  /// surviving gatekeeper process (skipping `skip_gk` mid-recovery).
+  /// Returns the epoch to seed a respawn's clock with.
+  std::uint32_t AdvanceEpoch(GatekeeperId skip_gk);
   /// Reset round: for each (dst, target) pair, ask the server child at
   /// `dst` to forget its wire-sequence state for endpoint `target`, and
   /// wait (bounded) for the acks.
@@ -154,6 +192,11 @@ class ShardSupervisor {
   /// as a shard child; `lost` means it died with the spare pool empty).
   ShardState oracle_;
   bool oracle_enabled_ = false;
+  /// Out-of-parent gatekeeper processes, when the deployment runs them
+  /// (same lifecycle state; `lost` means exec respawn was unavailable or
+  /// failed).
+  std::vector<std::unique_ptr<ShardState>> gk_states_;
+  bool gk_enabled_ = false;
   /// Spare pool, consumed back-to-front.
   std::vector<pid_t> spare_pids_;
   std::vector<int> spare_fds_;
@@ -184,8 +227,11 @@ class ShardSupervisor {
   obs::Counter* replayed_vertices_ = nullptr;
   obs::Counter* sigkills_ = nullptr;
   obs::Counter* oracle_recoveries_ = nullptr;
+  obs::Counter* gk_recoveries_ = nullptr;
+  obs::Counter* exec_respawns_ = nullptr;
   obs::Gauge* shards_down_ = nullptr;
   obs::Gauge* oracle_down_ = nullptr;
+  obs::Gauge* gks_down_ = nullptr;
   obs::LatencyHistogram* recovery_latency_ = nullptr;
 };
 

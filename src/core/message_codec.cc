@@ -526,6 +526,209 @@ Status Decode(wire::Reader* r, OracleReplyMessage* m) {
   return Status::Ok();
 }
 
+namespace {
+
+Status DecodeRole(wire::Reader* r, NodeRole* out) {
+  std::uint8_t role = 0;
+  WEAVER_RETURN_IF_ERROR(r->U8(&role));
+  if (role > static_cast<std::uint8_t>(NodeRole::kSpare)) {
+    return Status::InvalidArgument("unknown node role on the wire");
+  }
+  *out = static_cast<NodeRole>(role);
+  return Status::Ok();
+}
+
+}  // namespace
+
+void Encode(const JoinRequestMessage& m, wire::Writer* w) {
+  w->VarU32(m.codec_version);
+  w->VarU32(m.cluster_epoch);
+  w->U8(static_cast<std::uint8_t>(m.role));
+  w->VarU32(m.shard_id);
+  w->String(m.token);
+  w->VarU64(m.pid);
+}
+
+Status Decode(wire::Reader* r, JoinRequestMessage* m) {
+  WEAVER_RETURN_IF_ERROR(r->VarU32(&m->codec_version));
+  WEAVER_RETURN_IF_ERROR(r->VarU32(&m->cluster_epoch));
+  WEAVER_RETURN_IF_ERROR(DecodeRole(r, &m->role));
+  WEAVER_RETURN_IF_ERROR(r->VarU32(&m->shard_id));
+  WEAVER_RETURN_IF_ERROR(r->String(&m->token));
+  return r->VarU64(&m->pid);
+}
+
+void Encode(const JoinAckMessage& m, wire::Writer* w) {
+  EncodeStatus(m.status, w);
+  w->VarU32(m.codec_version);
+  w->VarU32(m.cluster_epoch);
+}
+
+Status Decode(wire::Reader* r, JoinAckMessage* m) {
+  WEAVER_RETURN_IF_ERROR(DecodeStatus(r, &m->status));
+  WEAVER_RETURN_IF_ERROR(r->VarU32(&m->codec_version));
+  return r->VarU32(&m->cluster_epoch);
+}
+
+void Encode(const RoleAssignMessage& m, wire::Writer* w) {
+  w->U8(static_cast<std::uint8_t>(m.role));
+  w->VarU32(m.shard_id);
+  w->VarU32(m.cluster_epoch);
+  w->U8(m.rehydrate ? 1 : 0);
+  w->VarU32(m.num_shards);
+  w->VarU32(m.num_gatekeepers);
+  w->VarU64(m.inbox_capacity);
+  w->VarU64(m.queue_high_water);
+  w->VarU64(m.max_hops_per_cycle);
+  w->U8(m.remote_oracle ? 1 : 0);
+  w->U8(m.remote_gatekeepers ? 1 : 0);
+  w->VarU64(m.oracle_rpc_timeout_micros);
+  w->VarU64(m.oracle_total_deadline_micros);
+  w->String(m.oracle_data_dir);
+  w->VarU64(m.oracle_snapshot_every);
+  w->U8(m.oracle_fsync);
+  w->VarU64(m.tau_micros);
+  w->VarU64(m.nop_period_micros);
+  w->VarU64(m.client_workers);
+  w->VarU64(m.client_batch);
+  w->VarU64(m.client_lane_capacity);
+  w->VarU64(m.max_inflight_programs);
+  w->VarU64(m.nop_high_water);
+  w->VarU64(m.announce_capacity);
+}
+
+Status Decode(wire::Reader* r, RoleAssignMessage* m) {
+  WEAVER_RETURN_IF_ERROR(DecodeRole(r, &m->role));
+  WEAVER_RETURN_IF_ERROR(r->VarU32(&m->shard_id));
+  WEAVER_RETURN_IF_ERROR(r->VarU32(&m->cluster_epoch));
+  std::uint8_t flag = 0;
+  WEAVER_RETURN_IF_ERROR(r->U8(&flag));
+  m->rehydrate = flag != 0;
+  WEAVER_RETURN_IF_ERROR(r->VarU32(&m->num_shards));
+  WEAVER_RETURN_IF_ERROR(r->VarU32(&m->num_gatekeepers));
+  WEAVER_RETURN_IF_ERROR(r->VarU64(&m->inbox_capacity));
+  WEAVER_RETURN_IF_ERROR(r->VarU64(&m->queue_high_water));
+  WEAVER_RETURN_IF_ERROR(r->VarU64(&m->max_hops_per_cycle));
+  WEAVER_RETURN_IF_ERROR(r->U8(&flag));
+  m->remote_oracle = flag != 0;
+  WEAVER_RETURN_IF_ERROR(r->U8(&flag));
+  m->remote_gatekeepers = flag != 0;
+  WEAVER_RETURN_IF_ERROR(r->VarU64(&m->oracle_rpc_timeout_micros));
+  WEAVER_RETURN_IF_ERROR(r->VarU64(&m->oracle_total_deadline_micros));
+  WEAVER_RETURN_IF_ERROR(r->String(&m->oracle_data_dir));
+  WEAVER_RETURN_IF_ERROR(r->VarU64(&m->oracle_snapshot_every));
+  WEAVER_RETURN_IF_ERROR(r->U8(&m->oracle_fsync));
+  WEAVER_RETURN_IF_ERROR(r->VarU64(&m->tau_micros));
+  WEAVER_RETURN_IF_ERROR(r->VarU64(&m->nop_period_micros));
+  WEAVER_RETURN_IF_ERROR(r->VarU64(&m->client_workers));
+  WEAVER_RETURN_IF_ERROR(r->VarU64(&m->client_batch));
+  WEAVER_RETURN_IF_ERROR(r->VarU64(&m->client_lane_capacity));
+  WEAVER_RETURN_IF_ERROR(r->VarU64(&m->max_inflight_programs));
+  WEAVER_RETURN_IF_ERROR(r->VarU64(&m->nop_high_water));
+  return r->VarU64(&m->announce_capacity);
+}
+
+void Encode(const StoreCommitMessage& m, wire::Writer* w) {
+  w->VarU32(m.gatekeeper);
+  w->VarU64(m.request_id);
+  EncodeTimestamp(m.ts, w);
+  w->U8(m.pay_delay ? 1 : 0);
+  EncodeOps(m.ops, w);
+  w->Count(m.created_placements.size());
+  for (const auto& [node, shard] : m.created_placements) {
+    w->VarU64(node);
+    w->VarU32(shard);
+  }
+  w->Count(m.read_set.size());
+  for (const auto& [key, version] : m.read_set) {
+    w->String(key);
+    w->VarU64(version);
+  }
+}
+
+Status Decode(wire::Reader* r, StoreCommitMessage* m) {
+  WEAVER_RETURN_IF_ERROR(r->VarU32(&m->gatekeeper));
+  WEAVER_RETURN_IF_ERROR(r->VarU64(&m->request_id));
+  WEAVER_RETURN_IF_ERROR(DecodeTimestamp(r, &m->ts));
+  std::uint8_t pay_delay = 0;
+  WEAVER_RETURN_IF_ERROR(r->U8(&pay_delay));
+  m->pay_delay = pay_delay != 0;
+  WEAVER_RETURN_IF_ERROR(DecodeOps(r, &m->ops));
+  std::size_t n = 0;
+  WEAVER_RETURN_IF_ERROR(r->Count(&n));
+  m->created_placements.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    WEAVER_RETURN_IF_ERROR(r->VarU64(&m->created_placements[i].first));
+    WEAVER_RETURN_IF_ERROR(r->VarU32(&m->created_placements[i].second));
+  }
+  WEAVER_RETURN_IF_ERROR(r->Count(&n));
+  m->read_set.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    WEAVER_RETURN_IF_ERROR(r->String(&m->read_set[i].first));
+    WEAVER_RETURN_IF_ERROR(r->VarU64(&m->read_set[i].second));
+  }
+  return Status::Ok();
+}
+
+void Encode(const StoreCommitReplyMessage& m, wire::Writer* w) {
+  w->VarU32(m.gatekeeper);
+  w->VarU64(m.request_id);
+  EncodeStatus(m.status, w);
+  w->U8(m.retry_timestamp ? 1 : 0);
+  w->U8(m.kv_conflict ? 1 : 0);
+  EncodeVectorClock(m.conflict_clock, w);
+}
+
+Status Decode(wire::Reader* r, StoreCommitReplyMessage* m) {
+  WEAVER_RETURN_IF_ERROR(r->VarU32(&m->gatekeeper));
+  WEAVER_RETURN_IF_ERROR(r->VarU64(&m->request_id));
+  WEAVER_RETURN_IF_ERROR(DecodeStatus(r, &m->status));
+  std::uint8_t flag = 0;
+  WEAVER_RETURN_IF_ERROR(r->U8(&flag));
+  m->retry_timestamp = flag != 0;
+  WEAVER_RETURN_IF_ERROR(r->U8(&flag));
+  m->kv_conflict = flag != 0;
+  return DecodeVectorClock(r, &m->conflict_clock);
+}
+
+void Encode(const GkProgramStartMessage& m, wire::Writer* w) {
+  w->VarU32(m.gatekeeper);
+  w->VarU32(m.reply_to);
+  w->VarU64(m.session_id);
+  w->VarU64(m.request_id);
+  EncodeTimestamp(m.ts, w);
+  w->String(m.program_name);
+  EncodeHops(m.starts, w);
+}
+
+Status Decode(wire::Reader* r, GkProgramStartMessage* m) {
+  WEAVER_RETURN_IF_ERROR(r->VarU32(&m->gatekeeper));
+  WEAVER_RETURN_IF_ERROR(r->VarU32(&m->reply_to));
+  WEAVER_RETURN_IF_ERROR(r->VarU64(&m->session_id));
+  WEAVER_RETURN_IF_ERROR(r->VarU64(&m->request_id));
+  WEAVER_RETURN_IF_ERROR(DecodeTimestamp(r, &m->ts));
+  WEAVER_RETURN_IF_ERROR(r->String(&m->program_name));
+  return DecodeHops(r, &m->starts);
+}
+
+void Encode(const GkEpochAdvanceMessage& m, wire::Writer* w) {
+  w->VarU32(m.epoch);
+}
+
+Status Decode(wire::Reader* r, GkEpochAdvanceMessage* m) {
+  return r->VarU32(&m->epoch);
+}
+
+void Encode(const GkWatermarkMessage& m, wire::Writer* w) {
+  w->VarU32(m.gatekeeper);
+  EncodeTimestamp(m.oldest_active, w);
+}
+
+Status Decode(wire::Reader* r, GkWatermarkMessage* m) {
+  WEAVER_RETURN_IF_ERROR(r->VarU32(&m->gatekeeper));
+  return DecodeTimestamp(r, &m->oldest_active);
+}
+
 // --- Type-erased payload codec ----------------------------------------------
 
 namespace {
@@ -591,6 +794,22 @@ Result<std::string> EncodePayload(std::uint32_t tag,
       return EncodeAs<OracleRequestMessage>(payload);
     case kMsgOracleReply:
       return EncodeAs<OracleReplyMessage>(payload);
+    case kMsgJoinRequest:
+      return EncodeAs<JoinRequestMessage>(payload);
+    case kMsgJoinAck:
+      return EncodeAs<JoinAckMessage>(payload);
+    case kMsgRoleAssign:
+      return EncodeAs<RoleAssignMessage>(payload);
+    case kMsgStoreCommit:
+      return EncodeAs<StoreCommitMessage>(payload);
+    case kMsgStoreCommitReply:
+      return EncodeAs<StoreCommitReplyMessage>(payload);
+    case kMsgGkProgramStart:
+      return EncodeAs<GkProgramStartMessage>(payload);
+    case kMsgGkEpochAdvance:
+      return EncodeAs<GkEpochAdvanceMessage>(payload);
+    case kMsgGkWatermark:
+      return EncodeAs<GkWatermarkMessage>(payload);
     default:
       return Status::InvalidArgument("no wire codec for message tag " +
                                      std::to_string(tag));
@@ -638,6 +857,22 @@ Result<std::shared_ptr<void>> DecodePayload(std::uint32_t tag,
       return DecodeAs<OracleRequestMessage>(bytes);
     case kMsgOracleReply:
       return DecodeAs<OracleReplyMessage>(bytes);
+    case kMsgJoinRequest:
+      return DecodeAs<JoinRequestMessage>(bytes);
+    case kMsgJoinAck:
+      return DecodeAs<JoinAckMessage>(bytes);
+    case kMsgRoleAssign:
+      return DecodeAs<RoleAssignMessage>(bytes);
+    case kMsgStoreCommit:
+      return DecodeAs<StoreCommitMessage>(bytes);
+    case kMsgStoreCommitReply:
+      return DecodeAs<StoreCommitReplyMessage>(bytes);
+    case kMsgGkProgramStart:
+      return DecodeAs<GkProgramStartMessage>(bytes);
+    case kMsgGkEpochAdvance:
+      return DecodeAs<GkEpochAdvanceMessage>(bytes);
+    case kMsgGkWatermark:
+      return DecodeAs<GkWatermarkMessage>(bytes);
     default:
       return Status::InvalidArgument("no wire codec for message tag " +
                                      std::to_string(tag));
@@ -695,6 +930,17 @@ bool WireNeverBlock(std::uint32_t tag) {
     // blocked reply would deadlock the very caller waiting on it.
     case kMsgOracleRequest:
     case kMsgOracleReply:
+    // Out-of-parent gatekeeper traffic: StoreCommit lands in the parent
+    // agent's inline handler (which enqueues to a worker pool),
+    // GkProgramStart likewise; the replies land in the child gatekeeper's
+    // inline control handler where a block would deadlock the very
+    // attempt waiting on them. Epoch/watermark are small control-plane
+    // messages sent during recovery and from timer threads.
+    case kMsgStoreCommit:
+    case kMsgStoreCommitReply:
+    case kMsgGkProgramStart:
+    case kMsgGkEpochAdvance:
+    case kMsgGkWatermark:
       return true;
     default:
       return false;

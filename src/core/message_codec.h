@@ -100,6 +100,30 @@ Status Decode(wire::Reader* r, OracleRequestMessage* m);
 void Encode(const OracleReplyMessage& m, wire::Writer* w);
 Status Decode(wire::Reader* r, OracleReplyMessage* m);
 
+void Encode(const JoinRequestMessage& m, wire::Writer* w);
+Status Decode(wire::Reader* r, JoinRequestMessage* m);
+
+void Encode(const JoinAckMessage& m, wire::Writer* w);
+Status Decode(wire::Reader* r, JoinAckMessage* m);
+
+void Encode(const RoleAssignMessage& m, wire::Writer* w);
+Status Decode(wire::Reader* r, RoleAssignMessage* m);
+
+void Encode(const StoreCommitMessage& m, wire::Writer* w);
+Status Decode(wire::Reader* r, StoreCommitMessage* m);
+
+void Encode(const StoreCommitReplyMessage& m, wire::Writer* w);
+Status Decode(wire::Reader* r, StoreCommitReplyMessage* m);
+
+void Encode(const GkProgramStartMessage& m, wire::Writer* w);
+Status Decode(wire::Reader* r, GkProgramStartMessage* m);
+
+void Encode(const GkEpochAdvanceMessage& m, wire::Writer* w);
+Status Decode(wire::Reader* r, GkEpochAdvanceMessage* m);
+
+void Encode(const GkWatermarkMessage& m, wire::Writer* w);
+Status Decode(wire::Reader* r, GkWatermarkMessage* m);
+
 // --- Type-erased payload codec (keyed by MsgTag) ----------------------------
 
 /// Serializes a BusMessage payload. kMsgStop (no schema) encodes to an

@@ -48,6 +48,14 @@ enum MsgTag : std::uint32_t {
   kMsgPartitionReplay = 17,  // supervisor -> respawned shard: vertex blobs
   kMsgOracleRequest = 18,  // shard/parent -> oracle service: batched ops
   kMsgOracleReply = 19,    // oracle service -> requester: batched decisions
+  kMsgJoinRequest = 20,  // joining serverd -> coordinator: handshake open
+  kMsgJoinAck = 21,      // coordinator -> joining serverd: verdict
+  kMsgRoleAssign = 22,   // coordinator -> joining serverd: role + config
+  kMsgStoreCommit = 23,  // gatekeeper process -> parent: apply to kv store
+  kMsgStoreCommitReply = 24,  // parent -> gatekeeper process: apply outcome
+  kMsgGkProgramStart = 25,  // gatekeeper process -> parent: run a program
+  kMsgGkEpochAdvance = 26,  // parent -> gatekeeper process: epoch bump
+  kMsgGkWatermark = 27,  // gatekeeper process -> parent: GC watermark
 };
 
 /// Committed transaction: ops are the slice destined for the receiving
@@ -330,5 +338,176 @@ struct OracleReplyMessage {
   std::vector<OracleDecision> decisions;
   std::vector<std::pair<RefinableTimestamp, RefinableTimestamp>> edges;
 };
+
+// --- Cluster bootstrap (docs/transport.md#cluster-bootstrap) ----------------
+//
+// A standalone weaver-serverd process joins a running coordinator over
+// TCP with a three-message handshake: it sends a JoinRequest on its
+// fresh connection, the coordinator answers with a JoinAck (accept or a
+// refusal status), and an accepted joiner then receives a RoleAssign
+// carrying its role, shard assignment, cluster epoch, and the full
+// server configuration -- so the binary needs nothing on its command
+// line beyond the coordinator's address and a join token. These three
+// schemas travel as ordinary CRC-sealed wire frames but DIRECTLY on the
+// raw connection, before the socket is adopted into any MessageBus
+// (src/cluster/handshake.h); they still get codec + roundtrip coverage
+// like every bus schema.
+
+/// Schema-level codec version carried inside JoinRequest/JoinAck, checked
+/// EXACTLY at join time: wire::kWireVersion guards the frame layout, this
+/// guards the payload schemas on top of it. Bump when any schema changes
+/// incompatibly.
+constexpr std::uint32_t kWireCodecVersion = 2;
+
+/// What a joining process comes up as after the handshake.
+enum class NodeRole : std::uint8_t {
+  kShard = 0,
+  kOracle = 1,
+  kGatekeeper = 2,
+  kSpare = 3,
+};
+
+/// `shard_id` wildcard in a JoinRequest: "assign me any open slot of my
+/// requested role".
+constexpr std::uint32_t kAnyShard = 0xFFFFFFFFu;
+
+/// Joining serverd -> coordinator listener. `cluster_epoch` is the epoch
+/// the joiner believes current (0 = no expectation, the fresh-exec case);
+/// a nonzero stale value is fenced with FailedPrecondition so a process
+/// respawned against an old incarnation cannot rejoin.
+struct JoinRequestMessage {
+  std::uint32_t codec_version = kWireCodecVersion;
+  std::uint32_t cluster_epoch = 0;
+  NodeRole role = NodeRole::kSpare;
+  std::uint32_t shard_id = kAnyShard;
+  /// Shared secret for this cluster instance (the supervisor passes it to
+  /// exec'd children; shells read it off the coordinator's stdout).
+  std::string token;
+  std::uint64_t pid = 0;
+};
+
+/// Coordinator -> joiner: accept (OK) or refusal. The coordinator's own
+/// codec version and epoch ride along either way so a refused joiner can
+/// log WHY (version skew, stale epoch) without guessing.
+struct JoinAckMessage {
+  Status status;
+  std::uint32_t codec_version = kWireCodecVersion;
+  std::uint32_t cluster_epoch = 0;
+};
+
+/// Coordinator -> accepted joiner: everything the process needs to come
+/// up in its role. Mirrors serverd::ShardServerOptions field for field
+/// (coord/serverd.h owns the authoritative defaults); `cluster_epoch`
+/// seeds gatekeeper clocks so a respawned gatekeeper starts past every
+/// pre-crash timestamp.
+struct RoleAssignMessage {
+  NodeRole role = NodeRole::kSpare;
+  std::uint32_t shard_id = 0;
+  std::uint32_t cluster_epoch = 0;
+  /// Shard role only: sync the per-process oracle replica before serving
+  /// (the respawn-after-crash path).
+  bool rehydrate = false;
+  // -- serverd::ShardServerOptions image ------------------------------------
+  std::uint32_t num_shards = 0;
+  std::uint32_t num_gatekeepers = 0;
+  std::uint64_t inbox_capacity = 0;
+  std::uint64_t queue_high_water = 0;
+  std::uint64_t max_hops_per_cycle = 0;
+  bool remote_oracle = false;
+  bool remote_gatekeepers = false;
+  std::uint64_t oracle_rpc_timeout_micros = 0;
+  std::uint64_t oracle_total_deadline_micros = 0;
+  /// Oracle role only: where the durable changelog lives (empty =
+  /// memory-only) and its journaling knobs. An exec'd respawn replays
+  /// this directory, so it must travel in the assignment.
+  std::string oracle_data_dir;
+  std::uint64_t oracle_snapshot_every = 0;
+  std::uint8_t oracle_fsync = 0;  // storage FsyncPolicy value
+  // -- gatekeeper role knobs -------------------------------------------------
+  std::uint64_t tau_micros = 0;
+  std::uint64_t nop_period_micros = 0;
+  std::uint64_t client_workers = 0;
+  std::uint64_t client_batch = 0;
+  std::uint64_t client_lane_capacity = 0;
+  std::uint64_t max_inflight_programs = 0;
+  std::uint64_t nop_high_water = 0;
+  std::uint64_t announce_capacity = 0;
+};
+
+// --- Out-of-parent gatekeepers (docs/transport.md#cluster-bootstrap) --------
+//
+// When gatekeepers run as their own processes, the vector clock, slot
+// sequencer, timers, and client ingress all live in the child; only the
+// durable kv apply (OCC validation + write-back) stays with the parent,
+// which owns the backing store. The child drives each commit attempt as
+// a StoreCommit RPC to its parent-side agent endpoint and fans the
+// committed slices out to the shards itself; node programs are handed to
+// the parent coordinator with GkProgramStart (the parent owns locator +
+// quiescence accounting).
+
+/// Gatekeeper process -> parent agent: validate + apply one commit
+/// attempt at the child-issued timestamp. `request_id` correlates the
+/// reply on the child's control endpoint.
+struct StoreCommitMessage {
+  GatekeeperId gatekeeper = 0;
+  std::uint64_t request_id = 0;
+  RefinableTimestamp ts;
+  /// The simulated backing-store round trip is still owed for this
+  /// attempt (the parent pays it inside the apply, where the store is).
+  bool pay_delay = false;
+  std::vector<GraphOp> ops;
+  std::vector<std::pair<NodeId, ShardId>> created_placements;
+  std::vector<std::pair<std::string, std::uint64_t>> read_set;
+};
+
+/// Parent agent -> gatekeeper process: outcome of one StoreCommit.
+/// `retry_timestamp` means a last-update conflict: the child merges
+/// `conflict_clock`, issues a fresh timestamp, and retries the attempt --
+/// the same loop an in-process gatekeeper runs.
+struct StoreCommitReplyMessage {
+  GatekeeperId gatekeeper = 0;
+  std::uint64_t request_id = 0;
+  Status status;
+  bool retry_timestamp = false;
+  bool kv_conflict = false;
+  VectorClock conflict_clock;
+};
+
+/// Gatekeeper process -> parent coordinator: run a node program at the
+/// child-issued (fence-merged) timestamp. The (reply_to, session_id,
+/// request_id) triple is the CLIENT's reply address, generated child-side
+/// and echoed verbatim in the ClientProgramReply the parent sends to the
+/// child's control endpoint, which forwards the result to the session and
+/// settles the program slot.
+struct GkProgramStartMessage {
+  GatekeeperId gatekeeper = 0;
+  EndpointId reply_to = 0;
+  std::uint64_t session_id = 0;
+  std::uint64_t request_id = 0;
+  RefinableTimestamp ts;
+  std::string program_name;
+  std::vector<NextHop> starts;
+};
+
+/// Parent -> gatekeeper process control endpoint: advance the cluster
+/// epoch (a peer process died). The child applies it under its clock lock
+/// exactly like ClusterManager::AdvanceEpochBarrier does in process.
+struct GkEpochAdvanceMessage {
+  std::uint32_t epoch = 0;
+};
+
+/// Gatekeeper process -> parent coordinator: periodic oldest-active
+/// timestamp, feeding the parent's GC watermark (the remote analog of
+/// polling Gatekeeper::OldestActive in process).
+struct GkWatermarkMessage {
+  GatekeeperId gatekeeper = 0;
+  RefinableTimestamp oldest_active;
+};
+
+/// `shard` value in MetricsReports from a gatekeeper process: report
+/// sources are one id space, and gatekeeper g reports as
+/// kGkMetricsBase + g (never a valid shard id; consumers indexing by
+/// shard skip it like kOracleMetricsSource).
+constexpr ShardId kGkMetricsBase = 0xFFFFFF00u;
 
 }  // namespace weaver

@@ -19,12 +19,17 @@ void ProgramCache::Insert(std::string_view program, NodeId start,
                           const std::string& params,
                           const ProgramResult& result) {
   MutexLock lk(mu_);
-  if (entries_.size() >= max_entries_) {
-    // Simple safety valve: memoization is an optimization, so dumping the
-    // cache wholesale is always correct.
-    entries_.clear();
-    by_node_.clear();
-    stats_.entries_dropped += max_entries_;
+  // Precision eviction: drop only the oldest entries until there is
+  // room, instead of dumping the whole cache -- one hot workload vertex
+  // no longer wipes every other memoized path. Records whose entry an
+  // invalidation already removed are skipped (every live key has exactly
+  // one record, so the loop always frees a slot).
+  while (entries_.size() >= max_entries_ && !fifo_.empty()) {
+    Key victim = std::move(fifo_.front());
+    fifo_.pop_front();
+    if (entries_.find(victim) == entries_.end()) continue;  // stale record
+    EraseEntryLocked(victim);
+    stats_.entries_dropped++;
   }
   Key key{std::string(program), start, params};
   Entry entry;
@@ -33,41 +38,60 @@ void ProgramCache::Insert(std::string_view program, NodeId start,
   for (const auto& [node, _] : result.returns) {
     entry.dependencies.insert(node);
   }
-  auto [it, inserted] = entries_.insert_or_assign(std::move(key),
-                                                  std::move(entry));
+  auto [it, inserted] = entries_.insert_or_assign(key, std::move(entry));
   const Key* stable_key = &it->first;  // node-based container: stable
   for (NodeId dep : it->second.dependencies) {
     by_node_[dep].insert(stable_key);
   }
-  (void)inserted;
+  if (inserted) fifo_.push_back(std::move(key));
+  // Compaction guard: invalidation-heavy workloads leave stale records
+  // accumulating in the order queue. Once they outnumber live entries by
+  // a full capacity's worth, rebuild the queue from the live set.
+  if (fifo_.size() > entries_.size() + max_entries_) {
+    std::deque<Key> live;
+    for (Key& k : fifo_) {
+      if (entries_.find(k) != entries_.end()) live.push_back(std::move(k));
+    }
+    fifo_ = std::move(live);
+  }
 }
 
 void ProgramCache::InvalidateNode(NodeId node) {
   MutexLock lk(mu_);
   auto nit = by_node_.find(node);
   if (nit == by_node_.end()) return;
-  // Copy: erasing entries mutates the reverse index.
-  std::vector<const Key*> stale(nit->second.begin(), nit->second.end());
-  for (const Key* key : stale) {
-    auto eit = entries_.find(*key);
-    if (eit == entries_.end()) continue;
-    for (NodeId dep : eit->second.dependencies) {
-      auto dit = by_node_.find(dep);
-      if (dit != by_node_.end()) {
-        dit->second.erase(&eit->first);
-        if (dit->second.empty()) by_node_.erase(dit);
-      }
-    }
-    entries_.erase(eit);
+  // Copy: erasing entries mutates the reverse index. The eviction
+  // queue's records for these keys go stale and are skipped/compacted
+  // later.
+  std::vector<Key> stale;
+  stale.reserve(nit->second.size());
+  for (const Key* key : nit->second) stale.push_back(*key);
+  for (const Key& key : stale) {
+    if (entries_.find(key) == entries_.end()) continue;
+    EraseEntryLocked(key);
     stats_.entries_dropped++;
   }
   stats_.invalidations++;
+}
+
+void ProgramCache::EraseEntryLocked(const Key& key) {
+  auto eit = entries_.find(key);
+  if (eit == entries_.end()) return;
+  for (NodeId dep : eit->second.dependencies) {
+    auto dit = by_node_.find(dep);
+    if (dit != by_node_.end()) {
+      dit->second.erase(&eit->first);
+      if (dit->second.empty()) by_node_.erase(dit);
+    }
+  }
+  entries_.erase(eit);
 }
 
 void ProgramCache::Clear() {
   MutexLock lk(mu_);
   entries_.clear();
   by_node_.clear();
+  fifo_.clear();
 }
 
 std::size_t ProgramCache::Size() const {

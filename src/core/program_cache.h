@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -82,12 +83,20 @@ class ProgramCache {
     std::unordered_set<NodeId> dependencies;
   };
 
+  /// Erases one entry and strips it from the reverse index.
+  void EraseEntryLocked(const Key& key) REQUIRES(mu_);
+
   std::size_t max_entries_;
   mutable Mutex mu_;
   std::unordered_map<Key, Entry, KeyHash> entries_ GUARDED_BY(mu_);
   // Reverse index: vertex -> keys depending on it.
   std::unordered_map<NodeId, std::unordered_set<const Key*>> by_node_
       GUARDED_BY(mu_);
+  /// Insertion order for capacity eviction: oldest entries go first, one
+  /// record per live key (overwrites keep their original slot).
+  /// Invalidations leave stale records behind; they are skipped at
+  /// eviction time and compacted away when they outnumber live entries.
+  std::deque<Key> fifo_ GUARDED_BY(mu_);
   Stats stats_ GUARDED_BY(mu_);
 };
 

@@ -83,6 +83,17 @@ Weaver::Weaver(const WeaverOptions& options) : options_(options) {
   programs_ = ProgramRegistry::WithStandardPrograms();
   locator_ = std::make_unique<NodeLocator>(kv_.get(), options_.num_shards);
   remote_shards_ = !options_.remote_shard_fds.empty();
+  remote_gatekeepers_ = !options_.remote_gatekeeper_fds.empty();
+  if (remote_gatekeepers_ &&
+      (!remote_shards_ ||
+       options_.remote_gatekeeper_fds.size() != options_.num_gatekeepers)) {
+    // Half-wired gatekeeper banks cannot be recovered into a sane
+    // deployment; fail at boot, loudly, like layout drift.
+    std::fprintf(stderr,
+                 "weaver: remote_gatekeeper_fds needs remote shards and one "
+                 "fd per gatekeeper\n");
+    std::abort();
+  }
   if (remote_shards_ && options_.use_ldg_partitioner) {
     // Remote shard servers route forwarded hops with the deterministic
     // hash directory (they hold no placement state); LDG placements would
@@ -146,24 +157,37 @@ Weaver::Weaver(const WeaverOptions& options) : options_(options) {
   const std::vector<EndpointId>& shard_eps = shard_endpoints_;
 
   for (std::size_t g = 0; g < options_.num_gatekeepers; ++g) {
-    Gatekeeper::Options go;
-    go.id = static_cast<GatekeeperId>(g);
-    go.num_gatekeepers = options_.num_gatekeepers;
-    go.bus = bus_.get();
-    go.kv = kv_.get();
-    go.shard_endpoints = shard_eps;
-    go.tau_micros = options_.tau_micros;
-    go.nop_period_micros = options_.nop_period_micros;
-    go.initial_epoch = cluster_.current_epoch();
-    go.client_workers = options_.client_ingress_workers;
-    go.client_batch = options_.client_ingress_batch;
-    go.client_lane_capacity = options_.client_lane_capacity;
-    go.max_inflight_programs = options_.client_max_inflight_programs;
-    go.nop_high_water = options_.nop_high_water;
-    go.announce_capacity = options_.announce_capacity;
-    go.metrics = &metrics_;
-    go.trace = &trace_;
-    gatekeepers_.push_back(std::make_unique<Gatekeeper>(std::move(go)));
+    if (remote_gatekeepers_) {
+      // Out-of-parent gatekeeper (docs/transport.md#cluster-bootstrap):
+      // the process behind this fd owns the clock, timers, and client
+      // ingress; its two layout ids become remote proxies here, in the
+      // same positions the in-process construction order would assign.
+      auto transport = std::shared_ptr<Transport>(
+          SocketTransport::Adopt(options_.remote_gatekeeper_fds[g]));
+      gk_server_endpoints_.push_back(
+          bus_->RegisterRemote("gk" + std::to_string(g), transport));
+      gk_client_endpoints_.push_back(bus_->RegisterRemote(
+          "gk" + std::to_string(g) + ".client", transport));
+      remote_gatekeeper_transports_.push_back(std::move(transport));
+    } else {
+      Gatekeeper::Options go;
+      go.id = static_cast<GatekeeperId>(g);
+      go.num_gatekeepers = options_.num_gatekeepers;
+      go.bus = bus_.get();
+      go.shard_endpoints = shard_eps;
+      go.tau_micros = options_.tau_micros;
+      go.nop_period_micros = options_.nop_period_micros;
+      go.initial_epoch = cluster_.current_epoch();
+      go.client_workers = options_.client_ingress_workers;
+      go.client_batch = options_.client_ingress_batch;
+      go.client_lane_capacity = options_.client_lane_capacity;
+      go.max_inflight_programs = options_.client_max_inflight_programs;
+      go.nop_high_water = options_.nop_high_water;
+      go.announce_capacity = options_.announce_capacity;
+      go.metrics = &metrics_;
+      go.trace = &trace_;
+      gatekeepers_.push_back(std::make_unique<Gatekeeper>(std::move(go)));
+    }
     cluster_.Register("gk" + std::to_string(g), ServerKind::kGatekeeper,
                       static_cast<std::uint32_t>(g));
   }
@@ -248,6 +272,45 @@ Weaver::Weaver(const WeaverOptions& options) : options_(options) {
     }
     oracle_client_ = std::make_unique<OracleClient>(co);
   }
+  // Out-of-parent gatekeeper blocks extend the layout past the oracle
+  // ids: one parent-side agent endpoint per gatekeeper (StoreCommit /
+  // GkProgramStart / GkWatermark ingress -- an inline handler that only
+  // enqueues to the agent pool, so link receive threads never sleep on
+  // store work), then one remote proxy per gatekeeper control endpoint.
+  if (remote_gatekeepers_) {
+    for (std::size_t g = 0; g < options_.num_gatekeepers; ++g) {
+      gk_agent_endpoints_.push_back(bus_->RegisterHandler(
+          "gk" + std::to_string(g) + ".agent", [this](const BusMessage& msg) {
+            if (msg.payload_tag == kMsgStoreCommit) {
+              auto m =
+                  std::static_pointer_cast<StoreCommitMessage>(msg.payload);
+              EnqueueAgentWork(
+                  [this, m = std::move(m)] { HandleStoreCommit(m); });
+            } else if (msg.payload_tag == kMsgGkProgramStart) {
+              auto m =
+                  std::static_pointer_cast<GkProgramStartMessage>(msg.payload);
+              EnqueueAgentWork(
+                  [this, m = std::move(m)] { HandleGkProgramStart(m); });
+            } else if (msg.payload_tag == kMsgGkWatermark) {
+              auto m =
+                  std::static_pointer_cast<GkWatermarkMessage>(msg.payload);
+              MutexLock lk(gk_wm_mu_);
+              if (m->gatekeeper < gk_watermarks_.size()) {
+                gk_watermarks_[m->gatekeeper] = m->oldest_active;
+              }
+            }
+          }));
+    }
+    for (std::size_t g = 0; g < options_.num_gatekeepers; ++g) {
+      gk_control_endpoints_.push_back(
+          bus_->RegisterRemote("gk" + std::to_string(g) + ".control",
+                               remote_gatekeeper_transports_[g]));
+    }
+    {
+      MutexLock lk(gk_wm_mu_);
+      gk_watermarks_.resize(options_.num_gatekeepers);
+    }
+  }
   // Remote deployments share this endpoint layout with their shard
   // server processes -- ids are the addressing contract on the wire, so
   // drift must fail at boot, loudly (a plain abort, not assert: release
@@ -255,11 +318,20 @@ Weaver::Weaver(const WeaverOptions& options) : options_(options) {
   // (serverd::EndpointLayout); this only compares against it.
   if (remote_shards_) {
     const auto layout = serverd::EndpointLayout::Compute(
-        options_.num_shards, options_.num_gatekeepers, remote_oracle_);
+        options_.num_shards, options_.num_gatekeepers, remote_oracle_,
+        remote_gatekeepers_);
     bool ok = coordinator_endpoint_ == layout.coordinator;
     for (std::size_t g = 0; ok && g < gatekeepers_.size(); ++g) {
       ok = gatekeepers_[g]->endpoint() == layout.gatekeepers[g] &&
            gatekeepers_[g]->client_endpoint() == layout.gatekeeper_clients[g];
+    }
+    for (std::size_t g = 0; ok && remote_gatekeepers_ &&
+                            g < options_.num_gatekeepers;
+         ++g) {
+      ok = gk_server_endpoints_[g] == layout.gatekeepers[g] &&
+           gk_client_endpoints_[g] == layout.gatekeeper_clients[g] &&
+           gk_agent_endpoints_[g] == layout.gk_agents[g] &&
+           gk_control_endpoints_[g] == layout.gk_controls[g];
     }
     for (std::size_t s = 0; ok && s < shard_endpoints_.size(); ++s) {
       ok = shard_endpoints_[s] == layout.shards[s];
@@ -382,6 +454,17 @@ Weaver::Weaver(const WeaverOptions& options) : options_(options) {
                  "weaver: supervision requires remote shards; ignoring\n");
   }
 
+  // The agent pool must exist before any link can deliver a StoreCommit
+  // into its queue.
+  if (remote_gatekeepers_) {
+    const std::size_t workers = std::max<std::size_t>(
+        2, options_.client_ingress_workers * options_.num_gatekeepers);
+    agent_workers_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+      agent_workers_.emplace_back([this] { AgentWorkerLoop(); });
+    }
+  }
+
   // Wire links come up last, once every local endpoint a frame could
   // address exists. Each link drains one shard socket: decoded local
   // deliveries (accounting to the coordinator) and verbatim hub
@@ -412,6 +495,139 @@ Weaver::Weaver(const WeaverOptions& options) : options_(options) {
     }
     oracle_link_ = std::make_unique<WireLink>(std::move(lo));
   }
+  // One inbound link per gatekeeper process: decoded local deliveries
+  // (agent RPCs, session replies) plus verbatim hub forwarding for the
+  // traffic a gatekeeper originates toward other children (commit
+  // slices and NOPs to shards, announces to peer gatekeepers).
+  for (std::size_t g = 0; g < remote_gatekeeper_transports_.size(); ++g) {
+    WireLink::Options lo;
+    lo.bus = bus_.get();
+    lo.transport = remote_gatekeeper_transports_[g];
+    lo.decode = DecodePayload;
+    lo.never_block = WireNeverBlock;
+    lo.name = "gk" + std::to_string(g) + ".link";
+    if (supervisor_) {
+      lo.on_down = [this, g](const Status&) {
+        supervisor_->OnGatekeeperLinkDown(static_cast<GatekeeperId>(g));
+      };
+    }
+    gatekeeper_links_.push_back(std::make_unique<WireLink>(std::move(lo)));
+  }
+}
+
+void Weaver::EnqueueAgentWork(std::function<void()> work) {
+  MutexLock lk(agent_mu_);
+  if (agent_stop_) return;
+  agent_queue_.push_back(std::move(work));
+  agent_cv_.notify_one();
+}
+
+void Weaver::AgentWorkerLoop() {
+  for (;;) {
+    std::function<void()> work;
+    {
+      MutexLock lk(agent_mu_);
+      while (!agent_stop_ && agent_queue_.empty()) {
+        agent_cv_.wait(lk.native());
+      }
+      if (agent_stop_ && agent_queue_.empty()) return;
+      work = std::move(agent_queue_.front());
+      agent_queue_.pop_front();
+    }
+    work();
+  }
+}
+
+void Weaver::StopAgentPool() {
+  {
+    MutexLock lk(agent_mu_);
+    if (agent_stop_) return;
+    agent_stop_ = true;
+    // Queued applies never ran: their gatekeeper processes are being
+    // shut down too, so dropping them strands no waiter past their RPC
+    // timeout -- and the ingress over there fails queued requests first.
+    agent_queue_.clear();
+    agent_cv_.notify_all();
+  }
+  for (auto& w : agent_workers_) {
+    if (w.joinable()) w.join();
+  }
+  agent_workers_.clear();
+}
+
+void Weaver::HandleStoreCommit(std::shared_ptr<StoreCommitMessage> m) {
+  ApplyOutcome out;
+  if (m->gatekeeper >= gk_control_endpoints_.size()) return;
+  {
+    // Shared side of the recovery gate, exactly like CommitOnGatekeeper:
+    // a partition replay must not interleave with store applies.
+    ReaderLock recovery_gate(commit_gate_);
+    if (m->pay_delay) PayCommitDelay(m->ops.size());
+    std::unordered_map<NodeId, ShardId> placements;
+    for (const auto& [node, shard] : m->created_placements) {
+      placements[node] = shard;
+    }
+    bool resolved = true;
+    for (const GraphOp& op : m->ops) {
+      if (placements.count(op.node)) continue;
+      auto shard = locator_->Lookup(op.node);
+      if (!shard.has_value()) {
+        out.status =
+            Status::NotFound("unknown vertex " + std::to_string(op.node));
+        resolved = false;
+        break;
+      }
+      placements[op.node] = *shard;
+    }
+    if (resolved) {
+      KvTransaction kvtx = kv_->Resume(m->read_set);
+      out = ApplyCommitToStore(&kvtx, m->ts, m->ops, placements);
+      if (out.status.ok()) {
+        for (const auto& [node, shard] : m->created_placements) {
+          locator_->Record(node, shard);
+        }
+        if (options_.enable_program_cache) {
+          for (const GraphOp& op : m->ops) {
+            program_cache_.InvalidateNode(op.node);
+          }
+        }
+      }
+    }
+  }
+  auto reply = std::make_shared<StoreCommitReplyMessage>();
+  reply->gatekeeper = m->gatekeeper;
+  reply->request_id = m->request_id;
+  reply->status = out.status;
+  reply->retry_timestamp = out.retry_timestamp;
+  reply->kv_conflict = out.kv_conflict;
+  reply->conflict_clock = std::move(out.conflict_clock);
+  (void)bus_->Send(gk_agent_endpoints_[m->gatekeeper],
+                   gk_control_endpoints_[m->gatekeeper], kMsgStoreCommitReply,
+                   std::move(reply));
+}
+
+void Weaver::HandleGkProgramStart(std::shared_ptr<GkProgramStartMessage> m) {
+  const GatekeeperId g = m->gatekeeper;
+  if (g >= gk_control_endpoints_.size()) return;
+  const auto finish = [this, g, session_id = m->session_id,
+                       request_id = m->request_id](Result<ProgramResult> r) {
+    auto reply = std::make_shared<ClientProgramReplyMessage>();
+    reply->session_id = session_id;
+    reply->request_id = request_id;
+    reply->status = r.status();
+    if (r.ok()) reply->result = std::move(r).value();
+    // Routed through the gatekeeper process's control endpoint, not the
+    // session: the clock owner must retire the in-flight entry before
+    // the requester sees the reply.
+    (void)bus_->Send(gk_agent_endpoints_[g], gk_control_endpoints_[g],
+                     kMsgClientProgramReply, std::move(reply));
+  };
+  if (programs_->Find(m->program_name) == nullptr) {
+    finish(Status::NotFound("no node program named " + m->program_name));
+    return;
+  }
+  ExecuteProgramAsync(m->program_name, std::move(m->starts), m->ts,
+                      /*gk=*/nullptr, finish);
 }
 
 Transaction Weaver::RehydrateCommit(ClientCommitMessage& msg) {
@@ -540,6 +756,21 @@ void Weaver::Shutdown() {
       oracle_link_->Stop();
       oracle_link_.reset();
     }
+    // Gatekeeper processes: ask each control endpoint to stop, then tear
+    // the links down. Closing a transport also fails the child's pending
+    // StoreCommit waiters fast (its uplink EOFs), so nothing over there
+    // rides out a full RPC timeout.
+    if (remote_gatekeepers_) {
+      for (std::size_t g = 0; g < gk_control_endpoints_.size(); ++g) {
+        (void)bus_->Send(coordinator_endpoint_, gk_control_endpoints_[g],
+                         kMsgStop, nullptr);
+      }
+      for (auto& link : gatekeeper_links_) {
+        if (link) link->Stop();
+      }
+      gatekeeper_links_.clear();
+      StopAgentPool();
+    }
   }
   // Shard loops are joined (or their processes told to stop): no
   // accounting delta can arrive anymore, so any still-registered program
@@ -575,6 +806,34 @@ void Weaver::AnnotateCommitOutcome(Transaction* tx, const CommitResult& r) {
   tx->committed_ = r.status.ok();
 }
 
+std::uint64_t Weaver::RegisterSessionRouter(GatekeeperId gk,
+                                            std::weak_ptr<ReplyRouter> router) {
+  MutexLock lk(session_routers_mu_);
+  const std::uint64_t id = next_session_router_++;
+  session_routers_.emplace(id, std::make_pair(gk, std::move(router)));
+  return id;
+}
+
+void Weaver::UnregisterSessionRouter(std::uint64_t registration) {
+  MutexLock lk(session_routers_mu_);
+  session_routers_.erase(registration);
+}
+
+void Weaver::FailSessionCalls(GatekeeperId gk, const Status& status) {
+  // Snapshot the routers outside the registry lock: FailAll fulfills
+  // Pending handles, and a fulfilled waiter may immediately destroy its
+  // Session, whose destructor takes the registry lock to unregister.
+  std::vector<std::shared_ptr<ReplyRouter>> routers;
+  {
+    MutexLock lk(session_routers_mu_);
+    for (const auto& [id, entry] : session_routers_) {
+      if (entry.first != gk) continue;
+      if (auto r = entry.second.lock()) routers.push_back(std::move(r));
+    }
+  }
+  for (const auto& r : routers) r->FailAll(status);
+}
+
 Status Weaver::Commit(Transaction* tx) {
   if (tx == nullptr || !tx->valid()) {
     return Status::FailedPrecondition("invalid or moved-from transaction");
@@ -582,14 +841,20 @@ Status Weaver::Commit(Transaction* tx) {
   if (tx->committed_) {
     return Status::Internal("transaction already committed");
   }
-  Gatekeeper& gk = *gatekeepers_[NextGatekeeperId()];
+  const GatekeeperId gk_id = NextGatekeeperId();
   // Simulated backing-store network round trip (client-side: does not
   // hold gatekeeper slots or locks, so commits still pipeline).
   PayCommitDelay(tx->ops_.size());
   if (!started_.load()) {
+    if (remote_gatekeepers_) {
+      // The commit path IS the gatekeeper process; there is no inline
+      // fallback without one.
+      return Status::FailedPrecondition(
+          "out-of-parent gatekeepers need a started deployment");
+    }
     // Deterministic deployments (start = false, PumpAll-driven tests,
     // post-bulk-load commits) have no ingress workers: execute inline.
-    return CommitOnGatekeeper(tx, gk);
+    return CommitOnGatekeeper(tx, *gatekeepers_[gk_id]);
   }
   // Thin wrapper over the async path: route the same ClientCommit message
   // a session would send and wait for the reply (docs/client_api.md). The
@@ -609,8 +874,8 @@ Status Weaver::Commit(Transaction* tx) {
   msg->read_set = std::move(payload.read_set);
   const std::uint64_t request_id = msg->request_id;
   const Status sent = bus_->Send(internal_reply_endpoint_,
-                                 gk.client_endpoint(), kMsgClientCommit,
-                                 std::move(msg));
+                                 GatekeeperClientEndpoint(gk_id),
+                                 kMsgClientCommit, std::move(msg));
   if (!sent.ok()) {
     internal_replies_->FailCommit(request_id, sent);
     return sent;
@@ -1054,6 +1319,39 @@ void Weaver::RunProgramAsyncOn(
 Result<ProgramResult> Weaver::RunProgramOn(GatekeeperId gk_id,
                                            std::string_view name,
                                            std::vector<NextHop> starts) {
+  if (remote_gatekeepers_) {
+    // The clock owner lives out-of-parent: route the same ClientProgram
+    // message a session would send and wait for the reply. Mirror of
+    // Session::RunProgramBatchAsync; keep the two in sync.
+    if (!started_.load()) {
+      return Status::FailedPrecondition("deployment not started");
+    }
+    if (gk_id >= options_.num_gatekeepers) {
+      return Status::InvalidArgument("no such gatekeeper");
+    }
+    if (programs_->Find(name) == nullptr) {
+      return Status::NotFound("no node program named " + std::string(name));
+    }
+    auto pending = Pending<Result<ProgramResult>>::Make();
+    auto msg = std::make_shared<ClientProgramMessage>();
+    msg->session_id =
+        next_internal_lane_.fetch_add(1, std::memory_order_relaxed);
+    msg->reply_to = internal_reply_endpoint_;
+    ProgramRequest req;
+    req.request_id = internal_replies_->RegisterProgram(pending);
+    req.program_name = std::string(name);
+    req.starts = std::move(starts);
+    const std::uint64_t request_id = req.request_id;
+    msg->requests.push_back(std::move(req));
+    const Status sent =
+        bus_->Send(internal_reply_endpoint_, gk_client_endpoints_[gk_id],
+                   kMsgClientProgram, std::move(msg));
+    if (!sent.ok()) {
+      internal_replies_->FailProgram(request_id, sent);
+      return sent;
+    }
+    return pending.Take();
+  }
   auto pending = Pending<Result<ProgramResult>>::Make();
   RunProgramAsyncOn(gk_id, name, std::move(starts),
                     [pending](Result<ProgramResult> r) mutable {
@@ -1180,18 +1478,42 @@ Status Weaver::FinishBulkLoad() {
 void Weaver::RunGarbageCollection(bool include_shards) {
   // Watermark: pointwise minimum over every gatekeeper's oldest in-flight
   // operation (paper §4.5).
-  RefinableTimestamp watermark = gatekeepers_[0]->OldestActive();
-  std::vector<std::uint64_t> mins(watermark.clock.counters());
-  std::uint32_t epoch = watermark.clock.epoch();
-  for (std::size_t g = 1; g < gatekeepers_.size(); ++g) {
-    const RefinableTimestamp other = gatekeepers_[g]->OldestActive();
-    epoch = std::min(epoch, other.clock.epoch());
-    for (std::size_t i = 0; i < mins.size() && i < other.clock.width();
-         ++i) {
-      mins[i] = std::min(mins[i], other.clock.Component(i));
+  RefinableTimestamp watermark;
+  if (remote_gatekeepers_) {
+    // Out-of-parent gatekeepers push their oldest-active watermark every
+    // few milliseconds (GkWatermark); fold the cached copies. Until every
+    // gatekeeper has reported at least once there is no safe watermark --
+    // skip the round rather than collect at a guess.
+    MutexLock lk(gk_wm_mu_);
+    for (const RefinableTimestamp& wm : gk_watermarks_) {
+      if (!wm.valid()) return;
     }
+    watermark = gk_watermarks_[0];
+    std::vector<std::uint64_t> mins(watermark.clock.counters());
+    std::uint32_t epoch = watermark.clock.epoch();
+    for (std::size_t g = 1; g < gk_watermarks_.size(); ++g) {
+      const RefinableTimestamp& other = gk_watermarks_[g];
+      epoch = std::min(epoch, other.clock.epoch());
+      for (std::size_t i = 0; i < mins.size() && i < other.clock.width();
+           ++i) {
+        mins[i] = std::min(mins[i], other.clock.Component(i));
+      }
+    }
+    watermark.clock = VectorClock(epoch, std::move(mins));
+  } else {
+    watermark = gatekeepers_[0]->OldestActive();
+    std::vector<std::uint64_t> mins(watermark.clock.counters());
+    std::uint32_t epoch = watermark.clock.epoch();
+    for (std::size_t g = 1; g < gatekeepers_.size(); ++g) {
+      const RefinableTimestamp other = gatekeepers_[g]->OldestActive();
+      epoch = std::min(epoch, other.clock.epoch());
+      for (std::size_t i = 0; i < mins.size() && i < other.clock.width();
+           ++i) {
+        mins[i] = std::min(mins[i], other.clock.Component(i));
+      }
+    }
+    watermark.clock = VectorClock(epoch, std::move(mins));
   }
-  watermark.clock = VectorClock(epoch, std::move(mins));
   if (include_shards) {
     for (std::size_t s = 0; s < shards_.size(); ++s) {
       if (!ShardAlive(s)) continue;
@@ -1267,12 +1589,27 @@ Status Weaver::RecoverShard(ShardId id) {
 }
 
 Status Weaver::ReplaceGatekeeper(GatekeeperId id) {
-  if (id >= gatekeepers_.size()) {
+  if (id >= options_.num_gatekeepers) {
     return Status::InvalidArgument("no such gatekeeper");
   }
   // The backup restarts the failed gatekeeper's vector clock; the cluster
   // manager imposes an epoch barrier so all clocks advance in unison
   // (paper §4.3).
+  if (remote_gatekeepers_) {
+    // The clocks live out-of-parent: bump the cluster epoch here and
+    // broadcast the new value to every gatekeeper process's control
+    // endpoint; each advances its own clock on receipt.
+    auto new_epoch = cluster_.AdvanceEpochBarrier({});
+    if (!new_epoch.ok()) return new_epoch.status();
+    for (std::size_t g = 0; g < gk_control_endpoints_.size(); ++g) {
+      auto adv = std::make_shared<GkEpochAdvanceMessage>();
+      adv->epoch = *new_epoch;
+      bus_->Send(coordinator_endpoint_, gk_control_endpoints_[g],
+                 kMsgGkEpochAdvance, std::move(adv));
+    }
+    cluster_.MarkRecovered("gk" + std::to_string(id));
+    return Status::Ok();
+  }
   std::vector<Gatekeeper*> gks;
   gks.reserve(gatekeepers_.size());
   for (auto& g : gatekeepers_) gks.push_back(g.get());

@@ -30,6 +30,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <shared_mutex>
 #include <string>
@@ -37,8 +38,11 @@
 #include <thread>
 #include <vector>
 
+#include <deque>
+
 #include "client/reply_router.h"
 #include "common/annotations.h"
+#include "coord/serverd.h"
 #include "common/ids.h"
 #include "common/result.h"
 #include "common/sync.h"
@@ -86,6 +90,19 @@ struct ShardSupervisionOptions {
   /// wire-sequence reset before proceeding anyway (counted in
   /// supervisor.reset_ack_timeouts).
   std::uint64_t reset_ack_timeout_micros = 2'000'000;
+  /// pid of each out-of-parent gatekeeper process, indexed by
+  /// GatekeeperId (remote_gatekeeper_fds deployments). When set, the
+  /// monitor watches and recovers them like shard children.
+  std::vector<pid_t> gatekeeper_pids;
+  /// Exec-based respawn (docs/transport.md#cluster-bootstrap): spawn a
+  /// fresh weaver-serverd for `role`/`id` (shard id, or gatekeeper id
+  /// for kGatekeeper) at cluster epoch `epoch` and return its connected
+  /// process. `rehydrate` asks a shard to resync its oracle replica.
+  /// Preferred over the warm-spare pool when set -- and the ONLY respawn
+  /// path for gatekeeper processes, which spares cannot become.
+  std::function<Result<serverd::ShardProcess>(
+      NodeRole role, std::uint32_t id, bool rehydrate, std::uint32_t epoch)>
+      exec_respawn;
 };
 
 /// Standalone timeline-oracle service (docs/oracle_service.md): the
@@ -203,6 +220,16 @@ struct WeaverOptions {
   /// same hash; use_ldg_partitioner is ignored) and do not support bulk
   /// load or shard fault injection -- build graphs through transactions.
   std::vector<int> remote_shard_fds;
+  /// Out-of-parent gatekeepers (docs/transport.md#cluster-bootstrap):
+  /// one connected stream socket per gatekeeper, each leading to a
+  /// RunGatekeeperServer process that owns that gatekeeper's clock,
+  /// sequencer, timers, and client ingress. When non-empty (size must
+  /// equal num_gatekeepers; requires remote_shard_fds), this process
+  /// keeps only the backing store and a per-gatekeeper agent endpoint
+  /// that applies StoreCommit RPCs and seeds node programs. Client
+  /// sessions talk to the gatekeeper processes directly (their ingress
+  /// endpoints become remote proxies here).
+  std::vector<int> remote_gatekeeper_fds;
   /// Request-trace sampling stride (docs/observability.md#tracing): keep
   /// every n-th commit / program span in Weaver::trace(). 0 disables
   /// (default; ShouldSample is then one relaxed load on the hot path).
@@ -365,9 +392,20 @@ class Weaver {
   MessageBus& bus() { return *bus_; }
   NodeLocator& locator() { return *locator_; }
   ClusterManager& cluster() { return cluster_; }
+  /// In-process gatekeeper access. Out-of-parent gatekeeper deployments
+  /// (remote_gatekeeper_fds) have no local Gatekeeper objects; use
+  /// GatekeeperClientEndpoint for request routing there.
   Gatekeeper& gatekeeper(GatekeeperId id) { return *gatekeepers_[id]; }
+  /// Where sessions address ClientCommit/ClientProgram messages for
+  /// gatekeeper `id`: the local ingress endpoint, or the gatekeeper
+  /// process's remote proxy.
+  EndpointId GatekeeperClientEndpoint(GatekeeperId id) const {
+    return remote_gatekeepers_ ? gk_client_endpoints_[id]
+                               : gatekeepers_[id]->client_endpoint();
+  }
+  bool remote_gatekeepers() const { return remote_gatekeepers_; }
   Shard& shard(ShardId id) { return *shards_[id]; }
-  std::size_t num_gatekeepers() const { return gatekeepers_.size(); }
+  std::size_t num_gatekeepers() const { return options_.num_gatekeepers; }
   std::size_t num_shards() const { return shards_.size(); }
   ProgramRegistry& programs() { return *programs_; }
   ProgramCache& program_cache() { return program_cache_; }
@@ -414,6 +452,21 @@ class Weaver {
   /// for blocking callers.
   static void AnnotateCommitOutcome(Transaction* tx, const CommitResult& r);
 
+  /// Sessions register their reply router keyed by the gatekeeper they
+  /// are pinned to. When that gatekeeper is an out-of-parent process and
+  /// it crashes, its in-flight client requests die with it -- no reply
+  /// will ever arrive -- so the supervisor fails the registered routers'
+  /// outstanding calls with Unavailable and clients resubmit (commits are
+  /// acked only after the parent-side store apply, so resubmitting an
+  /// already-applied write re-validates and is benign). Returns a
+  /// registration id for UnregisterSessionRouter.
+  std::uint64_t RegisterSessionRouter(GatekeeperId gk,
+                                      std::weak_ptr<ReplyRouter> router);
+  void UnregisterSessionRouter(std::uint64_t registration);
+  /// Fails every outstanding call on sessions pinned to `gk`
+  /// (supervisor's gatekeeper-crash fence).
+  void FailSessionCalls(GatekeeperId gk, const Status& status);
+
  private:
   friend class Transaction;
   friend class ShardSupervisor;
@@ -450,6 +503,19 @@ class Weaver {
   /// Resolves placements and runs the commit protocol on `gk` (both the
   /// blocking wrapper and the client ingress land here).
   Status CommitOnGatekeeper(Transaction* tx, Gatekeeper& gk);
+
+  // --- Out-of-parent gatekeeper agent (remote_gatekeeper_fds) ---------------
+
+  /// Applies one StoreCommit attempt from gatekeeper process
+  /// `m->gatekeeper` at the timestamp it issued and answers with the
+  /// ApplyOutcome image. Agent worker thread.
+  void HandleStoreCommit(std::shared_ptr<StoreCommitMessage> m);
+  /// Seeds a node program a gatekeeper process timestamped; the
+  /// completion routes the reply back through its control endpoint.
+  void HandleGkProgramStart(std::shared_ptr<GkProgramStartMessage> m);
+  void EnqueueAgentWork(std::function<void()> work);
+  void AgentWorkerLoop();
+  void StopAgentPool();
   /// Boot-time recovery (paper §4.3 generalized to full-deployment
   /// restart): installs every vertex blob the KvStore recovered into its
   /// owning shard, repopulates the locator, and advances the id
@@ -552,12 +618,43 @@ class Weaver {
   std::vector<EndpointId> oracle_client_endpoints_;  // per shard
   EndpointId parent_oracle_client_endpoint_ = 0;
   std::vector<std::unique_ptr<Gatekeeper>> gatekeepers_;
+  /// Out-of-parent gatekeeper wiring (WeaverOptions::remote_gatekeeper_fds):
+  /// gatekeepers_ stays empty; each gatekeeper process gets an outbound
+  /// transport, remote proxies at its server/ingress/control layout ids,
+  /// a parent-side agent endpoint, and an inbound link.
+  bool remote_gatekeepers_ = false;
+  std::vector<std::shared_ptr<Transport>> remote_gatekeeper_transports_;
+  std::vector<std::unique_ptr<WireLink>> gatekeeper_links_;
+  std::vector<EndpointId> gk_server_endpoints_;
+  std::vector<EndpointId> gk_client_endpoints_;
+  std::vector<EndpointId> gk_agent_endpoints_;
+  std::vector<EndpointId> gk_control_endpoints_;
+  /// Agent work (StoreCommit applies, program seeds) runs on this pool,
+  /// never on a link's receive thread -- applies sleep (commit delay) and
+  /// take the commit gate.
+  Mutex agent_mu_;
+  std::condition_variable agent_cv_;
+  std::deque<std::function<void()>> agent_queue_ GUARDED_BY(agent_mu_);
+  bool agent_stop_ GUARDED_BY(agent_mu_) = false;
+  std::vector<std::thread> agent_workers_;
+  /// Last GkWatermark from each gatekeeper process (GC input); invalid
+  /// until the first report arrives.
+  Mutex gk_wm_mu_;
+  std::vector<RefinableTimestamp> gk_watermarks_ GUARDED_BY(gk_wm_mu_);
   ClusterManager cluster_;
   EndpointId coordinator_endpoint_ = 0;
   /// Reply endpoint + router for the deployment-internal blocking
   /// wrappers (Weaver::Commit on a started deployment).
   std::shared_ptr<ReplyRouter> internal_replies_;
   EndpointId internal_reply_endpoint_ = 0;
+
+  /// Session reply routers by registration id (RegisterSessionRouter):
+  /// the gatekeeper each session is pinned to, plus a weak ref so a
+  /// racing ~Session never has its router resurrected here.
+  Mutex session_routers_mu_;
+  std::uint64_t next_session_router_ GUARDED_BY(session_routers_mu_) = 1;
+  std::map<std::uint64_t, std::pair<GatekeeperId, std::weak_ptr<ReplyRouter>>>
+      session_routers_ GUARDED_BY(session_routers_mu_);
 
   // In-flight node programs keyed by execution id (freshly allocated
   // per run from next_program_id_ -- see ProgramExecution::pid).

@@ -135,6 +135,14 @@ void MessageBus::SetWireEncoder(
   wire_encoder_ = std::move(encoder);
 }
 
+void MessageBus::SetDefaultRemote(std::shared_ptr<Transport> transport) {
+  MutexLock lk(endpoints_mu_);
+  default_remote_ = std::move(transport);
+  if (default_remote_ != nullptr) {
+    has_special_endpoints_.store(true, std::memory_order_relaxed);
+  }
+}
+
 Status MessageBus::ForwardFrame(EndpointId dst, std::string_view frame,
                                 bool never_block) {
   std::shared_ptr<Transport> transport;
@@ -294,6 +302,12 @@ Status MessageBus::Send(EndpointId src, EndpointId dst,
         handler_capacity = ep.handler_capacity;
         deferred = ep.deferred;
       }
+    } else if (default_remote_ != nullptr) {
+      // A destination this bus never registered: divert over the default
+      // transport (a child process addressing a dynamic parent-side
+      // endpoint -- session replies, the parent's internal reply router).
+      // Registered endpoints, detached or not, never take this path.
+      remote = default_remote_;
     }
   }
 

@@ -182,6 +182,17 @@ class MessageBus {
   /// loud stderr line for non-remote endpoints.
   void ReplaceRemote(EndpointId id, std::shared_ptr<Transport> transport);
 
+  /// Installs a fallback transport for sends whose destination this bus
+  /// has never registered: the message is encoded and shipped over
+  /// `transport` exactly like a remote-endpoint send. A child process
+  /// uses its parent uplink here so it can address DYNAMIC parent-side
+  /// endpoints -- client session reply endpoints, the parent's internal
+  /// reply router -- whose ids are allocated after the child's
+  /// registration loop ran (docs/transport.md#cluster-bootstrap).
+  /// Registered endpoints (including detached ones) are never diverted.
+  /// Set during single-threaded setup; nullptr disables.
+  void SetDefaultRemote(std::shared_ptr<Transport> transport);
+
   /// Sends a message. Assigns the per-channel sequence number atomically
   /// with enqueueing, so concurrent senders on one channel stay FIFO.
   /// Returns Unavailable if the destination is detached (delayed
@@ -305,6 +316,9 @@ class MessageBus {
   std::function<Result<std::string>(std::uint32_t,
                                     const std::shared_ptr<void>&)>
       wire_encoder_;
+  /// Fallback transport for sends to never-registered endpoint ids
+  /// (SetDefaultRemote); null in ordinary deployments.
+  std::shared_ptr<Transport> default_remote_ GUARDED_BY(endpoints_mu_);
   /// True once any remote or bounded-handler endpoint exists; lets the
   /// pure in-process hot path skip the pre-send endpoint inspection.
   std::atomic<bool> has_special_endpoints_{false};

@@ -37,7 +37,6 @@ Gatekeeper::Gatekeeper(Options options)
     clock_.AdvanceEpoch(options_.initial_epoch);
   }
   assert(options_.bus != nullptr);
-  assert(options_.kv != nullptr);
   assert(options_.id < options_.num_gatekeepers);
   endpoint_ = options_.bus->RegisterHandler(
       "gk" + std::to_string(options_.id),
@@ -543,8 +542,107 @@ void Gatekeeper::AdvanceEpochLocked(std::uint32_t epoch) {
   clock_.AdvanceEpoch(epoch);
 }
 
+ApplyOutcome ApplyCommitToStore(
+    KvTransaction* kvtx, const RefinableTimestamp& ts,
+    const std::vector<GraphOp>& ops,
+    const std::unordered_map<NodeId, ShardId>& placements) {
+  ApplyOutcome out;
+
+  // Apply the write batch to the backing store through the OCC
+  // transaction. Vertices are opaque blobs; each touched vertex is
+  // deserialized once, mutated in memory, and written back.
+  std::unordered_map<NodeId, Node> touched;
+  auto load_node = [&](NodeId id) -> Result<Node*> {
+    auto it = touched.find(id);
+    if (it != touched.end()) return &it->second;
+    auto blob = kvtx->Get(kv_keys::VertexData(id));
+    if (!blob.ok()) return blob.status();
+    auto node = GraphStore::DeserializeNode(*blob);
+    if (!node.ok()) return node.status();
+    auto [nit, _] = touched.emplace(id, std::move(node).value());
+    return &nit->second;
+  };
+
+  // Per-vertex last-update check (paper §4.2): the new timestamp must be
+  // strictly after the timestamp of the vertex's last committed write.
+  std::unordered_set<NodeId> checked;
+  auto check_last_update = [&](NodeId id) -> Status {
+    if (!checked.insert(id).second) return Status::Ok();
+    auto last_blob = kvtx->Get(kv_keys::VertexLastUpdate(id));
+    if (!last_blob.ok()) return Status::Ok();  // new vertex
+    RefinableTimestamp last;
+    WEAVER_RETURN_IF_ERROR(ParseTimestamp(*last_blob, &last));
+    if (last.Compare(ts) != ClockOrder::kBefore) {
+      out.retry_timestamp = true;
+      out.conflict_clock = last.clock;
+      return Status::Aborted("last-update timestamp not before tx ts");
+    }
+    return Status::Ok();
+  };
+
+  std::unordered_set<NodeId> created;
+  for (const GraphOp& op : ops) {
+    if (op.type == GraphOpType::kCreateNode) {
+      auto existing = kvtx->Get(kv_keys::VertexData(op.node));
+      if (existing.ok()) {
+        out.status = Status::AlreadyExists("node " + std::to_string(op.node));
+        return out;
+      }
+      Node fresh;
+      fresh.id = op.node;
+      fresh.created = ts;
+      fresh.last_update = ts;
+      touched.emplace(op.node, std::move(fresh));
+      created.insert(op.node);
+      continue;
+    }
+    Status st = check_last_update(op.node);
+    if (!st.ok()) {
+      out.status = st;
+      return out;
+    }
+    auto node = load_node(op.node);
+    if (!node.ok()) {
+      out.status = node.status();
+      return out;
+    }
+    st = ApplyGraphOpToNode(*node, op, ts);
+    if (!st.ok()) {
+      out.status = st;
+      return out;
+    }
+  }
+
+  // Write back blobs, last-update stamps, and shard placements.
+  const std::string ts_blob = SerializeTimestamp(ts);
+  for (auto& [id, node] : touched) {
+    kvtx->Put(kv_keys::VertexData(id), GraphStore::SerializeNode(node));
+    kvtx->Put(kv_keys::VertexLastUpdate(id), ts_blob);
+    if (created.count(id)) {
+      auto pit = placements.find(id);
+      const ShardId shard = pit == placements.end() ? 0 : pit->second;
+      kvtx->Put(kv_keys::VertexShardMap(id), std::to_string(shard));
+    }
+  }
+
+  out.status = kvtx->Commit();
+  if (!out.status.ok()) out.kv_conflict = true;
+  return out;
+}
+
 Status Gatekeeper::CommitTransaction(
     KvTransaction* kvtx, const std::vector<GraphOp>& ops,
+    const std::unordered_map<NodeId, ShardId>& placements,
+    RefinableTimestamp* committed_ts) {
+  return CommitTransaction(
+      [&](const RefinableTimestamp& ts) {
+        return ApplyCommitToStore(kvtx, ts, ops, placements);
+      },
+      ops, placements, committed_ts);
+}
+
+Status Gatekeeper::CommitTransaction(
+    const CommitApplier& apply, const std::vector<GraphOp>& ops,
     const std::unordered_map<NodeId, ShardId>& placements,
     RefinableTimestamp* committed_ts) {
   const std::uint64_t busy_start = NowNanos();
@@ -576,108 +674,25 @@ Status Gatekeeper::CommitTransaction(
     // sends), or the sequencer would stall every later transaction.
     auto release_empty = [&] { ReleaseSlot(slot, nullptr); };
 
-    // Apply the write batch to the backing store through the OCC
-    // transaction. Vertices are opaque blobs; each touched vertex is
-    // deserialized once, mutated in memory, and written back.
-    std::unordered_map<NodeId, Node> touched;
-    auto load_node = [&](NodeId id) -> Result<Node*> {
-      auto it = touched.find(id);
-      if (it != touched.end()) return &it->second;
-      auto blob = kvtx->Get(kv_keys::VertexData(id));
-      if (!blob.ok()) return blob.status();
-      auto node = GraphStore::DeserializeNode(*blob);
-      if (!node.ok()) return node.status();
-      auto [nit, _] = touched.emplace(id, std::move(node).value());
-      return &nit->second;
-    };
-
-    // Per-vertex last-update check (paper §4.2): the new timestamp must be
-    // strictly after the timestamp of the vertex's last committed write.
-    std::unordered_set<NodeId> checked;
-    auto check_last_update = [&](NodeId id) -> Status {
-      if (!checked.insert(id).second) return Status::Ok();
-      auto last_blob = kvtx->Get(kv_keys::VertexLastUpdate(id));
-      if (!last_blob.ok()) return Status::Ok();  // new vertex
-      RefinableTimestamp last;
-      WEAVER_RETURN_IF_ERROR(ParseTimestamp(*last_blob, &last));
-      if (last.Compare(ts) != ClockOrder::kBefore) {
+    const ApplyOutcome outcome = apply(ts);
+    if (!outcome.status.ok()) {
+      release_empty();
+      if (outcome.retry_timestamp) {
+        // Last-update conflict: merge the conflicting clock so the next
+        // issued timestamp is strictly later, then retry.
         {
           MutexLock lk(clock_mu_);
-          clock_.Merge(last.clock);
+          clock_.Merge(outcome.conflict_clock);
         }
         stats_.txs_aborted_last_update.fetch_add(1,
                                                  std::memory_order_relaxed);
-        return Status::Aborted("last-update timestamp not before tx ts");
-      }
-      return Status::Ok();
-    };
-
-    bool retry_timestamp = false;
-    std::unordered_set<NodeId> created;
-    Status op_status = Status::Ok();
-    for (const GraphOp& op : ops) {
-      if (op.type == GraphOpType::kCreateNode) {
-        auto existing = kvtx->Get(kv_keys::VertexData(op.node));
-        if (existing.ok()) {
-          op_status =
-              Status::AlreadyExists("node " + std::to_string(op.node));
-          break;
-        }
-        Node fresh;
-        fresh.id = op.node;
-        fresh.created = ts;
-        fresh.last_update = ts;
-        touched.emplace(op.node, std::move(fresh));
-        created.insert(op.node);
+        last_status = outcome.status;
         continue;
       }
-      Status st = check_last_update(op.node);
-      if (st.IsAborted()) {
-        retry_timestamp = true;
-        op_status = st;
-        break;
+      if (outcome.kv_conflict) {
+        stats_.txs_aborted_kv.fetch_add(1, std::memory_order_relaxed);
       }
-      if (!st.ok()) {
-        op_status = st;
-        break;
-      }
-      auto node = load_node(op.node);
-      if (!node.ok()) {
-        op_status = node.status();
-        break;
-      }
-      st = ApplyGraphOpToNode(*node, op, ts);
-      if (!st.ok()) {
-        op_status = st;
-        break;
-      }
-    }
-    if (!op_status.ok()) {
-      release_empty();
-      if (retry_timestamp) {
-        last_status = op_status;
-        continue;  // merged the conflicting clock; a fresh ts will win
-      }
-      return op_status;
-    }
-
-    // Write back blobs, last-update stamps, and shard placements.
-    const std::string ts_blob = SerializeTimestamp(ts);
-    for (auto& [id, node] : touched) {
-      kvtx->Put(kv_keys::VertexData(id), GraphStore::SerializeNode(node));
-      kvtx->Put(kv_keys::VertexLastUpdate(id), ts_blob);
-      if (created.count(id)) {
-        auto pit = placements.find(id);
-        const ShardId shard = pit == placements.end() ? 0 : pit->second;
-        kvtx->Put(kv_keys::VertexShardMap(id), std::to_string(shard));
-      }
-    }
-
-    const Status commit_st = kvtx->Commit();
-    if (!commit_st.ok()) {
-      stats_.txs_aborted_kv.fetch_add(1, std::memory_order_relaxed);
-      release_empty();
-      return commit_st;
+      return outcome.status;
     }
     if (t_active_commit_span != nullptr) {
       t_active_commit_span->applied_ns = NowNanos();

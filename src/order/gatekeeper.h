@@ -49,13 +49,40 @@
 
 namespace weaver {
 
+/// Result of one commit attempt against the backing store
+/// (ApplyCommitToStore): either committed, or aborted with enough
+/// context for the timestamp-retry loop to act on it from another
+/// process (the out-of-parent gatekeeper path ships this over the wire
+/// as StoreCommitReply).
+struct ApplyOutcome {
+  Status status;  // Ok = durable in the store
+  /// Last-update conflict (paper §4.2): merge conflict_clock into the
+  /// issuing clock and retry with a fresh, strictly later timestamp.
+  bool retry_timestamp = false;
+  /// kvtx->Commit() lost the OCC race; the client retries the whole
+  /// transaction.
+  bool kv_conflict = false;
+  /// The conflicting vertex's last-update clock (valid when
+  /// retry_timestamp).
+  VectorClock conflict_clock;
+};
+
+/// One commit attempt at timestamp `ts`: applies `ops` through the OCC
+/// transaction (per-vertex last-update validation, write-back, shard
+/// placements for created vertices) and commits. Pure store-side logic:
+/// no clocks, slots, or bus traffic -- the gatekeeper's retry loop (or
+/// the parent-side agent serving an out-of-parent gatekeeper) wraps it.
+ApplyOutcome ApplyCommitToStore(
+    KvTransaction* kvtx, const RefinableTimestamp& ts,
+    const std::vector<GraphOp>& ops,
+    const std::unordered_map<NodeId, ShardId>& placements);
+
 class Gatekeeper {
  public:
   struct Options {
     GatekeeperId id = 0;
     std::size_t num_gatekeepers = 1;
     MessageBus* bus = nullptr;
-    KvStore* kv = nullptr;
     std::vector<EndpointId> shard_endpoints;
     std::vector<EndpointId> peer_endpoints;  // other gatekeepers
     /// Clock synchronization period tau (paper §3.5). 0 disables the timer
@@ -235,6 +262,22 @@ class Gatekeeper {
   /// On kAborted the client should retry the whole transaction.
   Status CommitTransaction(
       KvTransaction* kvtx, const std::vector<GraphOp>& ops,
+      const std::unordered_map<NodeId, ShardId>& placements,
+      RefinableTimestamp* committed_ts);
+
+  /// One commit attempt at the timestamp this gatekeeper issued. The
+  /// in-process path wraps ApplyCommitToStore; an out-of-parent
+  /// gatekeeper ships the attempt to its parent-side agent as a
+  /// StoreCommit RPC and decodes the reply into the same shape.
+  using CommitApplier = std::function<ApplyOutcome(const RefinableTimestamp&)>;
+
+  /// Commit driver decoupled from the backing store: owns the timestamp
+  /// issue + outbound slot, runs `apply` per attempt, merges conflict
+  /// clocks and retries bounded times on last-update conflicts, and fans
+  /// committed slices out to the shards in slot order. The kvtx overload
+  /// above is a thin wrapper.
+  Status CommitTransaction(
+      const CommitApplier& apply, const std::vector<GraphOp>& ops,
       const std::unordered_map<NodeId, ShardId>& placements,
       RefinableTimestamp* committed_ts);
 

@@ -1,0 +1,422 @@
+// RunGatekeeperServer: the out-of-parent gatekeeper process
+// (docs/transport.md#cluster-bootstrap).
+//
+// This process owns everything about gatekeeper `gk_id` that the parent
+// used to run in-process: the vector clock, the outbound slot sequencer,
+// the announce/NOP timers, and the client ingress (lanes + worker pool).
+// What it does NOT own is the backing store -- each commit attempt ships
+// to the parent-side agent endpoint as a StoreCommit RPC, which applies
+// it (OCC validation, write-back, locator/cache upkeep) at the timestamp
+// THIS process issued, and answers with the ApplyOutcome image. The
+// retry loop, conflict-clock merges, and the post-commit slice fan-out
+// to the shard servers all stay here, so timestamp-order-matches-commit-
+// order (paper §4.2) holds exactly as in-process.
+//
+// Node programs: the parent owns the program coordinator (wave
+// accounting needs every shard link), so the ingress issues the
+// program's timestamp here (fence merge included), registers it
+// in-flight, and hands the seed to the parent as GkProgramStart. The
+// parent's reply comes back through this process's control endpoint so
+// the in-flight table and ingress slots settle on the authoritative
+// side of the clock.
+//
+// Control endpoint traffic (layout.gk_controls[gk_id]):
+//   StoreCommitReply     fulfills a pending agent RPC
+//   ClientProgramReply   forwarded to the session; EndProgram here
+//   GkEpochAdvance       epoch barrier participation (recovery fencing)
+//   ShardReset           forget wire-sequence state for a respawned peer
+//   Stop                 orderly shutdown (parent socket EOF also works)
+
+#include <condition_variable>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "common/sync.h"
+#include "coord/serverd.h"
+#include "core/message_codec.h"
+#include "core/messages.h"
+#include "net/bus.h"
+#include "net/transport.h"
+#include "net/wire_link.h"
+#include "obs/metrics.h"
+#include "order/gatekeeper.h"
+
+namespace weaver {
+namespace serverd {
+
+namespace {
+
+/// Pending StoreCommit RPCs to the parent-side agent. One outstanding
+/// call per ingress worker at most, so a flat map is plenty.
+class AgentChannel {
+ public:
+  /// Marks the parent link dead: every waiter (and every future call)
+  /// fails fast with Unavailable.
+  void Down() {
+    MutexLock lk(mu_);
+    down_ = true;
+    cv_.notify_all();
+  }
+
+  void Fulfill(std::shared_ptr<StoreCommitReplyMessage> reply) {
+    MutexLock lk(mu_);
+    auto it = pending_.find(reply->request_id);
+    if (it == pending_.end()) return;  // timed-out call already gave up
+    it->second = std::move(reply);
+    cv_.notify_all();
+  }
+
+  /// Sends one commit attempt and blocks for the outcome. `send` runs
+  /// outside the channel lock.
+  ApplyOutcome Call(MessageBus* bus, EndpointId self, EndpointId agent,
+                    StoreCommitMessage msg, std::uint64_t timeout_micros) {
+    std::uint64_t id;
+    {
+      MutexLock lk(mu_);
+      if (down_) return Unreachable();
+      id = next_id_++;
+      pending_.emplace(id, nullptr);
+    }
+    msg.request_id = id;
+    auto payload = std::make_shared<StoreCommitMessage>(std::move(msg));
+    const Status sent = bus->Send(self, agent, kMsgStoreCommit, payload);
+    if (!sent.ok()) {
+      MutexLock lk(mu_);
+      pending_.erase(id);
+      ApplyOutcome out;
+      out.status = sent;
+      return out;
+    }
+    const std::uint64_t deadline = NowMicros() + timeout_micros;
+    MutexLock lk(mu_);
+    while (!down_ && pending_[id] == nullptr) {
+      const std::uint64_t now = NowMicros();
+      if (now >= deadline) break;
+      cv_.wait_for(lk.native(), std::chrono::microseconds(deadline - now));
+    }
+    auto it = pending_.find(id);
+    std::shared_ptr<StoreCommitReplyMessage> reply =
+        it != pending_.end() ? std::move(it->second) : nullptr;
+    if (it != pending_.end()) pending_.erase(it);
+    if (reply == nullptr) return Unreachable();
+    ApplyOutcome out;
+    out.status = std::move(reply->status);
+    out.retry_timestamp = reply->retry_timestamp;
+    out.kv_conflict = reply->kv_conflict;
+    out.conflict_clock = std::move(reply->conflict_clock);
+    return out;
+  }
+
+ private:
+  static ApplyOutcome Unreachable() {
+    ApplyOutcome out;
+    out.status = Status::Unavailable("store agent unreachable");
+    return out;
+  }
+
+  Mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t next_id_ GUARDED_BY(mu_) = 1;
+  std::unordered_map<std::uint64_t, std::shared_ptr<StoreCommitReplyMessage>>
+      pending_ GUARDED_BY(mu_);
+  bool down_ GUARDED_BY(mu_) = false;
+};
+
+/// Programs handed to the parent coordinator and not yet settled:
+/// (session, request) -> where the session's reply goes + the timestamp
+/// to retire from the in-flight table.
+struct PendingProgram {
+  EndpointId reply_to = 0;
+  RefinableTimestamp ts;
+};
+
+}  // namespace
+
+int RunGatekeeperServer(int parent_fd, GatekeeperId gk_id,
+                        const ShardServerOptions& options,
+                        std::uint32_t epoch) {
+  const EndpointLayout layout = EndpointLayout::Compute(
+      options.num_shards, options.num_gatekeepers, options.remote_oracle,
+      /*with_remote_gatekeepers=*/true);
+  if (gk_id >= options.num_gatekeepers) {
+    std::fprintf(stderr, "weaver-serverd: gatekeeper id %u out of range\n",
+                 gk_id);
+    return 1;
+  }
+
+  obs::MetricsRegistry metrics;
+  MessageBus bus;
+  bus.SetMetrics(&metrics);
+  bus.SetWireEncoder(EncodePayload);
+  auto transport =
+      std::shared_ptr<Transport>(SocketTransport::Adopt(parent_fd));
+
+  AgentChannel agent;
+  Mutex prog_mu;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, PendingProgram>
+      pending_programs;  // guarded by prog_mu
+
+  Mutex stop_mu;
+  std::condition_variable stop_cv;
+  bool stop = false;
+  const auto request_stop = [&] {
+    MutexLock lk(stop_mu);
+    stop = true;
+    stop_cv.notify_all();
+  };
+
+  const EndpointId control_ep = layout.gk_controls[gk_id];
+  const EndpointId agent_ep = layout.gk_agents[gk_id];
+
+  // Mirror the endpoint layout (ids are assigned by registration order;
+  // drift misroutes frames, so it fails hard). The Gatekeeper registers
+  // its own two endpoints -- announce server and client ingress -- at
+  // consecutive ids, exactly like the parent's construction order.
+  std::unique_ptr<Gatekeeper> gk;
+  for (EndpointId id = 0; id <= layout.max_endpoint(); ++id) {
+    if (id == layout.gatekeepers[gk_id]) {
+      Gatekeeper::Options go;
+      go.id = gk_id;
+      go.num_gatekeepers = options.num_gatekeepers;
+      go.bus = &bus;
+      go.shard_endpoints = layout.shards;
+      go.tau_micros = options.tau_micros;
+      go.nop_period_micros = options.nop_period_micros;
+      go.initial_epoch = epoch;
+      go.client_workers = options.client_workers;
+      go.client_batch = options.client_batch;
+      go.client_lane_capacity = options.client_lane_capacity;
+      go.max_inflight_programs = options.max_inflight_programs;
+      go.nop_high_water = options.nop_high_water;
+      go.announce_capacity = options.announce_capacity;
+      go.metrics = &metrics;
+      gk = std::make_unique<Gatekeeper>(std::move(go));
+      if (gk->endpoint() != id ||
+          gk->client_endpoint() != static_cast<EndpointId>(id + 1)) {
+        std::fprintf(stderr,
+                     "weaver-serverd: gatekeeper endpoint layout drifted\n");
+        return 1;
+      }
+      ++id;  // client ingress endpoint, registered by the ctor
+      continue;
+    }
+    EndpointId got;
+    if (id == control_ep) {
+      got = bus.RegisterHandler(
+          "gk" + std::to_string(gk_id) + ".control",
+          [&](const BusMessage& msg) {
+            switch (msg.payload_tag) {
+              case kMsgStoreCommitReply:
+                agent.Fulfill(std::static_pointer_cast<StoreCommitReplyMessage>(
+                    msg.payload));
+                break;
+              case kMsgClientProgramReply: {
+                auto reply =
+                    std::static_pointer_cast<ClientProgramReplyMessage>(
+                        msg.payload);
+                PendingProgram pp;
+                bool found = false;
+                {
+                  MutexLock lk(prog_mu);
+                  auto it = pending_programs.find(
+                      {reply->session_id, reply->request_id});
+                  if (it != pending_programs.end()) {
+                    pp = it->second;
+                    pending_programs.erase(it);
+                    found = true;
+                  }
+                }
+                if (!found) break;  // already failed locally
+                (void)bus.Send(control_ep, pp.reply_to,
+                               kMsgClientProgramReply, msg.payload);
+                gk->EndProgram(pp.ts);
+                gk->OnProgramSettled();
+                break;
+              }
+              case kMsgGkEpochAdvance: {
+                auto adv = std::static_pointer_cast<GkEpochAdvanceMessage>(
+                    msg.payload);
+                MutexLock lk(gk->clock_mutex());
+                gk->AdvanceEpochLocked(adv->epoch);
+                break;
+              }
+              case kMsgShardReset: {
+                auto reset = std::static_pointer_cast<ShardResetMessage>(
+                    msg.payload);
+                bus.ResetPeer(reset->target);
+                auto ack = std::make_shared<ShardResetAckMessage>();
+                // Identify this acker uniquely among reset-round
+                // participants (shards use their shard id; gatekeeper
+                // processes live above that space).
+                ack->shard = static_cast<ShardId>(options.num_shards + gk_id);
+                ack->token = reset->token;
+                (void)bus.Send(control_ep, reset->reply_to, kMsgShardResetAck,
+                               std::move(ack));
+                break;
+              }
+              case kMsgStop:
+                request_stop();
+                break;
+              default:
+                break;
+            }
+          });
+    } else {
+      got = bus.RegisterRemote("peer" + std::to_string(id), transport);
+    }
+    if (got != id) {
+      std::fprintf(stderr,
+                   "weaver-serverd: endpoint layout drifted (got %u, want "
+                   "%u)\n",
+                   got, id);
+      return 1;
+    }
+  }
+
+  // Dynamic parent-side endpoints -- session reply endpoints, the
+  // parent's internal reply router -- live above the static layout, so
+  // they cannot be pre-registered here. Route every unknown destination
+  // up the parent link; the hub delivers it locally.
+  bus.SetDefaultRemote(transport);
+
+  std::vector<EndpointId> peers;
+  for (GatekeeperId g = 0; g < options.num_gatekeepers; ++g) {
+    if (g != gk_id) peers.push_back(layout.gatekeepers[g]);
+  }
+  gk->SetPeerEndpoints(std::move(peers));
+
+  // The ingress executors: commits drive the gatekeeper's retry loop
+  // with a remote applier; programs are timestamped here and seeded by
+  // the parent coordinator.
+  Gatekeeper::ClientExecutor exec;
+  exec.commit = [&](Gatekeeper& g, ClientCommitMessage& req, bool pay_delay) {
+    // Placement resolution without the backing store: created vertices
+    // carry their partitioner choice; everything else is hash placement,
+    // which remote deployments require (see RunShardServer's locator).
+    std::unordered_map<NodeId, ShardId> placements;
+    for (const auto& [node, shard] : req.created_placements) {
+      placements[node] = shard;
+    }
+    const std::size_t num_shards = options.num_shards;
+    for (const GraphOp& op : req.ops) {
+      if (placements.count(op.node)) continue;
+      placements[op.node] =
+          static_cast<ShardId>(MixHash64(op.node) % num_shards);
+    }
+    // The simulated store round trip is owed at most once per request,
+    // not per timestamp retry.
+    bool delay_due = pay_delay;
+    const auto apply = [&](const RefinableTimestamp& ts) {
+      StoreCommitMessage m;
+      m.gatekeeper = gk_id;
+      m.ts = ts;
+      m.pay_delay = delay_due;
+      delay_due = false;
+      m.ops = req.ops;
+      m.created_placements = req.created_placements;
+      m.read_set = req.read_set;
+      return agent.Call(&bus, control_ep, agent_ep, std::move(m),
+                        /*timeout_micros=*/10'000'000);
+    };
+    RefinableTimestamp ts;
+    const Status st = g.CommitTransaction(apply, req.ops, placements, &ts);
+    g.SendCommitReply(req.reply_to, req.session_id, req.request_id, st, ts);
+  };
+  exec.program = [&](Gatekeeper& g, const ClientProgramMessage& msg,
+                     ProgramRequest& req) {
+    const RefinableTimestamp ts =
+        g.BeginProgram(req.fence.valid() ? &req.fence.clock : nullptr);
+    {
+      MutexLock lk(prog_mu);
+      pending_programs[{msg.session_id, req.request_id}] =
+          PendingProgram{msg.reply_to, ts};
+    }
+    auto start = std::make_shared<GkProgramStartMessage>();
+    start->gatekeeper = gk_id;
+    start->reply_to = msg.reply_to;
+    start->session_id = msg.session_id;
+    start->request_id = req.request_id;
+    start->ts = ts;
+    start->program_name = req.program_name;
+    start->starts = std::move(req.starts);
+    const Status sent =
+        bus.Send(control_ep, agent_ep, kMsgGkProgramStart, std::move(start));
+    if (!sent.ok()) {
+      {
+        MutexLock lk(prog_mu);
+        pending_programs.erase({msg.session_id, req.request_id});
+      }
+      g.SendProgramReply(msg.reply_to, msg.session_id, req.request_id,
+                         Result<ProgramResult>(sent));
+      g.EndProgram(ts);
+      g.OnProgramSettled();
+    }
+  };
+  gk->SetClientExecutor(std::move(exec));
+
+  // Peer-gatekeeper announce channels need a first-contact baseline: a
+  // surviving peer keeps announcing at this endpoint for the whole window
+  // its predecessor is being respawned, and the hub drops those frames
+  // while burning the peer's sequence numbers -- so the first announce a
+  // fresh process observes is far past seq 1. Announces are periodic
+  // latest-wins traffic (anything missed while dead is superseded), so
+  // the baseline is safe; mid-stream gaps still fail loudly.
+  for (GatekeeperId g = 0; g < options.num_gatekeepers; ++g) {
+    if (g != gk_id) bus.AllowFirstContact(layout.gatekeepers[g]);
+  }
+
+  // Inbound link from the parent hub.
+  WireLink::Options lo;
+  lo.bus = &bus;
+  lo.transport = transport;
+  lo.decode = DecodePayload;
+  lo.never_block = WireNeverBlock;
+  lo.name = "gk" + std::to_string(gk_id) + ".uplink";
+  lo.on_down = [&](const Status&) {
+    agent.Down();
+    request_stop();
+  };
+  WireLink link(std::move(lo));
+
+  gk->StartClientIngress();
+  gk->StartTimers();
+
+  // Main thread: periodic GC-watermark reports until shutdown. The
+  // parent's garbage collector needs every gatekeeper's oldest in-flight
+  // program timestamp (paper §4.5); in-process it reads OldestActive()
+  // directly, here it rides the wire.
+  const std::uint64_t kWatermarkPeriodMicros = 5'000;
+  {
+    MutexLock lk(stop_mu);
+    while (!stop) {
+      stop_cv.wait_for(lk.native(),
+                       std::chrono::microseconds(kWatermarkPeriodMicros));
+      if (stop) break;
+      lk.Unlock();
+      auto wm = std::make_shared<GkWatermarkMessage>();
+      wm->gatekeeper = gk_id;
+      wm->oldest_active = gk->OldestActive();
+      (void)bus.Send(control_ep, agent_ep, kMsgGkWatermark, std::move(wm));
+      lk.Lock();
+    }
+  }
+
+  gk->StopClientIngress();
+  gk->StopTimers();
+  agent.Down();
+  {
+    MutexLock lk(prog_mu);
+    pending_programs.clear();
+  }
+  link.Stop();
+  return link.error().ok() || link.error().IsUnavailable() ? 0 : 1;
+}
+
+}  // namespace serverd
+}  // namespace weaver

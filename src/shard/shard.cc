@@ -77,6 +77,7 @@ void Shard::ExportMetrics() {
   counter("gc_rounds", stats_.gc_rounds);
   counter("seq_violations", stats_.seq_violations);
   counter("oracle_stalls", stats_.oracle_stalls);
+  counter("hop_budget_throttles", stats_.hop_budget_throttles);
   counter("busy_ns", stats_.busy_ns);
   counter("op_work_ns", stats_.op_work_ns);
   m->AddGaugeFn(p + "inbox_depth", [this] {
@@ -518,6 +519,28 @@ bool Shard::RunEligiblePrograms() {
   return ran;
 }
 
+std::size_t Shard::AdaptiveHopBudget() {
+  const std::size_t max_hops =
+      std::max<std::size_t>(1, options_.max_hops_per_cycle);
+  const std::size_t high_water = options_.queue_high_water;
+  if (high_water == 0) return max_hops;  // throttling disabled
+  const std::size_t depth = inbox_->Size();
+  if (depth == 0) return max_hops;
+  // Linear scale-down with inbox depth, clamped to a 1/16th floor: a
+  // half-full inbox halves the budget, a full (or over-high-water) one
+  // pins it at the floor. Programs still make progress every cycle --
+  // the floor is never zero -- but transactional backlog drains sooner.
+  const std::size_t floor_hops = std::max<std::size_t>(1, max_hops / 16);
+  if (depth >= high_water) {
+    stats_.hop_budget_throttles.fetch_add(1, std::memory_order_relaxed);
+    return floor_hops;
+  }
+  const std::size_t scaled = max_hops - (max_hops * depth) / high_water;
+  if (scaled >= max_hops) return max_hops;
+  stats_.hop_budget_throttles.fetch_add(1, std::memory_order_relaxed);
+  return std::max(floor_hops, scaled);
+}
+
 void Shard::RunProgramCycle(ProgramId pid, ProgramContext& ctx) {
   const std::uint64_t t0 = NowNanos();
   auto acc = std::make_shared<WaveAccountingMessage>();
@@ -529,8 +552,7 @@ void Shard::RunProgramCycle(ProgramId pid, ProgramContext& ctx) {
 
   auto& states = *ctx.states;
   std::vector<std::vector<NextHop>> remote(shard_endpoints_.size());
-  const std::size_t max_hops = std::max<std::size_t>(
-      1, options_.max_hops_per_cycle);
+  const std::size_t max_hops = AdaptiveHopBudget();
   std::size_t executed = 0;
 
   // Armed by VisibilityOrderFn when the oracle cannot be reached: the

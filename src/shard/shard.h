@@ -136,6 +136,9 @@ class Shard {
     /// Order resolutions that hit an unreachable oracle (failover in
     /// progress): the wave was parked or the program aborted retriably.
     std::atomic<std::uint64_t> oracle_stalls{0};
+    /// Program cycles that ran with a reduced hop budget because the
+    /// inbox was backlogged (AdaptiveHopBudget).
+    std::atomic<std::uint64_t> hop_budget_throttles{0};
     /// Nanoseconds spent routing and executing work (excludes idle waits).
     std::atomic<std::uint64_t> busy_ns{0};
     /// Nanoseconds spent on per-operation work only: applying transaction
@@ -261,9 +264,14 @@ class Shard {
   /// Queues one hop unless an exact (vertex, params) duplicate is
   /// already pending; returns false when coalesced.
   bool QueueLocalHop(ProgramContext& ctx, NextHop hop);
-  /// Executes up to max_hops_per_cycle pending hops of one eligible
+  /// Executes up to AdaptiveHopBudget() pending hops of one eligible
   /// program, forwards spawned hops, and reports the accounting delta.
   void RunProgramCycle(ProgramId pid, ProgramContext& ctx);
+  /// Per-cycle hop budget, scaled down against inbox pressure: at or
+  /// past queue_high_water the budget bottoms out at 1/16th of
+  /// max_hops_per_cycle, so a read-heavy program cannot starve the
+  /// transactional pipeline the backlog is waiting on.
+  std::size_t AdaptiveHopBudget();
   /// Runs a cycle for every eligible context with pending hops; returns
   /// true if any hop executed.
   bool RunEligiblePrograms();

@@ -13,6 +13,8 @@
 // stress, which exercises the same code without fork.
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+
 #include <algorithm>
 #include <memory>
 #include <random>
@@ -20,6 +22,7 @@
 #include <vector>
 
 #include "client/weaver_client.h"
+#include "cluster/bootstrap.h"
 #include "coord/serverd.h"
 #include "core/weaver.h"
 #include "programs/standard_programs.h"
@@ -241,6 +244,110 @@ TEST(MultiProcessSmoke, RemoteDeploymentGuards) {
     db->Shutdown();
   }
   EXPECT_TRUE(serverd::WaitShardServers(*children).ok());
+}
+// TCP-bootstrap mode (docs/transport.md#cluster-bootstrap): every server
+// process is a real exec'd weaver-serverd binary that joined through the
+// cluster listener's versioned handshake -- including the gatekeepers,
+// which run OUT-OF-PARENT (the clock, sequencer, and client ingress live
+// in the children; the parent keeps only the backing store and the
+// per-gatekeeper agent endpoints). The workload must produce results
+// identical to the in-process bus.
+//
+// Exec'ing after threads exist is safe (unlike the fork-protocol tests
+// above): only async-signal-safe calls run between fork and exec.
+TEST(MultiProcessSmoke, TcpBootstrapExecMatchesInProcessBus) {
+  // 1. Listener with one slot per wanted process.
+  cluster::ClusterListener::Options lo;
+  lo.token = "smoke-secret";
+  auto listener = cluster::ClusterListener::Open(lo);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  cluster::ClusterListener& l = **listener;
+
+  serverd::ShardServerOptions so;
+  so.num_shards = kShards;
+  so.num_gatekeepers = kGatekeepers;
+  so.remote_gatekeepers = true;
+  so.tau_micros = 300;        // must mirror DeploymentOptions: the
+  so.nop_period_micros = 300;  // assignment is the children's only config
+  const RoleAssignMessage assign = serverd::AssignmentFromOptions(so);
+  for (std::size_t s = 0; s < kShards; ++s) {
+    ASSERT_TRUE(l.OpenSlot(NodeRole::kShard, s, assign).ok());
+  }
+  for (std::size_t g = 0; g < kGatekeepers; ++g) {
+    ASSERT_TRUE(l.OpenSlot(NodeRole::kGatekeeper, g, assign).ok());
+  }
+
+  // 2. Exec the serverds; each connects its own socket and handshakes.
+  std::vector<pid_t> pids;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    auto pid = cluster::SpawnServerd(WEAVER_SERVERD_BIN, l.port(),
+                                     lo.token, NodeRole::kShard, s);
+    ASSERT_TRUE(pid.ok()) << pid.status().ToString();
+    pids.push_back(*pid);
+  }
+  for (std::size_t g = 0; g < kGatekeepers; ++g) {
+    auto pid = cluster::SpawnServerd(WEAVER_SERVERD_BIN, l.port(),
+                                     lo.token, NodeRole::kGatekeeper, g);
+    ASSERT_TRUE(pid.ok()) << pid.status().ToString();
+    pids.push_back(*pid);
+  }
+
+  // 3. Admit them in whatever order they dial in.
+  std::vector<int> shard_fds(kShards, -1);
+  std::vector<int> gk_fds(kGatekeepers, -1);
+  for (std::size_t i = 0; i < kShards + kGatekeepers; ++i) {
+    auto joined = l.AcceptJoin();
+    ASSERT_TRUE(joined.ok()) << joined.status().ToString();
+    if (joined->role == NodeRole::kShard) {
+      shard_fds[joined->shard_id] = joined->fd;
+    } else {
+      ASSERT_EQ(joined->role, NodeRole::kGatekeeper);
+      gk_fds[joined->shard_id] = joined->fd;
+    }
+  }
+
+  // 4. Parent deployment over the handshaken sockets.
+  WorkloadResults remote_results;
+  std::vector<NodeId> remote_nodes;
+  {
+    WeaverOptions o = DeploymentOptions();
+    o.metrics_poll_period_micros = 0;
+    o.remote_shard_fds = shard_fds;
+    o.remote_gatekeeper_fds = gk_fds;
+    auto db = Weaver::Open(o);
+    ASSERT_NE(db, nullptr);
+    remote_nodes = BuildGraph(db.get());
+    remote_results = RunWorkload(db.get(), remote_nodes);
+    EXPECT_EQ(db->bus().stats().wire_seq_violations.load(), 0u)
+        << "wire FIFO contract violated";
+    EXPECT_GT(db->bus().stats().wire_frames_sent.load(), 0u)
+        << "no traffic actually crossed the transport";
+    db->Shutdown();
+  }
+
+  // 5. The exec'd children exit 0 once the parent tears the links down.
+  for (const pid_t pid : pids) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << "serverd pid " << pid << " exited abnormally (status " << status
+        << ")";
+  }
+
+  // 6. Identical workload in-process; identical results.
+  auto db = Weaver::Open(DeploymentOptions());
+  ASSERT_NE(db, nullptr);
+  const std::vector<NodeId> nodes = BuildGraph(db.get());
+  ASSERT_EQ(nodes, remote_nodes);
+  const WorkloadResults local_results = RunWorkload(db.get(), nodes);
+  ASSERT_EQ(remote_results.queries.size(), local_results.queries.size());
+  for (std::size_t q = 0; q < local_results.queries.size(); ++q) {
+    EXPECT_EQ(remote_results.queries[q], local_results.queries[q])
+        << "query " << q << " diverged between TCP-bootstrap and in-process";
+  }
+  ASSERT_FALSE(local_results.queries.empty());
+  EXPECT_EQ(local_results.queries[0].size(),
+            static_cast<std::size_t>(kVertices));
 }
 #endif  // !WEAVER_TSAN
 

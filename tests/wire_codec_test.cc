@@ -297,6 +297,115 @@ TEST(WireCodec, OracleMessagesRoundtrip) {
   ExpectRoundtrip(unavailable);
 }
 
+TEST(WireCodec, ClusterBootstrapMessagesRoundtrip) {
+  JoinRequestMessage join;
+  join.codec_version = kWireCodecVersion;
+  join.cluster_epoch = 3;
+  join.role = NodeRole::kGatekeeper;
+  join.shard_id = 1;
+  join.token = "cluster-secret";
+  join.pid = 43210;
+  ExpectRoundtrip(join);
+
+  JoinRequestMessage wildcard;  // fresh-exec defaults: any slot, no epoch
+  ExpectRoundtrip(wildcard);
+
+  JoinAckMessage ack;
+  ack.status = Status::Ok();
+  ack.codec_version = kWireCodecVersion;
+  ack.cluster_epoch = 7;
+  ExpectRoundtrip(ack);
+
+  JoinAckMessage refused;
+  refused.status = Status::FailedPrecondition("stale cluster epoch");
+  ExpectRoundtrip(refused);
+
+  RoleAssignMessage assign;
+  assign.role = NodeRole::kShard;
+  assign.shard_id = 1;
+  assign.cluster_epoch = 7;
+  assign.rehydrate = true;
+  assign.num_shards = 2;
+  assign.num_gatekeepers = 2;
+  assign.inbox_capacity = 8192;
+  assign.queue_high_water = 4096;
+  assign.max_hops_per_cycle = 2048;
+  assign.remote_oracle = true;
+  assign.remote_gatekeepers = true;
+  assign.oracle_rpc_timeout_micros = 250000;
+  assign.oracle_total_deadline_micros = 3000000;
+  assign.oracle_data_dir = "/tmp/weaver-oracle";
+  assign.oracle_snapshot_every = 8192;
+  assign.oracle_fsync = 1;
+  assign.tau_micros = 500;
+  assign.nop_period_micros = 200;
+  assign.client_workers = 8;
+  assign.client_batch = 8;
+  assign.client_lane_capacity = 256;
+  assign.max_inflight_programs = 64;
+  assign.nop_high_water = 4096;
+  assign.announce_capacity = 8192;
+  ExpectRoundtrip(assign);
+}
+
+TEST(WireCodec, JoinDecoderRejectsBadRole) {
+  JoinRequestMessage join;
+  wire::Writer w;
+  Encode(join, &w);
+  std::string bytes = w.Take();
+  // Role byte follows codec_version (1 varint byte for small values) and
+  // cluster_epoch (1 byte).
+  bytes[2] = static_cast<char>(static_cast<std::uint8_t>(NodeRole::kSpare) + 1);
+  JoinRequestMessage victim;
+  wire::Reader r(bytes);
+  EXPECT_FALSE(Decode(&r, &victim).ok());
+}
+
+TEST(WireCodec, GatekeeperProcessMessagesRoundtrip) {
+  StoreCommitMessage commit;
+  commit.gatekeeper = 1;
+  commit.request_id = 99;
+  commit.ts = MakeTs(2, 1, {4, 7}, 7);
+  commit.pay_delay = true;
+  commit.ops.push_back(GraphOp::CreateNode(11));
+  commit.ops.push_back(GraphOp::AssignNodeProp(11, "k", std::string(256, 'x')));
+  commit.created_placements.emplace_back(11, 1);
+  commit.read_set.emplace_back("v:11", 2);
+  ExpectRoundtrip(commit);
+
+  StoreCommitMessage empty_commit;
+  ExpectRoundtrip(empty_commit);
+
+  StoreCommitReplyMessage reply;
+  reply.gatekeeper = 1;
+  reply.request_id = 99;
+  reply.status = Status::Aborted("last-update conflict");
+  reply.retry_timestamp = true;
+  reply.kv_conflict = false;
+  reply.conflict_clock = VectorClock(2, {9, 9});
+  ExpectRoundtrip(reply);
+
+  GkProgramStartMessage start;
+  start.gatekeeper = 0;
+  start.reply_to = 14;
+  start.session_id = 5;
+  start.request_id = 6;
+  start.ts = MakeTs(1, 0, {3, 3}, 3);
+  start.program_name = "bfs";
+  start.starts.push_back(NextHop{21, "params"});
+  start.starts.push_back(NextHop{22, ""});
+  ExpectRoundtrip(start);
+
+  GkEpochAdvanceMessage epoch;
+  epoch.epoch = 12;
+  ExpectRoundtrip(epoch);
+
+  GkWatermarkMessage watermark;
+  watermark.gatekeeper = 1;
+  watermark.oldest_active = MakeTs(2, 1, {5, 6}, 6);
+  ExpectRoundtrip(watermark);
+}
+
 TEST(WireCodec, OracleDecodersRejectBadEnums) {
   OracleRequestMessage req;
   OracleOp op;
@@ -323,7 +432,10 @@ TEST(WireCodec, PayloadCodecCoversEveryTag) {
       kMsgClientCommitReply, kMsgClientProgramReply,
       kMsgMetricsRequest, kMsgMetricsReport, kMsgShardReset,
       kMsgShardResetAck, kMsgPartitionReplay,
-      kMsgOracleRequest, kMsgOracleReply};
+      kMsgOracleRequest, kMsgOracleReply,
+      kMsgJoinRequest, kMsgJoinAck, kMsgRoleAssign,
+      kMsgStoreCommit, kMsgStoreCommitReply, kMsgGkProgramStart,
+      kMsgGkEpochAdvance, kMsgGkWatermark};
   for (const std::uint32_t tag : tags) {
     auto fresh = DecodePayload(tag, [&] {
       // Encode a default-constructed message of the tag's schema first.
@@ -374,6 +486,30 @@ TEST(WireCodec, PayloadCodecCoversEveryTag) {
           break;
         case kMsgOracleReply:
           blank = std::make_shared<OracleReplyMessage>();
+          break;
+        case kMsgJoinRequest:
+          blank = std::make_shared<JoinRequestMessage>();
+          break;
+        case kMsgJoinAck:
+          blank = std::make_shared<JoinAckMessage>();
+          break;
+        case kMsgRoleAssign:
+          blank = std::make_shared<RoleAssignMessage>();
+          break;
+        case kMsgStoreCommit:
+          blank = std::make_shared<StoreCommitMessage>();
+          break;
+        case kMsgStoreCommitReply:
+          blank = std::make_shared<StoreCommitReplyMessage>();
+          break;
+        case kMsgGkProgramStart:
+          blank = std::make_shared<GkProgramStartMessage>();
+          break;
+        case kMsgGkEpochAdvance:
+          blank = std::make_shared<GkEpochAdvanceMessage>();
+          break;
+        case kMsgGkWatermark:
+          blank = std::make_shared<GkWatermarkMessage>();
           break;
       }
       auto encoded = EncodePayload(tag, blank);
